@@ -1,0 +1,82 @@
+//! EXT-1 — energy view of the footprint argument.
+//!
+//! The paper's footprint claim: if sharing matches the 8-node makespan on 5
+//! nodes, the cluster shrinks by 37.5 %. This extension prices that in
+//! coprocessor energy (idle + dynamic card power integrated over the run):
+//! the same job set, finished in the same time, on fewer cards.
+
+use phishare_bench::{banner, persist_json, table1_workload, EXPERIMENT_SEED, TABLE1_JOBS};
+use phishare_cluster::report::{pct, secs, table};
+use phishare_cluster::{ClusterConfig, Experiment};
+use phishare_core::ClusterPolicy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    nodes: u32,
+    makespan_secs: f64,
+    energy_kwh: f64,
+    energy_saving_pct: f64,
+}
+
+fn main() {
+    banner(
+        "EXT-1",
+        "energy cost of the footprint (extension of Table II)",
+        "equal-makespan sharing clusters burn proportionally less card energy",
+    );
+
+    let workload = table1_workload(TABLE1_JOBS, EXPERIMENT_SEED);
+    let mc = Experiment::run(
+        &ClusterConfig::paper_cluster(ClusterPolicy::Mc).with_nodes(8),
+        &workload,
+    )
+    .expect("baseline runs");
+
+    // The Table II footprint results: MCC matches on 6 nodes, MCCK on 5.
+    let cells = [
+        (ClusterPolicy::Mc, 8u32),
+        (ClusterPolicy::Mcc, 6),
+        (ClusterPolicy::Mcck, 5),
+    ];
+    let mut rows = Vec::new();
+    for (policy, nodes) in cells {
+        let r = Experiment::run(
+            &ClusterConfig::paper_cluster(policy).with_nodes(nodes),
+            &workload,
+        )
+        .expect("cell runs");
+        rows.push(Row {
+            config: format!("{policy} @ {nodes} nodes"),
+            nodes,
+            makespan_secs: r.makespan_secs,
+            energy_kwh: r.energy_kwh,
+            energy_saving_pct: 100.0 * (1.0 - r.energy_kwh / mc.energy_kwh),
+        });
+    }
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                secs(r.makespan_secs),
+                format!("{:.2}", r.energy_kwh),
+                if r.energy_saving_pct.abs() < 1e-9 {
+                    "-".into()
+                } else {
+                    pct(r.energy_saving_pct)
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["Configuration", "Makespan (s)", "Card energy (kWh)", "Energy saving vs MC@8"],
+            &printable
+        )
+    );
+    persist_json("ext_energy", &rows);
+}

@@ -1,0 +1,85 @@
+//! EXP-F9 — Fig. 9: effect of cluster scheduling techniques on different
+//! cluster sizes (four panels, one per distribution).
+//!
+//! 400 synthetic jobs, cluster sizes 2–8, three policies. Paper shape: at
+//! very small clusters any sharing (even random) wins big; the knapsack's
+//! edge grows with cluster size, where more placement decisions exist.
+
+use phishare_bench::{banner, persist_json, synthetic_workload, EXPERIMENT_SEED, SYNTHETIC_JOBS};
+use phishare_cluster::report::{secs, table};
+use phishare_cluster::sweep::{default_threads, run_sweep, SweepJob};
+use phishare_cluster::ClusterConfig;
+use phishare_core::ClusterPolicy;
+use phishare_workload::ResourceDist;
+use serde::Serialize;
+
+const SIZES: [u32; 6] = [2, 3, 4, 5, 6, 8];
+
+#[derive(Serialize)]
+struct Row {
+    dist: String,
+    policy: String,
+    nodes: u32,
+    makespan_secs: f64,
+}
+
+fn main() {
+    banner(
+        "Fig. 9",
+        "cluster scheduling techniques on different sized clusters (paper §V-B)",
+        "sharing dominates everywhere; MC flattens worst; MCCK ≤ MCC as size grows",
+    );
+
+    let mut grid = Vec::new();
+    for dist in ResourceDist::ALL {
+        let wl = synthetic_workload(dist, SYNTHETIC_JOBS, EXPERIMENT_SEED);
+        for policy in ClusterPolicy::ALL {
+            for nodes in SIZES {
+                grid.push(SweepJob {
+                    label: format!("{dist}|{policy}|{nodes}"),
+                    config: ClusterConfig::paper_cluster(policy).with_nodes(nodes),
+                    workload: wl.clone(),
+                });
+            }
+        }
+    }
+    let results = run_sweep(grid, default_threads());
+
+    let rows: Vec<Row> = results
+        .iter()
+        .map(|(label, res)| {
+            let r = res.as_ref().expect("cell runs");
+            let mut parts = label.split('|');
+            Row {
+                dist: parts.next().unwrap().into(),
+                policy: parts.next().unwrap().into(),
+                nodes: parts.next().unwrap().parse().unwrap(),
+                makespan_secs: r.makespan_secs,
+            }
+        })
+        .collect();
+
+    for dist in ResourceDist::ALL {
+        let mut printable = Vec::new();
+        for nodes in SIZES {
+            let get = |p: &str| {
+                rows.iter()
+                    .find(|r| r.dist == dist.to_string() && r.policy == p && r.nodes == nodes)
+                    .map(|r| r.makespan_secs)
+                    .expect("cell present")
+            };
+            printable.push(vec![
+                nodes.to_string(),
+                secs(get("MC")),
+                secs(get("MCC")),
+                secs(get("MCCK")),
+            ]);
+        }
+        println!("panel: {dist}");
+        println!(
+            "{}",
+            table(&["Nodes", "MC (s)", "MCC (s)", "MCCK (s)"], &printable)
+        );
+    }
+    persist_json("fig9", &rows);
+}

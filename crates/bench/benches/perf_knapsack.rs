@@ -1,0 +1,85 @@
+//! PERF-1 — Criterion microbench of the knapsack solvers.
+//!
+//! The paper's §IV-C claims complexity `O(n·w)`, "nearly linear with the
+//! number of jobs" at the 50 MB granularity (`w = 160` columns for 8 GB).
+//! This bench measures the 2-D DP, the 1-D+repair variant and the baseline
+//! packers across job counts so the scaling claim is visible in the
+//! Criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phishare_knapsack::baseline::Packer;
+use phishare_knapsack::{
+    solve_1d_filtered, solve_2d, solve_branch_and_bound, BestFitDecreasing, Capacity, FirstFit,
+    PackItem, RandomFit, ValueFunction,
+};
+use phishare_sim::DetRng;
+use std::hint::black_box;
+
+fn items(n: usize, seed: u64) -> Vec<PackItem> {
+    let mut rng = DetRng::from_seed(seed);
+    (0..n)
+        .map(|index| PackItem {
+            index,
+            mem_mb: rng.uniform_u64(300, 3400),
+            threads: rng.uniform_u64(15, 60) as u32 * 4,
+        })
+        .collect()
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let cap = Capacity::phi(7680);
+    let mut group = c.benchmark_group("knapsack");
+    for n in [64usize, 256, 1024, 4096] {
+        let set = items(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("solve_2d", n), &set, |b, set| {
+            b.iter(|| solve_2d(black_box(set), &cap, ValueFunction::PaperQuadratic))
+        });
+        group.bench_with_input(BenchmarkId::new("solve_1d_filtered", n), &set, |b, set| {
+            b.iter(|| solve_1d_filtered(black_box(set), &cap, ValueFunction::PaperQuadratic))
+        });
+        if n <= 256 {
+            // Exponential worst case: keep B&B to the small instances.
+            group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &set, |b, set| {
+                b.iter(|| {
+                    solve_branch_and_bound(black_box(set), &cap, ValueFunction::PaperQuadratic)
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("first_fit", n), &set, |b, set| {
+            let mut rng = DetRng::from_seed(1);
+            b.iter(|| FirstFit.pack(black_box(set), &cap, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("random_fit", n), &set, |b, set| {
+            let mut rng = DetRng::from_seed(1);
+            b.iter(|| RandomFit.pack(black_box(set), &cap, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("best_fit_decreasing", n), &set, |b, set| {
+            let mut rng = DetRng::from_seed(1);
+            b.iter(|| BestFitDecreasing.pack(black_box(set), &cap, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    let set = items(1024, 7);
+    let mut group = c.benchmark_group("knapsack_granularity");
+    for granularity_mb in [25u64, 50, 100, 200] {
+        let cap = Capacity {
+            mem_mb: 7680,
+            granularity_mb,
+            thread_limit: 240,
+            value_ref_threads: 240,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(granularity_mb),
+            &cap,
+            |b, cap| b.iter(|| solve_2d(black_box(&set), cap, ValueFunction::PaperQuadratic)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_granularity);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! PERF-2 — Criterion microbenches of the substrates: ClassAd parsing and
+//! matchmaking, the event queue, the RNG samplers, and a full small
+//! end-to-end simulation (events/second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phishare_classad::{eval, parse, ClassAd};
+use phishare_cluster::{ClusterConfig, Experiment};
+use phishare_core::ClusterPolicy;
+use phishare_sim::{DetRng, EventQueue, SimTime};
+use phishare_workload::{WorkloadBuilder, WorkloadKind};
+use std::hint::black_box;
+
+fn bench_classad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classad");
+    let src = "TARGET.RequestPhiMemory <= MY.PhiFreeMemory && PhiDevices >= 1 && \
+               (TARGET.RequestPhiThreads <= 240 || TARGET.RequestExclusivePhi == false)";
+    group.bench_function("parse", |b| b.iter(|| parse(black_box(src)).unwrap()));
+
+    let expr = parse(src).unwrap();
+    let mut machine = ClassAd::new();
+    machine.insert("PhiFreeMemory", 7680u64);
+    machine.insert("PhiDevices", 1u64);
+    let mut job = ClassAd::new();
+    job.insert("RequestPhiMemory", 1024u64);
+    job.insert("RequestPhiThreads", 120u32);
+    job.insert("RequestExclusivePhi", false);
+    group.bench_function("eval", |b| {
+        b.iter(|| eval(black_box(&expr), &machine, Some(&job)))
+    });
+
+    let mut m = machine.clone();
+    m.insert_expr(
+        "Requirements",
+        "TARGET.RequestPhiMemory <= MY.PhiFreeMemory",
+    )
+    .unwrap();
+    let mut j = job.clone();
+    j.insert_expr("Requirements", "TARGET.PhiDevices >= 1").unwrap();
+    group.bench_function("two_sided_match", |b| b.iter(|| black_box(&m).matches(&j)));
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n);
+                for i in 0..n {
+                    q.push(SimTime::from_ticks(((i * 2_654_435_761) % n) as u64), i);
+                }
+                let mut last = 0u64;
+                while let Some((t, _)) = q.pop() {
+                    last = t.ticks();
+                }
+                last
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.bench_function("normal", |b| {
+        let mut rng = DetRng::from_seed(1);
+        b.iter(|| rng.normal(0.0, 1.0))
+    });
+    group.bench_function("truncated_normal", |b| {
+        let mut rng = DetRng::from_seed(1);
+        b.iter(|| rng.truncated_normal(0.5, 0.18, 0.0, 1.0))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let workload = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(100)
+        .seed(3)
+        .build();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for policy in ClusterPolicy::ALL {
+        let config = ClusterConfig::paper_cluster(policy).with_nodes(4);
+        group.bench_with_input(
+            BenchmarkId::new("simulate_100_jobs", policy.to_string()),
+            &config,
+            |b, config| b.iter(|| Experiment::run(black_box(config), &workload).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_classad,
+    bench_event_queue,
+    bench_rng,
+    bench_end_to_end
+);
+criterion_main!(benches);

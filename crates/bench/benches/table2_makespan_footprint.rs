@@ -1,0 +1,89 @@
+//! EXP-T2 — Table II: makespan and footprint reduction on 1000 real jobs.
+//!
+//! Paper numbers: MC 3568 s; MCC 2611 s (−27 %), footprint 8→6 (25 %);
+//! MCCK 2183 s (−39 %), footprint 8→5 (37.5 %). Absolute seconds differ on
+//! the simulated substrate; the reductions are the reproduction target.
+
+use phishare_bench::{banner, persist_json, run_cell, table1_workload, EXPERIMENT_SEED, TABLE1_JOBS};
+use phishare_cluster::report::{pct, secs, table};
+use phishare_cluster::{footprint_search, ClusterConfig};
+use phishare_core::ClusterPolicy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    policy: String,
+    makespan_secs: f64,
+    reduction_pct: f64,
+    footprint_nodes: Option<u32>,
+    footprint_reduction_pct: Option<f64>,
+}
+
+fn main() {
+    banner(
+        "Table II",
+        "makespan and footprint reduction (paper §V-A)",
+        "MCC ≈ 27% makespan reduction, footprint 8→6; MCCK ≈ 39%, footprint 8→5",
+    );
+    println!("(footprint matches the MC@8 makespan within a 2% tolerance)\n");
+    let workload = table1_workload(TABLE1_JOBS, EXPERIMENT_SEED);
+
+    let mc = run_cell(ClusterPolicy::Mc, 8, &workload);
+    let mut rows = vec![Row {
+        policy: "MC".into(),
+        makespan_secs: mc.makespan_secs,
+        reduction_pct: 0.0,
+        footprint_nodes: None,
+        footprint_reduction_pct: None,
+    }];
+
+    for policy in [ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+        let r = run_cell(policy, 8, &workload);
+        let base_cfg = ClusterConfig::paper_cluster(policy);
+        // "Same makespan" up to a 2 % measurement tolerance.
+        let fp = footprint_search(&base_cfg, &workload, mc.makespan_secs, 8, 0.02)
+            .expect("footprint search runs");
+        rows.push(Row {
+            policy: policy.to_string(),
+            makespan_secs: r.makespan_secs,
+            reduction_pct: r.makespan_reduction_vs(&mc),
+            footprint_nodes: fp.nodes_required,
+            footprint_reduction_pct: fp.reduction_vs(8),
+        });
+    }
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                secs(r.makespan_secs),
+                if r.reduction_pct == 0.0 {
+                    "-".into()
+                } else {
+                    pct(r.reduction_pct)
+                },
+                r.footprint_nodes
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                r.footprint_reduction_pct
+                    .map(pct)
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "Configuration",
+                "Makespan on 8 nodes (s)",
+                "Reduction vs MC",
+                "Cluster size for MC@8 makespan",
+                "Footprint reduction",
+            ],
+            &printable
+        )
+    );
+    persist_json("table2", &rows);
+}

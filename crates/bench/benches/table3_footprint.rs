@@ -1,0 +1,78 @@
+//! EXP-T3 — Table III: footprint reduction per resource distribution.
+//!
+//! For each synthetic distribution: the smallest MCC / MCCK cluster that
+//! matches the makespan MC achieves on 8 nodes. Paper: MCC {6, 6, 4, 6};
+//! MCCK {5, 5, 3, 6} for {uniform, normal, low-skew, high-skew}.
+
+use phishare_bench::{
+    banner, persist_json, run_cell, synthetic_workload, EXPERIMENT_SEED, SYNTHETIC_JOBS,
+};
+use phishare_cluster::report::{pct, table};
+use phishare_cluster::{footprint_search, ClusterConfig};
+use phishare_core::ClusterPolicy;
+use phishare_workload::ResourceDist;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dist: String,
+    mc_makespan_secs: f64,
+    mcc_nodes: Option<u32>,
+    mcck_nodes: Option<u32>,
+}
+
+fn main() {
+    banner(
+        "Table III",
+        "footprint reduction for different job distributions (paper §V-B)",
+        "MCC {6,6,4,6}; MCCK {5,5,3,6} for {uniform, normal, low-skew, high-skew}",
+    );
+    println!("(footprint matches the MC@8 makespan within a 2% tolerance)\n");
+
+    let mut rows = Vec::new();
+    for dist in ResourceDist::ALL {
+        let wl = synthetic_workload(dist, SYNTHETIC_JOBS, EXPERIMENT_SEED);
+        let mc = run_cell(ClusterPolicy::Mc, 8, &wl);
+        let fp = |policy| {
+            footprint_search(
+                &ClusterConfig::paper_cluster(policy),
+                &wl,
+                mc.makespan_secs,
+                8,
+                0.02,
+            )
+            .expect("search runs")
+            .nodes_required
+        };
+        rows.push(Row {
+            dist: dist.to_string(),
+            mc_makespan_secs: mc.makespan_secs,
+            mcc_nodes: fp(ClusterPolicy::Mcc),
+            mcck_nodes: fp(ClusterPolicy::Mcck),
+        });
+    }
+
+    let cell = |n: Option<u32>| match n {
+        Some(n) => format!("{n} ({})", pct(100.0 * (1.0 - n as f64 / 8.0))),
+        None => ">8".into(),
+    };
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dist.clone(),
+                "8".into(),
+                cell(r.mcc_nodes),
+                cell(r.mcck_nodes),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["Distribution", "MC", "MCC (reduction)", "MCCK (reduction)"],
+            &printable
+        )
+    );
+    persist_json("table3", &rows);
+}

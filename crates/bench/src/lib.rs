@@ -1,0 +1,131 @@
+//! # phishare-bench — experiment harnesses
+//!
+//! One bench target per table/figure in the paper's evaluation (§V), plus
+//! ablations and Criterion microbenches. Each harness prints a paper-style
+//! table or ASCII figure and persists its raw rows as JSON under
+//! `target/experiments/` so EXPERIMENTS.md numbers are regenerable.
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `motivation_util` | §III core-utilization measurement |
+//! | `table2_makespan_footprint` | Table II |
+//! | `fig7_distributions` | Fig. 7 |
+//! | `fig8_makespan_by_distribution` | Fig. 8 |
+//! | `fig9_cluster_size_sweep` | Fig. 9 |
+//! | `table3_footprint` | Table III |
+//! | `fig10_job_pressure` | Fig. 10 |
+//! | `abl_*` | design-choice ablations (DESIGN.md) |
+//! | `perf_*` | Criterion microbenches (§IV-C complexity claim) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use phishare_cluster::{ClusterConfig, Experiment, ExperimentResult};
+use phishare_core::ClusterPolicy;
+use phishare_workload::{ResourceDist, SyntheticParams, Workload, WorkloadBuilder, WorkloadKind};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Seed used by every headline experiment (fixed for reproducibility; the
+/// sensitivity of results to the seed is itself checked in `tests/`).
+pub const EXPERIMENT_SEED: u64 = 7;
+
+/// The paper's real-workload job count (§V-A).
+pub const TABLE1_JOBS: usize = 1000;
+
+/// The paper's synthetic job count per distribution (§V-B).
+pub const SYNTHETIC_JOBS: usize = 400;
+
+/// Build the 1000-instance Table I workload of §V-A.
+pub fn table1_workload(count: usize, seed: u64) -> Arc<Workload> {
+    Arc::new(
+        WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(count)
+            .seed(seed)
+            .build(),
+    )
+}
+
+/// Build one of the four synthetic workloads of §V-B.
+pub fn synthetic_workload(dist: ResourceDist, count: usize, seed: u64) -> Arc<Workload> {
+    Arc::new(
+        WorkloadBuilder::new(WorkloadKind::Synthetic(dist, SyntheticParams::default()))
+            .count(count)
+            .seed(seed)
+            .build(),
+    )
+}
+
+/// Run one (policy, nodes) cell on a workload.
+pub fn run_cell(policy: ClusterPolicy, nodes: u32, workload: &Workload) -> ExperimentResult {
+    let config = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+    Experiment::run(&config, workload).expect("experiment runs")
+}
+
+/// Where experiment JSON lands (`target/experiments/`).
+pub fn experiments_dir() -> PathBuf {
+    // CARGO_TARGET_DIR is not set for bench binaries; derive from the exe
+    // path (target/release/deps/<bench>) with a cwd fallback.
+    let exe = std::env::current_exe().ok();
+    let target = exe
+        .as_deref()
+        .and_then(|p| p.ancestors().find(|a| a.ends_with("target")))
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("target"));
+    target.join("experiments")
+}
+
+/// Persist an experiment's raw rows as pretty JSON.
+pub fn persist_json<T: Serialize>(name: &str, value: &T) {
+    let dir = experiments_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Standard banner for a bench harness.
+pub fn banner(id: &str, paper_ref: &str, expectation: &str) {
+    println!("=== {id} — reproduces {paper_ref} ===");
+    println!("paper expectation: {expectation}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builders_are_consistent() {
+        let wl = table1_workload(50, 1);
+        assert_eq!(wl.len(), 50);
+        let syn = synthetic_workload(ResourceDist::Normal, 40, 1);
+        assert_eq!(syn.len(), 40);
+        assert!(syn.label.contains("normal"));
+    }
+
+    #[test]
+    fn run_cell_smoke() {
+        let wl = table1_workload(10, 2);
+        let r = run_cell(ClusterPolicy::Mcck, 2, &wl);
+        assert!(r.all_completed());
+    }
+
+    #[test]
+    fn experiments_dir_is_under_target() {
+        let d = experiments_dir();
+        assert!(d.ends_with("experiments"));
+    }
+}

@@ -1,0 +1,210 @@
+//! The ClassAd itself: a case-insensitive attribute map with matchmaking.
+
+use crate::ast::Expr;
+use crate::eval::eval;
+use crate::parser::{parse, ParseError};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Attribute name of the match predicate.
+pub const REQUIREMENTS: &str = "Requirements";
+/// Attribute name of the preference (ranking) expression.
+pub const RANK: &str = "Rank";
+
+/// A classified advertisement: an attribute → value map (attribute names are
+/// case-insensitive), where `Requirements` and `Rank` hold *expressions*
+/// stored as strings and parsed on demand.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassAd {
+    attrs: BTreeMap<String, Value>,
+    /// Parsed expression attributes (`Requirements`, `Rank`), kept separate
+    /// because they evaluate lazily against a TARGET.
+    exprs: BTreeMap<String, String>,
+}
+
+impl ClassAd {
+    /// Create an empty ad.
+    pub fn new() -> Self {
+        ClassAd::default()
+    }
+
+    /// Insert (or replace) an attribute value.
+    pub fn insert(&mut self, name: &str, value: impl Into<Value>) {
+        self.attrs.insert(name.to_ascii_lowercase(), value.into());
+    }
+
+    /// Insert (or replace) an expression attribute such as `Requirements`.
+    /// The expression is validated now so malformed submit files fail fast.
+    pub fn insert_expr(&mut self, name: &str, expr: &str) -> Result<(), ParseError> {
+        parse(expr)?;
+        self.exprs.insert(name.to_ascii_lowercase(), expr.to_string());
+        Ok(())
+    }
+
+    /// Look up a value attribute (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.attrs.get(&name.to_ascii_lowercase())
+    }
+
+    /// Look up an expression attribute's source text.
+    pub fn get_expr(&self, name: &str) -> Option<&str> {
+        self.exprs.get(&name.to_ascii_lowercase()).map(|s| s.as_str())
+    }
+
+    /// Remove an attribute (value or expression). Returns true if present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let k = name.to_ascii_lowercase();
+        self.attrs.remove(&k).is_some() | self.exprs.remove(&k).is_some()
+    }
+
+    /// Number of attributes (values + expressions).
+    pub fn len(&self) -> usize {
+        self.attrs.len() + self.exprs.len()
+    }
+
+    /// True when the ad has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty() && self.exprs.is_empty()
+    }
+
+    /// Parse and return this ad's expression attribute `name`.
+    fn parsed_expr(&self, name: &str) -> Option<Expr> {
+        self.get_expr(name)
+            .map(|src| parse(src).expect("insert_expr validated this expression"))
+    }
+
+    /// Evaluate this ad's `Requirements` against `target`. An absent
+    /// `Requirements` accepts everything (HTCondor defaults it to true).
+    pub fn requirements_satisfied(&self, target: &ClassAd) -> bool {
+        match self.parsed_expr(REQUIREMENTS) {
+            None => true,
+            Some(e) => eval(&e, self, Some(target)).is_true(),
+        }
+    }
+
+    /// Two-sided matchmaking: both ads' `Requirements` must accept the other
+    /// (paper §II-D: jobs state requirements about machines *and* machines
+    /// about jobs).
+    pub fn matches(&self, other: &ClassAd) -> bool {
+        self.requirements_satisfied(other) && other.requirements_satisfied(self)
+    }
+
+    /// Evaluate this ad's `Rank` against `target`; higher is better.
+    /// Missing or non-numeric ranks count as 0 (HTCondor's default).
+    pub fn rank(&self, target: &ClassAd) -> f64 {
+        match self.parsed_expr(RANK) {
+            None => 0.0,
+            Some(e) => eval(&e, self, Some(target)).as_f64().unwrap_or(0.0),
+        }
+    }
+}
+
+impl fmt::Display for ClassAd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[")?;
+        for (k, v) in &self.attrs {
+            writeln!(f, "  {k} = {v};")?;
+        }
+        for (k, e) in &self.exprs {
+            writeln!(f, "  {k} = {e};")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> ClassAd {
+        let mut ad = ClassAd::new();
+        ad.insert("Name", "slot1@node1");
+        ad.insert("PhiDevices", 1u64);
+        ad.insert("PhiMemory", 7680u64);
+        ad.insert_expr(
+            REQUIREMENTS,
+            "TARGET.RequestPhiMemory <= MY.PhiMemory",
+        )
+        .unwrap();
+        ad
+    }
+
+    fn job(mem: u64) -> ClassAd {
+        let mut ad = ClassAd::new();
+        ad.insert("RequestPhiMemory", mem);
+        ad.insert_expr(REQUIREMENTS, "TARGET.PhiDevices >= 1").unwrap();
+        ad
+    }
+
+    #[test]
+    fn attribute_names_are_case_insensitive() {
+        let mut ad = ClassAd::new();
+        ad.insert("PhiMemory", 100u64);
+        assert_eq!(ad.get("phimemory"), Some(&Value::Int(100)));
+        assert_eq!(ad.get("PHIMEMORY"), Some(&Value::Int(100)));
+        ad.insert("PHIMEMORY", 200u64);
+        assert_eq!(ad.len(), 1);
+        assert_eq!(ad.get("PhiMemory"), Some(&Value::Int(200)));
+    }
+
+    #[test]
+    fn two_sided_matchmaking() {
+        assert!(machine().matches(&job(1024)));
+        assert!(!machine().matches(&job(80_000))); // machine rejects
+        let mut philess = machine();
+        philess.insert("PhiDevices", 0u64);
+        assert!(!philess.matches(&job(1024))); // job rejects
+    }
+
+    #[test]
+    fn missing_requirements_accepts_everything() {
+        let ad = ClassAd::new();
+        assert!(ad.requirements_satisfied(&ClassAd::new()));
+    }
+
+    #[test]
+    fn undefined_requirements_do_not_match() {
+        let mut ad = ClassAd::new();
+        ad.insert_expr(REQUIREMENTS, "TARGET.NoSuchAttr >= 1").unwrap();
+        assert!(!ad.requirements_satisfied(&ClassAd::new()));
+    }
+
+    #[test]
+    fn malformed_expressions_rejected_at_insert() {
+        let mut ad = ClassAd::new();
+        assert!(ad.insert_expr(REQUIREMENTS, "1 +").is_err());
+        assert!(ad.get_expr(REQUIREMENTS).is_none());
+    }
+
+    #[test]
+    fn rank_orders_candidates() {
+        let mut ad = ClassAd::new();
+        ad.insert_expr(RANK, "TARGET.PhiMemory").unwrap();
+        let mut small = ClassAd::new();
+        small.insert("PhiMemory", 1000u64);
+        let mut big = ClassAd::new();
+        big.insert("PhiMemory", 7680u64);
+        assert!(ad.rank(&big) > ad.rank(&small));
+        assert_eq!(ClassAd::new().rank(&big), 0.0);
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let mut ad = machine();
+        let n = ad.len();
+        assert!(ad.remove("Name"));
+        assert!(!ad.remove("Name"));
+        assert_eq!(ad.len(), n - 1);
+        assert!(ad.remove(REQUIREMENTS));
+        assert!(!ad.is_empty());
+    }
+
+    #[test]
+    fn display_contains_attributes() {
+        let s = machine().to_string();
+        assert!(s.contains("phimemory = 7680"));
+        assert!(s.contains("requirements"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Expression evaluation against MY/TARGET ads.
+
+use crate::ad::ClassAd;
+use crate::ast::{BinOp, Expr, Scope, UnOp};
+use crate::value::Value;
+
+/// Evaluate `expr` with `my` as the owning ad and `target` as the candidate
+/// match (absent outside matchmaking).
+///
+/// Bare attribute names resolve in `my` first, then `target`, then become
+/// `UNDEFINED` — HTCondor's resolution order. Evaluation is total: type
+/// errors produce `UNDEFINED`, never a panic, because machine ads are
+/// "user input" to the negotiator.
+pub fn eval(expr: &Expr, my: &ClassAd, target: Option<&ClassAd>) -> Value {
+    match expr {
+        Expr::Lit(v) => v.clone(),
+        Expr::Attr(name) => my
+            .get(name)
+            .or_else(|| target.and_then(|t| t.get(name)))
+            .cloned()
+            .unwrap_or(Value::Undefined),
+        Expr::ScopedAttr(Scope::My, name) => {
+            my.get(name).cloned().unwrap_or(Value::Undefined)
+        }
+        Expr::ScopedAttr(Scope::Target, name) => target
+            .and_then(|t| t.get(name))
+            .cloned()
+            .unwrap_or(Value::Undefined),
+        Expr::Unary(op, e) => eval_unary(*op, eval(e, my, target)),
+        Expr::Binary(op, l, r) => eval_binary(*op, l, r, my, target),
+        Expr::Ternary(c, t, e) => match eval(c, my, target) {
+            Value::Bool(true) => eval(t, my, target),
+            Value::Bool(false) => eval(e, my, target),
+            _ => Value::Undefined,
+        },
+        Expr::Call(name, args) => {
+            let values: Vec<Value> = args.iter().map(|a| eval(a, my, target)).collect();
+            crate::builtins::call(name, &values)
+        }
+    }
+}
+
+fn eval_unary(op: UnOp, v: Value) -> Value {
+    match (op, v) {
+        (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+        (UnOp::Not, _) => Value::Undefined,
+        (UnOp::Neg, Value::Int(i)) => Value::Int(-i),
+        (UnOp::Neg, Value::Float(f)) => Value::Float(-f),
+        (UnOp::Neg, _) => Value::Undefined,
+    }
+}
+
+fn eval_binary(op: BinOp, l: &Expr, r: &Expr, my: &ClassAd, target: Option<&ClassAd>) -> Value {
+    // Short-circuiting three-valued logic first.
+    match op {
+        BinOp::And => {
+            let lv = eval(l, my, target);
+            if lv == Value::Bool(false) {
+                return Value::Bool(false);
+            }
+            let rv = eval(r, my, target);
+            return match (lv, rv) {
+                (Value::Bool(true), Value::Bool(b)) => Value::Bool(b),
+                (_, Value::Bool(false)) => Value::Bool(false),
+                _ => Value::Undefined,
+            };
+        }
+        BinOp::Or => {
+            let lv = eval(l, my, target);
+            if lv == Value::Bool(true) {
+                return Value::Bool(true);
+            }
+            let rv = eval(r, my, target);
+            return match (lv, rv) {
+                (Value::Bool(false), Value::Bool(b)) => Value::Bool(b),
+                (_, Value::Bool(true)) => Value::Bool(true),
+                _ => Value::Undefined,
+            };
+        }
+        _ => {}
+    }
+
+    let lv = eval(l, my, target);
+    let rv = eval(r, my, target);
+    match op {
+        BinOp::Eq => lv.classad_eq(&rv),
+        BinOp::Ne => match lv.classad_eq(&rv) {
+            Value::Bool(b) => Value::Bool(!b),
+            other => other,
+        },
+        BinOp::Is => Value::Bool(lv.identical(&rv)),
+        BinOp::Isnt => Value::Bool(!lv.identical(&rv)),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => compare(op, &lv, &rv),
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(op, &lv, &rv),
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn compare(op: BinOp, l: &Value, r: &Value) -> Value {
+    // String ordering (case-insensitive), else numeric.
+    if let (Value::Str(a), Value::Str(b)) = (l, r) {
+        let (a, b) = (a.to_ascii_lowercase(), b.to_ascii_lowercase());
+        let res = match op {
+            BinOp::Lt => a < b,
+            BinOp::Le => a <= b,
+            BinOp::Gt => a > b,
+            BinOp::Ge => a >= b,
+            _ => unreachable!(),
+        };
+        return Value::Bool(res);
+    }
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => Value::Bool(match op {
+            BinOp::Lt => a < b,
+            BinOp::Le => a <= b,
+            BinOp::Gt => a > b,
+            BinOp::Ge => a >= b,
+            _ => unreachable!(),
+        }),
+        _ => Value::Undefined,
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Value {
+    // Integer arithmetic stays integral when both sides are ints (except
+    // division by zero, which is UNDEFINED rather than a crash).
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return match op {
+            BinOp::Add => Value::Int(a.wrapping_add(*b)),
+            BinOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            BinOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinOp::Div => {
+                if *b == 0 {
+                    Value::Undefined
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+            _ => unreachable!(),
+        };
+    }
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => match op {
+            BinOp::Add => Value::Float(a + b),
+            BinOp::Sub => Value::Float(a - b),
+            BinOp::Mul => Value::Float(a * b),
+            BinOp::Div => {
+                if b == 0.0 {
+                    Value::Undefined
+                } else {
+                    Value::Float(a / b)
+                }
+            }
+            _ => unreachable!(),
+        },
+        _ => Value::Undefined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn my() -> ClassAd {
+        let mut ad = ClassAd::new();
+        ad.insert("PhiMemory", 7680u64);
+        ad.insert("PhiDevices", 1u64);
+        ad.insert("Name", "slot1@node3");
+        ad
+    }
+
+    fn job() -> ClassAd {
+        let mut ad = ClassAd::new();
+        ad.insert("RequestPhiMemory", 1024u64);
+        ad.insert("RequestPhiThreads", 120u32);
+        ad
+    }
+
+    fn ev(s: &str) -> Value {
+        eval(&parse(s).unwrap(), &my(), Some(&job()))
+    }
+
+    #[test]
+    fn bare_attrs_resolve_my_then_target() {
+        assert_eq!(ev("PhiMemory"), Value::Int(7680));
+        assert_eq!(ev("RequestPhiMemory"), Value::Int(1024)); // from TARGET
+        assert_eq!(ev("Nonexistent"), Value::Undefined);
+    }
+
+    #[test]
+    fn scoped_attrs_do_not_fall_through() {
+        assert_eq!(ev("MY.RequestPhiMemory"), Value::Undefined);
+        assert_eq!(ev("TARGET.RequestPhiMemory"), Value::Int(1024));
+    }
+
+    #[test]
+    fn matchmaking_expression() {
+        assert_eq!(
+            ev("TARGET.RequestPhiMemory <= MY.PhiMemory && PhiDevices > 0"),
+            Value::Bool(true)
+        );
+        assert_eq!(ev("RequestPhiMemory > 9999"), Value::Bool(false));
+    }
+
+    #[test]
+    fn name_pinning_expression() {
+        // The condor_qedit pinning the paper's scheduler performs (§IV-D1).
+        assert_eq!(ev("Name == \"slot1@node3\""), Value::Bool(true));
+        assert_eq!(ev("Name == \"SLOT1@NODE3\""), Value::Bool(true));
+        assert_eq!(ev("Name == \"slot1@node4\""), Value::Bool(false));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        assert_eq!(ev("Missing && false"), Value::Bool(false));
+        assert_eq!(ev("false && Missing"), Value::Bool(false));
+        assert_eq!(ev("Missing && true"), Value::Undefined);
+        assert_eq!(ev("Missing || true"), Value::Bool(true));
+        assert_eq!(ev("Missing || false"), Value::Undefined);
+        assert_eq!(ev("!Missing"), Value::Undefined);
+    }
+
+    #[test]
+    fn identity_handles_undefined() {
+        assert_eq!(ev("Missing =?= UNDEFINED"), Value::Bool(true));
+        assert_eq!(ev("PhiMemory =?= UNDEFINED"), Value::Bool(false));
+        assert_eq!(ev("Missing =!= UNDEFINED"), Value::Bool(false));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ev("2 + 3 * 4"), Value::Int(14));
+        assert_eq!(ev("7 / 2"), Value::Int(3));
+        assert_eq!(ev("7.0 / 2"), Value::Float(3.5));
+        assert_eq!(ev("1 / 0"), Value::Undefined);
+        assert_eq!(ev("1.0 / 0.0"), Value::Undefined);
+        assert_eq!(ev("-PhiDevices"), Value::Int(-1));
+    }
+
+    #[test]
+    fn type_errors_are_undefined_not_panics() {
+        assert_eq!(ev("\"abc\" + 1"), Value::Undefined);
+        assert_eq!(ev("true < 1"), Value::Undefined);
+        assert_eq!(ev("!5"), Value::Undefined);
+        assert_eq!(ev("-\"s\""), Value::Undefined);
+    }
+
+    #[test]
+    fn string_ordering() {
+        assert_eq!(ev("\"abc\" < \"abd\""), Value::Bool(true));
+        assert_eq!(ev("\"ABC\" >= \"abc\""), Value::Bool(true));
+    }
+
+    #[test]
+    fn eval_without_target() {
+        let e = parse("TARGET.x =?= UNDEFINED").unwrap();
+        assert_eq!(eval(&e, &my(), None), Value::Bool(true));
+    }
+
+    #[test]
+    fn ternary_evaluates_lazily_by_condition() {
+        assert_eq!(ev("PhiDevices > 0 ? 100 : 200"), Value::Int(100));
+        assert_eq!(ev("PhiDevices > 5 ? 100 : 200"), Value::Int(200));
+        assert_eq!(ev("Missing ? 1 : 2"), Value::Undefined);
+        // Right-associative nesting.
+        assert_eq!(ev("false ? 1 : true ? 2 : 3"), Value::Int(2));
+    }
+
+    #[test]
+    fn function_calls_evaluate_arguments() {
+        assert_eq!(ev("min(PhiMemory, 1000)"), Value::Int(1000));
+        assert_eq!(ev("max(RequestPhiThreads, 240)"), Value::Int(240));
+        assert_eq!(ev("isUndefined(Missing)"), Value::Bool(true));
+        assert_eq!(
+            ev("strcat(\"slot\", 1, \"@\", \"node\", 3)"),
+            Value::Str("slot1@node3".into())
+        );
+        assert_eq!(ev("noSuchFn(1, 2)"), Value::Undefined);
+    }
+
+    #[test]
+    fn functions_compose_with_operators() {
+        // A realistic submit-file idiom: request the smaller of the job's
+        // ask and the machine's free memory, conditionally.
+        assert_eq!(
+            ev("ifThenElse(PhiDevices >= 1, min(RequestPhiMemory, PhiMemory), 0) == 1024"),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn ternary_in_requirements_round_trips_display() {
+        let e = parse("a ? min(b, 2) : c").unwrap();
+        assert_eq!(e.to_string(), "(a ? min(b, 2) : c)");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the ClassAd language: totality of lexing/parsing on
+//! arbitrary input, display→parse round-trips on generated ASTs, and
+//! totality of evaluation.
+
+use phishare_classad::ast::{BinOp, Expr, UnOp};
+use phishare_classad::{eval, parse, ClassAd, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000.0f64..1000.0).prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-z]{0,8}".prop_map(Value::Str),
+        Just(Value::Undefined),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_value().prop_map(Expr::Lit),
+        "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+            !["true", "false", "undefined", "my", "target"].contains(&s.as_str())
+        })
+        .prop_map(Expr::Attr),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop::sample::select(vec![
+                BinOp::Or, BinOp::And, BinOp::Eq, BinOp::Ne, BinOp::Is, BinOp::Isnt,
+                BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge,
+                BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div,
+            ]))
+                .prop_map(|(l, r, op)| Expr::Binary(op, Box::new(l), Box::new(r))),
+            (inner.clone(), prop::sample::select(vec![UnOp::Not, UnOp::Neg]))
+                .prop_map(|(e, op)| Expr::Unary(op, Box::new(e))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::Ternary(Box::new(c), Box::new(t), Box::new(e))),
+            (
+                prop::sample::select(vec!["min", "max", "strcat", "isundefined", "floor"]),
+                prop::collection::vec(inner, 0..3)
+            )
+                .prop_map(|(name, args)| Expr::Call(name.to_string(), args)),
+        ]
+    })
+}
+
+fn arb_ad() -> impl Strategy<Value = ClassAd> {
+    prop::collection::btree_map("[a-z][a-z0-9]{0,5}", arb_value(), 0..6).prop_map(|attrs| {
+        let mut ad = ClassAd::new();
+        for (k, v) in attrs {
+            ad.insert(&k, v);
+        }
+        ad
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer/parser never panic on arbitrary input — they return
+    /// `Err`, which is what a schedd must do with malformed submit files.
+    #[test]
+    fn parse_is_total_on_arbitrary_strings(input in ".{0,80}") {
+        let _ = parse(&input);
+    }
+
+    /// Parsing never panics on strings drawn from the expression alphabet,
+    /// where deep operator nesting is likely.
+    #[test]
+    fn parse_is_total_on_expression_alphabet(
+        input in "[a-z0-9 ()+*/<>=&|!?.:,\"-]{0,60}"
+    ) {
+        let _ = parse(&input);
+    }
+
+    /// `Display` output of any AST re-parses to the same AST, modulo the
+    /// float-literal wrinkle: negative literals print as `-(x)` (unary
+    /// minus), which re-parses to `Unary(Neg, …)` — so we compare the
+    /// *display* forms after one round trip (a fixpoint check).
+    #[test]
+    fn display_parse_reaches_fixpoint(expr in arb_expr()) {
+        let once = parse(&expr.to_string());
+        prop_assert!(once.is_ok(), "display form failed to parse: {}", expr);
+        let once = once.unwrap();
+        let twice = parse(&once.to_string()).expect("fixpoint parse");
+        prop_assert_eq!(&once, &twice, "display not stable: {}", once);
+    }
+
+    /// Evaluation is total: any generated AST against any ads yields a
+    /// value, never a panic.
+    #[test]
+    fn eval_is_total(expr in arb_expr(), my in arb_ad(), target in arb_ad()) {
+        let _ = eval(&expr, &my, Some(&target));
+        let _ = eval(&expr, &my, None);
+    }
+
+    /// Matchmaking is symmetric in the trivial case: ads without
+    /// Requirements always match, in both directions.
+    #[test]
+    fn requirement_free_ads_always_match(a in arb_ad(), b in arb_ad()) {
+        prop_assert!(a.matches(&b));
+        prop_assert!(b.matches(&a));
+    }
+}

@@ -1,0 +1,214 @@
+//! Post-run self-checking.
+//!
+//! [`audit`] replays a traced run against the system's safety and
+//! consistency properties and returns every violation found. The test suite
+//! runs it on every policy; the CLI prints its verdict after `--gantt`
+//! runs. A reproduction whose numbers come from a simulator is only as
+//! credible as the simulator's invariants — this makes them checkable on
+//! any run, not just the ones the tests happen to cover.
+
+use crate::config::ClusterConfig;
+use crate::metrics::ExperimentResult;
+use crate::trace::{Trace, TraceEvent};
+use phishare_core::ClusterPolicy;
+use phishare_workload::{JobId, Workload};
+use std::collections::BTreeMap;
+
+/// Audit a traced run; returns human-readable violations (empty = clean).
+pub fn audit(
+    config: &ClusterConfig,
+    workload: &Workload,
+    result: &ExperimentResult,
+    trace: &Trace,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut complain = |msg: String| violations.push(msg);
+
+    // --- accounting ---
+    if result.completed + result.container_kills + result.oom_kills != result.jobs {
+        complain(format!(
+            "job accounting leak: {} completed + {} container + {} oom ≠ {} submitted",
+            result.completed, result.container_kills, result.oom_kills, result.jobs
+        ));
+    }
+    if result.jobs != workload.len() {
+        complain(format!(
+            "result covers {} jobs but the workload has {}",
+            result.jobs,
+            workload.len()
+        ));
+    }
+
+    // --- trace/result agreement ---
+    let completions = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Completed { .. }))
+        .count();
+    if completions != result.completed {
+        complain(format!(
+            "trace has {completions} completions, result reports {}",
+            result.completed
+        ));
+    }
+    if let Some(last) = trace.events.last() {
+        let gap = (last.at().as_secs_f64() - result.makespan_secs).abs();
+        if gap > 1e-6 {
+            complain(format!(
+                "makespan {} disagrees with the trace's last event at {}",
+                result.makespan_secs,
+                last.at().as_secs_f64()
+            ));
+        }
+    }
+
+    // --- ordering within the trace ---
+    let mut last_at = None;
+    for ev in &trace.events {
+        if let Some(prev) = last_at {
+            if ev.at() < prev {
+                complain(format!("trace out of order at {}", ev.at()));
+                break;
+            }
+        }
+        last_at = Some(ev.at());
+    }
+
+    // --- the COSMIC safety property ---
+    let hw = config.phi.hw_threads();
+    for node in trace.nodes() {
+        let peak = trace.max_concurrent_threads(node);
+        if peak > hw {
+            complain(format!(
+                "node {node} ran {peak} concurrent offload threads (> {hw} hardware)"
+            ));
+        }
+    }
+
+    // --- exclusive allocation really is exclusive ---
+    if config.policy == ClusterPolicy::Mc && config.devices_per_node == 1 {
+        let spans = trace.offload_spans();
+        for node in trace.nodes() {
+            let mut node_spans: Vec<_> = spans.iter().filter(|s| s.node == node).collect();
+            node_spans.sort_by_key(|s| s.start);
+            for pair in node_spans.windows(2) {
+                if pair[1].start < pair[0].end && pair[0].job != pair[1].job {
+                    complain(format!(
+                        "MC overlap on node {node}: {} and {}",
+                        pair[0].job, pair[1].job
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- per-job lifecycle shape ---
+    #[derive(Default)]
+    struct Shape {
+        dispatched: bool,
+        open_offload: bool,
+        terminal: bool,
+    }
+    let mut shapes: BTreeMap<JobId, Shape> = BTreeMap::new();
+    for ev in &trace.events {
+        let shape = shapes.entry(ev.job()).or_default();
+        if shape.terminal {
+            complain(format!("{} has events after its terminal state", ev.job()));
+            break;
+        }
+        match ev {
+            TraceEvent::Dispatched { .. } => shape.dispatched = true,
+            TraceEvent::OffloadStarted { .. } => {
+                if !shape.dispatched || shape.open_offload {
+                    complain(format!("{} started an offload out of order", ev.job()));
+                }
+                shape.open_offload = true;
+            }
+            TraceEvent::OffloadFinished { .. } => {
+                if !shape.open_offload {
+                    complain(format!("{} finished a phantom offload", ev.job()));
+                }
+                shape.open_offload = false;
+            }
+            TraceEvent::Completed { .. } => {
+                if shape.open_offload {
+                    complain(format!("{} completed mid-offload", ev.job()));
+                }
+                shape.terminal = true;
+            }
+            TraceEvent::Killed { .. } => shape.terminal = true,
+            _ => {}
+        }
+    }
+
+    // --- metric ranges ---
+    for (name, v) in [
+        ("thread_utilization", result.thread_utilization),
+        ("core_utilization", result.core_utilization),
+        ("mem_utilization", result.mem_utilization),
+        ("device_busy_fraction", result.device_busy_fraction),
+        ("host_core_utilization", result.host_core_utilization),
+    ] {
+        if !(0.0..=1.0 + 1e-9).contains(&v) {
+            complain(format!("{name} out of range: {v}"));
+        }
+    }
+    if result.energy_kwh < 0.0 {
+        complain(format!("negative energy: {}", result.energy_kwh));
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Experiment;
+    use phishare_workload::{WorkloadBuilder, WorkloadKind};
+
+    fn run(policy: ClusterPolicy, jobs: usize, seed: u64) -> Vec<String> {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(jobs)
+            .seed(seed)
+            .build();
+        let mut cfg = ClusterConfig::paper_cluster(policy).with_nodes(2);
+        cfg.knapsack.window = 48;
+        let (result, trace) = Experiment::run_traced(&cfg, &wl).unwrap();
+        audit(&cfg, &wl, &result, &trace)
+    }
+
+    #[test]
+    fn clean_runs_audit_clean() {
+        for policy in ClusterPolicy::WITH_ORACLE {
+            let violations = run(policy, 30, 61);
+            assert!(violations.is_empty(), "{policy}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn runs_with_kills_audit_clean() {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(30)
+            .seed(62)
+            .misbehaving_fraction(0.4)
+            .build();
+        let mut cfg = ClusterConfig::paper_cluster(ClusterPolicy::Mcck).with_nodes(2);
+        cfg.knapsack.window = 48;
+        let (result, trace) = Experiment::run_traced(&cfg, &wl).unwrap();
+        let violations = audit(&cfg, &wl, &result, &trace);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(result.container_kills > 0);
+    }
+
+    #[test]
+    fn audit_detects_planted_violations() {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(10).seed(63).build();
+        let cfg = ClusterConfig::paper_cluster(ClusterPolicy::Mcck).with_nodes(2);
+        let (mut result, trace) = Experiment::run_traced(&cfg, &wl).unwrap();
+        // Corrupt the accounting.
+        result.completed -= 1;
+        let violations = audit(&cfg, &wl, &result, &trace);
+        assert!(violations.iter().any(|v| v.contains("accounting")), "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("completions")), "{violations:?}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Cluster configuration.
+
+use phishare_core::{ClusterPolicy, KnapsackConfig};
+use phishare_cosmic::CosmicConfig;
+use phishare_phi::{PerfModel, PhiConfig};
+use phishare_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Full description of one simulated cluster and its software stack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of compute nodes.
+    pub nodes: u32,
+    /// Xeon Phi cards per node (1 in the paper's testbed).
+    pub devices_per_node: u32,
+    /// Condor slots per node (one per host core; the paper's nodes have two
+    /// 8-core Xeons → 16).
+    pub slots_per_node: u32,
+    /// Host cores per node available to jobs' host phases. With the default
+    /// (16, matching the slot count) hosts are never contended — the
+    /// paper's §V-A assumption; lowering it makes jobs' host phases fair-
+    /// share the cores, the caveat measured by `abl_host_contention`.
+    pub host_cores_per_node: u32,
+    /// Device hardware shape.
+    pub phi: PhiConfig,
+    /// Device performance model.
+    pub perf: PerfModel,
+    /// Node middleware configuration (used by MCC / MCCK).
+    pub cosmic: CosmicConfig,
+    /// Which software stack runs the cluster.
+    pub policy: ClusterPolicy,
+    /// Gap between periodic Condor negotiation cycles.
+    pub negotiation_interval: SimDuration,
+    /// Latency of an *update-triggered* negotiation: when qedited job
+    /// requirements reach the collector (e.g. after a completion-driven
+    /// repack), Condor starts an extra cycle after this delay (§IV-D1:
+    /// "triggered when the Condor collector obtains the changed job
+    /// requirements"). This, plus `dispatch_delay`, is the integration
+    /// overhead the paper attributes its high-skew degradation to.
+    pub negotiation_trigger_delay: SimDuration,
+    /// Shadow/starter latency between a match and the job actually starting
+    /// on the node (file transfer + process spawn).
+    pub dispatch_delay: SimDuration,
+    /// MCCK scheduler configuration (ignored by MC / MCC).
+    pub knapsack: KnapsackConfig,
+    /// Fraction of a job's peak memory committed at attach time; the rest
+    /// grows across its offloads (§II-C: commits and stacks grow late).
+    pub initial_commit_fraction: f64,
+    /// Master seed for all stochastic components of the *cluster* (workload
+    /// seeds live in the workload itself).
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 8,
+            devices_per_node: 1,
+            slots_per_node: 16,
+            host_cores_per_node: 16,
+            phi: PhiConfig::default(),
+            perf: PerfModel::default(),
+            cosmic: CosmicConfig::default(),
+            policy: ClusterPolicy::Mcck,
+            negotiation_interval: SimDuration::from_secs(10),
+            negotiation_trigger_delay: SimDuration::from_secs(2),
+            dispatch_delay: SimDuration::from_secs(1),
+            knapsack: KnapsackConfig::default(),
+            initial_commit_fraction: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The paper's 8-node evaluation cluster under the given policy.
+    pub fn paper_cluster(policy: ClusterPolicy) -> Self {
+        ClusterConfig {
+            policy,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Same stack, different node count (for footprint searches and the
+    /// Fig. 9 size sweep).
+    pub fn with_nodes(mut self, nodes: u32) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total devices in the cluster.
+    pub fn total_devices(&self) -> u32 {
+        self.nodes * self.devices_per_node
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("cluster needs at least one node".into());
+        }
+        if self.devices_per_node == 0 {
+            return Err("nodes need at least one Phi device".into());
+        }
+        if self.slots_per_node == 0 {
+            return Err("nodes need at least one Condor slot".into());
+        }
+        if self.host_cores_per_node == 0 {
+            return Err("nodes need at least one host core".into());
+        }
+        if !(0.0..=1.0).contains(&self.initial_commit_fraction) {
+            return Err("initial_commit_fraction must be in [0, 1]".into());
+        }
+        self.phi.validate()?;
+        if self.negotiation_interval.is_zero() {
+            return Err("negotiation interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_testbed() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.devices_per_node, 1);
+        assert_eq!(c.slots_per_node, 16);
+        assert_eq!(c.total_devices(), 8);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builders() {
+        let c = ClusterConfig::paper_cluster(ClusterPolicy::Mc)
+            .with_nodes(5)
+            .with_seed(9);
+        assert_eq!(c.policy, ClusterPolicy::Mc);
+        assert_eq!(c.nodes, 5);
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_clusters() {
+        for f in [
+            |c: &mut ClusterConfig| c.nodes = 0,
+            |c: &mut ClusterConfig| c.devices_per_node = 0,
+            |c: &mut ClusterConfig| c.slots_per_node = 0,
+            |c: &mut ClusterConfig| c.host_cores_per_node = 0,
+            |c: &mut ClusterConfig| c.initial_commit_fraction = 1.5,
+            |c: &mut ClusterConfig| c.negotiation_interval = SimDuration::ZERO,
+        ] {
+            let mut c = ClusterConfig::default();
+            f(&mut c);
+            assert!(c.validate().is_err());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # phishare-cluster — end-to-end cluster simulation
+//!
+//! Assembles the full stack the paper evaluates (§V):
+//!
+//! ```text
+//!            ┌──────────────────────────────────┐
+//!            │ sharing-aware scheduler (MCCK)   │  phishare-core
+//!            │   or random selection (MCC)      │
+//!            └────────────┬─────────────────────┘
+//!                         │ condor_qedit pinning
+//!            ┌────────────▼─────────────────────┐
+//!            │ mini-HTCondor: queue, collector, │  phishare-condor
+//!            │ negotiator (periodic cycles)     │
+//!            └────────────┬─────────────────────┘
+//!                         │ dispatch
+//!   per node  ┌───────────▼──────────────────────┐
+//!            │ COSMIC middleware (admission,     │  phishare-cosmic
+//!            │ affinity, containers)             │
+//!            └────────────┬──────────────────────┘
+//!                         │ offloads
+//!            ┌────────────▼──────────────────────┐
+//!            │ Xeon Phi device model             │  phishare-phi
+//!            └───────────────────────────────────┘
+//! ```
+//!
+//! driven by the deterministic event engine of `phishare-sim`.
+//!
+//! * [`config`] — cluster shape and software-stack configuration;
+//! * [`runtime`] — the discrete-event world: job lifecycle, negotiation
+//!   cycles, offload execution, failures;
+//! * [`metrics`] — the measurements the paper reports (makespan, core
+//!   utilization, waits, crashes);
+//! * [`footprint`] — "smallest cluster that matches a target makespan"
+//!   search (Tables II and III);
+//! * [`sweep`] — a parallel parameter-sweep harness for the figure-scale
+//!   experiments (many independent simulations across worker threads);
+//! * [`report`] — plain-text table formatting for the bench harnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod config;
+pub mod footprint;
+pub mod host;
+pub mod metrics;
+pub mod report;
+pub mod runtime;
+pub mod sweep;
+pub mod trace;
+
+pub use audit::audit;
+pub use config::ClusterConfig;
+pub use footprint::{footprint_search, FootprintResult};
+pub use metrics::ExperimentResult;
+pub use runtime::Experiment;
+pub use sweep::{run_sweep, SweepJob};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,124 @@
+//! Experiment measurements.
+
+use phishare_core::ClusterPolicy;
+use phishare_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Everything one simulation run reports — the quantities behind the paper's
+/// tables and figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Which stack ran.
+    pub policy: ClusterPolicy,
+    /// Cluster size (nodes).
+    pub nodes: u32,
+    /// Workload label.
+    pub workload: String,
+    /// Number of jobs submitted.
+    pub jobs: usize,
+    /// Jobs that completed successfully.
+    pub completed: usize,
+    /// Jobs killed by COSMIC containers (declared-limit overrun).
+    pub container_kills: usize,
+    /// Jobs killed by the device OOM killer (physical oversubscription).
+    pub oom_kills: usize,
+    /// Time of the last job completion — the makespan, seconds.
+    pub makespan_secs: f64,
+    /// Mean fraction of hardware threads busy across all devices.
+    pub thread_utilization: f64,
+    /// Mean fraction of cores busy across all devices — the §III metric.
+    pub core_utilization: f64,
+    /// Mean fraction of usable device memory committed.
+    pub mem_utilization: f64,
+    /// Mean fraction of time each device had at least one active offload.
+    pub device_busy_fraction: f64,
+    /// Mean fraction of host cores busy with jobs' host phases.
+    pub host_core_utilization: f64,
+    /// Mean job wait (submission → dispatch), seconds.
+    pub mean_wait_secs: f64,
+    /// Mean job turnaround (submission → completion), seconds.
+    pub mean_turnaround_secs: f64,
+    /// Mean time offloads spent queued by COSMIC admission, seconds.
+    pub mean_offload_queue_secs: f64,
+    /// Negotiation cycles that ran.
+    pub negotiation_cycles: u64,
+    /// Placement pins issued by the cluster scheduler (0 for MC).
+    pub pins_issued: u64,
+    /// Total coprocessor energy over the run, kWh (idle + dynamic draw of
+    /// every card; the footprint argument in joules).
+    pub energy_kwh: f64,
+    /// Discrete events processed (simulation cost, for the perf benches).
+    pub events_processed: u64,
+}
+
+impl ExperimentResult {
+    /// Makespan as a [`SimTime`] (for footprint comparisons).
+    pub fn makespan(&self) -> SimTime {
+        SimTime::from_ticks((self.makespan_secs * 1000.0).round() as u64)
+    }
+
+    /// Percentage reduction of this run's makespan relative to `baseline`.
+    pub fn makespan_reduction_vs(&self, baseline: &ExperimentResult) -> f64 {
+        if baseline.makespan_secs == 0.0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.makespan_secs / baseline.makespan_secs)
+    }
+
+    /// True when every submitted job completed (no kills, no leftovers).
+    pub fn all_completed(&self) -> bool {
+        self.completed == self.jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(makespan: f64) -> ExperimentResult {
+        ExperimentResult {
+            policy: ClusterPolicy::Mc,
+            nodes: 8,
+            workload: "test".into(),
+            jobs: 10,
+            completed: 10,
+            container_kills: 0,
+            oom_kills: 0,
+            makespan_secs: makespan,
+            thread_utilization: 0.5,
+            core_utilization: 0.5,
+            mem_utilization: 0.2,
+            device_busy_fraction: 0.6,
+            host_core_utilization: 0.1,
+            mean_wait_secs: 1.0,
+            mean_turnaround_secs: 2.0,
+            mean_offload_queue_secs: 0.0,
+            negotiation_cycles: 3,
+            pins_issued: 0,
+            energy_kwh: 1.0,
+            events_processed: 100,
+        }
+    }
+
+    #[test]
+    fn reduction_math() {
+        let base = result(1000.0);
+        let better = result(610.0);
+        assert!((better.makespan_reduction_vs(&base) - 39.0).abs() < 1e-9);
+        assert_eq!(base.makespan_reduction_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn makespan_round_trip() {
+        let r = result(12.345);
+        assert_eq!(r.makespan().as_secs_f64(), 12.345);
+    }
+
+    #[test]
+    fn completion_check() {
+        let mut r = result(1.0);
+        assert!(r.all_completed());
+        r.completed = 9;
+        assert!(!r.all_completed());
+    }
+}

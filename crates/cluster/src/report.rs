@@ -1,0 +1,140 @@
+//! Plain-text report formatting for the bench harnesses.
+//!
+//! Every table/figure bench prints its result through these helpers so the
+//! output of `cargo bench` lines up visually with the paper's tables.
+
+/// Render an aligned ASCII table.
+///
+/// ```
+/// use phishare_cluster::report::table;
+/// let t = table(
+///     &["Configuration", "Makespan", "Reduction"],
+///     &[
+///         vec!["MC".into(), "3568".into(), "-".into()],
+///         vec!["MCCK".into(), "2183".into(), "39%".into()],
+///     ],
+/// );
+/// assert!(t.contains("MCCK"));
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str("| ");
+            out.push_str(cell);
+            out.push_str(&" ".repeat(widths[i] - cell.chars().count() + 1));
+        }
+        out.push_str("|\n");
+    };
+    sep(&mut out);
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    sep(&mut out);
+    for row in rows {
+        line(&mut out, row);
+    }
+    sep(&mut out);
+    out
+}
+
+/// Render a horizontal ASCII bar chart (one bar per labelled value), the
+/// bench-harness stand-in for the paper's figures.
+pub fn bar_chart(title: &str, series: &[(String, f64)], width: usize) -> String {
+    let max = series.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = series
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, value) in series {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "  {label:<label_w$} | {} {value:.1}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Format a percentage with one decimal, e.g. `39.0%`.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+/// Format seconds with one decimal.
+pub fn secs(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["A", "Long header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer cell".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        // All non-separator lines have the same width.
+        let widths: std::collections::HashSet<usize> =
+            lines.iter().map(|l| l.chars().count()).collect();
+        assert_eq!(widths.len(), 1, "{t}");
+        assert!(t.contains("| longer cell |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        let _ = table(&["A", "B"], &[vec!["only one".into()]]);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let c = bar_chart(
+            "Makespan",
+            &[("MC".into(), 100.0), ("MCCK".into(), 50.0)],
+            20,
+        );
+        assert!(c.contains("MC   | #################### 100.0"));
+        assert!(c.contains("MCCK | ########## 50.0"));
+    }
+
+    #[test]
+    fn bar_chart_handles_zero_series() {
+        let c = bar_chart("Empty", &[("x".into(), 0.0)], 10);
+        assert!(c.contains("x |  0.0"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(39.04), "39.0%");
+        assert_eq!(secs(3568.04), "3568.0");
+    }
+}

@@ -1,0 +1,1098 @@
+//! The discrete-event world: full job lifecycle on the simulated cluster.
+//!
+//! One [`Experiment::run`] call simulates a complete workload under one
+//! cluster configuration and returns the measurements the paper reports.
+//!
+//! ## Lifecycle of a job
+//!
+//! 1. **Arrive** → submitted to the schedd queue. MC jobs carry
+//!    exclusive-card requirements; jobs under an external scheduler are
+//!    submitted *on hold* (`condor_submit -hold`) so the scheduler's
+//!    release + requirement pin is the only path to placement.
+//! 2. **Negotiation cycle** → the external scheduler (if any) packs pending
+//!    jobs into device knapsacks and applies `condor_qedit` pins, then the
+//!    negotiator matches pinned/eligible jobs to free slots in FIFO order.
+//! 3. **Dispatch** (shadow/starter latency later) → a COI process attaches
+//!    to the chosen device, memory is committed and the job begins its
+//!    profile.
+//! 4. Segments alternate **host** phases (timer) and **offloads** (COSMIC
+//!    admission + device execution). Memory commits grow across offloads;
+//!    overruns trigger COSMIC container kills, physical oversubscription
+//!    triggers the OOM killer.
+//! 5. **Complete** → the device frees capacity; completion-triggered
+//!    negotiation (after the collector-update delay) lets the scheduler
+//!    repack the freed knapsack — Fig. 4's "while jobs remaining" loop.
+
+use crate::config::ClusterConfig;
+use crate::host::HostCpu;
+use crate::metrics::ExperimentResult;
+use crate::trace::{Trace, TraceEvent};
+use phishare_condor::attrs;
+use phishare_condor::{Collector, JobQueue, Negotiator, SlotId, Startd};
+use phishare_core::{
+    ClairvoyantLpt, ClusterPolicy, ClusterScheduler, DeviceView, KnapsackScheduler, PendingJob,
+    Pin, RandomScheduler,
+};
+use phishare_cosmic::{Admission, ContainerVerdict, CosmicDevice, OffloadGrant};
+use phishare_phi::{Affinity, CommitOutcome, PhiDevice, ProcId};
+use phishare_sim::{DetRng, Sim, SimTime, Summary};
+use phishare_workload::{JobId, Segment, Workload};
+use std::collections::BTreeMap;
+
+/// Key of one device: `(node, device-on-node)`.
+type DevKey = (u32, u32);
+
+/// Simulation events.
+#[derive(Debug)]
+enum Ev {
+    /// Job `workload[idx]` arrives in the queue.
+    Arrive(usize),
+    /// A negotiation cycle with its sequence number (stale cycles are
+    /// dropped so completion-triggered cycles can supersede periodic ones).
+    Cycle(u64),
+    /// Shadow/starter finished; the job starts on its matched slot.
+    Dispatch(JobId),
+    /// A node's host CPUs predict this job's host phase finishes now
+    /// (valid for `generation`).
+    HostDone { job: JobId, node: u32, generation: u64 },
+    /// A device predicts this offload finishes now (valid for `generation`).
+    OffloadComplete { job: JobId, key: DevKey, generation: u64 },
+}
+
+/// Why a job was terminated early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KillReason {
+    /// COSMIC container: committed more than declared.
+    Container,
+    /// Device OOM killer: physical memory oversubscribed.
+    Oom,
+}
+
+#[derive(Debug)]
+struct RunningJob {
+    idx: usize,
+    slot: SlotId,
+    key: DevKey,
+    proc: ProcId,
+    /// Index of the segment currently executing.
+    seg: usize,
+    /// Offload segments completed so far (drives the memory-growth model).
+    offloads_done: usize,
+}
+
+/// Entry point: run one experiment.
+pub struct Experiment;
+
+impl Experiment {
+    /// Simulate `workload` on the cluster described by `config`.
+    ///
+    /// Fails fast (rather than deadlocking) when the configuration is
+    /// invalid or a job cannot fit on any device.
+    pub fn run(config: &ClusterConfig, workload: &Workload) -> Result<ExperimentResult, String> {
+        Self::run_inner(config, workload, false).map(|(r, _)| r)
+    }
+
+    /// Like [`Experiment::run`] but also records a full lifecycle
+    /// [`Trace`] (submission, pinning, dispatch, offloads, completion).
+    pub fn run_traced(
+        config: &ClusterConfig,
+        workload: &Workload,
+    ) -> Result<(ExperimentResult, Trace), String> {
+        Self::run_inner(config, workload, true)
+            .map(|(r, t)| (r, t.expect("tracing was enabled")))
+    }
+
+    fn run_inner(
+        config: &ClusterConfig,
+        workload: &Workload,
+        traced: bool,
+    ) -> Result<(ExperimentResult, Option<Trace>), String> {
+        config.validate()?;
+        workload
+            .validate()
+            .map_err(|(id, e)| format!("invalid job {id}: {e}"))?;
+        let usable = config.phi.usable_mem_mb();
+        // Under a knapsack-family scheduler, a job whose declared threads
+        // exceed the per-device thread budget can never be packed — reject
+        // it up front instead of letting it starve in the queue forever.
+        let thread_cap = match config.policy {
+            ClusterPolicy::Mcck | ClusterPolicy::Oracle if config.knapsack.count_resident_threads => {
+                Some(
+                    (config.knapsack.thread_limit as f64 * config.knapsack.thread_overcommit)
+                        .round() as u32,
+                )
+            }
+            _ => None,
+        };
+        for job in &workload.jobs {
+            if job.mem_req_mb > usable {
+                return Err(format!(
+                    "job {} declares {} MB but devices only have {usable} MB usable",
+                    job.id, job.mem_req_mb
+                ));
+            }
+            if let Some(cap) = thread_cap {
+                if job.thread_req > cap {
+                    return Err(format!(
+                        "job {} declares {} threads but the scheduler's per-device                          thread budget is {cap}; it could never be placed",
+                        job.id, job.thread_req
+                    ));
+                }
+            }
+        }
+
+        let mut world = World::new(config, workload);
+        if traced {
+            world.trace = Some(Trace::new());
+        }
+        let mut sim: Sim<Ev> = Sim::new();
+        for (idx, at) in workload.arrivals.iter().enumerate() {
+            sim.schedule_at(*at, Ev::Arrive(idx));
+        }
+        // The first cycle runs at t = 0 (right after same-tick arrivals,
+        // which were scheduled first).
+        world.cycle_seq += 1;
+        let seq = world.cycle_seq;
+        world.next_cycle = Some(SimTime::ZERO);
+        sim.schedule_at(SimTime::ZERO, Ev::Cycle(seq));
+
+        sim.run(|sim, ev| world.handle(sim, ev));
+
+        if !world.queue.all_terminal() {
+            let (idle, matched, running) = world.queue.active_counts();
+            return Err(format!(
+                "simulation drained with live jobs: {idle} idle, {matched} matched, {running} running"
+            ));
+        }
+        let trace = world.trace.take();
+        Ok((world.into_result(config, workload, sim.events_processed()), trace))
+    }
+}
+
+struct World<'a> {
+    cfg: &'a ClusterConfig,
+    wl: &'a Workload,
+    queue: JobQueue,
+    collector: Collector,
+    negotiator: Negotiator,
+    startds: Vec<Startd>,
+    devices: BTreeMap<DevKey, PhiDevice>,
+    cosmic: BTreeMap<DevKey, CosmicDevice>,
+    hosts: BTreeMap<u32, HostCpu>,
+    scheduler: Option<Box<dyn ClusterScheduler>>,
+    /// JobId → index into the workload.
+    job_index: BTreeMap<JobId, usize>,
+    running: BTreeMap<JobId, RunningJob>,
+    /// Device chosen at match time, consumed at dispatch.
+    matched_dev: BTreeMap<JobId, DevKey>,
+    /// Device the external scheduler planned for each pinned job, consumed
+    /// at match time. The packing is per device (each knapsack is one
+    /// coprocessor); re-placing at match time could break a feasible plan.
+    pinned_dev: BTreeMap<JobId, DevKey>,
+    /// Declared memory of matched-but-not-yet-attached jobs, per device.
+    inflight_declared: BTreeMap<DevKey, u64>,
+    /// Count of matched-but-not-yet-attached jobs, per device.
+    inflight_count: BTreeMap<DevKey, u32>,
+    /// Declared threads of matched-but-not-yet-attached jobs, per device.
+    inflight_threads: BTreeMap<DevKey, u32>,
+    /// Sequence number of the latest scheduled cycle; stale cycles no-op.
+    cycle_seq: u64,
+    /// When the next cycle is due (None once the cluster drained).
+    next_cycle: Option<SimTime>,
+    rng_oom: DetRng,
+    /// Lifecycle trace (None unless `run_traced` was used).
+    trace: Option<Trace>,
+    // --- statistics ---
+    waits: Summary,
+    turnarounds: Summary,
+    completed: usize,
+    container_kills: usize,
+    oom_kills: usize,
+    negotiation_cycles: u64,
+    pins_issued: u64,
+    last_terminal: SimTime,
+}
+
+impl<'a> World<'a> {
+    fn new(cfg: &'a ClusterConfig, wl: &'a Workload) -> Self {
+        let mut collector = Collector::new();
+        let mut startds = Vec::new();
+        let mut devices = BTreeMap::new();
+        let mut cosmic = BTreeMap::new();
+        let mut hosts = BTreeMap::new();
+        for node in 1..=cfg.nodes {
+            hosts.insert(node, HostCpu::new(cfg.host_cores_per_node, SimTime::ZERO));
+            let startd = Startd::new(node, cfg.slots_per_node, cfg.devices_per_node, cfg.phi.memory_mb);
+            startd.advertise(
+                &mut collector,
+                cfg.phi.usable_mem_mb() * cfg.devices_per_node as u64,
+                cfg.devices_per_node,
+            );
+            startds.push(startd);
+            for dev in 0..cfg.devices_per_node {
+                devices.insert(
+                    (node, dev),
+                    PhiDevice::new(cfg.phi, cfg.perf, SimTime::ZERO),
+                );
+                if cfg.policy.uses_cosmic() {
+                    cosmic.insert((node, dev), CosmicDevice::new(cfg.cosmic, &cfg.phi));
+                }
+            }
+        }
+
+        let scheduler: Option<Box<dyn ClusterScheduler>> = match cfg.policy {
+            ClusterPolicy::Mc => None,
+            ClusterPolicy::Mcc => Some(Box::new(RandomScheduler::new(cfg.seed))),
+            ClusterPolicy::Mcck => Some(Box::new(KnapsackScheduler::new(cfg.knapsack))),
+            ClusterPolicy::Oracle => Some(Box::new(ClairvoyantLpt::new(cfg.knapsack))),
+        };
+
+        let job_index = wl
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.id, i))
+            .collect();
+
+        World {
+            cfg,
+            wl,
+            queue: JobQueue::new(),
+            collector,
+            negotiator: Negotiator::new(cfg.negotiation_interval),
+            startds,
+            devices,
+            cosmic,
+            hosts,
+            scheduler,
+            job_index,
+            running: BTreeMap::new(),
+            matched_dev: BTreeMap::new(),
+            pinned_dev: BTreeMap::new(),
+            inflight_declared: BTreeMap::new(),
+            inflight_count: BTreeMap::new(),
+            inflight_threads: BTreeMap::new(),
+            cycle_seq: 0,
+            next_cycle: None,
+            rng_oom: DetRng::substream(cfg.seed, "oom-killer"),
+            trace: None,
+            waits: Summary::new(),
+            turnarounds: Summary::new(),
+            completed: 0,
+            container_kills: 0,
+            oom_kills: 0,
+            negotiation_cycles: 0,
+            pins_issued: 0,
+            last_terminal: SimTime::ZERO,
+        }
+    }
+
+    /// Record a trace event (no-op, and no allocation, unless tracing).
+    fn trace_ev(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(make());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, sim: &mut Sim<Ev>, ev: Ev) {
+        match ev {
+            Ev::Arrive(idx) => self.on_arrive(sim, idx),
+            Ev::Cycle(seq) => self.on_cycle(sim, seq),
+            Ev::Dispatch(job) => self.on_dispatch(sim, job),
+            Ev::HostDone { job, node, generation } => {
+                self.on_host_done(sim, job, node, generation)
+            }
+            Ev::OffloadComplete { job, key, generation } => {
+                self.on_offload_complete(sim, job, key, generation)
+            }
+        }
+    }
+
+    fn on_arrive(&mut self, sim: &mut Sim<Ev>, idx: usize) {
+        let spec = &self.wl.jobs[idx];
+        let id = spec.id;
+        // MC jobs go straight to matchmaking with exclusive-card
+        // requirements; jobs under an external scheduler are submitted on
+        // hold, so the scheduler's release+pin is the only way they ever
+        // match (the paper's add-on owns all placements).
+        match self.cfg.policy {
+            ClusterPolicy::Mc => self
+                .queue
+                .submit(id, attrs::exclusive_job_ad(spec), sim.now())
+                .expect("workload ids are unique"),
+            ClusterPolicy::Mcc | ClusterPolicy::Mcck | ClusterPolicy::Oracle => self
+                .queue
+                .submit_held(id, attrs::sharing_job_ad(spec), sim.now())
+                .expect("workload ids are unique"),
+        }
+        self.trace_ev(|| TraceEvent::Submitted { job: id, at: sim.now() });
+        // A fresh arrival can trigger negotiation (collector update).
+        self.request_cycle(sim, sim.now() + self.cfg.negotiation_trigger_delay);
+    }
+
+    fn on_cycle(&mut self, sim: &mut Sim<Ev>, seq: u64) {
+        if seq != self.cycle_seq {
+            return; // superseded by a later (earlier-scheduled) cycle
+        }
+        self.next_cycle = None;
+        self.negotiation_cycles += 1;
+        let now = sim.now();
+
+        // 1. External scheduler packs pending jobs and pins them.
+        if self.scheduler.is_some() {
+            let pending_jobs = self.pending_views();
+            let device_views = self.device_views();
+            let scheduler = self.scheduler.as_mut().expect("checked above");
+            let pins = scheduler.plan(&pending_jobs, &device_views);
+            for Pin { job, node, device } in pins {
+                let node_name = format!("node{node}");
+                self.queue
+                    .qedit_expr(job, "Requirements", &attrs::pin_to_node(&node_name))
+                    .expect("pinned job is queued");
+                self.queue.release(job).expect("pinned job was held");
+                self.pinned_dev.insert(job, (node, device));
+                self.pins_issued += 1;
+                self.trace_ev(|| TraceEvent::Pinned { job, node, at: now });
+            }
+        }
+
+        // 2. Refresh machine ads from ground truth.
+        self.refresh_ads();
+
+        // 3. Matchmaking.
+        let matches = self.negotiator.negotiate(&mut self.queue, &mut self.collector);
+        for m in matches {
+            let spec = &self.wl.jobs[self.job_index[&m.job]];
+            // Pinned jobs go to the device their packing round reserved;
+            // unpinned (MC) jobs pick a free device now.
+            let key = match self.pinned_dev.remove(&m.job) {
+                Some(key) => {
+                    debug_assert_eq!(key.0, m.slot.node, "pin/match node mismatch");
+                    key
+                }
+                None => self
+                    .choose_device(m.slot.node, spec.mem_req_mb)
+                    .expect("exclusive matchmaking guarantees a free device"),
+            };
+            self.matched_dev.insert(m.job, key);
+            *self.inflight_declared.entry(key).or_insert(0) += spec.mem_req_mb;
+            *self.inflight_count.entry(key).or_insert(0) += 1;
+            *self.inflight_threads.entry(key).or_insert(0) += spec.thread_req;
+            if let Some(s) = self.scheduler.as_mut() {
+                s.on_dispatched(m.job);
+            }
+            sim.schedule_after(self.cfg.dispatch_delay, Ev::Dispatch(m.job));
+        }
+
+        // 4. Keep the periodic heartbeat alive while work remains.
+        if !self.drained() {
+            self.request_cycle(sim, now + self.cfg.negotiation_interval);
+        }
+    }
+
+    fn on_dispatch(&mut self, sim: &mut Sim<Ev>, job: JobId) {
+        let now = sim.now();
+        let idx = self.job_index[&job];
+        let spec = &self.wl.jobs[idx];
+        let key = self
+            .matched_dev
+            .remove(&job)
+            .expect("dispatch follows a match");
+        *self.inflight_declared.get_mut(&key).expect("inflight entry") -= spec.mem_req_mb;
+        *self.inflight_count.get_mut(&key).expect("inflight entry") -= 1;
+        *self.inflight_threads.get_mut(&key).expect("inflight entry") -= spec.thread_req;
+
+        self.queue.set_running(job).expect("matched job starts");
+        let slot = match self.queue.get(job).expect("queued").state {
+            phishare_condor::JobState::Running(slot) => slot,
+            _ => unreachable!("just set running"),
+        };
+        let submitted = self.queue.get(job).expect("queued").submitted;
+        self.waits.record(now.since(submitted).as_secs_f64());
+
+        self.trace_ev(|| TraceEvent::Dispatched {
+            job,
+            node: key.0,
+            device: key.1,
+            at: now,
+        });
+        let proc = ProcId(job.raw());
+        self.running.insert(
+            job,
+            RunningJob {
+                idx,
+                slot,
+                key,
+                proc,
+                seg: 0,
+                offloads_done: 0,
+            },
+        );
+
+        // Attach the COI process and make the initial memory commit.
+        let initial_commit = ((spec.actual_peak_mem_mb as f64)
+            * self.cfg.initial_commit_fraction)
+            .round() as u64;
+        if let Some(cos) = self.cosmic.get_mut(&key) {
+            cos.register_job(job, spec.mem_req_mb, spec.thread_req);
+        }
+        let outcome = self
+            .devices
+            .get_mut(&key)
+            .expect("device exists")
+            .attach(now, proc, spec.mem_req_mb, spec.thread_req, initial_commit, &mut self.rng_oom)
+            .expect("proc ids are unique per job");
+        self.handle_commit_outcome(sim, key, outcome);
+        if !self.running.contains_key(&job) {
+            return; // the job itself was an OOM victim of its own attach
+        }
+        if self.container_check(sim, key, job, initial_commit) {
+            return;
+        }
+        self.advance_segment(sim, job);
+    }
+
+    fn on_host_done(&mut self, sim: &mut Sim<Ev>, job: JobId, node: u32, generation: u64) {
+        let now = sim.now();
+        {
+            let host = self.hosts.get(&node).expect("node exists");
+            if host.generation() != generation || !host.is_active(job) {
+                return; // stale prediction, or the job was killed
+            }
+        }
+        let Some(run) = self.running.get_mut(&job) else {
+            return;
+        };
+        run.seg += 1;
+        self.hosts
+            .get_mut(&node)
+            .expect("node exists")
+            .finish_segment(now, job);
+        self.sync_host(sim, node);
+        self.advance_segment(sim, job);
+    }
+
+    fn on_offload_complete(&mut self, sim: &mut Sim<Ev>, job: JobId, key: DevKey, generation: u64) {
+        let now = sim.now();
+        {
+            let device = self.devices.get(&key).expect("device exists");
+            if device.generation() != generation {
+                return; // stale prediction
+            }
+        }
+        let Some(run) = self.running.get_mut(&job) else {
+            return;
+        };
+        let proc = run.proc;
+        run.seg += 1;
+        run.offloads_done += 1;
+
+        self.devices
+            .get_mut(&key)
+            .expect("device exists")
+            .finish_offload(now, proc)
+            .expect("generation-valid completion");
+        self.trace_ev(|| TraceEvent::OffloadFinished { job, at: now });
+        if let Some(cos) = self.cosmic.get_mut(&key) {
+            let grants = cos.complete_offload(now, job);
+            self.start_grants(sim, key, grants);
+        }
+        self.sync_completions(sim, key);
+        self.advance_segment(sim, job);
+    }
+
+    // ------------------------------------------------------------------
+    // Job execution
+    // ------------------------------------------------------------------
+
+    /// Begin the job's current segment (or complete the job).
+    fn advance_segment(&mut self, sim: &mut Sim<Ev>, job: JobId) {
+        let now = sim.now();
+        let (idx, seg, key, offloads_done) = {
+            let run = self.running.get(&job).expect("advancing a live job");
+            (run.idx, run.seg, run.key, run.offloads_done)
+        };
+        let spec = &self.wl.jobs[idx];
+        match spec.profile.segments.get(seg) {
+            None => self.complete_job(sim, job),
+            Some(Segment::Host { duration }) => {
+                let node = key.0;
+                self.hosts
+                    .get_mut(&node)
+                    .expect("node exists")
+                    .start_segment(now, job, *duration);
+                self.sync_host(sim, node);
+            }
+            Some(Segment::Offload { threads, work }) => {
+                // Memory-growth model: commits approach the actual peak as
+                // offloads execute.
+                let total_offloads = spec.profile.offload_count().max(1);
+                let initial = ((spec.actual_peak_mem_mb as f64)
+                    * self.cfg.initial_commit_fraction)
+                    .round() as u64;
+                let grown = initial
+                    + ((spec.actual_peak_mem_mb - initial.min(spec.actual_peak_mem_mb)) as f64
+                        * (offloads_done + 1) as f64
+                        / total_offloads as f64)
+                        .round() as u64;
+                let proc = self.running[&job].proc;
+                let outcome = self
+                    .devices
+                    .get_mut(&key)
+                    .expect("device exists")
+                    .commit_memory(now, proc, grown, &mut self.rng_oom)
+                    .expect("running job is attached");
+                self.handle_commit_outcome(sim, key, outcome);
+                if !self.running.contains_key(&job) {
+                    return; // OOM-killed by its own growth
+                }
+                if self.container_check(sim, key, job, grown) {
+                    return;
+                }
+                self.sync_completions(sim, key); // commit may have killed others
+
+                let threads = *threads;
+                let work = *work;
+                if let Some(cos) = self.cosmic.get_mut(&key) {
+                    match cos.request_offload(now, job, threads, work) {
+                        Admission::Started(grant) => {
+                            self.start_grants(sim, key, vec![grant]);
+                            self.sync_completions(sim, key);
+                        }
+                        Admission::Queued => {
+                            // The job parks here; a future completion or
+                            // departure grants the offload.
+                            self.trace_ev(|| TraceEvent::OffloadQueued { job, at: now });
+                        }
+                    }
+                } else {
+                    let proc = self.running[&job].proc;
+                    self.devices
+                        .get_mut(&key)
+                        .expect("device exists")
+                        .start_offload(now, proc, threads, work, Affinity::Unmanaged)
+                        .expect("raw offload starts unconditionally");
+                    self.trace_ev(|| TraceEvent::OffloadStarted { job, threads, at: now });
+                    self.sync_completions(sim, key);
+                }
+            }
+        }
+    }
+
+    /// Start COSMIC-granted offloads on the device.
+    fn start_grants(&mut self, sim: &mut Sim<Ev>, key: DevKey, grants: Vec<OffloadGrant>) {
+        let now = sim.now();
+        for grant in grants {
+            let proc = self.running[&grant.job].proc;
+            self.devices
+                .get_mut(&key)
+                .expect("device exists")
+                .start_offload(now, proc, grant.threads, grant.work, grant.affinity)
+                .expect("granted offload starts");
+            self.trace_ev(|| TraceEvent::OffloadStarted {
+                job: grant.job,
+                threads: grant.threads,
+                at: now,
+            });
+        }
+        self.sync_completions(sim, key);
+    }
+
+    /// (Re)schedule completion events for every active host phase on a node.
+    fn sync_host(&mut self, sim: &mut Sim<Ev>, node: u32) {
+        let host = self.hosts.get(&node).expect("node exists");
+        let generation = host.generation();
+        for (job, at) in host.completions() {
+            sim.schedule_at(at, Ev::HostDone { job, node, generation });
+        }
+    }
+
+    /// (Re)schedule completion events for every active offload on a device.
+    fn sync_completions(&mut self, sim: &mut Sim<Ev>, key: DevKey) {
+        let device = self.devices.get(&key).expect("device exists");
+        let generation = device.generation();
+        for (proc, at) in device.completions() {
+            sim.schedule_at(
+                at,
+                Ev::OffloadComplete {
+                    job: JobId(proc.raw()),
+                    key,
+                    generation,
+                },
+            );
+        }
+    }
+
+    fn complete_job(&mut self, sim: &mut Sim<Ev>, job: JobId) {
+        let now = sim.now();
+        let run = self.running.remove(&job).expect("completing a live job");
+        self.devices
+            .get_mut(&run.key)
+            .expect("device exists")
+            .detach(now, run.proc)
+            .expect("completing job was attached");
+        if let Some(cos) = self.cosmic.get_mut(&run.key) {
+            let grants = cos.unregister_job(now, job);
+            self.start_grants(sim, run.key, grants);
+        }
+        self.sync_completions(sim, run.key);
+
+        self.queue.set_completed(job).expect("running job completes");
+        self.collector.release(run.slot);
+        let submitted = self.queue.get(job).expect("queued").submitted;
+        self.turnarounds.record(now.since(submitted).as_secs_f64());
+        self.completed += 1;
+        self.last_terminal = now;
+        self.trace_ev(|| TraceEvent::Completed { job, at: now });
+
+        // Completion-triggered negotiation (Fig. 4's while-loop): see
+        // `completion_triggers_cycle` for which policies get it.
+        if !self.drained() && self.completion_triggers_cycle() {
+            self.request_cycle(sim, now + self.cfg.negotiation_trigger_delay);
+        }
+    }
+
+    /// Whether a completion leads to a prompt negotiation, or only the
+    /// periodic cycle will notice the freed capacity.
+    ///
+    /// * **MCCK** — yes: the scheduler's `condor_qedit` batch reaches the
+    ///   collector and "a negotiation cycle ... is triggered when the Condor
+    ///   collector obtains the changed job requirements" (§IV-D1).
+    /// * **MC** — yes: exclusive claims with identical requirements are
+    ///   reused by the schedd (Condor claim reuse), so the next queued job
+    ///   backfills the freed card without a full negotiation.
+    /// * **MCC** — no: sharing placements depend on the node's *remaining*
+    ///   Phi memory, which is a node-level ad attribute, not part of claim
+    ///   compatibility; a freed slice of device memory is only observable
+    ///   at the next periodic negotiation cycle.
+    fn completion_triggers_cycle(&self) -> bool {
+        !matches!(self.cfg.policy, ClusterPolicy::Mcc)
+    }
+
+    /// Terminate a job early. `already_detached` is true when the device
+    /// removed the process itself (OOM kill).
+    fn kill_job(&mut self, sim: &mut Sim<Ev>, job: JobId, reason: KillReason, already_detached: bool) {
+        let now = sim.now();
+        let Some(run) = self.running.remove(&job) else {
+            return;
+        };
+        if !already_detached {
+            self.devices
+                .get_mut(&run.key)
+                .expect("device exists")
+                .detach(now, run.proc)
+                .expect("killed job was attached");
+        }
+        // The victim may have been mid-host-phase (e.g. an OOM victim whose
+        // offload had not started yet).
+        self.hosts
+            .get_mut(&run.key.0)
+            .expect("node exists")
+            .abort(now, job);
+        self.sync_host(sim, run.key.0);
+        if let Some(cos) = self.cosmic.get_mut(&run.key) {
+            let grants = cos.unregister_job(now, job);
+            self.start_grants(sim, run.key, grants);
+        }
+        self.sync_completions(sim, run.key);
+
+        self.queue.set_removed(job).expect("live job is removable");
+        self.collector.release(run.slot);
+        match reason {
+            KillReason::Container => self.container_kills += 1,
+            KillReason::Oom => self.oom_kills += 1,
+        }
+        self.trace_ev(|| TraceEvent::Killed {
+            job,
+            reason: match reason {
+                KillReason::Container => "container".into(),
+                KillReason::Oom => "oom".into(),
+            },
+            at: now,
+        });
+        self.last_terminal = now;
+        if !self.drained() && self.completion_triggers_cycle() {
+            self.request_cycle(sim, now + self.cfg.negotiation_trigger_delay);
+        }
+    }
+
+    /// Process OOM fallout from a memory commit.
+    fn handle_commit_outcome(&mut self, sim: &mut Sim<Ev>, _key: DevKey, outcome: CommitOutcome) {
+        if let CommitOutcome::OomKilled(victims) = outcome {
+            for victim in victims {
+                self.kill_job(sim, JobId(victim.raw()), KillReason::Oom, true);
+            }
+        }
+    }
+
+    /// COSMIC container enforcement; returns true when the job was killed.
+    fn container_check(&mut self, sim: &mut Sim<Ev>, key: DevKey, job: JobId, committed: u64) -> bool {
+        let Some(cos) = self.cosmic.get(&key) else {
+            return false;
+        };
+        match cos.on_commit(job, committed) {
+            ContainerVerdict::Allowed => false,
+            ContainerVerdict::KillExceededLimit { .. } => {
+                self.kill_job(sim, job, KillReason::Container, false);
+                true
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling support
+    // ------------------------------------------------------------------
+
+    /// Unplaced (held) jobs, in FIFO order, as the external scheduler sees
+    /// them.
+    fn pending_views(&self) -> Vec<PendingJob> {
+        self.queue
+            .held()
+            .into_iter()
+            .map(|id| {
+                let spec = &self.wl.jobs[self.job_index[&id]];
+                PendingJob {
+                    id,
+                    mem_mb: spec.mem_req_mb,
+                    threads: spec.thread_req,
+                    nominal_secs: spec.nominal_duration().as_secs_f64(),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-device free envelopes as the external scheduler sees them.
+    fn device_views(&self) -> Vec<DeviceView> {
+        self.devices
+            .iter()
+            .map(|(&(node, dev), device)| {
+                let inflight = self.inflight_declared.get(&(node, dev)).copied().unwrap_or(0);
+                let inflight_threads =
+                    self.inflight_threads.get(&(node, dev)).copied().unwrap_or(0);
+                DeviceView {
+                    node,
+                    device: dev,
+                    free_declared_mb: device.free_declared_mb().saturating_sub(inflight),
+                    // Matched-but-undispatched jobs consume thread budget
+                    // too, or successive cycles would overfill a device.
+                    resident_threads: device.declared_threads() + inflight_threads,
+                }
+            })
+            .collect()
+    }
+
+    /// Refresh every node's slot ads from device ground truth.
+    fn refresh_ads(&mut self) {
+        for startd in &self.startds {
+            let node = startd.node;
+            let mut free_mem = 0u64;
+            let mut devices_free = 0u32;
+            for dev in 0..self.cfg.devices_per_node {
+                let key = (node, dev);
+                let device = self.devices.get(&key).expect("device exists");
+                let inflight_mem = self.inflight_declared.get(&key).copied().unwrap_or(0);
+                let inflight_n = self.inflight_count.get(&key).copied().unwrap_or(0);
+                free_mem += device.free_declared_mb().saturating_sub(inflight_mem);
+                if device.resident_count() == 0 && inflight_n == 0 {
+                    devices_free += 1;
+                }
+            }
+            startd.advertise(&mut self.collector, free_mem, devices_free);
+        }
+    }
+
+    /// Pick the device on `node` with the most free declared memory that
+    /// fits `mem_mb` (and, for the exclusive policy, is entirely free).
+    fn choose_device(&self, node: u32, mem_mb: u64) -> Option<DevKey> {
+        let mut best: Option<(u64, DevKey)> = None;
+        for dev in 0..self.cfg.devices_per_node {
+            let key = (node, dev);
+            let device = self.devices.get(&key)?;
+            let inflight_mem = self.inflight_declared.get(&key).copied().unwrap_or(0);
+            let inflight_n = self.inflight_count.get(&key).copied().unwrap_or(0);
+            if self.cfg.policy == ClusterPolicy::Mc
+                && (device.resident_count() > 0 || inflight_n > 0)
+            {
+                continue;
+            }
+            let free = device.free_declared_mb().saturating_sub(inflight_mem);
+            if free >= mem_mb && best.map(|(b, _)| free > b).unwrap_or(true) {
+                best = Some((free, key));
+            }
+        }
+        best.map(|(_, key)| key)
+    }
+
+    /// Schedule a negotiation cycle at `at` unless one is already due
+    /// earlier.
+    fn request_cycle(&mut self, sim: &mut Sim<Ev>, at: SimTime) {
+        if let Some(due) = self.next_cycle {
+            if due <= at {
+                return;
+            }
+        }
+        self.cycle_seq += 1;
+        self.next_cycle = Some(at);
+        sim.schedule_at(at, Ev::Cycle(self.cycle_seq));
+    }
+
+    /// True when no job will ever need another negotiation cycle.
+    fn drained(&self) -> bool {
+        self.queue.all_terminal() && self.queue_has_all_jobs()
+    }
+
+    fn queue_has_all_jobs(&self) -> bool {
+        // All arrivals processed ⇔ every workload job has been submitted.
+        self.wl.jobs.iter().all(|j| self.queue.get(j.id).is_some())
+    }
+
+    // ------------------------------------------------------------------
+    // Results
+    // ------------------------------------------------------------------
+
+    fn into_result(
+        self,
+        cfg: &ClusterConfig,
+        wl: &Workload,
+        events_processed: u64,
+    ) -> ExperimentResult {
+        let end = self.last_terminal;
+        let n_dev = self.devices.len() as f64;
+        let mut thread_util = 0.0;
+        let mut core_util = 0.0;
+        let mut mem_util = 0.0;
+        let mut busy = 0.0;
+        let mut energy_joules = 0.0;
+        let mut oom_kills_devices = 0u64;
+        for device in self.devices.values() {
+            let u = device.utilization(end);
+            thread_util += u.thread_util;
+            core_util += u.core_util;
+            mem_util += u.mem_util;
+            busy += u.busy_fraction;
+            energy_joules += device.energy_joules(end);
+            oom_kills_devices += device.oom_kills.get();
+        }
+        debug_assert_eq!(oom_kills_devices as usize, self.oom_kills);
+
+        let mut host_util = 0.0;
+        for host in self.hosts.values() {
+            host_util += host.busy_core_average(end) / cfg.host_cores_per_node as f64;
+        }
+        host_util /= self.hosts.len() as f64;
+
+        let mut queue_waits = Summary::new();
+        for cos in self.cosmic.values() {
+            // Aggregate COSMIC queue waits across devices.
+            for q in [cos.queue_wait.mean(); 1] {
+                if cos.queue_wait.count() > 0 {
+                    queue_waits.record(q);
+                }
+            }
+        }
+
+        ExperimentResult {
+            policy: cfg.policy,
+            nodes: cfg.nodes,
+            workload: wl.label.clone(),
+            jobs: wl.len(),
+            completed: self.completed,
+            container_kills: self.container_kills,
+            oom_kills: self.oom_kills,
+            makespan_secs: end.as_secs_f64(),
+            thread_utilization: thread_util / n_dev,
+            core_utilization: core_util / n_dev,
+            mem_utilization: mem_util / n_dev,
+            device_busy_fraction: busy / n_dev,
+            host_core_utilization: host_util,
+            mean_wait_secs: self.waits.mean(),
+            mean_turnaround_secs: self.turnarounds.mean(),
+            mean_offload_queue_secs: queue_waits.mean(),
+            negotiation_cycles: self.negotiation_cycles,
+            pins_issued: self.pins_issued,
+            energy_kwh: energy_joules / 3.6e6,
+            events_processed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishare_sim::SimDuration;
+    use phishare_workload::{WorkloadBuilder, WorkloadKind};
+
+    fn small_workload(n: usize, seed: u64) -> Workload {
+        WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(n)
+            .seed(seed)
+            .build()
+    }
+
+    fn fast_config(policy: ClusterPolicy) -> ClusterConfig {
+        let mut cfg = ClusterConfig::paper_cluster(policy);
+        cfg.nodes = 4;
+        cfg.knapsack.window = 64;
+        cfg
+    }
+
+    #[test]
+    fn mc_runs_all_jobs_to_completion() {
+        let wl = small_workload(40, 1);
+        let r = Experiment::run(&fast_config(ClusterPolicy::Mc), &wl).unwrap();
+        assert!(r.all_completed(), "{r:?}");
+        assert_eq!(r.oom_kills, 0);
+        assert_eq!(r.container_kills, 0);
+        assert!(r.makespan_secs > 0.0);
+        assert_eq!(r.pins_issued, 0);
+    }
+
+    #[test]
+    fn mcc_and_mcck_run_all_jobs_to_completion() {
+        let wl = small_workload(40, 2);
+        for policy in [ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+            let r = Experiment::run(&fast_config(policy), &wl).unwrap();
+            assert!(r.all_completed(), "{policy}: {r:?}");
+            assert_eq!(r.oom_kills, 0, "{policy} must never oversubscribe");
+            assert!(r.pins_issued >= 40, "{policy} pins every job");
+        }
+    }
+
+    #[test]
+    fn sharing_beats_exclusive_on_makespan() {
+        let wl = small_workload(60, 3);
+        let mc = Experiment::run(&fast_config(ClusterPolicy::Mc), &wl).unwrap();
+        let mcck = Experiment::run(&fast_config(ClusterPolicy::Mcck), &wl).unwrap();
+        assert!(
+            mcck.makespan_secs < mc.makespan_secs,
+            "MCCK {} vs MC {}",
+            mcck.makespan_secs,
+            mc.makespan_secs
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let wl = small_workload(30, 4);
+        let cfg = fast_config(ClusterPolicy::Mcck);
+        let a = Experiment::run(&cfg, &wl).unwrap();
+        let b = Experiment::run(&cfg, &wl).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn misbehaving_jobs_are_container_killed_under_cosmic() {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(30)
+            .seed(5)
+            .misbehaving_fraction(0.5)
+            .build();
+        let r = Experiment::run(&fast_config(ClusterPolicy::Mcck), &wl).unwrap();
+        assert!(r.container_kills > 0, "{r:?}");
+        assert_eq!(r.oom_kills, 0, "containers must fire before physical OOM");
+        assert_eq!(r.completed + r.container_kills, r.jobs);
+    }
+
+    #[test]
+    fn thread_hog_is_rejected_up_front_under_mcck() {
+        let mut wl = small_workload(3, 12);
+        wl.jobs[1].thread_req = 500;
+        // Keep the spec self-consistent (declared = profile max).
+        if let Segment::Offload { threads, .. } = &mut wl.jobs[1].profile.segments[1] {
+            *threads = 500;
+        }
+        let err = Experiment::run(&fast_config(ClusterPolicy::Mcck), &wl).unwrap_err();
+        assert!(err.contains("thread budget"), "{err}");
+        // MCC has no knapsack thread filter; COSMIC clamps at admission, so
+        // the same workload completes there.
+        let r = Experiment::run(&fast_config(ClusterPolicy::Mcc), &wl).unwrap();
+        assert_eq!(r.completed, 3);
+    }
+
+    #[test]
+    fn oversized_job_is_rejected_up_front() {
+        let mut wl = small_workload(3, 6);
+        wl.jobs[1].mem_req_mb = 100_000;
+        let err = Experiment::run(&fast_config(ClusterPolicy::Mc), &wl).unwrap_err();
+        assert!(err.contains("100000"), "{err}");
+    }
+
+    #[test]
+    fn single_job_timeline_matches_profile() {
+        // One job, exclusive cluster: makespan = arrival + first cycle (0)
+        // + dispatch delay + nominal duration, within a tick.
+        let wl = small_workload(1, 7);
+        let mut cfg = fast_config(ClusterPolicy::Mc);
+        cfg.nodes = 1;
+        let r = Experiment::run(&cfg, &wl).unwrap();
+        let expect = cfg.dispatch_delay.as_secs_f64() + wl.jobs[0].nominal_duration().as_secs_f64();
+        assert!(
+            (r.makespan_secs - expect).abs() < 0.01,
+            "makespan {} vs expected {expect}",
+            r.makespan_secs
+        );
+    }
+
+    #[test]
+    fn poisson_arrivals_complete() {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(25)
+            .seed(8)
+            .arrivals(phishare_workload::ArrivalProcess::Poisson {
+                mean_gap: SimDuration::from_secs(2),
+            })
+            .build();
+        let r = Experiment::run(&fast_config(ClusterPolicy::Mcck), &wl).unwrap();
+        assert!(r.all_completed(), "{r:?}");
+    }
+
+    #[test]
+    fn mc_exclusive_uses_at_most_one_job_per_device() {
+        // Indirect check: MC on 2 nodes with 10 jobs has mean wait far above
+        // MCCK's (jobs serialize per device).
+        let wl = small_workload(10, 9);
+        let mut cfg = fast_config(ClusterPolicy::Mc);
+        cfg.nodes = 2;
+        let mc = Experiment::run(&cfg, &wl).unwrap();
+        let mut cfg2 = fast_config(ClusterPolicy::Mcck);
+        cfg2.nodes = 2;
+        let mcck = Experiment::run(&cfg2, &wl).unwrap();
+        assert!(mc.mean_wait_secs > mcck.mean_wait_secs);
+    }
+
+    #[test]
+    fn traced_runs_match_untraced_results() {
+        let wl = small_workload(25, 11);
+        let cfg = fast_config(ClusterPolicy::Mcck);
+        let plain = Experiment::run(&cfg, &wl).unwrap();
+        let (traced, trace) = Experiment::run_traced(&cfg, &wl).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        // Every job leaves a complete lifecycle in the trace.
+        use crate::trace::TraceEvent as TE;
+        let count = |f: fn(&TE) -> bool| trace.events.iter().filter(|e| f(e)).count();
+        assert_eq!(count(|e| matches!(e, TE::Submitted { .. })), 25);
+        assert_eq!(count(|e| matches!(e, TE::Pinned { .. })), 25);
+        assert_eq!(count(|e| matches!(e, TE::Dispatched { .. })), 25);
+        assert_eq!(count(|e| matches!(e, TE::Completed { .. })), 25);
+        let started = count(|e| matches!(e, TE::OffloadStarted { .. }));
+        let finished = count(|e| matches!(e, TE::OffloadFinished { .. }));
+        assert_eq!(started, finished);
+        let total_offloads: usize = wl.jobs.iter().map(|j| j.profile.offload_count()).sum();
+        assert_eq!(started, total_offloads);
+        // Spans reconstruct one interval per offload.
+        assert_eq!(trace.offload_spans().len(), total_offloads);
+    }
+
+    #[test]
+    fn utilization_is_sane() {
+        let wl = small_workload(40, 10);
+        let r = Experiment::run(&fast_config(ClusterPolicy::Mc), &wl).unwrap();
+        assert!(r.core_utilization > 0.1 && r.core_utilization < 1.0, "{r:?}");
+        assert!(r.thread_utilization > 0.1 && r.thread_utilization <= 1.0);
+        assert!(r.device_busy_fraction > r.core_utilization - 1e-9);
+    }
+}

@@ -1,0 +1,135 @@
+//! Parallel parameter-sweep harness.
+//!
+//! Each figure-scale experiment is a grid of *independent* simulations
+//! (policy × distribution × cluster size × seed). Single simulations stay
+//! single-threaded for determinism; the sweep fans the grid out over worker
+//! threads with a crossbeam channel and collects results in submission
+//! order, so a sweep's output is as deterministic as a single run.
+
+use crate::config::ClusterConfig;
+use crate::metrics::ExperimentResult;
+use crate::runtime::Experiment;
+use parking_lot::Mutex;
+use phishare_workload::Workload;
+use std::sync::Arc;
+
+/// One cell of a sweep grid.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Label reported back with the result (e.g. `"MCCK/normal/8"`).
+    pub label: String,
+    /// Cluster configuration for this cell.
+    pub config: ClusterConfig,
+    /// Workload for this cell (shared, not cloned, across cells).
+    pub workload: Arc<Workload>,
+}
+
+/// Run every job in the grid, using up to `threads` worker threads.
+/// Results come back in the same order as `jobs`.
+pub fn run_sweep(
+    jobs: Vec<SweepJob>,
+    threads: usize,
+) -> Vec<(String, Result<ExperimentResult, String>)> {
+    assert!(threads >= 1, "need at least one worker");
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, SweepJob)>();
+    for item in jobs.into_iter().enumerate() {
+        tx.send(item).expect("open channel");
+    }
+    drop(tx);
+
+    type Slot = Option<(String, Result<ExperimentResult, String>)>;
+    let results: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let results = &results;
+            scope.spawn(move || {
+                while let Ok((idx, job)) = rx.recv() {
+                    let outcome = Experiment::run(&job.config, &job.workload);
+                    results.lock()[idx] = Some((job.label, outcome));
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every sweep cell ran"))
+        .collect()
+}
+
+/// Default worker count: physical parallelism minus one, at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishare_core::ClusterPolicy;
+    use phishare_workload::{WorkloadBuilder, WorkloadKind};
+
+    fn grid() -> Vec<SweepJob> {
+        let wl = Arc::new(
+            WorkloadBuilder::new(WorkloadKind::Table1Mix)
+                .count(20)
+                .seed(13)
+                .build(),
+        );
+        ClusterPolicy::ALL
+            .iter()
+            .flat_map(|&policy| {
+                [2u32, 4].into_iter().map({
+                    let wl = Arc::clone(&wl);
+                    move |nodes| {
+                        let mut config = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+                        config.knapsack.window = 64;
+                        SweepJob {
+                            label: format!("{policy}/{nodes}"),
+                            config,
+                            workload: Arc::clone(&wl),
+                        }
+                    }
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_matches_serial_execution() {
+        let parallel = run_sweep(grid(), 4);
+        let serial = run_sweep(grid(), 1);
+        assert_eq!(parallel.len(), 6);
+        for ((pl, pr), (sl, sr)) in parallel.iter().zip(serial.iter()) {
+            assert_eq!(pl, sl);
+            assert_eq!(pr, sr, "parallel and serial sweeps diverged on {pl}");
+        }
+    }
+
+    #[test]
+    fn labels_preserve_order() {
+        let out = run_sweep(grid(), 3);
+        let labels: Vec<&str> = out.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["MC/2", "MC/4", "MCC/2", "MCC/4", "MCCK/2", "MCCK/4"]);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        assert!(run_sweep(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! The collector: the central manager's view of every slot.
+
+use phishare_classad::ClassAd;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies one execution slot: `slot<slot>@node<node>`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SlotId {
+    /// Node index within the cluster.
+    pub node: u32,
+    /// Slot index within the node (1-based, Condor style).
+    pub slot: u32,
+}
+
+impl SlotId {
+    /// The Condor-style slot name, e.g. `slot1@node3`.
+    pub fn name(&self) -> String {
+        format!("slot{}@node{}", self.slot, self.node)
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}@node{}", self.slot, self.node)
+    }
+}
+
+/// A slot's entry in the collector.
+#[derive(Debug, Clone)]
+pub struct SlotStatus {
+    /// The slot's current ClassAd.
+    pub ad: ClassAd,
+    /// Whether a job currently holds a claim on the slot.
+    pub claimed: bool,
+}
+
+/// The collector: slot name → latest advertisement.
+#[derive(Debug, Default)]
+pub struct Collector {
+    slots: BTreeMap<SlotId, SlotStatus>,
+}
+
+impl Collector {
+    /// Create an empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Insert or refresh a slot's advertisement. Claim state is preserved on
+    /// refresh.
+    pub fn advertise(&mut self, slot: SlotId, ad: ClassAd) {
+        match self.slots.get_mut(&slot) {
+            Some(status) => status.ad = ad,
+            None => {
+                self.slots.insert(slot, SlotStatus { ad, claimed: false });
+            }
+        }
+    }
+
+    /// Look up a slot.
+    pub fn get(&self, slot: SlotId) -> Option<&SlotStatus> {
+        self.slots.get(&slot)
+    }
+
+    /// Mutable access to a slot's ad (for in-cycle resource decrements).
+    pub fn ad_mut(&mut self, slot: SlotId) -> Option<&mut ClassAd> {
+        self.slots.get_mut(&slot).map(|s| &mut s.ad)
+    }
+
+    /// Mark a slot claimed. Returns false if it was already claimed.
+    pub fn claim(&mut self, slot: SlotId) -> bool {
+        match self.slots.get_mut(&slot) {
+            Some(s) if !s.claimed => {
+                s.claimed = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Release a slot's claim.
+    pub fn release(&mut self, slot: SlotId) {
+        if let Some(s) = self.slots.get_mut(&slot) {
+            s.claimed = false;
+        }
+    }
+
+    /// All slots in deterministic (node, slot) order.
+    pub fn slots(&self) -> impl Iterator<Item = (&SlotId, &SlotStatus)> {
+        self.slots.iter()
+    }
+
+    /// Unclaimed slots in deterministic order.
+    pub fn unclaimed(&self) -> Vec<SlotId> {
+        self.slots
+            .iter()
+            .filter(|(_, s)| !s.claimed)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Slots belonging to `node`.
+    pub fn node_slots(&self, node: u32) -> Vec<SlotId> {
+        self.slots
+            .keys()
+            .filter(|s| s.node == node)
+            .copied()
+            .collect()
+    }
+
+    /// Number of registered slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no slots are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(n: u32, s: u32) -> SlotId {
+        SlotId { node: n, slot: s }
+    }
+
+    #[test]
+    fn slot_names_match_condor_convention() {
+        assert_eq!(slot(3, 1).name(), "slot1@node3");
+        assert_eq!(slot(3, 1).to_string(), "slot1@node3");
+    }
+
+    #[test]
+    fn advertise_and_claim() {
+        let mut c = Collector::new();
+        c.advertise(slot(1, 1), ClassAd::new());
+        c.advertise(slot(1, 2), ClassAd::new());
+        assert_eq!(c.len(), 2);
+        assert!(c.claim(slot(1, 1)));
+        assert!(!c.claim(slot(1, 1))); // double claim fails
+        assert_eq!(c.unclaimed(), vec![slot(1, 2)]);
+        c.release(slot(1, 1));
+        assert_eq!(c.unclaimed().len(), 2);
+    }
+
+    #[test]
+    fn refresh_preserves_claim_state() {
+        let mut c = Collector::new();
+        c.advertise(slot(1, 1), ClassAd::new());
+        c.claim(slot(1, 1));
+        let mut ad = ClassAd::new();
+        ad.insert("PhiFreeMemory", 4096u64);
+        c.advertise(slot(1, 1), ad);
+        assert!(c.get(slot(1, 1)).unwrap().claimed);
+        assert!(c.get(slot(1, 1)).unwrap().ad.get("PhiFreeMemory").is_some());
+    }
+
+    #[test]
+    fn node_slots_filters_by_node() {
+        let mut c = Collector::new();
+        for n in 1..=2 {
+            for s in 1..=3 {
+                c.advertise(slot(n, s), ClassAd::new());
+            }
+        }
+        assert_eq!(c.node_slots(2), vec![slot(2, 1), slot(2, 2), slot(2, 3)]);
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let mut c = Collector::new();
+        c.advertise(slot(2, 1), ClassAd::new());
+        c.advertise(slot(1, 2), ClassAd::new());
+        c.advertise(slot(1, 1), ClassAd::new());
+        let order: Vec<SlotId> = c.slots().map(|(id, _)| *id).collect();
+        assert_eq!(order, vec![slot(1, 1), slot(1, 2), slot(2, 1)]);
+    }
+}

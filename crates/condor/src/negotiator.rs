@@ -1,0 +1,303 @@
+//! The negotiator: periodic FIFO matchmaking cycles.
+//!
+//! "The central manager then initiates a negotiation cycle during which all
+//! pending jobs are examined in FIFO order, and matched with machines.
+//! Negotiation cycles are triggered periodically." (§II-D)
+//!
+//! The paper's scheduler interacts with this component only indirectly: it
+//! qedits job `Requirements` and then *waits for the next cycle* — the
+//! source of the integration overhead the paper observes on the high-skew
+//! distribution (§V-B).
+
+use crate::attrs;
+use crate::collector::{Collector, SlotId};
+use crate::queue::JobQueue;
+use phishare_classad::Value;
+use phishare_sim::SimDuration;
+use phishare_workload::JobId;
+
+/// Summary of one negotiation cycle (what the negotiator logs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleStats {
+    /// Pending jobs examined (FIFO order).
+    pub considered: usize,
+    /// Jobs matched to a slot this cycle.
+    pub matched: usize,
+    /// Jobs left pending: no unclaimed slot satisfied the two-sided match.
+    pub unmatched: usize,
+}
+
+/// A successful match produced by one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// The matched job.
+    pub job: JobId,
+    /// The slot the job will run on.
+    pub slot: SlotId,
+}
+
+/// The matchmaking component of the central manager.
+#[derive(Debug, Clone, Copy)]
+pub struct Negotiator {
+    /// Gap between negotiation cycles (HTCondor's `NEGOTIATOR_INTERVAL`,
+    /// 60 s by default; the paper's overhead analysis hinges on this).
+    pub interval: SimDuration,
+}
+
+impl Default for Negotiator {
+    fn default() -> Self {
+        Negotiator {
+            interval: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl Negotiator {
+    /// Create a negotiator with the given cycle interval.
+    pub fn new(interval: SimDuration) -> Self {
+        Negotiator { interval }
+    }
+
+    /// Run one negotiation cycle: examine pending jobs in FIFO order, match
+    /// each against the unclaimed slots, claim matched slots and decrement
+    /// the matched node's advertised Phi resources so the *same cycle*
+    /// cannot overcommit them.
+    pub fn negotiate(&self, queue: &mut JobQueue, collector: &mut Collector) -> Vec<Match> {
+        self.negotiate_with_stats(queue, collector).0
+    }
+
+    /// [`Negotiator::negotiate`] plus the cycle's accounting.
+    pub fn negotiate_with_stats(
+        &self,
+        queue: &mut JobQueue,
+        collector: &mut Collector,
+    ) -> (Vec<Match>, CycleStats) {
+        let mut stats = CycleStats::default();
+        let mut matches = Vec::new();
+        for job_id in queue.pending() {
+            stats.considered += 1;
+            let job_ad = queue.get(job_id).expect("pending job exists").ad.clone();
+
+            // Collect matching unclaimed slots with their rank.
+            let mut best: Option<(f64, SlotId)> = None;
+            for slot in collector.unclaimed() {
+                let status = collector.get(slot).expect("listed slot exists");
+                if job_ad.matches(&status.ad) {
+                    let rank = job_ad.rank(&status.ad);
+                    let better = match best {
+                        None => true,
+                        // Higher rank wins; ties go to the lowest slot id so
+                        // cycles are deterministic.
+                        Some((r, s)) => rank > r || (rank == r && slot < s),
+                    };
+                    if better {
+                        best = Some((rank, slot));
+                    }
+                }
+            }
+
+            if let Some((_, slot)) = best {
+                let claimed = collector.claim(slot);
+                debug_assert!(claimed, "unclaimed slot failed to claim");
+                queue
+                    .set_matched(job_id, slot)
+                    .expect("pending job transitions to matched");
+                self.commit_phi_resources(collector, slot.node, &job_ad);
+                matches.push(Match { job: job_id, slot });
+                stats.matched += 1;
+            } else {
+                stats.unmatched += 1;
+            }
+        }
+        (matches, stats)
+    }
+
+    /// Decrement the node-level Phi attributes on every slot ad of `node`
+    /// to reflect the new placement, for the remainder of this cycle.
+    fn commit_phi_resources(
+        &self,
+        collector: &mut Collector,
+        node: u32,
+        job_ad: &phishare_classad::ClassAd,
+    ) {
+        let mem = int_attr(job_ad, attrs::REQUEST_PHI_MEMORY).unwrap_or(0);
+        let exclusive = matches!(
+            job_ad.get(attrs::REQUEST_EXCLUSIVE_PHI),
+            Some(Value::Bool(true))
+        );
+        for slot in collector.node_slots(node) {
+            let ad = collector.ad_mut(slot).expect("listed slot exists");
+            if let Some(free) = int_attr(ad, attrs::PHI_FREE_MEMORY) {
+                ad.insert(attrs::PHI_FREE_MEMORY, (free - mem).max(0));
+            }
+            if exclusive {
+                if let Some(devs) = int_attr(ad, attrs::PHI_DEVICES_FREE) {
+                    ad.insert(attrs::PHI_DEVICES_FREE, (devs - 1).max(0));
+                }
+            }
+        }
+    }
+}
+
+fn int_attr(ad: &phishare_classad::ClassAd, name: &str) -> Option<i64> {
+    match ad.get(name) {
+        Some(Value::Int(i)) => Some(*i),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{exclusive_job_ad, sharing_job_ad};
+    use crate::startd::Startd;
+    use phishare_sim::{SimDuration, SimTime};
+    use phishare_workload::table1::AppKind;
+    use phishare_workload::{JobProfile, JobSpec, Segment};
+
+    fn spec(id: u64, mem: u64, threads: u32) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            name: format!("J{id}"),
+            app: AppKind::KM,
+            mem_req_mb: mem,
+            thread_req: threads,
+            actual_peak_mem_mb: mem,
+            profile: JobProfile::new(vec![Segment::offload(
+                threads,
+                SimDuration::from_secs(1),
+            )]),
+        }
+    }
+
+    fn cluster(nodes: u32, slots: u32) -> Collector {
+        let mut c = Collector::new();
+        for n in 1..=nodes {
+            Startd::new(n, slots, 1, 8192).advertise(&mut c, 7680, 1);
+        }
+        c
+    }
+
+    #[test]
+    fn fifo_matching_fills_slots() {
+        let mut q = JobQueue::new();
+        for i in 0..3 {
+            q.submit(JobId(i), sharing_job_ad(&spec(i, 1000, 60)), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut c = cluster(1, 2);
+        let matches = Negotiator::default().negotiate(&mut q, &mut c);
+        // Two slots → two matches; job 2 stays pending.
+        assert_eq!(matches.len(), 2);
+        assert_eq!(matches[0].job, JobId(0));
+        assert_eq!(matches[1].job, JobId(1));
+        assert_eq!(q.pending(), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn cycle_decrements_node_phi_memory() {
+        let mut q = JobQueue::new();
+        // Three 3000 MB jobs against one node with 7680 MB: only two fit in
+        // one cycle even though the node has plenty of host slots.
+        for i in 0..3 {
+            q.submit(JobId(i), sharing_job_ad(&spec(i, 3000, 60)), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut c = cluster(1, 16);
+        let matches = Negotiator::default().negotiate(&mut q, &mut c);
+        assert_eq!(matches.len(), 2);
+        let remaining = c
+            .get(SlotId { node: 1, slot: 3 })
+            .unwrap()
+            .ad
+            .get(attrs::PHI_FREE_MEMORY)
+            .cloned();
+        assert_eq!(remaining, Some(Value::Int(7680 - 6000)));
+    }
+
+    #[test]
+    fn exclusive_jobs_claim_whole_cards() {
+        let mut q = JobQueue::new();
+        for i in 0..2 {
+            q.submit(JobId(i), exclusive_job_ad(&spec(i, 1000, 240)), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut c = cluster(1, 16); // one node, one Phi card
+        let matches = Negotiator::default().negotiate(&mut q, &mut c);
+        // One card → one exclusive job per cycle, regardless of host slots.
+        assert_eq!(matches.len(), 1);
+        assert_eq!(q.pending(), vec![JobId(1)]);
+    }
+
+    #[test]
+    fn matches_spread_across_nodes() {
+        let mut q = JobQueue::new();
+        for i in 0..2 {
+            q.submit(JobId(i), exclusive_job_ad(&spec(i, 1000, 240)), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut c = cluster(2, 1);
+        let matches = Negotiator::default().negotiate(&mut q, &mut c);
+        assert_eq!(matches.len(), 2);
+        assert_ne!(matches[0].slot.node, matches[1].slot.node);
+    }
+
+    #[test]
+    fn pinned_job_goes_to_its_slot_only() {
+        let mut q = JobQueue::new();
+        q.submit(JobId(0), sharing_job_ad(&spec(0, 1000, 60)), SimTime::ZERO)
+            .unwrap();
+        q.qedit_expr(JobId(0), "Requirements", &attrs::pin_requirements("slot2@node3"))
+            .unwrap();
+        let mut c = cluster(4, 4);
+        let matches = Negotiator::default().negotiate(&mut q, &mut c);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].slot, SlotId { node: 3, slot: 2 });
+    }
+
+    #[test]
+    fn no_candidates_leaves_job_pending() {
+        let mut q = JobQueue::new();
+        q.submit(JobId(0), sharing_job_ad(&spec(0, 9000, 60)), SimTime::ZERO)
+            .unwrap(); // bigger than any card
+        let mut c = cluster(2, 2);
+        assert!(Negotiator::default().negotiate(&mut q, &mut c).is_empty());
+        assert_eq!(q.pending(), vec![JobId(0)]);
+    }
+
+    #[test]
+    fn cycle_stats_account_for_every_pending_job() {
+        let mut q = JobQueue::new();
+        for i in 0..5 {
+            q.submit(JobId(i), sharing_job_ad(&spec(i, 1000, 60)), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut c = cluster(1, 3);
+        let (matches, stats) = Negotiator::default().negotiate_with_stats(&mut q, &mut c);
+        assert_eq!(stats.considered, 5);
+        assert_eq!(stats.matched, matches.len());
+        assert_eq!(stats.matched, 3); // three slots
+        assert_eq!(stats.unmatched, 2);
+        assert_eq!(stats.considered, stats.matched + stats.unmatched);
+    }
+
+    #[test]
+    fn claimed_slots_are_skipped() {
+        let mut q = JobQueue::new();
+        for i in 0..2 {
+            q.submit(JobId(i), sharing_job_ad(&spec(i, 100, 60)), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut c = cluster(1, 1);
+        let first = Negotiator::default().negotiate(&mut q, &mut c);
+        assert_eq!(first.len(), 1);
+        // Slot still claimed: second cycle matches nothing.
+        let second = Negotiator::default().negotiate(&mut q, &mut c);
+        assert!(second.is_empty());
+        // Release → job 1 matches.
+        c.release(first[0].slot);
+        let third = Negotiator::default().negotiate(&mut q, &mut c);
+        assert_eq!(third.len(), 1);
+        assert_eq!(third[0].job, JobId(1));
+    }
+}

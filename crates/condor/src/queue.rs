@@ -1,0 +1,396 @@
+//! The schedd's job queue.
+
+use crate::collector::SlotId;
+use phishare_classad::parser::ParseError;
+use phishare_classad::{ClassAd, Value};
+use phishare_sim::SimTime;
+use phishare_workload::JobId;
+use std::collections::BTreeMap;
+
+/// Lifecycle of a queued job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Submitted on hold: invisible to matchmaking until released. The
+    /// external cluster schedulers submit jobs held and release them with
+    /// their placement pin, making the scheduler the only placement
+    /// authority (the paper's add-on owns all MCC/MCCK placements).
+    Held,
+    /// Waiting to be matched.
+    Idle,
+    /// Matched to a slot; the shadow/starter handshake is in flight.
+    Matched(SlotId),
+    /// Executing on a slot.
+    Running(SlotId),
+    /// Finished successfully.
+    Completed,
+    /// Removed (killed by middleware, OOM, or the user).
+    Removed,
+}
+
+impl JobState {
+    /// True for `Idle`.
+    pub fn is_idle(self) -> bool {
+        matches!(self, JobState::Idle)
+    }
+
+    /// True for terminal states.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Completed | JobState::Removed)
+    }
+}
+
+/// One job as the schedd sees it.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// The job's id.
+    pub id: JobId,
+    /// The job's ClassAd (resource requests + `Requirements`).
+    pub ad: ClassAd,
+    /// Current state.
+    pub state: JobState,
+    /// When the job was submitted.
+    pub submitted: SimTime,
+}
+
+/// The schedd queue: FIFO submit order with per-job state.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    jobs: BTreeMap<JobId, QueuedJob>,
+    fifo: Vec<JobId>,
+}
+
+/// Errors from queue operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueError {
+    /// The job id is already queued.
+    Duplicate(JobId),
+    /// The job id is not in the queue.
+    Unknown(JobId),
+    /// A qedit expression failed to parse.
+    BadExpression(ParseError),
+    /// An illegal state transition was attempted.
+    BadTransition {
+        /// Job involved.
+        job: JobId,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::Duplicate(j) => write!(f, "job {j} already queued"),
+            QueueError::Unknown(j) => write!(f, "job {j} not in queue"),
+            QueueError::BadExpression(e) => write!(f, "qedit failed: {e}"),
+            QueueError::BadTransition { job, detail } => {
+                write!(f, "illegal transition for {job}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+impl JobQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        JobQueue::default()
+    }
+
+    /// Submit a job. FIFO position is submission order.
+    pub fn submit(&mut self, id: JobId, ad: ClassAd, now: SimTime) -> Result<(), QueueError> {
+        self.submit_in_state(id, ad, now, JobState::Idle)
+    }
+
+    /// Submit a job on hold (`condor_submit -hold`): it keeps its FIFO
+    /// position but matchmaking ignores it until [`JobQueue::release`].
+    pub fn submit_held(&mut self, id: JobId, ad: ClassAd, now: SimTime) -> Result<(), QueueError> {
+        self.submit_in_state(id, ad, now, JobState::Held)
+    }
+
+    fn submit_in_state(
+        &mut self,
+        id: JobId,
+        ad: ClassAd,
+        now: SimTime,
+        state: JobState,
+    ) -> Result<(), QueueError> {
+        if self.jobs.contains_key(&id) {
+            return Err(QueueError::Duplicate(id));
+        }
+        self.jobs.insert(
+            id,
+            QueuedJob {
+                id,
+                ad,
+                state,
+                submitted: now,
+            },
+        );
+        self.fifo.push(id);
+        Ok(())
+    }
+
+    /// `condor_hold`: take an idle job out of matchmaking.
+    pub fn hold(&mut self, id: JobId) -> Result<(), QueueError> {
+        self.transition(id, |s| match s {
+            JobState::Idle => Ok(JobState::Held),
+            other => Err(format!("held from {other:?}")),
+        })
+    }
+
+    /// `condor_release`: return a held job to the idle pool.
+    pub fn release(&mut self, id: JobId) -> Result<(), QueueError> {
+        self.transition(id, |s| match s {
+            JobState::Held => Ok(JobState::Idle),
+            other => Err(format!("released from {other:?}")),
+        })
+    }
+
+    /// Held jobs in FIFO order — what an external scheduler plans over.
+    pub fn held(&self) -> Vec<JobId> {
+        self.fifo
+            .iter()
+            .filter(|id| matches!(self.jobs[id].state, JobState::Held))
+            .copied()
+            .collect()
+    }
+
+    /// `condor_qedit`: replace an expression attribute (e.g. `Requirements`)
+    /// on a queued job. The paper's scheduler calls this in a batch for all
+    /// pending jobs (§IV-D1).
+    pub fn qedit_expr(&mut self, id: JobId, attr: &str, expr: &str) -> Result<(), QueueError> {
+        let job = self.jobs.get_mut(&id).ok_or(QueueError::Unknown(id))?;
+        job.ad
+            .insert_expr(attr, expr)
+            .map_err(QueueError::BadExpression)
+    }
+
+    /// `condor_qedit` for a plain value attribute.
+    pub fn qedit_value(
+        &mut self,
+        id: JobId,
+        attr: &str,
+        value: impl Into<Value>,
+    ) -> Result<(), QueueError> {
+        let job = self.jobs.get_mut(&id).ok_or(QueueError::Unknown(id))?;
+        job.ad.insert(attr, value);
+        Ok(())
+    }
+
+    /// Look up a job.
+    pub fn get(&self, id: JobId) -> Option<&QueuedJob> {
+        self.jobs.get(&id)
+    }
+
+    /// All job ids in FIFO submission order.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.fifo.clone()
+    }
+
+    /// Idle jobs in FIFO order — what a negotiation cycle examines.
+    pub fn pending(&self) -> Vec<JobId> {
+        self.fifo
+            .iter()
+            .filter(|id| self.jobs[id].state.is_idle())
+            .copied()
+            .collect()
+    }
+
+    /// Number of jobs in each non-terminal state `(idle, matched, running)`.
+    pub fn active_counts(&self) -> (usize, usize, usize) {
+        let mut idle = 0;
+        let mut matched = 0;
+        let mut running = 0;
+        for j in self.jobs.values() {
+            match j.state {
+                JobState::Held | JobState::Idle => idle += 1,
+                JobState::Matched(_) => matched += 1,
+                JobState::Running(_) => running += 1,
+                _ => {}
+            }
+        }
+        (idle, matched, running)
+    }
+
+    /// True when every job reached a terminal state.
+    pub fn all_terminal(&self) -> bool {
+        self.jobs.values().all(|j| j.state.is_terminal())
+    }
+
+    /// Mark a job matched to `slot` (negotiator).
+    pub fn set_matched(&mut self, id: JobId, slot: SlotId) -> Result<(), QueueError> {
+        self.transition(id, |s| match s {
+            JobState::Idle => Ok(JobState::Matched(slot)),
+            other => Err(format!("matched from {other:?}")),
+        })
+    }
+
+    /// Mark a matched job running (starter spawned the user process).
+    pub fn set_running(&mut self, id: JobId) -> Result<(), QueueError> {
+        self.transition(id, |s| match s {
+            JobState::Matched(slot) => Ok(JobState::Running(slot)),
+            other => Err(format!("running from {other:?}")),
+        })
+    }
+
+    /// Mark a running job completed.
+    pub fn set_completed(&mut self, id: JobId) -> Result<(), QueueError> {
+        self.transition(id, |s| match s {
+            JobState::Running(_) => Ok(JobState::Completed),
+            other => Err(format!("completed from {other:?}")),
+        })
+    }
+
+    /// Remove a job (kill) from any non-terminal state.
+    pub fn set_removed(&mut self, id: JobId) -> Result<(), QueueError> {
+        self.transition(id, |s| {
+            if s.is_terminal() {
+                Err(format!("removed from terminal state {s:?}"))
+            } else {
+                Ok(JobState::Removed)
+            }
+        })
+    }
+
+    fn transition(
+        &mut self,
+        id: JobId,
+        f: impl FnOnce(JobState) -> Result<JobState, String>,
+    ) -> Result<(), QueueError> {
+        let job = self.jobs.get_mut(&id).ok_or(QueueError::Unknown(id))?;
+        match f(job.state) {
+            Ok(next) => {
+                job.state = next;
+                Ok(())
+            }
+            Err(detail) => Err(QueueError::BadTransition { job: id, detail }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(n: u32, s: u32) -> SlotId {
+        SlotId { node: n, slot: s }
+    }
+
+    fn queue_with(n: u64) -> JobQueue {
+        let mut q = JobQueue::new();
+        for i in 0..n {
+            q.submit(JobId(i), ClassAd::new(), SimTime::ZERO).unwrap();
+        }
+        q
+    }
+
+    #[test]
+    fn pending_is_fifo() {
+        let q = queue_with(5);
+        assert_eq!(q.pending(), (0..5).map(JobId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_submit_rejected() {
+        let mut q = queue_with(1);
+        assert_eq!(
+            q.submit(JobId(0), ClassAd::new(), SimTime::ZERO),
+            Err(QueueError::Duplicate(JobId(0)))
+        );
+    }
+
+    #[test]
+    fn lifecycle_transitions() {
+        let mut q = queue_with(1);
+        q.set_matched(JobId(0), slot(1, 2)).unwrap();
+        assert!(q.pending().is_empty());
+        q.set_running(JobId(0)).unwrap();
+        q.set_completed(JobId(0)).unwrap();
+        assert!(q.all_terminal());
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut q = queue_with(1);
+        assert!(q.set_running(JobId(0)).is_err()); // idle → running skips match
+        assert!(q.set_completed(JobId(0)).is_err());
+        q.set_matched(JobId(0), slot(1, 1)).unwrap();
+        assert!(q.set_matched(JobId(0), slot(1, 1)).is_err());
+        q.set_running(JobId(0)).unwrap();
+        q.set_completed(JobId(0)).unwrap();
+        assert!(q.set_removed(JobId(0)).is_err()); // terminal
+    }
+
+    #[test]
+    fn removal_from_running() {
+        let mut q = queue_with(1);
+        q.set_matched(JobId(0), slot(1, 1)).unwrap();
+        q.set_running(JobId(0)).unwrap();
+        q.set_removed(JobId(0)).unwrap();
+        assert!(q.all_terminal());
+    }
+
+    #[test]
+    fn qedit_rewrites_requirements() {
+        let mut q = queue_with(1);
+        q.qedit_expr(JobId(0), "Requirements", "TARGET.Name == \"slot1@node1\"")
+            .unwrap();
+        assert!(q
+            .get(JobId(0))
+            .unwrap()
+            .ad
+            .get_expr("Requirements")
+            .unwrap()
+            .contains("slot1@node1"));
+        assert!(q.qedit_expr(JobId(0), "Requirements", "1 +").is_err());
+        assert!(q
+            .qedit_expr(JobId(9), "Requirements", "true")
+            .is_err());
+    }
+
+    #[test]
+    fn held_jobs_are_invisible_until_released() {
+        let mut q = JobQueue::new();
+        q.submit_held(JobId(0), ClassAd::new(), SimTime::ZERO).unwrap();
+        q.submit(JobId(1), ClassAd::new(), SimTime::ZERO).unwrap();
+        assert_eq!(q.pending(), vec![JobId(1)]);
+        assert_eq!(q.held(), vec![JobId(0)]);
+        q.release(JobId(0)).unwrap();
+        // FIFO position from submission time, not release time.
+        assert_eq!(q.pending(), vec![JobId(0), JobId(1)]);
+        assert!(q.held().is_empty());
+    }
+
+    #[test]
+    fn hold_and_release_transitions() {
+        let mut q = queue_with(1);
+        q.hold(JobId(0)).unwrap();
+        assert!(q.pending().is_empty());
+        assert!(q.hold(JobId(0)).is_err()); // already held
+        q.release(JobId(0)).unwrap();
+        assert!(q.release(JobId(0)).is_err()); // already idle
+        // Held jobs can be removed (condor_rm works on held jobs).
+        q.hold(JobId(0)).unwrap();
+        q.set_removed(JobId(0)).unwrap();
+        assert!(q.all_terminal());
+    }
+
+    #[test]
+    fn held_jobs_cannot_be_matched() {
+        let mut q = queue_with(1);
+        q.hold(JobId(0)).unwrap();
+        assert!(q.set_matched(JobId(0), slot(1, 1)).is_err());
+    }
+
+    #[test]
+    fn counts_track_states() {
+        let mut q = queue_with(3);
+        q.set_matched(JobId(0), slot(1, 1)).unwrap();
+        q.set_matched(JobId(1), slot(1, 2)).unwrap();
+        q.set_running(JobId(1)).unwrap();
+        assert_eq!(q.active_counts(), (1, 1, 1));
+        assert!(!q.all_terminal());
+    }
+}

@@ -1,0 +1,161 @@
+//! `condor_q` / `condor_status`-style reporting over the queue and the
+//! collector — the operator's view of the cluster.
+
+use crate::collector::Collector;
+use crate::queue::{JobQueue, JobState};
+use phishare_classad::Value;
+use std::fmt;
+
+/// Snapshot of queue occupancy by state (what `condor_q -totals` prints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueTotals {
+    /// Jobs submitted on hold / held.
+    pub held: usize,
+    /// Idle jobs awaiting matchmaking.
+    pub idle: usize,
+    /// Matched jobs in the shadow/starter handshake.
+    pub matched: usize,
+    /// Running jobs.
+    pub running: usize,
+    /// Completed jobs.
+    pub completed: usize,
+    /// Removed jobs.
+    pub removed: usize,
+}
+
+impl QueueTotals {
+    /// Compute totals over a queue.
+    pub fn of(queue: &JobQueue) -> Self {
+        let mut t = QueueTotals::default();
+        for id in queue.job_ids() {
+            match queue.get(id).expect("listed job exists").state {
+                JobState::Held => t.held += 1,
+                JobState::Idle => t.idle += 1,
+                JobState::Matched(_) => t.matched += 1,
+                JobState::Running(_) => t.running += 1,
+                JobState::Completed => t.completed += 1,
+                JobState::Removed => t.removed += 1,
+            }
+        }
+        t
+    }
+
+    /// Total jobs ever submitted.
+    pub fn total(&self) -> usize {
+        self.held + self.idle + self.matched + self.running + self.completed + self.removed
+    }
+}
+
+impl fmt::Display for QueueTotals {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs; {} held, {} idle, {} matched, {} running, {} completed, {} removed",
+            self.total(),
+            self.held,
+            self.idle,
+            self.matched,
+            self.running,
+            self.completed,
+            self.removed
+        )
+    }
+}
+
+/// Per-node pool summary (what `condor_status` prints, Phi-flavoured).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// Node index.
+    pub node: u32,
+    /// Total slots.
+    pub slots: usize,
+    /// Claimed slots.
+    pub claimed: usize,
+    /// Advertised free Phi memory, MB (node-level).
+    pub phi_free_mb: i64,
+    /// Advertised free (unclaimed) Phi cards.
+    pub phi_devices_free: i64,
+}
+
+/// Summarize the pool per node.
+pub fn pool_status(collector: &Collector) -> Vec<NodeStatus> {
+    let mut nodes: std::collections::BTreeMap<u32, NodeStatus> = std::collections::BTreeMap::new();
+    for (slot, status) in collector.slots() {
+        let entry = nodes.entry(slot.node).or_insert(NodeStatus {
+            node: slot.node,
+            slots: 0,
+            claimed: 0,
+            phi_free_mb: 0,
+            phi_devices_free: 0,
+        });
+        entry.slots += 1;
+        if status.claimed {
+            entry.claimed += 1;
+        }
+        // Node-level attributes are replicated on every slot ad; take them
+        // from any slot.
+        if let Some(Value::Int(free)) = status.ad.get(crate::attrs::PHI_FREE_MEMORY) {
+            entry.phi_free_mb = *free;
+        }
+        if let Some(Value::Int(free)) = status.ad.get(crate::attrs::PHI_DEVICES_FREE) {
+            entry.phi_devices_free = *free;
+        }
+    }
+    nodes.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::SlotId;
+    use crate::startd::Startd;
+    use phishare_classad::ClassAd;
+    use phishare_sim::SimTime;
+    use phishare_workload::JobId;
+
+    #[test]
+    fn queue_totals_track_every_state() {
+        let mut q = JobQueue::new();
+        for i in 0..6u64 {
+            q.submit(JobId(i), ClassAd::new(), SimTime::ZERO).unwrap();
+        }
+        q.hold(JobId(0)).unwrap();
+        q.set_matched(JobId(1), SlotId { node: 1, slot: 1 }).unwrap();
+        q.set_matched(JobId(2), SlotId { node: 1, slot: 2 }).unwrap();
+        q.set_running(JobId(2)).unwrap();
+        q.set_matched(JobId(3), SlotId { node: 1, slot: 3 }).unwrap();
+        q.set_running(JobId(3)).unwrap();
+        q.set_completed(JobId(3)).unwrap();
+        q.set_removed(JobId(4)).unwrap();
+        let t = QueueTotals::of(&q);
+        assert_eq!(
+            t,
+            QueueTotals {
+                held: 1,
+                idle: 1,
+                matched: 1,
+                running: 1,
+                completed: 1,
+                removed: 1,
+            }
+        );
+        assert_eq!(t.total(), 6);
+        assert!(t.to_string().contains("6 jobs"));
+    }
+
+    #[test]
+    fn pool_status_summarizes_nodes() {
+        let mut c = Collector::new();
+        Startd::new(1, 4, 1, 8192).advertise(&mut c, 7680, 1);
+        Startd::new(2, 4, 1, 8192).advertise(&mut c, 1024, 0);
+        c.claim(SlotId { node: 2, slot: 3 });
+        let status = pool_status(&c);
+        assert_eq!(status.len(), 2);
+        assert_eq!(status[0].node, 1);
+        assert_eq!(status[0].slots, 4);
+        assert_eq!(status[0].claimed, 0);
+        assert_eq!(status[0].phi_free_mb, 7680);
+        assert_eq!(status[1].claimed, 1);
+        assert_eq!(status[1].phi_devices_free, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the schedd queue: the job state machine never enters
+//! an inconsistent state under arbitrary operation sequences, and FIFO
+//! order is preserved through hold/release churn.
+
+use phishare_classad::ClassAd;
+use phishare_condor::{JobQueue, JobState, QueueTotals, SlotId};
+use phishare_sim::SimTime;
+use phishare_workload::JobId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Submit { job: u64, held: bool },
+    Hold { job: u64 },
+    Release { job: u64 },
+    Match { job: u64 },
+    Run { job: u64 },
+    Complete { job: u64 },
+    Remove { job: u64 },
+    Qedit { job: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let j = 0u64..8;
+    prop_oneof![
+        (j.clone(), any::<bool>()).prop_map(|(job, held)| Op::Submit { job, held }),
+        j.clone().prop_map(|job| Op::Hold { job }),
+        j.clone().prop_map(|job| Op::Release { job }),
+        j.clone().prop_map(|job| Op::Match { job }),
+        j.clone().prop_map(|job| Op::Run { job }),
+        j.clone().prop_map(|job| Op::Complete { job }),
+        j.clone().prop_map(|job| Op::Remove { job }),
+        j.prop_map(|job| Op::Qedit { job }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary operation sequences: every op either succeeds with a legal
+    /// transition or returns an error; totals always add up; terminal jobs
+    /// never move again.
+    #[test]
+    fn queue_state_machine_is_sound(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let mut q = JobQueue::new();
+        let slot = SlotId { node: 1, slot: 1 };
+        let mut submitted = 0usize;
+
+        for op in ops {
+            let before: Vec<JobState> =
+                q.job_ids().iter().map(|id| q.get(*id).unwrap().state).collect();
+            let outcome = match op {
+                Op::Submit { job, held } => {
+                    let r = if held {
+                        q.submit_held(JobId(job), ClassAd::new(), SimTime::ZERO)
+                    } else {
+                        q.submit(JobId(job), ClassAd::new(), SimTime::ZERO)
+                    };
+                    if r.is_ok() {
+                        submitted += 1;
+                    }
+                    r
+                }
+                Op::Hold { job } => q.hold(JobId(job)),
+                Op::Release { job } => q.release(JobId(job)),
+                Op::Match { job } => q.set_matched(JobId(job), slot),
+                Op::Run { job } => q.set_running(JobId(job)),
+                Op::Complete { job } => q.set_completed(JobId(job)),
+                Op::Remove { job } => q.set_removed(JobId(job)),
+                Op::Qedit { job } => q.qedit_expr(JobId(job), "Requirements", "true"),
+            };
+
+            // A failed op must not have mutated any job state.
+            if outcome.is_err() {
+                let after: Vec<JobState> =
+                    q.job_ids().iter().map(|id| q.get(*id).unwrap().state).collect();
+                prop_assert_eq!(&before[..after.len().min(before.len())],
+                                &after[..after.len().min(before.len())]);
+            }
+
+            // Totals always account for every submitted job.
+            let t = QueueTotals::of(&q);
+            prop_assert_eq!(t.total(), submitted);
+            // pending ∪ held are disjoint subsets of non-terminal jobs.
+            let pending = q.pending();
+            let held = q.held();
+            for id in &pending {
+                prop_assert!(!held.contains(id));
+                prop_assert!(q.get(*id).unwrap().state.is_idle());
+            }
+        }
+    }
+
+    /// FIFO order survives any hold/release churn: released jobs reappear
+    /// in submission order, not release order.
+    #[test]
+    fn fifo_order_is_stable_under_hold_release(toggles in prop::collection::vec((0u64..10, any::<bool>()), 0..40)) {
+        let mut q = JobQueue::new();
+        for i in 0..10u64 {
+            q.submit(JobId(i), ClassAd::new(), SimTime::ZERO).unwrap();
+        }
+        for (job, to_hold) in toggles {
+            if to_hold {
+                let _ = q.hold(JobId(job));
+            } else {
+                let _ = q.release(JobId(job));
+            }
+        }
+        let pending = q.pending();
+        let mut sorted = pending.clone();
+        sorted.sort();
+        prop_assert_eq!(pending, sorted, "pending lost FIFO (= id) order");
+        let held = q.held();
+        let mut sorted = held.clone();
+        sorted.sort();
+        prop_assert_eq!(held, sorted);
+    }
+}

@@ -1,0 +1,692 @@
+//! Cluster-level schedulers: the knapsack packer (MCCK) and the random
+//! baseline (MCC).
+
+use phishare_knapsack::{solve_1d_filtered, solve_2d, Capacity, PackItem, ValueFunction};
+use phishare_sim::DetRng;
+use phishare_workload::JobId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A pending job as the cluster scheduler sees it: only the declared
+/// envelope (the paper's explicit assumption — no execution times, no
+/// profiles, §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingJob {
+    /// The job.
+    pub id: JobId,
+    /// Declared device memory, MB.
+    pub mem_mb: u64,
+    /// Declared threads.
+    pub threads: u32,
+    /// Nominal execution time in seconds. The paper's schedulers must NOT
+    /// rely on this ("users usually cannot specify them accurately",
+    /// §IV-B) — it exists for the clairvoyant upper-bound comparator
+    /// ([`ClairvoyantLpt`]), which quantifies how much MCCK loses by not
+    /// knowing it.
+    pub nominal_secs: f64,
+}
+
+/// One coprocessor's free envelope as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceView {
+    /// The node hosting the device.
+    pub node: u32,
+    /// Device index on the node.
+    pub device: u32,
+    /// Declared memory not yet allocated to resident jobs, MB.
+    pub free_declared_mb: u64,
+    /// Declared threads of currently resident jobs (used only by the strict
+    /// `count_resident_threads` ablation).
+    pub resident_threads: u32,
+}
+
+/// A placement decision: pin `job` to a specific device.
+///
+/// Condor-side the pin is expressed at node granularity (`Machine == …`),
+/// but the packing is per *device* (each knapsack is one coprocessor,
+/// §IV-C) — the runtime must honor the planned device, or an order-dependent
+/// re-placement at match time can break a feasible multi-device plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pin {
+    /// The job to pin.
+    pub job: JobId,
+    /// The destination node.
+    pub node: u32,
+    /// The destination device on that node.
+    pub device: u32,
+}
+
+/// Common interface for cluster-level schedulers (MCC's random selection and
+/// MCCK's knapsack packing).
+pub trait ClusterScheduler {
+    /// Compute placements for `pending` jobs onto `devices`.
+    ///
+    /// The scheduler must account for its own *outstanding* pins — jobs it
+    /// placed earlier that Condor has not dispatched yet — since those jobs
+    /// still look `Idle` in the queue and the device views do not reflect
+    /// them.
+    fn plan(&mut self, pending: &[PendingJob], devices: &[DeviceView]) -> Vec<Pin>;
+
+    /// A previously pinned job was dispatched (its memory now shows up in
+    /// the device view).
+    fn on_dispatched(&mut self, job: JobId);
+
+    /// A job left the system without dispatching (killed / removed).
+    fn on_job_gone(&mut self, job: JobId);
+
+    /// Scheduler name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Which DP formulation MCCK uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum KnapsackVariant {
+    /// 2-D DP over (memory, threads) — thread-feasible by construction.
+    #[default]
+    TwoD,
+    /// Paper-literal 1-D memory DP with thread repair (ablation).
+    OneDFiltered,
+}
+
+/// MCCK configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnapsackConfig {
+    /// Job value function (paper Eq. 1 by default).
+    pub value_fn: ValueFunction,
+    /// Memory discretization, MB (paper §IV-C: 50 MB).
+    pub granularity_mb: u64,
+    /// Hardware thread limit per device.
+    pub thread_limit: u32,
+    /// DP formulation.
+    pub variant: KnapsackVariant,
+    /// At most this many FIFO-pending jobs are considered per packing round,
+    /// bounding each DP at `O(window · W · T)`.
+    pub window: usize,
+    /// Subtract resident jobs' declared threads from the per-round thread
+    /// budget. `true` (the default) matches the paper's constraint that
+    /// "the number of threads of **all concurrent jobs** must not exceed
+    /// the number of hardware threads" — it keeps every device's declared
+    /// thread sum within hardware, which is exactly why the paper calls
+    /// COSMIC "not absolutely necessary" under MCCK. `false` applies the
+    /// value-zero rule only to each round's newly packed set, deferring
+    /// thread excess to COSMIC's run-time serialization (ablation).
+    pub count_resident_threads: bool,
+    /// Factor applied to the device thread budget when
+    /// `count_resident_threads` is on. Declared thread counts are
+    /// *per-offload maxima*, not sustained usage — "for many jobs,
+    /// performance saturates at a lower level of parallelization" (paper
+    /// footnote 1), and jobs spend their host phases using zero device
+    /// threads. Budgeting declarations at face value strands capacity;
+    /// a modest overcommit recovers it, and COSMIC serializes the rare
+    /// transient excess. 1.0 = strict.
+    pub thread_overcommit: f64,
+}
+
+impl Default for KnapsackConfig {
+    fn default() -> Self {
+        KnapsackConfig {
+            value_fn: ValueFunction::PaperQuadratic,
+            granularity_mb: 50,
+            thread_limit: 240,
+            variant: KnapsackVariant::TwoD,
+            window: 256,
+            count_resident_threads: true,
+            thread_overcommit: 1.5,
+        }
+    }
+}
+
+/// The paper's knapsack-based sharing-aware scheduler (Fig. 4).
+#[derive(Debug)]
+pub struct KnapsackScheduler {
+    cfg: KnapsackConfig,
+    /// Jobs pinned but not yet dispatched, with their destination node and
+    /// declared envelope (so per-node free capacity can be adjusted).
+    outstanding: BTreeMap<JobId, OutstandingPin>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OutstandingPin {
+    node: u32,
+    device: u32,
+    mem_mb: u64,
+    threads: u32,
+}
+
+impl KnapsackScheduler {
+    /// Create a scheduler with the given configuration.
+    pub fn new(cfg: KnapsackConfig) -> Self {
+        assert!(cfg.window > 0, "candidate window must be positive");
+        assert!(cfg.granularity_mb > 0, "granularity must be positive");
+        KnapsackScheduler {
+            cfg,
+            outstanding: BTreeMap::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &KnapsackConfig {
+        &self.cfg
+    }
+
+    /// Number of pins awaiting dispatch.
+    pub fn outstanding_pins(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Outstanding (memory, threads) already pinned to one device.
+    fn outstanding_on_device(&self, node: u32, device: u32) -> (u64, u32) {
+        self.outstanding
+            .values()
+            .filter(|p| p.node == node && p.device == device)
+            .fold((0, 0), |(m, t), p| (m + p.mem_mb, t + p.threads))
+    }
+
+    /// Pack one device's knapsack from the pending jobs; returns the pins.
+    /// This is the "create knapsack: capacity = free memory in D" step of
+    /// Fig. 4, invoked per device initially and per completion thereafter.
+    pub fn plan_device(&mut self, pending: &[PendingJob], device: &DeviceView) -> Vec<Pin> {
+        let (out_mem, out_threads) = self.outstanding_on_device(device.node, device.device);
+        let free = device.free_declared_mb.saturating_sub(out_mem);
+        if free == 0 {
+            return Vec::new();
+        }
+        let thread_budget = if self.cfg.count_resident_threads {
+            let total = (self.cfg.thread_limit as f64 * self.cfg.thread_overcommit).round() as u32;
+            total.saturating_sub(device.resident_threads + out_threads)
+        } else {
+            self.cfg.thread_limit
+        };
+        let cap = Capacity {
+            mem_mb: free,
+            granularity_mb: self.cfg.granularity_mb,
+            thread_limit: thread_budget,
+            // Eq. (1) always normalizes by the hardware thread count, even
+            // when the strict ablation shrinks the packing budget.
+            value_ref_threads: self.cfg.thread_limit,
+        };
+
+        // FIFO window of candidates that are not already pinned elsewhere.
+        let candidates: Vec<(usize, &PendingJob)> = pending
+            .iter()
+            .filter(|j| !self.outstanding.contains_key(&j.id))
+            .take(self.cfg.window)
+            .enumerate()
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let items: Vec<PackItem> = candidates
+            .iter()
+            .map(|(i, j)| PackItem {
+                index: *i,
+                mem_mb: j.mem_mb,
+                threads: j.threads,
+            })
+            .collect();
+
+        let packing = match self.cfg.variant {
+            KnapsackVariant::TwoD => solve_2d(&items, &cap, self.cfg.value_fn),
+            KnapsackVariant::OneDFiltered => solve_1d_filtered(&items, &cap, self.cfg.value_fn),
+        };
+
+        packing
+            .selected
+            .iter()
+            .map(|&idx| {
+                let job = candidates[idx].1;
+                self.outstanding.insert(
+                    job.id,
+                    OutstandingPin {
+                        node: device.node,
+                        device: device.device,
+                        mem_mb: job.mem_mb,
+                        threads: job.threads,
+                    },
+                );
+                Pin {
+                    job: job.id,
+                    node: device.node,
+                    device: device.device,
+                }
+            })
+            .collect()
+    }
+}
+
+impl ClusterScheduler for KnapsackScheduler {
+    fn plan(&mut self, pending: &[PendingJob], devices: &[DeviceView]) -> Vec<Pin> {
+        // Greedy at the cluster level: fill one knapsack after another
+        // (Fig. 4). Devices with more free memory are packed first so the
+        // fullest knapsacks get the pick of the queue.
+        let mut order: Vec<&DeviceView> = devices.iter().collect();
+        order.sort_by(|a, b| {
+            b.free_declared_mb
+                .cmp(&a.free_declared_mb)
+                .then(a.node.cmp(&b.node))
+                .then(a.device.cmp(&b.device))
+        });
+        let mut pins = Vec::new();
+        for device in order {
+            pins.extend(self.plan_device(pending, device));
+        }
+        pins
+    }
+
+    fn on_dispatched(&mut self, job: JobId) {
+        self.outstanding.remove(&job);
+    }
+
+    fn on_job_gone(&mut self, job: JobId) {
+        self.outstanding.remove(&job);
+    }
+
+    fn name(&self) -> &'static str {
+        "knapsack"
+    }
+}
+
+/// The MCC baseline: arbitrary (random) job selection at the cluster level,
+/// constrained only by declared-memory fit; COSMIC cleans up the rest at the
+/// node level (§V: "jobs are packed arbitrarily to Xeon Phi coprocessors").
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: DetRng,
+    outstanding: BTreeMap<JobId, (u32, u32, u64)>, // node, device, declared memory
+}
+
+impl RandomScheduler {
+    /// Create the random scheduler with its own RNG substream.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: DetRng::substream(seed, "mcc-random-scheduler"),
+            outstanding: BTreeMap::new(),
+        }
+    }
+
+    fn outstanding_on_device(&self, node: u32, device: u32) -> u64 {
+        self.outstanding
+            .values()
+            .filter(|(n, d, _)| *n == node && *d == device)
+            .map(|(_, _, mem)| mem)
+            .sum()
+    }
+}
+
+impl ClusterScheduler for RandomScheduler {
+    fn plan(&mut self, pending: &[PendingJob], devices: &[DeviceView]) -> Vec<Pin> {
+        // Remaining free capacity per device, net of outstanding pins.
+        let mut free: Vec<(u32, u32, u64)> = devices
+            .iter()
+            .map(|d| {
+                (
+                    d.node,
+                    d.device,
+                    d.free_declared_mb
+                        .saturating_sub(self.outstanding_on_device(d.node, d.device)),
+                )
+            })
+            .collect();
+
+        // Visit pending jobs in random order, placing each on a random
+        // device with room.
+        let mut order: Vec<usize> = (0..pending.len()).collect();
+        self.rng.shuffle(&mut order);
+        let mut pins = Vec::new();
+        for idx in order {
+            let job = &pending[idx];
+            if self.outstanding.contains_key(&job.id) {
+                continue;
+            }
+            let fits: Vec<usize> = free
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, _, f))| *f >= job.mem_mb)
+                .map(|(i, _)| i)
+                .collect();
+            if fits.is_empty() {
+                continue;
+            }
+            let pick = *self.rng.choose(&fits);
+            free[pick].2 -= job.mem_mb;
+            let (node, device, _) = free[pick];
+            self.outstanding.insert(job.id, (node, device, job.mem_mb));
+            pins.push(Pin { job: job.id, node, device });
+        }
+        pins
+    }
+
+    fn on_dispatched(&mut self, job: JobId) {
+        self.outstanding.remove(&job);
+    }
+
+    fn on_job_gone(&mut self, job: JobId) {
+        self.outstanding.remove(&job);
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// A clairvoyant comparator that *does* know job execution times — the
+/// information the paper explicitly refuses to assume (§IV-B). It packs
+/// longest-processing-time-first (LPT) into each device round, subject to
+/// the same memory and thread budgets as MCCK. Comparing MCCK against this
+/// upper-bound heuristic quantifies the cost of scheduling blind.
+#[derive(Debug)]
+pub struct ClairvoyantLpt {
+    cfg: KnapsackConfig,
+    outstanding: BTreeMap<JobId, OutstandingPin>,
+}
+
+impl ClairvoyantLpt {
+    /// Create the clairvoyant scheduler (shares MCCK's budget config).
+    pub fn new(cfg: KnapsackConfig) -> Self {
+        ClairvoyantLpt {
+            cfg,
+            outstanding: BTreeMap::new(),
+        }
+    }
+
+    fn outstanding_on_device(&self, node: u32, device: u32) -> (u64, u32) {
+        self.outstanding
+            .values()
+            .filter(|p| p.node == node && p.device == device)
+            .fold((0, 0), |(m, t), p| (m + p.mem_mb, t + p.threads))
+    }
+
+    /// Greedy LPT packing of one device round.
+    pub fn plan_device(&mut self, pending: &[PendingJob], device: &DeviceView) -> Vec<Pin> {
+        let (out_mem, out_threads) = self.outstanding_on_device(device.node, device.device);
+        let mut free = device.free_declared_mb.saturating_sub(out_mem);
+        if free == 0 {
+            return Vec::new();
+        }
+        let total = (self.cfg.thread_limit as f64 * self.cfg.thread_overcommit).round() as u32;
+        let mut threads_left = if self.cfg.count_resident_threads {
+            total.saturating_sub(device.resident_threads + out_threads)
+        } else {
+            self.cfg.thread_limit
+        };
+
+        let mut candidates: Vec<&PendingJob> = pending
+            .iter()
+            .filter(|j| !self.outstanding.contains_key(&j.id))
+            .take(self.cfg.window)
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.nominal_secs
+                .partial_cmp(&a.nominal_secs)
+                .expect("finite durations")
+                .then(a.id.cmp(&b.id))
+        });
+
+        let mut pins = Vec::new();
+        for job in candidates {
+            if job.mem_mb <= free && job.threads <= threads_left {
+                free -= job.mem_mb;
+                threads_left -= job.threads;
+                self.outstanding.insert(
+                    job.id,
+                    OutstandingPin {
+                        node: device.node,
+                        device: device.device,
+                        mem_mb: job.mem_mb,
+                        threads: job.threads,
+                    },
+                );
+                pins.push(Pin {
+                    job: job.id,
+                    node: device.node,
+                    device: device.device,
+                });
+            }
+        }
+        pins
+    }
+}
+
+impl ClusterScheduler for ClairvoyantLpt {
+    fn plan(&mut self, pending: &[PendingJob], devices: &[DeviceView]) -> Vec<Pin> {
+        let mut order: Vec<&DeviceView> = devices.iter().collect();
+        order.sort_by(|a, b| {
+            b.free_declared_mb
+                .cmp(&a.free_declared_mb)
+                .then(a.node.cmp(&b.node))
+                .then(a.device.cmp(&b.device))
+        });
+        let mut pins = Vec::new();
+        for device in order {
+            pins.extend(self.plan_device(pending, device));
+        }
+        pins
+    }
+
+    fn on_dispatched(&mut self, job: JobId) {
+        self.outstanding.remove(&job);
+    }
+
+    fn on_job_gone(&mut self, job: JobId) {
+        self.outstanding.remove(&job);
+    }
+
+    fn name(&self) -> &'static str {
+        "clairvoyant-lpt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, mem_mb: u64, threads: u32) -> PendingJob {
+        PendingJob {
+            id: JobId(id),
+            mem_mb,
+            threads,
+            nominal_secs: 30.0,
+        }
+    }
+
+    fn timed_job(id: u64, mem_mb: u64, threads: u32, nominal_secs: f64) -> PendingJob {
+        PendingJob {
+            id: JobId(id),
+            mem_mb,
+            threads,
+            nominal_secs,
+        }
+    }
+
+    fn dev(node: u32, free: u64) -> DeviceView {
+        DeviceView {
+            node,
+            device: 0,
+            free_declared_mb: free,
+            resident_threads: 0,
+        }
+    }
+
+    #[test]
+    fn knapsack_packs_for_concurrency() {
+        let mut s = KnapsackScheduler::new(KnapsackConfig::default());
+        let pending = vec![
+            job(0, 4000, 240),
+            job(1, 2000, 80),
+            job(2, 2000, 80),
+            job(3, 3000, 80),
+        ];
+        let pins = s.plan(&pending, &[dev(1, 7680)]);
+        let pinned: Vec<u64> = pins.iter().map(|p| p.job.raw()).collect();
+        assert_eq!(pinned, vec![1, 2, 3]);
+        assert!(pins.iter().all(|p| p.node == 1));
+    }
+
+    #[test]
+    fn no_job_is_pinned_twice_across_devices() {
+        let mut s = KnapsackScheduler::new(KnapsackConfig::default());
+        let pending: Vec<PendingJob> = (0..6).map(|i| job(i, 3000, 60)).collect();
+        let pins = s.plan(&pending, &[dev(1, 7680), dev(2, 7680)]);
+        let mut ids: Vec<u64> = pins.iter().map(|p| p.job.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), pins.len());
+        // 2 jobs of 3000 MB per 7680 MB device → 4 total.
+        assert_eq!(pins.len(), 4);
+        assert_eq!(s.outstanding_pins(), 4);
+    }
+
+    #[test]
+    fn outstanding_pins_shrink_capacity_until_dispatch() {
+        let mut s = KnapsackScheduler::new(KnapsackConfig::default());
+        let pending = vec![job(0, 4000, 60)];
+        let pins = s.plan(&pending, &[dev(1, 7680)]);
+        assert_eq!(pins.len(), 1);
+        // Same device view (dispatch hasn't happened): a second 4000 MB job
+        // must NOT be placed — only 3680 MB is really free.
+        let pending2 = vec![job(0, 4000, 60), job(1, 4000, 60)];
+        let pins2 = s.plan(&pending2, &[dev(1, 7680)]);
+        assert!(pins2.is_empty(), "overcommitted: {pins2:?}");
+        // After dispatch the view itself accounts for job 0.
+        s.on_dispatched(JobId(0));
+        let pins3 = s.plan(&[job(1, 4000, 60)], &[dev(1, 3680)]);
+        assert!(pins3.is_empty()); // 4000 > 3680
+        let pins4 = s.plan(&[job(1, 3000, 60)], &[dev(1, 3680)]);
+        assert_eq!(pins4.len(), 1);
+    }
+
+    #[test]
+    fn fullest_devices_pack_first() {
+        let mut s = KnapsackScheduler::new(KnapsackConfig::default());
+        let pending = vec![job(0, 5000, 60)];
+        let pins = s.plan(&pending, &[dev(1, 2000), dev(2, 7680)]);
+        assert_eq!(pins, vec![Pin { job: JobId(0), node: 2, device: 0 }]);
+    }
+
+    #[test]
+    fn window_bounds_candidates() {
+        let cfg = KnapsackConfig {
+            window: 2,
+            ..KnapsackConfig::default()
+        };
+        let mut s = KnapsackScheduler::new(cfg);
+        // Jobs beyond the window are invisible even though they'd fit.
+        let pending: Vec<PendingJob> = (0..10).map(|i| job(i, 100, 4)).collect();
+        let pins = s.plan_device(&pending, &dev(1, 7680));
+        assert_eq!(pins.len(), 2);
+    }
+
+    #[test]
+    fn strict_mode_respects_resident_threads() {
+        let cfg = KnapsackConfig {
+            thread_overcommit: 1.0,
+            ..KnapsackConfig::default()
+        };
+        let mut s = KnapsackScheduler::new(cfg);
+        let view = DeviceView {
+            node: 1,
+            device: 0,
+            free_declared_mb: 7000,
+            resident_threads: 200,
+        };
+        // Only 40 threads of budget remain: the 60-thread job is refused,
+        // a 40-thread job packs.
+        assert!(s.plan_device(&[job(0, 1000, 60)], &view).is_empty());
+        assert_eq!(s.plan_device(&[job(1, 1000, 40)], &view).len(), 1);
+    }
+
+    #[test]
+    fn lax_mode_ignores_resident_threads() {
+        let cfg = KnapsackConfig {
+            count_resident_threads: false,
+            ..KnapsackConfig::default()
+        };
+        let mut s = KnapsackScheduler::new(cfg);
+        let view = DeviceView {
+            node: 1,
+            device: 0,
+            free_declared_mb: 7000,
+            resident_threads: 240,
+        };
+        // Ablation behaviour: freed memory is repacked regardless of
+        // resident threads; COSMIC serializes at run time.
+        assert_eq!(s.plan_device(&[job(0, 1000, 240)], &view).len(), 1);
+    }
+
+    #[test]
+    fn job_gone_releases_outstanding_capacity() {
+        let mut s = KnapsackScheduler::new(KnapsackConfig::default());
+        s.plan(&[job(0, 7000, 60)], &[dev(1, 7680)]);
+        assert_eq!(s.outstanding_pins(), 1);
+        s.on_job_gone(JobId(0));
+        let pins = s.plan(&[job(1, 7000, 60)], &[dev(1, 7680)]);
+        assert_eq!(pins.len(), 1);
+    }
+
+    #[test]
+    fn random_scheduler_respects_memory() {
+        let mut s = RandomScheduler::new(42);
+        let pending: Vec<PendingJob> = (0..20).map(|i| job(i, 3000, 240)).collect();
+        let pins = s.plan(&pending, &[dev(1, 7680), dev(2, 7680)]);
+        // 2 jobs of 3000 MB fit per device.
+        assert_eq!(pins.len(), 4);
+        for node in [1, 2] {
+            let mem: u64 = pins
+                .iter()
+                .filter(|p| p.node == node)
+                .map(|_| 3000)
+                .sum();
+            assert!(mem <= 7680);
+        }
+    }
+
+    #[test]
+    fn random_scheduler_is_seed_deterministic_but_random() {
+        let pending: Vec<PendingJob> = (0..30).map(|i| job(i, 2000, 120)).collect();
+        let devs = [dev(1, 7680), dev(2, 7680)];
+        let a = RandomScheduler::new(1).plan(&pending, &devs);
+        let b = RandomScheduler::new(1).plan(&pending, &devs);
+        assert_eq!(a, b);
+        let c = RandomScheduler::new(2).plan(&pending, &devs);
+        assert_ne!(a, c, "different seeds should pick different jobs");
+    }
+
+    #[test]
+    fn clairvoyant_prefers_longest_jobs() {
+        let mut s = ClairvoyantLpt::new(KnapsackConfig::default());
+        let pending = vec![
+            timed_job(0, 3000, 60, 10.0),
+            timed_job(1, 3000, 60, 50.0),
+            timed_job(2, 3000, 60, 30.0),
+        ];
+        // Only two fit in memory: the two longest are chosen.
+        let pins = s.plan(&pending, &[dev(1, 7000)]);
+        let ids: Vec<u64> = pins.iter().map(|p| p.job.raw()).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn clairvoyant_respects_budgets_and_outstanding() {
+        let mut s = ClairvoyantLpt::new(KnapsackConfig::default());
+        let pins = s.plan(&[timed_job(0, 7000, 240, 9.0)], &[dev(1, 7680)]);
+        assert_eq!(pins.len(), 1);
+        // Capacity is spoken for until dispatch.
+        let pins2 = s.plan(
+            &[timed_job(0, 7000, 240, 9.0), timed_job(1, 7000, 60, 99.0)],
+            &[dev(1, 7680)],
+        );
+        assert!(pins2.is_empty());
+        s.on_dispatched(JobId(0));
+        assert_eq!(s.name(), "clairvoyant-lpt");
+    }
+
+    #[test]
+    fn random_scheduler_tracks_outstanding() {
+        let mut s = RandomScheduler::new(3);
+        let pins = s.plan(&[job(0, 7000, 60)], &[dev(1, 7680)]);
+        assert_eq!(pins.len(), 1);
+        // Without dispatch, capacity is spoken for.
+        let pins2 = s.plan(&[job(0, 7000, 60), job(1, 7000, 60)], &[dev(1, 7680)]);
+        assert!(pins2.is_empty());
+    }
+}

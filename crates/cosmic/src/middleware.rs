@@ -1,0 +1,528 @@
+//! The per-device middleware state machine.
+
+use phishare_phi::{Affinity, CoreAllocator, CoreSet, PhiConfig};
+use phishare_sim::{SimDuration, SimTime, Summary};
+use phishare_workload::JobId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// How queued offloads are admitted when capacity frees up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OffloadPolicy {
+    /// Strict FIFO: the queue head must fit before anything behind it runs.
+    /// Starvation-free; can leave threads idle behind a wide offload.
+    #[default]
+    Fifo,
+    /// Backfill: later offloads may jump a blocked head if they fit now.
+    /// Higher utilization; a wide offload can starve behind small ones.
+    Backfill,
+}
+
+/// Middleware configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CosmicConfig {
+    /// Kill jobs whose committed memory exceeds their declaration.
+    pub enforce_containers: bool,
+    /// Queue admission policy.
+    pub policy: OffloadPolicy,
+}
+
+impl Default for CosmicConfig {
+    fn default() -> Self {
+        CosmicConfig {
+            enforce_containers: true,
+            policy: OffloadPolicy::Fifo,
+        }
+    }
+}
+
+/// Outcome of an offload request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// The offload may start now with this affinity.
+    Started(OffloadGrant),
+    /// The offload is queued; it will be granted by a later
+    /// [`CosmicDevice::complete_offload`] call.
+    Queued,
+}
+
+/// Permission to start one offload on the device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OffloadGrant {
+    /// The job whose offload may start.
+    pub job: JobId,
+    /// Thread count of the offload.
+    pub threads: u32,
+    /// Nominal work of the offload.
+    pub work: SimDuration,
+    /// The core set COSMIC affinitized the offload to.
+    pub affinity: Affinity,
+}
+
+/// Container (memory-limit) check outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerVerdict {
+    /// The commit is within the job's declared limit (or enforcement is
+    /// off).
+    Allowed,
+    /// The job exceeded its declared limit and must be killed.
+    KillExceededLimit {
+        /// What the job committed, MB.
+        committed_mb: u64,
+        /// What it declared, MB.
+        declared_mb: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Registered {
+    declared_mem_mb: u64,
+    declared_threads: u32,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveOffload {
+    threads: u32,
+    cores: CoreSet,
+}
+
+#[derive(Debug, Clone)]
+struct Waiting {
+    job: JobId,
+    threads: u32,
+    work: SimDuration,
+    enqueued: SimTime,
+}
+
+/// COSMIC's state for one coprocessor.
+#[derive(Debug)]
+pub struct CosmicDevice {
+    cfg: CosmicConfig,
+    hw_threads: u32,
+    threads_per_core: u32,
+    allocator: CoreAllocator,
+    registered: BTreeMap<JobId, Registered>,
+    active: BTreeMap<JobId, ActiveOffload>,
+    waiting: VecDeque<Waiting>,
+    /// Time each admitted offload spent waiting in the queue, seconds.
+    pub queue_wait: Summary,
+    /// Offloads that had to wait at least one admission round.
+    pub queued_total: u64,
+}
+
+impl CosmicDevice {
+    /// Create middleware state for a device with the given hardware shape.
+    pub fn new(cfg: CosmicConfig, phi: &PhiConfig) -> Self {
+        CosmicDevice {
+            cfg,
+            hw_threads: phi.hw_threads(),
+            threads_per_core: phi.threads_per_core,
+            allocator: CoreAllocator::new(phi.cores),
+            registered: BTreeMap::new(),
+            active: BTreeMap::new(),
+            waiting: VecDeque::new(),
+            queue_wait: Summary::new(),
+            queued_total: 0,
+        }
+    }
+
+    /// Register a job that the cluster scheduler placed on this device.
+    ///
+    /// # Panics
+    /// Panics if the job is already registered — the cluster scheduler must
+    /// not double-place a job.
+    pub fn register_job(&mut self, job: JobId, declared_mem_mb: u64, declared_threads: u32) {
+        let prior = self.registered.insert(
+            job,
+            Registered {
+                declared_mem_mb,
+                declared_threads,
+            },
+        );
+        assert!(prior.is_none(), "job {job} registered twice");
+    }
+
+    /// Remove a job (completed or killed): drops any queued offload and
+    /// frees its cores if one was active. Returns offload grants that the
+    /// departure unblocked.
+    pub fn unregister_job(&mut self, now: SimTime, job: JobId) -> Vec<OffloadGrant> {
+        self.waiting.retain(|w| w.job != job);
+        if let Some(active) = self.active.remove(&job) {
+            self.allocator.release(active.cores);
+        }
+        self.registered.remove(&job);
+        self.admit_waiters(now)
+    }
+
+    /// A registered job wants to start an offload.
+    ///
+    /// Requests for more threads than the hardware has are clamped to the
+    /// device capacity (an OpenMP region asking for more threads than exist
+    /// just timeshares; COSMIC caps the affinity mask instead) — otherwise a
+    /// 240-thread job could never be admitted on a 228-thread card and
+    /// would starve forever.
+    pub fn request_offload(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        threads: u32,
+        work: SimDuration,
+    ) -> Admission {
+        let threads = threads.min(self.hw_threads);
+        assert!(
+            self.registered.contains_key(&job),
+            "offload request from unregistered job {job}"
+        );
+        assert!(
+            !self.active.contains_key(&job),
+            "job {job} already has an active offload"
+        );
+        // Strict FIFO: nobody overtakes an existing queue.
+        if self.waiting.is_empty() {
+            if let Some(grant) = self.try_start(now, job, threads, work, now) {
+                return Admission::Started(grant);
+            }
+        }
+        self.waiting.push_back(Waiting {
+            job,
+            threads,
+            work,
+            enqueued: now,
+        });
+        self.queued_total += 1;
+        Admission::Queued
+    }
+
+    /// An active offload finished; free its cores and admit whatever now
+    /// fits from the queue.
+    pub fn complete_offload(&mut self, now: SimTime, job: JobId) -> Vec<OffloadGrant> {
+        let active = self
+            .active
+            .remove(&job)
+            .expect("complete_offload for a job with no active offload");
+        self.allocator.release(active.cores);
+        self.admit_waiters(now)
+    }
+
+    /// Container check on a memory commit.
+    pub fn on_commit(&self, job: JobId, committed_mb: u64) -> ContainerVerdict {
+        if !self.cfg.enforce_containers {
+            return ContainerVerdict::Allowed;
+        }
+        let declared = self
+            .registered
+            .get(&job)
+            .map(|r| r.declared_mem_mb)
+            .unwrap_or(0);
+        if committed_mb > declared {
+            ContainerVerdict::KillExceededLimit {
+                committed_mb,
+                declared_mb: declared,
+            }
+        } else {
+            ContainerVerdict::Allowed
+        }
+    }
+
+    /// Thread sum of currently active offloads.
+    pub fn active_threads(&self) -> u32 {
+        self.active.values().map(|a| a.threads).sum()
+    }
+
+    /// Number of offloads waiting for admission.
+    pub fn queue_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Declared memory sum over registered jobs, MB (what the knapsack
+    /// budgeted on this device).
+    pub fn registered_declared_mb(&self) -> u64 {
+        self.registered.values().map(|r| r.declared_mem_mb).sum()
+    }
+
+    /// Declared thread sum over registered jobs — what the strict
+    /// resident-thread budget (paper §IV-C, "all concurrent jobs") charges
+    /// against.
+    pub fn registered_declared_threads(&self) -> u32 {
+        self.registered.values().map(|r| r.declared_threads).sum()
+    }
+
+    /// Number of jobs registered on the device.
+    pub fn registered_jobs(&self) -> usize {
+        self.registered.len()
+    }
+
+    fn try_start(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        threads: u32,
+        work: SimDuration,
+        enqueued: SimTime,
+    ) -> Option<OffloadGrant> {
+        if self.active_threads() + threads > self.hw_threads {
+            return None;
+        }
+        let cores_needed = threads.div_ceil(self.threads_per_core);
+        let cores = self.allocator.allocate(cores_needed)?;
+        self.active.insert(job, ActiveOffload { threads, cores });
+        self.queue_wait
+            .record(now.since(enqueued).as_secs_f64());
+        Some(OffloadGrant {
+            job,
+            threads,
+            work,
+            affinity: Affinity::Pinned(cores),
+        })
+    }
+
+    fn admit_waiters(&mut self, now: SimTime) -> Vec<OffloadGrant> {
+        let mut granted = Vec::new();
+        match self.cfg.policy {
+            OffloadPolicy::Fifo => {
+                while let Some(head) = self.waiting.front().cloned() {
+                    match self.try_start(now, head.job, head.threads, head.work, head.enqueued) {
+                        Some(grant) => {
+                            self.waiting.pop_front();
+                            granted.push(grant);
+                        }
+                        None => break,
+                    }
+                }
+            }
+            OffloadPolicy::Backfill => {
+                let mut i = 0;
+                while i < self.waiting.len() {
+                    let w = self.waiting[i].clone();
+                    match self.try_start(now, w.job, w.threads, w.work, w.enqueued) {
+                        Some(grant) => {
+                            self.waiting.remove(i);
+                            granted.push(grant);
+                        }
+                        None => i += 1,
+                    }
+                }
+            }
+        }
+        granted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cosmic(policy: OffloadPolicy) -> CosmicDevice {
+        CosmicDevice::new(
+            CosmicConfig {
+                enforce_containers: true,
+                policy,
+            },
+            &PhiConfig::default(),
+        )
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn w(secs: u64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn concurrent_offloads_within_limit_get_disjoint_cores() {
+        let mut c = cosmic(OffloadPolicy::Fifo);
+        c.register_job(JobId(1), 1000, 120);
+        c.register_job(JobId(2), 1000, 120);
+        let a = c.request_offload(t(0), JobId(1), 120, w(5));
+        let b = c.request_offload(t(0), JobId(2), 120, w(5));
+        let (Admission::Started(ga), Admission::Started(gb)) = (a, b) else {
+            panic!("both offloads should start");
+        };
+        let (Affinity::Pinned(ca), Affinity::Pinned(cb)) = (ga.affinity, gb.affinity) else {
+            panic!("COSMIC grants are always pinned");
+        };
+        assert!(ca.is_disjoint(cb));
+        assert_eq!(ca.count(), 30);
+        assert_eq!(c.active_threads(), 240);
+    }
+
+    #[test]
+    fn oversubscribing_offload_is_queued_then_admitted() {
+        let mut c = cosmic(OffloadPolicy::Fifo);
+        c.register_job(JobId(1), 1000, 240);
+        c.register_job(JobId(2), 1000, 240);
+        assert!(matches!(
+            c.request_offload(t(0), JobId(1), 240, w(10)),
+            Admission::Started(_)
+        ));
+        assert_eq!(
+            c.request_offload(t(0), JobId(2), 240, w(10)),
+            Admission::Queued
+        );
+        assert_eq!(c.queue_len(), 1);
+        // Never exceeds hardware.
+        assert!(c.active_threads() <= 240);
+        let granted = c.complete_offload(t(10), JobId(1));
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].job, JobId(2));
+        assert_eq!(c.queue_len(), 0);
+        // Queue wait was recorded: 10 s.
+        assert_eq!(c.queue_wait.max(), 10.0);
+    }
+
+    #[test]
+    fn fifo_head_blocks_smaller_followers() {
+        let mut c = cosmic(OffloadPolicy::Fifo);
+        for j in 1..=3 {
+            c.register_job(JobId(j), 500, 240);
+        }
+        assert!(matches!(
+            c.request_offload(t(0), JobId(1), 200, w(10)),
+            Admission::Started(_)
+        ));
+        // Head of queue needs 240; a 40-thread offload behind it must wait
+        // under strict FIFO.
+        assert_eq!(c.request_offload(t(1), JobId(2), 240, w(5)), Admission::Queued);
+        assert_eq!(c.request_offload(t(2), JobId(3), 40, w(5)), Admission::Queued);
+        assert_eq!(c.queue_len(), 2);
+        let granted = c.complete_offload(t(10), JobId(1));
+        // 240-thread head admitted alone.
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].job, JobId(2));
+    }
+
+    #[test]
+    fn backfill_lets_small_offloads_jump() {
+        let mut c = cosmic(OffloadPolicy::Backfill);
+        for j in 1..=3 {
+            c.register_job(JobId(j), 500, 240);
+        }
+        assert!(matches!(
+            c.request_offload(t(0), JobId(1), 200, w(10)),
+            Admission::Started(_)
+        ));
+        assert_eq!(c.request_offload(t(1), JobId(2), 240, w(5)), Admission::Queued);
+        assert_eq!(c.request_offload(t(2), JobId(3), 40, w(5)), Admission::Queued);
+        // Job 3 fits alongside job 1 (200 + 40 ≤ 240); backfill admits it
+        // when we next touch the queue.
+        let granted = c.complete_offload(t(3), JobId(1));
+        let jobs: Vec<JobId> = granted.iter().map(|g| g.job).collect();
+        assert_eq!(jobs, vec![JobId(2)]);
+        // After 2 finishes, 3 runs.
+        let granted = c.complete_offload(t(8), JobId(2));
+        assert_eq!(granted[0].job, JobId(3));
+    }
+
+    #[test]
+    fn unregister_drops_queued_offloads_and_frees_cores() {
+        let mut c = cosmic(OffloadPolicy::Fifo);
+        c.register_job(JobId(1), 500, 240);
+        c.register_job(JobId(2), 500, 240);
+        c.register_job(JobId(3), 500, 120);
+        assert!(matches!(
+            c.request_offload(t(0), JobId(1), 240, w(10)),
+            Admission::Started(_)
+        ));
+        assert_eq!(c.request_offload(t(0), JobId(2), 240, w(5)), Admission::Queued);
+        assert_eq!(c.request_offload(t(0), JobId(3), 120, w(5)), Admission::Queued);
+        // Job 2 is killed while queued; job 1 killed while active.
+        let g = c.unregister_job(t(1), JobId(2));
+        assert!(g.is_empty());
+        let g = c.unregister_job(t(2), JobId(1));
+        // Queue head (job 3) admitted by the departure.
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].job, JobId(3));
+        assert_eq!(c.registered_jobs(), 1);
+    }
+
+    #[test]
+    fn container_kill_on_overrun() {
+        let mut c = cosmic(OffloadPolicy::Fifo);
+        c.register_job(JobId(1), 1000, 60);
+        assert_eq!(c.on_commit(JobId(1), 900), ContainerVerdict::Allowed);
+        assert_eq!(
+            c.on_commit(JobId(1), 1100),
+            ContainerVerdict::KillExceededLimit {
+                committed_mb: 1100,
+                declared_mb: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn container_enforcement_can_be_disabled() {
+        let mut c = CosmicDevice::new(
+            CosmicConfig {
+                enforce_containers: false,
+                policy: OffloadPolicy::Fifo,
+            },
+            &PhiConfig::default(),
+        );
+        c.register_job(JobId(1), 1000, 60);
+        assert_eq!(c.on_commit(JobId(1), 5000), ContainerVerdict::Allowed);
+    }
+
+    #[test]
+    fn core_fragmentation_blocks_admission() {
+        // 1-thread offloads consume a whole core each: 60 offloads exhaust
+        // cores while using only 60 of 240 threads.
+        let mut c = cosmic(OffloadPolicy::Fifo);
+        for j in 0..61 {
+            c.register_job(JobId(j), 10, 1);
+        }
+        for j in 0..60 {
+            assert!(matches!(
+                c.request_offload(t(0), JobId(j), 1, w(5)),
+                Admission::Started(_)
+            ));
+        }
+        assert_eq!(c.request_offload(t(0), JobId(60), 1, w(5)), Admission::Queued);
+        assert_eq!(c.active_threads(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let mut c = cosmic(OffloadPolicy::Fifo);
+        c.register_job(JobId(1), 100, 60);
+        c.register_job(JobId(1), 100, 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered job")]
+    fn offload_from_unregistered_job_panics() {
+        let mut c = cosmic(OffloadPolicy::Fifo);
+        c.request_offload(t(0), JobId(1), 60, w(1));
+    }
+
+    #[test]
+    fn overwide_offloads_are_clamped_to_hardware() {
+        // A 57-core card has 228 hardware threads; a 240-thread offload
+        // must still be admittable (clamped), not starved forever.
+        let small = PhiConfig {
+            cores: 57,
+            ..PhiConfig::default()
+        };
+        let mut c = CosmicDevice::new(CosmicConfig::default(), &small);
+        c.register_job(JobId(1), 500, 240);
+        match c.request_offload(t(0), JobId(1), 240, w(5)) {
+            Admission::Started(grant) => assert_eq!(grant.threads, 228),
+            Admission::Queued => panic!("clamped offload must start on an idle device"),
+        }
+        assert_eq!(c.active_threads(), 228);
+    }
+
+    #[test]
+    fn declared_resource_accounting() {
+        let mut c = cosmic(OffloadPolicy::Fifo);
+        c.register_job(JobId(1), 1000, 60);
+        c.register_job(JobId(2), 2000, 180);
+        assert_eq!(c.registered_declared_mb(), 3000);
+        assert_eq!(c.registered_declared_threads(), 240);
+        c.unregister_job(t(0), JobId(1));
+        assert_eq!(c.registered_declared_mb(), 2000);
+        assert_eq!(c.registered_declared_threads(), 180);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for COSMIC admission control: under arbitrary offload
+//! request/complete/unregister sequences, the middleware never admits more
+//! than the hardware's thread or core capacity, and (under FIFO) never
+//! starves the queue head.
+
+use phishare_cosmic::{Admission, CosmicConfig, CosmicDevice, OffloadPolicy};
+use phishare_phi::PhiConfig;
+use phishare_sim::{SimDuration, SimTime};
+use phishare_workload::JobId;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Request { job: u64, cores: u32, work_secs: u64 },
+    CompleteOne,
+    Unregister { job: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..8, 1u32..=60, 1u64..20).prop_map(|(job, cores, work_secs)| Op::Request {
+            job,
+            cores,
+            work_secs
+        }),
+        2 => Just(Op::CompleteOne),
+        1 => (0u64..8).prop_map(|job| Op::Unregister { job }),
+    ]
+}
+
+fn drive(ops: Vec<Op>, policy: OffloadPolicy) -> Result<(), TestCaseError> {
+    let phi = PhiConfig::default();
+    let mut cosmic = CosmicDevice::new(
+        CosmicConfig {
+            enforce_containers: true,
+            policy,
+        },
+        &phi,
+    );
+    // Register the whole job universe up front.
+    for j in 0..8u64 {
+        cosmic.register_job(JobId(j), 500, 240);
+    }
+    let mut registered: BTreeSet<u64> = (0..8).collect();
+    let mut active: BTreeSet<u64> = BTreeSet::new();
+    let mut requested: BTreeSet<u64> = BTreeSet::new();
+    let mut now = SimTime::ZERO;
+
+    for op in ops {
+        now += SimDuration::from_secs(1);
+        match op {
+            Op::Request { job, cores, work_secs } => {
+                if !registered.contains(&job) || requested.contains(&job) {
+                    continue; // the runtime never double-requests
+                }
+                requested.insert(job);
+                match cosmic.request_offload(
+                    now,
+                    JobId(job),
+                    cores * 4,
+                    SimDuration::from_secs(work_secs),
+                ) {
+                    Admission::Started(grant) => {
+                        prop_assert_eq!(grant.job, JobId(job));
+                        active.insert(job);
+                    }
+                    Admission::Queued => {}
+                }
+            }
+            Op::CompleteOne => {
+                if let Some(&job) = active.iter().next() {
+                    active.remove(&job);
+                    requested.remove(&job);
+                    for grant in cosmic.complete_offload(now, JobId(job)) {
+                        active.insert(grant.job.raw());
+                    }
+                }
+            }
+            Op::Unregister { job } => {
+                if registered.remove(&job) {
+                    for grant in cosmic.unregister_job(now, JobId(job)) {
+                        active.insert(grant.job.raw());
+                    }
+                    active.remove(&job);
+                    requested.remove(&job);
+                }
+            }
+        }
+        // --- invariants ---
+        prop_assert!(
+            cosmic.active_threads() <= phi.hw_threads(),
+            "admitted {} threads over the {}-thread hardware",
+            cosmic.active_threads(),
+            phi.hw_threads()
+        );
+        prop_assert!(cosmic.queue_len() + active.len() <= 8);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fifo_never_oversubscribes(ops in prop::collection::vec(arb_op(), 1..80)) {
+        drive(ops, OffloadPolicy::Fifo)?;
+    }
+
+    #[test]
+    fn backfill_never_oversubscribes(ops in prop::collection::vec(arb_op(), 1..80)) {
+        drive(ops, OffloadPolicy::Backfill)?;
+    }
+
+    /// FIFO liveness: if offloads keep completing, every queued offload is
+    /// eventually granted (no starvation).
+    #[test]
+    fn fifo_drains_completely(requests in prop::collection::vec((0u64..16, 1u32..=60), 1..16)) {
+        let phi = PhiConfig::default();
+        let mut cosmic = CosmicDevice::new(CosmicConfig::default(), &phi);
+        let mut seen = BTreeSet::new();
+        let mut active: Vec<JobId> = Vec::new();
+        let mut granted = 0usize;
+        let mut issued = 0usize;
+        let mut now = SimTime::ZERO;
+        for (job, cores) in requests {
+            if !seen.insert(job) {
+                continue;
+            }
+            cosmic.register_job(JobId(job), 100, 240);
+            issued += 1;
+            match cosmic.request_offload(now, JobId(job), cores * 4, SimDuration::from_secs(1)) {
+                Admission::Started(g) => {
+                    granted += 1;
+                    active.push(g.job);
+                }
+                Admission::Queued => {}
+            }
+        }
+        // Drain: complete actives until nothing remains.
+        let mut steps = 0;
+        while let Some(job) = active.pop() {
+            now += SimDuration::from_secs(1);
+            for g in cosmic.complete_offload(now, job) {
+                granted += 1;
+                active.push(g.job);
+            }
+            steps += 1;
+            prop_assert!(steps < 1000, "drain did not terminate");
+        }
+        prop_assert_eq!(granted, issued, "some offload starved");
+        prop_assert_eq!(cosmic.queue_len(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Baseline packers.
+//!
+//! * [`RandomFit`] — the paper's **MCC** configuration: "jobs are selected
+//!   randomly at the cluster level: they are packed arbitrarily to Xeon Phi
+//!   coprocessors and COSMIC prevents them from oversubscribing memory and
+//!   threads" (§V). Memory feasibility is enforced (Condor's matchmaking
+//!   checks the advertised Phi memory); thread feasibility is *not* — COSMIC
+//!   serializes thread-excess offloads at run time.
+//! * [`FirstFit`] — FIFO first-fit, the classic list-scheduling baseline.
+//! * [`BestFitDecreasing`] — largest-memory-first best fit, the classic
+//!   bin-packing heuristic the related work (§VI) alludes to.
+
+use crate::item::{Capacity, PackItem, Packing};
+use crate::value::ValueFunction;
+use phishare_sim::DetRng;
+
+/// Common interface: choose a subset of `items` for one knapsack.
+pub trait Packer {
+    /// Pack one knapsack. `rng` feeds stochastic packers; deterministic
+    /// packers ignore it.
+    fn pack(&self, items: &[PackItem], cap: &Capacity, rng: &mut DetRng) -> Packing;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn finish(items: &[PackItem], selected: Vec<usize>, cap: &Capacity) -> Packing {
+    let total_value: f64 = selected
+        .iter()
+        .map(|&idx| {
+            let it = items.iter().find(|i| i.index == idx).expect("own selection");
+            ValueFunction::PaperQuadratic.value(it.threads, cap.value_threads())
+        })
+        .sum();
+    Packing::from_selection(items, selected, total_value)
+}
+
+/// Random-order first fit under the memory constraint only (MCC).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomFit;
+
+impl Packer for RandomFit {
+    fn pack(&self, items: &[PackItem], cap: &Capacity, rng: &mut DetRng) -> Packing {
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        rng.shuffle(&mut order);
+        let mut free = cap.mem_mb;
+        let mut selected = Vec::new();
+        for pos in order {
+            let it = &items[pos];
+            if it.mem_mb <= free {
+                free -= it.mem_mb;
+                selected.push(it.index);
+            }
+        }
+        finish(items, selected, cap)
+    }
+
+    fn name(&self) -> &'static str {
+        "random-fit"
+    }
+}
+
+/// FIFO first fit under memory and thread constraints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFit;
+
+impl Packer for FirstFit {
+    fn pack(&self, items: &[PackItem], cap: &Capacity, _rng: &mut DetRng) -> Packing {
+        let mut free = cap.mem_mb;
+        let mut threads = 0u32;
+        let mut selected = Vec::new();
+        for it in items {
+            if it.mem_mb <= free && threads + it.threads <= cap.thread_limit {
+                free -= it.mem_mb;
+                threads += it.threads;
+                selected.push(it.index);
+            }
+        }
+        finish(items, selected, cap)
+    }
+
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+}
+
+/// Best-fit decreasing by memory, under memory and thread constraints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFitDecreasing;
+
+impl Packer for BestFitDecreasing {
+    fn pack(&self, items: &[PackItem], cap: &Capacity, _rng: &mut DetRng) -> Packing {
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by(|&a, &b| {
+            items[b]
+                .mem_mb
+                .cmp(&items[a].mem_mb)
+                .then(items[a].index.cmp(&items[b].index))
+        });
+        let mut free = cap.mem_mb;
+        let mut threads = 0u32;
+        let mut selected = Vec::new();
+        for pos in order {
+            let it = &items[pos];
+            if it.mem_mb <= free && threads + it.threads <= cap.thread_limit {
+                free -= it.mem_mb;
+                threads += it.threads;
+                selected.push(it.index);
+            }
+        }
+        finish(items, selected, cap)
+    }
+
+    fn name(&self) -> &'static str {
+        "best-fit-decreasing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn it(index: usize, mem_mb: u64, threads: u32) -> PackItem {
+        PackItem {
+            index,
+            mem_mb,
+            threads,
+        }
+    }
+
+    fn rng() -> DetRng {
+        DetRng::from_seed(7)
+    }
+
+    #[test]
+    fn random_fit_respects_memory_only() {
+        let cap = Capacity::phi(1000);
+        let items: Vec<PackItem> = (0..8).map(|i| it(i, 300, 240)).collect();
+        let p = RandomFit.pack(&items, &cap, &mut rng());
+        assert!(p.total_mem_mb <= 1000);
+        assert_eq!(p.concurrency(), 3);
+        // Thread oversubscription is possible by design (COSMIC handles it).
+        assert!(p.total_threads > 240);
+    }
+
+    #[test]
+    fn random_fit_is_random_but_seed_deterministic() {
+        let cap = Capacity::phi(1000);
+        let items: Vec<PackItem> = (0..10).map(|i| it(i, 400, 60)).collect();
+        let a = RandomFit.pack(&items, &cap, &mut DetRng::from_seed(1));
+        let b = RandomFit.pack(&items, &cap, &mut DetRng::from_seed(1));
+        assert_eq!(a, b);
+        let c = RandomFit.pack(&items, &cap, &mut DetRng::from_seed(2));
+        // Same count (homogeneous items) but very likely a different subset.
+        assert_eq!(a.concurrency(), c.concurrency());
+    }
+
+    #[test]
+    fn first_fit_takes_fifo_prefix() {
+        let cap = Capacity::phi(1000);
+        let items = [it(0, 600, 60), it(1, 600, 60), it(2, 300, 60)];
+        let p = FirstFit.pack(&items, &cap, &mut rng());
+        assert_eq!(p.selected, vec![0, 2]); // 1 doesn't fit after 0
+    }
+
+    #[test]
+    fn first_fit_respects_thread_limit() {
+        let cap = Capacity::phi(7680);
+        let items = [it(0, 100, 180), it(1, 100, 180), it(2, 100, 60)];
+        let p = FirstFit.pack(&items, &cap, &mut rng());
+        assert_eq!(p.selected, vec![0, 2]);
+        assert!(p.total_threads <= 240);
+    }
+
+    #[test]
+    fn best_fit_decreasing_prefers_large_items() {
+        let cap = Capacity::phi(1000);
+        let items = [it(0, 100, 20), it(1, 900, 20), it(2, 500, 20)];
+        let p = BestFitDecreasing.pack(&items, &cap, &mut rng());
+        // Sorted: 1 (900) packs, 2 (500) no longer fits, 0 (100) does — the
+        // greedy large-first choice, not the count-optimal {0, 2}.
+        assert_eq!(p.selected, vec![0, 1]);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [RandomFit.name(), FirstFit.name(), BestFitDecreasing.name()];
+        assert_eq!(
+            names.len(),
+            names.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Branch-and-bound exact solver.
+//!
+//! A third solver family besides the DP and the exhaustive oracle: depth-
+//! first search over include/exclude decisions with a fractional-relaxation
+//! upper bound for pruning. Exact like the DP, but its cost depends on the
+//! instance rather than on `n·W·T` — fast when the value ordering is
+//! informative, exponential in adversarial cases. Included for the solver
+//! comparison in `perf_knapsack` and as a second independent oracle for the
+//! property tests.
+
+use crate::item::{Capacity, PackItem, Packing};
+use crate::value::ValueFunction;
+
+/// Hard cap on search nodes; beyond this the solver falls back to the best
+/// solution found so far (which is then a heuristic, flagged by the return
+/// type in [`solve_branch_and_bound_bounded`]).
+const DEFAULT_NODE_BUDGET: u64 = 5_000_000;
+
+struct Prepared {
+    index: usize,
+    units: usize,
+    threads: u32,
+    value: f64,
+}
+
+struct Search<'a> {
+    items: &'a [Prepared],
+    w_max: usize,
+    t_max: u32,
+    best_value: f64,
+    best_set: Vec<usize>,
+    current_set: Vec<usize>,
+    nodes: u64,
+    budget: u64,
+}
+
+impl Search<'_> {
+    /// Fractional upper bound on the value attainable from `pos` onward
+    /// with `w_left` memory units free (threads relaxed entirely — any
+    /// admissible bound works; looser bounds only cost pruning power).
+    fn bound(&self, pos: usize, w_left: usize) -> f64 {
+        let mut bound = 0.0;
+        let mut w = w_left as f64;
+        for it in &self.items[pos..] {
+            if w <= 0.0 {
+                break;
+            }
+            let units = it.units.max(1) as f64;
+            if units <= w {
+                bound += it.value;
+                w -= units;
+            } else {
+                bound += it.value * (w / units);
+                break;
+            }
+        }
+        bound
+    }
+
+    fn dfs(&mut self, pos: usize, w_left: usize, t_left: u32, value: f64) {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return;
+        }
+        if value > self.best_value {
+            self.best_value = value;
+            self.best_set = self.current_set.clone();
+        }
+        if pos == self.items.len() || value + self.bound(pos, w_left) <= self.best_value + 1e-12 {
+            return;
+        }
+        let it = &self.items[pos];
+        // Branch: include (if feasible) first — items are density-sorted,
+        // so inclusion tends to reach strong incumbents quickly.
+        if it.units <= w_left && it.threads <= t_left {
+            self.current_set.push(it.index);
+            self.dfs(pos + 1, w_left - it.units, t_left - it.threads, value + it.value);
+            self.current_set.pop();
+        }
+        self.dfs(pos + 1, w_left, t_left, value);
+    }
+}
+
+/// Exact branch-and-bound solve with the default node budget. On the
+/// pathological instances where the budget trips, the result degrades to
+/// the best incumbent (still feasible, possibly suboptimal).
+pub fn solve_branch_and_bound(
+    items: &[PackItem],
+    cap: &Capacity,
+    value_fn: ValueFunction,
+) -> Packing {
+    solve_branch_and_bound_bounded(items, cap, value_fn, DEFAULT_NODE_BUDGET).0
+}
+
+/// Like [`solve_branch_and_bound`] with an explicit node budget; the second
+/// return value is `true` when the search completed (the result is provably
+/// optimal) and `false` when the budget tripped.
+pub fn solve_branch_and_bound_bounded(
+    items: &[PackItem],
+    cap: &Capacity,
+    value_fn: ValueFunction,
+    budget: u64,
+) -> (Packing, bool) {
+    let w_max = cap.units();
+    if w_max == 0 || items.is_empty() || cap.thread_limit == 0 {
+        return (Packing::default(), true);
+    }
+    let mut prepared: Vec<Prepared> = items
+        .iter()
+        .filter_map(|it| {
+            let units = cap.item_units(it.mem_mb);
+            (units <= w_max && it.threads <= cap.thread_limit).then(|| Prepared {
+                index: it.index,
+                units,
+                threads: it.threads,
+                value: value_fn.value(it.threads, cap.value_threads()),
+            })
+        })
+        .collect();
+    if prepared.is_empty() {
+        return (Packing::default(), true);
+    }
+    // Density order (value per memory unit) makes the fractional bound
+    // valid and tight.
+    prepared.sort_by(|a, b| {
+        let da = a.value / a.units.max(1) as f64;
+        let db = b.value / b.units.max(1) as f64;
+        db.partial_cmp(&da).expect("finite densities").then(a.index.cmp(&b.index))
+    });
+
+    let mut search = Search {
+        items: &prepared,
+        w_max,
+        t_max: cap.thread_limit,
+        best_value: 0.0,
+        best_set: Vec::new(),
+        current_set: Vec::new(),
+        nodes: 0,
+        budget,
+    };
+    let (w, t) = (search.w_max, search.t_max);
+    search.dfs(0, w, t, 0.0);
+    let complete = search.nodes <= search.budget;
+    (
+        Packing::from_selection(items, search.best_set, search.best_value),
+        complete,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::solve_2d;
+
+    fn it(index: usize, mem_mb: u64, threads: u32) -> PackItem {
+        PackItem { index, mem_mb, threads }
+    }
+
+    #[test]
+    fn matches_dp_on_fixed_instances() {
+        let cap = Capacity::phi(4000);
+        let items = [
+            it(0, 900, 240),
+            it(1, 1200, 120),
+            it(2, 700, 60),
+            it(3, 1500, 180),
+            it(4, 400, 16),
+            it(5, 2100, 200),
+            it(6, 350, 32),
+        ];
+        for vf in ValueFunction::ALL {
+            let dp = solve_2d(&items, &cap, vf);
+            let (bb, complete) = solve_branch_and_bound_bounded(&items, &cap, vf, 1_000_000);
+            assert!(complete);
+            assert!(
+                (dp.total_value - bb.total_value).abs() < 1e-9,
+                "{vf}: dp {} vs bb {}",
+                dp.total_value,
+                bb.total_value
+            );
+            assert!(bb.is_feasible(&cap));
+        }
+    }
+
+    #[test]
+    fn respects_thread_limit() {
+        let cap = Capacity::phi(7680);
+        let items: Vec<PackItem> = (0..8).map(|i| it(i, 100, 120)).collect();
+        let p = solve_branch_and_bound(&items, &cap, ValueFunction::PaperQuadratic);
+        assert_eq!(p.concurrency(), 2);
+        assert!(p.total_threads <= 240);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let cap = Capacity::phi(1000);
+        assert!(solve_branch_and_bound(&[], &cap, ValueFunction::default()).is_empty());
+        let zero = Capacity { thread_limit: 0, ..cap };
+        assert!(
+            solve_branch_and_bound(&[it(0, 100, 4)], &zero, ValueFunction::default()).is_empty()
+        );
+    }
+
+    #[test]
+    fn budget_trip_still_returns_feasible_incumbent() {
+        let cap = Capacity::phi(7680);
+        let items: Vec<PackItem> = (0..40).map(|i| it(i, 180 + i as u64, 8)).collect();
+        let (p, complete) = solve_branch_and_bound_bounded(
+            &items,
+            &cap,
+            ValueFunction::PaperQuadratic,
+            50, // absurdly small budget
+        );
+        assert!(!complete);
+        assert!(p.is_feasible(&cap));
+    }
+}

@@ -1,0 +1,373 @@
+//! Dynamic-programming knapsack solvers.
+
+use crate::item::{Capacity, PackItem, Packing};
+use crate::value::ValueFunction;
+
+/// Hardware threads per memory-free "thread unit". Threads are discretized
+/// by core (4 hardware threads) exactly as memory is discretized by
+/// granularity; workloads request threads in multiples of 4, so this is
+/// lossless for them and conservative otherwise.
+const THREADS_PER_UNIT: u32 = 4;
+
+/// A dense bit grid recording, per item layer, which DP cells were improved
+/// by taking the item — the backtracking information for reconstruction.
+struct BitGrid {
+    words: Vec<u64>,
+    cells_per_item: usize,
+}
+
+impl BitGrid {
+    fn new(items: usize, cells_per_item: usize) -> Self {
+        let total_bits = items * cells_per_item;
+        BitGrid {
+            words: vec![0u64; total_bits.div_ceil(64)],
+            cells_per_item,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, item: usize, cell: usize) {
+        let bit = item * self.cells_per_item + cell;
+        self.words[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    #[inline]
+    fn get(&self, item: usize, cell: usize) -> bool {
+        let bit = item * self.cells_per_item + cell;
+        self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+}
+
+/// Exact 0-1 knapsack over **two** resource dimensions: memory units and
+/// thread units. The thread-sum constraint (the paper's value-zero rule) is
+/// enforced *inside* the DP, so the returned packing is always feasible and
+/// value-optimal under the discretization.
+///
+/// Complexity `O(n · W · T)` with `W = capacity/granularity` memory units
+/// (153 for a 7.5 GB-usable card at 50 MB) and `T = thread_limit/4` thread
+/// units (60 on the Phi) — the 2-D analogue of the paper's `O(n·w)` claim.
+///
+/// ```
+/// use phishare_knapsack::{solve_2d, Capacity, PackItem, ValueFunction};
+///
+/// let items = vec![
+///     PackItem { index: 0, mem_mb: 4000, threads: 240 },
+///     PackItem { index: 1, mem_mb: 2000, threads: 80 },
+///     PackItem { index: 2, mem_mb: 2000, threads: 80 },
+///     PackItem { index: 3, mem_mb: 3000, threads: 80 },
+/// ];
+/// let p = solve_2d(&items, &Capacity::phi(7680), ValueFunction::PaperQuadratic);
+/// // The quadratic value packs the three small-thread jobs, not the hog.
+/// assert_eq!(p.selected, vec![1, 2, 3]);
+/// assert!(p.total_threads <= 240);
+/// ```
+pub fn solve_2d(items: &[PackItem], cap: &Capacity, value_fn: ValueFunction) -> Packing {
+    let w_max = cap.units();
+    let t_max = (cap.thread_limit / THREADS_PER_UNIT) as usize;
+    if w_max == 0 || t_max == 0 || items.is_empty() {
+        return Packing::default();
+    }
+
+    // Pre-filter items that cannot fit alone; remember original positions.
+    struct Prepared {
+        pos: usize, // position in `items`
+        w: usize,
+        t: usize,
+        v: f64,
+    }
+    let prepared: Vec<Prepared> = items
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, it)| {
+            let w = cap.item_units(it.mem_mb);
+            let t = it.threads.div_ceil(THREADS_PER_UNIT) as usize;
+            if w <= w_max && t <= t_max && it.threads <= cap.thread_limit {
+                Some(Prepared {
+                    pos,
+                    w,
+                    t,
+                    v: value_fn.value(it.threads, cap.value_threads()),
+                })
+            } else {
+                None
+            }
+        })
+        .collect();
+    if prepared.is_empty() {
+        return Packing::default();
+    }
+
+    let stride = t_max + 1;
+    let cells = (w_max + 1) * stride;
+    let mut dp = vec![0.0f64; cells];
+    let mut taken = BitGrid::new(prepared.len(), cells);
+
+    for (k, it) in prepared.iter().enumerate() {
+        // In-place 0-1 update: iterate capacities downward so each item is
+        // used at most once.
+        for w in (it.w..=w_max).rev() {
+            for t in (it.t..=t_max).rev() {
+                let from = (w - it.w) * stride + (t - it.t);
+                let here = w * stride + t;
+                let candidate = dp[from] + it.v;
+                if candidate > dp[here] {
+                    dp[here] = candidate;
+                    taken.set(k, here);
+                }
+            }
+        }
+    }
+
+    // Reconstruct from the full-capacity cell.
+    let mut w = w_max;
+    let mut t = t_max;
+    let mut selected = Vec::new();
+    for (k, it) in prepared.iter().enumerate().rev() {
+        if taken.get(k, w * stride + t) {
+            selected.push(items[it.pos].index);
+            w -= it.w;
+            t -= it.t;
+        }
+    }
+    Packing::from_selection(items, selected, dp[cells - 1])
+}
+
+/// The paper-literal variant: a 1-D DP over memory only, followed by a
+/// repair pass implementing the value-zero rule — if the chosen set's thread
+/// sum exceeds the limit, highest-thread items are dropped until it fits.
+///
+/// Kept for the ablation bench (`abl_knapsack_variants`); [`solve_2d`]
+/// dominates it whenever threads are the binding constraint.
+pub fn solve_1d_filtered(items: &[PackItem], cap: &Capacity, value_fn: ValueFunction) -> Packing {
+    let w_max = cap.units();
+    if w_max == 0 || items.is_empty() {
+        return Packing::default();
+    }
+
+    struct Prepared {
+        pos: usize,
+        w: usize,
+        v: f64,
+    }
+    let prepared: Vec<Prepared> = items
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, it)| {
+            let w = cap.item_units(it.mem_mb);
+            (w <= w_max && it.threads <= cap.thread_limit).then_some(Prepared {
+                pos,
+                w,
+                v: value_fn.value(it.threads, cap.value_threads()),
+            })
+        })
+        .collect();
+    if prepared.is_empty() {
+        return Packing::default();
+    }
+
+    let mut dp = vec![0.0f64; w_max + 1];
+    let mut taken = BitGrid::new(prepared.len(), w_max + 1);
+    for (k, it) in prepared.iter().enumerate() {
+        for w in (it.w..=w_max).rev() {
+            let candidate = dp[w - it.w] + it.v;
+            if candidate > dp[w] {
+                dp[w] = candidate;
+                taken.set(k, w);
+            }
+        }
+    }
+
+    let mut w = w_max;
+    let mut chosen: Vec<usize> = Vec::new(); // positions into `items`
+    for (k, it) in prepared.iter().enumerate().rev() {
+        if taken.get(k, w) {
+            chosen.push(it.pos);
+            w -= it.w;
+        }
+    }
+
+    // Repair: enforce the value-zero rule by shedding thread hogs.
+    let mut total_threads: u32 = chosen.iter().map(|&p| items[p].threads).sum();
+    while total_threads > cap.thread_limit {
+        let (drop_at, _) = chosen
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &p)| items[p].threads)
+            .expect("non-empty while oversubscribed");
+        total_threads -= items[chosen[drop_at]].threads;
+        chosen.swap_remove(drop_at);
+    }
+
+    let total_value = chosen
+        .iter()
+        .map(|&p| value_fn.value(items[p].threads, cap.value_threads()))
+        .sum();
+    let selected = chosen.into_iter().map(|p| items[p].index).collect();
+    Packing::from_selection(items, selected, total_value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn it(index: usize, mem_mb: u64, threads: u32) -> PackItem {
+        PackItem {
+            index,
+            mem_mb,
+            threads,
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_packing() {
+        let cap = Capacity::phi(7680);
+        assert!(solve_2d(&[], &cap, ValueFunction::default()).is_empty());
+        assert!(solve_2d(&[it(0, 100, 60)], &Capacity::phi(0), ValueFunction::default()).is_empty());
+        assert!(solve_1d_filtered(&[], &cap, ValueFunction::default()).is_empty());
+    }
+
+    #[test]
+    fn oversized_items_are_excluded() {
+        let cap = Capacity::phi(1000);
+        let p = solve_2d(
+            &[it(0, 2000, 60), it(1, 500, 300), it(2, 500, 60)],
+            &cap,
+            ValueFunction::default(),
+        );
+        assert_eq!(p.selected, vec![2]);
+    }
+
+    #[test]
+    fn memory_constraint_is_respected() {
+        let cap = Capacity::phi(1000);
+        let items = [it(0, 600, 20), it(1, 600, 20), it(2, 300, 20)];
+        let p = solve_2d(&items, &cap, ValueFunction::default());
+        assert!(p.total_mem_mb <= 1000);
+        assert_eq!(p.concurrency(), 2); // one 600 + the 300
+    }
+
+    #[test]
+    fn thread_constraint_is_respected_by_2d() {
+        let cap = Capacity::phi(7680);
+        // Memory-plentiful, thread-starved: only two 120-thread jobs fit.
+        let items = [
+            it(0, 100, 120),
+            it(1, 100, 120),
+            it(2, 100, 120),
+            it(3, 100, 120),
+        ];
+        let p = solve_2d(&items, &cap, ValueFunction::default());
+        assert_eq!(p.concurrency(), 2);
+        assert!(p.total_threads <= 240);
+    }
+
+    #[test]
+    fn quadratic_value_prefers_many_small_jobs() {
+        let cap = Capacity::phi(7680);
+        let items = [
+            it(0, 4000, 240), // hog
+            it(1, 2000, 80),
+            it(2, 2000, 80),
+            it(3, 3000, 80),
+        ];
+        let p = solve_2d(&items, &cap, ValueFunction::PaperQuadratic);
+        assert_eq!(p.selected, vec![1, 2, 3]);
+        assert_eq!(p.total_threads, 240);
+    }
+
+    #[test]
+    fn thread_bound_tie_breaks_to_best_value() {
+        let cap = Capacity::phi(7680);
+        // {1,2,3} is thread-infeasible (300 > 240); the best feasible set
+        // pairs the 60-thread job with one 120-thread job.
+        let items = [
+            it(0, 4000, 240),
+            it(1, 2000, 120),
+            it(2, 2000, 120),
+            it(3, 3000, 60),
+        ];
+        let p = solve_2d(&items, &cap, ValueFunction::PaperQuadratic);
+        assert_eq!(p.concurrency(), 2);
+        assert!(p.selected.contains(&3));
+        assert!(!p.selected.contains(&0));
+        assert!((p.total_value - (0.75 + 0.9375)).abs() < 1e-9);
+        assert!(p.total_threads <= 240);
+    }
+
+    #[test]
+    fn discretization_never_overpacks_memory() {
+        // Items of 51 MB cost 2 units (100 MB) each; capacity 153 MB = 3
+        // units, so only ⌊3/2⌋ = 1 item packs even though 3×51 = 153 ≤ 153.
+        // Conservative, never unsafe.
+        let cap = Capacity {
+            mem_mb: 153,
+            granularity_mb: 50,
+            thread_limit: 240,
+            value_ref_threads: 0,
+        };
+        let items = [it(0, 51, 4), it(1, 51, 4), it(2, 51, 4)];
+        let p = solve_2d(&items, &cap, ValueFunction::default());
+        assert_eq!(p.concurrency(), 1);
+        assert!(p.total_mem_mb <= 153);
+    }
+
+    #[test]
+    fn one_d_filtered_repairs_thread_overruns() {
+        let cap = Capacity::phi(7680);
+        let items = [
+            it(0, 100, 240),
+            it(1, 100, 120),
+            it(2, 100, 120),
+            it(3, 100, 4),
+        ];
+        let p = solve_1d_filtered(&items, &cap, ValueFunction::default());
+        assert!(p.total_threads <= 240, "repair failed: {}", p.total_threads);
+        assert!(p.is_feasible(&cap));
+        // The 240-thread hog has the least value; repair drops it first.
+        assert!(!p.selected.contains(&0));
+    }
+
+    #[test]
+    fn two_d_dominates_1d_on_thread_bound_instances() {
+        let cap = Capacity::phi(7680);
+        let items: Vec<PackItem> = (0..10).map(|i| it(i, 200, 120)).collect();
+        let p2 = solve_2d(&items, &cap, ValueFunction::default());
+        let p1 = solve_1d_filtered(&items, &cap, ValueFunction::default());
+        assert!(p2.total_value >= p1.total_value - 1e-12);
+        assert_eq!(p2.concurrency(), 2);
+    }
+
+    #[test]
+    fn exact_fit_is_found() {
+        let cap = Capacity {
+            mem_mb: 300,
+            granularity_mb: 50,
+            thread_limit: 240,
+            value_ref_threads: 0,
+        };
+        let items = [it(0, 100, 60), it(1, 100, 60), it(2, 100, 60)];
+        let p = solve_2d(&items, &cap, ValueFunction::default());
+        assert_eq!(p.concurrency(), 3);
+        assert_eq!(p.total_mem_mb, 300);
+        assert_eq!(p.total_threads, 180);
+    }
+
+    #[test]
+    fn indices_are_reported_not_positions() {
+        let cap = Capacity::phi(7680);
+        let items = [it(42, 100, 60), it(7, 100, 60)];
+        let p = solve_2d(&items, &cap, ValueFunction::default());
+        assert_eq!(p.selected, vec![7, 42]);
+    }
+
+    #[test]
+    fn zero_thread_limit_packs_nothing() {
+        let cap = Capacity {
+            mem_mb: 1000,
+            granularity_mb: 50,
+            thread_limit: 0,
+            value_ref_threads: 0,
+        };
+        assert!(solve_2d(&[it(0, 100, 4)], &cap, ValueFunction::default()).is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! # phishare-knapsack — the packing core
+//!
+//! The paper models every Xeon Phi as a **0-1 knapsack** (§IV-C):
+//!
+//! * item **weight** = the job's declared device memory,
+//! * knapsack **capacity** = the device's free memory,
+//! * item **value** = `1 − (t/T)²` where `t` is the job's declared threads
+//!   and `T` the hardware thread count — so packing *maximizes the number of
+//!   concurrent jobs*, biased towards low-thread jobs,
+//! * a packed set whose thread sum exceeds `T` is worth **zero** (the
+//!   value-zero rule).
+//!
+//! This crate provides:
+//!
+//! * [`dp::solve_2d`] — an exact dynamic program over (memory units ×
+//!   thread units) that enforces the thread constraint *inside* the DP
+//!   (the default solver for the MCCK scheduler);
+//! * [`dp::solve_1d_filtered`] — the paper-literal 1-D memory DP followed by
+//!   a repair pass that drops highest-thread items until the value-zero rule
+//!   is satisfied (kept for the ablation study);
+//! * [`value::ValueFunction`] — the paper's quadratic value plus linear /
+//!   unit / inverse alternatives for the value-function ablation;
+//! * [`baseline`] — the packers the paper compares against implicitly:
+//!   random selection (the MCC configuration), FIFO first-fit and
+//!   best-fit-decreasing;
+//! * [`bb::solve_branch_and_bound`] — an exact branch-and-bound solver with
+//!   fractional-bound pruning, a second independent oracle and a solver
+//!   comparison point;
+//! * [`exhaustive::solve_exhaustive`] — a brute-force oracle for small
+//!   instances, used by the property tests to certify DP optimality.
+//!
+//! Weights are discretized at a configurable granularity (the paper
+//! suggests 50 MB, giving `w = 8 GB / 50 MB = 160` columns and the
+//! "nearly linear in n" complexity claim of §IV-C).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod bb;
+pub mod dp;
+pub mod exhaustive;
+pub mod item;
+pub mod value;
+
+pub use baseline::{BestFitDecreasing, FirstFit, RandomFit};
+pub use bb::solve_branch_and_bound;
+pub use dp::{solve_1d_filtered, solve_2d};
+pub use item::{Capacity, PackItem, Packing};
+pub use value::ValueFunction;

@@ -1,0 +1,145 @@
+//! Property tests: the 2-D DP is optimal (vs the exhaustive oracle) and all
+//! solvers respect feasibility on arbitrary instances.
+
+use phishare_knapsack::baseline::Packer;
+use phishare_knapsack::bb::solve_branch_and_bound_bounded;
+use phishare_knapsack::exhaustive::solve_exhaustive;
+use phishare_knapsack::{
+    solve_1d_filtered, solve_2d, BestFitDecreasing, Capacity, FirstFit, PackItem, Packing,
+    RandomFit, ValueFunction,
+};
+use phishare_sim::DetRng;
+use proptest::prelude::*;
+
+fn arb_item(index: usize) -> impl Strategy<Value = PackItem> {
+    (50u64..4000, 1u32..=60).prop_map(move |(mem_mb, cores)| PackItem {
+        index,
+        mem_mb,
+        threads: cores * 4,
+    })
+}
+
+fn arb_items(max: usize) -> impl Strategy<Value = Vec<PackItem>> {
+    prop::collection::vec(any::<()>(), 1..=max).prop_flat_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_item(i))
+            .collect::<Vec<_>>()
+    })
+}
+
+fn arb_capacity() -> impl Strategy<Value = Capacity> {
+    (500u64..8000, prop::sample::select(vec![25u64, 50, 100, 200])).prop_map(
+        |(mem_mb, granularity_mb)| Capacity {
+            mem_mb,
+            granularity_mb,
+            thread_limit: 240,
+            value_ref_threads: 0,
+        },
+    )
+}
+
+fn assert_feasible(p: &Packing, cap: &Capacity, check_threads: bool) {
+    assert!(
+        p.total_mem_mb <= cap.mem_mb,
+        "memory overpacked: {} > {}",
+        p.total_mem_mb,
+        cap.mem_mb
+    );
+    if check_threads {
+        assert!(
+            p.total_threads <= cap.thread_limit,
+            "threads overpacked: {} > {}",
+            p.total_threads,
+            cap.thread_limit
+        );
+    }
+    // No duplicate selections.
+    let mut seen = p.selected.clone();
+    seen.dedup();
+    assert_eq!(seen.len(), p.selected.len(), "duplicate selection");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The 2-D DP achieves exactly the exhaustive optimum on every instance
+    /// small enough to enumerate.
+    #[test]
+    fn dp_2d_matches_oracle(items in arb_items(12), cap in arb_capacity()) {
+        for vf in [ValueFunction::PaperQuadratic, ValueFunction::Unit] {
+            let oracle = solve_exhaustive(&items, &cap, vf);
+            let dp = solve_2d(&items, &cap, vf);
+            prop_assert!(
+                (oracle.total_value - dp.total_value).abs() < 1e-9,
+                "{vf}: oracle {} vs dp {} on {} items",
+                oracle.total_value, dp.total_value, items.len()
+            );
+        }
+    }
+
+    /// The DP's reported aggregates are consistent with its selection and
+    /// always feasible.
+    #[test]
+    fn dp_2d_is_feasible_and_consistent(items in arb_items(40), cap in arb_capacity()) {
+        let p = solve_2d(&items, &cap, ValueFunction::PaperQuadratic);
+        assert_feasible(&p, &cap, true);
+        let recomputed: f64 = p.selected.iter().map(|&idx| {
+            let it = items.iter().find(|i| i.index == idx).unwrap();
+            ValueFunction::PaperQuadratic.value(it.threads, cap.thread_limit)
+        }).sum();
+        prop_assert!((recomputed - p.total_value).abs() < 1e-9);
+    }
+
+    /// The repaired 1-D solver never violates either constraint and never
+    /// beats the 2-D optimum.
+    #[test]
+    fn dp_1d_filtered_is_feasible_and_dominated(items in arb_items(30), cap in arb_capacity()) {
+        let p1 = solve_1d_filtered(&items, &cap, ValueFunction::PaperQuadratic);
+        assert_feasible(&p1, &cap, true);
+        let p2 = solve_2d(&items, &cap, ValueFunction::PaperQuadratic);
+        prop_assert!(p2.total_value >= p1.total_value - 1e-9);
+    }
+
+    /// Baseline packers respect their stated constraints.
+    #[test]
+    fn baselines_are_feasible(items in arb_items(30), cap in arb_capacity(), seed in any::<u64>()) {
+        let mut rng = DetRng::from_seed(seed);
+        assert_feasible(&RandomFit.pack(&items, &cap, &mut rng), &cap, false);
+        assert_feasible(&FirstFit.pack(&items, &cap, &mut rng), &cap, true);
+        assert_feasible(&BestFitDecreasing.pack(&items, &cap, &mut rng), &cap, true);
+    }
+
+    /// Branch-and-bound agrees with the DP whenever its search completes,
+    /// and is always feasible regardless.
+    #[test]
+    fn branch_and_bound_matches_dp(items in arb_items(16), cap in arb_capacity()) {
+        let dp = solve_2d(&items, &cap, ValueFunction::PaperQuadratic);
+        let (bb, complete) =
+            solve_branch_and_bound_bounded(&items, &cap, ValueFunction::PaperQuadratic, 2_000_000);
+        assert_feasible(&bb, &cap, true);
+        if complete {
+            prop_assert!(
+                (dp.total_value - bb.total_value).abs() < 1e-9,
+                "dp {} vs b&b {}", dp.total_value, bb.total_value
+            );
+        }
+    }
+
+    /// Monotonicity: growing the knapsack never lowers the optimal value.
+    #[test]
+    fn dp_2d_value_is_monotone_in_capacity(items in arb_items(20), cap in arb_capacity()) {
+        let small = solve_2d(&items, &cap, ValueFunction::PaperQuadratic);
+        let bigger = Capacity { mem_mb: cap.mem_mb + cap.granularity_mb, ..cap };
+        let large = solve_2d(&items, &bigger, ValueFunction::PaperQuadratic);
+        prop_assert!(large.total_value >= small.total_value - 1e-9);
+    }
+
+    /// Adding an item never lowers the optimal value.
+    #[test]
+    fn dp_2d_value_is_monotone_in_items(items in arb_items(20), cap in arb_capacity()) {
+        let all = solve_2d(&items, &cap, ValueFunction::PaperQuadratic);
+        let fewer = solve_2d(&items[..items.len() - 1], &cap, ValueFunction::PaperQuadratic);
+        prop_assert!(all.total_value >= fewer.total_value - 1e-9);
+    }
+}

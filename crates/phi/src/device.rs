@@ -1,0 +1,756 @@
+//! The device model: resident processes, active offloads, rate-rescaled
+//! execution, oversubscription effects and utilization accounting.
+
+use crate::alloc::CoreSet;
+use crate::config::PhiConfig;
+use crate::perf::PerfModel;
+use crate::proc::{ProcId, Resident};
+use phishare_sim::{Counter, DetRng, SimDuration, SimTime, TimeWeighted};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How an offload's threads are placed on cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Affinity {
+    /// COSMIC pinned the offload to a private, disjoint core set; it never
+    /// interferes with other pinned offloads.
+    Pinned(CoreSet),
+    /// Raw MPSS: threads scatter across the whole device and overlapping
+    /// offloads interfere (§IV-D2).
+    Unmanaged,
+}
+
+/// Result of a memory commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The commit fits in physical memory.
+    Fits,
+    /// Physical memory was oversubscribed; the OOM killer terminated these
+    /// processes (their offloads were aborted and they are no longer
+    /// resident).
+    OomKilled(Vec<ProcId>),
+}
+
+/// Errors from device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The process is already resident.
+    AlreadyResident(ProcId),
+    /// The process is not resident on this device.
+    NotResident(ProcId),
+    /// The process already has an active offload (the offload model is
+    /// synchronous per COI process).
+    OffloadInProgress(ProcId),
+    /// The process has no active offload.
+    NoActiveOffload(ProcId),
+    /// A pinned core set overlaps an already-pinned offload.
+    CoreOverlap(ProcId),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::AlreadyResident(p) => write!(f, "{p} is already resident"),
+            DeviceError::NotResident(p) => write!(f, "{p} is not resident"),
+            DeviceError::OffloadInProgress(p) => write!(f, "{p} already has an active offload"),
+            DeviceError::NoActiveOffload(p) => write!(f, "{p} has no active offload"),
+            DeviceError::CoreOverlap(p) => write!(f, "pinned cores for {p} overlap another offload"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// One active (currently executing) offload.
+#[derive(Debug, Clone)]
+struct ActiveOffload {
+    threads: u32,
+    /// Nominal work remaining, in ticks at rate 1.
+    remaining: f64,
+    /// Current execution rate (nominal ticks per wall tick).
+    rate: f64,
+    affinity: Affinity,
+}
+
+/// Time-integrated utilization of one device over an interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceUtilization {
+    /// Average fraction of hardware threads busy, in `[0, 1]`.
+    pub thread_util: f64,
+    /// Average fraction of cores busy, in `[0, 1]` — the paper's §III metric.
+    pub core_util: f64,
+    /// Average fraction of usable memory committed, in `[0, 1]`.
+    pub mem_util: f64,
+    /// Fraction of time at least one offload was executing.
+    pub busy_fraction: f64,
+}
+
+/// A simulated Xeon Phi card.
+///
+/// The device is a passive state machine: the owning event loop calls
+/// [`PhiDevice::start_offload`] / [`PhiDevice::finish_offload`] etc. and uses
+/// [`PhiDevice::completions`] + [`PhiDevice::generation`] to (re)schedule
+/// completion events. Any mutation that changes execution rates bumps the
+/// generation; events carrying a stale generation must be ignored by the
+/// caller.
+#[derive(Debug)]
+pub struct PhiDevice {
+    cfg: PhiConfig,
+    perf: PerfModel,
+    procs: BTreeMap<ProcId, Resident>,
+    active: BTreeMap<ProcId, ActiveOffload>,
+    created: SimTime,
+    last_update: SimTime,
+    generation: u64,
+    busy_threads: TimeWeighted,
+    busy_cores: TimeWeighted,
+    committed: TimeWeighted,
+    busy_any: TimeWeighted,
+    /// Processes killed by the OOM killer over the device's lifetime.
+    pub oom_kills: Counter,
+    /// Offloads that ran to completion.
+    pub offloads_completed: Counter,
+}
+
+/// Tolerance (in nominal ticks) below which remaining work counts as done.
+const WORK_EPSILON: f64 = 1e-6;
+
+impl PhiDevice {
+    /// Create a device at simulation time `start`.
+    pub fn new(cfg: PhiConfig, perf: PerfModel, start: SimTime) -> Self {
+        cfg.validate().expect("invalid device configuration");
+        PhiDevice {
+            cfg,
+            perf,
+            procs: BTreeMap::new(),
+            active: BTreeMap::new(),
+            created: start,
+            last_update: start,
+            generation: 0,
+            busy_threads: TimeWeighted::new(start),
+            busy_cores: TimeWeighted::new(start),
+            committed: TimeWeighted::new(start),
+            busy_any: TimeWeighted::new(start),
+            oom_kills: Counter::new(),
+            offloads_completed: Counter::new(),
+        }
+    }
+
+    /// The device's static configuration.
+    pub fn config(&self) -> &PhiConfig {
+        &self.cfg
+    }
+
+    /// Monotone counter bumped whenever execution rates may have changed.
+    /// Completion events scheduled under an older generation are stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    // ------------------------------------------------------------------
+    // Process lifecycle
+    // ------------------------------------------------------------------
+
+    /// Attach a COI process with its declared envelope and an initial memory
+    /// commit. The initial commit may already trigger the OOM killer when
+    /// the device is physically oversubscribed (raw-MPSS scenarios).
+    pub fn attach(
+        &mut self,
+        now: SimTime,
+        proc: ProcId,
+        declared_mem_mb: u64,
+        declared_threads: u32,
+        initial_commit_mb: u64,
+        rng: &mut DetRng,
+    ) -> Result<CommitOutcome, DeviceError> {
+        if self.procs.contains_key(&proc) {
+            return Err(DeviceError::AlreadyResident(proc));
+        }
+        self.procs.insert(
+            proc,
+            Resident {
+                declared_mem_mb,
+                declared_threads,
+                committed_mem_mb: 0,
+            },
+        );
+        self.commit_memory(now, proc, initial_commit_mb, rng)
+    }
+
+    /// Detach a process, freeing its memory and aborting any active offload.
+    pub fn detach(&mut self, now: SimTime, proc: ProcId) -> Result<(), DeviceError> {
+        if !self.procs.contains_key(&proc) {
+            return Err(DeviceError::NotResident(proc));
+        }
+        self.active.remove(&proc);
+        self.procs.remove(&proc);
+        self.reschedule(now);
+        Ok(())
+    }
+
+    /// Set a process's committed memory to `total_mb`. Shrinking is allowed.
+    /// Growing past physical memory triggers the OOM killer, which
+    /// terminates uniformly random resident processes until the commit fits
+    /// (§II-C: Linux's OOM killer "randomly terminates processes").
+    pub fn commit_memory(
+        &mut self,
+        now: SimTime,
+        proc: ProcId,
+        total_mb: u64,
+        rng: &mut DetRng,
+    ) -> Result<CommitOutcome, DeviceError> {
+        {
+            let r = self
+                .procs
+                .get_mut(&proc)
+                .ok_or(DeviceError::NotResident(proc))?;
+            r.committed_mem_mb = total_mb;
+        }
+        let mut killed = Vec::new();
+        while self.committed_total_mb() > self.cfg.usable_mem_mb() {
+            let victims: Vec<ProcId> = self.procs.keys().copied().collect();
+            debug_assert!(!victims.is_empty());
+            let victim = *rng.choose(&victims);
+            self.active.remove(&victim);
+            self.procs.remove(&victim);
+            self.oom_kills.incr();
+            killed.push(victim);
+        }
+        self.reschedule(now);
+        if killed.is_empty() {
+            Ok(CommitOutcome::Fits)
+        } else {
+            Ok(CommitOutcome::OomKilled(killed))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Offload lifecycle
+    // ------------------------------------------------------------------
+
+    /// Begin executing an offload of `work` nominal duration using `threads`
+    /// hardware threads for process `proc`.
+    pub fn start_offload(
+        &mut self,
+        now: SimTime,
+        proc: ProcId,
+        threads: u32,
+        work: SimDuration,
+        affinity: Affinity,
+    ) -> Result<(), DeviceError> {
+        if !self.procs.contains_key(&proc) {
+            return Err(DeviceError::NotResident(proc));
+        }
+        if self.active.contains_key(&proc) {
+            return Err(DeviceError::OffloadInProgress(proc));
+        }
+        if let Affinity::Pinned(set) = affinity {
+            for (other, off) in &self.active {
+                if let Affinity::Pinned(existing) = off.affinity {
+                    if !set.is_disjoint(existing) {
+                        let _ = other;
+                        return Err(DeviceError::CoreOverlap(proc));
+                    }
+                }
+            }
+        }
+        self.active.insert(
+            proc,
+            ActiveOffload {
+                threads,
+                remaining: work.ticks() as f64,
+                rate: 1.0,
+                affinity,
+            },
+        );
+        self.reschedule(now);
+        Ok(())
+    }
+
+    /// Complete an offload whose completion event just fired.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if called while the offload still has more
+    /// than one tick of work left — that means the caller fired a stale
+    /// event the generation guard should have dropped.
+    pub fn finish_offload(&mut self, now: SimTime, proc: ProcId) -> Result<(), DeviceError> {
+        self.advance_to(now);
+        let off = self
+            .active
+            .get(&proc)
+            .ok_or(DeviceError::NoActiveOffload(proc))?;
+        debug_assert!(
+            off.remaining <= off.rate + WORK_EPSILON,
+            "finish_offload fired with {:.3} nominal ticks left (rate {:.4}): stale event?",
+            off.remaining,
+            off.rate
+        );
+        self.active.remove(&proc);
+        self.offloads_completed.incr();
+        self.reschedule(now);
+        Ok(())
+    }
+
+    /// Abort an active offload (job killed or preempted mid-offload).
+    pub fn abort_offload(&mut self, now: SimTime, proc: ProcId) -> Result<(), DeviceError> {
+        if self.active.remove(&proc).is_none() {
+            return Err(DeviceError::NoActiveOffload(proc));
+        }
+        self.reschedule(now);
+        Ok(())
+    }
+
+    /// Predicted completion instants for all active offloads under current
+    /// rates, paired with the device generation the prediction is valid for.
+    pub fn completions(&self) -> Vec<(ProcId, SimTime)> {
+        self.active
+            .iter()
+            .map(|(proc, off)| {
+                let dt = (off.remaining / off.rate).ceil().max(0.0) as u64;
+                (*proc, self.last_update + SimDuration::from_ticks(dt))
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Execution integration
+    // ------------------------------------------------------------------
+
+    /// Integrate execution progress up to `now` and refresh all rates,
+    /// bumping the generation.
+    fn reschedule(&mut self, now: SimTime) {
+        self.advance_to(now);
+        let n_active = self.active.len();
+        let n_resident = self.procs.len();
+        let active_threads = self.active_threads();
+        let hw = self.cfg.hw_threads();
+        for off in self.active.values_mut() {
+            let pinned = matches!(off.affinity, Affinity::Pinned(_));
+            off.rate =
+                self.perf
+                    .offload_rate(pinned, n_active.max(1), n_resident, active_threads, hw);
+        }
+        self.generation += 1;
+        self.record_utilization(now);
+    }
+
+    /// Integrate remaining work at current rates from `last_update` to `now`.
+    fn advance_to(&mut self, now: SimTime) {
+        let dt = now.since(self.last_update).ticks() as f64;
+        if dt > 0.0 {
+            for off in self.active.values_mut() {
+                off.remaining = (off.remaining - off.rate * dt).max(0.0);
+            }
+            self.last_update = now;
+        }
+    }
+
+    fn record_utilization(&mut self, now: SimTime) {
+        let hw = self.cfg.hw_threads();
+        self.busy_threads
+            .set(now, self.active_threads().min(hw) as f64);
+        self.busy_cores.set(now, self.busy_core_estimate() as f64);
+        self.committed.set(now, self.committed_total_mb() as f64);
+        self.busy_any
+            .set(now, if self.active.is_empty() { 0.0 } else { 1.0 });
+    }
+
+    /// Estimated number of busy cores: pinned offloads occupy exactly their
+    /// core sets; unmanaged offloads spread over `ceil(threads/4)` cores.
+    /// Capped at the core count.
+    fn busy_core_estimate(&self) -> u32 {
+        let mut pinned_union = CoreSet::EMPTY;
+        let mut unmanaged_cores = 0u32;
+        for off in self.active.values() {
+            match off.affinity {
+                Affinity::Pinned(set) => pinned_union = pinned_union.union(set),
+                Affinity::Unmanaged => {
+                    unmanaged_cores += self.cfg.cores_for_threads(off.threads);
+                }
+            }
+        }
+        (pinned_union.count() + unmanaged_cores).min(self.cfg.cores)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Number of resident COI processes.
+    pub fn resident_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when `proc` is resident.
+    pub fn is_resident(&self, proc: ProcId) -> bool {
+        self.procs.contains_key(&proc)
+    }
+
+    /// True when `proc` has an active offload.
+    pub fn has_active_offload(&self, proc: ProcId) -> bool {
+        self.active.contains_key(&proc)
+    }
+
+    /// Resident process ids in ascending order.
+    pub fn resident_ids(&self) -> Vec<ProcId> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Sum of declared memory over resident processes (MB) — what schedulers
+    /// budget against.
+    pub fn declared_total_mb(&self) -> u64 {
+        self.procs.values().map(|r| r.declared_mem_mb).sum()
+    }
+
+    /// Declared memory still unbudgeted (MB), i.e. usable minus declared.
+    pub fn free_declared_mb(&self) -> u64 {
+        self.cfg.usable_mem_mb().saturating_sub(self.declared_total_mb())
+    }
+
+    /// Sum of committed memory over resident processes (MB) — the physical
+    /// constraint.
+    pub fn committed_total_mb(&self) -> u64 {
+        self.procs.values().map(|r| r.committed_mem_mb).sum()
+    }
+
+    /// Sum of declared threads over resident processes.
+    pub fn declared_threads(&self) -> u32 {
+        self.procs.values().map(|r| r.declared_threads).sum()
+    }
+
+    /// Thread sum over *active* offloads.
+    pub fn active_threads(&self) -> u32 {
+        self.active.values().map(|o| o.threads).sum()
+    }
+
+    /// Number of active offloads.
+    pub fn active_offloads(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Energy consumed by the card from creation through `end`, in joules:
+    /// idle draw for the whole interval plus the busy-core fraction scaled
+    /// between idle and max draw. Backs the paper's footprint argument —
+    /// fewer cards at equal makespan means proportionally less energy.
+    pub fn energy_joules(&self, end: SimTime) -> f64 {
+        let elapsed = end.since(self.created).as_secs_f64();
+        let busy_core_seconds = self.busy_cores.integral(end);
+        self.cfg.idle_watts * elapsed
+            + (self.cfg.max_watts - self.cfg.idle_watts) * busy_core_seconds
+                / self.cfg.cores as f64
+    }
+
+    /// Time-integrated utilization from device creation through `end`.
+    pub fn utilization(&self, end: SimTime) -> DeviceUtilization {
+        let hw = self.cfg.hw_threads() as f64;
+        let cores = self.cfg.cores as f64;
+        let mem = self.cfg.usable_mem_mb() as f64;
+        DeviceUtilization {
+            thread_util: self.busy_threads.time_average(end) / hw,
+            core_util: self.busy_cores.time_average(end) / cores,
+            mem_util: self.committed.time_average(end) / mem,
+            busy_fraction: self.busy_any.time_average(end),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> PhiDevice {
+        PhiDevice::new(PhiConfig::default(), PerfModel::default(), SimTime::ZERO)
+    }
+
+    fn rng() -> DetRng {
+        DetRng::from_seed(1)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn attach_commit_detach_accounting() {
+        let mut d = dev();
+        let mut r = rng();
+        assert_eq!(
+            d.attach(t(0), ProcId(1), 1000, 120, 400, &mut r).unwrap(),
+            CommitOutcome::Fits
+        );
+        assert_eq!(d.declared_total_mb(), 1000);
+        assert_eq!(d.committed_total_mb(), 400);
+        assert_eq!(d.free_declared_mb(), 7680 - 1000);
+        assert_eq!(d.declared_threads(), 120);
+        d.detach(t(1), ProcId(1)).unwrap();
+        assert_eq!(d.resident_count(), 0);
+        assert_eq!(d.committed_total_mb(), 0);
+    }
+
+    #[test]
+    fn double_attach_rejected() {
+        let mut d = dev();
+        let mut r = rng();
+        d.attach(t(0), ProcId(1), 100, 60, 0, &mut r).unwrap();
+        assert_eq!(
+            d.attach(t(0), ProcId(1), 100, 60, 0, &mut r),
+            Err(DeviceError::AlreadyResident(ProcId(1)))
+        );
+    }
+
+    #[test]
+    fn solo_offload_completes_at_nominal_time() {
+        let mut d = dev();
+        let mut r = rng();
+        d.attach(t(0), ProcId(1), 1000, 240, 500, &mut r).unwrap();
+        d.start_offload(t(0), ProcId(1), 240, SimDuration::from_secs(10), Affinity::Unmanaged)
+            .unwrap();
+        let comps = d.completions();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], (ProcId(1), t(10)));
+        d.finish_offload(t(10), ProcId(1)).unwrap();
+        assert_eq!(d.active_offloads(), 0);
+        assert_eq!(d.offloads_completed.get(), 1);
+    }
+
+    #[test]
+    fn oversubscribed_offloads_slow_down_8x() {
+        let mut d = dev();
+        let mut r = rng();
+        for p in 1..=2 {
+            d.attach(t(0), ProcId(p), 1000, 240, 100, &mut r).unwrap();
+            d.start_offload(t(0), ProcId(p), 240, SimDuration::from_secs(10), Affinity::Unmanaged)
+                .unwrap();
+        }
+        // 480 threads on 240 hw → load 2 → rate 1/(8 oversub × 1.15
+        // conflict); two residents sit below the sharing knee.
+        let comps = d.completions();
+        let expect_secs = 10.0 * 8.0 * 1.15;
+        for (_, ct) in comps {
+            assert!(
+                (ct.as_secs_f64() - expect_secs).abs() < 0.01,
+                "completion at {ct}, expected ≈{expect_secs}s"
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_offloads_overlap_at_full_rate_below_knee() {
+        let mut d = dev();
+        let mut r = rng();
+        let a = CoreSet::contiguous(0, 30);
+        let b = CoreSet::contiguous(30, 30);
+        for (p, set) in [(1u64, a), (2u64, b)] {
+            d.attach(t(0), ProcId(p), 1000, 120, 100, &mut r).unwrap();
+            d.start_offload(t(0), ProcId(p), 120, SimDuration::from_secs(10), Affinity::Pinned(set))
+                .unwrap();
+        }
+        // No core conflict, no oversubscription, residents below the knee:
+        // both offloads run at full rate concurrently.
+        for (_, ct) in d.completions() {
+            assert_eq!(ct, t(10));
+        }
+    }
+
+    #[test]
+    fn solo_pinned_offload_runs_at_full_rate() {
+        let mut d = dev();
+        let mut r = rng();
+        d.attach(t(0), ProcId(1), 1000, 120, 100, &mut r).unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            120,
+            SimDuration::from_secs(10),
+            Affinity::Pinned(CoreSet::contiguous(0, 30)),
+        )
+        .unwrap();
+        assert_eq!(d.completions(), vec![(ProcId(1), t(10))]);
+    }
+
+    #[test]
+    fn overlapping_pinned_sets_rejected() {
+        let mut d = dev();
+        let mut r = rng();
+        let a = CoreSet::contiguous(0, 30);
+        let overlapping = CoreSet::contiguous(20, 30);
+        d.attach(t(0), ProcId(1), 1000, 120, 0, &mut r).unwrap();
+        d.attach(t(0), ProcId(2), 1000, 120, 0, &mut r).unwrap();
+        d.start_offload(t(0), ProcId(1), 120, SimDuration::from_secs(5), Affinity::Pinned(a))
+            .unwrap();
+        assert_eq!(
+            d.start_offload(
+                t(0),
+                ProcId(2),
+                120,
+                SimDuration::from_secs(5),
+                Affinity::Pinned(overlapping)
+            ),
+            Err(DeviceError::CoreOverlap(ProcId(2)))
+        );
+    }
+
+    #[test]
+    fn rate_change_mid_offload_integrates_progress() {
+        let mut d = dev();
+        let mut r = rng();
+        d.attach(t(0), ProcId(1), 1000, 240, 0, &mut r).unwrap();
+        d.attach(t(0), ProcId(2), 1000, 240, 0, &mut r).unwrap();
+        // P1 runs alone for 5 s at full rate (two residents, below knee).
+        d.start_offload(t(0), ProcId(1), 240, SimDuration::from_secs(10), Affinity::Unmanaged)
+            .unwrap();
+        // P2's offload joins at t=5: both now oversubscribed (load 2 → ×8)
+        // and conflicting (×1.15).
+        d.start_offload(t(5), ProcId(2), 240, SimDuration::from_secs(10), Affinity::Unmanaged)
+            .unwrap();
+        let comps = d.completions();
+        let p1 = comps.iter().find(|(p, _)| *p == ProcId(1)).unwrap().1;
+        // Remaining 5 s of nominal work at rate 1/9.2 → 46 s more.
+        assert!(
+            (p1.as_secs_f64() - (5.0 + 5.0 * 9.2)).abs() < 0.05,
+            "P1 completion {p1}"
+        );
+    }
+
+    #[test]
+    fn generation_bumps_on_membership_changes() {
+        let mut d = dev();
+        let mut r = rng();
+        let g0 = d.generation();
+        d.attach(t(0), ProcId(1), 100, 60, 0, &mut r).unwrap();
+        let g1 = d.generation();
+        assert!(g1 > g0);
+        d.start_offload(t(0), ProcId(1), 60, SimDuration::from_secs(1), Affinity::Unmanaged)
+            .unwrap();
+        assert!(d.generation() > g1);
+    }
+
+    #[test]
+    fn oom_killer_terminates_random_victims_until_fit() {
+        let mut d = dev();
+        let mut r = rng();
+        // Three processes each committing 3000 MB: 9000 > 7680 usable.
+        d.attach(t(0), ProcId(1), 3000, 60, 3000, &mut r).unwrap();
+        d.attach(t(0), ProcId(2), 3000, 60, 3000, &mut r).unwrap();
+        let out = d.attach(t(0), ProcId(3), 3000, 60, 3000, &mut r).unwrap();
+        match out {
+            CommitOutcome::OomKilled(victims) => {
+                assert_eq!(victims.len(), 1);
+                assert_eq!(d.resident_count(), 2);
+                assert!(d.committed_total_mb() <= d.config().usable_mem_mb());
+                assert_eq!(d.oom_kills.get(), 1);
+            }
+            CommitOutcome::Fits => panic!("expected an OOM kill"),
+        }
+    }
+
+    #[test]
+    fn oom_victim_offload_is_aborted() {
+        let mut d = dev();
+        let mut r = rng();
+        d.attach(t(0), ProcId(1), 7000, 240, 7000, &mut r).unwrap();
+        d.start_offload(t(0), ProcId(1), 240, SimDuration::from_secs(100), Affinity::Unmanaged)
+            .unwrap();
+        d.attach(t(1), ProcId(2), 7000, 240, 0, &mut r).unwrap();
+        // P2 commits 7000 MB → 14000 > 7680 → someone dies.
+        let out = d.commit_memory(t(1), ProcId(2), 7000, &mut r).unwrap();
+        let CommitOutcome::OomKilled(victims) = out else {
+            panic!("expected an OOM kill");
+        };
+        assert_eq!(victims.len(), 1);
+        for v in &victims {
+            assert!(!d.is_resident(*v));
+            assert!(!d.has_active_offload(*v));
+        }
+        assert!(d.committed_total_mb() <= 7680);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_threads_and_cores() {
+        let mut d = dev();
+        let mut r = rng();
+        d.attach(t(0), ProcId(1), 1000, 120, 600, &mut r).unwrap();
+        // 120 threads (half the device) busy for 10 s of a 20 s window.
+        d.start_offload(t(0), ProcId(1), 120, SimDuration::from_secs(10), Affinity::Unmanaged)
+            .unwrap();
+        d.finish_offload(t(10), ProcId(1)).unwrap();
+        let u = d.utilization(t(20));
+        assert!((u.thread_util - 0.25).abs() < 1e-9, "thread_util {}", u.thread_util);
+        // 120 threads → 30 of 60 cores for half the window → 0.25.
+        assert!((u.core_util - 0.25).abs() < 1e-9, "core_util {}", u.core_util);
+        assert!((u.busy_fraction - 0.5).abs() < 1e-9);
+        assert!(u.mem_util > 0.0);
+    }
+
+    #[test]
+    fn energy_integrates_idle_plus_busy_cores() {
+        let mut d = dev();
+        let mut r = rng();
+        d.attach(t(0), ProcId(1), 1000, 240, 0, &mut r).unwrap();
+        // All 60 cores busy for 10 s of a 20 s window.
+        d.start_offload(t(0), ProcId(1), 240, SimDuration::from_secs(10), Affinity::Unmanaged)
+            .unwrap();
+        d.finish_offload(t(10), ProcId(1)).unwrap();
+        let e = d.energy_joules(t(20));
+        // 100 W idle × 20 s + 125 W dynamic × 10 busy-seconds.
+        let expect = 100.0 * 20.0 + 125.0 * 10.0;
+        assert!((e - expect).abs() < 1e-6, "energy {e}, expected {expect}");
+        // An idle device draws idle power only.
+        let idle = PhiDevice::new(PhiConfig::default(), PerfModel::default(), SimTime::ZERO);
+        assert!((idle.energy_joules(t(10)) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_offload_removes_without_completion() {
+        let mut d = dev();
+        let mut r = rng();
+        d.attach(t(0), ProcId(1), 100, 60, 0, &mut r).unwrap();
+        d.start_offload(t(0), ProcId(1), 60, SimDuration::from_secs(10), Affinity::Unmanaged)
+            .unwrap();
+        d.abort_offload(t(3), ProcId(1)).unwrap();
+        assert_eq!(d.active_offloads(), 0);
+        assert_eq!(d.offloads_completed.get(), 0);
+        assert_eq!(
+            d.abort_offload(t(3), ProcId(1)),
+            Err(DeviceError::NoActiveOffload(ProcId(1)))
+        );
+    }
+
+    #[test]
+    fn detach_aborts_active_offload() {
+        let mut d = dev();
+        let mut r = rng();
+        d.attach(t(0), ProcId(1), 100, 60, 50, &mut r).unwrap();
+        d.start_offload(t(0), ProcId(1), 60, SimDuration::from_secs(10), Affinity::Unmanaged)
+            .unwrap();
+        d.detach(t(2), ProcId(1)).unwrap();
+        assert_eq!(d.active_offloads(), 0);
+        assert_eq!(d.resident_count(), 0);
+    }
+
+    #[test]
+    fn errors_on_missing_process() {
+        let mut d = dev();
+        assert_eq!(
+            d.start_offload(t(0), ProcId(9), 60, SimDuration::from_secs(1), Affinity::Unmanaged),
+            Err(DeviceError::NotResident(ProcId(9)))
+        );
+        assert_eq!(d.detach(t(0), ProcId(9)), Err(DeviceError::NotResident(ProcId(9))));
+        assert_eq!(
+            d.finish_offload(t(0), ProcId(9)),
+            Err(DeviceError::NoActiveOffload(ProcId(9)))
+        );
+    }
+
+    #[test]
+    fn completion_prediction_is_stable_without_changes() {
+        let mut d = dev();
+        let mut r = rng();
+        d.attach(t(0), ProcId(1), 100, 60, 0, &mut r).unwrap();
+        d.start_offload(t(0), ProcId(1), 60, SimDuration::from_secs(7), Affinity::Unmanaged)
+            .unwrap();
+        let c1 = d.completions();
+        let c2 = d.completions();
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the device model: arbitrary operation sequences must
+//! preserve the physical invariants.
+
+use phishare_phi::{Affinity, CommitOutcome, PerfModel, PhiConfig, PhiDevice, ProcId};
+use phishare_sim::{DetRng, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// One step of a random device workout.
+#[derive(Debug, Clone)]
+enum Op {
+    Attach { proc: u64, declared_mb: u64, threads: u32, commit_mb: u64 },
+    Commit { proc: u64, total_mb: u64 },
+    StartOffload { proc: u64, threads: u32, work_secs: u64 },
+    FinishEarliest,
+    AbortOffload { proc: u64 },
+    Detach { proc: u64 },
+    Advance { secs: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..6, 100u64..4000, 1u32..=60, 0u64..4000).prop_map(|(proc, declared_mb, cores, commit_mb)| {
+            Op::Attach { proc, declared_mb, threads: cores * 4, commit_mb }
+        }),
+        (0u64..6, 0u64..5000).prop_map(|(proc, total_mb)| Op::Commit { proc, total_mb }),
+        (0u64..6, 1u32..=60, 1u64..30).prop_map(|(proc, cores, work_secs)| Op::StartOffload {
+            proc,
+            threads: cores * 4,
+            work_secs
+        }),
+        Just(Op::FinishEarliest),
+        (0u64..6).prop_map(|proc| Op::AbortOffload { proc }),
+        (0u64..6).prop_map(|proc| Op::Detach { proc }),
+        (1u64..20).prop_map(|secs| Op::Advance { secs }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Under any operation sequence: committed memory never exceeds
+    /// physical memory (the OOM killer enforces it), the generation is
+    /// monotone, utilization stays in range, and errors are returned
+    /// rather than panicking.
+    #[test]
+    fn device_invariants_hold_under_random_ops(
+        ops in prop::collection::vec(arb_op(), 1..60),
+        seed in 0u64..1000,
+    ) {
+        let cfg = PhiConfig::default();
+        let mut device = PhiDevice::new(cfg, PerfModel::default(), SimTime::ZERO);
+        let mut rng = DetRng::from_seed(seed);
+        let mut now = SimTime::ZERO;
+        let mut last_generation = device.generation();
+
+        for op in ops {
+            match op {
+                Op::Attach { proc, declared_mb, threads, commit_mb } => {
+                    let _ = device.attach(now, ProcId(proc), declared_mb, threads, commit_mb, &mut rng);
+                }
+                Op::Commit { proc, total_mb } => {
+                    let outcome = device.commit_memory(now, ProcId(proc), total_mb, &mut rng);
+                    if let Ok(CommitOutcome::OomKilled(victims)) = outcome {
+                        prop_assert!(!victims.is_empty());
+                        for v in victims {
+                            prop_assert!(!device.is_resident(v));
+                        }
+                    }
+                }
+                Op::StartOffload { proc, threads, work_secs } => {
+                    let _ = device.start_offload(
+                        now,
+                        ProcId(proc),
+                        threads,
+                        SimDuration::from_secs(work_secs),
+                        Affinity::Unmanaged,
+                    );
+                }
+                Op::FinishEarliest => {
+                    if let Some((proc, at)) = device.completions().into_iter().min_by_key(|(_, t)| *t) {
+                        now = at.max(now);
+                        let _ = device.finish_offload(now, proc);
+                    }
+                }
+                Op::AbortOffload { proc } => {
+                    let _ = device.abort_offload(now, ProcId(proc));
+                }
+                Op::Detach { proc } => {
+                    let _ = device.detach(now, ProcId(proc));
+                }
+                Op::Advance { secs } => {
+                    now += SimDuration::from_secs(secs);
+                }
+            }
+
+            // --- invariants after every step ---
+            prop_assert!(
+                device.committed_total_mb() <= cfg.usable_mem_mb(),
+                "physical memory oversubscribed: {}",
+                device.committed_total_mb()
+            );
+            prop_assert!(device.generation() >= last_generation, "generation went backwards");
+            last_generation = device.generation();
+            prop_assert!(device.active_offloads() <= device.resident_count());
+            let u = device.utilization(now + SimDuration::from_secs(1));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u.thread_util));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u.core_util));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u.busy_fraction));
+            prop_assert!(device.energy_joules(now + SimDuration::from_secs(1)) >= 0.0);
+            // Completion predictions are relative to the device's last
+            // mutation; they never precede it. (The driving event loop
+            // always delivers events at their predicted time, so `now`
+            // advancing between mutations — as `Op::Advance` does here —
+            // legitimately passes a pending prediction.)
+            prop_assert_eq!(device.completions().len(), device.active_offloads());
+        }
+    }
+
+    /// Work conservation for a solo pinned offload: completion time equals
+    /// nominal work exactly, regardless of when progress is sampled.
+    #[test]
+    fn solo_offload_conserves_work(
+        work_secs in 1u64..100,
+        sample_points in prop::collection::vec(1u64..100, 0..5),
+    ) {
+        let cfg = PhiConfig::default();
+        let mut device = PhiDevice::new(cfg, PerfModel::default(), SimTime::ZERO);
+        let mut rng = DetRng::from_seed(1);
+        device.attach(SimTime::ZERO, ProcId(1), 500, 240, 100, &mut rng).unwrap();
+        device
+            .start_offload(SimTime::ZERO, ProcId(1), 240, SimDuration::from_secs(work_secs), Affinity::Unmanaged)
+            .unwrap();
+        // Sampling (queries) between start and completion must not change
+        // the prediction.
+        let mut sorted = sample_points;
+        sorted.sort_unstable();
+        for s in sorted.iter().filter(|s| **s < work_secs) {
+            let _ = device.utilization(SimTime::from_secs(*s));
+            let comps = device.completions();
+            prop_assert_eq!(comps[0].1, SimTime::from_secs(work_secs));
+        }
+        device.finish_offload(SimTime::from_secs(work_secs), ProcId(1)).unwrap();
+        prop_assert_eq!(device.offloads_completed.get(), 1);
+    }
+}

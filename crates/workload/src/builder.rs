@@ -1,0 +1,332 @@
+//! Workload assembly: job sets, arrival processes, (de)serialization.
+
+use crate::ids::JobId;
+use crate::job::JobSpec;
+use crate::synthetic::{ResourceDist, SyntheticParams};
+use crate::table1::AppKind;
+use phishare_sim::{DetRng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What family of jobs a workload draws from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// A uniform mix over the seven Table I applications (the paper's
+    /// "1000 independent job instances from Table I").
+    Table1Mix,
+    /// One Table I application only.
+    Table1Single(AppKind),
+    /// Synthetic jobs following a Fig. 7 distribution.
+    Synthetic(ResourceDist, SyntheticParams),
+}
+
+/// When jobs enter the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// The whole job set is pending at time zero (the paper's static
+    /// formulation, §IV-D "Limitations").
+    AllAtZero,
+    /// Poisson arrivals with the given mean inter-arrival gap (the paper's
+    /// "dynamic context" future-work scenario).
+    Poisson {
+        /// Mean gap between consecutive arrivals.
+        mean_gap: SimDuration,
+    },
+}
+
+/// A fully generated workload: jobs plus their arrival times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Descriptive label (used in experiment reports).
+    pub label: String,
+    /// The jobs, in arrival order.
+    pub jobs: Vec<JobSpec>,
+    /// Arrival instant of each job (parallel to `jobs`).
+    pub arrivals: Vec<SimTime>,
+    /// Seed the workload was generated from (for provenance).
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the workload has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Sum of declared memory over all jobs, in MB.
+    pub fn total_declared_mem_mb(&self) -> u64 {
+        self.jobs.iter().map(|j| j.mem_req_mb).sum()
+    }
+
+    /// Sum of nominal durations over all jobs.
+    pub fn total_nominal(&self) -> SimDuration {
+        self.jobs
+            .iter()
+            .fold(SimDuration::ZERO, |acc, j| acc + j.nominal_duration())
+    }
+
+    /// Validate every job in the workload.
+    pub fn validate(&self) -> Result<(), (JobId, crate::job::JobSpecError)> {
+        assert_eq!(
+            self.jobs.len(),
+            self.arrivals.len(),
+            "arrivals must parallel jobs"
+        );
+        for j in &self.jobs {
+            j.validate().map_err(|e| (j.id, e))?;
+        }
+        Ok(())
+    }
+
+    /// Serialize to a JSON string (for caching generated workloads and for
+    /// EXPERIMENTS.md provenance).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("workload serialization cannot fail")
+    }
+
+    /// Deserialize from the JSON produced by [`Workload::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Builder for reproducible workloads.
+///
+/// ```
+/// use phishare_workload::{WorkloadBuilder, WorkloadKind};
+///
+/// let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+///     .count(100)
+///     .seed(42)
+///     .build();
+/// assert_eq!(wl.len(), 100);
+/// assert!(wl.validate().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    kind: WorkloadKind,
+    count: usize,
+    seed: u64,
+    arrivals: ArrivalProcess,
+    /// Fraction of jobs whose actual peak memory exceeds their declaration
+    /// (failure injection; exercises container kills / OOM paths).
+    misbehaving_fraction: f64,
+    /// Starting job id (lets several workloads coexist in one simulation).
+    first_id: u64,
+}
+
+impl WorkloadBuilder {
+    /// Start a builder for the given workload kind.
+    pub fn new(kind: WorkloadKind) -> Self {
+        WorkloadBuilder {
+            kind,
+            count: 100,
+            seed: 0,
+            arrivals: ArrivalProcess::AllAtZero,
+            misbehaving_fraction: 0.0,
+            first_id: 0,
+        }
+    }
+
+    /// Set the number of jobs (paper: 1000 real, 400/1600 synthetic).
+    pub fn count(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Set the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the arrival process.
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Inject jobs that under-declare memory (actual peak 1.1–1.5× declared).
+    pub fn misbehaving_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        self.misbehaving_fraction = fraction;
+        self
+    }
+
+    /// Set the first job id.
+    pub fn first_id(mut self, first: u64) -> Self {
+        self.first_id = first;
+        self
+    }
+
+    /// Generate the workload.
+    pub fn build(&self) -> Workload {
+        let mut jobs = Vec::with_capacity(self.count);
+        for i in 0..self.count {
+            let id = JobId(self.first_id + i as u64);
+            // Per-job substream: adding/removing jobs never shifts the
+            // randomness of other jobs.
+            let mut rng = DetRng::substream_indexed(self.seed, "workload-job", id.raw());
+            let mut job = match &self.kind {
+                WorkloadKind::Table1Mix => {
+                    let app = *rng.choose(&AppKind::TABLE1);
+                    app.generate(id, &mut rng)
+                }
+                WorkloadKind::Table1Single(app) => app.generate(id, &mut rng),
+                WorkloadKind::Synthetic(dist, params) => params.generate(*dist, id, &mut rng),
+            };
+            if self.misbehaving_fraction > 0.0 && rng.chance(self.misbehaving_fraction) {
+                job.actual_peak_mem_mb =
+                    ((job.mem_req_mb as f64) * rng.uniform_range(1.1, 1.5)).round() as u64;
+            }
+            jobs.push(job);
+        }
+
+        let mut arrivals = Vec::with_capacity(self.count);
+        match self.arrivals {
+            ArrivalProcess::AllAtZero => {
+                arrivals.resize(self.count, SimTime::ZERO);
+            }
+            ArrivalProcess::Poisson { mean_gap } => {
+                let mut rng = DetRng::substream(self.seed, "workload-arrivals");
+                let mut t = SimTime::ZERO;
+                for _ in 0..self.count {
+                    t += SimDuration::from_secs_f64(
+                        rng.exponential(mean_gap.as_secs_f64()),
+                    );
+                    arrivals.push(t);
+                }
+            }
+        }
+
+        let label = match &self.kind {
+            WorkloadKind::Table1Mix => format!("table1-mix×{}", self.count),
+            WorkloadKind::Table1Single(app) => format!("{app}×{}", self.count),
+            WorkloadKind::Synthetic(dist, _) => format!("syn-{dist}×{}", self.count),
+        };
+        Workload {
+            label,
+            jobs,
+            arrivals,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mix_covers_all_apps() {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(200)
+            .seed(1)
+            .build();
+        wl.validate().unwrap();
+        for app in AppKind::TABLE1 {
+            assert!(
+                wl.jobs.iter().any(|j| j.app == app),
+                "app {app} missing from 200-job mix"
+            );
+        }
+        assert!(wl.arrivals.iter().all(|t| *t == SimTime::ZERO));
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let b = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(50).seed(9);
+        assert_eq!(b.build(), b.build());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(50).seed(1).build();
+        let b = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(50).seed(2).build();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn growing_count_preserves_prefix() {
+        // Per-job substreams: job i is identical whether we generate 10 or
+        // 100 jobs.
+        let small = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(10).seed(5).build();
+        let large = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(100).seed(5).build();
+        assert_eq!(&large.jobs[..10], &small.jobs[..]);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_increasing() {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(100)
+            .seed(3)
+            .arrivals(ArrivalProcess::Poisson {
+                mean_gap: SimDuration::from_secs(2),
+            })
+            .build();
+        for pair in wl.arrivals.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        let last = wl.arrivals.last().unwrap().as_secs_f64();
+        // 100 gaps of mean 2 s ≈ 200 s; allow wide tolerance.
+        assert!(last > 80.0 && last < 500.0, "last arrival {last}");
+    }
+
+    #[test]
+    fn misbehaving_jobs_overrun_their_declaration() {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(300)
+            .seed(4)
+            .misbehaving_fraction(0.3)
+            .build();
+        let bad = wl.jobs.iter().filter(|j| !j.well_behaved()).count();
+        assert!(
+            (50..=130).contains(&bad),
+            "expected ≈90 misbehaving jobs, got {bad}"
+        );
+    }
+
+    #[test]
+    fn synthetic_kind_builds() {
+        let wl = WorkloadBuilder::new(WorkloadKind::Synthetic(
+            ResourceDist::HighSkew,
+            SyntheticParams::default(),
+        ))
+        .count(400)
+        .seed(6)
+        .build();
+        wl.validate().unwrap();
+        assert_eq!(wl.len(), 400);
+        assert!(wl.label.contains("high-skew"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(20).seed(8).build();
+        let json = wl.to_json();
+        let back = Workload::from_json(&json).unwrap();
+        assert_eq!(wl, back);
+    }
+
+    #[test]
+    fn first_id_offsets_ids() {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(5)
+            .first_id(100)
+            .build();
+        assert_eq!(wl.jobs[0].id, JobId(100));
+        assert_eq!(wl.jobs[4].id, JobId(104));
+    }
+
+    #[test]
+    fn aggregates_are_positive() {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(10).seed(2).build();
+        assert!(wl.total_declared_mem_mb() > 0);
+        assert!(wl.total_nominal() > SimDuration::ZERO);
+        assert!(!wl.is_empty());
+    }
+}

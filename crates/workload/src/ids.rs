@@ -1,0 +1,37 @@
+//! Identifier types shared across the scheduling stack.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cluster-wide unique job identifier.
+///
+/// Mirrors a Condor cluster/proc id collapsed to a single integer; display
+/// form is `J<n>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl JobId {
+    /// The raw integer id.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(JobId(17).to_string(), "J17");
+        assert!(JobId(1) < JobId(2));
+        assert_eq!(JobId(5).raw(), 5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for workload generation: every kind, every arrival
+//! process, every seed produces a valid, internally-consistent workload.
+
+use phishare_sim::SimDuration;
+use phishare_workload::{
+    workload_from_csv, workload_to_csv, ArrivalProcess, ResourceDist, SyntheticParams,
+    WorkloadBuilder, WorkloadKind,
+};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = WorkloadKind> {
+    prop_oneof![
+        Just(WorkloadKind::Table1Mix),
+        prop::sample::select(ResourceDist::ALL.to_vec())
+            .prop_map(|d| WorkloadKind::Synthetic(d, SyntheticParams::default())),
+        prop::sample::select(phishare_workload::AppKind::TABLE1.to_vec())
+            .prop_map(WorkloadKind::Table1Single),
+    ]
+}
+
+fn arb_arrivals() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        Just(ArrivalProcess::AllAtZero),
+        (1u64..30).prop_map(|s| ArrivalProcess::Poisson {
+            mean_gap: SimDuration::from_secs(s)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any (kind, arrivals, count, seed, misbehaving) combination builds a
+    /// workload whose every job validates and whose structure is coherent.
+    #[test]
+    fn all_workloads_validate(
+        kind in arb_kind(),
+        arrivals in arb_arrivals(),
+        count in 0usize..60,
+        seed in any::<u64>(),
+        misbehaving in 0.0f64..=1.0,
+    ) {
+        let wl = WorkloadBuilder::new(kind)
+            .count(count)
+            .seed(seed)
+            .arrivals(arrivals)
+            .misbehaving_fraction(misbehaving)
+            .build();
+        prop_assert!(wl.validate().is_ok());
+        prop_assert_eq!(wl.len(), count);
+        prop_assert_eq!(wl.arrivals.len(), count);
+        // Arrivals are nondecreasing.
+        for pair in wl.arrivals.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        // Job ids are dense and ordered.
+        for (i, job) in wl.jobs.iter().enumerate() {
+            prop_assert_eq!(job.id.raw(), i as u64);
+            // Declared threads really are the profile's maximum.
+            prop_assert_eq!(job.profile.max_threads(), job.thread_req);
+            // Profiles alternate host/offload and are host-bracketed.
+            let segs = &job.profile.segments;
+            prop_assert!(!segs[0].is_offload());
+            prop_assert!(!segs[segs.len() - 1].is_offload());
+        }
+    }
+
+    /// The CSV round trip preserves every declared envelope exactly.
+    #[test]
+    fn csv_round_trip_is_lossless_on_envelopes(
+        count in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(count).seed(seed).build();
+        let back = workload_from_csv(&workload_to_csv(&wl), seed).unwrap();
+        prop_assert_eq!(back.len(), wl.len());
+        for (a, b) in wl.jobs.iter().zip(back.jobs.iter()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.mem_req_mb, b.mem_req_mb);
+            prop_assert_eq!(a.thread_req, b.thread_req);
+            prop_assert_eq!(a.profile.offload_count(), b.profile.offload_count());
+        }
+    }
+
+    /// JSON round trip is bit-exact.
+    #[test]
+    fn json_round_trip_is_exact(count in 0usize..30, seed in any::<u64>()) {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(count).seed(seed).build();
+        let back = phishare_workload::Workload::from_json(&wl.to_json()).unwrap();
+        prop_assert_eq!(wl, back);
+    }
+
+    /// Misbehaving fraction 0 ⇒ all jobs well-behaved; 1 ⇒ none.
+    #[test]
+    fn misbehaving_fraction_extremes(count in 1usize..40, seed in any::<u64>()) {
+        let clean = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(count).seed(seed).misbehaving_fraction(0.0).build();
+        prop_assert!(clean.jobs.iter().all(|j| j.well_behaved()));
+        let dirty = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(count).seed(seed).misbehaving_fraction(1.0).build();
+        prop_assert!(dirty.jobs.iter().all(|j| !j.well_behaved()));
+    }
+}

@@ -1,0 +1,89 @@
+//! Calibration helper: run the Table II experiment with explicit model
+//! parameters to explore the calibration space.
+//!
+//! ```sh
+//! cargo run --release --example calibrate -- \
+//!     [jobs] [nodes] [seed] [resident_penalty] [knee] [overcommit] [trigger_s] [dispatch_s]
+//! ```
+
+use phishare::cluster::report::{pct, secs, table};
+use phishare::cluster::{ClusterConfig, Experiment};
+use phishare::core::ClusterPolicy;
+use phishare::sim::SimDuration;
+use phishare::workload::{ResourceDist, SyntheticParams, WorkloadBuilder, WorkloadKind};
+
+fn main() {
+    let a: Vec<String> = std::env::args().skip(1).collect();
+    let get = |i: usize, d: f64| a.get(i).and_then(|s| s.parse().ok()).unwrap_or(d);
+    let jobs = get(0, 1000.0) as usize;
+    let nodes = get(1, 8.0) as u32;
+    let seed = get(2, 7.0) as u64;
+    let penalty = get(3, 0.006);
+    let knee = get(4, 4.0) as u32;
+    let overcommit = get(5, 1.5);
+    let trigger = get(6, 2.0);
+    let dispatch = get(7, 1.0);
+    let window = get(9, 256.0) as usize;
+    let interval = get(11, 10.0);
+    let value_fn = match a.get(10).map(|s| s.as_str()) {
+        None | Some("quadratic") => phishare::knapsack::ValueFunction::PaperQuadratic,
+        Some("unit") => phishare::knapsack::ValueFunction::Unit,
+        Some("linear") => phishare::knapsack::ValueFunction::Linear,
+        Some("inverse") => phishare::knapsack::ValueFunction::InverseThreads,
+        Some(o) => panic!("unknown value fn {o}"),
+    };
+    let kind = match a.get(8).map(|s| s.as_str()) {
+        None | Some("table1") => WorkloadKind::Table1Mix,
+        Some("uniform") => WorkloadKind::Synthetic(ResourceDist::Uniform, SyntheticParams::default()),
+        Some("normal") => WorkloadKind::Synthetic(ResourceDist::Normal, SyntheticParams::default()),
+        Some("low") => WorkloadKind::Synthetic(ResourceDist::LowSkew, SyntheticParams::default()),
+        Some("high") => WorkloadKind::Synthetic(ResourceDist::HighSkew, SyntheticParams::default()),
+        Some(other) => panic!("unknown workload kind {other}"),
+    };
+
+    let workload = WorkloadBuilder::new(kind)
+        .count(jobs)
+        .seed(seed)
+        .build();
+    println!(
+        "{jobs} jobs, {nodes} nodes, seed {seed}: penalty={penalty} knee={knee} \
+         overcommit={overcommit} trigger={trigger}s dispatch={dispatch}s"
+    );
+
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    for policy in ClusterPolicy::ALL {
+        let mut cfg = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+        cfg.perf.resident_penalty = penalty;
+        cfg.perf.resident_knee = knee;
+        cfg.knapsack.thread_overcommit = overcommit;
+        cfg.knapsack.window = window;
+        cfg.knapsack.value_fn = value_fn;
+        cfg.negotiation_interval = SimDuration::from_secs_f64(interval);
+        cfg.negotiation_trigger_delay = SimDuration::from_secs_f64(trigger);
+        cfg.dispatch_delay = SimDuration::from_secs_f64(dispatch);
+        let r = Experiment::run(&cfg, &workload).expect("run");
+        let red = baseline
+            .as_ref()
+            .map(|b| pct(r.makespan_reduction_vs(b)))
+            .unwrap_or_else(|| "-".into());
+        if baseline.is_none() {
+            baseline = Some(r.clone());
+        }
+        rows.push(vec![
+            policy.to_string(),
+            secs(r.makespan_secs),
+            red,
+            pct(100.0 * r.core_utilization),
+            pct(100.0 * r.thread_utilization),
+            secs(r.mean_offload_queue_secs),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["Config", "Makespan", "vs MC", "Core util", "Thread util", "Offl queue"],
+            &rows
+        )
+    );
+}

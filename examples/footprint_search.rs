@@ -1,0 +1,65 @@
+//! Footprint reduction in action: how many nodes does each sharing
+//! configuration need to match the makespan the exclusive baseline achieves
+//! on a full-size cluster? (The paper's Table II / Table III question.)
+//!
+//! ```sh
+//! cargo run --release --example footprint_search [-- <jobs> <baseline_nodes>]
+//! ```
+
+use phishare::cluster::report::{pct, secs, table};
+use phishare::cluster::{footprint_search, ClusterConfig, Experiment};
+use phishare::core::ClusterPolicy;
+use phishare::workload::{WorkloadBuilder, WorkloadKind};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let jobs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(400);
+    let baseline_nodes: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let workload = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(jobs)
+        .seed(11)
+        .build();
+
+    let mc_cfg = ClusterConfig::paper_cluster(ClusterPolicy::Mc).with_nodes(baseline_nodes);
+    let mc = Experiment::run(&mc_cfg, &workload).expect("baseline runs");
+    println!(
+        "baseline: MC on {baseline_nodes} nodes finishes {jobs} jobs in {:.0} s\n",
+        mc.makespan_secs
+    );
+
+    let mut rows = Vec::new();
+    for policy in [ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+        let fp = footprint_search(
+            &ClusterConfig::paper_cluster(policy),
+            &workload,
+            mc.makespan_secs,
+            baseline_nodes,
+            0.02,
+        )
+        .expect("search runs");
+        println!("{policy} search curve:");
+        for (nodes, makespan) in &fp.curve {
+            let marker = if Some(*nodes) == fp.nodes_required { "  ← match" } else { "" };
+            println!("  {nodes} nodes → {makespan:.0} s{marker}");
+        }
+        println!();
+        rows.push(vec![
+            policy.to_string(),
+            fp.nodes_required
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| format!(">{baseline_nodes}")),
+            fp.reduction_vs(baseline_nodes)
+                .map(pct)
+                .unwrap_or_else(|| "-".into()),
+            secs(fp.curve.last().map(|(_, m)| *m).unwrap_or(0.0)),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["Configuration", "Nodes needed", "Footprint reduction", "Makespan at match (s)"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,69 @@
+//! Compare the paper's three cluster configurations (MC / MCC / MCCK) on a
+//! Table I workload — a miniature of the paper's Table II experiment.
+//!
+//! ```sh
+//! cargo run --release --example makespan_comparison [-- <jobs> <nodes> <seed>]
+//! ```
+
+use phishare::cluster::report::{pct, secs, table};
+use phishare::cluster::{ClusterConfig, Experiment, ExperimentResult};
+use phishare::core::ClusterPolicy;
+use phishare::workload::{WorkloadBuilder, WorkloadKind};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let jobs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let nodes: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+
+    let workload = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(jobs)
+        .seed(seed)
+        .build();
+    println!(
+        "{} Table I jobs on {} nodes (seed {seed})\n",
+        workload.len(),
+        nodes
+    );
+
+    let results: Vec<ExperimentResult> = ClusterPolicy::ALL
+        .iter()
+        .map(|&policy| {
+            let config = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+            Experiment::run(&config, &workload).expect("simulation runs")
+        })
+        .collect();
+
+    let baseline = &results[0];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.to_string(),
+                secs(r.makespan_secs),
+                if r.policy == baseline.policy {
+                    "-".to_string()
+                } else {
+                    pct(r.makespan_reduction_vs(baseline))
+                },
+                pct(100.0 * r.core_utilization),
+                pct(100.0 * r.thread_utilization),
+                secs(r.mean_wait_secs),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "Configuration",
+                "Makespan (s)",
+                "Reduction vs MC",
+                "Core util",
+                "Thread util",
+                "Mean wait (s)",
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: simulate a small Xeon Phi cluster under the sharing-aware
+//! scheduler and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use phishare::cluster::{ClusterConfig, Experiment};
+use phishare::core::ClusterPolicy;
+use phishare::workload::{WorkloadBuilder, WorkloadKind};
+
+fn main() {
+    // 100 jobs drawn from the paper's Table I application mix.
+    let workload = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(100)
+        .seed(42)
+        .build();
+    println!(
+        "workload: {} jobs, total nominal work {:.0} s, {} MB declared",
+        workload.len(),
+        workload.total_nominal().as_secs_f64(),
+        workload.total_declared_mem_mb()
+    );
+
+    // A 4-node cluster, one 8 GB / 240-thread Xeon Phi per node, running the
+    // full MCCK stack: Condor + COSMIC + the knapsack cluster scheduler.
+    let config = ClusterConfig::paper_cluster(ClusterPolicy::Mcck).with_nodes(4);
+
+    let result = Experiment::run(&config, &workload).expect("simulation runs");
+
+    println!("policy:            {}", result.policy);
+    println!("nodes:             {}", result.nodes);
+    println!("completed:         {}/{}", result.completed, result.jobs);
+    println!("makespan:          {:.1} s", result.makespan_secs);
+    println!("core utilization:  {:.1}%", 100.0 * result.core_utilization);
+    println!("thread utilization:{:.1}%", 100.0 * result.thread_utilization);
+    println!("mean wait:         {:.1} s", result.mean_wait_secs);
+    println!("mean turnaround:   {:.1} s", result.mean_turnaround_secs);
+    println!("negotiation cycles:{}", result.negotiation_cycles);
+    println!("knapsack pins:     {}", result.pins_issued);
+    assert!(result.all_completed());
+}

@@ -1,0 +1,219 @@
+//! Reproduce the paper's Figs. 2 and 3: two offload jobs sharing one Xeon
+//! Phi, first with *maximal* (240-thread) offloads that can only interleave
+//! into each other's host gaps, then with *partial* (120-thread) offloads
+//! that overlap outright.
+//!
+//! Prints an ASCII Gantt chart per scenario and compares the sequential
+//! makespan with the concurrent one.
+//!
+//! ```sh
+//! cargo run --release --example sharing_timeline
+//! ```
+
+use phishare::cosmic::{Admission, CosmicConfig, CosmicDevice};
+use phishare::phi::{PerfModel, PhiConfig, PhiDevice};
+use phishare::sim::{DetRng, Sim, SimDuration, SimTime};
+use phishare::workload::{JobId, JobProfile, Segment};
+
+/// Recorded offload execution interval.
+struct Span {
+    job: JobId,
+    start: SimTime,
+    end: SimTime,
+    threads: u32,
+}
+
+#[derive(Debug)]
+enum Ev {
+    HostDone { job: JobId, seg: usize },
+    OffloadDone { job: JobId, generation: u64 },
+}
+
+/// Run a set of jobs concurrently on one COSMIC-managed device; returns the
+/// offload spans and the makespan.
+fn run_concurrent(profiles: &[(JobId, JobProfile)]) -> (Vec<Span>, SimTime) {
+    let phi = PhiConfig::default();
+    let mut device = PhiDevice::new(phi, PerfModel::default(), SimTime::ZERO);
+    let mut cosmic = CosmicDevice::new(CosmicConfig::default(), &phi);
+    let mut rng = DetRng::from_seed(1);
+    let mut sim: Sim<Ev> = Sim::new();
+
+    let mut seg_of = std::collections::BTreeMap::new();
+    let mut started_at = std::collections::BTreeMap::new();
+    let mut spans = Vec::new();
+    let mut makespan = SimTime::ZERO;
+
+    for (job, profile) in profiles {
+        let threads = profile.max_threads();
+        device
+            .attach(SimTime::ZERO, phishare::phi::ProcId(job.raw()), 1000, threads, 500, &mut rng)
+            .unwrap();
+        cosmic.register_job(*job, 1000, threads);
+        seg_of.insert(*job, 0usize);
+    }
+
+    // Kick off segment 0 of every job.
+    let mut pending_starts: Vec<JobId> = profiles.iter().map(|(j, _)| *j).collect();
+
+    loop {
+        // Start segments for jobs whose turn it is.
+        for job in pending_starts.drain(..) {
+            let profile = &profiles.iter().find(|(j, _)| *j == job).unwrap().1;
+            let seg = seg_of[&job];
+            match profile.segments.get(seg) {
+                None => {
+                    device.detach(sim.now(), phishare::phi::ProcId(job.raw())).unwrap();
+                    for grant in cosmic.unregister_job(sim.now(), job) {
+                        device
+                            .start_offload(
+                                sim.now(),
+                                phishare::phi::ProcId(grant.job.raw()),
+                                grant.threads,
+                                grant.work,
+                                grant.affinity,
+                            )
+                            .unwrap();
+                        started_at.insert(grant.job, (sim.now(), grant.threads));
+                    }
+                    makespan = sim.now();
+                }
+                Some(Segment::Host { duration }) => {
+                    sim.schedule_after(*duration, Ev::HostDone { job, seg });
+                }
+                Some(Segment::Offload { threads, work }) => {
+                    match cosmic.request_offload(sim.now(), job, *threads, *work) {
+                        Admission::Started(grant) => {
+                            device
+                                .start_offload(
+                                    sim.now(),
+                                    phishare::phi::ProcId(job.raw()),
+                                    grant.threads,
+                                    grant.work,
+                                    grant.affinity,
+                                )
+                                .unwrap();
+                            started_at.insert(job, (sim.now(), *threads));
+                        }
+                        Admission::Queued => {}
+                    }
+                }
+            }
+        }
+        // Re-sync completion predictions.
+        let generation = device.generation();
+        for (proc, at) in device.completions() {
+            sim.schedule_at(at, Ev::OffloadDone { job: JobId(proc.raw()), generation });
+        }
+
+        let Some(ev) = sim.step() else { break };
+        match ev {
+            Ev::HostDone { job, seg } => {
+                if seg_of[&job] != seg {
+                    continue;
+                }
+                *seg_of.get_mut(&job).unwrap() += 1;
+                pending_starts.push(job);
+            }
+            Ev::OffloadDone { job, generation } => {
+                if device.generation() != generation || !started_at.contains_key(&job) {
+                    continue;
+                }
+                device
+                    .finish_offload(sim.now(), phishare::phi::ProcId(job.raw()))
+                    .unwrap();
+                let (start, threads) = started_at.remove(&job).unwrap();
+                spans.push(Span { job, start, end: sim.now(), threads });
+                for grant in cosmic.complete_offload(sim.now(), job) {
+                    device
+                        .start_offload(
+                            sim.now(),
+                            phishare::phi::ProcId(grant.job.raw()),
+                            grant.threads,
+                            grant.work,
+                            grant.affinity,
+                        )
+                        .unwrap();
+                    started_at.insert(grant.job, (sim.now(), grant.threads));
+                }
+                *seg_of.get_mut(&job).unwrap() += 1;
+                pending_starts.push(job);
+            }
+        }
+    }
+    (spans, makespan)
+}
+
+fn gantt(title: &str, profiles: &[(JobId, JobProfile)], spans: &[Span], makespan: SimTime) {
+    const WIDTH: usize = 72;
+    println!("{title}");
+    let scale = WIDTH as f64 / makespan.as_secs_f64();
+    for (job, _) in profiles {
+        let mut row = vec!['.'; WIDTH];
+        for span in spans.iter().filter(|s| s.job == *job) {
+            let a = (span.start.as_secs_f64() * scale) as usize;
+            let b = ((span.end.as_secs_f64() * scale) as usize).min(WIDTH);
+            let glyph = if span.threads >= 240 { '#' } else { '=' };
+            for cell in row.iter_mut().take(b).skip(a) {
+                *cell = glyph;
+            }
+        }
+        println!("  {job}: {}", row.into_iter().collect::<String>());
+    }
+    println!("  ('#' = 240-thread offload, '=' = partial offload, '.' = on host / waiting)\n");
+}
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+fn main() {
+    // Fig. 2: both jobs offload with ALL 240 hardware threads. Offloads
+    // cannot overlap; COSMIC interleaves them into each other's host gaps.
+    let j1 = JobProfile::new(vec![
+        Segment::offload(240, secs(8)),
+        Segment::host(secs(6)),
+        Segment::offload(240, secs(8)),
+    ]);
+    let j2 = JobProfile::new(vec![
+        Segment::offload(240, secs(5)),
+        Segment::host(secs(4)),
+        Segment::offload(240, secs(5)),
+        Segment::host(secs(4)),
+        Segment::offload(240, secs(5)),
+    ]);
+    let sequential = j1.total_nominal() + j2.total_nominal();
+    let profiles = vec![(JobId(1), j1), (JobId(2), j2)];
+    let (spans, makespan) = run_concurrent(&profiles);
+    gantt("Fig. 2 — maximal (240-thread) offloads: interleave only", &profiles, &spans, makespan);
+    println!(
+        "  sequential makespan {:.0} s → concurrent {:.0} s ({:.0}% reduction)\n",
+        sequential.as_secs_f64(),
+        makespan.as_secs_f64(),
+        100.0 * (1.0 - makespan.as_secs_f64() / sequential.as_secs_f64())
+    );
+
+    // Fig. 3: offloads use 120 threads — half the device — and overlap
+    // outright on disjoint cores.
+    let j3 = JobProfile::new(vec![
+        Segment::offload(120, secs(8)),
+        Segment::host(secs(5)),
+        Segment::offload(120, secs(8)),
+    ]);
+    let j4 = JobProfile::new(vec![
+        Segment::offload(120, secs(6)),
+        Segment::host(secs(3)),
+        Segment::offload(120, secs(6)),
+        Segment::host(secs(3)),
+        Segment::offload(120, secs(6)),
+    ]);
+    let sequential = j3.total_nominal() + j4.total_nominal();
+    let profiles = vec![(JobId(3), j3), (JobId(4), j4)];
+    let (spans, makespan) = run_concurrent(&profiles);
+    gantt("Fig. 3 — partial (120-thread) offloads: true overlap", &profiles, &spans, makespan);
+    println!(
+        "  sequential makespan {:.0} s → concurrent {:.0} s ({:.0}% reduction)",
+        sequential.as_secs_f64(),
+        makespan.as_secs_f64(),
+        100.0 * (1.0 - makespan.as_secs_f64() / sequential.as_secs_f64())
+    );
+}

@@ -1,0 +1,276 @@
+//! `phishare` — command-line front end for the simulator.
+//!
+//! ```text
+//! phishare run        --policy mcck --jobs 400 --nodes 8 [--dist normal] [--json] [--gantt]
+//! phishare compare    --jobs 400 --nodes 8 [--dist table1] [--oracle]
+//! phishare footprint  --jobs 400 --max-nodes 8 [--dist table1] [--tolerance 0.02]
+//! phishare workload   --count 100 [--dist table1] [--format csv|json] [--out FILE]
+//! ```
+//!
+//! Every command accepts `--seed N` (default 7). Workloads can also be
+//! loaded from a CSV file with `--from FILE` (schema: see
+//! `phishare_workload::io`).
+
+use phishare::cluster::report::{pct, secs, table};
+use phishare::cluster::{footprint_search, ClusterConfig, Experiment};
+use phishare::core::ClusterPolicy;
+use phishare::workload::{
+    workload_from_csv, workload_to_csv, ResourceDist, SyntheticParams, Workload, WorkloadBuilder,
+    WorkloadKind,
+};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+phishare — coprocessor sharing-aware cluster scheduling simulator
+
+USAGE:
+  phishare run        --policy <mc|mcc|mcck|oracle> [--jobs N] [--nodes N]
+                      [--dist <table1|uniform|normal|low|high>] [--seed N]
+                      [--from FILE.csv] [--json] [--gantt]
+  phishare compare    [--jobs N] [--nodes N] [--dist ...] [--seed N] [--oracle]
+  phishare footprint  [--jobs N] [--max-nodes N] [--dist ...] [--seed N]
+                      [--tolerance F]
+  phishare workload   [--count N] [--dist ...] [--seed N]
+                      [--format <csv|json>] [--out FILE]
+  phishare help
+";
+
+/// Parsed `--key value` flags (and bare `--key` booleans).
+struct Flags(BTreeMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut map = BTreeMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got {arg:?}"))?;
+            let takes_value = !matches!(key, "json" | "gantt" | "oracle");
+            if takes_value {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                map.insert(key.to_string(), value.clone());
+                i += 2;
+            } else {
+                map.insert(key.to_string(), "true".into());
+                i += 1;
+            }
+        }
+        Ok(Flags(map))
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{key} {v:?}: {e}")),
+        }
+    }
+
+    fn get_str(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(|s| s.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+}
+
+fn build_workload(flags: &Flags, count_key: &str, default_count: usize) -> Result<Workload, String> {
+    let seed: u64 = flags.get("seed", 7)?;
+    if let Some(path) = flags.get_str("from") {
+        let csv = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return workload_from_csv(&csv, seed).map_err(|e| e.to_string());
+    }
+    let count: usize = flags.get(count_key, default_count)?;
+    let kind = match flags.get_str("dist").unwrap_or("table1") {
+        "table1" => WorkloadKind::Table1Mix,
+        "uniform" => WorkloadKind::Synthetic(ResourceDist::Uniform, SyntheticParams::default()),
+        "normal" => WorkloadKind::Synthetic(ResourceDist::Normal, SyntheticParams::default()),
+        "low" => WorkloadKind::Synthetic(ResourceDist::LowSkew, SyntheticParams::default()),
+        "high" => WorkloadKind::Synthetic(ResourceDist::HighSkew, SyntheticParams::default()),
+        other => return Err(format!("unknown --dist {other:?}")),
+    };
+    Ok(WorkloadBuilder::new(kind).count(count).seed(seed).build())
+}
+
+fn result_row(r: &phishare::cluster::ExperimentResult) -> Vec<String> {
+    vec![
+        r.policy.to_string(),
+        secs(r.makespan_secs),
+        pct(100.0 * r.core_utilization),
+        secs(r.mean_wait_secs),
+        format!("{}/{}", r.completed, r.jobs),
+        format!("{:.2}", r.energy_kwh),
+    ]
+}
+
+const RESULT_HEADER: [&str; 6] = [
+    "Policy",
+    "Makespan (s)",
+    "Core util",
+    "Mean wait (s)",
+    "Completed",
+    "Energy (kWh)",
+];
+
+fn cmd_run(flags: &Flags) -> Result<(), String> {
+    let policy: ClusterPolicy = flags
+        .get_str("policy")
+        .ok_or("run requires --policy")?
+        .parse()?;
+    let nodes: u32 = flags.get("nodes", 8)?;
+    let workload = build_workload(flags, "jobs", 400)?;
+    let config = ClusterConfig::paper_cluster(policy)
+        .with_nodes(nodes)
+        .with_seed(flags.get("seed", 7)?);
+
+    if flags.has("gantt") {
+        let (result, trace) = Experiment::run_traced(&config, &workload)?;
+        println!("{}", table(&RESULT_HEADER, &[result_row(&result)]));
+        print!("{}", trace.node_gantt(96));
+        let violations = phishare::cluster::audit(&config, &workload, &result, &trace);
+        if violations.is_empty() {
+            println!("self-check: OK ({} trace events audited)", trace.len());
+        } else {
+            for v in &violations {
+                eprintln!("self-check violation: {v}");
+            }
+            return Err(format!("{} self-check violations", violations.len()));
+        }
+        return Ok(());
+    }
+    let result = Experiment::run(&config, &workload)?;
+    if flags.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("result serializes")
+        );
+    } else {
+        println!("{}", table(&RESULT_HEADER, &[result_row(&result)]));
+    }
+    Ok(())
+}
+
+fn cmd_compare(flags: &Flags) -> Result<(), String> {
+    let nodes: u32 = flags.get("nodes", 8)?;
+    let workload = build_workload(flags, "jobs", 400)?;
+    let seed: u64 = flags.get("seed", 7)?;
+    let policies: &[ClusterPolicy] = if flags.has("oracle") {
+        &ClusterPolicy::WITH_ORACLE
+    } else {
+        &ClusterPolicy::ALL
+    };
+    let mut rows = Vec::new();
+    let mut baseline: Option<f64> = None;
+    for &policy in policies {
+        let config = ClusterConfig::paper_cluster(policy)
+            .with_nodes(nodes)
+            .with_seed(seed);
+        let r = Experiment::run(&config, &workload)?;
+        let mut row = result_row(&r);
+        row.push(match baseline {
+            None => {
+                baseline = Some(r.makespan_secs);
+                "-".into()
+            }
+            Some(base) => pct(100.0 * (1.0 - r.makespan_secs / base)),
+        });
+        rows.push(row);
+    }
+    let mut header: Vec<&str> = RESULT_HEADER.to_vec();
+    header.push("vs first");
+    println!("{}", table(&header, &rows));
+    Ok(())
+}
+
+fn cmd_footprint(flags: &Flags) -> Result<(), String> {
+    let max_nodes: u32 = flags.get("max-nodes", 8)?;
+    let tolerance: f64 = flags.get("tolerance", 0.02)?;
+    let workload = build_workload(flags, "jobs", 400)?;
+    let seed: u64 = flags.get("seed", 7)?;
+
+    let mc = Experiment::run(
+        &ClusterConfig::paper_cluster(ClusterPolicy::Mc)
+            .with_nodes(max_nodes)
+            .with_seed(seed),
+        &workload,
+    )?;
+    println!(
+        "baseline: MC on {max_nodes} nodes → makespan {:.0} s\n",
+        mc.makespan_secs
+    );
+    let mut rows = Vec::new();
+    for policy in [ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+        let fp = footprint_search(
+            &ClusterConfig::paper_cluster(policy).with_seed(seed),
+            &workload,
+            mc.makespan_secs,
+            max_nodes,
+            tolerance,
+        )?;
+        rows.push(vec![
+            policy.to_string(),
+            fp.nodes_required
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| format!(">{max_nodes}")),
+            fp.reduction_vs(max_nodes)
+                .map(pct)
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!(
+        "{}",
+        table(&["Policy", "Nodes needed", "Footprint reduction"], &rows)
+    );
+    Ok(())
+}
+
+fn cmd_workload(flags: &Flags) -> Result<(), String> {
+    let workload = build_workload(flags, "count", 100)?;
+    let rendered = match flags.get_str("format").unwrap_or("csv") {
+        "csv" => workload_to_csv(&workload),
+        "json" => workload.to_json(),
+        other => return Err(format!("unknown --format {other:?}")),
+    };
+    match flags.get_str("out") {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {} jobs to {path}", workload.len());
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let outcome = Flags::parse(rest).and_then(|flags| match command.as_str() {
+        "run" => cmd_run(&flags),
+        "compare" => cmd_compare(&flags),
+        "footprint" => cmd_footprint(&flags),
+        "workload" => cmd_workload(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    });
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # phishare — facade crate
+//!
+//! Re-exports the full `phishare` stack under one roof. See the README for a
+//! quickstart and DESIGN.md for the crate map.
+//!
+//! ```
+//! use phishare::cluster::{ClusterConfig, Experiment};
+//! use phishare::core::ClusterPolicy;
+//! use phishare::workload::{WorkloadBuilder, WorkloadKind};
+//!
+//! // 30 jobs from the paper's Table I application mix.
+//! let workload = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+//!     .count(30)
+//!     .seed(42)
+//!     .build();
+//!
+//! // A 2-node cluster running the full MCCK stack: mini-Condor + COSMIC
+//! // middleware + the knapsack cluster scheduler.
+//! let config = ClusterConfig::paper_cluster(ClusterPolicy::Mcck).with_nodes(2);
+//! let result = Experiment::run(&config, &workload).unwrap();
+//!
+//! assert!(result.all_completed());
+//! assert_eq!(result.oom_kills, 0); // sharing, but never oversubscription
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use phishare_classad as classad;
+pub use phishare_cluster as cluster;
+pub use phishare_condor as condor;
+pub use phishare_core as core;
+pub use phishare_cosmic as cosmic;
+pub use phishare_knapsack as knapsack;
+pub use phishare_phi as phi;
+pub use phishare_sim as sim;
+pub use phishare_workload as workload;

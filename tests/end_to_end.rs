@@ -1,0 +1,139 @@
+//! End-to-end integration tests across the whole stack: workload → Condor →
+//! scheduler → COSMIC → device, on fixed seeds.
+
+use phishare::cluster::{ClusterConfig, Experiment};
+use phishare::core::ClusterPolicy;
+use phishare::workload::{Workload, WorkloadBuilder, WorkloadKind};
+
+fn workload(n: usize, seed: u64) -> Workload {
+    WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(n)
+        .seed(seed)
+        .build()
+}
+
+fn cfg(policy: ClusterPolicy, nodes: u32) -> ClusterConfig {
+    let mut c = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+    c.knapsack.window = 64; // keep debug-mode DP cost low
+    c
+}
+
+#[test]
+fn every_policy_completes_every_job() {
+    let wl = workload(60, 1);
+    for policy in ClusterPolicy::ALL {
+        let r = Experiment::run(&cfg(policy, 4), &wl).unwrap();
+        assert_eq!(r.completed, 60, "{policy}: {r:?}");
+        assert_eq!(r.oom_kills, 0, "{policy} oversubscribed memory");
+        assert_eq!(r.container_kills, 0, "{policy} killed well-behaved jobs");
+    }
+}
+
+#[test]
+fn paper_ordering_holds_on_the_real_mix() {
+    // MCCK ≤ MCC ≤ MC on makespan for a Table I workload at paper-like
+    // pressure (scaled down for debug-mode test speed).
+    let wl = workload(120, 2);
+    let mc = Experiment::run(&cfg(ClusterPolicy::Mc, 4), &wl).unwrap();
+    let mcc = Experiment::run(&cfg(ClusterPolicy::Mcc, 4), &wl).unwrap();
+    let mcck = Experiment::run(&cfg(ClusterPolicy::Mcck, 4), &wl).unwrap();
+    assert!(
+        mcck.makespan_secs < mc.makespan_secs,
+        "MCCK {} !< MC {}",
+        mcck.makespan_secs,
+        mc.makespan_secs
+    );
+    assert!(
+        mcc.makespan_secs < mc.makespan_secs,
+        "MCC {} !< MC {}",
+        mcc.makespan_secs,
+        mc.makespan_secs
+    );
+    assert!(
+        mcck.makespan_secs <= mcc.makespan_secs * 1.05,
+        "MCCK {} should not trail MCC {} by more than noise",
+        mcck.makespan_secs,
+        mcc.makespan_secs
+    );
+    // Sharing at least 20 % better than exclusive at this pressure.
+    assert!(mcck.makespan_reduction_vs(&mc) > 20.0);
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let wl = workload(50, 3);
+    for policy in ClusterPolicy::ALL {
+        let a = Experiment::run(&cfg(policy, 3), &wl).unwrap();
+        let b = Experiment::run(&cfg(policy, 3), &wl).unwrap();
+        assert_eq!(a, b, "{policy} not deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_workloads_same_invariants() {
+    for seed in [10, 11, 12] {
+        let wl = workload(40, seed);
+        let r = Experiment::run(&cfg(ClusterPolicy::Mcck, 3), &wl).unwrap();
+        assert_eq!(r.completed, 40);
+        assert!(r.core_utilization > 0.0 && r.core_utilization <= 1.0);
+    }
+}
+
+#[test]
+fn exclusive_policy_reports_paper_like_idle_device() {
+    // §III: the MC configuration leaves the manycore around half idle.
+    let wl = workload(150, 4);
+    let r = Experiment::run(&cfg(ClusterPolicy::Mc, 4), &wl).unwrap();
+    assert!(
+        (0.30..0.60).contains(&r.core_utilization),
+        "MC core utilization {} outside the paper's idle band",
+        r.core_utilization
+    );
+}
+
+#[test]
+fn mcck_pins_every_job_exactly_once() {
+    let wl = workload(45, 5);
+    let r = Experiment::run(&cfg(ClusterPolicy::Mcck, 3), &wl).unwrap();
+    assert_eq!(r.pins_issued, 45);
+}
+
+#[test]
+fn knapsack_never_overpacks_declared_memory() {
+    // Indirect invariant: MCCK with well-behaved jobs can never trigger the
+    // OOM killer, because Σ committed ≤ Σ declared ≤ usable per device.
+    for seed in 0..5 {
+        let wl = workload(80, 100 + seed);
+        let r = Experiment::run(&cfg(ClusterPolicy::Mcck, 2), &wl).unwrap();
+        assert_eq!(r.oom_kills, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn single_node_cluster_works() {
+    let wl = workload(20, 6);
+    for policy in ClusterPolicy::ALL {
+        let r = Experiment::run(&cfg(policy, 1), &wl).unwrap();
+        assert_eq!(r.completed, 20, "{policy}");
+    }
+}
+
+#[test]
+fn multi_device_nodes_work() {
+    let wl = workload(40, 7);
+    let mut c = cfg(ClusterPolicy::Mcck, 2);
+    c.devices_per_node = 2;
+    let r = Experiment::run(&c, &wl).unwrap();
+    assert_eq!(r.completed, 40);
+    // Roughly comparable to 4 single-device nodes.
+    let r4 = Experiment::run(&cfg(ClusterPolicy::Mcck, 4), &wl).unwrap();
+    assert!(r.makespan_secs < r4.makespan_secs * 1.6);
+}
+
+#[test]
+fn empty_workload_is_a_noop() {
+    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(0).build();
+    let r = Experiment::run(&cfg(ClusterPolicy::Mcck, 2), &wl).unwrap();
+    assert_eq!(r.completed, 0);
+    assert_eq!(r.makespan_secs, 0.0);
+}

@@ -1,0 +1,84 @@
+//! Failure injection: jobs that under-declare memory, and the difference
+//! between COSMIC's container kills and raw physical oversubscription.
+
+use phishare::cluster::{ClusterConfig, Experiment};
+use phishare::core::ClusterPolicy;
+use phishare::workload::{WorkloadBuilder, WorkloadKind};
+
+fn cfg(policy: ClusterPolicy, nodes: u32) -> ClusterConfig {
+    let mut c = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+    c.knapsack.window = 64;
+    c
+}
+
+#[test]
+fn cosmic_containers_catch_every_overrun() {
+    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(60)
+        .seed(31)
+        .misbehaving_fraction(0.4)
+        .build();
+    let misbehaving = wl.jobs.iter().filter(|j| !j.well_behaved()).count();
+    assert!(misbehaving > 0, "injection produced no misbehaving jobs");
+
+    for policy in [ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+        let r = Experiment::run(&cfg(policy, 3), &wl).unwrap();
+        assert_eq!(
+            r.container_kills, misbehaving,
+            "{policy}: every misbehaving job must be container-killed"
+        );
+        assert_eq!(r.completed, 60 - misbehaving, "{policy}");
+        // Containers fire when a job crosses its own declaration, which is
+        // before the *physical* limit can be crossed (declared sums fit).
+        assert_eq!(r.oom_kills, 0, "{policy}: containers must preempt the OOM killer");
+    }
+}
+
+#[test]
+fn exclusive_mode_tolerates_overruns_that_fit_physically() {
+    // Under MC a job has the whole card; overrunning its own declaration is
+    // harmless as long as it stays below physical memory — and our injector
+    // caps actual peaks at 1.5 × declared ≤ usable for Table I jobs.
+    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(40)
+        .seed(32)
+        .misbehaving_fraction(0.5)
+        .build();
+    let r = Experiment::run(&cfg(ClusterPolicy::Mc, 3), &wl).unwrap();
+    assert_eq!(r.completed, 40);
+    assert_eq!(r.oom_kills, 0);
+    assert_eq!(r.container_kills, 0, "MC runs no COSMIC containers");
+}
+
+#[test]
+fn container_enforcement_can_be_disabled() {
+    // With containers off, overruns land on the device. Whether the OOM
+    // killer fires then depends on physical pressure; with the knapsack
+    // keeping declared sums under the physical limit, moderate overruns may
+    // oversubscribe. The invariant: disabled containers never kill.
+    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(60)
+        .seed(33)
+        .misbehaving_fraction(0.4)
+        .build();
+    let mut c = cfg(ClusterPolicy::Mcck, 3);
+    c.cosmic.enforce_containers = false;
+    let r = Experiment::run(&c, &wl).unwrap();
+    assert_eq!(r.container_kills, 0);
+    // All jobs either completed or died to the OOM killer.
+    assert_eq!(r.completed + r.oom_kills, 60);
+}
+
+#[test]
+fn crashed_jobs_free_their_capacity() {
+    // After container kills, the remaining jobs still finish — the freed
+    // memory is repacked, nothing leaks.
+    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(80)
+        .seed(34)
+        .misbehaving_fraction(0.25)
+        .build();
+    let r = Experiment::run(&cfg(ClusterPolicy::Mcck, 2), &wl).unwrap();
+    assert_eq!(r.completed + r.container_kills, 80);
+    assert!(r.completed > 0);
+}

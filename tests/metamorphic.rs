@@ -1,0 +1,127 @@
+//! Metamorphic relations: how results must move when inputs scale.
+
+use phishare::cluster::{ClusterConfig, Experiment, ExperimentResult};
+use phishare::core::ClusterPolicy;
+use phishare::workload::{Workload, WorkloadBuilder, WorkloadKind};
+
+fn workload(n: usize, seed: u64) -> Workload {
+    WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(n)
+        .seed(seed)
+        .build()
+}
+
+fn run(policy: ClusterPolicy, nodes: u32, wl: &Workload) -> ExperimentResult {
+    let mut c = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+    c.knapsack.window = 64;
+    Experiment::run(&c, wl).unwrap()
+}
+
+#[test]
+fn more_nodes_never_hurt_much() {
+    // Doubling the cluster must not increase makespan (beyond tie-breaking
+    // noise) for any policy.
+    let wl = workload(80, 21);
+    for policy in ClusterPolicy::ALL {
+        let small = run(policy, 2, &wl);
+        let large = run(policy, 4, &wl);
+        assert!(
+            large.makespan_secs <= small.makespan_secs * 1.02,
+            "{policy}: 4 nodes ({}) slower than 2 nodes ({})",
+            large.makespan_secs,
+            small.makespan_secs
+        );
+    }
+}
+
+#[test]
+fn more_jobs_never_finish_sooner() {
+    let small = workload(40, 22);
+    let large = workload(80, 22); // superset: per-job substreams make the
+                                  // first 40 jobs identical
+    for policy in ClusterPolicy::ALL {
+        let a = run(policy, 3, &small);
+        let b = run(policy, 3, &large);
+        assert!(
+            b.makespan_secs >= a.makespan_secs,
+            "{policy}: 80 jobs ({}) finished before 40 jobs ({})",
+            b.makespan_secs,
+            a.makespan_secs
+        );
+    }
+}
+
+#[test]
+fn makespan_bounded_below_by_longest_job() {
+    let wl = workload(30, 23);
+    let longest = wl
+        .jobs
+        .iter()
+        .map(|j| j.nominal_duration().as_secs_f64())
+        .fold(0.0f64, f64::max);
+    for policy in ClusterPolicy::ALL {
+        let r = run(policy, 8, &wl);
+        assert!(
+            r.makespan_secs >= longest,
+            "{policy}: makespan {} below longest job {longest}",
+            r.makespan_secs
+        );
+    }
+}
+
+#[test]
+fn makespan_bounded_above_by_serial_execution() {
+    let wl = workload(30, 24);
+    let serial: f64 = wl.total_nominal().as_secs_f64();
+    for policy in ClusterPolicy::ALL {
+        let r = run(policy, 2, &wl);
+        // Even one device per node and zero sharing can't be slower than
+        // fully serial plus per-job dispatch overheads.
+        let slack = 30.0 * 15.0; // generous per-job scheduling overhead
+        assert!(
+            r.makespan_secs <= serial + slack,
+            "{policy}: makespan {} exceeds serial bound {serial}",
+            r.makespan_secs
+        );
+    }
+}
+
+#[test]
+fn utilization_falls_as_cluster_grows_for_fixed_work() {
+    let wl = workload(60, 25);
+    let small = run(ClusterPolicy::Mc, 2, &wl);
+    let large = run(ClusterPolicy::Mc, 8, &wl);
+    assert!(
+        large.core_utilization <= small.core_utilization + 0.02,
+        "MC utilization should not rise with idle capacity: {} vs {}",
+        large.core_utilization,
+        small.core_utilization
+    );
+}
+
+#[test]
+fn sharing_utilization_exceeds_exclusive() {
+    let wl = workload(100, 26);
+    let mc = run(ClusterPolicy::Mc, 3, &wl);
+    let mcck = run(ClusterPolicy::Mcck, 3, &wl);
+    assert!(
+        mcck.thread_utilization > mc.thread_utilization,
+        "sharing should raise thread utilization: {} vs {}",
+        mcck.thread_utilization,
+        mc.thread_utilization
+    );
+}
+
+#[test]
+fn footprint_curve_is_monotone() {
+    let wl = workload(60, 27);
+    let mut last = f64::INFINITY;
+    for nodes in [1u32, 2, 3, 4] {
+        let r = run(ClusterPolicy::Mcck, nodes, &wl);
+        assert!(
+            r.makespan_secs <= last * 1.02,
+            "makespan not monotone at {nodes} nodes"
+        );
+        last = r.makespan_secs;
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests over the full simulation: arbitrary small workloads and
+//! cluster shapes must preserve the safety and liveness invariants.
+
+use phishare::cluster::{ClusterConfig, Experiment};
+use phishare::core::ClusterPolicy;
+use phishare::sim::SimDuration;
+use phishare::workload::{
+    ArrivalProcess, ResourceDist, SyntheticParams, WorkloadBuilder, WorkloadKind,
+};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = ClusterPolicy> {
+    prop::sample::select(vec![ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck])
+}
+
+fn arb_dist() -> impl Strategy<Value = ResourceDist> {
+    prop::sample::select(ResourceDist::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Liveness + safety: every run drains, completes all well-behaved
+    /// jobs, and never oversubscribes physical memory.
+    #[test]
+    fn all_runs_drain_safely(
+        policy in arb_policy(),
+        dist in arb_dist(),
+        jobs in 5usize..40,
+        nodes in 1u32..5,
+        seed in 0u64..1000,
+    ) {
+        let wl = WorkloadBuilder::new(WorkloadKind::Synthetic(dist, SyntheticParams::default()))
+            .count(jobs)
+            .seed(seed)
+            .build();
+        let mut cfg = ClusterConfig::paper_cluster(policy).with_nodes(nodes).with_seed(seed);
+        cfg.knapsack.window = 48;
+        let r = Experiment::run(&cfg, &wl).unwrap();
+        prop_assert_eq!(r.completed, jobs);
+        prop_assert_eq!(r.oom_kills, 0);
+        prop_assert_eq!(r.container_kills, 0);
+        prop_assert!(r.thread_utilization <= 1.0 + 1e-9);
+        prop_assert!(r.core_utilization <= 1.0 + 1e-9);
+    }
+
+    /// Determinism across repeated runs for arbitrary inputs.
+    #[test]
+    fn arbitrary_runs_are_deterministic(
+        policy in arb_policy(),
+        jobs in 5usize..25,
+        seed in 0u64..1000,
+    ) {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(jobs).seed(seed).build();
+        let mut cfg = ClusterConfig::paper_cluster(policy).with_nodes(2).with_seed(seed);
+        cfg.knapsack.window = 48;
+        let a = Experiment::run(&cfg, &wl).unwrap();
+        let b = Experiment::run(&cfg, &wl).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Poisson arrivals preserve the same invariants.
+    #[test]
+    fn dynamic_arrivals_drain_safely(
+        jobs in 5usize..30,
+        gap_secs in 1u64..10,
+        seed in 0u64..1000,
+    ) {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(jobs)
+            .seed(seed)
+            .arrivals(ArrivalProcess::Poisson { mean_gap: SimDuration::from_secs(gap_secs) })
+            .build();
+        let mut cfg = ClusterConfig::paper_cluster(ClusterPolicy::Mcck).with_nodes(2);
+        cfg.knapsack.window = 48;
+        let r = Experiment::run(&cfg, &wl).unwrap();
+        prop_assert_eq!(r.completed, jobs);
+        // Makespan can't precede the last arrival's job finishing its work.
+        let last_arrival = wl.arrivals.last().unwrap().as_secs_f64();
+        prop_assert!(r.makespan_secs >= last_arrival);
+    }
+
+    /// Workload generation invariants on arbitrary synthetic parameters.
+    #[test]
+    fn synthetic_workloads_always_validate(
+        dist in arb_dist(),
+        jobs in 1usize..100,
+        seed in 0u64..10_000,
+    ) {
+        let wl = WorkloadBuilder::new(WorkloadKind::Synthetic(dist, SyntheticParams::default()))
+            .count(jobs)
+            .seed(seed)
+            .build();
+        prop_assert!(wl.validate().is_ok());
+        for job in &wl.jobs {
+            prop_assert!(job.thread_req >= 4 && job.thread_req <= 240);
+            prop_assert!(job.mem_req_mb <= 6400);
+            prop_assert!(job.profile.offload_count() >= 1);
+        }
+    }
+}
