@@ -9,7 +9,7 @@
 
 use phishare_bench::{banner, persist_json, table1_workload, EXPERIMENT_SEED};
 use phishare_cluster::report::{secs, table};
-use phishare_cluster::sweep::{default_threads, run_sweep, SweepJob};
+use phishare_cluster::sweep::{run_sweep_auto, SweepJob};
 use phishare_cluster::ClusterConfig;
 use phishare_core::{ClusterPolicy, KnapsackVariant};
 use serde::Serialize;
@@ -66,7 +66,7 @@ fn main() {
         push(format!("window={window}"), c);
     }
 
-    let results = run_sweep(grid, default_threads());
+    let results = run_sweep_auto(grid);
     let rows: Vec<Row> = results
         .iter()
         .map(|(label, res)| Row {

@@ -9,7 +9,7 @@
 
 use phishare_bench::{banner, persist_json, table1_workload, EXPERIMENT_SEED};
 use phishare_cluster::report::{secs, table};
-use phishare_cluster::sweep::{default_threads, run_sweep, SweepJob};
+use phishare_cluster::sweep::{run_sweep_auto, SweepJob};
 use phishare_cluster::ClusterConfig;
 use phishare_core::ClusterPolicy;
 use phishare_sim::SimDuration;
@@ -46,7 +46,7 @@ fn main() {
             }
         }
     }
-    let results = run_sweep(grid, default_threads());
+    let results = run_sweep_auto(grid);
 
     let rows: Vec<Row> = results
         .iter()
@@ -75,7 +75,12 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Policy", "Interval (s)", "Trigger delay (s)", "Makespan (s)"],
+            &[
+                "Policy",
+                "Interval (s)",
+                "Trigger delay (s)",
+                "Makespan (s)"
+            ],
             &printable
         )
     );

@@ -12,7 +12,7 @@ use phishare_bench::{
     banner, persist_json, synthetic_workload, table1_workload, EXPERIMENT_SEED, SYNTHETIC_JOBS,
 };
 use phishare_cluster::report::{pct, secs, table};
-use phishare_cluster::sweep::{default_threads, run_sweep, SweepJob};
+use phishare_cluster::sweep::{run_sweep_auto, SweepJob};
 use phishare_cluster::ClusterConfig;
 use phishare_core::ClusterPolicy;
 use phishare_workload::ResourceDist;
@@ -33,7 +33,10 @@ fn main() {
     );
 
     let workloads = vec![
-        ("table1-1000".to_string(), table1_workload(1000, EXPERIMENT_SEED)),
+        (
+            "table1-1000".to_string(),
+            table1_workload(1000, EXPERIMENT_SEED),
+        ),
         (
             "syn-normal-400".to_string(),
             synthetic_workload(ResourceDist::Normal, SYNTHETIC_JOBS, EXPERIMENT_SEED),
@@ -54,7 +57,7 @@ fn main() {
             });
         }
     }
-    let results = run_sweep(grid, default_threads());
+    let results = run_sweep_auto(grid);
 
     let rows: Vec<Row> = results
         .iter()

@@ -14,7 +14,7 @@ use phishare_bench::{
     banner, persist_json, synthetic_workload, table1_workload, EXPERIMENT_SEED, SYNTHETIC_JOBS,
 };
 use phishare_cluster::report::{secs, table};
-use phishare_cluster::sweep::{default_threads, run_sweep, SweepJob};
+use phishare_cluster::sweep::{run_sweep_auto, SweepJob};
 use phishare_cluster::ClusterConfig;
 use phishare_core::ClusterPolicy;
 use phishare_knapsack::ValueFunction;
@@ -55,7 +55,7 @@ fn main() {
             });
         }
     }
-    let results = run_sweep(grid, default_threads());
+    let results = run_sweep_auto(grid);
 
     let rows: Vec<Row> = results
         .iter()
@@ -72,11 +72,20 @@ fn main() {
 
     let printable: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.workload.clone(), r.value_fn.clone(), secs(r.makespan_secs)])
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.value_fn.clone(),
+                secs(r.makespan_secs),
+            ]
+        })
         .collect();
     println!(
         "{}",
-        table(&["Workload", "Value function", "MCCK makespan (s)"], &printable)
+        table(
+            &["Workload", "Value function", "MCCK makespan (s)"],
+            &printable
+        )
     );
     persist_json("abl_value_function", &rows);
 }

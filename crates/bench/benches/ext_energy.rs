@@ -74,7 +74,12 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Configuration", "Makespan (s)", "Card energy (kWh)", "Energy saving vs MC@8"],
+            &[
+                "Configuration",
+                "Makespan (s)",
+                "Card energy (kWh)",
+                "Energy saving vs MC@8"
+            ],
             &printable
         )
     );

@@ -8,7 +8,7 @@
 
 use phishare_bench::{banner, persist_json, table1_workload};
 use phishare_cluster::report::{pct, table};
-use phishare_cluster::sweep::{default_threads, run_sweep, SweepJob};
+use phishare_cluster::sweep::{run_sweep_auto, SweepJob};
 use phishare_cluster::ClusterConfig;
 use phishare_core::ClusterPolicy;
 use phishare_sim::Summary;
@@ -42,7 +42,7 @@ fn main() {
             });
         }
     }
-    let results = run_sweep(grid, default_threads());
+    let results = run_sweep_auto(grid);
 
     let mut rows = Vec::new();
     let mut mcc_stats = Summary::new();
@@ -52,7 +52,10 @@ fn main() {
         let mc = chunk[0].1.as_ref().expect("MC runs");
         let mcc = chunk[1].1.as_ref().expect("MCC runs");
         let mcck = chunk[2].1.as_ref().expect("MCCK runs");
-        let (r_mcc, r_mcck) = (mcc.makespan_reduction_vs(mc), mcck.makespan_reduction_vs(mc));
+        let (r_mcc, r_mcck) = (
+            mcc.makespan_reduction_vs(mc),
+            mcck.makespan_reduction_vs(mc),
+        );
         mcc_stats.record(r_mcc);
         mcck_stats.record(r_mcck);
         rows.push(Row {
@@ -70,7 +73,11 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Workload seed", "MCC reduction vs MC", "MCCK reduction vs MC"],
+            &[
+                "Workload seed",
+                "MCC reduction vs MC",
+                "MCCK reduction vs MC"
+            ],
             &printable
         )
     );

@@ -9,7 +9,7 @@
 
 use phishare_bench::{banner, persist_json, table1_workload, EXPERIMENT_SEED};
 use phishare_cluster::report::{pct, secs, table};
-use phishare_cluster::sweep::{default_threads, run_sweep, SweepJob};
+use phishare_cluster::sweep::{run_sweep_auto, SweepJob};
 use phishare_cluster::ClusterConfig;
 use phishare_core::ClusterPolicy;
 use serde::Serialize;
@@ -46,7 +46,7 @@ fn main() {
             });
         }
     }
-    let results = run_sweep(grid, default_threads());
+    let results = run_sweep_auto(grid);
 
     let rows: Vec<Row> = results
         .iter()
@@ -74,7 +74,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Topology (8 cards)", "MC (s)", "MCC (s)", "MCCK (s)", "MCCK vs MC"],
+            &[
+                "Topology (8 cards)",
+                "MC (s)",
+                "MCC (s)",
+                "MCCK (s)",
+                "MCCK vs MC"
+            ],
             &printable
         )
     );

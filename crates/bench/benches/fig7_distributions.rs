@@ -38,8 +38,7 @@ fn main() {
         }
         assert_eq!(hist.outliers(), 0, "jobs outside the declared memory range");
         let bins: Vec<usize> = hist.counts().iter().map(|&c| c as usize).collect();
-        let mean_mem =
-            wl.jobs.iter().map(|j| j.mem_req_mb as f64).sum::<f64>() / wl.len() as f64;
+        let mean_mem = wl.jobs.iter().map(|j| j.mem_req_mb as f64).sum::<f64>() / wl.len() as f64;
         let mean_threads =
             wl.jobs.iter().map(|j| j.thread_req as f64).sum::<f64>() / wl.len() as f64;
 

@@ -5,11 +5,9 @@
 //! smaller improvement for high-skew, where MCCK may even trail MCC
 //! slightly (integration overhead); sharing always beats MC.
 
-use phishare_bench::{
-    banner, persist_json, synthetic_workload, EXPERIMENT_SEED, SYNTHETIC_JOBS,
-};
+use phishare_bench::{banner, persist_json, synthetic_workload, EXPERIMENT_SEED, SYNTHETIC_JOBS};
 use phishare_cluster::report::{bar_chart, pct, secs, table};
-use phishare_cluster::sweep::{default_threads, run_sweep, SweepJob};
+use phishare_cluster::sweep::{run_sweep_auto, SweepJob};
 use phishare_cluster::ClusterConfig;
 use phishare_core::ClusterPolicy;
 use phishare_workload::ResourceDist;
@@ -41,7 +39,7 @@ fn main() {
             });
         }
     }
-    let results = run_sweep(grid, default_threads());
+    let results = run_sweep_auto(grid);
 
     let mut rows: Vec<Row> = Vec::new();
     let mut printable = Vec::new();
@@ -66,7 +64,10 @@ fn main() {
     }
     println!(
         "{}",
-        table(&["Distribution", "Config", "Makespan (s)", "vs MC"], &printable)
+        table(
+            &["Distribution", "Config", "Makespan (s)", "vs MC"],
+            &printable
+        )
     );
 
     for dist in ResourceDist::ALL {

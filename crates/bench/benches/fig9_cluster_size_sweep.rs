@@ -7,7 +7,7 @@
 
 use phishare_bench::{banner, persist_json, synthetic_workload, EXPERIMENT_SEED, SYNTHETIC_JOBS};
 use phishare_cluster::report::{secs, table};
-use phishare_cluster::sweep::{default_threads, run_sweep, SweepJob};
+use phishare_cluster::sweep::{run_sweep_auto, SweepJob};
 use phishare_cluster::ClusterConfig;
 use phishare_core::ClusterPolicy;
 use phishare_workload::ResourceDist;
@@ -43,7 +43,7 @@ fn main() {
             }
         }
     }
-    let results = run_sweep(grid, default_threads());
+    let results = run_sweep_auto(grid);
 
     let rows: Vec<Row> = results
         .iter()

@@ -33,7 +33,11 @@ fn main() {
 
     let mut rows = Vec::new();
 
-    let real = run_cell(ClusterPolicy::Mc, 8, &table1_workload(TABLE1_JOBS, EXPERIMENT_SEED));
+    let real = run_cell(
+        ClusterPolicy::Mc,
+        8,
+        &table1_workload(TABLE1_JOBS, EXPERIMENT_SEED),
+    );
     rows.push(Row {
         workload: "table1-mix (1000 jobs)".into(),
         core_utilization_pct: 100.0 * real.core_utilization,
@@ -69,7 +73,12 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Workload (MC policy, 8 nodes)", "Core util", "Thread util", "Device busy"],
+            &[
+                "Workload (MC policy, 8 nodes)",
+                "Core util",
+                "Thread util",
+                "Device busy"
+            ],
             &printable
         )
     );

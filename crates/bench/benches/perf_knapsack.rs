@@ -54,10 +54,14 @@ fn bench_solvers(c: &mut Criterion) {
             let mut rng = DetRng::from_seed(1);
             b.iter(|| RandomFit.pack(black_box(set), &cap, &mut rng))
         });
-        group.bench_with_input(BenchmarkId::new("best_fit_decreasing", n), &set, |b, set| {
-            let mut rng = DetRng::from_seed(1);
-            b.iter(|| BestFitDecreasing.pack(black_box(set), &cap, &mut rng))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("best_fit_decreasing", n),
+            &set,
+            |b, set| {
+                let mut rng = DetRng::from_seed(1);
+                b.iter(|| BestFitDecreasing.pack(black_box(set), &cap, &mut rng))
+            },
+        );
     }
     group.finish();
 }

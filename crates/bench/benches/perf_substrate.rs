@@ -35,7 +35,8 @@ fn bench_classad(c: &mut Criterion) {
     )
     .unwrap();
     let mut j = job.clone();
-    j.insert_expr("Requirements", "TARGET.PhiDevices >= 1").unwrap();
+    j.insert_expr("Requirements", "TARGET.PhiDevices >= 1")
+        .unwrap();
     group.bench_function("two_sided_match", |b| b.iter(|| black_box(&m).matches(&j)));
     group.finish();
 }

@@ -4,7 +4,9 @@
 //! MCCK 2183 s (−39 %), footprint 8→5 (37.5 %). Absolute seconds differ on
 //! the simulated substrate; the reductions are the reproduction target.
 
-use phishare_bench::{banner, persist_json, run_cell, table1_workload, EXPERIMENT_SEED, TABLE1_JOBS};
+use phishare_bench::{
+    banner, persist_json, run_cell, table1_workload, EXPERIMENT_SEED, TABLE1_JOBS,
+};
 use phishare_cluster::report::{pct, secs, table};
 use phishare_cluster::{footprint_search, ClusterConfig};
 use phishare_core::ClusterPolicy;

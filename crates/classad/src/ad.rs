@@ -13,15 +13,25 @@ pub const REQUIREMENTS: &str = "Requirements";
 /// Attribute name of the preference (ranking) expression.
 pub const RANK: &str = "Rank";
 
+/// An expression attribute: the submit-file source text plus its AST,
+/// parsed exactly once at insertion. Negotiation touches every (job, slot)
+/// pair each cycle, so re-parsing per evaluation (the original design) was
+/// the dominant matchmaking cost.
+#[derive(Debug, Clone, PartialEq)]
+struct CachedExpr {
+    src: String,
+    parsed: Expr,
+}
+
 /// A classified advertisement: an attribute → value map (attribute names are
 /// case-insensitive), where `Requirements` and `Rank` hold *expressions*
-/// stored as strings and parsed on demand.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// parsed at insertion time and evaluated lazily against a TARGET.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClassAd {
     attrs: BTreeMap<String, Value>,
-    /// Parsed expression attributes (`Requirements`, `Rank`), kept separate
+    /// Expression attributes (`Requirements`, `Rank`), kept separate
     /// because they evaluate lazily against a TARGET.
-    exprs: BTreeMap<String, String>,
+    exprs: BTreeMap<String, CachedExpr>,
 }
 
 impl ClassAd {
@@ -36,10 +46,17 @@ impl ClassAd {
     }
 
     /// Insert (or replace) an expression attribute such as `Requirements`.
-    /// The expression is validated now so malformed submit files fail fast.
+    /// The expression is parsed now, so malformed submit files fail fast and
+    /// later evaluations reuse the AST instead of re-parsing.
     pub fn insert_expr(&mut self, name: &str, expr: &str) -> Result<(), ParseError> {
-        parse(expr)?;
-        self.exprs.insert(name.to_ascii_lowercase(), expr.to_string());
+        let parsed = parse(expr)?;
+        self.exprs.insert(
+            name.to_ascii_lowercase(),
+            CachedExpr {
+                src: expr.to_string(),
+                parsed,
+            },
+        );
         Ok(())
     }
 
@@ -50,7 +67,16 @@ impl ClassAd {
 
     /// Look up an expression attribute's source text.
     pub fn get_expr(&self, name: &str) -> Option<&str> {
-        self.exprs.get(&name.to_ascii_lowercase()).map(|s| s.as_str())
+        self.exprs
+            .get(&name.to_ascii_lowercase())
+            .map(|e| e.src.as_str())
+    }
+
+    /// Look up an expression attribute's parsed AST (no re-parse).
+    pub fn parsed_expr(&self, name: &str) -> Option<&Expr> {
+        self.exprs
+            .get(&name.to_ascii_lowercase())
+            .map(|e| &e.parsed)
     }
 
     /// Remove an attribute (value or expression). Returns true if present.
@@ -69,18 +95,12 @@ impl ClassAd {
         self.attrs.is_empty() && self.exprs.is_empty()
     }
 
-    /// Parse and return this ad's expression attribute `name`.
-    fn parsed_expr(&self, name: &str) -> Option<Expr> {
-        self.get_expr(name)
-            .map(|src| parse(src).expect("insert_expr validated this expression"))
-    }
-
     /// Evaluate this ad's `Requirements` against `target`. An absent
     /// `Requirements` accepts everything (HTCondor defaults it to true).
     pub fn requirements_satisfied(&self, target: &ClassAd) -> bool {
         match self.parsed_expr(REQUIREMENTS) {
             None => true,
-            Some(e) => eval(&e, self, Some(target)).is_true(),
+            Some(e) => eval(e, self, Some(target)).is_true(),
         }
     }
 
@@ -96,8 +116,47 @@ impl ClassAd {
     pub fn rank(&self, target: &ClassAd) -> f64 {
         match self.parsed_expr(RANK) {
             None => 0.0,
-            Some(e) => eval(&e, self, Some(target)).as_f64().unwrap_or(0.0),
+            Some(e) => eval(e, self, Some(target)).as_f64().unwrap_or(0.0),
         }
+    }
+}
+
+// Serialization keeps the original wire shape — expressions as their source
+// strings — so the parse cache stays an internal detail. Deserialization
+// re-validates each expression, exactly like `insert_expr`.
+impl Serialize for ClassAd {
+    fn to_value(&self) -> serde::Value {
+        let mut exprs = BTreeMap::new();
+        for (k, e) in &self.exprs {
+            exprs.insert(k.clone(), serde::Value::Str(e.src.clone()));
+        }
+        let mut obj = BTreeMap::new();
+        obj.insert("attrs".to_string(), self.attrs.to_value());
+        obj.insert("exprs".to_string(), serde::Value::Object(exprs));
+        serde::Value::Object(obj)
+    }
+}
+
+impl Deserialize for ClassAd {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("ClassAd: expected an object"))?;
+        let attrs_v = obj
+            .get("attrs")
+            .ok_or_else(|| serde::Error::custom("ClassAd: missing `attrs`"))?;
+        let attrs = BTreeMap::<String, Value>::from_value(attrs_v)?;
+        let exprs_v = obj
+            .get("exprs")
+            .ok_or_else(|| serde::Error::custom("ClassAd: missing `exprs`"))?;
+        let sources = BTreeMap::<String, String>::from_value(exprs_v)?;
+        let mut exprs = BTreeMap::new();
+        for (k, src) in sources {
+            let parsed = parse(&src)
+                .map_err(|e| serde::Error::custom(format!("ClassAd expression `{k}`: {e}")))?;
+            exprs.insert(k, CachedExpr { src, parsed });
+        }
+        Ok(ClassAd { attrs, exprs })
     }
 }
 
@@ -108,7 +167,7 @@ impl fmt::Display for ClassAd {
             writeln!(f, "  {k} = {v};")?;
         }
         for (k, e) in &self.exprs {
-            writeln!(f, "  {k} = {e};")?;
+            writeln!(f, "  {k} = {};", e.src)?;
         }
         write!(f, "]")
     }
@@ -123,18 +182,16 @@ mod tests {
         ad.insert("Name", "slot1@node1");
         ad.insert("PhiDevices", 1u64);
         ad.insert("PhiMemory", 7680u64);
-        ad.insert_expr(
-            REQUIREMENTS,
-            "TARGET.RequestPhiMemory <= MY.PhiMemory",
-        )
-        .unwrap();
+        ad.insert_expr(REQUIREMENTS, "TARGET.RequestPhiMemory <= MY.PhiMemory")
+            .unwrap();
         ad
     }
 
     fn job(mem: u64) -> ClassAd {
         let mut ad = ClassAd::new();
         ad.insert("RequestPhiMemory", mem);
-        ad.insert_expr(REQUIREMENTS, "TARGET.PhiDevices >= 1").unwrap();
+        ad.insert_expr(REQUIREMENTS, "TARGET.PhiDevices >= 1")
+            .unwrap();
         ad
     }
 
@@ -167,7 +224,8 @@ mod tests {
     #[test]
     fn undefined_requirements_do_not_match() {
         let mut ad = ClassAd::new();
-        ad.insert_expr(REQUIREMENTS, "TARGET.NoSuchAttr >= 1").unwrap();
+        ad.insert_expr(REQUIREMENTS, "TARGET.NoSuchAttr >= 1")
+            .unwrap();
         assert!(!ad.requirements_satisfied(&ClassAd::new()));
     }
 
@@ -206,5 +264,37 @@ mod tests {
         let s = machine().to_string();
         assert!(s.contains("phimemory = 7680"));
         assert!(s.contains("requirements"));
+    }
+
+    #[test]
+    fn expressions_are_parsed_once_and_reused() {
+        let ad = machine();
+        let first = ad.parsed_expr(REQUIREMENTS).unwrap() as *const Expr;
+        let second = ad.parsed_expr("requirements").unwrap() as *const Expr;
+        assert_eq!(first, second, "parsed AST is cached, not rebuilt");
+        assert_eq!(
+            ad.get_expr(REQUIREMENTS),
+            Some("TARGET.RequestPhiMemory <= MY.PhiMemory")
+        );
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_source_text() {
+        let ad = machine();
+        let json = serde_json::to_string(&ad).unwrap();
+        assert!(json.contains("TARGET.RequestPhiMemory <= MY.PhiMemory"));
+        assert!(
+            !json.contains("parsed"),
+            "AST cache must not leak into JSON"
+        );
+        let back: ClassAd = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ad);
+        assert!(back.parsed_expr(REQUIREMENTS).is_some());
+    }
+
+    #[test]
+    fn serde_rejects_malformed_expressions() {
+        let bad = r#"{"attrs": {}, "exprs": {"requirements": "1 +"}}"#;
+        assert!(serde_json::from_str::<ClassAd>(bad).is_err());
     }
 }

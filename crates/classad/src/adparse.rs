@@ -34,7 +34,11 @@ impl fmt::Display for AdParseError {
         if self.attribute.is_empty() {
             write!(f, "ad parse error: {}", self.message)
         } else {
-            write!(f, "ad parse error at attribute {:?}: {}", self.attribute, self.message)
+            write!(
+                f,
+                "ad parse error at attribute {:?}: {}",
+                self.attribute, self.message
+            )
         }
     }
 }

@@ -38,7 +38,11 @@ pub fn call(name: &str, args: &[Value]) -> Value {
         "int" => match args {
             [Value::Int(i)] => Value::Int(*i),
             [Value::Float(x)] => Value::Int(*x as i64),
-            [Value::Str(s)] => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Undefined),
+            [Value::Str(s)] => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Undefined),
             [Value::Bool(b)] => Value::Int(*b as i64),
             _ => Value::Undefined,
         },
@@ -175,8 +179,14 @@ mod tests {
 
     #[test]
     fn string_functions() {
-        assert_eq!(call("strcat", &[s("slot"), i(1), s("@node"), i(3)]), s("slot1@node3"));
-        assert_eq!(call("strcat", &[s("a"), Value::Undefined]), Value::Undefined);
+        assert_eq!(
+            call("strcat", &[s("slot"), i(1), s("@node"), i(3)]),
+            s("slot1@node3")
+        );
+        assert_eq!(
+            call("strcat", &[s("a"), Value::Undefined]),
+            Value::Undefined
+        );
         assert_eq!(call("toLower", &[s("ABC")]), s("abc"));
         assert_eq!(call("toUpper", &[s("abc")]), s("ABC"));
         assert_eq!(call("size", &[s("hello")]), i(5));
@@ -188,7 +198,10 @@ mod tests {
         assert_eq!(call("isUndefined", &[i(0)]), Value::Bool(false));
         assert_eq!(call("ifThenElse", &[Value::Bool(true), i(1), i(2)]), i(1));
         assert_eq!(call("ifThenElse", &[Value::Bool(false), i(1), i(2)]), i(2));
-        assert_eq!(call("ifThenElse", &[Value::Undefined, i(1), i(2)]), Value::Undefined);
+        assert_eq!(
+            call("ifThenElse", &[Value::Undefined, i(1), i(2)]),
+            Value::Undefined
+        );
     }
 
     #[test]

@@ -19,9 +19,7 @@ pub fn eval(expr: &Expr, my: &ClassAd, target: Option<&ClassAd>) -> Value {
             .or_else(|| target.and_then(|t| t.get(name)))
             .cloned()
             .unwrap_or(Value::Undefined),
-        Expr::ScopedAttr(Scope::My, name) => {
-            my.get(name).cloned().unwrap_or(Value::Undefined)
-        }
+        Expr::ScopedAttr(Scope::My, name) => my.get(name).cloned().unwrap_or(Value::Undefined),
         Expr::ScopedAttr(Scope::Target, name) => target
             .and_then(|t| t.get(name))
             .cloned()

@@ -236,9 +236,7 @@ fn lex_string(input: &str, start: usize) -> Result<(String, usize), LexError> {
                     b'\\' => '\\',
                     b'n' => '\n',
                     b't' => '\t',
-                    other => {
-                        return Err(err(i, &format!("unknown escape '\\{}'", *other as char)))
-                    }
+                    other => return Err(err(i, &format!("unknown escape '\\{}'", *other as char))),
                 });
                 i += 2;
             }

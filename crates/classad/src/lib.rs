@@ -25,6 +25,7 @@ pub mod ad;
 pub mod adparse;
 pub mod ast;
 pub mod builtins;
+pub mod compiled;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
@@ -33,6 +34,7 @@ pub mod value;
 pub use ad::ClassAd;
 pub use adparse::parse_ad;
 pub use ast::{BinOp, Expr, UnOp};
+pub use compiled::{CompiledReq, Guard, GuardOp, PinEq};
 pub use eval::eval;
 pub use parser::{parse, ParseError};
 pub use value::Value;

@@ -135,7 +135,10 @@ mod tests {
 
     #[test]
     fn equality_coerces_numerics() {
-        assert_eq!(Value::Int(2).classad_eq(&Value::Float(2.0)), Value::Bool(true));
+        assert_eq!(
+            Value::Int(2).classad_eq(&Value::Float(2.0)),
+            Value::Bool(true)
+        );
         assert_eq!(Value::Int(2).classad_eq(&Value::Int(3)), Value::Bool(false));
     }
 
@@ -149,8 +152,14 @@ mod tests {
 
     #[test]
     fn equality_with_undefined_is_undefined() {
-        assert_eq!(Value::Undefined.classad_eq(&Value::Int(1)), Value::Undefined);
-        assert_eq!(Value::Int(1).classad_eq(&Value::from("x")), Value::Undefined);
+        assert_eq!(
+            Value::Undefined.classad_eq(&Value::Int(1)),
+            Value::Undefined
+        );
+        assert_eq!(
+            Value::Int(1).classad_eq(&Value::from("x")),
+            Value::Undefined
+        );
     }
 
     #[test]

@@ -19,23 +19,45 @@ fn arb_value() -> impl Strategy<Value = Value> {
 fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         arb_value().prop_map(Expr::Lit),
-        "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
-            !["true", "false", "undefined", "my", "target"].contains(&s.as_str())
-        })
-        .prop_map(Expr::Attr),
+        "[a-z][a-z0-9_]{0,6}"
+            .prop_filter("not a keyword", |s| {
+                !["true", "false", "undefined", "my", "target"].contains(&s.as_str())
+            })
+            .prop_map(Expr::Attr),
     ];
     leaf.prop_recursive(4, 48, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop::sample::select(vec![
-                BinOp::Or, BinOp::And, BinOp::Eq, BinOp::Ne, BinOp::Is, BinOp::Isnt,
-                BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge,
-                BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div,
-            ]))
+            (
+                inner.clone(),
+                inner.clone(),
+                prop::sample::select(vec![
+                    BinOp::Or,
+                    BinOp::And,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Is,
+                    BinOp::Isnt,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                ])
+            )
                 .prop_map(|(l, r, op)| Expr::Binary(op, Box::new(l), Box::new(r))),
-            (inner.clone(), prop::sample::select(vec![UnOp::Not, UnOp::Neg]))
+            (
+                inner.clone(),
+                prop::sample::select(vec![UnOp::Not, UnOp::Neg])
+            )
                 .prop_map(|(e, op)| Expr::Unary(op, Box::new(e))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| Expr::Ternary(Box::new(c), Box::new(t), Box::new(e))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::Ternary(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
             (
                 prop::sample::select(vec!["min", "max", "strcat", "isundefined", "floor"]),
                 prop::collection::vec(inner, 0..3)

@@ -202,13 +202,22 @@ mod tests {
 
     #[test]
     fn audit_detects_planted_violations() {
-        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(10).seed(63).build();
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(10)
+            .seed(63)
+            .build();
         let cfg = ClusterConfig::paper_cluster(ClusterPolicy::Mcck).with_nodes(2);
         let (mut result, trace) = Experiment::run_traced(&cfg, &wl).unwrap();
         // Corrupt the accounting.
         result.completed -= 1;
         let violations = audit(&cfg, &wl, &result, &trace);
-        assert!(violations.iter().any(|v| v.contains("accounting")), "{violations:?}");
-        assert!(violations.iter().any(|v| v.contains("completions")), "{violations:?}");
+        assert!(
+            violations.iter().any(|v| v.contains("accounting")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("completions")),
+            "{violations:?}"
+        );
     }
 }

@@ -54,5 +54,5 @@ pub use config::ClusterConfig;
 pub use footprint::{footprint_search, FootprintResult};
 pub use metrics::ExperimentResult;
 pub use runtime::Experiment;
-pub use sweep::{run_sweep, SweepJob};
+pub use sweep::{run_sweep, run_sweep_auto, SweepJob};
 pub use trace::{Trace, TraceEvent};

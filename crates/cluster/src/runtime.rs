@@ -54,9 +54,17 @@ enum Ev {
     Dispatch(JobId),
     /// A node's host CPUs predict this job's host phase finishes now
     /// (valid for `generation`).
-    HostDone { job: JobId, node: u32, generation: u64 },
+    HostDone {
+        job: JobId,
+        node: u32,
+        generation: u64,
+    },
     /// A device predicts this offload finishes now (valid for `generation`).
-    OffloadComplete { job: JobId, key: DevKey, generation: u64 },
+    OffloadComplete {
+        job: JobId,
+        key: DevKey,
+        generation: u64,
+    },
 }
 
 /// Why a job was terminated early.
@@ -98,8 +106,7 @@ impl Experiment {
         config: &ClusterConfig,
         workload: &Workload,
     ) -> Result<(ExperimentResult, Trace), String> {
-        Self::run_inner(config, workload, true)
-            .map(|(r, t)| (r, t.expect("tracing was enabled")))
+        Self::run_inner(config, workload, true).map(|(r, t)| (r, t.expect("tracing was enabled")))
     }
 
     fn run_inner(
@@ -116,7 +123,9 @@ impl Experiment {
         // exceed the per-device thread budget can never be packed — reject
         // it up front instead of letting it starve in the queue forever.
         let thread_cap = match config.policy {
-            ClusterPolicy::Mcck | ClusterPolicy::Oracle if config.knapsack.count_resident_threads => {
+            ClusterPolicy::Mcck | ClusterPolicy::Oracle
+                if config.knapsack.count_resident_threads =>
+            {
                 Some(
                     (config.knapsack.thread_limit as f64 * config.knapsack.thread_overcommit)
                         .round() as u32,
@@ -165,7 +174,10 @@ impl Experiment {
             ));
         }
         let trace = world.trace.take();
-        Ok((world.into_result(config, workload, sim.events_processed()), trace))
+        Ok((
+            world.into_result(config, workload, sim.events_processed()),
+            trace,
+        ))
     }
 }
 
@@ -222,7 +234,12 @@ impl<'a> World<'a> {
         let mut hosts = BTreeMap::new();
         for node in 1..=cfg.nodes {
             hosts.insert(node, HostCpu::new(cfg.host_cores_per_node, SimTime::ZERO));
-            let startd = Startd::new(node, cfg.slots_per_node, cfg.devices_per_node, cfg.phi.memory_mb);
+            let startd = Startd::new(
+                node,
+                cfg.slots_per_node,
+                cfg.devices_per_node,
+                cfg.phi.memory_mb,
+            );
             startd.advertise(
                 &mut collector,
                 cfg.phi.usable_mem_mb() * cfg.devices_per_node as u64,
@@ -247,12 +264,7 @@ impl<'a> World<'a> {
             ClusterPolicy::Oracle => Some(Box::new(ClairvoyantLpt::new(cfg.knapsack))),
         };
 
-        let job_index = wl
-            .jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| (j.id, i))
-            .collect();
+        let job_index = wl.jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
 
         World {
             cfg,
@@ -303,12 +315,16 @@ impl<'a> World<'a> {
             Ev::Arrive(idx) => self.on_arrive(sim, idx),
             Ev::Cycle(seq) => self.on_cycle(sim, seq),
             Ev::Dispatch(job) => self.on_dispatch(sim, job),
-            Ev::HostDone { job, node, generation } => {
-                self.on_host_done(sim, job, node, generation)
-            }
-            Ev::OffloadComplete { job, key, generation } => {
-                self.on_offload_complete(sim, job, key, generation)
-            }
+            Ev::HostDone {
+                job,
+                node,
+                generation,
+            } => self.on_host_done(sim, job, node, generation),
+            Ev::OffloadComplete {
+                job,
+                key,
+                generation,
+            } => self.on_offload_complete(sim, job, key, generation),
         }
     }
 
@@ -329,7 +345,10 @@ impl<'a> World<'a> {
                 .submit_held(id, attrs::sharing_job_ad(spec), sim.now())
                 .expect("workload ids are unique"),
         }
-        self.trace_ev(|| TraceEvent::Submitted { job: id, at: sim.now() });
+        self.trace_ev(|| TraceEvent::Submitted {
+            job: id,
+            at: sim.now(),
+        });
         // A fresh arrival can trigger negotiation (collector update).
         self.request_cycle(sim, sim.now() + self.cfg.negotiation_trigger_delay);
     }
@@ -364,7 +383,9 @@ impl<'a> World<'a> {
         self.refresh_ads();
 
         // 3. Matchmaking.
-        let matches = self.negotiator.negotiate(&mut self.queue, &mut self.collector);
+        let matches = self
+            .negotiator
+            .negotiate(&mut self.queue, &mut self.collector);
         for m in matches {
             let spec = &self.wl.jobs[self.job_index[&m.job]];
             // Pinned jobs go to the device their packing round reserved;
@@ -402,7 +423,10 @@ impl<'a> World<'a> {
             .matched_dev
             .remove(&job)
             .expect("dispatch follows a match");
-        *self.inflight_declared.get_mut(&key).expect("inflight entry") -= spec.mem_req_mb;
+        *self
+            .inflight_declared
+            .get_mut(&key)
+            .expect("inflight entry") -= spec.mem_req_mb;
         *self.inflight_count.get_mut(&key).expect("inflight entry") -= 1;
         *self.inflight_threads.get_mut(&key).expect("inflight entry") -= spec.thread_req;
 
@@ -434,9 +458,8 @@ impl<'a> World<'a> {
         );
 
         // Attach the COI process and make the initial memory commit.
-        let initial_commit = ((spec.actual_peak_mem_mb as f64)
-            * self.cfg.initial_commit_fraction)
-            .round() as u64;
+        let initial_commit =
+            ((spec.actual_peak_mem_mb as f64) * self.cfg.initial_commit_fraction).round() as u64;
         if let Some(cos) = self.cosmic.get_mut(&key) {
             cos.register_job(job, spec.mem_req_mb, spec.thread_req);
         }
@@ -444,7 +467,14 @@ impl<'a> World<'a> {
             .devices
             .get_mut(&key)
             .expect("device exists")
-            .attach(now, proc, spec.mem_req_mb, spec.thread_req, initial_commit, &mut self.rng_oom)
+            .attach(
+                now,
+                proc,
+                spec.mem_req_mb,
+                spec.thread_req,
+                initial_commit,
+                &mut self.rng_oom,
+            )
             .expect("proc ids are unique per job");
         self.handle_commit_outcome(sim, key, outcome);
         if !self.running.contains_key(&job) {
@@ -531,8 +561,7 @@ impl<'a> World<'a> {
                 // Memory-growth model: commits approach the actual peak as
                 // offloads execute.
                 let total_offloads = spec.profile.offload_count().max(1);
-                let initial = ((spec.actual_peak_mem_mb as f64)
-                    * self.cfg.initial_commit_fraction)
+                let initial = ((spec.actual_peak_mem_mb as f64) * self.cfg.initial_commit_fraction)
                     .round() as u64;
                 let grown = initial
                     + ((spec.actual_peak_mem_mb - initial.min(spec.actual_peak_mem_mb)) as f64
@@ -576,7 +605,11 @@ impl<'a> World<'a> {
                         .expect("device exists")
                         .start_offload(now, proc, threads, work, Affinity::Unmanaged)
                         .expect("raw offload starts unconditionally");
-                    self.trace_ev(|| TraceEvent::OffloadStarted { job, threads, at: now });
+                    self.trace_ev(|| TraceEvent::OffloadStarted {
+                        job,
+                        threads,
+                        at: now,
+                    });
                     self.sync_completions(sim, key);
                 }
             }
@@ -607,7 +640,14 @@ impl<'a> World<'a> {
         let host = self.hosts.get(&node).expect("node exists");
         let generation = host.generation();
         for (job, at) in host.completions() {
-            sim.schedule_at(at, Ev::HostDone { job, node, generation });
+            sim.schedule_at(
+                at,
+                Ev::HostDone {
+                    job,
+                    node,
+                    generation,
+                },
+            );
         }
     }
 
@@ -641,7 +681,9 @@ impl<'a> World<'a> {
         }
         self.sync_completions(sim, run.key);
 
-        self.queue.set_completed(job).expect("running job completes");
+        self.queue
+            .set_completed(job)
+            .expect("running job completes");
         self.collector.release(run.slot);
         let submitted = self.queue.get(job).expect("queued").submitted;
         self.turnarounds.record(now.since(submitted).as_secs_f64());
@@ -675,7 +717,13 @@ impl<'a> World<'a> {
 
     /// Terminate a job early. `already_detached` is true when the device
     /// removed the process itself (OOM kill).
-    fn kill_job(&mut self, sim: &mut Sim<Ev>, job: JobId, reason: KillReason, already_detached: bool) {
+    fn kill_job(
+        &mut self,
+        sim: &mut Sim<Ev>,
+        job: JobId,
+        reason: KillReason,
+        already_detached: bool,
+    ) {
         let now = sim.now();
         let Some(run) = self.running.remove(&job) else {
             return;
@@ -730,7 +778,13 @@ impl<'a> World<'a> {
     }
 
     /// COSMIC container enforcement; returns true when the job was killed.
-    fn container_check(&mut self, sim: &mut Sim<Ev>, key: DevKey, job: JobId, committed: u64) -> bool {
+    fn container_check(
+        &mut self,
+        sim: &mut Sim<Ev>,
+        key: DevKey,
+        job: JobId,
+        committed: u64,
+    ) -> bool {
         let Some(cos) = self.cosmic.get(&key) else {
             return false;
         };
@@ -770,9 +824,16 @@ impl<'a> World<'a> {
         self.devices
             .iter()
             .map(|(&(node, dev), device)| {
-                let inflight = self.inflight_declared.get(&(node, dev)).copied().unwrap_or(0);
-                let inflight_threads =
-                    self.inflight_threads.get(&(node, dev)).copied().unwrap_or(0);
+                let inflight = self
+                    .inflight_declared
+                    .get(&(node, dev))
+                    .copied()
+                    .unwrap_or(0);
+                let inflight_threads = self
+                    .inflight_threads
+                    .get(&(node, dev))
+                    .copied()
+                    .unwrap_or(0);
                 DeviceView {
                     node,
                     device: dev,
@@ -1091,7 +1152,10 @@ mod tests {
     fn utilization_is_sane() {
         let wl = small_workload(40, 10);
         let r = Experiment::run(&fast_config(ClusterPolicy::Mc), &wl).unwrap();
-        assert!(r.core_utilization > 0.1 && r.core_utilization < 1.0, "{r:?}");
+        assert!(
+            r.core_utilization > 0.1 && r.core_utilization < 1.0,
+            "{r:?}"
+        );
         assert!(r.thread_utilization > 0.1 && r.thread_utilization <= 1.0);
         assert!(r.device_busy_fraction > r.core_utilization - 1e-9);
     }

@@ -66,6 +66,13 @@ pub fn run_sweep(
         .collect()
 }
 
+/// [`run_sweep`] sized to the machine: worker count from
+/// [`std::thread::available_parallelism`] via [`default_threads`]. The
+/// bench harness entry point — benches should not hand-pick thread counts.
+pub fn run_sweep_auto(jobs: Vec<SweepJob>) -> Vec<(String, Result<ExperimentResult, String>)> {
+    run_sweep(jobs, default_threads())
+}
+
 /// Default worker count: physical parallelism minus one, at least one.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -120,7 +127,10 @@ mod tests {
     fn labels_preserve_order() {
         let out = run_sweep(grid(), 3);
         let labels: Vec<&str> = out.iter().map(|(l, _)| l.as_str()).collect();
-        assert_eq!(labels, vec!["MC/2", "MC/4", "MCC/2", "MCC/4", "MCCK/2", "MCCK/4"]);
+        assert_eq!(
+            labels,
+            vec!["MC/2", "MC/4", "MCC/2", "MCC/4", "MCCK/2", "MCCK/4"]
+        );
     }
 
     #[test]
@@ -131,5 +141,12 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn auto_sweep_matches_explicit_thread_count() {
+        let auto = run_sweep_auto(grid());
+        let serial = run_sweep(grid(), 1);
+        assert_eq!(auto, serial);
     }
 }

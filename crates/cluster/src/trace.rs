@@ -141,7 +141,10 @@ impl Trace {
     /// Append an event. Events must be recorded in simulation order.
     pub fn record(&mut self, event: TraceEvent) {
         debug_assert!(
-            self.events.last().map(|e| e.at() <= event.at()).unwrap_or(true),
+            self.events
+                .last()
+                .map(|e| e.at() <= event.at())
+                .unwrap_or(true),
             "trace events out of order"
         );
         self.events.push(event);
@@ -214,9 +217,7 @@ impl Trace {
                 *c = spans
                     .iter()
                     .filter(|s| {
-                        s.node == node
-                            && s.start.as_secs_f64() <= t
-                            && t < s.end.as_secs_f64()
+                        s.node == node && s.start.as_secs_f64() <= t && t < s.end.as_secs_f64()
                     })
                     .count() as u32;
             }
@@ -282,12 +283,34 @@ mod tests {
 
     fn sample() -> Trace {
         let mut tr = Trace::new();
-        tr.record(TraceEvent::Submitted { job: JobId(1), at: t(0) });
-        tr.record(TraceEvent::Pinned { job: JobId(1), node: 1, at: t(1) });
-        tr.record(TraceEvent::Dispatched { job: JobId(1), node: 1, device: 0, at: t(2) });
-        tr.record(TraceEvent::OffloadStarted { job: JobId(1), threads: 120, at: t(3) });
-        tr.record(TraceEvent::OffloadFinished { job: JobId(1), at: t(8) });
-        tr.record(TraceEvent::Completed { job: JobId(1), at: t(10) });
+        tr.record(TraceEvent::Submitted {
+            job: JobId(1),
+            at: t(0),
+        });
+        tr.record(TraceEvent::Pinned {
+            job: JobId(1),
+            node: 1,
+            at: t(1),
+        });
+        tr.record(TraceEvent::Dispatched {
+            job: JobId(1),
+            node: 1,
+            device: 0,
+            at: t(2),
+        });
+        tr.record(TraceEvent::OffloadStarted {
+            job: JobId(1),
+            threads: 120,
+            at: t(3),
+        });
+        tr.record(TraceEvent::OffloadFinished {
+            job: JobId(1),
+            at: t(8),
+        });
+        tr.record(TraceEvent::Completed {
+            job: JobId(1),
+            at: t(10),
+        });
         tr
     }
 
@@ -336,15 +359,46 @@ mod tests {
     #[test]
     fn peak_concurrency_sweep() {
         let mut tr = Trace::new();
-        tr.record(TraceEvent::Dispatched { job: JobId(1), node: 1, device: 0, at: t(0) });
-        tr.record(TraceEvent::Dispatched { job: JobId(2), node: 1, device: 0, at: t(0) });
-        tr.record(TraceEvent::OffloadStarted { job: JobId(1), threads: 120, at: t(1) });
-        tr.record(TraceEvent::OffloadStarted { job: JobId(2), threads: 100, at: t(2) });
-        tr.record(TraceEvent::OffloadFinished { job: JobId(1), at: t(4) });
+        tr.record(TraceEvent::Dispatched {
+            job: JobId(1),
+            node: 1,
+            device: 0,
+            at: t(0),
+        });
+        tr.record(TraceEvent::Dispatched {
+            job: JobId(2),
+            node: 1,
+            device: 0,
+            at: t(0),
+        });
+        tr.record(TraceEvent::OffloadStarted {
+            job: JobId(1),
+            threads: 120,
+            at: t(1),
+        });
+        tr.record(TraceEvent::OffloadStarted {
+            job: JobId(2),
+            threads: 100,
+            at: t(2),
+        });
+        tr.record(TraceEvent::OffloadFinished {
+            job: JobId(1),
+            at: t(4),
+        });
         // Back-to-back at t=4: the free must land before the start.
-        tr.record(TraceEvent::OffloadStarted { job: JobId(1), threads: 140, at: t(4) });
-        tr.record(TraceEvent::OffloadFinished { job: JobId(2), at: t(5) });
-        tr.record(TraceEvent::OffloadFinished { job: JobId(1), at: t(6) });
+        tr.record(TraceEvent::OffloadStarted {
+            job: JobId(1),
+            threads: 140,
+            at: t(4),
+        });
+        tr.record(TraceEvent::OffloadFinished {
+            job: JobId(2),
+            at: t(5),
+        });
+        tr.record(TraceEvent::OffloadFinished {
+            job: JobId(1),
+            at: t(6),
+        });
         assert_eq!(tr.max_concurrent_threads(1), 240);
         assert_eq!(tr.max_concurrent_threads(9), 0);
         assert_eq!(tr.nodes(), vec![1]);
@@ -353,8 +407,16 @@ mod tests {
     #[test]
     fn unmatched_start_is_dropped() {
         let mut tr = Trace::new();
-        tr.record(TraceEvent::OffloadStarted { job: JobId(2), threads: 60, at: t(1) });
-        tr.record(TraceEvent::Killed { job: JobId(2), reason: "oom".into(), at: t(2) });
+        tr.record(TraceEvent::OffloadStarted {
+            job: JobId(2),
+            threads: 60,
+            at: t(1),
+        });
+        tr.record(TraceEvent::Killed {
+            job: JobId(2),
+            reason: "oom".into(),
+            at: t(2),
+        });
         assert!(tr.offload_spans().is_empty());
     }
 }

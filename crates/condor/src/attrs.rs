@@ -98,13 +98,12 @@ pub fn pin_to_node(node_name: &str) -> String {
     format!("TARGET.Machine == \"{node_name}\"")
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use phishare_sim::SimDuration;
-    use phishare_workload::{JobId, JobProfile, Segment};
     use phishare_workload::table1::AppKind;
+    use phishare_workload::{JobId, JobProfile, Segment};
 
     fn spec() -> JobSpec {
         JobSpec {

@@ -1,14 +1,32 @@
 //! The collector: the central manager's view of every slot.
+//!
+//! Besides the authoritative `SlotId → SlotStatus` map, the collector
+//! maintains three secondary indexes that the negotiator's fast path uses
+//! to pre-screen candidates without walking every slot ad:
+//!
+//! * **name index** — advertised `Name` (lower-cased) → slot, for jobs
+//!   pinned to a single slot;
+//! * **machine index** — advertised `Machine` (lower-cased) → slots on that
+//!   node, for jobs pinned to a node;
+//! * **free-memory index** — unclaimed slots ordered by advertised
+//!   `PhiFreeMemory`, so a job's compiled memory guard becomes a range
+//!   query instead of a scan.
+//!
+//! Indexes are over-approximate by design: a candidate pulled from an index
+//! is always re-checked against the full match predicate, so the indexes
+//! only need to never *miss* a true match. They are kept coherent by every
+//! mutation (`advertise`, `claim`, `release`, `set_int_attr`) — same-cycle
+//! resource decrements are visible to the next range query immediately.
 
-use phishare_classad::ClassAd;
+use crate::attrs;
+use phishare_classad::{ClassAd, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::ops::Bound;
 
 /// Identifies one execution slot: `slot<slot>@node<node>`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SlotId {
     /// Node index within the cluster.
     pub node: u32,
@@ -21,6 +39,9 @@ impl SlotId {
     pub fn name(&self) -> String {
         format!("slot{}@node{}", self.slot, self.node)
     }
+
+    /// The smallest possible slot id — the origin of index range scans.
+    pub const MIN: SlotId = SlotId { node: 0, slot: 0 };
 }
 
 impl fmt::Display for SlotId {
@@ -29,19 +50,90 @@ impl fmt::Display for SlotId {
     }
 }
 
+/// Frequently-consulted facts extracted from a slot ad once per
+/// advertisement, so the matchmaking inner loop never does attribute map
+/// lookups (each of which lower-cases the key) for them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlotMeta {
+    /// Advertised `Name`, lower-cased; `None` when absent or non-string.
+    name_lc: Option<String>,
+    /// Advertised `Machine`, lower-cased; `None` when absent or non-string.
+    machine_lc: Option<String>,
+    /// Advertised `PhiFreeMemory` as f64; `None` when absent/non-numeric.
+    free_phi_mem: Option<f64>,
+    /// Whether the slot ad carries a machine-side `Requirements` expression
+    /// (most machine ads do not, letting the negotiator skip that half of
+    /// the two-sided match entirely).
+    has_requirements: bool,
+}
+
+impl SlotMeta {
+    fn from_ad(ad: &ClassAd) -> Self {
+        let str_attr = |name: &str| match ad.get(name) {
+            Some(Value::Str(s)) => Some(s.to_ascii_lowercase()),
+            _ => None,
+        };
+        SlotMeta {
+            name_lc: str_attr(attrs::NAME),
+            machine_lc: str_attr(attrs::MACHINE),
+            free_phi_mem: ad
+                .get(attrs::PHI_FREE_MEMORY)
+                .and_then(Value::as_f64)
+                .filter(|m| !m.is_nan()),
+            has_requirements: ad.get_expr(phishare_classad::ad::REQUIREMENTS).is_some(),
+        }
+    }
+
+    /// Whether the slot advertises a machine-side `Requirements`.
+    pub fn has_requirements(&self) -> bool {
+        self.has_requirements
+    }
+
+    /// The slot's advertised free Phi memory, if numeric.
+    pub fn free_phi_mem(&self) -> Option<f64> {
+        self.free_phi_mem
+    }
+}
+
 /// A slot's entry in the collector.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlotStatus {
     /// The slot's current ClassAd.
     pub ad: ClassAd,
     /// Whether a job currently holds a claim on the slot.
     pub claimed: bool,
+    meta: SlotMeta,
 }
 
-/// The collector: slot name → latest advertisement.
-#[derive(Debug, Default)]
+impl SlotStatus {
+    /// Cached facts about the slot ad.
+    pub fn meta(&self) -> &SlotMeta {
+        &self.meta
+    }
+}
+
+/// Order-preserving encoding of a non-NaN f64 into u64, so memory bounds
+/// can key a `BTreeSet`.
+fn ord_f64(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// The collector: slot name → latest advertisement, plus matchmaking
+/// indexes (see module docs).
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct Collector {
     slots: BTreeMap<SlotId, SlotStatus>,
+    /// Advertised `Name` (lower-cased) → slot.
+    by_name: BTreeMap<String, SlotId>,
+    /// Advertised `Machine` (lower-cased) → slots, in SlotId order.
+    by_machine: BTreeMap<String, Vec<SlotId>>,
+    /// Unclaimed slots keyed by advertised free Phi memory (ord-encoded).
+    by_free_mem: BTreeSet<(u64, SlotId)>,
 }
 
 impl Collector {
@@ -50,15 +142,58 @@ impl Collector {
         Collector::default()
     }
 
-    /// Insert or refresh a slot's advertisement. Claim state is preserved on
-    /// refresh.
-    pub fn advertise(&mut self, slot: SlotId, ad: ClassAd) {
-        match self.slots.get_mut(&slot) {
-            Some(status) => status.ad = ad,
-            None => {
-                self.slots.insert(slot, SlotStatus { ad, claimed: false });
+    fn unindex(&mut self, slot: SlotId, status: &SlotStatus) {
+        if let Some(name) = &status.meta.name_lc {
+            self.by_name.remove(name);
+        }
+        if let Some(machine) = &status.meta.machine_lc {
+            if let Some(ids) = self.by_machine.get_mut(machine) {
+                ids.retain(|s| *s != slot);
+                if ids.is_empty() {
+                    self.by_machine.remove(machine);
+                }
             }
         }
+        if let Some(mem) = status.meta.free_phi_mem {
+            self.by_free_mem.remove(&(ord_f64(mem), slot));
+        }
+    }
+
+    fn index(&mut self, slot: SlotId, status: &SlotStatus) {
+        if let Some(name) = &status.meta.name_lc {
+            self.by_name.insert(name.clone(), slot);
+        }
+        if let Some(machine) = &status.meta.machine_lc {
+            let ids = self.by_machine.entry(machine.clone()).or_default();
+            let pos = ids.partition_point(|s| *s < slot);
+            if ids.get(pos) != Some(&slot) {
+                ids.insert(pos, slot);
+            }
+        }
+        if !status.claimed {
+            if let Some(mem) = status.meta.free_phi_mem {
+                self.by_free_mem.insert((ord_f64(mem), slot));
+            }
+        }
+    }
+
+    /// Insert or refresh a slot's advertisement. Claim state is preserved on
+    /// refresh and all indexes are rebuilt for the slot.
+    pub fn advertise(&mut self, slot: SlotId, ad: ClassAd) {
+        let claimed = match self.slots.remove(&slot) {
+            Some(old) => {
+                self.unindex(slot, &old);
+                old.claimed
+            }
+            None => false,
+        };
+        let status = SlotStatus {
+            meta: SlotMeta::from_ad(&ad),
+            ad,
+            claimed,
+        };
+        self.index(slot, &status);
+        self.slots.insert(slot, status);
     }
 
     /// Look up a slot.
@@ -66,9 +201,24 @@ impl Collector {
         self.slots.get(&slot)
     }
 
-    /// Mutable access to a slot's ad (for in-cycle resource decrements).
-    pub fn ad_mut(&mut self, slot: SlotId) -> Option<&mut ClassAd> {
-        self.slots.get_mut(&slot).map(|s| &mut s.ad)
+    /// Overwrite one integer attribute of a slot's ad (the negotiator's
+    /// in-cycle resource decrements), keeping the cached meta and the
+    /// free-memory index coherent.
+    pub fn set_int_attr(&mut self, slot: SlotId, attr: &str, value: i64) {
+        let Some(status) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        status.ad.insert(attr, value);
+        if attr.eq_ignore_ascii_case(attrs::PHI_FREE_MEMORY) {
+            let old = status.meta.free_phi_mem;
+            status.meta.free_phi_mem = Some(value as f64);
+            if !status.claimed {
+                if let Some(mem) = old {
+                    self.by_free_mem.remove(&(ord_f64(mem), slot));
+                }
+                self.by_free_mem.insert((ord_f64(value as f64), slot));
+            }
+        }
     }
 
     /// Mark a slot claimed. Returns false if it was already claimed.
@@ -76,6 +226,9 @@ impl Collector {
         match self.slots.get_mut(&slot) {
             Some(s) if !s.claimed => {
                 s.claimed = true;
+                if let Some(mem) = s.meta.free_phi_mem {
+                    self.by_free_mem.remove(&(ord_f64(mem), slot));
+                }
                 true
             }
             _ => false,
@@ -85,7 +238,12 @@ impl Collector {
     /// Release a slot's claim.
     pub fn release(&mut self, slot: SlotId) {
         if let Some(s) = self.slots.get_mut(&slot) {
-            s.claimed = false;
+            if s.claimed {
+                s.claimed = false;
+                if let Some(mem) = s.meta.free_phi_mem {
+                    self.by_free_mem.insert((ord_f64(mem), slot));
+                }
+            }
         }
     }
 
@@ -96,19 +254,51 @@ impl Collector {
 
     /// Unclaimed slots in deterministic order.
     pub fn unclaimed(&self) -> Vec<SlotId> {
+        self.unclaimed_iter().collect()
+    }
+
+    /// [`Collector::unclaimed`] without the allocation.
+    pub fn unclaimed_iter(&self) -> impl Iterator<Item = SlotId> + '_ {
         self.slots
             .iter()
             .filter(|(_, s)| !s.claimed)
             .map(|(id, _)| *id)
-            .collect()
+    }
+
+    /// The slot advertising `Name == name` (case-insensitive), if any.
+    pub fn slot_by_name(&self, name: &str) -> Option<SlotId> {
+        self.by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Slots advertising `Machine == machine` (case-insensitive), in
+    /// SlotId order.
+    pub fn slots_on_machine(&self, machine: &str) -> &[SlotId] {
+        self.by_machine
+            .get(&machine.to_ascii_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Unclaimed slots whose advertised `PhiFreeMemory` is numeric and
+    /// `>= bound`, in ascending free-memory order. Slots without a numeric
+    /// `PhiFreeMemory` are absent — exactly the slots a numeric memory
+    /// guard would reject anyway.
+    pub fn unclaimed_with_free_mem_at_least(
+        &self,
+        bound: f64,
+    ) -> impl Iterator<Item = SlotId> + '_ {
+        let start = Bound::Included((ord_f64(bound), SlotId::MIN));
+        self.by_free_mem
+            .range((start, Bound::Unbounded))
+            .map(|(_, slot)| *slot)
     }
 
     /// Slots belonging to `node`.
     pub fn node_slots(&self, node: u32) -> Vec<SlotId> {
         self.slots
-            .keys()
-            .filter(|s| s.node == node)
-            .copied()
+            .range(SlotId { node, slot: 0 }..)
+            .take_while(|(id, _)| id.node == node)
+            .map(|(id, _)| *id)
             .collect()
     }
 
@@ -129,6 +319,14 @@ mod tests {
 
     fn slot(n: u32, s: u32) -> SlotId {
         SlotId { node: n, slot: s }
+    }
+
+    fn slot_ad(id: SlotId, free_mem: i64) -> ClassAd {
+        let mut ad = ClassAd::new();
+        ad.insert(attrs::NAME, id.name());
+        ad.insert(attrs::MACHINE, format!("node{}", id.node));
+        ad.insert(attrs::PHI_FREE_MEMORY, free_mem);
+        ad
     }
 
     #[test]
@@ -181,5 +379,94 @@ mod tests {
         c.advertise(slot(1, 1), ClassAd::new());
         let order: Vec<SlotId> = c.slots().map(|(id, _)| *id).collect();
         assert_eq!(order, vec![slot(1, 1), slot(1, 2), slot(2, 1)]);
+    }
+
+    #[test]
+    fn name_index_finds_slots_case_insensitively() {
+        let mut c = Collector::new();
+        c.advertise(slot(3, 2), slot_ad(slot(3, 2), 7680));
+        assert_eq!(c.slot_by_name("SLOT2@NODE3"), Some(slot(3, 2)));
+        assert_eq!(c.slot_by_name("slot9@node9"), None);
+    }
+
+    #[test]
+    fn machine_index_lists_node_slots_in_order() {
+        let mut c = Collector::new();
+        for s in [2, 1, 3] {
+            c.advertise(slot(4, s), slot_ad(slot(4, s), 1000));
+        }
+        assert_eq!(
+            c.slots_on_machine("Node4"),
+            &[slot(4, 1), slot(4, 2), slot(4, 3)]
+        );
+        assert!(c.slots_on_machine("node9").is_empty());
+    }
+
+    #[test]
+    fn free_mem_index_answers_range_queries() {
+        let mut c = Collector::new();
+        c.advertise(slot(1, 1), slot_ad(slot(1, 1), 512));
+        c.advertise(slot(1, 2), slot_ad(slot(1, 2), 3000));
+        c.advertise(slot(2, 1), slot_ad(slot(2, 1), 7680));
+        // A slot without numeric free memory never appears in the index.
+        c.advertise(slot(2, 2), ClassAd::new());
+
+        let at_least = |b: f64| -> Vec<SlotId> { c.unclaimed_with_free_mem_at_least(b).collect() };
+        assert_eq!(at_least(0.0).len(), 3);
+        assert_eq!(at_least(1000.0), vec![slot(1, 2), slot(2, 1)]);
+        assert_eq!(at_least(3000.0), vec![slot(1, 2), slot(2, 1)]); // inclusive
+        assert_eq!(at_least(8000.0), Vec::<SlotId>::new());
+    }
+
+    #[test]
+    fn claim_and_release_maintain_free_mem_index() {
+        let mut c = Collector::new();
+        c.advertise(slot(1, 1), slot_ad(slot(1, 1), 7680));
+        c.claim(slot(1, 1));
+        assert_eq!(c.unclaimed_with_free_mem_at_least(0.0).count(), 0);
+        c.release(slot(1, 1));
+        assert_eq!(c.unclaimed_with_free_mem_at_least(0.0).count(), 1);
+    }
+
+    #[test]
+    fn set_int_attr_updates_ad_meta_and_index() {
+        let mut c = Collector::new();
+        c.advertise(slot(1, 1), slot_ad(slot(1, 1), 7680));
+        c.set_int_attr(slot(1, 1), attrs::PHI_FREE_MEMORY, 4000);
+        assert_eq!(
+            c.get(slot(1, 1)).unwrap().ad.get(attrs::PHI_FREE_MEMORY),
+            Some(&phishare_classad::Value::Int(4000))
+        );
+        assert_eq!(
+            c.get(slot(1, 1)).unwrap().meta().free_phi_mem(),
+            Some(4000.0)
+        );
+        assert_eq!(c.unclaimed_with_free_mem_at_least(5000.0).count(), 0);
+        assert_eq!(
+            c.unclaimed_with_free_mem_at_least(4000.0)
+                .collect::<Vec<_>>(),
+            vec![slot(1, 1)]
+        );
+        // Non-memory attributes leave the index untouched.
+        c.set_int_attr(slot(1, 1), attrs::PHI_DEVICES_FREE, 0);
+        assert_eq!(c.unclaimed_with_free_mem_at_least(4000.0).count(), 1);
+    }
+
+    #[test]
+    fn re_advertise_rebuilds_indexes() {
+        let mut c = Collector::new();
+        c.advertise(slot(1, 1), slot_ad(slot(1, 1), 512));
+        // Refresh with different name and more memory.
+        let mut ad = ClassAd::new();
+        ad.insert(attrs::NAME, "renamed@node1");
+        ad.insert(attrs::PHI_FREE_MEMORY, 6000i64);
+        c.advertise(slot(1, 1), ad);
+        assert_eq!(c.slot_by_name("slot1@node1"), None);
+        assert_eq!(c.slot_by_name("renamed@node1"), Some(slot(1, 1)));
+        assert_eq!(
+            c.unclaimed_with_free_mem_at_least(1000.0)
+                .collect::<Vec<_>>(),
+            vec![slot(1, 1)]
+        );
     }
 }

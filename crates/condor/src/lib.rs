@@ -34,5 +34,5 @@ pub mod status;
 pub use collector::{Collector, SlotId};
 pub use negotiator::{CycleStats, Match, Negotiator};
 pub use queue::{JobQueue, JobState, QueuedJob};
-pub use status::{pool_status, NodeStatus, QueueTotals};
 pub use startd::Startd;
+pub use status::{pool_status, NodeStatus, QueueTotals};

@@ -8,11 +8,29 @@
 //! qedits job `Requirements` and then *waits for the next cycle* — the
 //! source of the integration overhead the paper observes on the high-skew
 //! distribution (§V-B).
+//!
+//! # Fast path
+//!
+//! [`Negotiator::negotiate_with_stats`] runs the *compiled* match path:
+//! each pending job's [`CompiledReq`] (cached on the queue, rebuilt on
+//! qedit) picks the narrowest collector index that covers its guards —
+//! name pin → single slot, machine pin → that node's slots, numeric
+//! `PhiFreeMemory` guard → free-memory range query — and only the
+//! pre-screened candidates are re-checked against the full predicate.
+//! The pre-screen is a superset of the true matches and the winner rule
+//! (max rank, ties to the lowest slot id) is order-independent, so the
+//! fast path provably selects the same match as a full scan.
+//!
+//! [`Negotiator::negotiate_naive_with_stats`] retains the original
+//! implementation — a full scan that re-parses `Requirements`/`Rank` for
+//! every (job, slot) pair — as the differential-testing baseline and the
+//! "before" side of the negotiation benchmark.
 
 use crate::attrs;
 use crate::collector::{Collector, SlotId};
 use crate::queue::JobQueue;
-use phishare_classad::Value;
+use phishare_classad::ad::{RANK, REQUIREMENTS};
+use phishare_classad::{eval, parse, ClassAd, CompiledReq, Value};
 use phishare_sim::SimDuration;
 use phishare_workload::JobId;
 
@@ -66,8 +84,57 @@ impl Negotiator {
         self.negotiate_with_stats(queue, collector).0
     }
 
-    /// [`Negotiator::negotiate`] plus the cycle's accounting.
+    /// [`Negotiator::negotiate`] plus the cycle's accounting. This is the
+    /// compiled fast path (see module docs); it clones no ads and reuses
+    /// one candidate buffer across all jobs of the cycle.
     pub fn negotiate_with_stats(
+        &self,
+        queue: &mut JobQueue,
+        collector: &mut Collector,
+    ) -> (Vec<Match>, CycleStats) {
+        let mut stats = CycleStats::default();
+        let mut matches = Vec::new();
+        let mut candidates: Vec<SlotId> = Vec::new();
+        for job_id in queue.pending() {
+            stats.considered += 1;
+            // Scan under an immutable borrow; copy out the commit
+            // parameters so the mutations below need no clone of the ad.
+            let decision = {
+                let job = queue.get(job_id).expect("pending job exists");
+                best_slot(&job.ad, job.compiled(), collector, &mut candidates).map(|slot| {
+                    (
+                        slot,
+                        int_attr(&job.ad, attrs::REQUEST_PHI_MEMORY).unwrap_or(0),
+                        matches!(
+                            job.ad.get(attrs::REQUEST_EXCLUSIVE_PHI),
+                            Some(Value::Bool(true))
+                        ),
+                    )
+                })
+            };
+
+            if let Some((slot, mem, exclusive)) = decision {
+                let claimed = collector.claim(slot);
+                debug_assert!(claimed, "unclaimed slot failed to claim");
+                queue
+                    .set_matched(job_id, slot)
+                    .expect("pending job transitions to matched");
+                commit_phi_resources(collector, slot.node, mem, exclusive);
+                matches.push(Match { job: job_id, slot });
+                stats.matched += 1;
+            } else {
+                stats.unmatched += 1;
+            }
+        }
+        (matches, stats)
+    }
+
+    /// The pre-optimization negotiation cycle, kept verbatim as the
+    /// reference implementation: scan every unclaimed slot for every job
+    /// and re-parse each expression per evaluation. Differential tests
+    /// hold the fast path to byte-identical matches and stats against
+    /// this; the negotiation benchmark reports the speedup over it.
+    pub fn negotiate_naive_with_stats(
         &self,
         queue: &mut JobQueue,
         collector: &mut Collector,
@@ -82,8 +149,8 @@ impl Negotiator {
             let mut best: Option<(f64, SlotId)> = None;
             for slot in collector.unclaimed() {
                 let status = collector.get(slot).expect("listed slot exists");
-                if job_ad.matches(&status.ad) {
-                    let rank = job_ad.rank(&status.ad);
+                if naive_matches(&job_ad, &status.ad) {
+                    let rank = naive_rank(&job_ad, &status.ad);
                     let better = match best {
                         None => true,
                         // Higher rank wins; ties go to the lowest slot id so
@@ -102,7 +169,12 @@ impl Negotiator {
                 queue
                     .set_matched(job_id, slot)
                     .expect("pending job transitions to matched");
-                self.commit_phi_resources(collector, slot.node, &job_ad);
+                let mem = int_attr(&job_ad, attrs::REQUEST_PHI_MEMORY).unwrap_or(0);
+                let exclusive = matches!(
+                    job_ad.get(attrs::REQUEST_EXCLUSIVE_PHI),
+                    Some(Value::Bool(true))
+                );
+                commit_phi_resources(collector, slot.node, mem, exclusive);
                 matches.push(Match { job: job_id, slot });
                 stats.matched += 1;
             } else {
@@ -111,38 +183,124 @@ impl Negotiator {
         }
         (matches, stats)
     }
+}
 
-    /// Decrement the node-level Phi attributes on every slot ad of `node`
-    /// to reflect the new placement, for the remainder of this cycle.
-    fn commit_phi_resources(
-        &self,
-        collector: &mut Collector,
-        node: u32,
-        job_ad: &phishare_classad::ClassAd,
-    ) {
-        let mem = int_attr(job_ad, attrs::REQUEST_PHI_MEMORY).unwrap_or(0);
-        let exclusive = matches!(
-            job_ad.get(attrs::REQUEST_EXCLUSIVE_PHI),
-            Some(Value::Bool(true))
-        );
-        for slot in collector.node_slots(node) {
-            let ad = collector.ad_mut(slot).expect("listed slot exists");
-            if let Some(free) = int_attr(ad, attrs::PHI_FREE_MEMORY) {
-                ad.insert(attrs::PHI_FREE_MEMORY, (free - mem).max(0));
-            }
-            if exclusive {
-                if let Some(devs) = int_attr(ad, attrs::PHI_DEVICES_FREE) {
-                    ad.insert(attrs::PHI_DEVICES_FREE, (devs - 1).max(0));
-                }
-            }
+/// Find the best slot for one job using the compiled requirement and the
+/// collector's indexes. `candidates` is caller-owned scratch, reused across
+/// jobs to avoid per-job allocation.
+fn best_slot(
+    job_ad: &ClassAd,
+    req: &CompiledReq,
+    collector: &Collector,
+    candidates: &mut Vec<SlotId>,
+) -> Option<SlotId> {
+    if req.is_never() {
+        return None;
+    }
+
+    // Pre-screen: pick the narrowest index the compiled guards allow. Each
+    // source yields a superset of the job's true matches among unclaimed
+    // slots (claimed slots are filtered below), so the full re-check keeps
+    // the result exact.
+    candidates.clear();
+    if let Some(name) = req.pin(attrs::NAME) {
+        candidates.extend(collector.slot_by_name(name));
+    } else if let Some(machine) = req.pin(attrs::MACHINE) {
+        candidates.extend_from_slice(collector.slots_on_machine(machine));
+    } else if let Some(bound) = req.lower_bound(attrs::PHI_FREE_MEMORY) {
+        candidates.extend(collector.unclaimed_with_free_mem_at_least(bound));
+    } else {
+        candidates.extend(collector.unclaimed_iter());
+    }
+
+    let rank_expr = job_ad.parsed_expr(RANK);
+    let mut best: Option<(f64, SlotId)> = None;
+    for &slot in candidates.iter() {
+        let status = collector.get(slot).expect("indexed slot exists");
+        if status.claimed || !req.matches_target(job_ad, &status.ad) {
+            continue;
+        }
+        // Machine-side half of the two-sided match. Most slot ads carry no
+        // Requirements (the meta flag is precomputed), so this usually
+        // costs nothing.
+        if status.meta().has_requirements() && !status.ad.requirements_satisfied(job_ad) {
+            continue;
+        }
+        let rank = match rank_expr {
+            None => 0.0,
+            Some(e) => eval(e, job_ad, Some(&status.ad)).as_f64().unwrap_or(0.0),
+        };
+        let better = match best {
+            None => true,
+            // Same winner rule as the naive scan: higher rank wins, ties go
+            // to the lowest slot id. Order-independent, so the candidate
+            // enumeration order cannot change the result.
+            Some((r, s)) => rank > r || (rank == r && slot < s),
+        };
+        if better {
+            best = Some((rank, slot));
+        }
+    }
+    best.map(|(_, slot)| slot)
+}
+
+/// Decrement the node-level Phi attributes on every slot ad of `node` to
+/// reflect a new placement for the remainder of this cycle. Routed through
+/// [`Collector::set_int_attr`] so the free-memory index stays coherent —
+/// a later job in the *same cycle* sees the reduced capacity in its range
+/// query.
+fn commit_phi_resources(collector: &mut Collector, node: u32, mem: i64, exclusive: bool) {
+    for slot in collector.node_slots(node) {
+        let status = collector.get(slot).expect("listed slot exists");
+        let free = int_attr(&status.ad, attrs::PHI_FREE_MEMORY);
+        let devs = if exclusive {
+            int_attr(&status.ad, attrs::PHI_DEVICES_FREE)
+        } else {
+            None
+        };
+        if let Some(free) = free {
+            collector.set_int_attr(slot, attrs::PHI_FREE_MEMORY, (free - mem).max(0));
+        }
+        if let Some(devs) = devs {
+            collector.set_int_attr(slot, attrs::PHI_DEVICES_FREE, (devs - 1).max(0));
         }
     }
 }
 
-fn int_attr(ad: &phishare_classad::ClassAd, name: &str) -> Option<i64> {
+fn int_attr(ad: &ClassAd, name: &str) -> Option<i64> {
     match ad.get(name) {
         Some(Value::Int(i)) => Some(*i),
         _ => None,
+    }
+}
+
+// --- Naive evaluation helpers -----------------------------------------
+//
+// These deliberately re-parse the stored expression source on every call,
+// reproducing the pre-optimization cost model (the ClassAd layer itself now
+// caches parsed ASTs, which would otherwise quietly speed up the baseline).
+
+fn naive_requirements_satisfied(my: &ClassAd, target: &ClassAd) -> bool {
+    match my.get_expr(REQUIREMENTS) {
+        None => true,
+        Some(src) => {
+            let expr = parse(src).expect("stored expression parses");
+            eval(&expr, my, Some(target)).is_true()
+        }
+    }
+}
+
+fn naive_matches(job: &ClassAd, machine: &ClassAd) -> bool {
+    naive_requirements_satisfied(job, machine) && naive_requirements_satisfied(machine, job)
+}
+
+fn naive_rank(job: &ClassAd, machine: &ClassAd) -> f64 {
+    match job.get_expr(RANK) {
+        None => 0.0,
+        Some(src) => {
+            let expr = parse(src).expect("stored expression parses");
+            eval(&expr, job, Some(machine)).as_f64().unwrap_or(0.0)
+        }
     }
 }
 
@@ -163,10 +321,7 @@ mod tests {
             mem_req_mb: mem,
             thread_req: threads,
             actual_peak_mem_mb: mem,
-            profile: JobProfile::new(vec![Segment::offload(
-                threads,
-                SimDuration::from_secs(1),
-            )]),
+            profile: JobProfile::new(vec![Segment::offload(threads, SimDuration::from_secs(1))]),
         }
     }
 
@@ -219,8 +374,12 @@ mod tests {
     fn exclusive_jobs_claim_whole_cards() {
         let mut q = JobQueue::new();
         for i in 0..2 {
-            q.submit(JobId(i), exclusive_job_ad(&spec(i, 1000, 240)), SimTime::ZERO)
-                .unwrap();
+            q.submit(
+                JobId(i),
+                exclusive_job_ad(&spec(i, 1000, 240)),
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         let mut c = cluster(1, 16); // one node, one Phi card
         let matches = Negotiator::default().negotiate(&mut q, &mut c);
@@ -233,8 +392,12 @@ mod tests {
     fn matches_spread_across_nodes() {
         let mut q = JobQueue::new();
         for i in 0..2 {
-            q.submit(JobId(i), exclusive_job_ad(&spec(i, 1000, 240)), SimTime::ZERO)
-                .unwrap();
+            q.submit(
+                JobId(i),
+                exclusive_job_ad(&spec(i, 1000, 240)),
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         let mut c = cluster(2, 1);
         let matches = Negotiator::default().negotiate(&mut q, &mut c);
@@ -247,12 +410,29 @@ mod tests {
         let mut q = JobQueue::new();
         q.submit(JobId(0), sharing_job_ad(&spec(0, 1000, 60)), SimTime::ZERO)
             .unwrap();
-        q.qedit_expr(JobId(0), "Requirements", &attrs::pin_requirements("slot2@node3"))
-            .unwrap();
+        q.qedit_expr(
+            JobId(0),
+            "Requirements",
+            &attrs::pin_requirements("slot2@node3"),
+        )
+        .unwrap();
         let mut c = cluster(4, 4);
         let matches = Negotiator::default().negotiate(&mut q, &mut c);
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].slot, SlotId { node: 3, slot: 2 });
+    }
+
+    #[test]
+    fn node_pinned_job_stays_on_its_node() {
+        let mut q = JobQueue::new();
+        q.submit(JobId(0), sharing_job_ad(&spec(0, 1000, 60)), SimTime::ZERO)
+            .unwrap();
+        q.qedit_expr(JobId(0), "Requirements", &attrs::pin_to_node("node2"))
+            .unwrap();
+        let mut c = cluster(4, 4);
+        let matches = Negotiator::default().negotiate(&mut q, &mut c);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].slot.node, 2);
     }
 
     #[test]
@@ -299,5 +479,38 @@ mod tests {
         let third = Negotiator::default().negotiate(&mut q, &mut c);
         assert_eq!(third.len(), 1);
         assert_eq!(third[0].job, JobId(1));
+    }
+
+    #[test]
+    fn fast_and_naive_paths_agree_on_a_mixed_cycle() {
+        let build = || {
+            let mut q = JobQueue::new();
+            q.submit(JobId(0), sharing_job_ad(&spec(0, 3000, 60)), SimTime::ZERO)
+                .unwrap();
+            q.submit(
+                JobId(1),
+                exclusive_job_ad(&spec(1, 1000, 240)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+            q.submit(JobId(2), sharing_job_ad(&spec(2, 9000, 60)), SimTime::ZERO)
+                .unwrap();
+            q.submit(JobId(3), sharing_job_ad(&spec(3, 500, 60)), SimTime::ZERO)
+                .unwrap();
+            q.qedit_expr(
+                JobId(3),
+                "Requirements",
+                &attrs::pin_requirements("slot1@node2"),
+            )
+            .unwrap();
+            (q, cluster(3, 2))
+        };
+        let (mut q_fast, mut c_fast) = build();
+        let (mut q_naive, mut c_naive) = build();
+        let fast = Negotiator::default().negotiate_with_stats(&mut q_fast, &mut c_fast);
+        let naive = Negotiator::default().negotiate_naive_with_stats(&mut q_naive, &mut c_naive);
+        assert_eq!(fast, naive);
+        assert_eq!(c_fast, c_naive);
+        assert_eq!(q_fast.pending(), q_naive.pending());
     }
 }

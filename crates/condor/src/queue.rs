@@ -2,7 +2,7 @@
 
 use crate::collector::SlotId;
 use phishare_classad::parser::ParseError;
-use phishare_classad::{ClassAd, Value};
+use phishare_classad::{ClassAd, CompiledReq, Value};
 use phishare_sim::SimTime;
 use phishare_workload::JobId;
 use std::collections::BTreeMap;
@@ -50,10 +50,21 @@ pub struct QueuedJob {
     pub state: JobState,
     /// When the job was submitted.
     pub submitted: SimTime,
+    /// `Requirements` compiled for the negotiator's fast path. Rebuilt on
+    /// every qedit (expression *or* value — value edits change the MY-side
+    /// constants folded into the compilation).
+    compiled: CompiledReq,
+}
+
+impl QueuedJob {
+    /// The job's compiled `Requirements`.
+    pub fn compiled(&self) -> &CompiledReq {
+        &self.compiled
+    }
 }
 
 /// The schedd queue: FIFO submit order with per-job state.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct JobQueue {
     jobs: BTreeMap<JobId, QueuedJob>,
     fifo: Vec<JobId>,
@@ -119,6 +130,7 @@ impl JobQueue {
         if self.jobs.contains_key(&id) {
             return Err(QueueError::Duplicate(id));
         }
+        let compiled = CompiledReq::compile(&ad);
         self.jobs.insert(
             id,
             QueuedJob {
@@ -126,6 +138,7 @@ impl JobQueue {
                 ad,
                 state,
                 submitted: now,
+                compiled,
             },
         );
         self.fifo.push(id);
@@ -164,7 +177,9 @@ impl JobQueue {
         let job = self.jobs.get_mut(&id).ok_or(QueueError::Unknown(id))?;
         job.ad
             .insert_expr(attr, expr)
-            .map_err(QueueError::BadExpression)
+            .map_err(QueueError::BadExpression)?;
+        job.compiled = CompiledReq::compile(&job.ad);
+        Ok(())
     }
 
     /// `condor_qedit` for a plain value attribute.
@@ -176,6 +191,7 @@ impl JobQueue {
     ) -> Result<(), QueueError> {
         let job = self.jobs.get_mut(&id).ok_or(QueueError::Unknown(id))?;
         job.ad.insert(attr, value);
+        job.compiled = CompiledReq::compile(&job.ad);
         Ok(())
     }
 
@@ -345,15 +361,51 @@ mod tests {
             .unwrap()
             .contains("slot1@node1"));
         assert!(q.qedit_expr(JobId(0), "Requirements", "1 +").is_err());
-        assert!(q
-            .qedit_expr(JobId(9), "Requirements", "true")
-            .is_err());
+        assert!(q.qedit_expr(JobId(9), "Requirements", "true").is_err());
+    }
+
+    #[test]
+    fn qedit_recompiles_requirements_cache() {
+        let mut q = queue_with(1);
+        assert!(q.get(JobId(0)).unwrap().compiled().fully_compiled());
+        q.qedit_expr(JobId(0), "Requirements", "TARGET.Name == \"slot1@node1\"")
+            .unwrap();
+        assert_eq!(
+            q.get(JobId(0)).unwrap().compiled().pin("Name"),
+            Some("slot1@node1")
+        );
+        // Value edits also recompile: MY-side constants fold into guards.
+        q.qedit_expr(
+            JobId(0),
+            "Requirements",
+            "TARGET.PhiFreeMemory >= MY.RequestPhiMemory",
+        )
+        .unwrap();
+        q.qedit_value(JobId(0), "RequestPhiMemory", 2048u64)
+            .unwrap();
+        assert_eq!(
+            q.get(JobId(0))
+                .unwrap()
+                .compiled()
+                .lower_bound("PhiFreeMemory"),
+            Some(2048.0)
+        );
+        // Failed qedits leave the previous compilation in place.
+        assert!(q.qedit_expr(JobId(0), "Requirements", "1 +").is_err());
+        assert_eq!(
+            q.get(JobId(0))
+                .unwrap()
+                .compiled()
+                .lower_bound("PhiFreeMemory"),
+            Some(2048.0)
+        );
     }
 
     #[test]
     fn held_jobs_are_invisible_until_released() {
         let mut q = JobQueue::new();
-        q.submit_held(JobId(0), ClassAd::new(), SimTime::ZERO).unwrap();
+        q.submit_held(JobId(0), ClassAd::new(), SimTime::ZERO)
+            .unwrap();
         q.submit(JobId(1), ClassAd::new(), SimTime::ZERO).unwrap();
         assert_eq!(q.pending(), vec![JobId(1)]);
         assert_eq!(q.held(), vec![JobId(0)]);
@@ -371,7 +423,7 @@ mod tests {
         assert!(q.hold(JobId(0)).is_err()); // already held
         q.release(JobId(0)).unwrap();
         assert!(q.release(JobId(0)).is_err()); // already idle
-        // Held jobs can be removed (condor_rm works on held jobs).
+                                               // Held jobs can be removed (condor_rm works on held jobs).
         q.hold(JobId(0)).unwrap();
         q.set_removed(JobId(0)).unwrap();
         assert!(q.all_terminal());

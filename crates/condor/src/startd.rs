@@ -83,7 +83,10 @@ mod tests {
         startd.advertise(&mut c, 7680, 1);
         assert_eq!(c.len(), 16);
         let s = c.get(SlotId { node: 3, slot: 5 }).unwrap();
-        assert_eq!(s.ad.get(attrs::NAME), Some(&Value::Str("slot5@node3".into())));
+        assert_eq!(
+            s.ad.get(attrs::NAME),
+            Some(&Value::Str("slot5@node3".into()))
+        );
         assert_eq!(s.ad.get(attrs::MACHINE), Some(&Value::Str("node3".into())));
         assert_eq!(s.ad.get(attrs::PHI_FREE_MEMORY), Some(&Value::Int(7680)));
     }

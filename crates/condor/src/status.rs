@@ -120,10 +120,13 @@ mod tests {
             q.submit(JobId(i), ClassAd::new(), SimTime::ZERO).unwrap();
         }
         q.hold(JobId(0)).unwrap();
-        q.set_matched(JobId(1), SlotId { node: 1, slot: 1 }).unwrap();
-        q.set_matched(JobId(2), SlotId { node: 1, slot: 2 }).unwrap();
+        q.set_matched(JobId(1), SlotId { node: 1, slot: 1 })
+            .unwrap();
+        q.set_matched(JobId(2), SlotId { node: 1, slot: 2 })
+            .unwrap();
         q.set_running(JobId(2)).unwrap();
-        q.set_matched(JobId(3), SlotId { node: 1, slot: 3 }).unwrap();
+        q.set_matched(JobId(3), SlotId { node: 1, slot: 3 })
+            .unwrap();
         q.set_running(JobId(3)).unwrap();
         q.set_completed(JobId(3)).unwrap();
         q.set_removed(JobId(4)).unwrap();

@@ -1,0 +1,278 @@
+//! Differential property tests for the matchmaking fast path.
+//!
+//! The negotiator has two implementations: the compiled/indexed fast path
+//! (`negotiate_with_stats`) and the retained naive reference that re-parses
+//! and re-evaluates every (job, slot) pair (`negotiate_naive_with_stats`).
+//! These tests drive both over randomized clusters and job mixes and require
+//! *identical* results: same matches in the same order, same cycle stats,
+//! same final collector state (including the in-cycle resource decrements
+//! and every index), and same queue state.
+
+use phishare_classad::ad::{RANK, REQUIREMENTS};
+use phishare_condor::attrs;
+use phishare_condor::{Collector, JobQueue, Negotiator, SlotId};
+use phishare_sim::SimTime;
+use phishare_workload::JobId;
+use proptest::prelude::*;
+
+/// One node of the generated cluster.
+#[derive(Debug, Clone)]
+struct NodeDesc {
+    slots: u32,
+    free_mem: i64,
+    devices_free: i64,
+}
+
+/// The matchmaking personality of one generated job.
+#[derive(Debug, Clone)]
+enum JobKind {
+    /// `PhiDevices >= 1 && PhiFreeMemory >= MY.RequestPhiMemory`.
+    Sharing { mem: i64 },
+    /// `PhiDevicesFree >= 1`, exclusive flag set.
+    Exclusive { mem: i64 },
+    /// Pinned to one slot name (which may not exist).
+    PinSlot { node: u32, slot: u32 },
+    /// Pinned to one node name (which may not exist).
+    PinNode { node: u32 },
+    /// Constant-false requirements.
+    Never,
+    /// No requirements at all: matches any slot.
+    Always,
+    /// A disjunction the compiler cannot reduce to guards (residual path).
+    ResidualOr { mem: i64 },
+    /// Guard on an attribute machines do not advertise.
+    MissingAttr,
+}
+
+fn arb_node() -> impl Strategy<Value = NodeDesc> {
+    (
+        1u32..=3,
+        prop_oneof![Just(0i64), Just(512), Just(1024), Just(3000), Just(7680)],
+        0i64..=2,
+    )
+        .prop_map(|(slots, free_mem, devices_free)| NodeDesc {
+            slots,
+            free_mem,
+            devices_free,
+        })
+}
+
+fn arb_job_kind() -> impl Strategy<Value = JobKind> {
+    let mem = prop_oneof![
+        Just(100i64),
+        Just(512),
+        Just(1024),
+        Just(3000),
+        Just(6000),
+        Just(9000)
+    ];
+    prop_oneof![
+        mem.clone().prop_map(|mem| JobKind::Sharing { mem }),
+        mem.clone().prop_map(|mem| JobKind::Exclusive { mem }),
+        (1u32..=6, 1u32..=4).prop_map(|(node, slot)| JobKind::PinSlot { node, slot }),
+        (1u32..=6).prop_map(|node| JobKind::PinNode { node }),
+        Just(JobKind::Never),
+        Just(JobKind::Always),
+        mem.prop_map(|mem| JobKind::ResidualOr { mem }),
+        Just(JobKind::MissingAttr),
+    ]
+}
+
+fn job_ad(kind: &JobKind, ranked: bool) -> phishare_classad::ClassAd {
+    let mut ad = phishare_classad::ClassAd::new();
+    ad.insert(attrs::REQUEST_EXCLUSIVE_PHI, false);
+    match kind {
+        JobKind::Sharing { mem } => {
+            ad.insert(attrs::REQUEST_PHI_MEMORY, *mem);
+            ad.insert_expr(
+                REQUIREMENTS,
+                "TARGET.PhiDevices >= 1 && TARGET.PhiFreeMemory >= MY.RequestPhiMemory",
+            )
+            .unwrap();
+        }
+        JobKind::Exclusive { mem } => {
+            ad.insert(attrs::REQUEST_PHI_MEMORY, *mem);
+            ad.insert(attrs::REQUEST_EXCLUSIVE_PHI, true);
+            ad.insert_expr(REQUIREMENTS, "TARGET.PhiDevicesFree >= 1")
+                .unwrap();
+        }
+        JobKind::PinSlot { node, slot } => {
+            ad.insert_expr(
+                REQUIREMENTS,
+                &attrs::pin_requirements(&format!("slot{slot}@node{node}")),
+            )
+            .unwrap();
+        }
+        JobKind::PinNode { node } => {
+            ad.insert_expr(REQUIREMENTS, &attrs::pin_to_node(&format!("node{node}")))
+                .unwrap();
+        }
+        JobKind::Never => {
+            ad.insert_expr(REQUIREMENTS, "false").unwrap();
+        }
+        JobKind::Always => {}
+        JobKind::ResidualOr { mem } => {
+            ad.insert(attrs::REQUEST_PHI_MEMORY, *mem);
+            ad.insert_expr(
+                REQUIREMENTS,
+                "TARGET.PhiFreeMemory >= MY.RequestPhiMemory || TARGET.PhiDevicesFree >= 2",
+            )
+            .unwrap();
+        }
+        JobKind::MissingAttr => {
+            ad.insert_expr(REQUIREMENTS, "TARGET.NoSuchAttribute >= 1")
+                .unwrap();
+        }
+    }
+    if ranked {
+        ad.insert_expr(RANK, "TARGET.PhiFreeMemory").unwrap();
+    }
+    ad
+}
+
+/// Build the identical (queue, collector) pair twice from the generated
+/// scenario, so the fast and naive paths start from equal states.
+fn build(nodes: &[NodeDesc], jobs: &[(JobKind, bool)], claims: &[bool]) -> (JobQueue, Collector) {
+    let mut collector = Collector::new();
+    let mut all_slots = Vec::new();
+    for (n, node) in nodes.iter().enumerate() {
+        let node_idx = n as u32 + 1;
+        for s in 1..=node.slots {
+            let id = SlotId {
+                node: node_idx,
+                slot: s,
+            };
+            let ad = attrs::machine_ad(
+                &id.name(),
+                &format!("node{node_idx}"),
+                1,
+                8192,
+                node.free_mem.max(0) as u64,
+                node.devices_free.max(0) as u32,
+            );
+            collector.advertise(id, ad);
+            all_slots.push(id);
+        }
+    }
+    for (slot, claim) in all_slots.iter().zip(claims.iter()) {
+        if *claim {
+            collector.claim(*slot);
+        }
+    }
+    let mut queue = JobQueue::new();
+    for (i, (kind, ranked)) in jobs.iter().enumerate() {
+        queue
+            .submit(JobId(i as u64), job_ad(kind, *ranked), SimTime::ZERO)
+            .unwrap();
+    }
+    (queue, collector)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The fast path is result-identical to the naive evaluator: matches
+    /// (content *and* order), cycle stats, final collector state (ads,
+    /// claims, indexes — `Collector: PartialEq` covers all of it), and the
+    /// queue's pending set.
+    #[test]
+    fn fast_path_matches_naive_evaluator(
+        nodes in prop::collection::vec(arb_node(), 1..=5),
+        jobs in prop::collection::vec((arb_job_kind(), any::<bool>()), 1..=10),
+        claims in prop::collection::vec(any::<bool>(), 0..=15),
+    ) {
+        let (mut q_fast, mut c_fast) = build(&nodes, &jobs, &claims);
+        let (mut q_naive, mut c_naive) = build(&nodes, &jobs, &claims);
+        prop_assert_eq!(&c_fast, &c_naive, "builders must start equal");
+
+        let negotiator = Negotiator::default();
+        let (fast_matches, fast_stats) =
+            negotiator.negotiate_with_stats(&mut q_fast, &mut c_fast);
+        let (naive_matches, naive_stats) =
+            negotiator.negotiate_naive_with_stats(&mut q_naive, &mut c_naive);
+
+        prop_assert_eq!(&fast_matches, &naive_matches);
+        prop_assert_eq!(fast_stats, naive_stats);
+        prop_assert_eq!(&c_fast, &c_naive, "collector states diverged");
+        prop_assert_eq!(q_fast.pending(), q_naive.pending());
+        prop_assert_eq!(q_fast.active_counts(), q_naive.active_counts());
+    }
+
+    /// Two consecutive cycles stay identical too — the second cycle starts
+    /// from the first one's decremented ads and mutated indexes, which is
+    /// where stale-index bugs would surface.
+    #[test]
+    fn fast_path_matches_naive_over_two_cycles(
+        nodes in prop::collection::vec(arb_node(), 1..=4),
+        jobs in prop::collection::vec((arb_job_kind(), any::<bool>()), 1..=8),
+    ) {
+        let (mut q_fast, mut c_fast) = build(&nodes, &jobs, &[]);
+        let (mut q_naive, mut c_naive) = build(&nodes, &jobs, &[]);
+        let negotiator = Negotiator::default();
+
+        let first_fast = negotiator.negotiate_with_stats(&mut q_fast, &mut c_fast);
+        let first_naive = negotiator.negotiate_naive_with_stats(&mut q_naive, &mut c_naive);
+        prop_assert_eq!(first_fast, first_naive);
+
+        // Release the first cycle's claims on both sides, as dispatch would.
+        let claimed: Vec<SlotId> = c_fast
+            .slots()
+            .filter(|(_, s)| s.claimed)
+            .map(|(id, _)| *id)
+            .collect();
+        for slot in claimed {
+            c_fast.release(slot);
+            c_naive.release(slot);
+        }
+
+        let second_fast = negotiator.negotiate_with_stats(&mut q_fast, &mut c_fast);
+        let second_naive = negotiator.negotiate_naive_with_stats(&mut q_naive, &mut c_naive);
+        prop_assert_eq!(second_fast, second_naive);
+        prop_assert_eq!(&c_fast, &c_naive);
+    }
+}
+
+/// Regression: a match's same-cycle `PhiFreeMemory` decrement must be
+/// reflected in the collector's free-memory index immediately, so a later
+/// job in the same cycle cannot match against stale capacity.
+#[test]
+fn same_cycle_decrement_is_visible_in_free_mem_index() {
+    let mut collector = Collector::new();
+    for s in 1..=2u32 {
+        let id = SlotId { node: 1, slot: s };
+        collector.advertise(id, attrs::machine_ad(&id.name(), "node1", 1, 8192, 7680, 1));
+    }
+    let mut queue = JobQueue::new();
+    queue
+        .submit(
+            JobId(0),
+            job_ad(&JobKind::Sharing { mem: 5000 }, false),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    queue
+        .submit(
+            JobId(1),
+            job_ad(&JobKind::Sharing { mem: 4000 }, false),
+            SimTime::ZERO,
+        )
+        .unwrap();
+
+    let (matches, stats) = Negotiator::default().negotiate_with_stats(&mut queue, &mut collector);
+
+    // Job 0 takes 5000 of the node's 7680; job 1's 4000 no longer fits.
+    assert_eq!(matches.len(), 1);
+    assert_eq!(matches[0].job, JobId(0));
+    assert_eq!(stats.matched, 1);
+    assert_eq!(stats.unmatched, 1);
+    assert_eq!(queue.pending(), vec![JobId(1)]);
+
+    // The index answers with the decremented value: nothing at >= 4000,
+    // and the one unclaimed slot shows 2680 left.
+    assert_eq!(
+        collector.unclaimed_with_free_mem_at_least(4000.0).count(),
+        0
+    );
+    let remaining: Vec<SlotId> = collector.unclaimed_with_free_mem_at_least(2680.0).collect();
+    assert_eq!(remaining, vec![SlotId { node: 1, slot: 2 }]);
+}

@@ -25,7 +25,8 @@ pub enum ClusterPolicy {
 
 impl ClusterPolicy {
     /// The paper's three configurations, in presentation order.
-    pub const ALL: [ClusterPolicy; 3] = [ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck];
+    pub const ALL: [ClusterPolicy; 3] =
+        [ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck];
 
     /// The paper's configurations plus the clairvoyant comparator.
     pub const WITH_ORACLE: [ClusterPolicy; 4] = [
@@ -67,9 +68,9 @@ impl FromStr for ClusterPolicy {
             "MCC" => Ok(ClusterPolicy::Mcc),
             "MCCK" => Ok(ClusterPolicy::Mcck),
             "ORACLE" => Ok(ClusterPolicy::Oracle),
-            other => {
-                Err(format!("unknown policy {other:?}; expected MC, MCC, MCCK or ORACLE"))
-            }
+            other => Err(format!(
+                "unknown policy {other:?}; expected MC, MCC, MCCK or ORACLE"
+            )),
         }
     }
 }
@@ -83,7 +84,10 @@ mod tests {
         for p in ClusterPolicy::WITH_ORACLE {
             assert_eq!(p.to_string().parse::<ClusterPolicy>().unwrap(), p);
         }
-        assert_eq!("mcck".parse::<ClusterPolicy>().unwrap(), ClusterPolicy::Mcck);
+        assert_eq!(
+            "mcck".parse::<ClusterPolicy>().unwrap(),
+            ClusterPolicy::Mcck
+        );
         assert!("MCX".parse::<ClusterPolicy>().is_err());
     }
 

@@ -1,7 +1,9 @@
 //! Cluster-level schedulers: the knapsack packer (MCCK) and the random
 //! baseline (MCC).
 
-use phishare_knapsack::{solve_1d_filtered, solve_2d, Capacity, PackItem, ValueFunction};
+use phishare_knapsack::{
+    solve_1d_filtered_with, solve_2d_with, Capacity, DpScratch, PackItem, ValueFunction,
+};
 use phishare_sim::DetRng;
 use phishare_workload::JobId;
 use serde::{Deserialize, Serialize};
@@ -143,6 +145,9 @@ pub struct KnapsackScheduler {
     /// Jobs pinned but not yet dispatched, with their destination node and
     /// declared envelope (so per-node free capacity can be adjusted).
     outstanding: BTreeMap<JobId, OutstandingPin>,
+    /// DP buffers reused across packing rounds (one knapsack per device per
+    /// round; the table shapes repeat, so reuse eliminates the allocations).
+    scratch: DpScratch,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -161,6 +166,7 @@ impl KnapsackScheduler {
         KnapsackScheduler {
             cfg,
             outstanding: BTreeMap::new(),
+            scratch: DpScratch::default(),
         }
     }
 
@@ -226,8 +232,12 @@ impl KnapsackScheduler {
             .collect();
 
         let packing = match self.cfg.variant {
-            KnapsackVariant::TwoD => solve_2d(&items, &cap, self.cfg.value_fn),
-            KnapsackVariant::OneDFiltered => solve_1d_filtered(&items, &cap, self.cfg.value_fn),
+            KnapsackVariant::TwoD => {
+                solve_2d_with(&items, &cap, self.cfg.value_fn, &mut self.scratch)
+            }
+            KnapsackVariant::OneDFiltered => {
+                solve_1d_filtered_with(&items, &cap, self.cfg.value_fn, &mut self.scratch)
+            }
         };
 
         packing
@@ -351,7 +361,11 @@ impl ClusterScheduler for RandomScheduler {
             free[pick].2 -= job.mem_mb;
             let (node, device, _) = free[pick];
             self.outstanding.insert(job.id, (node, device, job.mem_mb));
-            pins.push(Pin { job: job.id, node, device });
+            pins.push(Pin {
+                job: job.id,
+                node,
+                device,
+            });
         }
         pins
     }
@@ -560,7 +574,14 @@ mod tests {
         let mut s = KnapsackScheduler::new(KnapsackConfig::default());
         let pending = vec![job(0, 5000, 60)];
         let pins = s.plan(&pending, &[dev(1, 2000), dev(2, 7680)]);
-        assert_eq!(pins, vec![Pin { job: JobId(0), node: 2, device: 0 }]);
+        assert_eq!(
+            pins,
+            vec![Pin {
+                job: JobId(0),
+                node: 2,
+                device: 0
+            }]
+        );
     }
 
     #[test]
@@ -631,11 +652,7 @@ mod tests {
         // 2 jobs of 3000 MB fit per device.
         assert_eq!(pins.len(), 4);
         for node in [1, 2] {
-            let mem: u64 = pins
-                .iter()
-                .filter(|p| p.node == node)
-                .map(|_| 3000)
-                .sum();
+            let mem: u64 = pins.iter().filter(|p| p.node == node).map(|_| 3000).sum();
             assert!(mem <= 7680);
         }
     }

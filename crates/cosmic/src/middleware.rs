@@ -266,8 +266,7 @@ impl CosmicDevice {
         let cores_needed = threads.div_ceil(self.threads_per_core);
         let cores = self.allocator.allocate(cores_needed)?;
         self.active.insert(job, ActiveOffload { threads, cores });
-        self.queue_wait
-            .record(now.since(enqueued).as_secs_f64());
+        self.queue_wait.record(now.since(enqueued).as_secs_f64());
         Some(OffloadGrant {
             job,
             threads,
@@ -384,8 +383,14 @@ mod tests {
         ));
         // Head of queue needs 240; a 40-thread offload behind it must wait
         // under strict FIFO.
-        assert_eq!(c.request_offload(t(1), JobId(2), 240, w(5)), Admission::Queued);
-        assert_eq!(c.request_offload(t(2), JobId(3), 40, w(5)), Admission::Queued);
+        assert_eq!(
+            c.request_offload(t(1), JobId(2), 240, w(5)),
+            Admission::Queued
+        );
+        assert_eq!(
+            c.request_offload(t(2), JobId(3), 40, w(5)),
+            Admission::Queued
+        );
         assert_eq!(c.queue_len(), 2);
         let granted = c.complete_offload(t(10), JobId(1));
         // 240-thread head admitted alone.
@@ -403,8 +408,14 @@ mod tests {
             c.request_offload(t(0), JobId(1), 200, w(10)),
             Admission::Started(_)
         ));
-        assert_eq!(c.request_offload(t(1), JobId(2), 240, w(5)), Admission::Queued);
-        assert_eq!(c.request_offload(t(2), JobId(3), 40, w(5)), Admission::Queued);
+        assert_eq!(
+            c.request_offload(t(1), JobId(2), 240, w(5)),
+            Admission::Queued
+        );
+        assert_eq!(
+            c.request_offload(t(2), JobId(3), 40, w(5)),
+            Admission::Queued
+        );
         // Job 3 fits alongside job 1 (200 + 40 ≤ 240); backfill admits it
         // when we next touch the queue.
         let granted = c.complete_offload(t(3), JobId(1));
@@ -425,8 +436,14 @@ mod tests {
             c.request_offload(t(0), JobId(1), 240, w(10)),
             Admission::Started(_)
         ));
-        assert_eq!(c.request_offload(t(0), JobId(2), 240, w(5)), Admission::Queued);
-        assert_eq!(c.request_offload(t(0), JobId(3), 120, w(5)), Admission::Queued);
+        assert_eq!(
+            c.request_offload(t(0), JobId(2), 240, w(5)),
+            Admission::Queued
+        );
+        assert_eq!(
+            c.request_offload(t(0), JobId(3), 120, w(5)),
+            Admission::Queued
+        );
         // Job 2 is killed while queued; job 1 killed while active.
         let g = c.unregister_job(t(1), JobId(2));
         assert!(g.is_empty());
@@ -478,7 +495,10 @@ mod tests {
                 Admission::Started(_)
             ));
         }
-        assert_eq!(c.request_offload(t(0), JobId(60), 1, w(5)), Admission::Queued);
+        assert_eq!(
+            c.request_offload(t(0), JobId(60), 1, w(5)),
+            Admission::Queued
+        );
         assert_eq!(c.active_threads(), 60);
     }
 

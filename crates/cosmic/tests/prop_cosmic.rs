@@ -12,9 +12,15 @@ use std::collections::BTreeSet;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Request { job: u64, cores: u32, work_secs: u64 },
+    Request {
+        job: u64,
+        cores: u32,
+        work_secs: u64,
+    },
     CompleteOne,
-    Unregister { job: u64 },
+    Unregister {
+        job: u64,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -50,7 +56,11 @@ fn drive(ops: Vec<Op>, policy: OffloadPolicy) -> Result<(), TestCaseError> {
     for op in ops {
         now += SimDuration::from_secs(1);
         match op {
-            Op::Request { job, cores, work_secs } => {
+            Op::Request {
+                job,
+                cores,
+                work_secs,
+            } => {
                 if !registered.contains(&job) || requested.contains(&job) {
                     continue; // the runtime never double-requests
                 }

@@ -28,7 +28,10 @@ fn finish(items: &[PackItem], selected: Vec<usize>, cap: &Capacity) -> Packing {
     let total_value: f64 = selected
         .iter()
         .map(|&idx| {
-            let it = items.iter().find(|i| i.index == idx).expect("own selection");
+            let it = items
+                .iter()
+                .find(|i| i.index == idx)
+                .expect("own selection");
             ValueFunction::PaperQuadratic.value(it.threads, cap.value_threads())
         })
         .sum();

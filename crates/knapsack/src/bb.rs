@@ -74,7 +74,12 @@ impl Search<'_> {
         // so inclusion tends to reach strong incumbents quickly.
         if it.units <= w_left && it.threads <= t_left {
             self.current_set.push(it.index);
-            self.dfs(pos + 1, w_left - it.units, t_left - it.threads, value + it.value);
+            self.dfs(
+                pos + 1,
+                w_left - it.units,
+                t_left - it.threads,
+                value + it.value,
+            );
             self.current_set.pop();
         }
         self.dfs(pos + 1, w_left, t_left, value);
@@ -125,7 +130,9 @@ pub fn solve_branch_and_bound_bounded(
     prepared.sort_by(|a, b| {
         let da = a.value / a.units.max(1) as f64;
         let db = b.value / b.units.max(1) as f64;
-        db.partial_cmp(&da).expect("finite densities").then(a.index.cmp(&b.index))
+        db.partial_cmp(&da)
+            .expect("finite densities")
+            .then(a.index.cmp(&b.index))
     });
 
     let mut search = Search {
@@ -153,7 +160,11 @@ mod tests {
     use crate::dp::solve_2d;
 
     fn it(index: usize, mem_mb: u64, threads: u32) -> PackItem {
-        PackItem { index, mem_mb, threads }
+        PackItem {
+            index,
+            mem_mb,
+            threads,
+        }
     }
 
     #[test]
@@ -195,7 +206,10 @@ mod tests {
     fn empty_and_degenerate_inputs() {
         let cap = Capacity::phi(1000);
         assert!(solve_branch_and_bound(&[], &cap, ValueFunction::default()).is_empty());
-        let zero = Capacity { thread_limit: 0, ..cap };
+        let zero = Capacity {
+            thread_limit: 0,
+            ..cap
+        };
         assert!(
             solve_branch_and_bound(&[it(0, 100, 4)], &zero, ValueFunction::default()).is_empty()
         );

@@ -9,18 +9,34 @@ use crate::value::ValueFunction;
 /// lossless for them and conservative otherwise.
 const THREADS_PER_UNIT: u32 = 4;
 
+/// Reusable buffers for the DP solvers. A scheduler calls the knapsack once
+/// per device per planning round; holding one `DpScratch` across calls
+/// turns the two dominant allocations (the value table and the backtracking
+/// bit grid) into buffer reuses.
+#[derive(Debug, Default, Clone)]
+pub struct DpScratch {
+    /// DP value table, `(w_max+1) × (t_max+1)` cells (or `w_max+1` for the
+    /// 1-D variant).
+    dp: Vec<f64>,
+    /// Backing words of the backtracking [`BitGrid`].
+    words: Vec<u64>,
+}
+
 /// A dense bit grid recording, per item layer, which DP cells were improved
 /// by taking the item — the backtracking information for reconstruction.
-struct BitGrid {
-    words: Vec<u64>,
+/// Borrows its storage from a [`DpScratch`].
+struct BitGrid<'a> {
+    words: &'a mut Vec<u64>,
     cells_per_item: usize,
 }
 
-impl BitGrid {
-    fn new(items: usize, cells_per_item: usize) -> Self {
+impl<'a> BitGrid<'a> {
+    fn reset(words: &'a mut Vec<u64>, items: usize, cells_per_item: usize) -> Self {
         let total_bits = items * cells_per_item;
+        words.clear();
+        words.resize(total_bits.div_ceil(64), 0u64);
         BitGrid {
-            words: vec![0u64; total_bits.div_ceil(64)],
+            words,
             cells_per_item,
         }
     }
@@ -62,6 +78,17 @@ impl BitGrid {
 /// assert!(p.total_threads <= 240);
 /// ```
 pub fn solve_2d(items: &[PackItem], cap: &Capacity, value_fn: ValueFunction) -> Packing {
+    solve_2d_with(items, cap, value_fn, &mut DpScratch::default())
+}
+
+/// [`solve_2d`] with caller-provided scratch buffers (allocation-free once
+/// the buffers have grown to the instance size).
+pub fn solve_2d_with(
+    items: &[PackItem],
+    cap: &Capacity,
+    value_fn: ValueFunction,
+    scratch: &mut DpScratch,
+) -> Packing {
     let w_max = cap.units();
     let t_max = (cap.thread_limit / THREADS_PER_UNIT) as usize;
     if w_max == 0 || t_max == 0 || items.is_empty() {
@@ -99,8 +126,10 @@ pub fn solve_2d(items: &[PackItem], cap: &Capacity, value_fn: ValueFunction) -> 
 
     let stride = t_max + 1;
     let cells = (w_max + 1) * stride;
-    let mut dp = vec![0.0f64; cells];
-    let mut taken = BitGrid::new(prepared.len(), cells);
+    let DpScratch { dp, words } = scratch;
+    dp.clear();
+    dp.resize(cells, 0.0);
+    let mut taken = BitGrid::reset(words, prepared.len(), cells);
 
     for (k, it) in prepared.iter().enumerate() {
         // In-place 0-1 update: iterate capacities downward so each item is
@@ -139,6 +168,16 @@ pub fn solve_2d(items: &[PackItem], cap: &Capacity, value_fn: ValueFunction) -> 
 /// Kept for the ablation bench (`abl_knapsack_variants`); [`solve_2d`]
 /// dominates it whenever threads are the binding constraint.
 pub fn solve_1d_filtered(items: &[PackItem], cap: &Capacity, value_fn: ValueFunction) -> Packing {
+    solve_1d_filtered_with(items, cap, value_fn, &mut DpScratch::default())
+}
+
+/// [`solve_1d_filtered`] with caller-provided scratch buffers.
+pub fn solve_1d_filtered_with(
+    items: &[PackItem],
+    cap: &Capacity,
+    value_fn: ValueFunction,
+    scratch: &mut DpScratch,
+) -> Packing {
     let w_max = cap.units();
     if w_max == 0 || items.is_empty() {
         return Packing::default();
@@ -165,8 +204,10 @@ pub fn solve_1d_filtered(items: &[PackItem], cap: &Capacity, value_fn: ValueFunc
         return Packing::default();
     }
 
-    let mut dp = vec![0.0f64; w_max + 1];
-    let mut taken = BitGrid::new(prepared.len(), w_max + 1);
+    let DpScratch { dp, words } = scratch;
+    dp.clear();
+    dp.resize(w_max + 1, 0.0);
+    let mut taken = BitGrid::reset(words, prepared.len(), w_max + 1);
     for (k, it) in prepared.iter().enumerate() {
         for w in (it.w..=w_max).rev() {
             let candidate = dp[w - it.w] + it.v;
@@ -222,7 +263,12 @@ mod tests {
     fn empty_inputs_yield_empty_packing() {
         let cap = Capacity::phi(7680);
         assert!(solve_2d(&[], &cap, ValueFunction::default()).is_empty());
-        assert!(solve_2d(&[it(0, 100, 60)], &Capacity::phi(0), ValueFunction::default()).is_empty());
+        assert!(solve_2d(
+            &[it(0, 100, 60)],
+            &Capacity::phi(0),
+            ValueFunction::default()
+        )
+        .is_empty());
         assert!(solve_1d_filtered(&[], &cap, ValueFunction::default()).is_empty());
     }
 
@@ -358,6 +404,36 @@ mod tests {
         let items = [it(42, 100, 60), it(7, 100, 60)];
         let p = solve_2d(&items, &cap, ValueFunction::default());
         assert_eq!(p.selected, vec![7, 42]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_solves() {
+        // One scratch across instances of different shapes: stale contents
+        // from a bigger instance must not leak into a smaller one.
+        let mut scratch = DpScratch::default();
+        let caps = [
+            Capacity::phi(7680),
+            Capacity::phi(1000),
+            Capacity::phi(3000),
+        ];
+        let instances: Vec<Vec<PackItem>> = vec![
+            (0..12).map(|i| it(i, 400 + 100 * i as u64, 60)).collect(),
+            vec![it(0, 600, 20), it(1, 600, 20), it(2, 300, 20)],
+            (0..6).map(|i| it(i, 200, 120)).collect(),
+        ];
+        for cap in &caps {
+            for items in &instances {
+                let fresh2 = solve_2d(items, cap, ValueFunction::PaperQuadratic);
+                let reused2 =
+                    solve_2d_with(items, cap, ValueFunction::PaperQuadratic, &mut scratch);
+                assert_eq!(fresh2.selected, reused2.selected);
+                assert_eq!(fresh2.total_value, reused2.total_value);
+                let fresh1 = solve_1d_filtered(items, cap, ValueFunction::PaperQuadratic);
+                let reused1 =
+                    solve_1d_filtered_with(items, cap, ValueFunction::PaperQuadratic, &mut scratch);
+                assert_eq!(fresh1.selected, reused1.selected);
+            }
+        }
     }
 
     #[test]

@@ -83,14 +83,8 @@ impl Packing {
     /// Build a packing from the selected subset of `items`.
     pub fn from_selection(items: &[PackItem], mut selected: Vec<usize>, total_value: f64) -> Self {
         selected.sort_unstable();
-        let total_mem_mb = selected
-            .iter()
-            .map(|&i| lookup(items, i).mem_mb)
-            .sum();
-        let total_threads = selected
-            .iter()
-            .map(|&i| lookup(items, i).threads)
-            .sum();
+        let total_mem_mb = selected.iter().map(|&i| lookup(items, i).mem_mb).sum();
+        let total_threads = selected.iter().map(|&i| lookup(items, i).threads).sum();
         Packing {
             selected,
             total_value,
@@ -151,9 +145,21 @@ mod tests {
     #[test]
     fn packing_aggregates_from_selection() {
         let items = [
-            PackItem { index: 10, mem_mb: 100, threads: 60 },
-            PackItem { index: 11, mem_mb: 200, threads: 120 },
-            PackItem { index: 12, mem_mb: 400, threads: 240 },
+            PackItem {
+                index: 10,
+                mem_mb: 100,
+                threads: 60,
+            },
+            PackItem {
+                index: 11,
+                mem_mb: 200,
+                threads: 120,
+            },
+            PackItem {
+                index: 12,
+                mem_mb: 400,
+                threads: 240,
+            },
         ];
         let p = Packing::from_selection(&items, vec![12, 10], 1.5);
         assert_eq!(p.selected, vec![10, 12]);

@@ -45,6 +45,6 @@ pub mod value;
 
 pub use baseline::{BestFitDecreasing, FirstFit, RandomFit};
 pub use bb::solve_branch_and_bound;
-pub use dp::{solve_1d_filtered, solve_2d};
+pub use dp::{solve_1d_filtered, solve_1d_filtered_with, solve_2d, solve_2d_with, DpScratch};
 pub use item::{Capacity, PackItem, Packing};
 pub use value::ValueFunction;

@@ -29,14 +29,16 @@ fn arb_items(max: usize) -> impl Strategy<Value = Vec<PackItem>> {
 }
 
 fn arb_capacity() -> impl Strategy<Value = Capacity> {
-    (500u64..8000, prop::sample::select(vec![25u64, 50, 100, 200])).prop_map(
-        |(mem_mb, granularity_mb)| Capacity {
+    (
+        500u64..8000,
+        prop::sample::select(vec![25u64, 50, 100, 200]),
+    )
+        .prop_map(|(mem_mb, granularity_mb)| Capacity {
             mem_mb,
             granularity_mb,
             thread_limit: 240,
             value_ref_threads: 0,
-        },
-    )
+        })
 }
 
 fn assert_feasible(p: &Packing, cap: &Capacity, check_threads: bool) {

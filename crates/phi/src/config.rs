@@ -135,7 +135,11 @@ mod tests {
 
     #[test]
     fn sku_presets_are_valid() {
-        for sku in [PhiConfig::phi_5110p(), PhiConfig::phi_7120p(), PhiConfig::phi_3120a()] {
+        for sku in [
+            PhiConfig::phi_5110p(),
+            PhiConfig::phi_7120p(),
+            PhiConfig::phi_3120a(),
+        ] {
             sku.validate().unwrap();
             assert!(sku.hw_threads() >= 228);
         }
@@ -145,17 +149,29 @@ mod tests {
 
     #[test]
     fn power_model_validation() {
-        let inverted = PhiConfig { max_watts: 50.0, ..PhiConfig::default() }; // below idle
+        let inverted = PhiConfig {
+            max_watts: 50.0,
+            ..PhiConfig::default()
+        }; // below idle
         assert!(inverted.validate().is_err());
-        let negative = PhiConfig { idle_watts: -1.0, ..PhiConfig::default() };
+        let negative = PhiConfig {
+            idle_watts: -1.0,
+            ..PhiConfig::default()
+        };
         assert!(negative.validate().is_err());
     }
 
     #[test]
     fn validation_catches_bad_configs() {
-        let coreless = PhiConfig { cores: 0, ..PhiConfig::default() };
+        let coreless = PhiConfig {
+            cores: 0,
+            ..PhiConfig::default()
+        };
         assert!(coreless.validate().is_err());
-        let oversized = PhiConfig { cores: 65, ..PhiConfig::default() };
+        let oversized = PhiConfig {
+            cores: 65,
+            ..PhiConfig::default()
+        };
         assert!(oversized.validate().is_err());
         let memoryless = PhiConfig {
             os_reserved_mb: PhiConfig::default().memory_mb,

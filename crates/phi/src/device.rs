@@ -54,7 +54,9 @@ impl fmt::Display for DeviceError {
             DeviceError::NotResident(p) => write!(f, "{p} is not resident"),
             DeviceError::OffloadInProgress(p) => write!(f, "{p} already has an active offload"),
             DeviceError::NoActiveOffload(p) => write!(f, "{p} has no active offload"),
-            DeviceError::CoreOverlap(p) => write!(f, "pinned cores for {p} overlap another offload"),
+            DeviceError::CoreOverlap(p) => {
+                write!(f, "pinned cores for {p} overlap another offload")
+            }
         }
     }
 }
@@ -404,7 +406,9 @@ impl PhiDevice {
 
     /// Declared memory still unbudgeted (MB), i.e. usable minus declared.
     pub fn free_declared_mb(&self) -> u64 {
-        self.cfg.usable_mem_mb().saturating_sub(self.declared_total_mb())
+        self.cfg
+            .usable_mem_mb()
+            .saturating_sub(self.declared_total_mb())
     }
 
     /// Sum of committed memory over resident processes (MB) — the physical
@@ -436,8 +440,7 @@ impl PhiDevice {
         let elapsed = end.since(self.created).as_secs_f64();
         let busy_core_seconds = self.busy_cores.integral(end);
         self.cfg.idle_watts * elapsed
-            + (self.cfg.max_watts - self.cfg.idle_watts) * busy_core_seconds
-                / self.cfg.cores as f64
+            + (self.cfg.max_watts - self.cfg.idle_watts) * busy_core_seconds / self.cfg.cores as f64
     }
 
     /// Time-integrated utilization from device creation through `end`.
@@ -503,8 +506,14 @@ mod tests {
         let mut d = dev();
         let mut r = rng();
         d.attach(t(0), ProcId(1), 1000, 240, 500, &mut r).unwrap();
-        d.start_offload(t(0), ProcId(1), 240, SimDuration::from_secs(10), Affinity::Unmanaged)
-            .unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            240,
+            SimDuration::from_secs(10),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
         let comps = d.completions();
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0], (ProcId(1), t(10)));
@@ -519,8 +528,14 @@ mod tests {
         let mut r = rng();
         for p in 1..=2 {
             d.attach(t(0), ProcId(p), 1000, 240, 100, &mut r).unwrap();
-            d.start_offload(t(0), ProcId(p), 240, SimDuration::from_secs(10), Affinity::Unmanaged)
-                .unwrap();
+            d.start_offload(
+                t(0),
+                ProcId(p),
+                240,
+                SimDuration::from_secs(10),
+                Affinity::Unmanaged,
+            )
+            .unwrap();
         }
         // 480 threads on 240 hw → load 2 → rate 1/(8 oversub × 1.15
         // conflict); two residents sit below the sharing knee.
@@ -542,8 +557,14 @@ mod tests {
         let b = CoreSet::contiguous(30, 30);
         for (p, set) in [(1u64, a), (2u64, b)] {
             d.attach(t(0), ProcId(p), 1000, 120, 100, &mut r).unwrap();
-            d.start_offload(t(0), ProcId(p), 120, SimDuration::from_secs(10), Affinity::Pinned(set))
-                .unwrap();
+            d.start_offload(
+                t(0),
+                ProcId(p),
+                120,
+                SimDuration::from_secs(10),
+                Affinity::Pinned(set),
+            )
+            .unwrap();
         }
         // No core conflict, no oversubscription, residents below the knee:
         // both offloads run at full rate concurrently.
@@ -576,8 +597,14 @@ mod tests {
         let overlapping = CoreSet::contiguous(20, 30);
         d.attach(t(0), ProcId(1), 1000, 120, 0, &mut r).unwrap();
         d.attach(t(0), ProcId(2), 1000, 120, 0, &mut r).unwrap();
-        d.start_offload(t(0), ProcId(1), 120, SimDuration::from_secs(5), Affinity::Pinned(a))
-            .unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            120,
+            SimDuration::from_secs(5),
+            Affinity::Pinned(a),
+        )
+        .unwrap();
         assert_eq!(
             d.start_offload(
                 t(0),
@@ -597,12 +624,24 @@ mod tests {
         d.attach(t(0), ProcId(1), 1000, 240, 0, &mut r).unwrap();
         d.attach(t(0), ProcId(2), 1000, 240, 0, &mut r).unwrap();
         // P1 runs alone for 5 s at full rate (two residents, below knee).
-        d.start_offload(t(0), ProcId(1), 240, SimDuration::from_secs(10), Affinity::Unmanaged)
-            .unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            240,
+            SimDuration::from_secs(10),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
         // P2's offload joins at t=5: both now oversubscribed (load 2 → ×8)
         // and conflicting (×1.15).
-        d.start_offload(t(5), ProcId(2), 240, SimDuration::from_secs(10), Affinity::Unmanaged)
-            .unwrap();
+        d.start_offload(
+            t(5),
+            ProcId(2),
+            240,
+            SimDuration::from_secs(10),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
         let comps = d.completions();
         let p1 = comps.iter().find(|(p, _)| *p == ProcId(1)).unwrap().1;
         // Remaining 5 s of nominal work at rate 1/9.2 → 46 s more.
@@ -620,8 +659,14 @@ mod tests {
         d.attach(t(0), ProcId(1), 100, 60, 0, &mut r).unwrap();
         let g1 = d.generation();
         assert!(g1 > g0);
-        d.start_offload(t(0), ProcId(1), 60, SimDuration::from_secs(1), Affinity::Unmanaged)
-            .unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            60,
+            SimDuration::from_secs(1),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
         assert!(d.generation() > g1);
     }
 
@@ -649,8 +694,14 @@ mod tests {
         let mut d = dev();
         let mut r = rng();
         d.attach(t(0), ProcId(1), 7000, 240, 7000, &mut r).unwrap();
-        d.start_offload(t(0), ProcId(1), 240, SimDuration::from_secs(100), Affinity::Unmanaged)
-            .unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            240,
+            SimDuration::from_secs(100),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
         d.attach(t(1), ProcId(2), 7000, 240, 0, &mut r).unwrap();
         // P2 commits 7000 MB → 14000 > 7680 → someone dies.
         let out = d.commit_memory(t(1), ProcId(2), 7000, &mut r).unwrap();
@@ -671,13 +722,27 @@ mod tests {
         let mut r = rng();
         d.attach(t(0), ProcId(1), 1000, 120, 600, &mut r).unwrap();
         // 120 threads (half the device) busy for 10 s of a 20 s window.
-        d.start_offload(t(0), ProcId(1), 120, SimDuration::from_secs(10), Affinity::Unmanaged)
-            .unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            120,
+            SimDuration::from_secs(10),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
         d.finish_offload(t(10), ProcId(1)).unwrap();
         let u = d.utilization(t(20));
-        assert!((u.thread_util - 0.25).abs() < 1e-9, "thread_util {}", u.thread_util);
+        assert!(
+            (u.thread_util - 0.25).abs() < 1e-9,
+            "thread_util {}",
+            u.thread_util
+        );
         // 120 threads → 30 of 60 cores for half the window → 0.25.
-        assert!((u.core_util - 0.25).abs() < 1e-9, "core_util {}", u.core_util);
+        assert!(
+            (u.core_util - 0.25).abs() < 1e-9,
+            "core_util {}",
+            u.core_util
+        );
         assert!((u.busy_fraction - 0.5).abs() < 1e-9);
         assert!(u.mem_util > 0.0);
     }
@@ -688,8 +753,14 @@ mod tests {
         let mut r = rng();
         d.attach(t(0), ProcId(1), 1000, 240, 0, &mut r).unwrap();
         // All 60 cores busy for 10 s of a 20 s window.
-        d.start_offload(t(0), ProcId(1), 240, SimDuration::from_secs(10), Affinity::Unmanaged)
-            .unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            240,
+            SimDuration::from_secs(10),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
         d.finish_offload(t(10), ProcId(1)).unwrap();
         let e = d.energy_joules(t(20));
         // 100 W idle × 20 s + 125 W dynamic × 10 busy-seconds.
@@ -705,8 +776,14 @@ mod tests {
         let mut d = dev();
         let mut r = rng();
         d.attach(t(0), ProcId(1), 100, 60, 0, &mut r).unwrap();
-        d.start_offload(t(0), ProcId(1), 60, SimDuration::from_secs(10), Affinity::Unmanaged)
-            .unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            60,
+            SimDuration::from_secs(10),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
         d.abort_offload(t(3), ProcId(1)).unwrap();
         assert_eq!(d.active_offloads(), 0);
         assert_eq!(d.offloads_completed.get(), 0);
@@ -721,8 +798,14 @@ mod tests {
         let mut d = dev();
         let mut r = rng();
         d.attach(t(0), ProcId(1), 100, 60, 50, &mut r).unwrap();
-        d.start_offload(t(0), ProcId(1), 60, SimDuration::from_secs(10), Affinity::Unmanaged)
-            .unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            60,
+            SimDuration::from_secs(10),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
         d.detach(t(2), ProcId(1)).unwrap();
         assert_eq!(d.active_offloads(), 0);
         assert_eq!(d.resident_count(), 0);
@@ -732,10 +815,19 @@ mod tests {
     fn errors_on_missing_process() {
         let mut d = dev();
         assert_eq!(
-            d.start_offload(t(0), ProcId(9), 60, SimDuration::from_secs(1), Affinity::Unmanaged),
+            d.start_offload(
+                t(0),
+                ProcId(9),
+                60,
+                SimDuration::from_secs(1),
+                Affinity::Unmanaged
+            ),
             Err(DeviceError::NotResident(ProcId(9)))
         );
-        assert_eq!(d.detach(t(0), ProcId(9)), Err(DeviceError::NotResident(ProcId(9))));
+        assert_eq!(
+            d.detach(t(0), ProcId(9)),
+            Err(DeviceError::NotResident(ProcId(9)))
+        );
         assert_eq!(
             d.finish_offload(t(0), ProcId(9)),
             Err(DeviceError::NoActiveOffload(ProcId(9)))
@@ -747,8 +839,14 @@ mod tests {
         let mut d = dev();
         let mut r = rng();
         d.attach(t(0), ProcId(1), 100, 60, 0, &mut r).unwrap();
-        d.start_offload(t(0), ProcId(1), 60, SimDuration::from_secs(7), Affinity::Unmanaged)
-            .unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            60,
+            SimDuration::from_secs(7),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
         let c1 = d.completions();
         let c2 = d.completions();
         assert_eq!(c1, c2);

@@ -8,20 +8,45 @@ use proptest::prelude::*;
 /// One step of a random device workout.
 #[derive(Debug, Clone)]
 enum Op {
-    Attach { proc: u64, declared_mb: u64, threads: u32, commit_mb: u64 },
-    Commit { proc: u64, total_mb: u64 },
-    StartOffload { proc: u64, threads: u32, work_secs: u64 },
+    Attach {
+        proc: u64,
+        declared_mb: u64,
+        threads: u32,
+        commit_mb: u64,
+    },
+    Commit {
+        proc: u64,
+        total_mb: u64,
+    },
+    StartOffload {
+        proc: u64,
+        threads: u32,
+        work_secs: u64,
+    },
     FinishEarliest,
-    AbortOffload { proc: u64 },
-    Detach { proc: u64 },
-    Advance { secs: u64 },
+    AbortOffload {
+        proc: u64,
+    },
+    Detach {
+        proc: u64,
+    },
+    Advance {
+        secs: u64,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u64..6, 100u64..4000, 1u32..=60, 0u64..4000).prop_map(|(proc, declared_mb, cores, commit_mb)| {
-            Op::Attach { proc, declared_mb, threads: cores * 4, commit_mb }
-        }),
+        (0u64..6, 100u64..4000, 1u32..=60, 0u64..4000).prop_map(
+            |(proc, declared_mb, cores, commit_mb)| {
+                Op::Attach {
+                    proc,
+                    declared_mb,
+                    threads: cores * 4,
+                    commit_mb,
+                }
+            }
+        ),
         (0u64..6, 0u64..5000).prop_map(|(proc, total_mb)| Op::Commit { proc, total_mb }),
         (0u64..6, 1u32..=60, 1u64..30).prop_map(|(proc, cores, work_secs)| Op::StartOffload {
             proc,

@@ -187,7 +187,9 @@ mod tests {
     fn substreams_differ() {
         let mut a = DetRng::substream(7, "alpha");
         let mut b = DetRng::substream(7, "beta");
-        let same = (0..32).filter(|_| a.uniform_f64() == b.uniform_f64()).count();
+        let same = (0..32)
+            .filter(|_| a.uniform_f64() == b.uniform_f64())
+            .count();
         assert!(same < 4, "substreams look correlated");
     }
 

@@ -175,7 +175,10 @@ impl Summary {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 

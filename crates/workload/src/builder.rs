@@ -195,9 +195,7 @@ impl WorkloadBuilder {
                 let mut rng = DetRng::substream(self.seed, "workload-arrivals");
                 let mut t = SimTime::ZERO;
                 for _ in 0..self.count {
-                    t += SimDuration::from_secs_f64(
-                        rng.exponential(mean_gap.as_secs_f64()),
-                    );
+                    t += SimDuration::from_secs_f64(rng.exponential(mean_gap.as_secs_f64()));
                     arrivals.push(t);
                 }
             }
@@ -239,14 +237,22 @@ mod tests {
 
     #[test]
     fn builds_are_deterministic() {
-        let b = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(50).seed(9);
+        let b = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(50)
+            .seed(9);
         assert_eq!(b.build(), b.build());
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(50).seed(1).build();
-        let b = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(50).seed(2).build();
+        let a = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(50)
+            .seed(1)
+            .build();
+        let b = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(50)
+            .seed(2)
+            .build();
         assert_ne!(a, b);
     }
 
@@ -254,8 +260,14 @@ mod tests {
     fn growing_count_preserves_prefix() {
         // Per-job substreams: job i is identical whether we generate 10 or
         // 100 jobs.
-        let small = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(10).seed(5).build();
-        let large = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(100).seed(5).build();
+        let small = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(10)
+            .seed(5)
+            .build();
+        let large = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(100)
+            .seed(5)
+            .build();
         assert_eq!(&large.jobs[..10], &small.jobs[..]);
     }
 
@@ -306,7 +318,10 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(20).seed(8).build();
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(20)
+            .seed(8)
+            .build();
         let json = wl.to_json();
         let back = Workload::from_json(&json).unwrap();
         assert_eq!(wl, back);
@@ -324,7 +339,10 @@ mod tests {
 
     #[test]
     fn aggregates_are_positive() {
-        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(10).seed(2).build();
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(10)
+            .seed(2)
+            .build();
         assert!(wl.total_declared_mem_mb() > 0);
         assert!(wl.total_nominal() > SimDuration::ZERO);
         assert!(!wl.is_empty());

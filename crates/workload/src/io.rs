@@ -68,7 +68,10 @@ pub fn workload_from_csv(csv: &str, seed: u64) -> Result<Workload, CsvError> {
                 message: format!("expected 6 fields, got {}", fields.len()),
             });
         }
-        let err = |message: String| CsvError { line: line_no, message };
+        let err = |message: String| CsvError {
+            line: line_no,
+            message,
+        };
         let name = fields[0].to_string();
         if name.is_empty() {
             return Err(err("empty job name".into()));
@@ -179,8 +182,14 @@ defaults,500,120,20,,";
 
     #[test]
     fn import_is_deterministic_per_seed() {
-        assert_eq!(workload_from_csv(SAMPLE, 5).unwrap(), workload_from_csv(SAMPLE, 5).unwrap());
-        assert_ne!(workload_from_csv(SAMPLE, 5).unwrap(), workload_from_csv(SAMPLE, 6).unwrap());
+        assert_eq!(
+            workload_from_csv(SAMPLE, 5).unwrap(),
+            workload_from_csv(SAMPLE, 5).unwrap()
+        );
+        assert_ne!(
+            workload_from_csv(SAMPLE, 5).unwrap(),
+            workload_from_csv(SAMPLE, 6).unwrap()
+        );
     }
 
     #[test]
@@ -193,9 +202,10 @@ defaults,500,120,20,,";
             assert_eq!(a.name, b.name);
             assert_eq!(a.mem_req_mb, b.mem_req_mb);
             assert_eq!(a.thread_req, b.thread_req);
-            assert!((a.nominal_duration().as_secs_f64()
-                - b.nominal_duration().as_secs_f64())
-            .abs() < 0.1);
+            assert!(
+                (a.nominal_duration().as_secs_f64() - b.nominal_duration().as_secs_f64()).abs()
+                    < 0.1
+            );
         }
     }
 

@@ -50,9 +50,7 @@ impl ResourceDist {
         match self {
             ResourceDist::Uniform => rng.uniform_f64(),
             ResourceDist::Normal => rng.truncated_normal(0.5, Self::SIGMA, 0.0, 1.0),
-            ResourceDist::LowSkew => {
-                rng.truncated_normal(0.5 - Self::SIGMA, Self::SIGMA, 0.0, 1.0)
-            }
+            ResourceDist::LowSkew => rng.truncated_normal(0.5 - Self::SIGMA, Self::SIGMA, 0.0, 1.0),
             ResourceDist::HighSkew => {
                 rng.truncated_normal(0.5 + Self::SIGMA, Self::SIGMA, 0.0, 1.0)
             }
@@ -108,21 +106,14 @@ impl Default for SyntheticParams {
 
 impl SyntheticParams {
     /// Generate one synthetic job whose resources follow `dist`.
-    pub fn generate(
-        &self,
-        dist: ResourceDist,
-        id: JobId,
-        rng: &mut DetRng,
-    ) -> JobSpec {
+    pub fn generate(&self, dist: ResourceDist, id: JobId, rng: &mut DetRng) -> JobSpec {
         let level = dist.sample_level(rng);
         let mem_req_mb = lerp_u64(self.mem_mb, level);
-        let t_level = (level + rng.uniform_range(-self.thread_jitter, self.thread_jitter))
-            .clamp(0.0, 1.0);
-        let thread_req = round4(lerp_u64(
-            (self.threads.0 as u64, self.threads.1 as u64),
-            t_level,
-        ) as u32)
-        .clamp(4, self.threads.1);
+        let t_level =
+            (level + rng.uniform_range(-self.thread_jitter, self.thread_jitter)).clamp(0.0, 1.0);
+        let thread_req =
+            round4(lerp_u64((self.threads.0 as u64, self.threads.1 as u64), t_level) as u32)
+                .clamp(4, self.threads.1);
 
         let duty = rng.uniform_range(self.duty_cycle.0, self.duty_cycle.1);
         let total = rng.uniform_range(self.duration_secs.0, self.duration_secs.1);
@@ -181,8 +172,16 @@ mod tests {
         assert!((uni - 0.5).abs() < 0.03, "uniform mean {uni}");
         assert!((mid - 0.5).abs() < 0.03, "normal mean {mid}");
         // The skews sit roughly one sigma away from the normal mean.
-        assert!((mid - low - 0.18).abs() < 0.05, "low-skew offset {}", mid - low);
-        assert!((high - mid - 0.18).abs() < 0.05, "high-skew offset {}", high - mid);
+        assert!(
+            (mid - low - 0.18).abs() < 0.05,
+            "low-skew offset {}",
+            mid - low
+        );
+        assert!(
+            (high - mid - 0.18).abs() < 0.05,
+            "high-skew offset {}",
+            high - mid
+        );
     }
 
     #[test]
@@ -206,8 +205,14 @@ mod tests {
             .iter()
             .map(|j| (j.mem_req_mb as f64 - mm) * (j.thread_req as f64 - tm))
             .sum::<f64>();
-        let vm = jobs.iter().map(|j| (j.mem_req_mb as f64 - mm).powi(2)).sum::<f64>();
-        let vt = jobs.iter().map(|j| (j.thread_req as f64 - tm).powi(2)).sum::<f64>();
+        let vm = jobs
+            .iter()
+            .map(|j| (j.mem_req_mb as f64 - mm).powi(2))
+            .sum::<f64>();
+        let vt = jobs
+            .iter()
+            .map(|j| (j.thread_req as f64 - tm).powi(2))
+            .sum::<f64>();
         let r = cov / (vm.sqrt() * vt.sqrt());
         assert!(r > 0.8, "memory-thread correlation too weak: {r}");
     }

@@ -163,13 +163,7 @@ impl AppKind {
         let mem_req_mb = rng.uniform_u64(p.mem_mb.0, p.mem_mb.1);
         let total_secs = rng.uniform_range(p.duration_secs.0, p.duration_secs.1);
         let n_offloads = rng.uniform_u64(p.offloads.0 as u64, p.offloads.1 as u64) as usize;
-        let profile = build_profile(
-            total_secs,
-            p.duty_cycle,
-            n_offloads,
-            p.threads,
-            rng,
-        );
+        let profile = build_profile(total_secs, p.duty_cycle, n_offloads, p.threads, rng);
         // Jobs typically commit less than their declared maximum; the
         // declared number is a safe upper bound supplied by the user.
         let actual_peak_mem_mb =

@@ -34,17 +34,16 @@ fn main() {
     };
     let kind = match a.get(8).map(|s| s.as_str()) {
         None | Some("table1") => WorkloadKind::Table1Mix,
-        Some("uniform") => WorkloadKind::Synthetic(ResourceDist::Uniform, SyntheticParams::default()),
+        Some("uniform") => {
+            WorkloadKind::Synthetic(ResourceDist::Uniform, SyntheticParams::default())
+        }
         Some("normal") => WorkloadKind::Synthetic(ResourceDist::Normal, SyntheticParams::default()),
         Some("low") => WorkloadKind::Synthetic(ResourceDist::LowSkew, SyntheticParams::default()),
         Some("high") => WorkloadKind::Synthetic(ResourceDist::HighSkew, SyntheticParams::default()),
         Some(other) => panic!("unknown workload kind {other}"),
     };
 
-    let workload = WorkloadBuilder::new(kind)
-        .count(jobs)
-        .seed(seed)
-        .build();
+    let workload = WorkloadBuilder::new(kind).count(jobs).seed(seed).build();
     println!(
         "{jobs} jobs, {nodes} nodes, seed {seed}: penalty={penalty} knee={knee} \
          overcommit={overcommit} trigger={trigger}s dispatch={dispatch}s"
@@ -82,7 +81,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Config", "Makespan", "vs MC", "Core util", "Thread util", "Offl queue"],
+            &[
+                "Config",
+                "Makespan",
+                "vs MC",
+                "Core util",
+                "Thread util",
+                "Offl queue"
+            ],
             &rows
         )
     );

@@ -40,7 +40,11 @@ fn main() {
         .expect("search runs");
         println!("{policy} search curve:");
         for (nodes, makespan) in &fp.curve {
-            let marker = if Some(*nodes) == fp.nodes_required { "  ← match" } else { "" };
+            let marker = if Some(*nodes) == fp.nodes_required {
+                "  ← match"
+            } else {
+                ""
+            };
             println!("  {nodes} nodes → {makespan:.0} s{marker}");
         }
         println!();
@@ -58,7 +62,12 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Configuration", "Nodes needed", "Footprint reduction", "Makespan at match (s)"],
+            &[
+                "Configuration",
+                "Nodes needed",
+                "Footprint reduction",
+                "Makespan at match (s)"
+            ],
             &rows
         )
     );

@@ -18,9 +18,17 @@ fn main() {
     println!("— thread oversubscription (raw MPSS) —");
     let mut device = PhiDevice::new(phi, PerfModel::default(), SimTime::ZERO);
     for p in 1..=2u64 {
-        device.attach(SimTime::ZERO, ProcId(p), 1000, 240, 500, &mut rng).unwrap();
         device
-            .start_offload(SimTime::ZERO, ProcId(p), 240, SimDuration::from_secs(10), Affinity::Unmanaged)
+            .attach(SimTime::ZERO, ProcId(p), 1000, 240, 500, &mut rng)
+            .unwrap();
+        device
+            .start_offload(
+                SimTime::ZERO,
+                ProcId(p),
+                240,
+                SimDuration::from_secs(10),
+                Affinity::Unmanaged,
+            )
             .unwrap();
     }
     for (proc, at) in device.completions() {
@@ -35,7 +43,9 @@ fn main() {
     let mut device = PhiDevice::new(phi, PerfModel::default(), SimTime::ZERO);
     let mut cosmic = CosmicDevice::new(CosmicConfig::default(), &phi);
     for p in 1..=2u64 {
-        device.attach(SimTime::ZERO, ProcId(p), 1000, 240, 500, &mut rng).unwrap();
+        device
+            .attach(SimTime::ZERO, ProcId(p), 1000, 240, 500, &mut rng)
+            .unwrap();
         cosmic.register_job(phishare::workload::JobId(p), 1000, 240);
     }
     for p in 1..=2u64 {
@@ -47,7 +57,13 @@ fn main() {
         ) {
             Admission::Started(grant) => {
                 device
-                    .start_offload(SimTime::ZERO, ProcId(p), grant.threads, grant.work, grant.affinity)
+                    .start_offload(
+                        SimTime::ZERO,
+                        ProcId(p),
+                        grant.threads,
+                        grant.work,
+                        grant.affinity,
+                    )
                     .unwrap();
                 println!("  J{p}: admitted immediately, runs at full rate");
             }
@@ -57,7 +73,10 @@ fn main() {
         }
     }
     for (proc, at) in device.completions() {
-        println!("  {proc}: completes at t={:.1} s (no slowdown)", at.as_secs_f64());
+        println!(
+            "  {proc}: completes at t={:.1} s (no slowdown)",
+            at.as_secs_f64()
+        );
     }
 
     println!("\n— memory oversubscription (raw MPSS) —");

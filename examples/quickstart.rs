@@ -33,7 +33,10 @@ fn main() {
     println!("completed:         {}/{}", result.completed, result.jobs);
     println!("makespan:          {:.1} s", result.makespan_secs);
     println!("core utilization:  {:.1}%", 100.0 * result.core_utilization);
-    println!("thread utilization:{:.1}%", 100.0 * result.thread_utilization);
+    println!(
+        "thread utilization:{:.1}%",
+        100.0 * result.thread_utilization
+    );
     println!("mean wait:         {:.1} s", result.mean_wait_secs);
     println!("mean turnaround:   {:.1} s", result.mean_turnaround_secs);
     println!("negotiation cycles:{}", result.negotiation_cycles);

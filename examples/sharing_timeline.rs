@@ -46,7 +46,14 @@ fn run_concurrent(profiles: &[(JobId, JobProfile)]) -> (Vec<Span>, SimTime) {
     for (job, profile) in profiles {
         let threads = profile.max_threads();
         device
-            .attach(SimTime::ZERO, phishare::phi::ProcId(job.raw()), 1000, threads, 500, &mut rng)
+            .attach(
+                SimTime::ZERO,
+                phishare::phi::ProcId(job.raw()),
+                1000,
+                threads,
+                500,
+                &mut rng,
+            )
             .unwrap();
         cosmic.register_job(*job, 1000, threads);
         seg_of.insert(*job, 0usize);
@@ -62,7 +69,9 @@ fn run_concurrent(profiles: &[(JobId, JobProfile)]) -> (Vec<Span>, SimTime) {
             let seg = seg_of[&job];
             match profile.segments.get(seg) {
                 None => {
-                    device.detach(sim.now(), phishare::phi::ProcId(job.raw())).unwrap();
+                    device
+                        .detach(sim.now(), phishare::phi::ProcId(job.raw()))
+                        .unwrap();
                     for grant in cosmic.unregister_job(sim.now(), job) {
                         device
                             .start_offload(
@@ -102,7 +111,13 @@ fn run_concurrent(profiles: &[(JobId, JobProfile)]) -> (Vec<Span>, SimTime) {
         // Re-sync completion predictions.
         let generation = device.generation();
         for (proc, at) in device.completions() {
-            sim.schedule_at(at, Ev::OffloadDone { job: JobId(proc.raw()), generation });
+            sim.schedule_at(
+                at,
+                Ev::OffloadDone {
+                    job: JobId(proc.raw()),
+                    generation,
+                },
+            );
         }
 
         let Some(ev) = sim.step() else { break };
@@ -122,7 +137,12 @@ fn run_concurrent(profiles: &[(JobId, JobProfile)]) -> (Vec<Span>, SimTime) {
                     .finish_offload(sim.now(), phishare::phi::ProcId(job.raw()))
                     .unwrap();
                 let (start, threads) = started_at.remove(&job).unwrap();
-                spans.push(Span { job, start, end: sim.now(), threads });
+                spans.push(Span {
+                    job,
+                    start,
+                    end: sim.now(),
+                    threads,
+                });
                 for grant in cosmic.complete_offload(sim.now(), job) {
                     device
                         .start_offload(
@@ -184,7 +204,12 @@ fn main() {
     let sequential = j1.total_nominal() + j2.total_nominal();
     let profiles = vec![(JobId(1), j1), (JobId(2), j2)];
     let (spans, makespan) = run_concurrent(&profiles);
-    gantt("Fig. 2 — maximal (240-thread) offloads: interleave only", &profiles, &spans, makespan);
+    gantt(
+        "Fig. 2 — maximal (240-thread) offloads: interleave only",
+        &profiles,
+        &spans,
+        makespan,
+    );
     println!(
         "  sequential makespan {:.0} s → concurrent {:.0} s ({:.0}% reduction)\n",
         sequential.as_secs_f64(),
@@ -209,7 +234,12 @@ fn main() {
     let sequential = j3.total_nominal() + j4.total_nominal();
     let profiles = vec![(JobId(3), j3), (JobId(4), j4)];
     let (spans, makespan) = run_concurrent(&profiles);
-    gantt("Fig. 3 — partial (120-thread) offloads: true overlap", &profiles, &spans, makespan);
+    gantt(
+        "Fig. 3 — partial (120-thread) offloads: true overlap",
+        &profiles,
+        &spans,
+        makespan,
+    );
     println!(
         "  sequential makespan {:.0} s → concurrent {:.0} s ({:.0}% reduction)",
         sequential.as_secs_f64(),

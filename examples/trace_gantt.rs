@@ -30,9 +30,7 @@ fn main() {
             result.makespan_secs,
             100.0 * result.core_utilization
         );
-        println!(
-            "  (digits = concurrently executing offloads on the node's Phi, '.' = idle)"
-        );
+        println!("  (digits = concurrently executing offloads on the node's Phi, '.' = idle)");
         print!("{}", trace.node_gantt(96));
 
         let queued = trace

@@ -82,7 +82,11 @@ impl Flags {
     }
 }
 
-fn build_workload(flags: &Flags, count_key: &str, default_count: usize) -> Result<Workload, String> {
+fn build_workload(
+    flags: &Flags,
+    count_key: &str,
+    default_count: usize,
+) -> Result<Workload, String> {
     let seed: u64 = flags.get("seed", 7)?;
     if let Some(path) = flags.get_str("from") {
         let csv = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;

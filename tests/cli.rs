@@ -12,7 +12,11 @@ fn phishare(args: &[&str]) -> std::process::Output {
 #[test]
 fn run_prints_a_result_table() {
     let out = phishare(&["run", "--policy", "mcck", "--jobs", "20", "--nodes", "2"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("MCCK"));
     assert!(stdout.contains("20/20"));
@@ -24,8 +28,7 @@ fn run_json_emits_parseable_result() {
         "run", "--policy", "mc", "--jobs", "10", "--nodes", "2", "--json",
     ]);
     assert!(out.status.success());
-    let v: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("valid JSON on stdout");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON on stdout");
     assert_eq!(v["policy"], "Mc");
     assert_eq!(v["completed"], 10);
     assert!(v["makespan_secs"].as_f64().unwrap() > 0.0);
@@ -50,16 +53,30 @@ fn workload_round_trips_through_a_file() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("wl.csv");
     let out = phishare(&[
-        "workload", "--count", "8", "--dist", "uniform",
-        "--out", path.to_str().unwrap(),
+        "workload",
+        "--count",
+        "8",
+        "--dist",
+        "uniform",
+        "--out",
+        path.to_str().unwrap(),
     ]);
     assert!(out.status.success());
     // Run the generated file.
     let out = phishare(&[
-        "run", "--policy", "mcc", "--nodes", "2",
-        "--from", path.to_str().unwrap(),
+        "run",
+        "--policy",
+        "mcc",
+        "--nodes",
+        "2",
+        "--from",
+        path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("8/8"));
 }
 

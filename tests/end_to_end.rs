@@ -132,7 +132,9 @@ fn multi_device_nodes_work() {
 
 #[test]
 fn empty_workload_is_a_noop() {
-    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(0).build();
+    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(0)
+        .build();
     let r = Experiment::run(&cfg(ClusterPolicy::Mcck, 2), &wl).unwrap();
     assert_eq!(r.completed, 0);
     assert_eq!(r.makespan_secs, 0.0);

@@ -13,7 +13,10 @@ fn cfg(policy: ClusterPolicy, nodes: u32) -> ClusterConfig {
 
 #[test]
 fn oracle_policy_completes_and_is_competitive() {
-    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(80).seed(51).build();
+    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(80)
+        .seed(51)
+        .build();
     let mcck = Experiment::run(&cfg(ClusterPolicy::Mcck, 3), &wl).unwrap();
     let oracle = Experiment::run(&cfg(ClusterPolicy::Oracle, 3), &wl).unwrap();
     assert!(oracle.all_completed());
@@ -30,7 +33,10 @@ fn oracle_policy_completes_and_is_competitive() {
 
 #[test]
 fn energy_is_positive_and_tracks_cluster_size() {
-    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(40).seed(52).build();
+    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(40)
+        .seed(52)
+        .build();
     let small = Experiment::run(&cfg(ClusterPolicy::Mcck, 2), &wl).unwrap();
     let large = Experiment::run(&cfg(ClusterPolicy::Mcck, 6), &wl).unwrap();
     assert!(small.energy_kwh > 0.0);
@@ -47,13 +53,24 @@ fn energy_is_positive_and_tracks_cluster_size() {
 
 #[test]
 fn energy_lower_bound_is_idle_draw() {
-    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(20).seed(53).build();
+    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(20)
+        .seed(53)
+        .build();
     let r = Experiment::run(&cfg(ClusterPolicy::Mc, 2), &wl).unwrap();
     let cfgv = cfg(ClusterPolicy::Mc, 2);
     let idle_kwh = cfgv.phi.idle_watts * 2.0 * r.makespan_secs / 3.6e6;
     let max_kwh = cfgv.phi.max_watts * 2.0 * r.makespan_secs / 3.6e6;
-    assert!(r.energy_kwh >= idle_kwh, "{} < idle floor {idle_kwh}", r.energy_kwh);
-    assert!(r.energy_kwh <= max_kwh, "{} > TDP ceiling {max_kwh}", r.energy_kwh);
+    assert!(
+        r.energy_kwh >= idle_kwh,
+        "{} < idle floor {idle_kwh}",
+        r.energy_kwh
+    );
+    assert!(
+        r.energy_kwh <= max_kwh,
+        "{} > TDP ceiling {max_kwh}",
+        r.energy_kwh
+    );
 }
 
 #[test]
@@ -81,14 +98,15 @@ inference,300,32,10,0.5,6
 fn queue_status_is_consistent_mid_run() {
     // Sanity for the condor_q-style reporting: totals over a synthetic
     // queue add up (the runtime path is covered by its own tests).
-    use phishare::condor::{JobQueue, QueueTotals};
     use phishare::classad::ClassAd;
+    use phishare::condor::{JobQueue, QueueTotals};
     use phishare::sim::SimTime;
     use phishare::workload::JobId;
     let mut q = JobQueue::new();
     for i in 0..10u64 {
         if i % 2 == 0 {
-            q.submit_held(JobId(i), ClassAd::new(), SimTime::ZERO).unwrap();
+            q.submit_held(JobId(i), ClassAd::new(), SimTime::ZERO)
+                .unwrap();
         } else {
             q.submit(JobId(i), ClassAd::new(), SimTime::ZERO).unwrap();
         }

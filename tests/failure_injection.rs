@@ -30,7 +30,10 @@ fn cosmic_containers_catch_every_overrun() {
         assert_eq!(r.completed, 60 - misbehaving, "{policy}");
         // Containers fire when a job crosses its own declaration, which is
         // before the *physical* limit can be crossed (declared sums fit).
-        assert_eq!(r.oom_kills, 0, "{policy}: containers must preempt the OOM killer");
+        assert_eq!(
+            r.oom_kills, 0,
+            "{policy}: containers must preempt the OOM killer"
+        );
     }
 }
 

@@ -10,7 +10,11 @@ use phishare::workload::{
 use proptest::prelude::*;
 
 fn arb_policy() -> impl Strategy<Value = ClusterPolicy> {
-    prop::sample::select(vec![ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck])
+    prop::sample::select(vec![
+        ClusterPolicy::Mc,
+        ClusterPolicy::Mcc,
+        ClusterPolicy::Mcck,
+    ])
 }
 
 fn arb_dist() -> impl Strategy<Value = ResourceDist> {

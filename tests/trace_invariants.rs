@@ -16,10 +16,7 @@ fn cfg(policy: ClusterPolicy, nodes: u32) -> ClusterConfig {
 
 /// Sweep a node's offload spans and return the maximum concurrent thread
 /// sum observed anywhere on it.
-fn max_concurrent_threads(
-    spans: &[phishare::cluster::trace::OffloadSpan],
-    node: u32,
-) -> u32 {
+fn max_concurrent_threads(spans: &[phishare::cluster::trace::OffloadSpan], node: u32) -> u32 {
     // Event sweep: +threads at start, −threads at end.
     let mut deltas: Vec<(u64, i64)> = Vec::new();
     for s in spans.iter().filter(|s| s.node == node) {
@@ -40,7 +37,10 @@ fn max_concurrent_threads(
 
 #[test]
 fn mc_never_overlaps_offloads_on_a_device() {
-    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(60).seed(41).build();
+    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(60)
+        .seed(41)
+        .build();
     let (_, trace) = Experiment::run_traced(&cfg(ClusterPolicy::Mc, 3), &wl).unwrap();
     let spans = trace.offload_spans();
     for node in 1..=3 {
@@ -63,8 +63,15 @@ fn mc_never_overlaps_offloads_on_a_device() {
 
 #[test]
 fn cosmic_thread_cap_holds_under_all_sharing_policies() {
-    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(80).seed(42).build();
-    for policy in [ClusterPolicy::Mcc, ClusterPolicy::Mcck, ClusterPolicy::Oracle] {
+    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(80)
+        .seed(42)
+        .build();
+    for policy in [
+        ClusterPolicy::Mcc,
+        ClusterPolicy::Mcck,
+        ClusterPolicy::Oracle,
+    ] {
         let (_, trace) = Experiment::run_traced(&cfg(policy, 2), &wl).unwrap();
         let spans = trace.offload_spans();
         for node in 1..=2 {
@@ -79,7 +86,10 @@ fn cosmic_thread_cap_holds_under_all_sharing_policies() {
 
 #[test]
 fn lifecycles_are_well_formed() {
-    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(40).seed(43).build();
+    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(40)
+        .seed(43)
+        .build();
     let (result, trace) = Experiment::run_traced(&cfg(ClusterPolicy::Mcck, 2), &wl).unwrap();
     assert!(result.all_completed());
 
@@ -142,7 +152,10 @@ fn lifecycles_are_well_formed() {
 #[test]
 fn mc_trace_has_no_queued_offloads() {
     // Without sharing there is nothing to queue behind.
-    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix).count(30).seed(44).build();
+    let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+        .count(30)
+        .seed(44)
+        .build();
     let (_, trace) = Experiment::run_traced(&cfg(ClusterPolicy::Mc, 2), &wl).unwrap();
     assert!(!trace
         .events

@@ -1,0 +1,1025 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy combinators, collection/sample helpers, `any`,
+//! and the `proptest!`/`prop_oneof!`/`prop_assert*!` macros this workspace's
+//! property tests use. Differences from upstream, on purpose:
+//!
+//! * **No shrinking** — a failing case reports the generated inputs as-is.
+//! * **Deterministic seeding** — each test derives its RNG from the test
+//!   name and case index, so failures reproduce without persistence files
+//!   (`.proptest-regressions` files are ignored).
+//! * **Mini-regex string strategies** — `&str` patterns support the subset
+//!   the tests use: literals, `.`, character classes with ranges, and the
+//!   `{m,n}` / `{n}` / `?` / `*` / `+` quantifiers.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Case execution: config, errors, and the deterministic runner.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case failed an assertion: the test fails.
+        Fail(String),
+        /// The case was rejected (`prop_assume!`): retried without counting.
+        Reject(String),
+    }
+
+    /// Deterministic RNG handed to strategies during generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// RNG for one case of one test, derived from the test name and a
+        /// per-case stream index.
+        pub fn for_case(test_name: &str, stream: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(
+                h ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+
+        /// Uniform draw in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "TestRng::below(0)");
+            ((self.0.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Run one property test: keep generating cases until `config.cases`
+    /// succeed, retrying rejected cases, panicking on the first failure.
+    pub fn execute<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = config.cases.saturating_mul(16).max(1024);
+        let mut stream = 0u64;
+        while passed < config.cases {
+            let mut rng = TestRng::for_case(test_name, stream);
+            stream += 1;
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(reason)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest `{test_name}`: too many rejected cases \
+                             ({rejected}; last reason: {reason})"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{test_name}` failed after {passed} passing \
+                         case(s) (rng stream {}):\n{msg}",
+                        stream - 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::SampleRange;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Keep only values satisfying `keep`; regenerates on rejection.
+        fn prop_filter<F>(self, reason: &'static str, keep: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                reason,
+                keep,
+            }
+        }
+
+        /// Generate a value, then generate from a strategy derived from it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Recursive strategies: `self` is the leaf case and `branch` builds
+        /// one more level on top of an inner strategy. `depth` bounds the
+        /// nesting level; `_size`/`_branch` are accepted for upstream API
+        /// compatibility but the tree shape is controlled by `branch` itself.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _branch: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+        {
+            BoxedStrategy::new(Recursive {
+                base: self.boxed(),
+                branch: Rc::new(move |inner| branch(inner).boxed()),
+                depth,
+            })
+        }
+
+        /// Type-erase into a cloneable [`BoxedStrategy`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(self)
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> BoxedStrategy<T> {
+        fn new<S: Strategy<Value = T> + 'static>(strategy: S) -> Self {
+            BoxedStrategy(Rc::new(strategy))
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        reason: &'static str,
+        keep: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let candidate = self.source.generate(rng);
+                if (self.keep)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!("prop_filter: 1000 consecutive rejections ({})", self.reason);
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            let intermediate = self.source.generate(rng);
+            (self.f)(intermediate).generate(rng)
+        }
+    }
+
+    struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        branch: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+        depth: u32,
+    }
+
+    impl<T: Debug> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let levels = rng.below(self.depth as u64 + 1) as u32;
+            let mut strategy = self.base.clone();
+            for _ in 0..levels {
+                strategy = (self.branch)(strategy);
+            }
+            strategy.generate(rng)
+        }
+    }
+
+    /// Weighted choice between boxed alternatives (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Build from `(weight, strategy)` arms.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof!: zero total weight");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+                total_weight: self.total_weight,
+            }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total_weight);
+            for (weight, arm) in &self.arms {
+                if pick < *weight as u64 {
+                    return arm.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! numeric_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+        )*};
+    }
+
+    numeric_range_strategies!(u8, u16, u32, u64, usize, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::regex_gen::generate(self, rng)
+        }
+    }
+}
+
+mod regex_gen {
+    //! Miniature regex-driven string generator for `&str` strategies.
+
+    use crate::test_runner::TestRng;
+
+    struct Part {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn printable_ascii() -> Vec<char> {
+        (0x20u8..=0x7E).map(char::from).collect()
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let parts = parse(pattern);
+        let mut out = String::new();
+        for part in &parts {
+            let span = (part.max - part.min) as u64 + 1;
+            let n = part.min + rng.below(span) as usize;
+            for _ in 0..n {
+                out.push(part.choices[rng.below(part.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<Part> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut parts = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '.' => {
+                    i += 1;
+                    printable_ascii()
+                }
+                '[' => {
+                    i += 1;
+                    let set = parse_class(&chars, &mut i);
+                    assert!(
+                        chars.get(i) == Some(&']'),
+                        "regex_gen: unterminated class in {pattern:?}"
+                    );
+                    i += 1;
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("regex_gen: dangling escape in {pattern:?}"));
+                    i += 1;
+                    escape_set(c)
+                }
+                c => {
+                    assert!(
+                        !"(){}|+*?".contains(c),
+                        "regex_gen: unsupported metacharacter {c:?} in {pattern:?}"
+                    );
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+            assert!(!choices.is_empty(), "regex_gen: empty class in {pattern:?}");
+            parts.push(Part { choices, min, max });
+        }
+        parts
+    }
+
+    fn escape_set(c: char) -> Vec<char> {
+        match c {
+            'd' => ('0'..='9').collect(),
+            'w' => ('a'..='z')
+                .chain('A'..='Z')
+                .chain('0'..='9')
+                .chain(std::iter::once('_'))
+                .collect(),
+            's' => vec![' ', '\t', '\n'],
+            'n' => vec!['\n'],
+            't' => vec!['\t'],
+            other => vec![other],
+        }
+    }
+
+    fn parse_class(chars: &[char], i: &mut usize) -> Vec<char> {
+        let mut set = Vec::new();
+        while *i < chars.len() && chars[*i] != ']' {
+            let c = if chars[*i] == '\\' {
+                *i += 1;
+                let esc = chars[*i];
+                *i += 1;
+                let expanded = escape_set(esc);
+                if expanded.len() > 1 {
+                    set.extend(expanded);
+                    continue;
+                }
+                expanded[0]
+            } else {
+                let c = chars[*i];
+                *i += 1;
+                c
+            };
+            // Range `a-z` when a `-` sits between two members.
+            if chars.get(*i) == Some(&'-') && chars.get(*i + 1).is_some_and(|&n| n != ']') {
+                let hi = chars[*i + 1];
+                *i += 2;
+                set.extend((c..=hi).filter(|ch| ch.is_ascii() || c <= *ch));
+            } else {
+                set.push(c);
+            }
+        }
+        set
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+        match chars.get(*i) {
+            Some('{') => {
+                *i += 1;
+                let mut min_text = String::new();
+                while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+                    min_text.push(chars[*i]);
+                    *i += 1;
+                }
+                let min: usize = min_text.parse().unwrap_or(0);
+                let max = match chars.get(*i) {
+                    Some(',') => {
+                        *i += 1;
+                        let mut max_text = String::new();
+                        while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+                            max_text.push(chars[*i]);
+                            *i += 1;
+                        }
+                        max_text.parse().unwrap_or(min + 8)
+                    }
+                    _ => min,
+                };
+                assert!(
+                    chars.get(*i) == Some(&'}'),
+                    "regex_gen: unterminated quantifier in {pattern:?}"
+                );
+                *i += 1;
+                (min, max)
+            }
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Debug + Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for () {
+        fn arbitrary(_rng: &mut TestRng) -> Self {}
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Mix magnitudes but stay finite: upstream any::<f64> includes
+            // special values, which none of these tests rely on.
+            let unit = rng.random::<f64>() * 2.0 - 1.0;
+            match rng.next_u64() % 4 {
+                0 => 0.0,
+                1 => unit,
+                2 => unit * 1e6,
+                _ => unit * 1e-6,
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            char::from(0x20u8 + (rng.next_u64() % 95) as u8)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_map`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min) as u64 + 1) as usize
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>` with a target size drawn from `size`
+    /// (duplicate keys may make the result smaller, as upstream).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            for _ in 0..target.saturating_mul(4).max(4) {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+pub mod sample {
+    //! Uniform selection from explicit option lists.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+
+    /// Uniformly pick one of `options`.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty option list");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace alias matching upstream's `prop::` paths.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests. See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::execute(&__config, stringify!($name), |__rng| {
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    let $pat = {
+                        let __value =
+                            $crate::strategy::Strategy::generate(&($strategy), __rng);
+                        __inputs.push_str(&::std::format!(
+                            "  {} = {:?}\n", stringify!($pat), &__value
+                        ));
+                        __value
+                    };
+                )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                            ::std::format!("{__msg}\nfailing input:\n{__inputs}"),
+                        ))
+                    }
+                    other => other,
+                }
+            });
+        }
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Assert inside a property test; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __left, __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), __left, __right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+            stringify!($left), stringify!($right), __left,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Reject the current case (retried without counting against `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_filters_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("ranges", 0);
+        for _ in 0..200 {
+            let x = (3u64..10).generate(&mut rng);
+            assert!((3..10).contains(&x));
+            let y = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&y));
+            let even = (0u64..100)
+                .prop_filter("even", |n| n % 2 == 0)
+                .generate(&mut rng);
+            assert_eq!(even % 2, 0);
+        }
+    }
+
+    #[test]
+    fn regex_strategies_match_shape() {
+        let mut rng = crate::test_runner::TestRng::for_case("regex", 0);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let t = ".{0,8}".generate(&mut rng);
+            assert!(t.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights_roughly() {
+        let mut rng = crate::test_runner::TestRng::for_case("weights", 0);
+        let strategy = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| strategy.generate(&mut rng)).count();
+        assert!(trues > 800, "trues={trues}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_pipeline_works(
+            v in prop::collection::vec(0u64..50, 1..10),
+            flag in any::<bool>(),
+            name in "[a-z]{1,4}",
+        ) {
+            prop_assume!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 50));
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(name.len(), 0);
+        }
+    }
+}

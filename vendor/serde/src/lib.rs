@@ -1,0 +1,481 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde abstracts over data formats with a visitor-based data model;
+//! this workspace only ever serializes to and from JSON, so the stand-in
+//! collapses the model to a JSON-shaped [`Value`] tree:
+//!
+//! * [`Serialize`] renders `self` into a [`Value`];
+//! * [`Deserialize`] rebuilds `Self` from a [`Value`];
+//! * the `derive` feature re-exports the companion proc macros, which follow
+//!   real serde's externally-tagged conventions (unit enum variants as bare
+//!   strings, data variants as single-key objects, newtype structs as their
+//!   inner value) so serialized output looks the same as upstream.
+//!
+//! `serde_json` (also vendored) supplies the text format on top of [`Value`].
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree — the interchange type between [`Serialize`],
+/// [`Deserialize`] and the `serde_json` text format.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative (or any signed) integer.
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object. `BTreeMap` gives deterministic (sorted) key order, matching
+    /// real serde_json's default map representation.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Numeric view, if this is any number variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Is this `Value::Null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// `v["key"]` — yields `Null` for missing members, like serde_json.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        match self {
+            Value::Int(i) => i == other,
+            Value::UInt(u) => i64::try_from(*u).is_ok_and(|u| u == *other),
+            Value::Float(f) => *f == *other as f64,
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Error produced by [`Deserialize`] implementations.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the interchange value.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from the interchange value.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls ------------------------------------------------------
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self < 0 { Value::Int(*self as i64) } else { Value::UInt(*self as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_i64()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_u64()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+signed_impls!(i8, i16, i32, i64, isize);
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected boolean"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_str() {
+            Some(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+// --- composite impls ------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| V::from_value(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::custom("expected array for tuple"))?;
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                if a.len() != LEN {
+                    return Err(Error::custom("tuple length mismatch"));
+                }
+                Ok(($($name::from_value(&a[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// --- support for derived code --------------------------------------------
+
+/// Extract and deserialize a named struct field. Used by generated code.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    m: &BTreeMap<String, Value>,
+    key: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match m.get(key) {
+        Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("{ty}.{key}: {e}"))),
+        None => Err(Error::custom(format!("missing field `{key}` in {ty}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_value(&17i32.to_value()).unwrap(), 17);
+        assert_eq!(u32::from_value(&Value::UInt(9)).unwrap(), 9);
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert_eq!(f64::from_value(&Value::Int(-2)).unwrap(), -2.0);
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Vec::<u64>::from_value(&vec![1u64, 2].to_value()).unwrap(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn value_access_and_comparisons() {
+        let mut m = BTreeMap::new();
+        m.insert("n".to_string(), Value::UInt(10));
+        m.insert("s".to_string(), Value::Str("Mc".into()));
+        let v = Value::Object(m);
+        assert_eq!(v["n"], 10);
+        assert_eq!(v["s"], "Mc");
+        assert!(v["missing"].is_null());
+        assert_eq!(v["n"].as_f64(), Some(10.0));
+    }
+}

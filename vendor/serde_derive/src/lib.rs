@@ -1,0 +1,438 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored value-tree `serde` crate, parsing the item directly from raw
+//! `proc_macro` tokens (no `syn`/`quote` available offline). Supported input
+//! shapes are exactly what this workspace uses: non-generic structs (named,
+//! tuple/newtype, unit) and enums (unit, tuple and struct variants), with no
+//! `#[serde(...)]` attributes. The generated representation follows real
+//! serde's externally-tagged JSON conventions so output is byte-compatible:
+//!
+//! * newtype structs serialize as their inner value, wider tuples as arrays;
+//! * unit enum variants serialize as `"Name"`;
+//! * data variants serialize as `{"Name": payload}` with tuple payloads as
+//!   arrays and struct payloads as objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// --- item parsing ---------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute (including doc comments).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(super)` etc.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Advance past one type (or discriminant expression): everything up to the
+/// next `,` at angle-bracket depth zero. Groups are atomic tokens, so only
+/// `<`/`>` need explicit depth tracking.
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field name, found {other:?}"),
+        }
+        skip_to_top_level_comma(&tokens, &mut i);
+        i += 1; // past the comma (or the end)
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_to_top_level_comma(&tokens, &mut i);
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        skip_to_top_level_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// --- code generation ------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            body.push_str("let mut __m = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                let _ = writeln!(
+                    body,
+                    "__m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));"
+                );
+            }
+            body.push_str("::serde::Value::Object(__m)\n");
+        }
+        Shape::TupleStruct(1) => {
+            body.push_str("::serde::Serialize::to_value(&self.0)\n");
+        }
+        Shape::TupleStruct(n) => {
+            body.push_str("::serde::Value::Array(::std::vec![");
+            for idx in 0..*n {
+                let _ = write!(body, "::serde::Serialize::to_value(&self.{idx}),");
+            }
+            body.push_str("])\n");
+        }
+        Shape::UnitStruct => {
+            body.push_str("::serde::Value::Null\n");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn}(__f0) => {{\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(__f0));\n\
+                             ::serde::Value::Object(__m)\n}}"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Array(::std::vec![{items}]));\n\
+                             ::serde::Value::Object(__m)\n}}",
+                            binds = binders.join(", "),
+                            items = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut __inner = ::std::collections::BTreeMap::new();\n\
+                             {inserts}\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n}}",
+                            binds = fields.join(", "),
+                            inserts = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "__inner.insert(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}));"
+                                ))
+                                .collect::<Vec<_>>()
+                                .join("\n"),
+                        );
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let _ = writeln!(
+                body,
+                "let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;"
+            );
+            let _ = writeln!(body, "::std::result::Result::Ok({name} {{");
+            for f in fields {
+                let _ = writeln!(body, "{f}: ::serde::__field(__m, \"{f}\", \"{name}\")?,");
+            }
+            body.push_str("})\n");
+        }
+        Shape::TupleStruct(1) => {
+            let _ = writeln!(
+                body,
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            );
+        }
+        Shape::TupleStruct(n) => {
+            let _ = writeln!(
+                body,
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __a.len() != {n} {{\n\
+                 return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple length for {name}\"));\n}}"
+            );
+            let _ = write!(body, "::std::result::Result::Ok({name}(");
+            for idx in 0..*n {
+                let _ = write!(body, "::serde::Deserialize::from_value(&__a[{idx}])?,");
+            }
+            body.push_str("))\n");
+        }
+        Shape::UnitStruct => {
+            let _ = writeln!(
+                body,
+                "if __v.is_null() {{ ::std::result::Result::Ok({name}) }} else {{\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\"expected null for {name}\"))\n}}"
+            );
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match __v {\n::serde::Value::Str(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let _ = writeln!(
+                        body,
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    );
+                }
+            }
+            let _ = writeln!(
+                body,
+                "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},"
+            );
+            body.push_str(
+                "::serde::Value::Object(__m) if __m.len() == 1 => {\n\
+                 let (__k, __inner) = __m.iter().next().unwrap();\n\
+                 match __k.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            body,
+                            "\"{vn}\" => ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        let _ = writeln!(
+                            body,
+                            "\"{vn}\" => {{\n\
+                             let __a = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                             if __a.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong arity for {name}::{vn}\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vn}({gets}))\n}}",
+                            gets = gets.join(", "),
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let _ = writeln!(
+                            body,
+                            "\"{vn}\" => {{\n\
+                             let __fm = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {fields} }})\n}}",
+                            fields = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "{f}: ::serde::__field(__fm, \"{f}\", \"{name}::{vn}\")?"
+                                ))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(
+                body,
+                "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected a variant of {name}\")),\n}}"
+            );
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}}}\n}}\n"
+    )
+}
