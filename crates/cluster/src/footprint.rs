@@ -12,6 +12,7 @@ use crate::metrics::ExperimentResult;
 use crate::runtime::Experiment;
 use phishare_workload::Workload;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Result of a footprint search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,12 +35,86 @@ impl FootprintResult {
     }
 }
 
-/// Find the smallest cluster that matches `target_makespan_secs`.
+/// A footprint searcher that memoizes per-node-count experiment results.
 ///
-/// Walks node counts upward from 1 to `max_nodes`, running the full
-/// simulation at each size (the paper does the same: "we measure makespan on
-/// clusters of progressively increasing sizes", §V-B). `tolerance` is the
-/// fractional slack allowed over the target (0.0 = strict).
+/// The makespan at a given cluster size is a pure function of `(base,
+/// workload, nodes)` — simulations are deterministic — so a size simulated
+/// once never needs to run again. Repeated searches over the same
+/// configuration (different targets or tolerances, as in a sensitivity
+/// sweep over Table II/III baselines) pay only for sizes not yet visited.
+pub struct FootprintSearcher<'a> {
+    base: &'a ClusterConfig,
+    workload: &'a Workload,
+    cache: BTreeMap<u32, ExperimentResult>,
+    runs: u64,
+}
+
+impl<'a> FootprintSearcher<'a> {
+    /// A searcher for `base` (its `nodes` field is overridden per probe)
+    /// over `workload`.
+    pub fn new(base: &'a ClusterConfig, workload: &'a Workload) -> Self {
+        FootprintSearcher {
+            base,
+            workload,
+            cache: BTreeMap::new(),
+            runs: 0,
+        }
+    }
+
+    /// Simulations actually executed (cache misses) so far.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// The experiment result at `nodes`, simulating at most once per size.
+    pub fn result_at(&mut self, nodes: u32) -> Result<&ExperimentResult, String> {
+        if !self.cache.contains_key(&nodes) {
+            let cfg = self.base.with_nodes(nodes);
+            let result = Experiment::run(&cfg, self.workload)?;
+            self.runs += 1;
+            self.cache.insert(nodes, result);
+        }
+        Ok(self.cache.get(&nodes).expect("just inserted"))
+    }
+
+    /// Find the smallest cluster that matches `target_makespan_secs`.
+    ///
+    /// Walks node counts upward from 1 to `max_nodes`, running the full
+    /// simulation at each size not already cached (the paper does the same:
+    /// "we measure makespan on clusters of progressively increasing sizes",
+    /// §V-B). `tolerance` is the fractional slack allowed over the target
+    /// (0.0 = strict).
+    pub fn search(
+        &mut self,
+        target_makespan_secs: f64,
+        max_nodes: u32,
+        tolerance: f64,
+    ) -> Result<FootprintResult, String> {
+        assert!(max_nodes >= 1);
+        assert!(tolerance >= 0.0);
+        let mut curve = Vec::new();
+        let mut nodes_required = None;
+        for nodes in 1..=max_nodes {
+            let makespan_secs = self.result_at(nodes)?.makespan_secs;
+            curve.push((nodes, makespan_secs));
+            if nodes_required.is_none() && makespan_secs <= target_makespan_secs * (1.0 + tolerance)
+            {
+                nodes_required = Some(nodes);
+                // Keep walking only if the caller wants the full curve;
+                // stopping here keeps Table II cheap. Fig. 9 uses `sweep`
+                // directly.
+                break;
+            }
+        }
+        Ok(FootprintResult {
+            target_makespan_secs,
+            nodes_required,
+            curve,
+        })
+    }
+}
+
+/// One-shot [`FootprintSearcher::search`] (the Table II/III entry point).
 pub fn footprint_search(
     base: &ClusterConfig,
     workload: &Workload,
@@ -47,28 +122,7 @@ pub fn footprint_search(
     max_nodes: u32,
     tolerance: f64,
 ) -> Result<FootprintResult, String> {
-    assert!(max_nodes >= 1);
-    assert!(tolerance >= 0.0);
-    let mut curve = Vec::new();
-    let mut nodes_required = None;
-    for nodes in 1..=max_nodes {
-        let cfg = base.with_nodes(nodes);
-        let result: ExperimentResult = Experiment::run(&cfg, workload)?;
-        curve.push((nodes, result.makespan_secs));
-        if nodes_required.is_none()
-            && result.makespan_secs <= target_makespan_secs * (1.0 + tolerance)
-        {
-            nodes_required = Some(nodes);
-            // Keep walking only if the caller wants the full curve; stopping
-            // here keeps Table II cheap. Fig. 9 uses `sweep` directly.
-            break;
-        }
-    }
-    Ok(FootprintResult {
-        target_makespan_secs,
-        nodes_required,
-        curve,
-    })
+    FootprintSearcher::new(base, workload).search(target_makespan_secs, max_nodes, tolerance)
 }
 
 #[cfg(test)]
@@ -108,6 +162,33 @@ mod tests {
         let fp = footprint_search(&cfg, &wl, 1.0, 2, 0.0).unwrap();
         assert_eq!(fp.nodes_required, None);
         assert_eq!(fp.curve.len(), 2);
+    }
+
+    #[test]
+    fn searcher_never_simulates_a_size_twice() {
+        let wl = workload();
+        let mut cfg = ClusterConfig::paper_cluster(ClusterPolicy::Mcck);
+        cfg.knapsack.window = 64;
+        let mut searcher = FootprintSearcher::new(&cfg, &wl);
+
+        // An unreachable target probes every size once.
+        let miss = searcher.search(1.0, 3, 0.0).unwrap();
+        assert_eq!(miss.nodes_required, None);
+        assert_eq!(searcher.runs(), 3);
+
+        // Re-searching with a different target touches only the cache.
+        let hit = searcher.search(1e9, 3, 0.0).unwrap();
+        assert_eq!(hit.nodes_required, Some(1));
+        assert_eq!(searcher.runs(), 3, "second search must not re-simulate");
+
+        // Raising the ceiling pays only for the sizes not yet visited.
+        let widened = searcher.search(1.0, 4, 0.0).unwrap();
+        assert_eq!(widened.curve.len(), 4);
+        assert_eq!(searcher.runs(), 4);
+
+        // Cached results match a fresh one-shot search exactly.
+        let fresh = footprint_search(&cfg, &wl, 1.0, 4, 0.0).unwrap();
+        assert_eq!(widened, fresh);
     }
 
     #[test]

@@ -118,6 +118,25 @@ impl HostCpu {
             .collect()
     }
 
+    /// Earliest predicted completion `(job, at)`, valid for the current
+    /// generation, without allocating.
+    ///
+    /// Ties break to the lowest [`JobId`] — the order the per-phase events
+    /// of [`HostCpu::completions`] would fire in (they are pushed in
+    /// ascending-id order), so a single-event driver sees the same phase
+    /// finish first as a per-phase one.
+    pub fn next_completion(&self) -> Option<(JobId, SimTime)> {
+        let mut best: Option<(JobId, SimTime)> = None;
+        for (job, seg) in &self.active {
+            let dt = (seg.remaining / self.rate).ceil().max(0.0) as u64;
+            let at = self.last_update + SimDuration::from_ticks(dt);
+            if best.map(|(_, b)| at < b).unwrap_or(true) {
+                best = Some((*job, at));
+            }
+        }
+        best
+    }
+
     /// Time-average number of busy host cores through `end`.
     pub fn busy_core_average(&self, end: SimTime) -> f64 {
         self.busy.time_average(end)
@@ -204,6 +223,24 @@ mod tests {
         assert_eq!(h.generation(), g1);
         h.abort(t(1), JobId(1));
         assert!(h.generation() > g1);
+    }
+
+    #[test]
+    fn next_completion_is_first_min_of_completions() {
+        let mut h = HostCpu::new(4, SimTime::ZERO);
+        assert_eq!(h.next_completion(), None);
+        h.start_segment(t(0), JobId(7), d(10));
+        h.start_segment(t(0), JobId(2), d(10));
+        h.start_segment(t(0), JobId(5), d(20));
+        // Jobs 2 and 7 tie at t=10; the lower id wins, matching the order
+        // per-phase events are pushed (and therefore fire) in.
+        assert_eq!(h.next_completion(), Some((JobId(2), t(10))));
+        let earliest = h
+            .completions()
+            .into_iter()
+            .min_by_key(|&(j, at)| (at, j))
+            .unwrap();
+        assert_eq!(h.next_completion(), Some(earliest));
     }
 
     #[test]

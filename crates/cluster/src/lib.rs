@@ -51,7 +51,7 @@ pub mod trace;
 
 pub use audit::audit;
 pub use config::ClusterConfig;
-pub use footprint::{footprint_search, FootprintResult};
+pub use footprint::{footprint_search, FootprintResult, FootprintSearcher};
 pub use metrics::ExperimentResult;
 pub use runtime::Experiment;
 pub use sweep::{run_sweep, run_sweep_auto, SweepJob};

@@ -47,7 +47,9 @@ pub struct ExperimentResult {
     /// Total coprocessor energy over the run, kWh (idle + dynamic draw of
     /// every card; the footprint argument in joules).
     pub energy_kwh: f64,
-    /// Discrete events processed (simulation cost, for the perf benches).
+    /// Live discrete events handled (simulation cost, for the perf
+    /// benches). Stale prediction deliveries are excluded, so the count is
+    /// identical across event-scheduling modes.
     pub events_processed: u64,
 }
 

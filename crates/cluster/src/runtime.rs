@@ -22,6 +22,26 @@
 //! 5. **Complete** → the device frees capacity; completion-triggered
 //!    negotiation (after the collector-update delay) lets the scheduler
 //!    repack the freed knapsack — Fig. 4's "while jobs remaining" loop.
+//!
+//! ## Event scheduling modes
+//!
+//! Completion predictions are invalidated wholesale whenever a device's (or
+//! host's) membership changes — the generation counter bumps and every
+//! pending prediction event goes stale. Two schemes deliver them:
+//!
+//! * **Next-completion (default, [`Experiment::run`])** — exactly one
+//!   prediction event per device per generation, chosen by the allocation-
+//!   free `next_completion()`. Stale entries are drained lazily at pop time
+//!   ([`phishare_sim::Sim::step_live`]); handling the winner bumps the
+//!   generation and schedules the next winner. O(1) heap entries per device.
+//! * **Per-offload ([`Experiment::run_naive_events`])** — the seed's
+//!   original scheme: one event per active offload per generation, stale
+//!   ones dropped by the generation guard as they fire. O(n) heap churn per
+//!   membership change; retained as the differential oracle — both modes
+//!   must produce bit-identical metrics, traces, and audits (the fast
+//!   path's event pushes are a subsequence of the naive ones, and `(time,
+//!   insertion-seq)` ordering makes the surviving live events fire in the
+//!   same order).
 
 use crate::config::ClusterConfig;
 use crate::host::HostCpu;
@@ -67,6 +87,15 @@ enum Ev {
     },
 }
 
+/// How completion predictions are turned into events (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventMode {
+    /// One event per device/host per generation (the fast path).
+    NextCompletion,
+    /// One event per active offload/phase per generation (the oracle).
+    PerOffload,
+}
+
 /// Why a job was terminated early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum KillReason {
@@ -97,7 +126,7 @@ impl Experiment {
     /// Fails fast (rather than deadlocking) when the configuration is
     /// invalid or a job cannot fit on any device.
     pub fn run(config: &ClusterConfig, workload: &Workload) -> Result<ExperimentResult, String> {
-        Self::run_inner(config, workload, false).map(|(r, _)| r)
+        Self::run_inner(config, workload, false, EventMode::NextCompletion).map(|(r, _)| r)
     }
 
     /// Like [`Experiment::run`] but also records a full lifecycle
@@ -106,13 +135,37 @@ impl Experiment {
         config: &ClusterConfig,
         workload: &Workload,
     ) -> Result<(ExperimentResult, Trace), String> {
-        Self::run_inner(config, workload, true).map(|(r, t)| (r, t.expect("tracing was enabled")))
+        Self::run_inner(config, workload, true, EventMode::NextCompletion)
+            .map(|(r, t)| (r, t.expect("tracing was enabled")))
+    }
+
+    /// [`Experiment::run`] under the seed's per-offload event scheme.
+    ///
+    /// Kept as the differential oracle for the next-completion fast path:
+    /// results must be bit-identical to [`Experiment::run`] (asserted by
+    /// the `perf_sim` bench gate and the differential proptests). Not a
+    /// production entry point.
+    pub fn run_naive_events(
+        config: &ClusterConfig,
+        workload: &Workload,
+    ) -> Result<ExperimentResult, String> {
+        Self::run_inner(config, workload, false, EventMode::PerOffload).map(|(r, _)| r)
+    }
+
+    /// [`Experiment::run_traced`] under the seed's per-offload event scheme.
+    pub fn run_naive_events_traced(
+        config: &ClusterConfig,
+        workload: &Workload,
+    ) -> Result<(ExperimentResult, Trace), String> {
+        Self::run_inner(config, workload, true, EventMode::PerOffload)
+            .map(|(r, t)| (r, t.expect("tracing was enabled")))
     }
 
     fn run_inner(
         config: &ClusterConfig,
         workload: &Workload,
         traced: bool,
+        mode: EventMode,
     ) -> Result<(ExperimentResult, Option<Trace>), String> {
         config.validate()?;
         workload
@@ -150,11 +203,17 @@ impl Experiment {
             }
         }
 
-        let mut world = World::new(config, workload);
+        let mut world = World::new(config, workload, mode);
         if traced {
             world.trace = Some(Trace::new());
         }
-        let mut sim: Sim<Ev> = Sim::new();
+        // Pending events are dominated by jobs × lifecycle stages (arrive,
+        // cycle, dispatch, one live prediction per device/host); pre-size
+        // the heap so large experiments never pay growth reallocations.
+        let mut sim: Sim<Ev> = match mode {
+            EventMode::NextCompletion => Sim::with_capacity(workload.len() * 4 + 64),
+            EventMode::PerOffload => Sim::new(),
+        };
         for (idx, at) in workload.arrivals.iter().enumerate() {
             sim.schedule_at(*at, Ev::Arrive(idx));
         }
@@ -165,7 +224,22 @@ impl Experiment {
         world.next_cycle = Some(SimTime::ZERO);
         sim.schedule_at(SimTime::ZERO, Ev::Cycle(seq));
 
-        sim.run(|sim, ev| world.handle(sim, ev));
+        match mode {
+            EventMode::PerOffload => {
+                sim.run(|sim, ev| world.handle(sim, ev));
+            }
+            EventMode::NextCompletion => {
+                // Stale predictions never reach the handler: the liveness
+                // predicate drains them at pop time without advancing the
+                // clock or consuming event budget.
+                while !sim.budget_exhausted() {
+                    let Some(ev) = sim.step_live(|ev| world.event_is_live(ev)) else {
+                        break;
+                    };
+                    world.handle(&mut sim, ev);
+                }
+            }
+        }
 
         if !world.queue.all_terminal() {
             let (idle, matched, running) = world.queue.active_counts();
@@ -174,10 +248,7 @@ impl Experiment {
             ));
         }
         let trace = world.trace.take();
-        Ok((
-            world.into_result(config, workload, sim.events_processed()),
-            trace,
-        ))
+        Ok((world.into_result(config, workload), trace))
     }
 }
 
@@ -211,6 +282,18 @@ struct World<'a> {
     cycle_seq: u64,
     /// When the next cycle is due (None once the cluster drained).
     next_cycle: Option<SimTime>,
+    /// How completion predictions become events.
+    mode: EventMode,
+    /// Device generation a prediction event was last scheduled for
+    /// (next-completion mode only): repeated syncs within one generation
+    /// are no-ops, so each generation costs at most one heap push.
+    synced_dev_gen: BTreeMap<DevKey, u64>,
+    /// Host analog of `synced_dev_gen`.
+    synced_host_gen: BTreeMap<u32, u64>,
+    /// Events that passed the staleness guards and were actually handled.
+    /// Identical across event modes (stale deliveries are a scheme
+    /// artefact), so it is the mode-independent simulation-cost metric.
+    live_events: u64,
     rng_oom: DetRng,
     /// Lifecycle trace (None unless `run_traced` was used).
     trace: Option<Trace>,
@@ -226,7 +309,7 @@ struct World<'a> {
 }
 
 impl<'a> World<'a> {
-    fn new(cfg: &'a ClusterConfig, wl: &'a Workload) -> Self {
+    fn new(cfg: &'a ClusterConfig, wl: &'a Workload, mode: EventMode) -> Self {
         let mut collector = Collector::new();
         let mut startds = Vec::new();
         let mut devices = BTreeMap::new();
@@ -286,6 +369,10 @@ impl<'a> World<'a> {
             inflight_threads: BTreeMap::new(),
             cycle_seq: 0,
             next_cycle: None,
+            mode,
+            synced_dev_gen: BTreeMap::new(),
+            synced_host_gen: BTreeMap::new(),
+            live_events: 0,
             rng_oom: DetRng::substream(cfg.seed, "oom-killer"),
             trace: None,
             waits: Summary::new(),
@@ -310,7 +397,40 @@ impl<'a> World<'a> {
     // Event dispatch
     // ------------------------------------------------------------------
 
+    /// Whether `ev` would survive the handlers' staleness guards.
+    ///
+    /// This is the next-completion mode's pop-time liveness predicate and
+    /// the per-offload mode's pre-handler filter, so [`World::live_events`]
+    /// counts the same deliveries in both modes. A matching generation
+    /// implies the predicted entity is still active: every membership
+    /// change (start, finish, abort, attach, detach) bumps the generation,
+    /// so a generation-current prediction cannot name a departed job.
+    fn event_is_live(&self, ev: &Ev) -> bool {
+        match *ev {
+            Ev::Arrive(_) | Ev::Dispatch(_) => true,
+            Ev::Cycle(seq) => seq == self.cycle_seq,
+            Ev::HostDone {
+                node, generation, ..
+            } => self
+                .hosts
+                .get(&node)
+                .map(|h| h.generation() == generation)
+                .unwrap_or(false),
+            Ev::OffloadComplete {
+                key, generation, ..
+            } => self
+                .devices
+                .get(&key)
+                .map(|d| d.generation() == generation)
+                .unwrap_or(false),
+        }
+    }
+
     fn handle(&mut self, sim: &mut Sim<Ev>, ev: Ev) {
+        if !self.event_is_live(&ev) {
+            return; // stale delivery (per-offload mode only)
+        }
+        self.live_events += 1;
         match ev {
             Ev::Arrive(idx) => self.on_arrive(sim, idx),
             Ev::Cycle(seq) => self.on_cycle(sim, seq),
@@ -635,35 +755,83 @@ impl<'a> World<'a> {
         self.sync_completions(sim, key);
     }
 
-    /// (Re)schedule completion events for every active host phase on a node.
+    /// (Re)schedule completion prediction events for a node's host CPUs.
+    ///
+    /// Next-completion mode pushes the single earliest prediction;
+    /// per-offload mode pushes one event per active phase. Both push at
+    /// most once per generation: an in-bounds memory commit re-anchors the
+    /// progress integrator without bumping the generation, and a
+    /// prediction *recomputed* from the new anchor can land a
+    /// float-rounding tick away from the still-live issued one — re-pushed
+    /// it would race the original and make the two modes diverge.
     fn sync_host(&mut self, sim: &mut Sim<Ev>, node: u32) {
+        let generation = self.hosts.get(&node).expect("node exists").generation();
+        if self.synced_host_gen.insert(node, generation) == Some(generation) {
+            return; // this generation's predictions are already queued
+        }
         let host = self.hosts.get(&node).expect("node exists");
-        let generation = host.generation();
-        for (job, at) in host.completions() {
-            sim.schedule_at(
-                at,
-                Ev::HostDone {
-                    job,
-                    node,
-                    generation,
-                },
-            );
+        match self.mode {
+            EventMode::PerOffload => {
+                for (job, at) in host.completions() {
+                    sim.schedule_at(
+                        at,
+                        Ev::HostDone {
+                            job,
+                            node,
+                            generation,
+                        },
+                    );
+                }
+            }
+            EventMode::NextCompletion => {
+                if let Some((job, at)) = host.next_completion() {
+                    sim.schedule_at(
+                        at,
+                        Ev::HostDone {
+                            job,
+                            node,
+                            generation,
+                        },
+                    );
+                }
+            }
         }
     }
 
-    /// (Re)schedule completion events for every active offload on a device.
+    /// (Re)schedule completion prediction events for a device (see
+    /// [`World::sync_host`] for the per-mode and once-per-generation
+    /// contract).
     fn sync_completions(&mut self, sim: &mut Sim<Ev>, key: DevKey) {
+        let generation = self.devices.get(&key).expect("device exists").generation();
+        if self.synced_dev_gen.insert(key, generation) == Some(generation) {
+            return; // this generation's predictions are already queued
+        }
         let device = self.devices.get(&key).expect("device exists");
-        let generation = device.generation();
-        for (proc, at) in device.completions() {
-            sim.schedule_at(
-                at,
-                Ev::OffloadComplete {
-                    job: JobId(proc.raw()),
-                    key,
-                    generation,
-                },
-            );
+        match self.mode {
+            EventMode::PerOffload => {
+                for (proc, at) in device.completions() {
+                    sim.schedule_at(
+                        at,
+                        Ev::OffloadComplete {
+                            job: JobId(proc.raw()),
+                            key,
+                            generation,
+                        },
+                    );
+                }
+            }
+            EventMode::NextCompletion => {
+                if let Some((proc, at)) = device.next_completion() {
+                    sim.schedule_at(
+                        at,
+                        Ev::OffloadComplete {
+                            job: JobId(proc.raw()),
+                            key,
+                            generation,
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -862,7 +1030,7 @@ impl<'a> World<'a> {
                     devices_free += 1;
                 }
             }
-            startd.advertise(&mut self.collector, free_mem, devices_free);
+            startd.refresh(&mut self.collector, free_mem, devices_free);
         }
     }
 
@@ -915,12 +1083,7 @@ impl<'a> World<'a> {
     // Results
     // ------------------------------------------------------------------
 
-    fn into_result(
-        self,
-        cfg: &ClusterConfig,
-        wl: &Workload,
-        events_processed: u64,
-    ) -> ExperimentResult {
+    fn into_result(self, cfg: &ClusterConfig, wl: &Workload) -> ExperimentResult {
         let end = self.last_terminal;
         let n_dev = self.devices.len() as f64;
         let mut thread_util = 0.0;
@@ -976,7 +1139,7 @@ impl<'a> World<'a> {
             negotiation_cycles: self.negotiation_cycles,
             pins_issued: self.pins_issued,
             energy_kwh: energy_joules / 3.6e6,
-            events_processed,
+            events_processed: self.live_events,
         }
     }
 }
@@ -1043,6 +1206,21 @@ mod tests {
         let a = Experiment::run(&cfg, &wl).unwrap();
         let b = Experiment::run(&cfg, &wl).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn next_completion_mode_matches_per_offload_oracle() {
+        let wl = small_workload(40, 13);
+        for policy in [ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+            let cfg = fast_config(policy);
+            let (fast, fast_trace) = Experiment::run_traced(&cfg, &wl).unwrap();
+            let (naive, naive_trace) = Experiment::run_naive_events_traced(&cfg, &wl).unwrap();
+            assert_eq!(fast, naive, "{policy}: metrics diverged across event modes");
+            assert_eq!(
+                fast_trace.events, naive_trace.events,
+                "{policy}: traces diverged across event modes"
+            );
+        }
     }
 
     #[test]

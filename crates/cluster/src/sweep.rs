@@ -3,13 +3,15 @@
 //! Each figure-scale experiment is a grid of *independent* simulations
 //! (policy × distribution × cluster size × seed). Single simulations stay
 //! single-threaded for determinism; the sweep fans the grid out over worker
-//! threads with a crossbeam channel and collects results in submission
-//! order, so a sweep's output is as deterministic as a single run.
+//! threads with a crossbeam work channel, workers send `(index, outcome)`
+//! back on a result channel, and the collector reassembles submission order
+//! from the indices — so a sweep's output is as deterministic as a single
+//! run, and no lock is ever contended (each result is touched by exactly
+//! one worker and then the collector).
 
 use crate::config::ClusterConfig;
 use crate::metrics::ExperimentResult;
 use crate::runtime::Experiment;
-use parking_lot::Mutex;
 use phishare_workload::Workload;
 use std::sync::Arc;
 
@@ -43,24 +45,34 @@ pub fn run_sweep(
     }
     drop(tx);
 
-    type Slot = Option<(String, Result<ExperimentResult, String>)>;
-    let results: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| None).collect());
+    type Outcome = (usize, String, Result<ExperimentResult, String>);
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<Outcome>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let rx = rx.clone();
-            let results = &results;
+            let res_tx = res_tx.clone();
             scope.spawn(move || {
                 while let Ok((idx, job)) = rx.recv() {
                     let outcome = Experiment::run(&job.config, &job.workload);
-                    results.lock()[idx] = Some((job.label, outcome));
+                    res_tx
+                        .send((idx, job.label, outcome))
+                        .expect("open channel");
                 }
             });
         }
     });
+    drop(res_tx);
 
-    results
-        .into_inner()
+    // All workers have exited the scope; the indexed results reassemble
+    // submission order regardless of which worker finished when.
+    let mut slots: Vec<Option<(String, Result<ExperimentResult, String>)>> =
+        (0..n).map(|_| None).collect();
+    for (idx, label, outcome) in res_rx.iter() {
+        debug_assert!(slots[idx].is_none(), "sweep cell {idx} ran twice");
+        slots[idx] = Some((label, outcome));
+    }
+    slots
         .into_iter()
         .map(|slot| slot.expect("every sweep cell ran"))
         .collect()

@@ -1,0 +1,73 @@
+//! Differential oracle for the simulation fast path.
+//!
+//! [`Experiment::run`] schedules one completion prediction event per device
+//! (and host) per generation; [`Experiment::run_naive_events`] is the
+//! seed's per-offload scheme. The two must be *bit-identical* — same
+//! metrics, same trace, same audit — on arbitrary workloads, policies and
+//! cluster sizes. Any divergence means the fast path changed simulation
+//! semantics, not just simulation cost.
+
+use phishare_cluster::{audit, ClusterConfig, Experiment};
+use phishare_core::ClusterPolicy;
+use phishare_sim::SimDuration;
+use phishare_workload::{ArrivalProcess, WorkloadBuilder, WorkloadKind};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = ClusterPolicy> {
+    prop_oneof![
+        Just(ClusterPolicy::Mc),
+        Just(ClusterPolicy::Mcc),
+        Just(ClusterPolicy::Mcck),
+        Just(ClusterPolicy::Oracle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fast_and_naive_event_paths_are_bit_identical(
+        policy in arb_policy(),
+        nodes in 2u32..=4,
+        jobs in 8usize..=32,
+        seed in 0u64..500,
+        misbehaving in prop_oneof![Just(0.0f64), Just(0.3)],
+        poisson in any::<bool>(),
+    ) {
+        let mut builder = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(jobs)
+            .seed(seed)
+            .misbehaving_fraction(misbehaving);
+        if poisson {
+            builder = builder.arrivals(ArrivalProcess::Poisson {
+                mean_gap: SimDuration::from_secs(3),
+            });
+        }
+        let wl = builder.build();
+        let mut cfg = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+        cfg.knapsack.window = 64;
+
+        let fast = Experiment::run_traced(&cfg, &wl);
+        let naive = Experiment::run_naive_events_traced(&cfg, &wl);
+        match (fast, naive) {
+            (Ok((fast_result, fast_trace)), Ok((naive_result, naive_trace))) => {
+                prop_assert_eq!(
+                    &fast_result, &naive_result,
+                    "metrics diverged across event modes"
+                );
+                prop_assert_eq!(
+                    &fast_trace.events, &naive_trace.events,
+                    "traces diverged across event modes"
+                );
+                let fast_audit = audit(&cfg, &wl, &fast_result, &fast_trace);
+                let naive_audit = audit(&cfg, &wl, &naive_result, &naive_trace);
+                prop_assert_eq!(fast_audit, naive_audit, "audits diverged across event modes");
+            }
+            (fast, naive) => {
+                // Both paths must agree even on rejection (and the error
+                // strings are part of the contract).
+                prop_assert_eq!(fast.map(|(r, _)| r), naive.map(|(r, _)| r));
+            }
+        }
+    }
+}

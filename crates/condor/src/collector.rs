@@ -221,6 +221,43 @@ impl Collector {
         }
     }
 
+    /// Refresh the node-level Phi availability attributes of an existing
+    /// slot ad in place (`PhiFreeMemory`, `PhiDevicesFree`), keeping the
+    /// cached meta and the free-memory index coherent. Equivalent to
+    /// re-advertising the same machine ad with new availability numbers,
+    /// but skips rebuilding the ad's fixed attributes — and skips the
+    /// write entirely for values that already match. Returns `false` when
+    /// the slot has never been advertised (the caller must publish a full
+    /// ad first).
+    pub fn refresh_phi_availability(
+        &mut self,
+        slot: SlotId,
+        free_mem_mb: u64,
+        devices_free: u32,
+    ) -> bool {
+        let Some(status) = self.slots.get_mut(&slot) else {
+            return false;
+        };
+        let free = free_mem_mb as f64;
+        if status.meta.free_phi_mem != Some(free) {
+            status.ad.insert(attrs::PHI_FREE_MEMORY, free_mem_mb);
+            let old = status.meta.free_phi_mem;
+            status.meta.free_phi_mem = Some(free);
+            if !status.claimed {
+                if let Some(mem) = old {
+                    self.by_free_mem.remove(&(ord_f64(mem), slot));
+                }
+                self.by_free_mem.insert((ord_f64(free), slot));
+            }
+        }
+        if status.ad.get(attrs::PHI_DEVICES_FREE) != Some(&Value::Int(devices_free as i64)) {
+            status
+                .ad
+                .insert(attrs::PHI_DEVICES_FREE, devices_free as i64);
+        }
+        true
+    }
+
     /// Mark a slot claimed. Returns false if it was already claimed.
     pub fn claim(&mut self, slot: SlotId) -> bool {
         match self.slots.get_mut(&slot) {

@@ -5,7 +5,7 @@ use phishare_classad::parser::ParseError;
 use phishare_classad::{ClassAd, CompiledReq, Value};
 use phishare_sim::SimTime;
 use phishare_workload::JobId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Lifecycle of a queued job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +54,8 @@ pub struct QueuedJob {
     /// every qedit (expression *or* value — value edits change the MY-side
     /// constants folded into the compilation).
     compiled: CompiledReq,
+    /// FIFO position (submission order), keying the per-state indexes.
+    pos: usize,
 }
 
 impl QueuedJob {
@@ -64,10 +66,21 @@ impl QueuedJob {
 }
 
 /// The schedd queue: FIFO submit order with per-job state.
+///
+/// Negotiation cycles enumerate idle (and external schedulers held) jobs
+/// every few simulated seconds; scanning the whole FIFO for them made the
+/// scan O(all jobs ever submitted) per cycle. The queue therefore keeps
+/// per-state indexes, ordered by FIFO position, that every state
+/// transition maintains incrementally.
 #[derive(Debug, Default, Clone)]
 pub struct JobQueue {
     jobs: BTreeMap<JobId, QueuedJob>,
     fifo: Vec<JobId>,
+    /// Idle jobs as `(fifo position, id)` — what matchmaking scans.
+    idle: BTreeSet<(usize, JobId)>,
+    /// Held jobs as `(fifo position, id)` — what external schedulers plan
+    /// over.
+    held: BTreeSet<(usize, JobId)>,
 }
 
 /// Errors from queue operations.
@@ -131,6 +144,7 @@ impl JobQueue {
             return Err(QueueError::Duplicate(id));
         }
         let compiled = CompiledReq::compile(&ad);
+        let pos = self.fifo.len();
         self.jobs.insert(
             id,
             QueuedJob {
@@ -139,9 +153,19 @@ impl JobQueue {
                 state,
                 submitted: now,
                 compiled,
+                pos,
             },
         );
         self.fifo.push(id);
+        match state {
+            JobState::Idle => {
+                self.idle.insert((pos, id));
+            }
+            JobState::Held => {
+                self.held.insert((pos, id));
+            }
+            _ => {}
+        }
         Ok(())
     }
 
@@ -162,12 +186,9 @@ impl JobQueue {
     }
 
     /// Held jobs in FIFO order — what an external scheduler plans over.
+    /// O(held), not O(all jobs), via the incrementally maintained index.
     pub fn held(&self) -> Vec<JobId> {
-        self.fifo
-            .iter()
-            .filter(|id| matches!(self.jobs[id].state, JobState::Held))
-            .copied()
-            .collect()
+        self.held.iter().map(|&(_, id)| id).collect()
     }
 
     /// `condor_qedit`: replace an expression attribute (e.g. `Requirements`)
@@ -206,12 +227,9 @@ impl JobQueue {
     }
 
     /// Idle jobs in FIFO order — what a negotiation cycle examines.
+    /// O(idle), not O(all jobs), via the incrementally maintained index.
     pub fn pending(&self) -> Vec<JobId> {
-        self.fifo
-            .iter()
-            .filter(|id| self.jobs[id].state.is_idle())
-            .copied()
-            .collect()
+        self.idle.iter().map(|&(_, id)| id).collect()
     }
 
     /// Number of jobs in each non-terminal state `(idle, matched, running)`.
@@ -278,7 +296,26 @@ impl JobQueue {
         let job = self.jobs.get_mut(&id).ok_or(QueueError::Unknown(id))?;
         match f(job.state) {
             Ok(next) => {
+                let (prev, pos) = (job.state, job.pos);
                 job.state = next;
+                match prev {
+                    JobState::Idle => {
+                        self.idle.remove(&(pos, id));
+                    }
+                    JobState::Held => {
+                        self.held.remove(&(pos, id));
+                    }
+                    _ => {}
+                }
+                match next {
+                    JobState::Idle => {
+                        self.idle.insert((pos, id));
+                    }
+                    JobState::Held => {
+                        self.held.insert((pos, id));
+                    }
+                    _ => {}
+                }
                 Ok(())
             }
             Err(detail) => Err(QueueError::BadTransition { job: id, detail }),
@@ -306,6 +343,41 @@ mod tests {
     fn pending_is_fifo() {
         let q = queue_with(5);
         assert_eq!(q.pending(), (0..5).map(JobId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn state_indexes_track_every_transition() {
+        let mut q = JobQueue::new();
+        // Interleave held and idle submissions; FIFO order must hold
+        // within each index regardless of id numbering.
+        q.submit_held(JobId(7), ClassAd::new(), SimTime::ZERO)
+            .unwrap();
+        q.submit(JobId(3), ClassAd::new(), SimTime::ZERO).unwrap();
+        q.submit_held(JobId(1), ClassAd::new(), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(q.held(), vec![JobId(7), JobId(1)]);
+        assert_eq!(q.pending(), vec![JobId(3)]);
+
+        q.release(JobId(1)).unwrap();
+        assert_eq!(q.held(), vec![JobId(7)]);
+        // Submission (FIFO) order, not release order.
+        assert_eq!(q.pending(), vec![JobId(3), JobId(1)]);
+
+        q.hold(JobId(3)).unwrap();
+        assert_eq!(q.held(), vec![JobId(7), JobId(3)]);
+        assert_eq!(q.pending(), vec![JobId(1)]);
+
+        q.set_matched(JobId(1), slot(1, 1)).unwrap();
+        assert!(q.pending().is_empty());
+        q.set_running(JobId(1)).unwrap();
+        q.set_completed(JobId(1)).unwrap();
+        q.release(JobId(3)).unwrap();
+        q.set_removed(JobId(3)).unwrap();
+        assert!(q.pending().is_empty());
+        assert_eq!(q.held(), vec![JobId(7)]);
+        q.set_removed(JobId(7)).unwrap();
+        assert!(q.held().is_empty());
+        assert!(q.all_terminal());
     }
 
     #[test]

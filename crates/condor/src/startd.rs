@@ -48,6 +48,35 @@ impl Startd {
             .collect()
     }
 
+    /// Refresh this node's slot ads in place with current Phi availability.
+    ///
+    /// A slot ad is a fixed machine description plus two mutable
+    /// availability numbers; rebuilding the whole ad for every slot on
+    /// every negotiation cycle dominated experiment wall time, so this
+    /// touches only the two numbers (publishing a full ad the first time a
+    /// slot is seen). The resulting collector state is identical to a full
+    /// [`Startd::advertise`].
+    pub fn refresh(
+        &self,
+        collector: &mut Collector,
+        phi_free_memory_mb: u64,
+        phi_devices_free: u32,
+    ) {
+        for slot in self.slot_ids() {
+            if !collector.refresh_phi_availability(slot, phi_free_memory_mb, phi_devices_free) {
+                let ad = attrs::machine_ad(
+                    &slot.name(),
+                    &self.node_name(),
+                    self.phi_devices,
+                    self.phi_card_memory_mb,
+                    phi_free_memory_mb,
+                    phi_devices_free,
+                );
+                collector.advertise(slot, ad);
+            }
+        }
+    }
+
     /// Publish (or refresh) all this node's slot ads with the given current
     /// Phi availability.
     pub fn advertise(
@@ -106,5 +135,31 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         let _ = Startd::new(1, 0, 1, 8192);
+    }
+
+    #[test]
+    fn refresh_is_equivalent_to_full_advertise() {
+        let startd = Startd::new(2, 4, 2, 8192);
+        let mut advertised = Collector::new();
+        let mut refreshed = Collector::new();
+
+        // First publication: refresh falls back to full ads.
+        startd.advertise(&mut advertised, 7680, 2);
+        startd.refresh(&mut refreshed, 7680, 2);
+        assert_eq!(advertised, refreshed);
+
+        // Claims must survive either update path.
+        assert!(advertised.claim(SlotId { node: 2, slot: 1 }));
+        assert!(refreshed.claim(SlotId { node: 2, slot: 1 }));
+
+        startd.advertise(&mut advertised, 512, 0);
+        startd.refresh(&mut refreshed, 512, 0);
+        assert_eq!(advertised, refreshed);
+
+        // Unchanged values: the in-place path skips the writes but the
+        // observable state still matches a full re-advertise.
+        startd.advertise(&mut advertised, 512, 0);
+        startd.refresh(&mut refreshed, 512, 0);
+        assert_eq!(advertised, refreshed);
     }
 }

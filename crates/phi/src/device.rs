@@ -176,7 +176,11 @@ impl PhiDevice {
                 committed_mem_mb: 0,
             },
         );
-        self.commit_memory(now, proc, initial_commit_mb, rng)
+        let outcome = self.commit_memory(now, proc, initial_commit_mb, rng);
+        // Residency changed either way (attach, possibly minus OOM
+        // victims): rates must be refreshed even when the commit fit.
+        self.reschedule(now);
+        outcome
     }
 
     /// Detach a process, freeing its memory and aborting any active offload.
@@ -210,18 +214,34 @@ impl PhiDevice {
         }
         let mut killed = Vec::new();
         while self.committed_total_mb() > self.cfg.usable_mem_mb() {
-            let victims: Vec<ProcId> = self.procs.keys().copied().collect();
-            debug_assert!(!victims.is_empty());
-            let victim = *rng.choose(&victims);
+            let n = self.procs.len();
+            debug_assert!(n > 0);
+            // Uniform victim without materializing the id list (draws the
+            // same index stream `choose` over a collected Vec would).
+            let victim = self
+                .resident_ids_iter()
+                .nth(rng.index(n))
+                .expect("resident set is non-empty");
             self.active.remove(&victim);
             self.procs.remove(&victim);
             self.oom_kills.incr();
             killed.push(victim);
         }
-        self.reschedule(now);
         if killed.is_empty() {
+            // Execution rates depend only on membership (active offloads,
+            // residents, thread sums), which an in-bounds commit leaves
+            // untouched: pending completion predictions stay valid, so no
+            // generation bump and no rate recompute — only the
+            // committed-memory signal moved. (The advance re-anchors
+            // `last_update`, so *recomputing* a prediction after it can
+            // land a float-rounding tick away from the still-live issued
+            // one — which is why the runtime never re-syncs within a
+            // generation.)
+            self.advance_to(now);
+            self.record_utilization(now);
             Ok(CommitOutcome::Fits)
         } else {
+            self.reschedule(now);
             Ok(CommitOutcome::OomKilled(killed))
         }
     }
@@ -304,6 +324,12 @@ impl PhiDevice {
 
     /// Predicted completion instants for all active offloads under current
     /// rates, paired with the device generation the prediction is valid for.
+    ///
+    /// Allocates one `Vec` per call; event loops on the fast path should
+    /// use [`PhiDevice::next_completion`] instead and re-query after every
+    /// completion. Retained as the naive per-offload scheduling API (the
+    /// differential oracle's cost model) and for inspection in tests and
+    /// examples.
     pub fn completions(&self) -> Vec<(ProcId, SimTime)> {
         self.active
             .iter()
@@ -312,6 +338,28 @@ impl PhiDevice {
                 (*proc, self.last_update + SimDuration::from_ticks(dt))
             })
             .collect()
+    }
+
+    /// The earliest predicted completion under current rates, without
+    /// allocating: `(proc, instant)` of the next offload to finish, or
+    /// `None` when the device is idle. Ties go to the lowest [`ProcId`] —
+    /// the same order per-offload events fire in when scheduled from
+    /// [`PhiDevice::completions`], so the two scheduling schemes stay
+    /// step-for-step equivalent.
+    ///
+    /// Valid for the current [`PhiDevice::generation`]; any mutation that
+    /// bumps the generation invalidates the prediction and the caller must
+    /// re-query.
+    pub fn next_completion(&self) -> Option<(ProcId, SimTime)> {
+        let mut best: Option<(ProcId, SimTime)> = None;
+        for (proc, off) in &self.active {
+            let dt = (off.remaining / off.rate).ceil().max(0.0) as u64;
+            let at = self.last_update + SimDuration::from_ticks(dt);
+            if best.map(|(_, b)| at < b).unwrap_or(true) {
+                best = Some((*proc, at));
+            }
+        }
+        best
     }
 
     // ------------------------------------------------------------------
@@ -326,11 +374,18 @@ impl PhiDevice {
         let n_resident = self.procs.len();
         let active_threads = self.active_threads();
         let hw = self.cfg.hw_threads();
-        for off in self.active.values_mut() {
-            let pinned = matches!(off.affinity, Affinity::Pinned(_));
-            off.rate =
+        if n_active > 0 {
+            // All active offloads share one of exactly two rates — compute
+            // both once instead of once per offload.
+            let (rate_pinned, rate_unmanaged) =
                 self.perf
-                    .offload_rate(pinned, n_active.max(1), n_resident, active_threads, hw);
+                    .offload_rates(n_active, n_resident, active_threads, hw);
+            for off in self.active.values_mut() {
+                off.rate = match off.affinity {
+                    Affinity::Pinned(_) => rate_pinned,
+                    Affinity::Unmanaged => rate_unmanaged,
+                };
+            }
         }
         self.generation += 1;
         self.record_utilization(now);
@@ -348,13 +403,25 @@ impl PhiDevice {
     }
 
     fn record_utilization(&mut self, now: SimTime) {
+        // Each signal is piecewise constant, so re-setting an unchanged
+        // value only restates the current segment — skip those updates.
         let hw = self.cfg.hw_threads();
-        self.busy_threads
-            .set(now, self.active_threads().min(hw) as f64);
-        self.busy_cores.set(now, self.busy_core_estimate() as f64);
-        self.committed.set(now, self.committed_total_mb() as f64);
-        self.busy_any
-            .set(now, if self.active.is_empty() { 0.0 } else { 1.0 });
+        let threads = self.active_threads().min(hw) as f64;
+        if threads != self.busy_threads.value() {
+            self.busy_threads.set(now, threads);
+        }
+        let cores = self.busy_core_estimate() as f64;
+        if cores != self.busy_cores.value() {
+            self.busy_cores.set(now, cores);
+        }
+        let committed = self.committed_total_mb() as f64;
+        if committed != self.committed.value() {
+            self.committed.set(now, committed);
+        }
+        let busy = if self.active.is_empty() { 0.0 } else { 1.0 };
+        if busy != self.busy_any.value() {
+            self.busy_any.set(now, busy);
+        }
     }
 
     /// Estimated number of busy cores: pinned offloads occupy exactly their
@@ -393,9 +460,15 @@ impl PhiDevice {
         self.active.contains_key(&proc)
     }
 
-    /// Resident process ids in ascending order.
+    /// Resident process ids in ascending order, without allocating.
+    pub fn resident_ids_iter(&self) -> impl Iterator<Item = ProcId> + '_ {
+        self.procs.keys().copied()
+    }
+
+    /// Resident process ids in ascending order. Hot loops should prefer
+    /// [`PhiDevice::resident_ids_iter`].
     pub fn resident_ids(&self) -> Vec<ProcId> {
-        self.procs.keys().copied().collect()
+        self.resident_ids_iter().collect()
     }
 
     /// Sum of declared memory over resident processes (MB) — what schedulers
@@ -668,6 +741,90 @@ mod tests {
         )
         .unwrap();
         assert!(d.generation() > g1);
+    }
+
+    #[test]
+    fn next_completion_matches_earliest_prediction() {
+        let mut d = dev();
+        let mut r = rng();
+        assert_eq!(d.next_completion(), None);
+        for (p, secs) in [(1u64, 30), (2, 10), (3, 20)] {
+            d.attach(t(0), ProcId(p), 500, 60, 100, &mut r).unwrap();
+            d.start_offload(
+                t(0),
+                ProcId(p),
+                60,
+                SimDuration::from_secs(secs),
+                Affinity::Unmanaged,
+            )
+            .unwrap();
+        }
+        let next = d.next_completion().unwrap();
+        let earliest = d
+            .completions()
+            .into_iter()
+            .min_by_key(|&(p, at)| (at, p))
+            .unwrap();
+        assert_eq!(next, earliest);
+        assert_eq!(next.0, ProcId(2));
+    }
+
+    #[test]
+    fn next_completion_ties_break_to_lowest_proc() {
+        let mut d = dev();
+        let mut r = rng();
+        for p in [5u64, 2, 9] {
+            d.attach(t(0), ProcId(p), 500, 60, 100, &mut r).unwrap();
+            d.start_offload(
+                t(0),
+                ProcId(p),
+                60,
+                SimDuration::from_secs(10),
+                Affinity::Unmanaged,
+            )
+            .unwrap();
+        }
+        // All three predictions coincide; the lowest ProcId wins — the
+        // order per-offload events would fire in.
+        assert_eq!(d.next_completion().unwrap().0, ProcId(2));
+    }
+
+    #[test]
+    fn in_bounds_commit_preserves_generation_and_predictions() {
+        let mut d = dev();
+        let mut r = rng();
+        d.attach(t(0), ProcId(1), 2000, 60, 100, &mut r).unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            60,
+            SimDuration::from_secs(10),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
+        let g = d.generation();
+        let before = d.next_completion();
+        // A commit that fits changes no execution rate: the pending
+        // completion event must stay valid (no generation bump).
+        assert_eq!(
+            d.commit_memory(t(2), ProcId(1), 1500, &mut r).unwrap(),
+            CommitOutcome::Fits
+        );
+        assert_eq!(d.generation(), g);
+        assert_eq!(d.next_completion(), before);
+        assert_eq!(d.committed_total_mb(), 1500);
+    }
+
+    #[test]
+    fn resident_ids_iter_matches_vec_variant() {
+        let mut d = dev();
+        let mut r = rng();
+        for p in [4u64, 1, 3] {
+            d.attach(t(0), ProcId(p), 100, 60, 0, &mut r).unwrap();
+        }
+        let from_iter: Vec<ProcId> = d.resident_ids_iter().collect();
+        assert_eq!(from_iter, d.resident_ids());
+        assert_eq!(from_iter, vec![ProcId(1), ProcId(3), ProcId(4)]);
     }
 
     #[test]

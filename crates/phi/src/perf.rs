@@ -94,6 +94,31 @@ impl PerfModel {
         let sharing = 1.0 + self.resident_penalty * excess * excess;
         (1.0 / (oversub * conflict * sharing)).max(self.min_rate)
     }
+
+    /// Both rates a device state admits, as `(pinned, unmanaged)`.
+    ///
+    /// Every factor of [`PerfModel::offload_rate`] depends only on
+    /// device-wide aggregates, never on the individual offload — all active
+    /// offloads share one of exactly two rates. A reschedule therefore
+    /// needs two rate computations, not one per offload. Bit-identical to
+    /// calling `offload_rate` twice (the factor products are evaluated in
+    /// the same order).
+    pub fn offload_rates(
+        &self,
+        n_active: usize,
+        n_resident: usize,
+        active_threads: u32,
+        hw_threads: u32,
+    ) -> (f64, f64) {
+        debug_assert!(n_active >= 1);
+        let oversub = self.oversub_factor(active_threads, hw_threads);
+        let excess = n_resident.saturating_sub(self.resident_knee as usize) as f64;
+        let sharing = 1.0 + self.resident_penalty * excess * excess;
+        let conflict = 1.0 + self.conflict_penalty * (n_active as f64 - 1.0);
+        let pinned = (1.0 / (oversub * 1.0 * sharing)).max(self.min_rate);
+        let unmanaged = (1.0 / (oversub * conflict * sharing)).max(self.min_rate);
+        (pinned, unmanaged)
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +183,30 @@ mod tests {
         // The sweet spot is flat: 2 and 4 residents run equally fast.
         assert_eq!(m.offload_rate(true, 1, 2, 120, 240), 1.0);
         assert_eq!(m.offload_rate(true, 1, 4, 120, 240), 1.0);
+    }
+
+    #[test]
+    fn memoized_rate_pair_is_bit_identical_to_per_offload_rates() {
+        let m = PerfModel::default();
+        for n_active in 1usize..=12 {
+            for n_resident in n_active..=16 {
+                for threads in [60u32, 240, 480, 960, 24_000] {
+                    let (pinned, unmanaged) = m.offload_rates(n_active, n_resident, threads, 240);
+                    assert_eq!(
+                        pinned.to_bits(),
+                        m.offload_rate(true, n_active, n_resident, threads, 240)
+                            .to_bits(),
+                        "pinned rate diverged at ({n_active}, {n_resident}, {threads})"
+                    );
+                    assert_eq!(
+                        unmanaged.to_bits(),
+                        m.offload_rate(false, n_active, n_resident, threads, 240)
+                            .to_bits(),
+                        "unmanaged rate diverged at ({n_active}, {n_resident}, {threads})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -138,7 +138,81 @@ proptest! {
             // advancing between mutations — as `Op::Advance` does here —
             // legitimately passes a pending prediction.)
             prop_assert_eq!(device.completions().len(), device.active_offloads());
+            // The fast path's single prediction is always the per-offload
+            // scheme's earliest event: min by (time, proc), because
+            // per-offload events are pushed in ascending-proc order and
+            // same-tick events fire in push order.
+            let naive_next = device
+                .completions()
+                .into_iter()
+                .min_by_key(|&(p, at)| (at, p));
+            prop_assert_eq!(device.next_completion(), naive_next);
         }
+    }
+
+    /// Driving the device solely through `next_completion()` — the fast
+    /// path's contract — under random mid-offload aborts: an aborted
+    /// offload never surfaces as a live prediction, every survivor is
+    /// delivered exactly once, and each delivery lands with its nominal
+    /// work fully integrated (`finish_offload` debug-asserts the remaining
+    /// work is below one tick's worth, so a prediction that lost progress
+    /// would panic here).
+    #[test]
+    fn next_completion_drains_under_random_aborts(
+        works in prop::collection::vec(1u64..50, 1..6),
+        abort_mask in prop::collection::vec(any::<bool>(), 6),
+        seed in 0u64..1000,
+    ) {
+        let cfg = PhiConfig::default();
+        let mut device = PhiDevice::new(cfg, PerfModel::default(), SimTime::ZERO);
+        let mut rng = DetRng::from_seed(seed);
+        let n = works.len();
+        for (i, w) in works.iter().enumerate() {
+            device
+                .attach(SimTime::ZERO, ProcId(i as u64), 200, 60, 50, &mut rng)
+                .unwrap();
+            device
+                .start_offload(
+                    SimTime::ZERO,
+                    ProcId(i as u64),
+                    60,
+                    SimDuration::from_secs(*w),
+                    Affinity::Unmanaged,
+                )
+                .unwrap();
+        }
+
+        // Abort the masked subset strictly before the earliest prediction.
+        let first_at = device.next_completion().expect("offloads active").1;
+        let mid = SimTime::from_ticks(first_at.ticks() / 2);
+        let aborted: Vec<bool> = abort_mask.into_iter().take(n).collect();
+        for (i, &kill) in aborted.iter().enumerate() {
+            if kill {
+                device.abort_offload(mid, ProcId(i as u64)).unwrap();
+                prop_assert!(
+                    device.completions().iter().all(|(p, _)| p.raw() != i as u64),
+                    "aborted offload still predicted"
+                );
+            }
+        }
+
+        // Drain: deliver predictions one at a time, exactly as the
+        // next-completion runtime does.
+        let mut finished = 0usize;
+        while let Some((proc, at)) = device.next_completion() {
+            prop_assert!(
+                !aborted[proc.raw() as usize],
+                "aborted offload surfaced as a live prediction"
+            );
+            device.finish_offload(at, proc).unwrap();
+            finished += 1;
+            prop_assert!(finished <= n, "an offload was delivered twice");
+        }
+
+        let survivors = aborted.iter().filter(|a| !**a).count();
+        prop_assert_eq!(finished, survivors);
+        prop_assert_eq!(device.active_offloads(), 0);
+        prop_assert_eq!(device.offloads_completed.get(), survivors as u64);
     }
 
     /// Work conservation for a solo pinned offload: completion time equals

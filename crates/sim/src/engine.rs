@@ -73,6 +73,24 @@ impl<E> Sim<E> {
         }
     }
 
+    /// Create a simulator whose event queue is pre-sized for `cap` pending
+    /// events. Workload-scale drivers know a good bound up front (events
+    /// are dominated by jobs × lifecycle stages), so pre-sizing avoids the
+    /// heap's growth reallocations on large experiments.
+    pub fn with_capacity(cap: usize) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity(cap),
+            events_processed: 0,
+            event_budget: DEFAULT_EVENT_BUDGET,
+        }
+    }
+
+    /// Grow the event queue for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
     /// Replace the runaway-guard event budget.
     pub fn with_event_budget(mut self, budget: u64) -> Self {
         self.event_budget = budget;
@@ -126,6 +144,31 @@ impl<E> Sim<E> {
         self.now = time;
         self.events_processed += 1;
         Some(event)
+    }
+
+    /// Pop the earliest event for which `is_live` holds, lazily draining
+    /// stale (abandoned-prediction) entries without dispatching them.
+    ///
+    /// Drained entries advance neither the clock nor the processed-event
+    /// count — only the returned live event does. This is the fast-path
+    /// driver for next-completion scheduling: the caller's staleness
+    /// predicate replaces per-event generation checks in the handler.
+    pub fn step_live(&mut self, is_live: impl FnMut(&E) -> bool) -> Option<E> {
+        let (time, event) = self.queue.pop_live(is_live)?;
+        debug_assert!(time >= self.now, "event queue produced a past event");
+        self.now = time;
+        self.events_processed += 1;
+        Some(event)
+    }
+
+    /// Stale entries lazily discarded by [`Sim::step_live`].
+    pub fn stale_drained(&self) -> u64 {
+        self.queue.stale_drained()
+    }
+
+    /// True once the runaway-guard event budget has been consumed.
+    pub fn budget_exhausted(&self) -> bool {
+        self.events_processed >= self.event_budget
     }
 
     /// Drive the simulation until the queue drains, passing each event to
@@ -232,6 +275,24 @@ mod tests {
         sim.schedule_at(SimTime::from_secs(3), Ev::Tick(3));
         sim.step();
         sim.schedule_at(SimTime::from_secs(1), Ev::Tick(1));
+    }
+
+    #[test]
+    fn step_live_skips_stale_without_processing_them() {
+        let mut sim = Sim::with_capacity(8);
+        sim.schedule_at(SimTime::from_secs(1), Ev::Tick(0)); // stale
+        sim.schedule_at(SimTime::from_secs(2), Ev::Tick(7));
+        sim.schedule_at(SimTime::from_secs(3), Ev::Tick(0)); // stale
+        let live = sim.step_live(|Ev::Tick(n)| *n != 0);
+        assert_eq!(live, Some(Ev::Tick(7)));
+        // The clock lands on the live event; the drained entry counted
+        // separately and not as a processed event.
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        assert_eq!(sim.events_processed(), 1);
+        assert_eq!(sim.stale_drained(), 1);
+        assert_eq!(sim.step_live(|Ev::Tick(n)| *n != 0), None);
+        assert_eq!(sim.stale_drained(), 2);
+        assert!(!sim.budget_exhausted());
     }
 
     #[test]

@@ -54,10 +54,20 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "c")));
 /// assert_eq!(q.pop(), None);
 /// ```
+///
+/// ## Stale entries
+///
+/// Rate-rescaling simulations cancel predictions by *abandoning* them: a
+/// reschedule leaves the old completion event in the heap and relies on a
+/// generation check to drop it when it surfaces. [`EventQueue::pop_live`]
+/// supports that pattern directly — it drains abandoned entries lazily at
+/// pop time (each costs one `O(log n)` pop, never a re-heapify) and counts
+/// them in [`EventQueue::stale_drained`].
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    stale_drained: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -72,6 +82,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            stale_drained: 0,
         }
     }
 
@@ -80,7 +91,18 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
+            stale_drained: 0,
         }
+    }
+
+    /// Grow the backing storage for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Events the queue can hold before reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// Schedule `event` to fire at `time`. Events for equal times fire in
@@ -94,6 +116,25 @@ impl<E> EventQueue<E> {
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Remove and return the earliest event for which `is_live` holds,
+    /// draining any stale entries encountered on the way without handing
+    /// them to the caller. Drained entries are tallied in
+    /// [`EventQueue::stale_drained`].
+    pub fn pop_live(&mut self, mut is_live: impl FnMut(&E) -> bool) -> Option<(SimTime, E)> {
+        while let Some(e) = self.heap.pop() {
+            if is_live(&e.event) {
+                return Some((e.time, e.event));
+            }
+            self.stale_drained += 1;
+        }
+        None
+    }
+
+    /// Total stale entries lazily drained by [`EventQueue::pop_live`].
+    pub fn stale_drained(&self) -> u64 {
+        self.stale_drained
     }
 
     /// The time of the earliest pending event without removing it.
@@ -178,6 +219,39 @@ mod tests {
         q.push(t(1), 3);
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn pop_live_drains_stale_entries_lazily() {
+        let mut q = EventQueue::new();
+        q.push(t(1), -1);
+        q.push(t(2), 20);
+        q.push(t(3), -3);
+        q.push(t(4), 40);
+        // Negative payloads are stale; they are only discarded as they
+        // surface, and never reach the caller.
+        assert_eq!(q.pop_live(|e| *e >= 0), Some((t(2), 20)));
+        assert_eq!(q.stale_drained(), 1);
+        assert_eq!(q.pop_live(|e| *e >= 0), Some((t(4), 40)));
+        assert_eq!(q.stale_drained(), 2);
+        assert_eq!(q.pop_live(|e| *e >= 0), None);
+        assert_eq!(q.stale_drained(), 2);
+    }
+
+    #[test]
+    fn clear_reuses_capacity() {
+        let mut q = EventQueue::with_capacity(64);
+        let cap = q.capacity();
+        assert!(cap >= 64);
+        for i in 0..64 {
+            q.push(t(i), i);
+        }
+        q.clear();
+        // Clearing keeps the allocation: a cancelled generation costs no
+        // reallocation when the next one fills back up.
+        assert_eq!(q.capacity(), cap);
+        q.reserve(128);
+        assert!(q.capacity() >= 128);
     }
 
     #[test]
