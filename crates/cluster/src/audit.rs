@@ -12,7 +12,7 @@ use crate::metrics::ExperimentResult;
 use crate::trace::{Trace, TraceEvent};
 use phishare_core::ClusterPolicy;
 use phishare_workload::{JobId, Workload};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Audit a traced run; returns human-readable violations (empty = clean).
 pub fn audit(
@@ -25,10 +25,18 @@ pub fn audit(
     let mut complain = |msg: String| violations.push(msg);
 
     // --- accounting ---
-    if result.completed + result.container_kills + result.oom_kills != result.jobs {
+    // Every submitted job ends exactly one way: completed, killed by a
+    // container or the OOM killer, or held after exhausting fault retries.
+    let accounted =
+        result.completed + result.container_kills + result.oom_kills + result.held_after_retries;
+    if accounted != result.jobs {
         complain(format!(
-            "job accounting leak: {} completed + {} container + {} oom ≠ {} submitted",
-            result.completed, result.container_kills, result.oom_kills, result.jobs
+            "job accounting leak: {} completed + {} container + {} oom + {} held ≠ {} submitted",
+            result.completed,
+            result.container_kills,
+            result.oom_kills,
+            result.held_after_retries,
+            result.jobs
         ));
     }
     if result.jobs != workload.len() {
@@ -51,11 +59,13 @@ pub fn audit(
             result.completed
         ));
     }
-    if let Some(last) = trace.events.last() {
+    // Makespan is the last job-lifecycle event; infrastructure events
+    // (a recovery firing after the last completion) may legitimately trail.
+    if let Some(last) = trace.events.iter().rfind(|e| e.job().is_some()) {
         let gap = (last.at().as_secs_f64() - result.makespan_secs).abs();
         if gap > 1e-6 {
             complain(format!(
-                "makespan {} disagrees with the trace's last event at {}",
+                "makespan {} disagrees with the trace's last job event at {}",
                 result.makespan_secs,
                 last.at().as_secs_f64()
             ));
@@ -102,6 +112,86 @@ pub fn audit(
         }
     }
 
+    // --- fault/recovery pairing & churn-time consistency ---
+    // Every injected fault that struck must be matched by exactly one
+    // recovery, targets never strike while already down, the trace counts
+    // must agree with the result counters, and no job may dispatch to a
+    // target that is down at that instant. The sweep keeps live down-state
+    // while walking the (chronological) trace.
+    let mut down_devs: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut down_nodes: BTreeSet<u32> = BTreeSet::new();
+    let mut resets = 0u64;
+    let mut churns = 0u64;
+    let mut requeues = 0u64;
+    let mut max_retry_holds = 0usize;
+    for ev in &trace.events {
+        match ev {
+            TraceEvent::DeviceReset { node, device, at } => {
+                resets += 1;
+                if down_nodes.contains(node) || !down_devs.insert((*node, *device)) {
+                    complain(format!(
+                        "device ({node}, {device}) reset at {at} while already down"
+                    ));
+                }
+            }
+            TraceEvent::DeviceRecovered { node, device, at } => {
+                let was_down = down_devs.remove(&(*node, *device));
+                if !was_down {
+                    complain(format!(
+                        "device ({node}, {device}) recovered at {at} without a reset"
+                    ));
+                }
+            }
+            TraceEvent::NodeDown { node, at } => {
+                churns += 1;
+                if !down_nodes.insert(*node) {
+                    complain(format!("node {node} went down at {at} while already down"));
+                }
+            }
+            TraceEvent::NodeUp { node, at } => {
+                let was_down = down_nodes.remove(node);
+                if !was_down {
+                    complain(format!("node {node} came up at {at} without going down"));
+                }
+            }
+            TraceEvent::Dispatched {
+                job,
+                node,
+                device,
+                at,
+            } if down_nodes.contains(node) || down_devs.contains(&(*node, *device)) => {
+                complain(format!(
+                    "{job} dispatched to down target ({node}, {device}) at {at}"
+                ));
+            }
+            TraceEvent::Requeued { .. } => requeues += 1,
+            TraceEvent::HeldMaxRetries { .. } => max_retry_holds += 1,
+            _ => {}
+        }
+    }
+    for (node, device) in &down_devs {
+        complain(format!("device ({node}, {device}) never recovered"));
+    }
+    for node in &down_nodes {
+        complain(format!("node {node} never came back up"));
+    }
+    for (what, traced, reported) in [
+        ("device resets", resets, result.device_resets),
+        ("node churns", churns, result.node_churns),
+        ("retries", requeues, result.retries),
+        (
+            "max-retry holds",
+            max_retry_holds as u64,
+            result.held_after_retries as u64,
+        ),
+    ] {
+        if traced != reported {
+            complain(format!(
+                "trace has {traced} {what}, result reports {reported}"
+            ));
+        }
+    }
+
     // --- per-job lifecycle shape ---
     #[derive(Default)]
     struct Shape {
@@ -111,32 +201,48 @@ pub fn audit(
     }
     let mut shapes: BTreeMap<JobId, Shape> = BTreeMap::new();
     for ev in &trace.events {
-        let shape = shapes.entry(ev.job()).or_default();
+        let Some(job) = ev.job() else {
+            continue; // infrastructure events have no lifecycle shape
+        };
+        let shape = shapes.entry(job).or_default();
         if shape.terminal {
-            complain(format!("{} has events after its terminal state", ev.job()));
+            complain(format!("{job} has events after its terminal state"));
             break;
         }
         match ev {
             TraceEvent::Dispatched { .. } => shape.dispatched = true,
             TraceEvent::OffloadStarted { .. } => {
                 if !shape.dispatched || shape.open_offload {
-                    complain(format!("{} started an offload out of order", ev.job()));
+                    complain(format!("{job} started an offload out of order"));
                 }
                 shape.open_offload = true;
             }
             TraceEvent::OffloadFinished { .. } => {
                 if !shape.open_offload {
-                    complain(format!("{} finished a phantom offload", ev.job()));
+                    complain(format!("{job} finished a phantom offload"));
                 }
+                shape.open_offload = false;
+            }
+            TraceEvent::Requeued { .. } => {
+                // The fault aborted whatever was executing; the job starts
+                // over from scratch if it is released again.
+                shape.dispatched = false;
+                shape.open_offload = false;
+            }
+            TraceEvent::FallbackStarted { .. } => {
+                if !shape.dispatched {
+                    complain(format!("{job} fell back to host without dispatching"));
+                }
+                // The reset aborted the in-flight offload (if any).
                 shape.open_offload = false;
             }
             TraceEvent::Completed { .. } => {
                 if shape.open_offload {
-                    complain(format!("{} completed mid-offload", ev.job()));
+                    complain(format!("{job} completed mid-offload"));
                 }
                 shape.terminal = true;
             }
-            TraceEvent::Killed { .. } => shape.terminal = true,
+            TraceEvent::Killed { .. } | TraceEvent::HeldMaxRetries { .. } => shape.terminal = true,
             _ => {}
         }
     }

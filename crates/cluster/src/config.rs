@@ -1,5 +1,6 @@
 //! Cluster configuration.
 
+use crate::fault::{FaultConfig, RecoveryConfig};
 use phishare_core::{ClusterPolicy, KnapsackConfig};
 use phishare_cosmic::CosmicConfig;
 use phishare_phi::{PerfModel, PhiConfig};
@@ -46,6 +47,11 @@ pub struct ClusterConfig {
     /// Fraction of a job's peak memory committed at attach time; the rest
     /// grows across its offloads (§II-C: commits and stacks grow late).
     pub initial_commit_fraction: f64,
+    /// Failure-injection rates (all zero by default: nothing is injected
+    /// and every timeline is untouched).
+    pub faults: FaultConfig,
+    /// What the stack does with jobs hit by an injected failure.
+    pub recovery: RecoveryConfig,
     /// Master seed for all stochastic components of the *cluster* (workload
     /// seeds live in the workload itself).
     pub seed: u64,
@@ -67,6 +73,8 @@ impl Default for ClusterConfig {
             dispatch_delay: SimDuration::from_secs(1),
             knapsack: KnapsackConfig::default(),
             initial_commit_fraction: 0.3,
+            faults: FaultConfig::default(),
+            recovery: RecoveryConfig::default(),
             seed: 0,
         }
     }
@@ -117,6 +125,8 @@ impl ClusterConfig {
             return Err("initial_commit_fraction must be in [0, 1]".into());
         }
         self.phi.validate()?;
+        self.faults.validate()?;
+        self.recovery.validate()?;
         if self.negotiation_interval.is_zero() {
             return Err("negotiation interval must be positive".into());
         }
@@ -157,6 +167,13 @@ mod tests {
             |c: &mut ClusterConfig| c.host_cores_per_node = 0,
             |c: &mut ClusterConfig| c.initial_commit_fraction = 1.5,
             |c: &mut ClusterConfig| c.negotiation_interval = SimDuration::ZERO,
+            |c: &mut ClusterConfig| c.faults.device_mtbf_secs = f64::NAN,
+            |c: &mut ClusterConfig| {
+                c.faults.node_mtbf_secs = 100.0;
+                c.faults.node_downtime_secs = 0.0;
+            },
+            |c: &mut ClusterConfig| c.recovery.retry_base = SimDuration::ZERO,
+            |c: &mut ClusterConfig| c.recovery.host_fallback_slowdown = 0.0,
         ] {
             let mut c = ClusterConfig::default();
             f(&mut c);

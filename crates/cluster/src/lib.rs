@@ -26,6 +26,8 @@
 //! driven by the deterministic event engine of `phishare-sim`.
 //!
 //! * [`config`] — cluster shape and software-stack configuration;
+//! * [`fault`] — deterministic fault injection (device resets, node churn)
+//!   and the recovery knobs (retry backoff, host fallback);
 //! * [`runtime`] — the discrete-event world: job lifecycle, negotiation
 //!   cycles, offload execution, failures;
 //! * [`metrics`] — the measurements the paper reports (makespan, core
@@ -41,6 +43,7 @@
 
 pub mod audit;
 pub mod config;
+pub mod fault;
 pub mod footprint;
 pub mod host;
 pub mod metrics;
@@ -51,6 +54,7 @@ pub mod trace;
 
 pub use audit::audit;
 pub use config::ClusterConfig;
+pub use fault::{FallbackPolicy, FaultConfig, FaultEvent, FaultKind, FaultPlan, RecoveryConfig};
 pub use footprint::{footprint_search, FootprintResult, FootprintSearcher};
 pub use metrics::ExperimentResult;
 pub use runtime::Experiment;

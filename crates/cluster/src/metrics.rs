@@ -51,6 +51,17 @@ pub struct ExperimentResult {
     /// benches). Stale prediction deliveries are excluded, so the count is
     /// identical across event-scheduling modes.
     pub events_processed: u64,
+    /// Injected MPSS/device resets that actually struck (strikes on an
+    /// already-down target are absorbed and not counted).
+    pub device_resets: u64,
+    /// Injected node-churn events that actually struck.
+    pub node_churns: u64,
+    /// Fault-vacated jobs returned to the queue with a backoff delay.
+    pub retries: u64,
+    /// Offload segments that ran host-side under the fallback policy.
+    pub fallback_offloads: u64,
+    /// Jobs held permanently after exhausting their retry budget.
+    pub held_after_retries: usize,
 }
 
 impl ExperimentResult {
@@ -70,6 +81,15 @@ impl ExperimentResult {
     /// True when every submitted job completed (no kills, no leftovers).
     pub fn all_completed(&self) -> bool {
         self.completed == self.jobs
+    }
+
+    /// Fraction of submitted jobs that completed (degradation metric for
+    /// the fault experiments).
+    pub fn completion_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.jobs as f64
     }
 }
 
@@ -99,6 +119,11 @@ mod tests {
             pins_issued: 0,
             energy_kwh: 1.0,
             events_processed: 100,
+            device_resets: 0,
+            node_churns: 0,
+            retries: 0,
+            fallback_offloads: 0,
+            held_after_retries: 0,
         }
     }
 
@@ -120,7 +145,9 @@ mod tests {
     fn completion_check() {
         let mut r = result(1.0);
         assert!(r.all_completed());
+        assert_eq!(r.completion_rate(), 1.0);
         r.completed = 9;
         assert!(!r.all_completed());
+        assert!((r.completion_rate() - 0.9).abs() < 1e-12);
     }
 }

@@ -44,6 +44,7 @@
 //!   same order).
 
 use crate::config::ClusterConfig;
+use crate::fault::{FallbackPolicy, FaultKind, FaultPlan};
 use crate::host::HostCpu;
 use crate::metrics::ExperimentResult;
 use crate::trace::{Trace, TraceEvent};
@@ -57,7 +58,7 @@ use phishare_cosmic::{Admission, ContainerVerdict, CosmicDevice, OffloadGrant};
 use phishare_phi::{Affinity, CommitOutcome, PhiDevice, ProcId};
 use phishare_sim::{DetRng, Sim, SimTime, Summary};
 use phishare_workload::{JobId, Segment, Workload};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Key of one device: `(node, device-on-node)`.
 type DevKey = (u32, u32);
@@ -85,6 +86,13 @@ enum Ev {
         key: DevKey,
         generation: u64,
     },
+    /// Injected failure `plan[idx]` strikes.
+    Fault(usize),
+    /// The failure injected as `plan[idx]` heals (card back up / node
+    /// rejoins).
+    Recover(usize),
+    /// A vacated job's backoff expired; it may be scheduled again.
+    Release(JobId),
 }
 
 /// How completion predictions are turned into events (see module docs).
@@ -115,6 +123,10 @@ struct RunningJob {
     seg: usize,
     /// Offload segments completed so far (drives the memory-growth model).
     offloads_done: usize,
+    /// The job's card reset under it and [`FallbackPolicy::HostOnly`]
+    /// applies: remaining offload segments run on host cores, the device
+    /// and COSMIC are never touched again.
+    fallback: bool,
 }
 
 /// Entry point: run one experiment.
@@ -126,7 +138,8 @@ impl Experiment {
     /// Fails fast (rather than deadlocking) when the configuration is
     /// invalid or a job cannot fit on any device.
     pub fn run(config: &ClusterConfig, workload: &Workload) -> Result<ExperimentResult, String> {
-        Self::run_inner(config, workload, false, EventMode::NextCompletion).map(|(r, _)| r)
+        let plan = FaultPlan::generate(config);
+        Self::run_inner(config, workload, &plan, false, EventMode::NextCompletion).map(|(r, _)| r)
     }
 
     /// Like [`Experiment::run`] but also records a full lifecycle
@@ -135,7 +148,43 @@ impl Experiment {
         config: &ClusterConfig,
         workload: &Workload,
     ) -> Result<(ExperimentResult, Trace), String> {
-        Self::run_inner(config, workload, true, EventMode::NextCompletion)
+        let plan = FaultPlan::generate(config);
+        Self::run_inner(config, workload, &plan, true, EventMode::NextCompletion)
+            .map(|(r, t)| (r, t.expect("tracing was enabled")))
+    }
+
+    /// [`Experiment::run`] with an explicit fault-injection plan instead of
+    /// the one derived from `config.faults`.
+    ///
+    /// An empty plan is guaranteed to leave the timeline bit-identical to
+    /// [`Experiment::run`] with faults disabled (asserted by the
+    /// differential proptests).
+    pub fn run_with_faults(
+        config: &ClusterConfig,
+        workload: &Workload,
+        plan: &FaultPlan,
+    ) -> Result<ExperimentResult, String> {
+        Self::run_inner(config, workload, plan, false, EventMode::NextCompletion).map(|(r, _)| r)
+    }
+
+    /// [`Experiment::run_with_faults`] with lifecycle tracing.
+    pub fn run_with_faults_traced(
+        config: &ClusterConfig,
+        workload: &Workload,
+        plan: &FaultPlan,
+    ) -> Result<(ExperimentResult, Trace), String> {
+        Self::run_inner(config, workload, plan, true, EventMode::NextCompletion)
+            .map(|(r, t)| (r, t.expect("tracing was enabled")))
+    }
+
+    /// [`Experiment::run_with_faults_traced`] under the per-offload oracle
+    /// event scheme (differential testing only).
+    pub fn run_naive_events_with_faults_traced(
+        config: &ClusterConfig,
+        workload: &Workload,
+        plan: &FaultPlan,
+    ) -> Result<(ExperimentResult, Trace), String> {
+        Self::run_inner(config, workload, plan, true, EventMode::PerOffload)
             .map(|(r, t)| (r, t.expect("tracing was enabled")))
     }
 
@@ -149,7 +198,8 @@ impl Experiment {
         config: &ClusterConfig,
         workload: &Workload,
     ) -> Result<ExperimentResult, String> {
-        Self::run_inner(config, workload, false, EventMode::PerOffload).map(|(r, _)| r)
+        let plan = FaultPlan::generate(config);
+        Self::run_inner(config, workload, &plan, false, EventMode::PerOffload).map(|(r, _)| r)
     }
 
     /// [`Experiment::run_traced`] under the seed's per-offload event scheme.
@@ -157,17 +207,20 @@ impl Experiment {
         config: &ClusterConfig,
         workload: &Workload,
     ) -> Result<(ExperimentResult, Trace), String> {
-        Self::run_inner(config, workload, true, EventMode::PerOffload)
+        let plan = FaultPlan::generate(config);
+        Self::run_inner(config, workload, &plan, true, EventMode::PerOffload)
             .map(|(r, t)| (r, t.expect("tracing was enabled")))
     }
 
     fn run_inner(
         config: &ClusterConfig,
         workload: &Workload,
+        plan: &FaultPlan,
         traced: bool,
         mode: EventMode,
     ) -> Result<(ExperimentResult, Option<Trace>), String> {
         config.validate()?;
+        plan.validate(config)?;
         workload
             .validate()
             .map_err(|(id, e)| format!("invalid job {id}: {e}"))?;
@@ -203,7 +256,7 @@ impl Experiment {
             }
         }
 
-        let mut world = World::new(config, workload, mode);
+        let mut world = World::new(config, workload, plan, mode);
         if traced {
             world.trace = Some(Trace::new());
         }
@@ -223,6 +276,11 @@ impl Experiment {
         let seq = world.cycle_seq;
         world.next_cycle = Some(SimTime::ZERO);
         sim.schedule_at(SimTime::ZERO, Ev::Cycle(seq));
+        // Fault strikes are pre-scheduled from the (sorted) plan; same-tick
+        // ties resolve by insertion order identically in both event modes.
+        for (idx, f) in plan.events.iter().enumerate() {
+            sim.schedule_at(f.at, Ev::Fault(idx));
+        }
 
         match mode {
             EventMode::PerOffload => {
@@ -241,11 +299,48 @@ impl Experiment {
             }
         }
 
-        if !world.queue.all_terminal() {
-            let (idle, matched, running) = world.queue.active_counts();
+        // Jobs retired after exhausting their retry budget stay Held
+        // forever (the operator must intervene); they are terminal for
+        // drain purposes. Anything else still live is a scheduler bug.
+        let (idle, matched, running) = world.queue.active_counts();
+        let live_idle = idle - world.retired.len();
+        if matched != 0 || running != 0 || live_idle != 0 || !world.parked.is_empty() {
             return Err(format!(
-                "simulation drained with live jobs: {idle} idle, {matched} matched, {running} running"
+                "simulation drained with live jobs: {live_idle} idle, {matched} matched, \
+                 {running} running, {} awaiting release",
+                world.parked.len()
             ));
+        }
+        // Post-drain leak audit: every fault must have been matched by a
+        // recovery path that returned its capacity.
+        for (key, device) in &world.devices {
+            if device.resident_count() != 0 || device.committed_total_mb() != 0 {
+                return Err(format!(
+                    "capacity leak: device ({}, {}) drained with {} residents, {} MB committed",
+                    key.0,
+                    key.1,
+                    device.resident_count(),
+                    device.committed_total_mb()
+                ));
+            }
+        }
+        for (key, cos) in &world.cosmic {
+            if cos.registered_jobs() != 0 {
+                return Err(format!(
+                    "capacity leak: COSMIC on ({}, {}) drained with {} registered jobs",
+                    key.0,
+                    key.1,
+                    cos.registered_jobs()
+                ));
+            }
+        }
+        for (node, host) in &world.hosts {
+            if host.active_count() != 0 {
+                return Err(format!(
+                    "capacity leak: host {node} drained with {} active segments",
+                    host.active_count()
+                ));
+            }
         }
         let trace = world.trace.take();
         Ok((world.into_result(config, workload), trace))
@@ -255,6 +350,7 @@ impl Experiment {
 struct World<'a> {
     cfg: &'a ClusterConfig,
     wl: &'a Workload,
+    plan: &'a FaultPlan,
     queue: JobQueue,
     collector: Collector,
     negotiator: Negotiator,
@@ -297,6 +393,21 @@ struct World<'a> {
     rng_oom: DetRng,
     /// Lifecycle trace (None unless `run_traced` was used).
     trace: Option<Trace>,
+    // --- fault state ---
+    /// Nodes whose startd vanished (churn); no ads, no dispatch, no hosts.
+    down_nodes: BTreeSet<u32>,
+    /// Devices mid-reset on otherwise-live nodes.
+    down_devs: BTreeSet<DevKey>,
+    /// Times each job has been vacated by a fault and requeued.
+    attempts: BTreeMap<JobId, u32>,
+    /// Vacated jobs sitting out their backoff (held, invisible to the
+    /// scheduler until their `Release` fires).
+    parked: BTreeSet<JobId>,
+    /// Jobs held permanently after exhausting `recovery.max_retries`.
+    retired: BTreeSet<JobId>,
+    /// Jobs whose first dispatch already recorded a queue-wait sample
+    /// (re-dispatches after a fault must not re-count).
+    wait_recorded: BTreeSet<JobId>,
     // --- statistics ---
     waits: Summary,
     turnarounds: Summary,
@@ -305,11 +416,15 @@ struct World<'a> {
     oom_kills: usize,
     negotiation_cycles: u64,
     pins_issued: u64,
+    device_resets: u64,
+    node_churns: u64,
+    retries: u64,
+    fallback_offloads: u64,
     last_terminal: SimTime,
 }
 
 impl<'a> World<'a> {
-    fn new(cfg: &'a ClusterConfig, wl: &'a Workload, mode: EventMode) -> Self {
+    fn new(cfg: &'a ClusterConfig, wl: &'a Workload, plan: &'a FaultPlan, mode: EventMode) -> Self {
         let mut collector = Collector::new();
         let mut startds = Vec::new();
         let mut devices = BTreeMap::new();
@@ -352,6 +467,7 @@ impl<'a> World<'a> {
         World {
             cfg,
             wl,
+            plan,
             queue: JobQueue::new(),
             collector,
             negotiator: Negotiator::new(cfg.negotiation_interval),
@@ -375,6 +491,12 @@ impl<'a> World<'a> {
             live_events: 0,
             rng_oom: DetRng::substream(cfg.seed, "oom-killer"),
             trace: None,
+            down_nodes: BTreeSet::new(),
+            down_devs: BTreeSet::new(),
+            attempts: BTreeMap::new(),
+            parked: BTreeSet::new(),
+            retired: BTreeSet::new(),
+            wait_recorded: BTreeSet::new(),
             waits: Summary::new(),
             turnarounds: Summary::new(),
             completed: 0,
@@ -382,6 +504,10 @@ impl<'a> World<'a> {
             oom_kills: 0,
             negotiation_cycles: 0,
             pins_issued: 0,
+            device_resets: 0,
+            node_churns: 0,
+            retries: 0,
+            fallback_offloads: 0,
             last_terminal: SimTime::ZERO,
         }
     }
@@ -408,6 +534,9 @@ impl<'a> World<'a> {
     fn event_is_live(&self, ev: &Ev) -> bool {
         match *ev {
             Ev::Arrive(_) | Ev::Dispatch(_) => true,
+            // Fault, recovery and backoff events carry their own state and
+            // are handled identically in both modes.
+            Ev::Fault(_) | Ev::Recover(_) | Ev::Release(_) => true,
             Ev::Cycle(seq) => seq == self.cycle_seq,
             Ev::HostDone {
                 node, generation, ..
@@ -445,6 +574,9 @@ impl<'a> World<'a> {
                 key,
                 generation,
             } => self.on_offload_complete(sim, job, key, generation),
+            Ev::Fault(idx) => self.on_fault(sim, idx),
+            Ev::Recover(idx) => self.on_recover(sim, idx),
+            Ev::Release(job) => self.on_release(sim, job),
         }
     }
 
@@ -539,10 +671,14 @@ impl<'a> World<'a> {
         let now = sim.now();
         let idx = self.job_index[&job];
         let spec = &self.wl.jobs[idx];
-        let key = self
-            .matched_dev
-            .remove(&job)
-            .expect("dispatch follows a match");
+        // A fault between match and dispatch revokes the match and requeues
+        // the job; the in-flight Dispatch then finds nothing to start. (If
+        // the job was *re*-matched before the stale event fires, the stale
+        // delivery consumes the fresh match a little early — deterministic
+        // and harmless, like a starter racing the shadow.)
+        let Some(key) = self.matched_dev.remove(&job) else {
+            return;
+        };
         *self
             .inflight_declared
             .get_mut(&key)
@@ -556,7 +692,9 @@ impl<'a> World<'a> {
             _ => unreachable!("just set running"),
         };
         let submitted = self.queue.get(job).expect("queued").submitted;
-        self.waits.record(now.since(submitted).as_secs_f64());
+        if self.wait_recorded.insert(job) {
+            self.waits.record(now.since(submitted).as_secs_f64());
+        }
 
         self.trace_ev(|| TraceEvent::Dispatched {
             job,
@@ -574,6 +712,7 @@ impl<'a> World<'a> {
                 proc,
                 seg: 0,
                 offloads_done: 0,
+                fallback: false,
             },
         );
 
@@ -678,6 +817,22 @@ impl<'a> World<'a> {
                 self.sync_host(sim, node);
             }
             Some(Segment::Offload { threads, work }) => {
+                if self.running[&job].fallback {
+                    // Host-fallback: the card reset under this job, so the
+                    // offload's work runs on host cores at the configured
+                    // slowdown. No memory commit, no COSMIC admission — the
+                    // kernel never leaves the host.
+                    let _ = threads;
+                    let slow = work.mul_f64(self.cfg.recovery.host_fallback_slowdown);
+                    self.fallback_offloads += 1;
+                    let node = key.0;
+                    self.hosts
+                        .get_mut(&node)
+                        .expect("node exists")
+                        .start_segment(now, job, slow);
+                    self.sync_host(sim, node);
+                    return;
+                }
                 // Memory-growth model: commits approach the actual peak as
                 // offloads execute.
                 let total_offloads = spec.profile.offload_count().max(1);
@@ -838,16 +993,18 @@ impl<'a> World<'a> {
     fn complete_job(&mut self, sim: &mut Sim<Ev>, job: JobId) {
         let now = sim.now();
         let run = self.running.remove(&job).expect("completing a live job");
-        self.devices
-            .get_mut(&run.key)
-            .expect("device exists")
-            .detach(now, run.proc)
-            .expect("completing job was attached");
-        if let Some(cos) = self.cosmic.get_mut(&run.key) {
-            let grants = cos.unregister_job(now, job);
-            self.start_grants(sim, run.key, grants);
+        if !run.fallback {
+            self.devices
+                .get_mut(&run.key)
+                .expect("device exists")
+                .detach(now, run.proc)
+                .expect("completing job was attached");
+            if let Some(cos) = self.cosmic.get_mut(&run.key) {
+                let grants = cos.unregister_job(now, job);
+                self.start_grants(sim, run.key, grants);
+            }
+            self.sync_completions(sim, run.key);
         }
-        self.sync_completions(sim, run.key);
 
         self.queue
             .set_completed(job)
@@ -896,7 +1053,7 @@ impl<'a> World<'a> {
         let Some(run) = self.running.remove(&job) else {
             return;
         };
-        if !already_detached {
+        if !run.fallback && !already_detached {
             self.devices
                 .get_mut(&run.key)
                 .expect("device exists")
@@ -910,11 +1067,13 @@ impl<'a> World<'a> {
             .expect("node exists")
             .abort(now, job);
         self.sync_host(sim, run.key.0);
-        if let Some(cos) = self.cosmic.get_mut(&run.key) {
-            let grants = cos.unregister_job(now, job);
-            self.start_grants(sim, run.key, grants);
+        if !run.fallback {
+            if let Some(cos) = self.cosmic.get_mut(&run.key) {
+                let grants = cos.unregister_job(now, job);
+                self.start_grants(sim, run.key, grants);
+            }
+            self.sync_completions(sim, run.key);
         }
-        self.sync_completions(sim, run.key);
 
         self.queue.set_removed(job).expect("live job is removable");
         self.collector.release(run.slot);
@@ -966,6 +1125,282 @@ impl<'a> World<'a> {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection & recovery
+    // ------------------------------------------------------------------
+
+    fn on_fault(&mut self, sim: &mut Sim<Ev>, idx: usize) {
+        let f = self.plan.events[idx];
+        match f.kind {
+            FaultKind::DeviceReset => self.on_device_reset(sim, idx),
+            FaultKind::NodeChurn => self.on_node_churn(sim, idx),
+        }
+    }
+
+    /// MPSS crash: the card reboots. Resident offloads abort, COSMIC
+    /// registrations flush, and the device advertises zero capacity until
+    /// its `Recover` event fires. Jobs caught on the card either degrade
+    /// to host-only execution or vacate, per [`FallbackPolicy`].
+    fn on_device_reset(&mut self, sim: &mut Sim<Ev>, idx: usize) {
+        let f = self.plan.events[idx];
+        let key = (f.node, f.device);
+        if self.down_nodes.contains(&f.node) || self.down_devs.contains(&key) {
+            return; // target already down: the strike is absorbed silently
+        }
+        let now = sim.now();
+        self.device_resets += 1;
+        self.down_devs.insert(key);
+        self.trace_ev(|| TraceEvent::DeviceReset {
+            node: f.node,
+            device: f.device,
+            at: now,
+        });
+        self.flush_device(sim, key);
+        // Matched-but-undispatched jobs lose their reservation; their
+        // pending Dispatch event no-ops once the match is gone.
+        for job in self.matched_jobs_on(|k| k == key) {
+            self.unmatch_for_fault(job);
+            self.fault_requeue(sim, job);
+        }
+        // Idle jobs pinned to this card go back to Held for re-planning.
+        self.pull_back_pins(|k| k == key);
+        // Jobs executing on the card degrade or vacate.
+        for job in self.running_jobs_on(|r| r.key == key && !r.fallback) {
+            match self.cfg.recovery.fallback {
+                FallbackPolicy::HostOnly => {
+                    self.running
+                        .get_mut(&job)
+                        .expect("listed as running")
+                        .fallback = true;
+                    self.trace_ev(|| TraceEvent::FallbackStarted {
+                        job,
+                        node: f.node,
+                        at: now,
+                    });
+                    // Mid-host-phase jobs keep running and fall back at
+                    // their next offload; a job whose offload the reset
+                    // aborted (active or COSMIC-queued) restarts the
+                    // segment host-side now.
+                    let mid_host = self.hosts.get(&f.node).expect("node exists").is_active(job);
+                    if !mid_host {
+                        self.advance_segment(sim, job);
+                    }
+                }
+                FallbackPolicy::Requeue => {
+                    self.hosts
+                        .get_mut(&f.node)
+                        .expect("node exists")
+                        .abort(now, job);
+                    self.sync_host(sim, f.node);
+                    let run = self.running.remove(&job).expect("listed as running");
+                    self.collector.release(run.slot);
+                    self.fault_requeue(sim, job);
+                }
+            }
+        }
+        sim.schedule_after(f.downtime, Ev::Recover(idx));
+    }
+
+    /// Startd vanishes: its ads are invalidated, every job on the node is
+    /// killed and requeued, and the node's cards flush (MPSS restarts with
+    /// the node). Nothing on the node matches until `Recover` re-advertises.
+    fn on_node_churn(&mut self, sim: &mut Sim<Ev>, idx: usize) {
+        let f = self.plan.events[idx];
+        if self.down_nodes.contains(&f.node) {
+            return; // already down
+        }
+        let now = sim.now();
+        self.node_churns += 1;
+        self.down_nodes.insert(f.node);
+        self.trace_ev(|| TraceEvent::NodeDown {
+            node: f.node,
+            at: now,
+        });
+        self.collector.invalidate_node(f.node);
+        for dev in 0..self.cfg.devices_per_node {
+            self.flush_device(sim, (f.node, dev));
+        }
+        for job in self.matched_jobs_on(|k| k.0 == f.node) {
+            self.unmatch_for_fault(job); // slot release no-ops: ads are gone
+            self.fault_requeue(sim, job);
+        }
+        self.pull_back_pins(|k| k.0 == f.node);
+        for job in self.running_jobs_on(|r| r.key.0 == f.node) {
+            self.hosts
+                .get_mut(&f.node)
+                .expect("node exists")
+                .abort(now, job);
+            self.running.remove(&job);
+            self.fault_requeue(sim, job);
+        }
+        self.sync_host(sim, f.node);
+        sim.schedule_after(f.downtime, Ev::Recover(idx));
+    }
+
+    fn on_recover(&mut self, sim: &mut Sim<Ev>, idx: usize) {
+        let f = self.plan.events[idx];
+        let now = sim.now();
+        match f.kind {
+            FaultKind::DeviceReset => {
+                self.down_devs.remove(&(f.node, f.device));
+                self.trace_ev(|| TraceEvent::DeviceRecovered {
+                    node: f.node,
+                    device: f.device,
+                    at: now,
+                });
+            }
+            FaultKind::NodeChurn => {
+                self.down_nodes.remove(&f.node);
+                self.trace_ev(|| TraceEvent::NodeUp {
+                    node: f.node,
+                    at: now,
+                });
+                self.advertise_node(f.node);
+            }
+        }
+        // Restored capacity can unblock queued work.
+        if !self.drained() {
+            self.request_cycle(sim, now + self.cfg.negotiation_trigger_delay);
+        }
+    }
+
+    /// Backoff expiry: the vacated job becomes schedulable again.
+    fn on_release(&mut self, sim: &mut Sim<Ev>, job: JobId) {
+        if !self.parked.remove(&job) {
+            return;
+        }
+        // MC jobs negotiate straight from Idle; scheduler-driven policies
+        // leave the job Held so the next planning round re-pins it (it is
+        // visible to `pending_views` again now that it is un-parked).
+        if self.scheduler.is_none() {
+            self.queue.release(job).expect("parked job is held");
+        }
+        self.request_cycle(sim, sim.now() + self.cfg.negotiation_trigger_delay);
+    }
+
+    /// Reset one card and flush its COSMIC state.
+    fn flush_device(&mut self, sim: &mut Sim<Ev>, key: DevKey) {
+        let now = sim.now();
+        self.devices
+            .get_mut(&key)
+            .expect("device exists")
+            .reset(now);
+        if let Some(cos) = self.cosmic.get_mut(&key) {
+            cos.reset();
+        }
+        // Marks the bumped generation synced (nothing is resident, so no
+        // prediction is pushed) and invalidates in-flight completions.
+        self.sync_completions(sim, key);
+    }
+
+    /// Revoke a match that has not dispatched yet: restore the in-flight
+    /// accounting and free the claimed slot.
+    fn unmatch_for_fault(&mut self, job: JobId) {
+        let key = self
+            .matched_dev
+            .remove(&job)
+            .expect("matched job has a device");
+        let spec = &self.wl.jobs[self.job_index[&job]];
+        *self
+            .inflight_declared
+            .get_mut(&key)
+            .expect("inflight entry") -= spec.mem_req_mb;
+        *self.inflight_count.get_mut(&key).expect("inflight entry") -= 1;
+        *self.inflight_threads.get_mut(&key).expect("inflight entry") -= spec.thread_req;
+        if let phishare_condor::JobState::Matched(slot) = self.queue.get(job).expect("queued").state
+        {
+            // No-op when the node churned away (its ads were invalidated).
+            self.collector.release(slot);
+        }
+    }
+
+    /// Return a vacated (matched/running) job to the queue with
+    /// exponential backoff, or hold it permanently once its retry budget
+    /// is exhausted — HTCondor's periodic-release / `MaxRetries` policy.
+    fn fault_requeue(&mut self, sim: &mut Sim<Ev>, job: JobId) {
+        let now = sim.now();
+        self.queue
+            .requeue(job)
+            .expect("vacated job was matched or running");
+        if let Some(s) = self.scheduler.as_mut() {
+            s.on_job_gone(job);
+        }
+        let attempts = self.attempts.get(&job).copied().unwrap_or(0);
+        if attempts >= self.cfg.recovery.max_retries {
+            self.retired.insert(job);
+            self.trace_ev(|| TraceEvent::HeldMaxRetries { job, at: now });
+            // Retirement is terminal: the run can end on it.
+            self.last_terminal = now;
+        } else {
+            self.attempts.insert(job, attempts + 1);
+            self.retries += 1;
+            self.parked.insert(job);
+            self.trace_ev(|| TraceEvent::Requeued {
+                job,
+                attempt: attempts + 1,
+                at: now,
+            });
+            sim.schedule_after(self.cfg.recovery.backoff(attempts), Ev::Release(job));
+        }
+    }
+
+    /// Jobs released+pinned but not yet matched whose target satisfies
+    /// `pred` go back on hold; the scheduler re-plans them next cycle.
+    fn pull_back_pins(&mut self, pred: impl Fn(DevKey) -> bool) {
+        let jobs: Vec<JobId> = self
+            .pinned_dev
+            .iter()
+            .filter(|(_, &k)| pred(k))
+            .map(|(&j, _)| j)
+            .collect();
+        for job in jobs {
+            self.pinned_dev.remove(&job);
+            self.queue.hold(job).expect("pinned job is idle");
+            if let Some(s) = self.scheduler.as_mut() {
+                s.on_job_gone(job);
+            }
+        }
+    }
+
+    fn matched_jobs_on(&self, pred: impl Fn(DevKey) -> bool) -> Vec<JobId> {
+        self.matched_dev
+            .iter()
+            .filter(|(_, &k)| pred(k))
+            .map(|(&j, _)| j)
+            .collect()
+    }
+
+    fn running_jobs_on(&self, pred: impl Fn(&RunningJob) -> bool) -> Vec<JobId> {
+        self.running
+            .iter()
+            .filter(|(_, r)| pred(r))
+            .map(|(&j, _)| j)
+            .collect()
+    }
+
+    /// Full re-advertise of a recovered node from ground truth (its ads
+    /// were invalidated, so `refresh` has nothing to update).
+    fn advertise_node(&mut self, node: u32) {
+        let startd = &self.startds[(node - 1) as usize];
+        debug_assert_eq!(startd.node, node, "startds are indexed by node - 1");
+        let mut free_mem = 0u64;
+        let mut devices_free = 0u32;
+        for dev in 0..self.cfg.devices_per_node {
+            let key = (node, dev);
+            if self.down_devs.contains(&key) {
+                continue; // a card still mid-reset advertises nothing
+            }
+            let device = self.devices.get(&key).expect("device exists");
+            let inflight_mem = self.inflight_declared.get(&key).copied().unwrap_or(0);
+            let inflight_n = self.inflight_count.get(&key).copied().unwrap_or(0);
+            free_mem += device.free_declared_mb().saturating_sub(inflight_mem);
+            if device.resident_count() == 0 && inflight_n == 0 {
+                devices_free += 1;
+            }
+        }
+        startd.advertise(&mut self.collector, free_mem, devices_free);
+    }
+
+    // ------------------------------------------------------------------
     // Scheduling support
     // ------------------------------------------------------------------
 
@@ -975,6 +1410,9 @@ impl<'a> World<'a> {
         self.queue
             .held()
             .into_iter()
+            // Parked (backing off) and retired jobs are held too, but the
+            // scheduler must not plan them.
+            .filter(|id| !self.parked.contains(id) && !self.retired.contains(id))
             .map(|id| {
                 let spec = &self.wl.jobs[self.job_index[&id]];
                 PendingJob {
@@ -991,6 +1429,9 @@ impl<'a> World<'a> {
     fn device_views(&self) -> Vec<DeviceView> {
         self.devices
             .iter()
+            .filter(|(&(node, dev), _)| {
+                !self.down_nodes.contains(&node) && !self.down_devs.contains(&(node, dev))
+            })
             .map(|(&(node, dev), device)| {
                 let inflight = self
                     .inflight_declared
@@ -1018,10 +1459,19 @@ impl<'a> World<'a> {
     fn refresh_ads(&mut self) {
         for startd in &self.startds {
             let node = startd.node;
+            if self.down_nodes.contains(&node) {
+                // A churned node has no ads to refresh; `refresh` would
+                // fall back to a full advertise and resurrect the dead
+                // startd. It re-advertises on recovery instead.
+                continue;
+            }
             let mut free_mem = 0u64;
             let mut devices_free = 0u32;
             for dev in 0..self.cfg.devices_per_node {
                 let key = (node, dev);
+                if self.down_devs.contains(&key) {
+                    continue; // a card mid-reset contributes no capacity
+                }
                 let device = self.devices.get(&key).expect("device exists");
                 let inflight_mem = self.inflight_declared.get(&key).copied().unwrap_or(0);
                 let inflight_n = self.inflight_count.get(&key).copied().unwrap_or(0);
@@ -1038,8 +1488,14 @@ impl<'a> World<'a> {
     /// fits `mem_mb` (and, for the exclusive policy, is entirely free).
     fn choose_device(&self, node: u32, mem_mb: u64) -> Option<DevKey> {
         let mut best: Option<(u64, DevKey)> = None;
+        if self.down_nodes.contains(&node) {
+            return None; // defensive: a churned node's ads are gone anyway
+        }
         for dev in 0..self.cfg.devices_per_node {
             let key = (node, dev);
+            if self.down_devs.contains(&key) {
+                continue;
+            }
             let device = self.devices.get(&key)?;
             let inflight_mem = self.inflight_declared.get(&key).copied().unwrap_or(0);
             let inflight_n = self.inflight_count.get(&key).copied().unwrap_or(0);
@@ -1070,8 +1526,15 @@ impl<'a> World<'a> {
     }
 
     /// True when no job will ever need another negotiation cycle.
+    ///
+    /// Retired jobs (held after exhausting retries) count as terminal;
+    /// parked jobs do not — their pending `Release` will need a cycle.
     fn drained(&self) -> bool {
-        self.queue.all_terminal() && self.queue_has_all_jobs()
+        if !self.queue_has_all_jobs() {
+            return false;
+        }
+        let (idle, matched, running) = self.queue.active_counts();
+        matched == 0 && running == 0 && self.parked.is_empty() && idle == self.retired.len()
     }
 
     fn queue_has_all_jobs(&self) -> bool {
@@ -1140,6 +1603,11 @@ impl<'a> World<'a> {
             pins_issued: self.pins_issued,
             energy_kwh: energy_joules / 3.6e6,
             events_processed: self.live_events,
+            device_resets: self.device_resets,
+            node_churns: self.node_churns,
+            retries: self.retries,
+            fallback_offloads: self.fallback_offloads,
+            held_after_retries: self.retired.len(),
         }
     }
 }
@@ -1336,5 +1804,149 @@ mod tests {
         );
         assert!(r.thread_utilization > 0.1 && r.thread_utilization <= 1.0);
         assert!(r.device_busy_fraction > r.core_utilization - 1e-9);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & recovery
+    // ------------------------------------------------------------------
+
+    use crate::audit::audit;
+    use crate::fault::FaultEvent;
+    use phishare_sim::SimTime;
+
+    fn one_fault(
+        kind: FaultKind,
+        node: u32,
+        device: u32,
+        at_secs: u64,
+        down_secs: u64,
+    ) -> FaultPlan {
+        FaultPlan {
+            events: vec![FaultEvent {
+                kind,
+                node,
+                device,
+                at: SimTime::from_secs(at_secs),
+                downtime: SimDuration::from_secs(down_secs),
+            }],
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_plain_run() {
+        let wl = small_workload(30, 21);
+        for policy in [ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+            let cfg = fast_config(policy);
+            let plain = Experiment::run(&cfg, &wl).unwrap();
+            let faulted = Experiment::run_with_faults(&cfg, &wl, &FaultPlan::empty()).unwrap();
+            assert_eq!(plain, faulted, "{policy}: empty plan perturbed the run");
+        }
+    }
+
+    #[test]
+    fn device_reset_degrades_to_host_fallback_and_completes() {
+        let wl = small_workload(20, 22);
+        let cfg = fast_config(ClusterPolicy::Mcck);
+        let plan = one_fault(FaultKind::DeviceReset, 1, 0, 5, 30);
+        let (r, trace) = Experiment::run_with_faults_traced(&cfg, &wl, &plan).unwrap();
+        assert_eq!(r.device_resets, 1);
+        assert_eq!(r.node_churns, 0);
+        // HostOnly fallback: jobs caught on the card keep their slot and
+        // finish host-side — nothing is lost, nothing retries.
+        assert!(r.all_completed(), "{r:?}");
+        assert!(
+            r.fallback_offloads > 0,
+            "a job caught mid-run should have fallen back: {r:?}"
+        );
+        let violations = audit(&cfg, &wl, &r, &trace);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn node_churn_vacates_retries_and_recovers() {
+        let wl = small_workload(20, 23);
+        let cfg = fast_config(ClusterPolicy::Mcck);
+        let plan = one_fault(FaultKind::NodeChurn, 1, 0, 5, 60);
+        let (r, trace) = Experiment::run_with_faults_traced(&cfg, &wl, &plan).unwrap();
+        assert_eq!(r.node_churns, 1);
+        assert!(r.retries > 0, "churn should vacate running jobs: {r:?}");
+        assert_eq!(
+            r.completed + r.container_kills + r.oom_kills + r.held_after_retries,
+            r.jobs
+        );
+        // Default budget (3 retries) absorbs a single churn.
+        assert!(r.all_completed(), "{r:?}");
+        let violations = audit(&cfg, &wl, &r, &trace);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn requeue_policy_with_no_retries_holds_victims() {
+        let wl = small_workload(10, 24);
+        let mut cfg = fast_config(ClusterPolicy::Mc);
+        cfg.nodes = 1;
+        cfg.recovery.fallback = FallbackPolicy::Requeue;
+        cfg.recovery.max_retries = 0;
+        let plan = one_fault(FaultKind::DeviceReset, 1, 0, 5, 30);
+        let (r, trace) = Experiment::run_with_faults_traced(&cfg, &wl, &plan).unwrap();
+        assert_eq!(r.held_after_retries, 1, "{r:?}");
+        assert_eq!(r.retries, 0, "a zero budget never grants a retry");
+        assert_eq!(r.completed + r.held_after_retries, r.jobs);
+        let violations = audit(&cfg, &wl, &r, &trace);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn fault_runs_match_across_event_modes() {
+        let wl = small_workload(25, 25);
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    kind: FaultKind::DeviceReset,
+                    node: 2,
+                    device: 0,
+                    at: SimTime::from_secs(4),
+                    downtime: SimDuration::from_secs(25),
+                },
+                FaultEvent {
+                    kind: FaultKind::NodeChurn,
+                    node: 1,
+                    device: 0,
+                    at: SimTime::from_secs(9),
+                    downtime: SimDuration::from_secs(45),
+                },
+            ],
+        };
+        for policy in [ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+            let cfg = fast_config(policy);
+            let (fast, fast_trace) = Experiment::run_with_faults_traced(&cfg, &wl, &plan).unwrap();
+            let (naive, naive_trace) =
+                Experiment::run_naive_events_with_faults_traced(&cfg, &wl, &plan).unwrap();
+            assert_eq!(fast, naive, "{policy}: fault metrics diverged across modes");
+            assert_eq!(
+                fast_trace.events, naive_trace.events,
+                "{policy}: fault traces diverged across modes"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_plans_run_and_audit_clean() {
+        let wl = small_workload(25, 26);
+        let mut cfg = fast_config(ClusterPolicy::Mcck);
+        cfg.faults.device_mtbf_secs = 150.0;
+        cfg.faults.node_mtbf_secs = 400.0;
+        cfg.faults.horizon_secs = 600.0;
+        let (r, trace) = Experiment::run_traced(&cfg, &wl).unwrap();
+        assert!(
+            r.device_resets + r.node_churns > 0,
+            "an aggressive MTBF should strike at least once: {r:?}"
+        );
+        assert_eq!(
+            r.completed + r.container_kills + r.oom_kills + r.held_after_retries,
+            r.jobs
+        );
+        let violations = audit(&cfg, &wl, &r, &trace);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 }

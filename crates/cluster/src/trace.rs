@@ -78,11 +78,71 @@ pub enum TraceEvent {
         /// When.
         at: SimTime,
     },
+    /// The job was vacated by a fault and returned to the queue with a
+    /// backoff release delay.
+    Requeued {
+        /// The job.
+        job: JobId,
+        /// How many times the job has now been vacated (1-based).
+        attempt: u32,
+        /// When.
+        at: SimTime,
+    },
+    /// The job's card reset under it; it degrades to host-only execution
+    /// for the rest of its life.
+    FallbackStarted {
+        /// The job.
+        job: JobId,
+        /// Node it keeps running on.
+        node: u32,
+        /// When.
+        at: SimTime,
+    },
+    /// The job exhausted its retries and was held for good.
+    HeldMaxRetries {
+        /// The job.
+        job: JobId,
+        /// When.
+        at: SimTime,
+    },
+    /// A card crashed (MPSS reset); its node stays up.
+    DeviceReset {
+        /// Node owning the card.
+        node: u32,
+        /// Device index on the node.
+        device: u32,
+        /// When.
+        at: SimTime,
+    },
+    /// A crashed card came back.
+    DeviceRecovered {
+        /// Node owning the card.
+        node: u32,
+        /// Device index on the node.
+        device: u32,
+        /// When.
+        at: SimTime,
+    },
+    /// A node vanished (startd died); its ads were invalidated.
+    NodeDown {
+        /// The node.
+        node: u32,
+        /// When.
+        at: SimTime,
+    },
+    /// A churned node rejoined and re-advertised.
+    NodeUp {
+        /// The node.
+        node: u32,
+        /// When.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
-    /// The job the event concerns.
-    pub fn job(&self) -> JobId {
+    /// The job the event concerns; `None` for infrastructure events
+    /// (device resets, node churn).
+    pub fn job(&self) -> Option<JobId> {
         match self {
             TraceEvent::Submitted { job, .. }
             | TraceEvent::Pinned { job, .. }
@@ -91,7 +151,14 @@ impl TraceEvent {
             | TraceEvent::OffloadQueued { job, .. }
             | TraceEvent::OffloadFinished { job, .. }
             | TraceEvent::Completed { job, .. }
-            | TraceEvent::Killed { job, .. } => *job,
+            | TraceEvent::Killed { job, .. }
+            | TraceEvent::Requeued { job, .. }
+            | TraceEvent::FallbackStarted { job, .. }
+            | TraceEvent::HeldMaxRetries { job, .. } => Some(*job),
+            TraceEvent::DeviceReset { .. }
+            | TraceEvent::DeviceRecovered { .. }
+            | TraceEvent::NodeDown { .. }
+            | TraceEvent::NodeUp { .. } => None,
         }
     }
 
@@ -105,7 +172,14 @@ impl TraceEvent {
             | TraceEvent::OffloadQueued { at, .. }
             | TraceEvent::OffloadFinished { at, .. }
             | TraceEvent::Completed { at, .. }
-            | TraceEvent::Killed { at, .. } => *at,
+            | TraceEvent::Killed { at, .. }
+            | TraceEvent::Requeued { at, .. }
+            | TraceEvent::FallbackStarted { at, .. }
+            | TraceEvent::HeldMaxRetries { at, .. }
+            | TraceEvent::DeviceReset { at, .. }
+            | TraceEvent::DeviceRecovered { at, .. }
+            | TraceEvent::NodeDown { at, .. }
+            | TraceEvent::NodeUp { at, .. } => *at,
         }
     }
 }
@@ -352,8 +426,21 @@ mod tests {
     fn event_accessors() {
         let tr = sample();
         assert_eq!(tr.len(), 6);
-        assert!(tr.events.iter().all(|e| e.job() == JobId(1)));
+        assert!(tr.events.iter().all(|e| e.job() == Some(JobId(1))));
         assert_eq!(tr.events[0].at(), t(0));
+        // Infrastructure events concern no job but still carry a time.
+        let infra = TraceEvent::DeviceReset {
+            node: 3,
+            device: 0,
+            at: t(5),
+        };
+        assert_eq!(infra.job(), None);
+        assert_eq!(infra.at(), t(5));
+        assert_eq!(
+            TraceEvent::NodeUp { node: 2, at: t(9) }.job(),
+            None,
+            "node churn events are infrastructure too"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! cluster sizes. Any divergence means the fast path changed simulation
 //! semantics, not just simulation cost.
 
-use phishare_cluster::{audit, ClusterConfig, Experiment};
+use phishare_cluster::{audit, ClusterConfig, Experiment, FaultPlan};
 use phishare_core::ClusterPolicy;
 use phishare_sim::SimDuration;
 use phishare_workload::{ArrivalProcess, WorkloadBuilder, WorkloadKind};
@@ -66,6 +66,74 @@ proptest! {
             (fast, naive) => {
                 // Both paths must agree even on rejection (and the error
                 // strings are part of the contract).
+                prop_assert_eq!(fast.map(|(r, _)| r), naive.map(|(r, _)| r));
+            }
+        }
+    }
+
+    /// Running through the fault machinery with an *empty* plan must leave
+    /// the timeline bit-identical to the plain entry point: the injection
+    /// layer is free when unused.
+    #[test]
+    fn empty_fault_plan_leaves_runs_bit_identical(
+        policy in arb_policy(),
+        nodes in 2u32..=4,
+        jobs in 8usize..=32,
+        seed in 0u64..500,
+    ) {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(jobs)
+            .seed(seed)
+            .build();
+        let mut cfg = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+        cfg.knapsack.window = 64;
+
+        let plain = Experiment::run_traced(&cfg, &wl);
+        let empty = Experiment::run_with_faults_traced(&cfg, &wl, &FaultPlan::empty());
+        match (plain, empty) {
+            (Ok((pr, pt)), Ok((er, et))) => {
+                prop_assert_eq!(&pr, &er, "empty plan perturbed the metrics");
+                prop_assert_eq!(&pt.events, &et.events, "empty plan perturbed the trace");
+            }
+            (plain, empty) => {
+                prop_assert_eq!(plain.map(|(r, _)| r), empty.map(|(r, _)| r));
+            }
+        }
+    }
+
+    /// The fast/naive bit-identity holds under fault injection too: fault,
+    /// recovery and backoff events are handled by shared code, so churn
+    /// must not open a gap between the event schemes.
+    #[test]
+    fn fault_injected_event_paths_are_bit_identical(
+        policy in arb_policy(),
+        nodes in 2u32..=4,
+        jobs in 8usize..=24,
+        seed in 0u64..500,
+        device_mtbf in 60.0f64..400.0,
+        node_mtbf in prop_oneof![Just(0.0f64), 200.0f64..800.0],
+    ) {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(jobs)
+            .seed(seed)
+            .build();
+        let mut cfg = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+        cfg.knapsack.window = 64;
+        cfg.faults.device_mtbf_secs = device_mtbf;
+        cfg.faults.node_mtbf_secs = node_mtbf;
+        cfg.faults.horizon_secs = 500.0;
+        let plan = FaultPlan::generate(&cfg);
+
+        let fast = Experiment::run_with_faults_traced(&cfg, &wl, &plan);
+        let naive = Experiment::run_naive_events_with_faults_traced(&cfg, &wl, &plan);
+        match (fast, naive) {
+            (Ok((fr, ft)), Ok((nr, nt))) => {
+                prop_assert_eq!(&fr, &nr, "fault metrics diverged across event modes");
+                prop_assert_eq!(&ft.events, &nt.events, "fault traces diverged across event modes");
+                let fa = audit(&cfg, &wl, &fr, &ft);
+                prop_assert!(fa.is_empty(), "fault run failed its audit: {:?}", fa);
+            }
+            (fast, naive) => {
                 prop_assert_eq!(fast.map(|(r, _)| r), naive.map(|(r, _)| r));
             }
         }

@@ -330,6 +330,22 @@ impl Collector {
             .map(|(_, slot)| *slot)
     }
 
+    /// Invalidate every ClassAd `node` has ever advertised (`condor_off`
+    /// semantics / ad expiry after a missed update deadline): the slots —
+    /// claimed or not — vanish from the collector and all its indexes, so a
+    /// dead startd stops matching immediately. Returns how many slots were
+    /// dropped. A later [`Startd::advertise`](crate::Startd) re-registers
+    /// the node from scratch.
+    pub fn invalidate_node(&mut self, node: u32) -> usize {
+        let ids = self.node_slots(node);
+        for slot in &ids {
+            if let Some(status) = self.slots.remove(slot) {
+                self.unindex(*slot, &status);
+            }
+        }
+        ids.len()
+    }
+
     /// Slots belonging to `node`.
     pub fn node_slots(&self, node: u32) -> Vec<SlotId> {
         self.slots
@@ -406,6 +422,29 @@ mod tests {
             }
         }
         assert_eq!(c.node_slots(2), vec![slot(2, 1), slot(2, 2), slot(2, 3)]);
+    }
+
+    #[test]
+    fn invalidate_node_drops_slots_and_indexes() {
+        let mut c = Collector::new();
+        for n in 1..=2 {
+            for s in 1..=2 {
+                c.advertise(slot(n, s), slot_ad(slot(n, s), 4096));
+            }
+        }
+        c.claim(slot(1, 1)); // claimed slots vanish too
+        assert_eq!(c.invalidate_node(1), 2);
+        assert!(c.node_slots(1).is_empty());
+        assert_eq!(c.len(), 2);
+        // Every index forgot the node: name, machine, and free-memory scans
+        // only see the survivor.
+        assert_eq!(c.slot_by_name("slot1@node1"), None);
+        assert!(c.slots_on_machine("node1").is_empty());
+        assert!(c.unclaimed_with_free_mem_at_least(0.0).all(|s| s.node == 2));
+        // Idempotent, and releasing a vanished claim is a no-op.
+        assert_eq!(c.invalidate_node(1), 0);
+        c.release(slot(1, 1));
+        assert_eq!(c.len(), 2);
     }
 
     #[test]

@@ -54,7 +54,10 @@ pub struct QueuedJob {
     /// every qedit (expression *or* value — value edits change the MY-side
     /// constants folded into the compilation).
     compiled: CompiledReq,
-    /// FIFO position (submission order), keying the per-state indexes.
+    /// Queue position keying the per-state indexes. Assigned at submission
+    /// and re-assigned fresh on every entry into `Idle`/`Held`: a released
+    /// or requeued job goes to the back of the line, it does not retake its
+    /// original submission slot.
     pos: usize,
 }
 
@@ -70,17 +73,27 @@ impl QueuedJob {
 /// Negotiation cycles enumerate idle (and external schedulers held) jobs
 /// every few simulated seconds; scanning the whole FIFO for them made the
 /// scan O(all jobs ever submitted) per cycle. The queue therefore keeps
-/// per-state indexes, ordered by FIFO position, that every state
+/// per-state indexes, ordered by queue position, that every state
 /// transition maintains incrementally.
+///
+/// Position semantics: positions are allocated from a monotone counter.
+/// First-time submissions take them in submission order, so an untouched
+/// queue is plain FIFO; every later entry into `Idle` or `Held` (release,
+/// hold, requeue) takes a *fresh tail position*. A job released after a
+/// hold — or requeued after its startd died — waits behind jobs that were
+/// already schedulable, matching HTCondor's behaviour where a vacated job
+/// re-enters negotiation order at the back of its priority class.
 #[derive(Debug, Default, Clone)]
 pub struct JobQueue {
     jobs: BTreeMap<JobId, QueuedJob>,
     fifo: Vec<JobId>,
-    /// Idle jobs as `(fifo position, id)` — what matchmaking scans.
+    /// Idle jobs as `(queue position, id)` — what matchmaking scans.
     idle: BTreeSet<(usize, JobId)>,
-    /// Held jobs as `(fifo position, id)` — what external schedulers plan
+    /// Held jobs as `(queue position, id)` — what external schedulers plan
     /// over.
     held: BTreeSet<(usize, JobId)>,
+    /// Next queue position to hand out (see the struct docs).
+    next_pos: usize,
 }
 
 /// Errors from queue operations.
@@ -144,7 +157,8 @@ impl JobQueue {
             return Err(QueueError::Duplicate(id));
         }
         let compiled = CompiledReq::compile(&ad);
-        let pos = self.fifo.len();
+        let pos = self.next_pos;
+        self.next_pos += 1;
         self.jobs.insert(
             id,
             QueuedJob {
@@ -177,11 +191,23 @@ impl JobQueue {
         })
     }
 
-    /// `condor_release`: return a held job to the idle pool.
+    /// `condor_release`: return a held job to the idle pool, at a fresh
+    /// tail position (see the struct docs).
     pub fn release(&mut self, id: JobId) -> Result<(), QueueError> {
         self.transition(id, |s| match s {
             JobState::Held => Ok(JobState::Idle),
             other => Err(format!("released from {other:?}")),
+        })
+    }
+
+    /// Vacate a matched or running job back to `Held` (fault recovery: the
+    /// startd died or the card under the job reset). The claim is gone; the
+    /// job re-enters the schedulable pool at a fresh tail position and
+    /// waits for a [`JobQueue::release`].
+    pub fn requeue(&mut self, id: JobId) -> Result<(), QueueError> {
+        self.transition(id, |s| match s {
+            JobState::Matched(_) | JobState::Running(_) => Ok(JobState::Held),
+            other => Err(format!("requeued from {other:?}")),
         })
     }
 
@@ -293,17 +319,29 @@ impl JobQueue {
         id: JobId,
         f: impl FnOnce(JobState) -> Result<JobState, String>,
     ) -> Result<(), QueueError> {
-        let job = self.jobs.get_mut(&id).ok_or(QueueError::Unknown(id))?;
-        match f(job.state) {
+        let job = self.jobs.get(&id).ok_or(QueueError::Unknown(id))?;
+        let (prev, old_pos) = (job.state, job.pos);
+        match f(prev) {
             Ok(next) => {
-                let (prev, pos) = (job.state, job.pos);
+                // Entering the schedulable pool always takes a fresh tail
+                // position (see the struct docs).
+                let pos = match next {
+                    JobState::Idle | JobState::Held => {
+                        let p = self.next_pos;
+                        self.next_pos += 1;
+                        p
+                    }
+                    _ => old_pos,
+                };
+                let job = self.jobs.get_mut(&id).expect("looked up above");
                 job.state = next;
+                job.pos = pos;
                 match prev {
                     JobState::Idle => {
-                        self.idle.remove(&(pos, id));
+                        self.idle.remove(&(old_pos, id));
                     }
                     JobState::Held => {
-                        self.held.remove(&(pos, id));
+                        self.held.remove(&(old_pos, id));
                     }
                     _ => {}
                 }
@@ -360,7 +398,8 @@ mod tests {
 
         q.release(JobId(1)).unwrap();
         assert_eq!(q.held(), vec![JobId(7)]);
-        // Submission (FIFO) order, not release order.
+        // The released job takes a fresh tail position, behind the
+        // already-idle JobId(3).
         assert_eq!(q.pending(), vec![JobId(3), JobId(1)]);
 
         q.hold(JobId(3)).unwrap();
@@ -482,9 +521,40 @@ mod tests {
         assert_eq!(q.pending(), vec![JobId(1)]);
         assert_eq!(q.held(), vec![JobId(0)]);
         q.release(JobId(0)).unwrap();
-        // FIFO position from submission time, not release time.
-        assert_eq!(q.pending(), vec![JobId(0), JobId(1)]);
+        // Release re-enters at a fresh tail position: JobId(0) now waits
+        // behind JobId(1), which has been idle the whole time.
+        assert_eq!(q.pending(), vec![JobId(1), JobId(0)]);
         assert!(q.held().is_empty());
+    }
+
+    #[test]
+    fn release_lands_at_the_tail() {
+        let mut q = queue_with(3);
+        q.hold(JobId(0)).unwrap();
+        assert_eq!(q.pending(), vec![JobId(1), JobId(2)]);
+        q.release(JobId(0)).unwrap();
+        // Hold + release loses the original front-of-queue slot.
+        assert_eq!(q.pending(), vec![JobId(1), JobId(2), JobId(0)]);
+    }
+
+    #[test]
+    fn requeue_vacates_to_held_at_the_tail() {
+        let mut q = queue_with(3);
+        q.hold(JobId(2)).unwrap();
+        q.set_matched(JobId(0), slot(1, 1)).unwrap();
+        q.set_running(JobId(0)).unwrap();
+        q.set_matched(JobId(1), slot(1, 2)).unwrap();
+        // A running and a matched job both vacate; both land behind the
+        // held JobId(2).
+        q.requeue(JobId(0)).unwrap();
+        q.requeue(JobId(1)).unwrap();
+        assert_eq!(q.held(), vec![JobId(2), JobId(0), JobId(1)]);
+        assert!(q.pending().is_empty());
+        // Only matched/running jobs can be requeued.
+        assert!(q.requeue(JobId(2)).is_err());
+        q.release(JobId(0)).unwrap();
+        assert_eq!(q.pending(), vec![JobId(0)]);
+        assert_eq!(q.get(JobId(0)).unwrap().state, JobState::Idle);
     }
 
     #[test]

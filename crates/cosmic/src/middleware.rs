@@ -154,6 +154,19 @@ impl CosmicDevice {
         self.admit_waiters(now)
     }
 
+    /// The card under this middleware instance reset (MPSS crash): every
+    /// registration, active offload, and queued request is flushed and all
+    /// pinned cores are released. Queue-wait statistics and the admission
+    /// counter survive — they describe the run, not the card state. Jobs
+    /// that want back in must re-register after recovery.
+    pub fn reset(&mut self) {
+        for (_, active) in std::mem::take(&mut self.active) {
+            self.allocator.release(active.cores);
+        }
+        self.waiting.clear();
+        self.registered.clear();
+    }
+
     /// A registered job wants to start an offload.
     ///
     /// Requests for more threads than the hardware has are clamped to the
@@ -345,6 +358,36 @@ mod tests {
         assert!(ca.is_disjoint(cb));
         assert_eq!(ca.count(), 30);
         assert_eq!(c.active_threads(), 240);
+    }
+
+    #[test]
+    fn reset_flushes_registrations_and_frees_cores() {
+        let mut c = cosmic(OffloadPolicy::Fifo);
+        c.register_job(JobId(1), 1000, 240);
+        c.register_job(JobId(2), 1000, 240);
+        c.register_job(JobId(3), 1000, 120);
+        assert!(matches!(
+            c.request_offload(t(0), JobId(1), 240, w(10)),
+            Admission::Started(_)
+        ));
+        assert_eq!(
+            c.request_offload(t(0), JobId(2), 240, w(10)),
+            Admission::Queued
+        );
+        c.reset();
+        assert_eq!(c.registered_jobs(), 0);
+        assert_eq!(c.active_threads(), 0);
+        assert_eq!(c.queue_len(), 0);
+        // All cores came back: a re-registered full-width offload starts
+        // immediately, and stale jobs must re-register (register_job would
+        // panic on a survivor).
+        c.register_job(JobId(1), 1000, 240);
+        assert!(matches!(
+            c.request_offload(t(1), JobId(1), 240, w(5)),
+            Admission::Started(_)
+        ));
+        // Admission statistics survived the reset.
+        assert_eq!(c.queued_total, 1);
     }
 
     #[test]

@@ -322,6 +322,17 @@ impl PhiDevice {
         Ok(())
     }
 
+    /// MPSS crash/restart: every resident COI process is torn down and
+    /// every active offload aborted in one stroke, releasing all committed
+    /// memory. Utilization integrators and lifetime counters survive —
+    /// the card is the same card after the reboot — and the generation
+    /// bumps so every outstanding completion prediction goes stale.
+    pub fn reset(&mut self, now: SimTime) {
+        self.active.clear();
+        self.procs.clear();
+        self.reschedule(now);
+    }
+
     /// Predicted completion instants for all active offloads under current
     /// rates, paired with the device generation the prediction is valid for.
     ///
@@ -948,6 +959,47 @@ mod tests {
             d.abort_offload(t(3), ProcId(1)),
             Err(DeviceError::NoActiveOffload(ProcId(1)))
         );
+    }
+
+    #[test]
+    fn reset_tears_down_everything_but_keeps_history() {
+        let mut d = dev();
+        let mut r = rng();
+        d.attach(t(0), ProcId(1), 1000, 120, 400, &mut r).unwrap();
+        d.attach(t(0), ProcId(2), 500, 60, 200, &mut r).unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            120,
+            SimDuration::from_secs(10),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
+        d.finish_offload(t(10), ProcId(1)).unwrap();
+        d.start_offload(
+            t(10),
+            ProcId(2),
+            60,
+            SimDuration::from_secs(10),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
+        let gen = d.generation();
+        d.reset(t(15));
+        // The card is empty: no residents, no commits, no active offloads,
+        // no predicted completions.
+        assert_eq!(d.resident_count(), 0);
+        assert_eq!(d.committed_total_mb(), 0);
+        assert_eq!(d.declared_total_mb(), 0);
+        assert_eq!(d.active_offloads(), 0);
+        assert!(d.next_completion().is_none());
+        // Predictions from before the reset are invalidated.
+        assert!(d.generation() > gen);
+        // History survives the reboot: the completed-offload counter keeps
+        // its count and the card accepts new work immediately.
+        assert_eq!(d.offloads_completed.get(), 1);
+        d.attach(t(16), ProcId(3), 100, 60, 0, &mut r).unwrap();
+        assert_eq!(d.resident_count(), 1);
     }
 
     #[test]

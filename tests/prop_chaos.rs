@@ -1,0 +1,96 @@
+//! Chaos property tests: random fault plans over Table1Mix workloads.
+//!
+//! Whatever the injection schedule does — cards resetting mid-offload,
+//! nodes vanishing with jobs on them, strikes landing during recovery —
+//! every run must drain with conservative job accounting (completed +
+//! killed + held == submitted), leak no capacity (enforced inside the
+//! runtime's post-drain checks), and pass the full trace audit.
+
+use phishare::cluster::fault::{FaultEvent, FaultKind, FaultPlan};
+use phishare::cluster::{audit, ClusterConfig, Experiment};
+use phishare::core::ClusterPolicy;
+use phishare::sim::{SimDuration, SimTime};
+use phishare::workload::{WorkloadBuilder, WorkloadKind};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = ClusterPolicy> {
+    prop::sample::select(vec![
+        ClusterPolicy::Mc,
+        ClusterPolicy::Mcc,
+        ClusterPolicy::Mcck,
+    ])
+}
+
+/// Hand-rolled fault events: unlike `FaultPlan::generate`, these may pile
+/// several strikes onto one target (absorbed while it is already down) and
+/// use pathological downtimes.
+fn arb_fault(nodes: u32) -> impl Strategy<Value = FaultEvent> {
+    (any::<bool>(), 1..=nodes, 0u64..600_000, 1u64..120_000).prop_map(
+        |(reset, node, at_ms, down_ms)| FaultEvent {
+            kind: if reset {
+                FaultKind::DeviceReset
+            } else {
+                FaultKind::NodeChurn
+            },
+            node,
+            device: 0,
+            at: SimTime::ZERO + SimDuration::from_millis(at_ms),
+            downtime: SimDuration::from_millis(down_ms),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(110))]
+
+    /// ≥ 100 randomized seeds: conservation and audit invariants hold for
+    /// every fault schedule.
+    #[test]
+    fn chaos_preserves_conservation_and_audit_invariants(
+        policy in arb_policy(),
+        nodes in 2u32..=4,
+        jobs in 6usize..=20,
+        seed in 0u64..10_000,
+        max_retries in 0u32..=3,
+        requeue_fallback in any::<bool>(),
+        faults in prop::collection::vec(arb_fault(4), 0..8),
+    ) {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(jobs)
+            .seed(seed)
+            .build();
+        let mut cfg = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+        cfg.knapsack.window = 64;
+        cfg.recovery.max_retries = max_retries;
+        if requeue_fallback {
+            cfg.recovery.fallback = phishare::cluster::fault::FallbackPolicy::Requeue;
+        }
+
+        let mut events: Vec<FaultEvent> = faults
+            .into_iter()
+            .filter(|f| f.node <= nodes)
+            .collect();
+        events.sort_by_key(|f| (f.at, f.node, f.device, f.kind as u8));
+        let plan = FaultPlan { events };
+
+        // The runtime's own post-drain checks already fail the run on any
+        // capacity leak or live job, so an Ok here is itself an invariant.
+        let (r, trace) = Experiment::run_with_faults_traced(&cfg, &wl, &plan)
+            .expect("chaos run must drain cleanly");
+
+        // Conservation: every submitted job ends exactly one way.
+        prop_assert_eq!(
+            r.completed + r.container_kills + r.oom_kills + r.held_after_retries,
+            r.jobs,
+            "job accounting leaked: {:?}",
+            r
+        );
+        // Every injected fault either struck (counted) or was absorbed by
+        // an already-down target — never more strikes than injections.
+        prop_assert!(r.device_resets + r.node_churns <= plan.len() as u64);
+        // The trace-level invariants (fault/recovery pairing, no dispatch
+        // to down targets, lifecycle shapes) all hold.
+        let violations = audit(&cfg, &wl, &r, &trace);
+        prop_assert!(violations.is_empty(), "audit violations: {:?}", violations);
+    }
+}

@@ -106,7 +106,10 @@ fn lifecycles_are_well_formed() {
     }
     let mut lives: BTreeMap<JobId, Life> = BTreeMap::new();
     for ev in &trace.events {
-        let life = lives.entry(ev.job()).or_default();
+        let Some(job) = ev.job() else {
+            continue; // infrastructure events (none in a fault-free run)
+        };
+        let life = lives.entry(job).or_default();
         let t = ev.at().ticks();
         match ev {
             TraceEvent::Submitted { .. } => life.submitted = Some(t),
@@ -120,11 +123,11 @@ fn lifecycles_are_well_formed() {
             }
             TraceEvent::OffloadStarted { .. } => {
                 assert!(life.dispatched.is_some());
-                assert!(!life.open_offload, "{} started two offloads", ev.job());
+                assert!(!life.open_offload, "{job} started two offloads");
                 life.open_offload = true;
             }
             TraceEvent::OffloadFinished { .. } => {
-                assert!(life.open_offload, "{} finished a phantom offload", ev.job());
+                assert!(life.open_offload, "{job} finished a phantom offload");
                 life.open_offload = false;
                 life.offloads += 1;
             }
