@@ -6,7 +6,12 @@ use serde::{Deserialize, Serialize};
 
 /// Everything one simulation run reports — the quantities behind the paper's
 /// tables and figures.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality is implemented manually: [`ExperimentResult::plan_ms`] is
+/// wall-clock measurement, not simulation output, so it is excluded —
+/// bit-identity assertions across event modes and planner modes compare
+/// everything else.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentResult {
     /// Which stack ran.
     pub policy: ClusterPolicy,
@@ -62,6 +67,47 @@ pub struct ExperimentResult {
     pub fallback_offloads: u64,
     /// Jobs held permanently after exhausting their retry budget.
     pub held_after_retries: usize,
+    /// Planner solves answered from the solve memo (MCCK fast path; 0 for
+    /// other policies and for the naive-serial planner).
+    pub plan_cache_hits: u64,
+    /// Planner solves that ran a DP serially.
+    pub plan_cache_misses: u64,
+    /// Wall-clock spent inside `ClusterScheduler::plan` over the whole run,
+    /// milliseconds. Measurement only — excluded from equality.
+    pub plan_ms: f64,
+}
+
+impl PartialEq for ExperimentResult {
+    fn eq(&self, other: &Self) -> bool {
+        // Every field except `plan_ms` (nondeterministic wall-clock).
+        self.policy == other.policy
+            && self.nodes == other.nodes
+            && self.workload == other.workload
+            && self.jobs == other.jobs
+            && self.completed == other.completed
+            && self.container_kills == other.container_kills
+            && self.oom_kills == other.oom_kills
+            && self.makespan_secs == other.makespan_secs
+            && self.thread_utilization == other.thread_utilization
+            && self.core_utilization == other.core_utilization
+            && self.mem_utilization == other.mem_utilization
+            && self.device_busy_fraction == other.device_busy_fraction
+            && self.host_core_utilization == other.host_core_utilization
+            && self.mean_wait_secs == other.mean_wait_secs
+            && self.mean_turnaround_secs == other.mean_turnaround_secs
+            && self.mean_offload_queue_secs == other.mean_offload_queue_secs
+            && self.negotiation_cycles == other.negotiation_cycles
+            && self.pins_issued == other.pins_issued
+            && self.energy_kwh == other.energy_kwh
+            && self.events_processed == other.events_processed
+            && self.device_resets == other.device_resets
+            && self.node_churns == other.node_churns
+            && self.retries == other.retries
+            && self.fallback_offloads == other.fallback_offloads
+            && self.held_after_retries == other.held_after_retries
+            && self.plan_cache_hits == other.plan_cache_hits
+            && self.plan_cache_misses == other.plan_cache_misses
+    }
 }
 
 impl ExperimentResult {
@@ -124,7 +170,20 @@ mod tests {
             retries: 0,
             fallback_offloads: 0,
             held_after_retries: 0,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            plan_ms: 0.0,
         }
+    }
+
+    #[test]
+    fn equality_ignores_plan_wall_clock_only() {
+        let a = result(1.0);
+        let mut b = result(1.0);
+        b.plan_ms = 123.456;
+        assert_eq!(a, b, "plan_ms is measurement, not simulation output");
+        b.plan_cache_hits = 1;
+        assert_ne!(a, b, "cache counters are deterministic and must compare");
     }
 
     #[test]

@@ -421,6 +421,9 @@ struct World<'a> {
     retries: u64,
     fallback_offloads: u64,
     last_terminal: SimTime,
+    /// Wall-clock nanoseconds spent inside `ClusterScheduler::plan` —
+    /// planner cost measurement, never simulation state.
+    plan_nanos: u64,
 }
 
 impl<'a> World<'a> {
@@ -509,6 +512,7 @@ impl<'a> World<'a> {
             retries: 0,
             fallback_offloads: 0,
             last_terminal: SimTime::ZERO,
+            plan_nanos: 0,
         }
     }
 
@@ -618,7 +622,9 @@ impl<'a> World<'a> {
             let pending_jobs = self.pending_views();
             let device_views = self.device_views();
             let scheduler = self.scheduler.as_mut().expect("checked above");
+            let plan_start = std::time::Instant::now();
             let pins = scheduler.plan(&pending_jobs, &device_views);
+            self.plan_nanos += plan_start.elapsed().as_nanos() as u64;
             for Pin { job, node, device } in pins {
                 let node_name = format!("node{node}");
                 self.queue
@@ -1572,6 +1578,12 @@ impl<'a> World<'a> {
         }
         host_util /= self.hosts.len() as f64;
 
+        let plan_stats = self
+            .scheduler
+            .as_ref()
+            .map(|s| s.plan_stats())
+            .unwrap_or_default();
+
         let mut queue_waits = Summary::new();
         for cos in self.cosmic.values() {
             // Aggregate COSMIC queue waits across devices.
@@ -1608,6 +1620,9 @@ impl<'a> World<'a> {
             retries: self.retries,
             fallback_offloads: self.fallback_offloads,
             held_after_retries: self.retired.len(),
+            plan_cache_hits: plan_stats.cache_hits,
+            plan_cache_misses: plan_stats.cache_misses,
+            plan_ms: self.plan_nanos as f64 / 1e6,
         }
     }
 }

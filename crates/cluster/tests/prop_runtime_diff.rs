@@ -8,7 +8,7 @@
 //! semantics, not just simulation cost.
 
 use phishare_cluster::{audit, ClusterConfig, Experiment, FaultPlan};
-use phishare_core::ClusterPolicy;
+use phishare_core::{ClusterPolicy, PlannerMode};
 use phishare_sim::SimDuration;
 use phishare_workload::{ArrivalProcess, WorkloadBuilder, WorkloadKind};
 use proptest::prelude::*;
@@ -132,6 +132,64 @@ proptest! {
                 prop_assert_eq!(&ft.events, &nt.events, "fault traces diverged across event modes");
                 let fa = audit(&cfg, &wl, &fr, &ft);
                 prop_assert!(fa.is_empty(), "fault run failed its audit: {:?}", fa);
+            }
+            (fast, naive) => {
+                prop_assert_eq!(fast.map(|(r, _)| r), naive.map(|(r, _)| r));
+            }
+        }
+    }
+
+    /// The *planner* fast path (preprocessed instances, solve memo,
+    /// speculative parallel warm-up) must be bit-identical to the retained
+    /// naive serial planner across whole simulations — including under
+    /// fault injection, where device resets and job retries churn the
+    /// scheduler's view. Cache counters legitimately differ between the
+    /// modes (the naive planner never touches the memo), so they are
+    /// normalized to zero before comparison; everything else must match.
+    #[test]
+    fn fast_and_naive_planners_are_bit_identical_end_to_end(
+        policy in prop_oneof![Just(ClusterPolicy::Mcck), Just(ClusterPolicy::Oracle)],
+        nodes in 2u32..=5,
+        jobs in 8usize..=32,
+        seed in 0u64..500,
+        window in prop_oneof![Just(16usize), Just(64)],
+        with_faults in any::<bool>(),
+    ) {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(jobs)
+            .seed(seed)
+            .build();
+        let mut fast_cfg = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+        fast_cfg.knapsack.window = window;
+        fast_cfg.knapsack.planner = PlannerMode::Fast;
+        let mut naive_cfg = fast_cfg;
+        naive_cfg.knapsack.planner = PlannerMode::NaiveSerial;
+
+        let plan = if with_faults {
+            fast_cfg.faults.device_mtbf_secs = 120.0;
+            fast_cfg.faults.node_mtbf_secs = 400.0;
+            fast_cfg.faults.horizon_secs = 500.0;
+            naive_cfg.faults = fast_cfg.faults;
+            FaultPlan::generate(&fast_cfg)
+        } else {
+            FaultPlan::empty()
+        };
+
+        let fast = Experiment::run_with_faults_traced(&fast_cfg, &wl, &plan);
+        let naive = Experiment::run_with_faults_traced(&naive_cfg, &wl, &plan);
+        match (fast, naive) {
+            (Ok((mut fr, ft)), Ok((mut nr, nt))) => {
+                fr.plan_cache_hits = 0;
+                fr.plan_cache_misses = 0;
+                nr.plan_cache_hits = 0;
+                nr.plan_cache_misses = 0;
+                prop_assert_eq!(&fr, &nr, "metrics diverged across planner modes");
+                prop_assert_eq!(
+                    &ft.events, &nt.events,
+                    "traces diverged across planner modes"
+                );
+                let fa = audit(&fast_cfg, &wl, &fr, &ft);
+                prop_assert!(fa.is_empty(), "fast-planner run failed its audit: {:?}", fa);
             }
             (fast, naive) => {
                 prop_assert_eq!(fast.map(|(r, _)| r), naive.map(|(r, _)| r));

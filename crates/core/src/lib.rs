@@ -41,5 +41,5 @@ pub mod scheduler;
 pub use policy::ClusterPolicy;
 pub use scheduler::{
     ClairvoyantLpt, ClusterScheduler, DeviceView, KnapsackConfig, KnapsackScheduler,
-    KnapsackVariant, PendingJob, Pin, RandomScheduler,
+    KnapsackVariant, PendingJob, Pin, PlanStats, PlannerMode, RandomScheduler,
 };

@@ -2,12 +2,13 @@
 //! baseline (MCC).
 
 use phishare_knapsack::{
-    solve_1d_filtered_with, solve_2d_with, Capacity, DpScratch, PackItem, ValueFunction,
+    prep_1d, prep_2d, solve_1d_filtered_with, solve_2d_with, solve_prepped_1d_with,
+    solve_prepped_2d_with, Capacity, DpScratch, PackItem, Prepped, ValueFunction,
 };
 use phishare_sim::DetRng;
 use phishare_workload::JobId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// A pending job as the cluster scheduler sees it: only the declared
 /// envelope (the paper's explicit assumption — no execution times, no
@@ -78,6 +79,25 @@ pub trait ClusterScheduler {
 
     /// Scheduler name for reports.
     fn name(&self) -> &'static str;
+
+    /// Planning-cache counters (all zero for schedulers without a solve
+    /// cache).
+    fn plan_stats(&self) -> PlanStats {
+        PlanStats::default()
+    }
+}
+
+/// Cumulative counters for the planning fast path, surfaced through
+/// cluster reports so sweeps expose planner cost.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanStats {
+    /// Per-device solves answered from the memo cache (including entries
+    /// pre-solved by the speculative parallel warm-up) — no DP ran on the
+    /// planning thread.
+    pub cache_hits: u64,
+    /// Per-device solves that ran the DP serially (and populated the
+    /// cache).
+    pub cache_misses: u64,
 }
 
 /// Which DP formulation MCCK uses.
@@ -88,6 +108,21 @@ pub enum KnapsackVariant {
     TwoD,
     /// Paper-literal 1-D memory DP with thread repair (ablation).
     OneDFiltered,
+}
+
+/// Which planning implementation MCCK runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlannerMode {
+    /// The planning fast path: fit-filtered, multiplicity-truncated
+    /// instances solved through a content-addressed memo cache, with
+    /// speculative parallel pre-solves of distinct cold instances.
+    /// Bit-identical to [`PlannerMode::NaiveSerial`] by construction (and
+    /// by differential proptest).
+    #[default]
+    Fast,
+    /// The seed's serial per-device DP loop, retained as the differential
+    /// oracle (the PR 1 / PR 2 pattern).
+    NaiveSerial,
 }
 
 /// MCCK configuration.
@@ -122,6 +157,9 @@ pub struct KnapsackConfig {
     /// a modest overcommit recovers it, and COSMIC serializes the rare
     /// transient excess. 1.0 = strict.
     pub thread_overcommit: f64,
+    /// Planning implementation ([`PlannerMode::Fast`] by default;
+    /// [`PlannerMode::NaiveSerial`] is the differential oracle).
+    pub planner: PlannerMode,
 }
 
 impl Default for KnapsackConfig {
@@ -134,8 +172,35 @@ impl Default for KnapsackConfig {
             window: 256,
             count_resident_threads: true,
             thread_overcommit: 1.5,
+            planner: PlannerMode::Fast,
         }
     }
+}
+
+/// Entries the solve cache holds before it is wholesale cleared. The cache
+/// is a pure memo (values never depend on cache state), so eviction is
+/// always safe — this only bounds memory on pathological workloads.
+const PLAN_CACHE_CAP: usize = 4096;
+
+/// Minimum estimated DP cell updates across the cold instances of a cycle
+/// before the speculative warm-up spawns worker threads; below this the
+/// serial solves are cheaper than thread startup.
+const PARALLEL_CELL_FLOOR: u64 = 2_000_000;
+
+/// Content-addressed identity of one device solve. Two solves with equal
+/// keys see byte-identical DP inputs — same capacity in memory units, same
+/// raw thread budget (which fixes both the thread-unit dimension and the
+/// per-item thread filter), and the same ordered sequence of effective
+/// `(memory units, declared threads)` items (thread units and item values
+/// both derive from declared threads; the scheduler's remaining knobs are
+/// fixed per instance) — so the full DP, including its FIFO tie-breaks,
+/// is determined. Keys are compared in full on lookup, never by hash
+/// alone, so collisions cannot smuggle in a wrong packing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SolveKey {
+    w_max: usize,
+    thread_budget: u32,
+    items: Vec<(usize, u32)>,
 }
 
 /// The paper's knapsack-based sharing-aware scheduler (Fig. 4).
@@ -148,6 +213,15 @@ pub struct KnapsackScheduler {
     /// DP buffers reused across packing rounds (one knapsack per device per
     /// round; the table shapes repeat, so reuse eliminates the allocations).
     scratch: DpScratch,
+    /// Memo of solved instances: [`SolveKey`] → selected positions into the
+    /// prepped item list. Content-addressed, so it never goes stale: every
+    /// invalidation event (dispatch, completion, fault reset, node churn)
+    /// reaches the scheduler as an `on_dispatched`/`on_job_gone` call or a
+    /// changed device view, both of which change the key of any affected
+    /// solve rather than requiring an eviction.
+    cache: HashMap<SolveKey, Vec<usize>>,
+    /// Hit/miss counters for reports.
+    stats: PlanStats,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -167,6 +241,8 @@ impl KnapsackScheduler {
             cfg,
             outstanding: BTreeMap::new(),
             scratch: DpScratch::default(),
+            cache: HashMap::new(),
+            stats: PlanStats::default(),
         }
     }
 
@@ -180,6 +256,11 @@ impl KnapsackScheduler {
         self.outstanding.len()
     }
 
+    /// Number of memoized solves currently held.
+    pub fn plan_cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
     /// Outstanding (memory, threads) already pinned to one device.
     fn outstanding_on_device(&self, node: u32, device: u32) -> (u64, u32) {
         self.outstanding
@@ -188,14 +269,15 @@ impl KnapsackScheduler {
             .fold((0, 0), |(m, t), p| (m + p.mem_mb, t + p.threads))
     }
 
-    /// Pack one device's knapsack from the pending jobs; returns the pins.
-    /// This is the "create knapsack: capacity = free memory in D" step of
-    /// Fig. 4, invoked per device initially and per completion thereafter.
-    pub fn plan_device(&mut self, pending: &[PendingJob], device: &DeviceView) -> Vec<Pin> {
+    /// The knapsack capacity for one device this round, net of outstanding
+    /// pins; `None` when no memory is free. Shared by the naive path, the
+    /// fast path and the speculative warm-up so all three see the same
+    /// budget arithmetic.
+    fn round_capacity(&self, device: &DeviceView) -> Option<Capacity> {
         let (out_mem, out_threads) = self.outstanding_on_device(device.node, device.device);
         let free = device.free_declared_mb.saturating_sub(out_mem);
         if free == 0 {
-            return Vec::new();
+            return None;
         }
         let thread_budget = if self.cfg.count_resident_threads {
             let total = (self.cfg.thread_limit as f64 * self.cfg.thread_overcommit).round() as u32;
@@ -203,48 +285,49 @@ impl KnapsackScheduler {
         } else {
             self.cfg.thread_limit
         };
-        let cap = Capacity {
+        Some(Capacity {
             mem_mb: free,
             granularity_mb: self.cfg.granularity_mb,
             thread_limit: thread_budget,
             // Eq. (1) always normalizes by the hardware thread count, even
             // when the strict ablation shrinks the packing budget.
             value_ref_threads: self.cfg.thread_limit,
-        };
+        })
+    }
 
-        // FIFO window of candidates that are not already pinned elsewhere.
-        let candidates: Vec<(usize, &PendingJob)> = pending
+    /// FIFO window of candidates that are not already pinned elsewhere.
+    fn window_candidates<'p>(&self, pending: &'p [PendingJob]) -> Vec<&'p PendingJob> {
+        pending
             .iter()
             .filter(|j| !self.outstanding.contains_key(&j.id))
             .take(self.cfg.window)
-            .enumerate()
-            .collect();
-        if candidates.is_empty() {
-            return Vec::new();
-        }
-        let items: Vec<PackItem> = candidates
+            .collect()
+    }
+
+    fn pack_items(candidates: &[&PendingJob]) -> Vec<PackItem> {
+        candidates
             .iter()
+            .enumerate()
             .map(|(i, j)| PackItem {
-                index: *i,
+                index: i,
                 mem_mb: j.mem_mb,
                 threads: j.threads,
             })
-            .collect();
+            .collect()
+    }
 
-        let packing = match self.cfg.variant {
-            KnapsackVariant::TwoD => {
-                solve_2d_with(&items, &cap, self.cfg.value_fn, &mut self.scratch)
-            }
-            KnapsackVariant::OneDFiltered => {
-                solve_1d_filtered_with(&items, &cap, self.cfg.value_fn, &mut self.scratch)
-            }
-        };
-
-        packing
-            .selected
+    /// Record pins for the selected candidate positions and book them as
+    /// outstanding.
+    fn commit(
+        &mut self,
+        device: &DeviceView,
+        candidates: &[&PendingJob],
+        selected: &[usize],
+    ) -> Vec<Pin> {
+        selected
             .iter()
             .map(|&idx| {
-                let job = candidates[idx].1;
+                let job = candidates[idx];
                 self.outstanding.insert(
                     job.id,
                     OutstandingPin {
@@ -262,6 +345,197 @@ impl KnapsackScheduler {
             })
             .collect()
     }
+
+    /// Pack one device's knapsack from the pending jobs; returns the pins.
+    /// This is the "create knapsack: capacity = free memory in D" step of
+    /// Fig. 4, invoked per device initially and per completion thereafter.
+    ///
+    /// This is the **naive** (uncached, unprepped) solve — the differential
+    /// oracle the fast path is measured and verified against.
+    pub fn plan_device(&mut self, pending: &[PendingJob], device: &DeviceView) -> Vec<Pin> {
+        let Some(cap) = self.round_capacity(device) else {
+            return Vec::new();
+        };
+        let candidates = self.window_candidates(pending);
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let items = Self::pack_items(&candidates);
+
+        let packing = match self.cfg.variant {
+            KnapsackVariant::TwoD => {
+                solve_2d_with(&items, &cap, self.cfg.value_fn, &mut self.scratch)
+            }
+            KnapsackVariant::OneDFiltered => {
+                solve_1d_filtered_with(&items, &cap, self.cfg.value_fn, &mut self.scratch)
+            }
+        };
+        self.commit(device, &candidates, &packing.selected)
+    }
+
+    /// Fast-path analogue of [`KnapsackScheduler::plan_device`]: preprocess
+    /// the instance, answer from the memo cache when possible, solve and
+    /// memoize otherwise. Bit-identical to the naive path because the
+    /// prepped solvers share their DP cores with the raw ones and the
+    /// [`SolveKey`] captures every input the solve depends on.
+    fn plan_device_fast(&mut self, pending: &[PendingJob], device: &DeviceView) -> Vec<Pin> {
+        let Some(cap) = self.round_capacity(device) else {
+            return Vec::new();
+        };
+        let candidates = self.window_candidates(pending);
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let items = Self::pack_items(&candidates);
+        let pre = match self.cfg.variant {
+            KnapsackVariant::TwoD => prep_2d(&items, &cap),
+            KnapsackVariant::OneDFiltered => prep_1d(&items, &cap),
+        };
+        if pre.items.is_empty() {
+            // The raw solver would return an empty packing; skip the cache.
+            return Vec::new();
+        }
+        let key = solve_key(&pre);
+        let positions = if let Some(hit) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            hit.clone()
+        } else {
+            self.stats.cache_misses += 1;
+            let (positions, _) =
+                solve_prepped(self.cfg.variant, self.cfg.value_fn, &pre, &mut self.scratch);
+            self.insert_cached(key, positions.clone());
+            positions
+        };
+        let selected: Vec<usize> = positions.iter().map(|&p| pre.items[p].pos).collect();
+        self.commit(device, &candidates, &selected)
+    }
+
+    fn insert_cached(&mut self, key: SolveKey, positions: Vec<usize>) {
+        if self.cache.len() >= PLAN_CACHE_CAP {
+            // Pure memo: clearing can cost recomputation, never correctness.
+            self.cache.clear();
+        }
+        self.cache.insert(key, positions);
+    }
+
+    /// Speculative parallel warm-up. Devices are *not* independent within a
+    /// cycle — each device's pins shrink the candidate window of the ones
+    /// after it — so parallel solves cannot replace the serial merge.
+    /// Instead, every device's instance is prepped against the cycle-start
+    /// snapshot (pending minus outstanding, a read-only view the workers
+    /// never mutate), the distinct cold keys are solved concurrently with
+    /// one `DpScratch` per worker, and the results are memoized. The serial
+    /// merge then recomputes each device's true instance and looks it up:
+    /// a correct speculation hits the cache, a wrong one (the key changed
+    /// because an earlier device pinned jobs) falls back to a serial solve.
+    /// Either way the pins are exactly the serial loop's — the cache only
+    /// ever answers for a key it solved, wherever it was solved.
+    fn warm_cache(&mut self, pending: &[PendingJob], order: &[&DeviceView]) {
+        if order.len() < 2 {
+            return;
+        }
+        let candidates = self.window_candidates(pending);
+        if candidates.is_empty() {
+            return;
+        }
+        let items = Self::pack_items(&candidates);
+        let mut seen: HashSet<SolveKey> = HashSet::new();
+        let mut tasks: Vec<(SolveKey, Prepped)> = Vec::new();
+        let mut est_cells: u64 = 0;
+        for device in order {
+            let Some(cap) = self.round_capacity(device) else {
+                continue;
+            };
+            let pre = match self.cfg.variant {
+                KnapsackVariant::TwoD => prep_2d(&items, &cap),
+                KnapsackVariant::OneDFiltered => prep_1d(&items, &cap),
+            };
+            if pre.items.is_empty() {
+                continue;
+            }
+            let key = solve_key(&pre);
+            if self.cache.contains_key(&key) || !seen.insert(key.clone()) {
+                continue;
+            }
+            est_cells += solve_cells(self.cfg.variant, &pre);
+            tasks.push((key, pre));
+        }
+        if tasks.len() < 2 || est_cells < PARALLEL_CELL_FLOOR {
+            return;
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .saturating_sub(1)
+            .min(tasks.len());
+        if workers < 2 {
+            return;
+        }
+
+        // sweep.rs's (index, result) channel pattern: scoped workers drain a
+        // task channel, results reassemble by index.
+        let variant = self.cfg.variant;
+        let value_fn = self.cfg.value_fn;
+        let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, &Prepped)>();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, Vec<usize>)>();
+        for (i, (_, pre)) in tasks.iter().enumerate() {
+            let _ = task_tx.send((i, pre));
+        }
+        drop(task_tx);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let task_rx = task_rx.clone();
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    let mut scratch = DpScratch::default();
+                    while let Ok((i, pre)) = task_rx.recv() {
+                        let (positions, _) = solve_prepped(variant, value_fn, pre, &mut scratch);
+                        let _ = res_tx.send((i, positions));
+                    }
+                });
+            }
+        });
+        drop(res_tx);
+        let mut solved: Vec<Option<Vec<usize>>> = (0..tasks.len()).map(|_| None).collect();
+        while let Ok((i, positions)) = res_rx.recv() {
+            solved[i] = Some(positions);
+        }
+        for ((key, _), positions) in tasks.into_iter().zip(solved) {
+            if let Some(positions) = positions {
+                self.insert_cached(key, positions);
+            }
+        }
+    }
+}
+
+fn solve_key(pre: &Prepped) -> SolveKey {
+    SolveKey {
+        w_max: pre.w_max,
+        thread_budget: pre.thread_limit,
+        items: pre.items.iter().map(|it| (it.w, it.threads)).collect(),
+    }
+}
+
+fn solve_prepped(
+    variant: KnapsackVariant,
+    value_fn: ValueFunction,
+    pre: &Prepped,
+    scratch: &mut DpScratch,
+) -> (Vec<usize>, f64) {
+    match variant {
+        KnapsackVariant::TwoD => solve_prepped_2d_with(pre, value_fn, scratch),
+        KnapsackVariant::OneDFiltered => solve_prepped_1d_with(pre, value_fn, scratch),
+    }
+}
+
+/// Estimated DP cell updates for one prepped solve (the warm-up's
+/// is-it-worth-spawning-threads heuristic).
+fn solve_cells(variant: KnapsackVariant, pre: &Prepped) -> u64 {
+    let dims = match variant {
+        KnapsackVariant::TwoD => (pre.w_max as u64 + 1) * (pre.t_max as u64 + 1),
+        KnapsackVariant::OneDFiltered => pre.w_max as u64 + 1,
+    };
+    pre.items.len() as u64 * dims
 }
 
 impl ClusterScheduler for KnapsackScheduler {
@@ -276,9 +550,16 @@ impl ClusterScheduler for KnapsackScheduler {
                 .then(a.node.cmp(&b.node))
                 .then(a.device.cmp(&b.device))
         });
+        if self.cfg.planner == PlannerMode::Fast {
+            self.warm_cache(pending, &order);
+        }
         let mut pins = Vec::new();
         for device in order {
-            pins.extend(self.plan_device(pending, device));
+            let device_pins = match self.cfg.planner {
+                PlannerMode::Fast => self.plan_device_fast(pending, device),
+                PlannerMode::NaiveSerial => self.plan_device(pending, device),
+            };
+            pins.extend(device_pins);
         }
         pins
     }
@@ -293,6 +574,10 @@ impl ClusterScheduler for KnapsackScheduler {
 
     fn name(&self) -> &'static str {
         "knapsack"
+    }
+
+    fn plan_stats(&self) -> PlanStats {
+        self.stats
     }
 }
 
@@ -695,6 +980,112 @@ mod tests {
         assert!(pins2.is_empty());
         s.on_dispatched(JobId(0));
         assert_eq!(s.name(), "clairvoyant-lpt");
+    }
+
+    #[test]
+    fn identical_devices_and_recurring_states_hit_the_plan_cache() {
+        let mut s = KnapsackScheduler::new(KnapsackConfig::default());
+        // Duplication-heavy queue: all candidates share one class, so after
+        // multiplicity truncation every fresh device solves the *same*
+        // 3-copy instance (⌊153 units / 40 units⌋ = 3 by memory).
+        let pending: Vec<PendingJob> = (0..40).map(|i| job(i, 2000, 60)).collect();
+        let devs = [dev(1, 7680), dev(2, 7680), dev(3, 7680), dev(4, 7680)];
+        let pins = s.plan(&pending, &devs);
+        assert_eq!(pins.len(), 12, "3 jobs per device");
+        assert_eq!(s.plan_stats().cache_misses, 1, "one DP serves all devices");
+        assert_eq!(s.plan_stats().cache_hits, 3);
+
+        // Unchanged state: anything that fit was already packed, so the
+        // next cycle's instances prep to empty and cost no DP at all.
+        let again = s.plan(&pending, &devs);
+        assert!(again.is_empty(), "outstanding pins must not re-pin");
+        assert_eq!(s.plan_stats().cache_misses, 1);
+
+        // Dispatch everything and let it "complete": the views return to
+        // their initial state, the shrunken queue preps to the same 3-copy
+        // instance, and the whole cycle is answered from cache.
+        for pin in &pins {
+            s.on_dispatched(pin.job);
+        }
+        let remaining: Vec<PendingJob> = pending
+            .iter()
+            .filter(|j| !pins.iter().any(|p| p.job == j.id))
+            .copied()
+            .collect();
+        let pins2 = s.plan(&remaining, &devs);
+        assert_eq!(pins2.len(), 12);
+        assert_eq!(s.plan_stats().cache_misses, 1, "recurring state re-solved");
+        assert_eq!(s.plan_stats().cache_hits, 3 + 4);
+        assert_eq!(s.plan_cache_len(), 1);
+    }
+
+    #[test]
+    fn fast_and_naive_planners_agree_across_a_scripted_run() {
+        // A deterministic multi-cycle script: plan, dispatch some pins,
+        // lose some jobs, shrink/grow device views. Both planners must
+        // produce identical pins at every step.
+        let naive_cfg = KnapsackConfig {
+            planner: PlannerMode::NaiveSerial,
+            ..KnapsackConfig::default()
+        };
+        let mut fast = KnapsackScheduler::new(KnapsackConfig::default());
+        let mut naive = KnapsackScheduler::new(naive_cfg);
+        let mut pending: Vec<PendingJob> = (0..60)
+            .map(|i| job(i, 500 + 250 * (i % 12), 20 + 20 * (i % 6) as u32))
+            .collect();
+        let mut devs = vec![dev(1, 7680), dev(2, 7680), dev(3, 5000), dev(4, 2000)];
+        for cycle in 0..12u64 {
+            let p_fast = fast.plan(&pending, &devs);
+            let p_naive = naive.plan(&pending, &devs);
+            assert_eq!(p_fast, p_naive, "cycle {cycle} diverged");
+            // Dispatch every other pin; the rest stay outstanding.
+            for (i, pin) in p_fast.iter().enumerate() {
+                if i % 2 == 0 {
+                    fast.on_dispatched(pin.job);
+                    naive.on_dispatched(pin.job);
+                    let d = devs
+                        .iter_mut()
+                        .find(|d| d.node == pin.node && d.device == pin.device)
+                        .unwrap();
+                    let spec = pending.iter().find(|j| j.id == pin.job).unwrap();
+                    d.free_declared_mb = d.free_declared_mb.saturating_sub(spec.mem_mb);
+                    d.resident_threads += spec.threads;
+                    let id = pin.job;
+                    pending.retain(|j| j.id != id);
+                }
+            }
+            // Device-reset-style churn: every third cycle one device's
+            // capacity snaps back and a pinned job vanishes.
+            if cycle % 3 == 2 {
+                let reset_at = (cycle as usize / 3) % devs.len();
+                devs[reset_at].free_declared_mb = 7680;
+                if let Some(pin) = p_fast.get(1) {
+                    fast.on_job_gone(pin.job);
+                    naive.on_job_gone(pin.job);
+                    let id = pin.job;
+                    pending.retain(|j| j.id != id);
+                }
+            }
+        }
+        assert_eq!(fast.outstanding_pins(), naive.outstanding_pins());
+    }
+
+    #[test]
+    fn one_d_variant_fast_path_matches_naive() {
+        let base = KnapsackConfig {
+            variant: KnapsackVariant::OneDFiltered,
+            ..KnapsackConfig::default()
+        };
+        let mut fast = KnapsackScheduler::new(base);
+        let mut naive = KnapsackScheduler::new(KnapsackConfig {
+            planner: PlannerMode::NaiveSerial,
+            ..base
+        });
+        let pending: Vec<PendingJob> = (0..30)
+            .map(|i| job(i, 400 + 300 * (i % 7), 40 * (1 + (i % 5) as u32)))
+            .collect();
+        let devs = [dev(1, 7680), dev(2, 4000)];
+        assert_eq!(fast.plan(&pending, &devs), naive.plan(&pending, &devs));
     }
 
     #[test]

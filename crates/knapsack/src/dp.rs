@@ -1,13 +1,26 @@
 //! Dynamic-programming knapsack solvers.
+//!
+//! Two entry families share one DP core each:
+//!
+//! * [`solve_2d`] / [`solve_1d_filtered`] — take raw [`PackItem`]s, filter
+//!   and evaluate them inline (the seed's solvers, retained as differential
+//!   oracles for the planning fast path);
+//! * [`solve_prepped_2d_with`] / [`solve_prepped_1d_with`] — take a
+//!   [`Prepped`](crate::prep::Prepped) instance produced by
+//!   [`prep_2d`](crate::prep::prep_2d) / [`prep_1d`](crate::prep::prep_1d)
+//!   (fit-filtered, multiplicity-truncated) and return selected *positions*
+//!   into it. Because both families funnel through the same cores, a prepped
+//!   solve is bit-identical to the raw solve on the same instance.
 
 use crate::item::{Capacity, PackItem, Packing};
+use crate::prep::Prepped;
 use crate::value::ValueFunction;
 
 /// Hardware threads per memory-free "thread unit". Threads are discretized
 /// by core (4 hardware threads) exactly as memory is discretized by
 /// granularity; workloads request threads in multiples of 4, so this is
 /// lossless for them and conservative otherwise.
-const THREADS_PER_UNIT: u32 = 4;
+pub(crate) const THREADS_PER_UNIT: u32 = 4;
 
 /// Reusable buffers for the DP solvers. A scheduler calls the knapsack once
 /// per device per planning round; holding one `DpScratch` across calls
@@ -20,6 +33,10 @@ pub struct DpScratch {
     dp: Vec<f64>,
     /// Backing words of the backtracking [`BitGrid`].
     words: Vec<u64>,
+    /// High-water mark: how many leading words of `words` the previous
+    /// solve may have dirtied. Everything past it is known-zero, so a reset
+    /// only has to re-zero this prefix instead of the whole buffer.
+    words_hot: usize,
 }
 
 /// A dense bit grid recording, per item layer, which DP cells were improved
@@ -31,10 +48,25 @@ struct BitGrid<'a> {
 }
 
 impl<'a> BitGrid<'a> {
-    fn reset(words: &'a mut Vec<u64>, items: usize, cells_per_item: usize) -> Self {
-        let total_bits = items * cells_per_item;
-        words.clear();
-        words.resize(total_bits.div_ceil(64), 0u64);
+    /// Prepare a zeroed grid of `items × cells_per_item` bits on top of the
+    /// scratch words, retaining capacity across solves. Invariant: words at
+    /// and beyond `*hot` are zero, so only the previously dirtied prefix
+    /// needs re-zeroing — repeated solves of any size never re-zero the full
+    /// backing buffer, and shrinking instances never pay for the largest
+    /// instance seen.
+    fn reset(
+        words: &'a mut Vec<u64>,
+        hot: &'a mut usize,
+        items: usize,
+        cells_per_item: usize,
+    ) -> Self {
+        let total_words = (items * cells_per_item).div_ceil(64);
+        let dirty = (*hot).min(words.len());
+        words[..dirty].fill(0);
+        if words.len() < total_words {
+            words.resize(total_words, 0u64);
+        }
+        *hot = total_words;
         BitGrid {
             words,
             cells_per_item,
@@ -51,6 +83,122 @@ impl<'a> BitGrid<'a> {
     fn get(&self, item: usize, cell: usize) -> bool {
         let bit = item * self.cells_per_item + cell;
         self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+}
+
+/// One effective item layer for the 2-D core: weight/thread units plus its
+/// already-evaluated value.
+struct Layer2 {
+    w: usize,
+    t: usize,
+    v: f64,
+}
+
+/// Shared 2-D DP core. Returns the selected layer positions in
+/// reconstruction order (descending) and the optimum at the full-capacity
+/// cell. Both the raw and the prepped entry points call this, which is what
+/// makes them bit-identical on equal effective instances.
+fn dp_core_2d(
+    layers: &[Layer2],
+    w_max: usize,
+    t_max: usize,
+    scratch: &mut DpScratch,
+) -> (Vec<usize>, f64) {
+    let stride = t_max + 1;
+    let cells = (w_max + 1) * stride;
+    let DpScratch {
+        dp,
+        words,
+        words_hot,
+    } = scratch;
+    dp.clear();
+    dp.resize(cells, 0.0);
+    let mut taken = BitGrid::reset(words, words_hot, layers.len(), cells);
+
+    for (k, it) in layers.iter().enumerate() {
+        // In-place 0-1 update: iterate capacities downward so each item is
+        // used at most once.
+        for w in (it.w..=w_max).rev() {
+            for t in (it.t..=t_max).rev() {
+                let from = (w - it.w) * stride + (t - it.t);
+                let here = w * stride + t;
+                let candidate = dp[from] + it.v;
+                if candidate > dp[here] {
+                    dp[here] = candidate;
+                    taken.set(k, here);
+                }
+            }
+        }
+    }
+
+    // Reconstruct from the full-capacity cell.
+    let mut w = w_max;
+    let mut t = t_max;
+    let mut selected = Vec::new();
+    for (k, it) in layers.iter().enumerate().rev() {
+        if taken.get(k, w * stride + t) {
+            selected.push(k);
+            w -= it.w;
+            t -= it.t;
+        }
+    }
+    (selected, dp[cells - 1])
+}
+
+/// One effective item layer for the 1-D core.
+struct Layer1 {
+    w: usize,
+    v: f64,
+}
+
+/// Shared 1-D DP core; returns selected layer positions in reconstruction
+/// order (descending).
+fn dp_core_1d(layers: &[Layer1], w_max: usize, scratch: &mut DpScratch) -> Vec<usize> {
+    let DpScratch {
+        dp,
+        words,
+        words_hot,
+    } = scratch;
+    dp.clear();
+    dp.resize(w_max + 1, 0.0);
+    let mut taken = BitGrid::reset(words, words_hot, layers.len(), w_max + 1);
+    for (k, it) in layers.iter().enumerate() {
+        for w in (it.w..=w_max).rev() {
+            let candidate = dp[w - it.w] + it.v;
+            if candidate > dp[w] {
+                dp[w] = candidate;
+                taken.set(k, w);
+            }
+        }
+    }
+
+    let mut w = w_max;
+    let mut chosen = Vec::new();
+    for (k, it) in layers.iter().enumerate().rev() {
+        if taken.get(k, w) {
+            chosen.push(k);
+            w -= it.w;
+        }
+    }
+    chosen
+}
+
+/// Shared repair pass for the 1-D variant: enforce the value-zero rule by
+/// shedding thread hogs until the chosen set's thread sum fits. `chosen`
+/// must be in DP reconstruction order (descending position) — the
+/// `max_by_key` tie-break (last maximal element in iteration order) and the
+/// `swap_remove` shuffle are order-sensitive, so both solver families feed
+/// this the same order to stay bit-identical.
+fn repair_threads(chosen: &mut Vec<usize>, threads_of: impl Fn(usize) -> u32, limit: u32) {
+    let mut total_threads: u32 = chosen.iter().map(|&p| threads_of(p)).sum();
+    while total_threads > limit {
+        let (drop_at, _) = chosen
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &p)| threads_of(p))
+            .expect("non-empty while oversubscribed");
+        total_threads -= threads_of(chosen[drop_at]);
+        chosen.swap_remove(drop_at);
     }
 }
 
@@ -96,21 +244,16 @@ pub fn solve_2d_with(
     }
 
     // Pre-filter items that cannot fit alone; remember original positions.
-    struct Prepared {
-        pos: usize, // position in `items`
-        w: usize,
-        t: usize,
-        v: f64,
-    }
-    let prepared: Vec<Prepared> = items
+    let mut pos_of = Vec::new();
+    let layers: Vec<Layer2> = items
         .iter()
         .enumerate()
         .filter_map(|(pos, it)| {
             let w = cap.item_units(it.mem_mb);
             let t = it.threads.div_ceil(THREADS_PER_UNIT) as usize;
             if w <= w_max && t <= t_max && it.threads <= cap.thread_limit {
-                Some(Prepared {
-                    pos,
+                pos_of.push(pos);
+                Some(Layer2 {
                     w,
                     t,
                     v: value_fn.value(it.threads, cap.value_threads()),
@@ -120,45 +263,13 @@ pub fn solve_2d_with(
             }
         })
         .collect();
-    if prepared.is_empty() {
+    if layers.is_empty() {
         return Packing::default();
     }
 
-    let stride = t_max + 1;
-    let cells = (w_max + 1) * stride;
-    let DpScratch { dp, words } = scratch;
-    dp.clear();
-    dp.resize(cells, 0.0);
-    let mut taken = BitGrid::reset(words, prepared.len(), cells);
-
-    for (k, it) in prepared.iter().enumerate() {
-        // In-place 0-1 update: iterate capacities downward so each item is
-        // used at most once.
-        for w in (it.w..=w_max).rev() {
-            for t in (it.t..=t_max).rev() {
-                let from = (w - it.w) * stride + (t - it.t);
-                let here = w * stride + t;
-                let candidate = dp[from] + it.v;
-                if candidate > dp[here] {
-                    dp[here] = candidate;
-                    taken.set(k, here);
-                }
-            }
-        }
-    }
-
-    // Reconstruct from the full-capacity cell.
-    let mut w = w_max;
-    let mut t = t_max;
-    let mut selected = Vec::new();
-    for (k, it) in prepared.iter().enumerate().rev() {
-        if taken.get(k, w * stride + t) {
-            selected.push(items[it.pos].index);
-            w -= it.w;
-            t -= it.t;
-        }
-    }
-    Packing::from_selection(items, selected, dp[cells - 1])
+    let (chosen, total) = dp_core_2d(&layers, w_max, t_max, scratch);
+    let selected = chosen.into_iter().map(|k| items[pos_of[k]].index).collect();
+    Packing::from_selection(items, selected, total)
 }
 
 /// The paper-literal variant: a 1-D DP over memory only, followed by a
@@ -183,68 +294,90 @@ pub fn solve_1d_filtered_with(
         return Packing::default();
     }
 
-    struct Prepared {
-        pos: usize,
-        w: usize,
-        v: f64,
-    }
-    let prepared: Vec<Prepared> = items
+    let mut pos_of = Vec::new();
+    let layers: Vec<Layer1> = items
         .iter()
         .enumerate()
         .filter_map(|(pos, it)| {
             let w = cap.item_units(it.mem_mb);
-            (w <= w_max && it.threads <= cap.thread_limit).then_some(Prepared {
-                pos,
-                w,
-                v: value_fn.value(it.threads, cap.value_threads()),
+            (w <= w_max && it.threads <= cap.thread_limit).then(|| {
+                pos_of.push(pos);
+                Layer1 {
+                    w,
+                    v: value_fn.value(it.threads, cap.value_threads()),
+                }
             })
         })
         .collect();
-    if prepared.is_empty() {
+    if layers.is_empty() {
         return Packing::default();
     }
 
-    let DpScratch { dp, words } = scratch;
-    dp.clear();
-    dp.resize(w_max + 1, 0.0);
-    let mut taken = BitGrid::reset(words, prepared.len(), w_max + 1);
-    for (k, it) in prepared.iter().enumerate() {
-        for w in (it.w..=w_max).rev() {
-            let candidate = dp[w - it.w] + it.v;
-            if candidate > dp[w] {
-                dp[w] = candidate;
-                taken.set(k, w);
-            }
-        }
-    }
-
-    let mut w = w_max;
-    let mut chosen: Vec<usize> = Vec::new(); // positions into `items`
-    for (k, it) in prepared.iter().enumerate().rev() {
-        if taken.get(k, w) {
-            chosen.push(it.pos);
-            w -= it.w;
-        }
-    }
-
-    // Repair: enforce the value-zero rule by shedding thread hogs.
-    let mut total_threads: u32 = chosen.iter().map(|&p| items[p].threads).sum();
-    while total_threads > cap.thread_limit {
-        let (drop_at, _) = chosen
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &p)| items[p].threads)
-            .expect("non-empty while oversubscribed");
-        total_threads -= items[chosen[drop_at]].threads;
-        chosen.swap_remove(drop_at);
-    }
+    let mut chosen = dp_core_1d(&layers, w_max, scratch);
+    repair_threads(&mut chosen, |k| items[pos_of[k]].threads, cap.thread_limit);
 
     let total_value = chosen
         .iter()
-        .map(|&p| value_fn.value(items[p].threads, cap.value_threads()))
+        .map(|&k| value_fn.value(items[pos_of[k]].threads, cap.value_threads()))
         .sum();
-    let selected = chosen.into_iter().map(|p| items[p].index).collect();
+    let selected = chosen.into_iter().map(|k| items[pos_of[k]].index).collect();
     Packing::from_selection(items, selected, total_value)
+}
+
+/// Solve a [`Prepped`] 2-D instance. Returns `(positions, total_value)`
+/// where positions index into `pre.items` in ascending order. Bit-identical
+/// to [`solve_2d_with`] on the raw instance the prep came from (the
+/// truncated copies provably never enter any optimum — see
+/// [`crate::prep`]).
+pub fn solve_prepped_2d_with(
+    pre: &Prepped,
+    value_fn: ValueFunction,
+    scratch: &mut DpScratch,
+) -> (Vec<usize>, f64) {
+    if pre.items.is_empty() || pre.w_max == 0 || pre.t_max == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let layers: Vec<Layer2> = pre
+        .items
+        .iter()
+        .map(|it| Layer2 {
+            w: it.w,
+            t: it.t,
+            v: value_fn.value(it.threads, pre.value_ref),
+        })
+        .collect();
+    let (mut chosen, total) = dp_core_2d(&layers, pre.w_max, pre.t_max, scratch);
+    chosen.sort_unstable();
+    (chosen, total)
+}
+
+/// Solve a [`Prepped`] 1-D instance (memory DP + thread repair). Returns
+/// `(positions, total_value)` with positions into `pre.items`, ascending.
+/// Bit-identical to [`solve_1d_filtered_with`] on the raw instance.
+pub fn solve_prepped_1d_with(
+    pre: &Prepped,
+    value_fn: ValueFunction,
+    scratch: &mut DpScratch,
+) -> (Vec<usize>, f64) {
+    if pre.items.is_empty() || pre.w_max == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let layers: Vec<Layer1> = pre
+        .items
+        .iter()
+        .map(|it| Layer1 {
+            w: it.w,
+            v: value_fn.value(it.threads, pre.value_ref),
+        })
+        .collect();
+    let mut chosen = dp_core_1d(&layers, pre.w_max, scratch);
+    repair_threads(&mut chosen, |k| pre.items[k].threads, pre.thread_limit);
+    let total_value = chosen
+        .iter()
+        .map(|&k| value_fn.value(pre.items[k].threads, pre.value_ref))
+        .sum();
+    chosen.sort_unstable();
+    (chosen, total_value)
 }
 
 #[cfg(test)]
@@ -432,6 +565,42 @@ mod tests {
                 let reused1 =
                     solve_1d_filtered_with(items, cap, ValueFunction::PaperQuadratic, &mut scratch);
                 assert_eq!(fresh1.selected, reused1.selected);
+            }
+        }
+    }
+
+    #[test]
+    fn bitgrid_high_water_mark_shrinks_and_grows() {
+        // Grow, shrink, regrow: the high-water reset must leave every
+        // freshly mapped grid fully zeroed (a leaked stale bit would
+        // corrupt reconstruction, which `scratch_reuse_matches_fresh_solves`
+        // checks end-to-end; this checks the mechanism directly).
+        let mut words = Vec::new();
+        let mut hot = 0usize;
+        {
+            let mut g = BitGrid::reset(&mut words, &mut hot, 4, 100);
+            g.set(3, 99);
+            assert!(g.get(3, 99));
+        }
+        assert_eq!(hot, (4 * 100usize).div_ceil(64));
+        {
+            // Smaller grid: the dirtied prefix is re-zeroed.
+            let g = BitGrid::reset(&mut words, &mut hot, 1, 64);
+            assert!(!g.get(0, 35)); // bit 35 aliased old bit (3, 99)? regardless: zero
+            for cell in 0..64 {
+                assert!(!g.get(0, cell));
+            }
+        }
+        assert_eq!(hot, 1);
+        // Capacity was retained from the large grid.
+        assert!(words.capacity() >= (4 * 100usize).div_ceil(64));
+        {
+            // Regrow: words past the old high-water must still read zero.
+            let g = BitGrid::reset(&mut words, &mut hot, 4, 100);
+            for item in 0..4 {
+                for cell in 0..100 {
+                    assert!(!g.get(item, cell), "stale bit at ({item}, {cell})");
+                }
             }
         }
     }

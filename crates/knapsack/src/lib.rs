@@ -41,10 +41,15 @@ pub mod bb;
 pub mod dp;
 pub mod exhaustive;
 pub mod item;
+pub mod prep;
 pub mod value;
 
 pub use baseline::{BestFitDecreasing, FirstFit, RandomFit};
 pub use bb::solve_branch_and_bound;
-pub use dp::{solve_1d_filtered, solve_1d_filtered_with, solve_2d, solve_2d_with, DpScratch};
+pub use dp::{
+    solve_1d_filtered, solve_1d_filtered_with, solve_2d, solve_2d_with, solve_prepped_1d_with,
+    solve_prepped_2d_with, DpScratch,
+};
 pub use item::{Capacity, PackItem, Packing};
+pub use prep::{prep_1d, prep_2d, PrepItem, Prepped};
 pub use value::ValueFunction;
