@@ -17,7 +17,10 @@
 //! | `abl_*` | design-choice ablations (DESIGN.md) |
 //! | `perf_*` | Criterion microbenches (§IV-C complexity claim) |
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the opt-in `alloc_count` module needs one
+// `unsafe impl GlobalAlloc` and locally allows it; everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use phishare_cluster::{ClusterConfig, Experiment, ExperimentResult};
@@ -101,6 +104,51 @@ pub fn banner(id: &str, paper_ref: &str, expectation: &str) {
     println!("=== {id} — reproduces {paper_ref} ===");
     println!("paper expectation: {expectation}");
     println!();
+}
+
+/// Opt-in heap-allocation counting (feature `alloc-count`).
+///
+/// Registers a [`std::alloc::System`]-backed `#[global_allocator]` that
+/// counts every `alloc`/`realloc` call, so bench gates can report
+/// allocations-per-offload. Feature-gated because the counter itself adds
+/// an atomic increment to every allocation — timing gates run without it.
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count {
+    #![allow(unsafe_code)]
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// [`System`] wrapper that counts allocation calls (not bytes).
+    pub struct CountingAllocator;
+
+    // SAFETY: every method defers directly to `System`; the wrapper only
+    // adds a relaxed counter increment and changes no allocation behavior.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    /// Total heap allocation calls since process start.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,8 @@
 //!   search (Tables II and III);
 //! * [`sweep`] — a parallel parameter-sweep harness for the figure-scale
 //!   experiments (many independent simulations across worker threads);
+//! * [`substrate`] — the state-storage seam: slab-backed fast device/COSMIC
+//!   state vs. the seed's map-backed oracle, kept bit-identical;
 //! * [`report`] — plain-text table formatting for the bench harnesses.
 
 #![forbid(unsafe_code)]
@@ -49,6 +51,7 @@ pub mod host;
 pub mod metrics;
 pub mod report;
 pub mod runtime;
+pub mod substrate;
 pub mod sweep;
 pub mod trace;
 
@@ -57,6 +60,7 @@ pub use config::ClusterConfig;
 pub use fault::{FallbackPolicy, FaultConfig, FaultEvent, FaultKind, FaultPlan, RecoveryConfig};
 pub use footprint::{footprint_search, FootprintResult, FootprintSearcher};
 pub use metrics::ExperimentResult;
-pub use runtime::Experiment;
-pub use sweep::{run_sweep, run_sweep_auto, SweepJob};
-pub use trace::{Trace, TraceEvent};
+pub use runtime::{Experiment, ExperimentScratch, SubstrateMode};
+pub use substrate::{CosmicSubstrate, DeviceSubstrate};
+pub use sweep::{run_sweep, run_sweep_auto, run_sweep_keyed, SweepJob};
+pub use trace::{KillReason, Trace, TraceEvent};

@@ -47,16 +47,17 @@ use crate::config::ClusterConfig;
 use crate::fault::{FallbackPolicy, FaultKind, FaultPlan};
 use crate::host::HostCpu;
 use crate::metrics::ExperimentResult;
-use crate::trace::{Trace, TraceEvent};
+use crate::substrate::{CosmicSubstrate, DeviceSubstrate};
+use crate::trace::{KillReason, Trace, TraceEvent};
 use phishare_condor::attrs;
 use phishare_condor::{Collector, JobQueue, Negotiator, SlotId, Startd};
 use phishare_core::{
     ClairvoyantLpt, ClusterPolicy, ClusterScheduler, DeviceView, KnapsackScheduler, PendingJob,
     Pin, RandomScheduler,
 };
-use phishare_cosmic::{Admission, ContainerVerdict, CosmicDevice, OffloadGrant};
-use phishare_phi::{Affinity, CommitOutcome, PhiDevice, ProcId};
-use phishare_sim::{DetRng, Sim, SimTime, Summary};
+use phishare_cosmic::{Admission, ContainerVerdict, CosmicDevice, KeyedCosmicDevice, OffloadGrant};
+use phishare_phi::{Affinity, CommitOutcome, KeyedPhiDevice, PhiDevice, ProcId};
+use phishare_sim::{DetRng, EventQueue, Sim, SimTime, Summary};
 use phishare_workload::{JobId, Segment, Workload};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -104,21 +105,67 @@ enum EventMode {
     PerOffload,
 }
 
-/// Why a job was terminated early.
+/// Which per-device state store backs a run (see [`crate::substrate`]).
+///
+/// Both substrates must produce bit-identical [`ExperimentResult`]s and
+/// traces; the keyed oracle exists to prove that and to serve as the cost
+/// floor for the `perf_e2e` bench gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum KillReason {
-    /// COSMIC container: committed more than declared.
-    Container,
-    /// Device OOM killer: physical memory oversubscribed.
-    Oom,
+pub enum SubstrateMode {
+    /// Generation-stamped slab storage with handle-indexed hot paths
+    /// (production).
+    Fast,
+    /// The seed's `BTreeMap`-keyed storage (differential oracle).
+    Keyed,
+}
+
+/// Per-worker recycled buffers for back-to-back experiments.
+///
+/// A figure-scale sweep runs hundreds of independent simulations per
+/// worker thread. Each run's event heap and grant buffers grow to a
+/// steady-state size and are then thrown away; recycling them across cells
+/// (the same discipline as the planner's `DpScratch`) makes the per-cell
+/// allocation cost O(1) after warm-up. Recycling is invisible to results:
+/// `Experiment::run_with_scratch` is asserted bit-identical to
+/// [`Experiment::run`] by the runtime tests and the substrate proptests.
+#[derive(Debug)]
+pub struct ExperimentScratch {
+    /// Drained event heap from the previous cell (capacity retained).
+    events: EventQueue<Ev>,
+    /// Grant-collection buffer (empty between uses, capacity retained).
+    grants: Vec<OffloadGrant>,
+}
+
+impl ExperimentScratch {
+    /// Fresh, empty scratch. Buffers grow on first use and are retained
+    /// across runs.
+    pub fn new() -> Self {
+        ExperimentScratch {
+            events: EventQueue::new(),
+            grants: Vec::new(),
+        }
+    }
+}
+
+impl Default for ExperimentScratch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 #[derive(Debug)]
-struct RunningJob {
+struct RunningJob<DH, CH> {
     idx: usize,
     slot: SlotId,
     key: DevKey,
-    proc: ProcId,
+    /// Device-substrate handle, resolved once at attach time. Stale the
+    /// instant the process departs (detach, OOM kill, device reset) — the
+    /// runtime drops the `RunningJob` (or flips `fallback`) on every such
+    /// path before the handle could be touched again.
+    dslot: DH,
+    /// COSMIC-substrate handle, resolved once at registration; `None` when
+    /// the policy runs without COSMIC.
+    cslot: Option<CH>,
     /// Index of the segment currently executing.
     seg: usize,
     /// Offload segments completed so far (drives the memory-growth model).
@@ -139,7 +186,15 @@ impl Experiment {
     /// invalid or a job cannot fit on any device.
     pub fn run(config: &ClusterConfig, workload: &Workload) -> Result<ExperimentResult, String> {
         let plan = FaultPlan::generate(config);
-        Self::run_inner(config, workload, &plan, false, EventMode::NextCompletion).map(|(r, _)| r)
+        Self::run_inner::<PhiDevice, CosmicDevice>(
+            config,
+            workload,
+            &plan,
+            false,
+            EventMode::NextCompletion,
+            None,
+        )
+        .map(|(r, _)| r)
     }
 
     /// Like [`Experiment::run`] but also records a full lifecycle
@@ -149,8 +204,15 @@ impl Experiment {
         workload: &Workload,
     ) -> Result<(ExperimentResult, Trace), String> {
         let plan = FaultPlan::generate(config);
-        Self::run_inner(config, workload, &plan, true, EventMode::NextCompletion)
-            .map(|(r, t)| (r, t.expect("tracing was enabled")))
+        Self::run_inner::<PhiDevice, CosmicDevice>(
+            config,
+            workload,
+            &plan,
+            true,
+            EventMode::NextCompletion,
+            None,
+        )
+        .map(|(r, t)| (r, t.expect("tracing was enabled")))
     }
 
     /// [`Experiment::run`] with an explicit fault-injection plan instead of
@@ -164,7 +226,15 @@ impl Experiment {
         workload: &Workload,
         plan: &FaultPlan,
     ) -> Result<ExperimentResult, String> {
-        Self::run_inner(config, workload, plan, false, EventMode::NextCompletion).map(|(r, _)| r)
+        Self::run_inner::<PhiDevice, CosmicDevice>(
+            config,
+            workload,
+            plan,
+            false,
+            EventMode::NextCompletion,
+            None,
+        )
+        .map(|(r, _)| r)
     }
 
     /// [`Experiment::run_with_faults`] with lifecycle tracing.
@@ -173,8 +243,15 @@ impl Experiment {
         workload: &Workload,
         plan: &FaultPlan,
     ) -> Result<(ExperimentResult, Trace), String> {
-        Self::run_inner(config, workload, plan, true, EventMode::NextCompletion)
-            .map(|(r, t)| (r, t.expect("tracing was enabled")))
+        Self::run_inner::<PhiDevice, CosmicDevice>(
+            config,
+            workload,
+            plan,
+            true,
+            EventMode::NextCompletion,
+            None,
+        )
+        .map(|(r, t)| (r, t.expect("tracing was enabled")))
     }
 
     /// [`Experiment::run_with_faults_traced`] under the per-offload oracle
@@ -184,8 +261,15 @@ impl Experiment {
         workload: &Workload,
         plan: &FaultPlan,
     ) -> Result<(ExperimentResult, Trace), String> {
-        Self::run_inner(config, workload, plan, true, EventMode::PerOffload)
-            .map(|(r, t)| (r, t.expect("tracing was enabled")))
+        Self::run_inner::<PhiDevice, CosmicDevice>(
+            config,
+            workload,
+            plan,
+            true,
+            EventMode::PerOffload,
+            None,
+        )
+        .map(|(r, t)| (r, t.expect("tracing was enabled")))
     }
 
     /// [`Experiment::run`] under the seed's per-offload event scheme.
@@ -199,7 +283,15 @@ impl Experiment {
         workload: &Workload,
     ) -> Result<ExperimentResult, String> {
         let plan = FaultPlan::generate(config);
-        Self::run_inner(config, workload, &plan, false, EventMode::PerOffload).map(|(r, _)| r)
+        Self::run_inner::<PhiDevice, CosmicDevice>(
+            config,
+            workload,
+            &plan,
+            false,
+            EventMode::PerOffload,
+            None,
+        )
+        .map(|(r, _)| r)
     }
 
     /// [`Experiment::run_traced`] under the seed's per-offload event scheme.
@@ -208,16 +300,109 @@ impl Experiment {
         workload: &Workload,
     ) -> Result<(ExperimentResult, Trace), String> {
         let plan = FaultPlan::generate(config);
-        Self::run_inner(config, workload, &plan, true, EventMode::PerOffload)
-            .map(|(r, t)| (r, t.expect("tracing was enabled")))
+        Self::run_inner::<PhiDevice, CosmicDevice>(
+            config,
+            workload,
+            &plan,
+            true,
+            EventMode::PerOffload,
+            None,
+        )
+        .map(|(r, t)| (r, t.expect("tracing was enabled")))
     }
 
-    fn run_inner(
+    /// [`Experiment::run`] on an explicitly chosen substrate.
+    ///
+    /// [`SubstrateMode::Keyed`] replays the run on the seed's map-backed
+    /// device/COSMIC state; results must be bit-identical to the default
+    /// slab-backed run (asserted by the differential proptests and the
+    /// `perf_e2e` bench gate, where the keyed run is the timing floor).
+    pub fn run_with_substrate(
+        config: &ClusterConfig,
+        workload: &Workload,
+        substrate: SubstrateMode,
+    ) -> Result<ExperimentResult, String> {
+        let plan = FaultPlan::generate(config);
+        match substrate {
+            SubstrateMode::Fast => Self::run_inner::<PhiDevice, CosmicDevice>(
+                config,
+                workload,
+                &plan,
+                false,
+                EventMode::NextCompletion,
+                None,
+            ),
+            SubstrateMode::Keyed => Self::run_inner::<KeyedPhiDevice, KeyedCosmicDevice>(
+                config,
+                workload,
+                &plan,
+                false,
+                EventMode::NextCompletion,
+                None,
+            ),
+        }
+        .map(|(r, _)| r)
+    }
+
+    /// [`Experiment::run_with_faults_traced`] on an explicitly chosen
+    /// substrate (differential testing of the fault paths).
+    pub fn run_with_substrate_faults_traced(
+        config: &ClusterConfig,
+        workload: &Workload,
+        plan: &FaultPlan,
+        substrate: SubstrateMode,
+    ) -> Result<(ExperimentResult, Trace), String> {
+        match substrate {
+            SubstrateMode::Fast => Self::run_inner::<PhiDevice, CosmicDevice>(
+                config,
+                workload,
+                plan,
+                true,
+                EventMode::NextCompletion,
+                None,
+            ),
+            SubstrateMode::Keyed => Self::run_inner::<KeyedPhiDevice, KeyedCosmicDevice>(
+                config,
+                workload,
+                plan,
+                true,
+                EventMode::NextCompletion,
+                None,
+            ),
+        }
+        .map(|(r, t)| (r, t.expect("tracing was enabled")))
+    }
+
+    /// [`Experiment::run`] recycling `scratch`'s buffers across calls.
+    ///
+    /// Sweep workers call this once per grid cell so the event heap and
+    /// grant buffers are allocated once per worker, not once per cell.
+    /// Bit-identical to [`Experiment::run`] (asserted by the runtime
+    /// tests).
+    pub fn run_with_scratch(
+        config: &ClusterConfig,
+        workload: &Workload,
+        scratch: &mut ExperimentScratch,
+    ) -> Result<ExperimentResult, String> {
+        let plan = FaultPlan::generate(config);
+        Self::run_inner::<PhiDevice, CosmicDevice>(
+            config,
+            workload,
+            &plan,
+            false,
+            EventMode::NextCompletion,
+            Some(scratch),
+        )
+        .map(|(r, _)| r)
+    }
+
+    fn run_inner<D: DeviceSubstrate, C: CosmicSubstrate>(
         config: &ClusterConfig,
         workload: &Workload,
         plan: &FaultPlan,
         traced: bool,
         mode: EventMode,
+        mut scratch: Option<&mut ExperimentScratch>,
     ) -> Result<(ExperimentResult, Option<Trace>), String> {
         config.validate()?;
         plan.validate(config)?;
@@ -256,16 +441,26 @@ impl Experiment {
             }
         }
 
-        let mut world = World::new(config, workload, plan, mode);
+        let mut world: World<'_, D, C> = World::new(config, workload, plan, mode);
         if traced {
             world.trace = Some(Trace::new());
         }
         // Pending events are dominated by jobs × lifecycle stages (arrive,
         // cycle, dispatch, one live prediction per device/host); pre-size
         // the heap so large experiments never pay growth reallocations.
-        let mut sim: Sim<Ev> = match mode {
-            EventMode::NextCompletion => Sim::with_capacity(workload.len() * 4 + 64),
-            EventMode::PerOffload => Sim::new(),
+        // With scratch, the previous cell's (drained, capacity-retaining)
+        // heap and grant buffer are recycled instead.
+        let mut sim: Sim<Ev> = if let Some(s) = scratch.as_deref_mut() {
+            world.grants_buf = std::mem::take(&mut s.grants);
+            let queue = std::mem::replace(&mut s.events, EventQueue::new());
+            let mut sim = Sim::from_recycled(queue);
+            sim.reserve(workload.len() * 4 + 64);
+            sim
+        } else {
+            match mode {
+                EventMode::NextCompletion => Sim::with_capacity(workload.len() * 4 + 64),
+                EventMode::PerOffload => Sim::new(),
+            }
         };
         for (idx, at) in workload.arrivals.iter().enumerate() {
             sim.schedule_at(*at, Ev::Arrive(idx));
@@ -343,11 +538,19 @@ impl Experiment {
             }
         }
         let trace = world.trace.take();
+        // Hand the (drained) buffers back for the next cell. Error paths
+        // above skip this: the caller's scratch simply starts fresh again.
+        if let Some(s) = scratch {
+            let mut grants = std::mem::take(&mut world.grants_buf);
+            grants.clear();
+            s.grants = grants;
+            s.events = sim.into_queue();
+        }
         Ok((world.into_result(config, workload), trace))
     }
 }
 
-struct World<'a> {
+struct World<'a, D: DeviceSubstrate, C: CosmicSubstrate> {
     cfg: &'a ClusterConfig,
     wl: &'a Workload,
     plan: &'a FaultPlan,
@@ -355,13 +558,17 @@ struct World<'a> {
     collector: Collector,
     negotiator: Negotiator,
     startds: Vec<Startd>,
-    devices: BTreeMap<DevKey, PhiDevice>,
-    cosmic: BTreeMap<DevKey, CosmicDevice>,
+    devices: BTreeMap<DevKey, D>,
+    cosmic: BTreeMap<DevKey, C>,
     hosts: BTreeMap<u32, HostCpu>,
     scheduler: Option<Box<dyn ClusterScheduler>>,
     /// JobId → index into the workload.
     job_index: BTreeMap<JobId, usize>,
-    running: BTreeMap<JobId, RunningJob>,
+    running: BTreeMap<JobId, RunningJob<D::Handle, C::Handle>>,
+    /// Reusable buffer for collecting COSMIC grants (completion, kill and
+    /// unregister paths); taken/restored around each use so the hot loop
+    /// never allocates. Recycled across runs via [`ExperimentScratch`].
+    grants_buf: Vec<OffloadGrant>,
     /// Device chosen at match time, consumed at dispatch.
     matched_dev: BTreeMap<JobId, DevKey>,
     /// Device the external scheduler planned for each pinned job, consumed
@@ -426,7 +633,7 @@ struct World<'a> {
     plan_nanos: u64,
 }
 
-impl<'a> World<'a> {
+impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
     fn new(cfg: &'a ClusterConfig, wl: &'a Workload, plan: &'a FaultPlan, mode: EventMode) -> Self {
         let mut collector = Collector::new();
         let mut startds = Vec::new();
@@ -448,12 +655,9 @@ impl<'a> World<'a> {
             );
             startds.push(startd);
             for dev in 0..cfg.devices_per_node {
-                devices.insert(
-                    (node, dev),
-                    PhiDevice::new(cfg.phi, cfg.perf, SimTime::ZERO),
-                );
+                devices.insert((node, dev), D::create(cfg.phi, cfg.perf, SimTime::ZERO));
                 if cfg.policy.uses_cosmic() {
-                    cosmic.insert((node, dev), CosmicDevice::new(cfg.cosmic, &cfg.phi));
+                    cosmic.insert((node, dev), C::create(cfg.cosmic, &cfg.phi));
                 }
             }
         }
@@ -481,6 +685,7 @@ impl<'a> World<'a> {
             scheduler,
             job_index,
             running: BTreeMap::new(),
+            grants_buf: Vec::new(),
             matched_dev: BTreeMap::new(),
             pinned_dev: BTreeMap::new(),
             inflight_declared: BTreeMap::new(),
@@ -708,39 +913,37 @@ impl<'a> World<'a> {
             device: key.1,
             at: now,
         });
-        let proc = ProcId(job.raw());
+        // Attach the COI process and make the initial memory commit. The
+        // substrate handles come back from registration/attach, so the
+        // `RunningJob` is inserted right after (attach never consults
+        // `running`; a job OOM-killing *itself* on attach is handled below).
+        let initial_commit =
+            ((spec.actual_peak_mem_mb as f64) * self.cfg.initial_commit_fraction).round() as u64;
+        let cslot = self
+            .cosmic
+            .get_mut(&key)
+            .map(|cos| cos.register(job, spec.mem_req_mb, spec.thread_req));
+        let (dslot, outcome) = self.devices.get_mut(&key).expect("device exists").attach(
+            now,
+            ProcId(job.raw()),
+            spec.mem_req_mb,
+            spec.thread_req,
+            initial_commit,
+            &mut self.rng_oom,
+        );
         self.running.insert(
             job,
             RunningJob {
                 idx,
                 slot,
                 key,
-                proc,
+                dslot,
+                cslot,
                 seg: 0,
                 offloads_done: 0,
                 fallback: false,
             },
         );
-
-        // Attach the COI process and make the initial memory commit.
-        let initial_commit =
-            ((spec.actual_peak_mem_mb as f64) * self.cfg.initial_commit_fraction).round() as u64;
-        if let Some(cos) = self.cosmic.get_mut(&key) {
-            cos.register_job(job, spec.mem_req_mb, spec.thread_req);
-        }
-        let outcome = self
-            .devices
-            .get_mut(&key)
-            .expect("device exists")
-            .attach(
-                now,
-                proc,
-                spec.mem_req_mb,
-                spec.thread_req,
-                initial_commit,
-                &mut self.rng_oom,
-            )
-            .expect("proc ids are unique per job");
         self.handle_commit_outcome(sim, key, outcome);
         if !self.running.contains_key(&job) {
             return; // the job itself was an OOM victim of its own attach
@@ -782,19 +985,24 @@ impl<'a> World<'a> {
         let Some(run) = self.running.get_mut(&job) else {
             return;
         };
-        let proc = run.proc;
+        let (dslot, cslot) = (run.dslot, run.cslot);
         run.seg += 1;
         run.offloads_done += 1;
 
         self.devices
             .get_mut(&key)
             .expect("device exists")
-            .finish_offload(now, proc)
-            .expect("generation-valid completion");
+            .finish_offload(now, dslot);
         self.trace_ev(|| TraceEvent::OffloadFinished { job, at: now });
-        if let Some(cos) = self.cosmic.get_mut(&key) {
-            let grants = cos.complete_offload(now, job);
-            self.start_grants(sim, key, grants);
+        if let Some(cslot) = cslot {
+            let mut grants = std::mem::take(&mut self.grants_buf);
+            self.cosmic
+                .get_mut(&key)
+                .expect("handle implies cosmic")
+                .complete_offload_into(now, cslot, &mut grants);
+            self.start_grants(sim, key, &grants);
+            grants.clear();
+            self.grants_buf = grants;
         }
         self.sync_completions(sim, key);
         self.advance_segment(sim, job);
@@ -849,13 +1057,16 @@ impl<'a> World<'a> {
                         * (offloads_done + 1) as f64
                         / total_offloads as f64)
                         .round() as u64;
-                let proc = self.running[&job].proc;
-                let outcome = self
-                    .devices
-                    .get_mut(&key)
-                    .expect("device exists")
-                    .commit_memory(now, proc, grown, &mut self.rng_oom)
-                    .expect("running job is attached");
+                let (dslot, cslot) = {
+                    let run = &self.running[&job];
+                    (run.dslot, run.cslot)
+                };
+                let outcome = self.devices.get_mut(&key).expect("device exists").commit(
+                    now,
+                    dslot,
+                    grown,
+                    &mut self.rng_oom,
+                );
                 self.handle_commit_outcome(sim, key, outcome);
                 if !self.running.contains_key(&job) {
                     return; // OOM-killed by its own growth
@@ -867,10 +1078,11 @@ impl<'a> World<'a> {
 
                 let threads = *threads;
                 let work = *work;
-                if let Some(cos) = self.cosmic.get_mut(&key) {
-                    match cos.request_offload(now, job, threads, work) {
+                if let Some(cslot) = cslot {
+                    let cos = self.cosmic.get_mut(&key).expect("handle implies cosmic");
+                    match cos.request_offload(now, cslot, threads, work) {
                         Admission::Started(grant) => {
-                            self.start_grants(sim, key, vec![grant]);
+                            self.start_grants(sim, key, std::slice::from_ref(&grant));
                             self.sync_completions(sim, key);
                         }
                         Admission::Queued => {
@@ -880,12 +1092,10 @@ impl<'a> World<'a> {
                         }
                     }
                 } else {
-                    let proc = self.running[&job].proc;
                     self.devices
                         .get_mut(&key)
                         .expect("device exists")
-                        .start_offload(now, proc, threads, work, Affinity::Unmanaged)
-                        .expect("raw offload starts unconditionally");
+                        .start_offload(now, dslot, threads, work, Affinity::Unmanaged);
                     self.trace_ev(|| TraceEvent::OffloadStarted {
                         job,
                         threads,
@@ -898,15 +1108,17 @@ impl<'a> World<'a> {
     }
 
     /// Start COSMIC-granted offloads on the device.
-    fn start_grants(&mut self, sim: &mut Sim<Ev>, key: DevKey, grants: Vec<OffloadGrant>) {
+    ///
+    /// Takes a slice (callers recycle [`World::grants_buf`]); a grant
+    /// implies its job is running on this device, so its handle is live.
+    fn start_grants(&mut self, sim: &mut Sim<Ev>, key: DevKey, grants: &[OffloadGrant]) {
         let now = sim.now();
         for grant in grants {
-            let proc = self.running[&grant.job].proc;
+            let dslot = self.running[&grant.job].dslot;
             self.devices
                 .get_mut(&key)
                 .expect("device exists")
-                .start_offload(now, proc, grant.threads, grant.work, grant.affinity)
-                .expect("granted offload starts");
+                .start_offload(now, dslot, grant.threads, grant.work, grant.affinity);
             self.trace_ev(|| TraceEvent::OffloadStarted {
                 job: grant.job,
                 threads: grant.threads,
@@ -970,7 +1182,7 @@ impl<'a> World<'a> {
         let device = self.devices.get(&key).expect("device exists");
         match self.mode {
             EventMode::PerOffload => {
-                for (proc, at) in device.completions() {
+                device.for_each_completion(|proc, at| {
                     sim.schedule_at(
                         at,
                         Ev::OffloadComplete {
@@ -979,7 +1191,7 @@ impl<'a> World<'a> {
                             generation,
                         },
                     );
-                }
+                });
             }
             EventMode::NextCompletion => {
                 if let Some((proc, at)) = device.next_completion() {
@@ -1003,11 +1215,16 @@ impl<'a> World<'a> {
             self.devices
                 .get_mut(&run.key)
                 .expect("device exists")
-                .detach(now, run.proc)
-                .expect("completing job was attached");
-            if let Some(cos) = self.cosmic.get_mut(&run.key) {
-                let grants = cos.unregister_job(now, job);
-                self.start_grants(sim, run.key, grants);
+                .detach(now, run.dslot);
+            if run.cslot.is_some() {
+                let mut grants = std::mem::take(&mut self.grants_buf);
+                self.cosmic
+                    .get_mut(&run.key)
+                    .expect("handle implies cosmic")
+                    .unregister_into(now, job, &mut grants);
+                self.start_grants(sim, run.key, &grants);
+                grants.clear();
+                self.grants_buf = grants;
             }
             self.sync_completions(sim, run.key);
         }
@@ -1063,8 +1280,7 @@ impl<'a> World<'a> {
             self.devices
                 .get_mut(&run.key)
                 .expect("device exists")
-                .detach(now, run.proc)
-                .expect("killed job was attached");
+                .detach(now, run.dslot);
         }
         // The victim may have been mid-host-phase (e.g. an OOM victim whose
         // offload had not started yet).
@@ -1074,9 +1290,15 @@ impl<'a> World<'a> {
             .abort(now, job);
         self.sync_host(sim, run.key.0);
         if !run.fallback {
-            if let Some(cos) = self.cosmic.get_mut(&run.key) {
-                let grants = cos.unregister_job(now, job);
-                self.start_grants(sim, run.key, grants);
+            if run.cslot.is_some() {
+                let mut grants = std::mem::take(&mut self.grants_buf);
+                self.cosmic
+                    .get_mut(&run.key)
+                    .expect("handle implies cosmic")
+                    .unregister_into(now, job, &mut grants);
+                self.start_grants(sim, run.key, &grants);
+                grants.clear();
+                self.grants_buf = grants;
             }
             self.sync_completions(sim, run.key);
         }
@@ -1089,10 +1311,7 @@ impl<'a> World<'a> {
         }
         self.trace_ev(|| TraceEvent::Killed {
             job,
-            reason: match reason {
-                KillReason::Container => "container".into(),
-                KillReason::Oom => "oom".into(),
-            },
+            reason,
             at: now,
         });
         self.last_terminal = now;
@@ -1118,10 +1337,11 @@ impl<'a> World<'a> {
         job: JobId,
         committed: u64,
     ) -> bool {
-        let Some(cos) = self.cosmic.get(&key) else {
+        let Some(cslot) = self.running[&job].cslot else {
             return false;
         };
-        match cos.on_commit(job, committed) {
+        let cos = self.cosmic.get(&key).expect("handle implies cosmic");
+        match cos.on_commit(cslot, committed) {
             ContainerVerdict::Allowed => false,
             ContainerVerdict::KillExceededLimit { .. } => {
                 self.kill_job(sim, job, KillReason::Container, false);
@@ -1375,7 +1595,10 @@ impl<'a> World<'a> {
             .collect()
     }
 
-    fn running_jobs_on(&self, pred: impl Fn(&RunningJob) -> bool) -> Vec<JobId> {
+    fn running_jobs_on(
+        &self,
+        pred: impl Fn(&RunningJob<D::Handle, C::Handle>) -> bool,
+    ) -> Vec<JobId> {
         self.running
             .iter()
             .filter(|(_, r)| pred(r))
@@ -1568,7 +1791,7 @@ impl<'a> World<'a> {
             mem_util += u.mem_util;
             busy += u.busy_fraction;
             energy_joules += device.energy_joules(end);
-            oom_kills_devices += device.oom_kills.get();
+            oom_kills_devices += device.oom_kill_count();
         }
         debug_assert_eq!(oom_kills_devices as usize, self.oom_kills);
 
@@ -1587,10 +1810,8 @@ impl<'a> World<'a> {
         let mut queue_waits = Summary::new();
         for cos in self.cosmic.values() {
             // Aggregate COSMIC queue waits across devices.
-            for q in [cos.queue_wait.mean(); 1] {
-                if cos.queue_wait.count() > 0 {
-                    queue_waits.record(q);
-                }
+            if cos.queue_wait_count() > 0 {
+                queue_waits.record(cos.queue_wait_mean());
             }
         }
 
@@ -1943,6 +2164,79 @@ mod tests {
                 "{policy}: fault traces diverged across modes"
             );
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Substrate differential & scratch recycling
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn keyed_substrate_matches_fast_substrate() {
+        let wl = small_workload(40, 31);
+        for policy in [ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+            let cfg = fast_config(policy);
+            let fast = Experiment::run(&cfg, &wl).unwrap();
+            let keyed = Experiment::run_with_substrate(&cfg, &wl, SubstrateMode::Keyed).unwrap();
+            assert_eq!(fast, keyed, "{policy}: substrates diverged");
+        }
+    }
+
+    #[test]
+    fn keyed_substrate_matches_fast_substrate_under_faults() {
+        let wl = small_workload(25, 33);
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    kind: FaultKind::DeviceReset,
+                    node: 2,
+                    device: 0,
+                    at: SimTime::from_secs(4),
+                    downtime: SimDuration::from_secs(25),
+                },
+                FaultEvent {
+                    kind: FaultKind::NodeChurn,
+                    node: 1,
+                    device: 0,
+                    at: SimTime::from_secs(9),
+                    downtime: SimDuration::from_secs(45),
+                },
+            ],
+        };
+        for policy in [ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+            let cfg = fast_config(policy);
+            let (fast, fast_trace) =
+                Experiment::run_with_substrate_faults_traced(&cfg, &wl, &plan, SubstrateMode::Fast)
+                    .unwrap();
+            let (keyed, keyed_trace) = Experiment::run_with_substrate_faults_traced(
+                &cfg,
+                &wl,
+                &plan,
+                SubstrateMode::Keyed,
+            )
+            .unwrap();
+            assert_eq!(fast, keyed, "{policy}: fault metrics diverged");
+            assert_eq!(
+                fast_trace.events, keyed_trace.events,
+                "{policy}: fault traces diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let wl = small_workload(30, 32);
+        let cfg = fast_config(ClusterPolicy::Mcck);
+        let fresh = Experiment::run(&cfg, &wl).unwrap();
+        let mut scratch = ExperimentScratch::new();
+        let first = Experiment::run_with_scratch(&cfg, &wl, &mut scratch).unwrap();
+        let second = Experiment::run_with_scratch(&cfg, &wl, &mut scratch).unwrap();
+        assert_eq!(fresh, first, "cold scratch perturbed the run");
+        assert_eq!(fresh, second, "recycled scratch perturbed the run");
+        // A different cell through the same (dirty) scratch is unaffected.
+        let cfg2 = fast_config(ClusterPolicy::Mc);
+        let fresh2 = Experiment::run(&cfg2, &wl).unwrap();
+        let third = Experiment::run_with_scratch(&cfg2, &wl, &mut scratch).unwrap();
+        assert_eq!(fresh2, third, "scratch leaked state across cells");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::config::ClusterConfig;
 use crate::metrics::ExperimentResult;
-use crate::runtime::Experiment;
+use crate::runtime::{Experiment, ExperimentScratch, SubstrateMode};
 use phishare_workload::Workload;
 use std::sync::Arc;
 
@@ -28,9 +28,33 @@ pub struct SweepJob {
 
 /// Run every job in the grid, using up to `threads` worker threads.
 /// Results come back in the same order as `jobs`.
+///
+/// Each worker owns one [`ExperimentScratch`] and recycles its event heap
+/// and grant buffers across the cells it processes — steady-state cells
+/// allocate O(1), and recycling is asserted bit-identical to fresh runs.
 pub fn run_sweep(
     jobs: Vec<SweepJob>,
     threads: usize,
+) -> Vec<(String, Result<ExperimentResult, String>)> {
+    sweep_inner(jobs, threads, SubstrateMode::Fast)
+}
+
+/// [`run_sweep`] on the seed's keyed substrate ([`SubstrateMode::Keyed`]),
+/// without scratch recycling.
+///
+/// The differential oracle and the timing floor for the `perf_e2e` bench
+/// gate: its results must be bit-identical to [`run_sweep`]'s.
+pub fn run_sweep_keyed(
+    jobs: Vec<SweepJob>,
+    threads: usize,
+) -> Vec<(String, Result<ExperimentResult, String>)> {
+    sweep_inner(jobs, threads, SubstrateMode::Keyed)
+}
+
+fn sweep_inner(
+    jobs: Vec<SweepJob>,
+    threads: usize,
+    substrate: SubstrateMode,
 ) -> Vec<(String, Result<ExperimentResult, String>)> {
     assert!(threads >= 1, "need at least one worker");
     let n = jobs.len();
@@ -53,8 +77,16 @@ pub fn run_sweep(
             let rx = rx.clone();
             let res_tx = res_tx.clone();
             scope.spawn(move || {
+                let mut scratch = ExperimentScratch::new();
                 while let Ok((idx, job)) = rx.recv() {
-                    let outcome = Experiment::run(&job.config, &job.workload);
+                    let outcome = match substrate {
+                        SubstrateMode::Fast => {
+                            Experiment::run_with_scratch(&job.config, &job.workload, &mut scratch)
+                        }
+                        SubstrateMode::Keyed => {
+                            Experiment::run_with_substrate(&job.config, &job.workload, substrate)
+                        }
+                    };
                     res_tx
                         .send((idx, job.label, outcome))
                         .expect("open channel");
@@ -85,8 +117,17 @@ pub fn run_sweep_auto(jobs: Vec<SweepJob>) -> Vec<(String, Result<ExperimentResu
     run_sweep(jobs, default_threads())
 }
 
-/// Default worker count: physical parallelism minus one, at least one.
+/// Default worker count: the `PHISHARE_SWEEP_THREADS` environment variable
+/// when set to a positive integer, otherwise physical parallelism minus
+/// one, at least one.
 pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PHISHARE_SWEEP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get().saturating_sub(1).max(1))
         .unwrap_or(1)
@@ -153,6 +194,32 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn keyed_sweep_matches_fast_sweep() {
+        let fast = run_sweep(grid(), 3);
+        let keyed = run_sweep_keyed(grid(), 3);
+        for ((fl, fr), (kl, kr)) in fast.iter().zip(keyed.iter()) {
+            assert_eq!(fl, kl);
+            assert_eq!(fr, kr, "substrates diverged on {fl}");
+        }
+    }
+
+    #[test]
+    fn sweep_threads_env_override_is_honored() {
+        // Serialized within this test; no other test reads the variable.
+        std::env::set_var("PHISHARE_SWEEP_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("PHISHARE_SWEEP_THREADS", "0");
+        let fallback = std::thread::available_parallelism()
+            .map(|n| n.get().saturating_sub(1).max(1))
+            .unwrap_or(1);
+        assert_eq!(default_threads(), fallback, "0 falls back to auto");
+        std::env::set_var("PHISHARE_SWEEP_THREADS", "not-a-number");
+        assert_eq!(default_threads(), fallback);
+        std::env::remove_var("PHISHARE_SWEEP_THREADS");
+        assert_eq!(default_threads(), fallback);
     }
 
     #[test]

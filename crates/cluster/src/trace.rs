@@ -9,6 +9,49 @@ use phishare_sim::SimTime;
 use phishare_workload::JobId;
 use serde::{Deserialize, Serialize};
 
+/// Why a job was terminated early.
+///
+/// Serializes to the same lowercase strings the `reason: String` field
+/// carried historically (`"container"` / `"oom"`), so traces recorded
+/// before the enum are still readable — and recording a kill no longer
+/// heap-allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillReason {
+    /// COSMIC container: committed more than declared.
+    Container,
+    /// Device OOM killer: physical memory oversubscribed.
+    Oom,
+}
+
+// Hand-rolled to keep the historical lowercase wire strings (the vendored
+// derive has no `#[serde(rename_all)]` support).
+impl Serialize for KillReason {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for KillReason {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) if s == "container" => Ok(KillReason::Container),
+            serde::Value::Str(s) if s == "oom" => Ok(KillReason::Oom),
+            other => Err(serde::Error::custom(format!(
+                "invalid kill reason: {other:?}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for KillReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KillReason::Container => "container",
+            KillReason::Oom => "oom",
+        })
+    }
+}
+
 /// One recorded lifecycle event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
@@ -73,8 +116,8 @@ pub enum TraceEvent {
     Killed {
         /// The job.
         job: JobId,
-        /// `"container"` or `"oom"`.
-        reason: String,
+        /// What terminated it.
+        reason: KillReason,
         /// When.
         at: SimTime,
     },
@@ -501,9 +544,110 @@ mod tests {
         });
         tr.record(TraceEvent::Killed {
             job: JobId(2),
-            reason: "oom".into(),
+            reason: KillReason::Oom,
             at: t(2),
         });
         assert!(tr.offload_spans().is_empty());
+    }
+
+    /// Every variant survives a JSON round trip, and [`KillReason`] keeps
+    /// the lowercase wire format the old `reason: String` field used.
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        let mut tr = Trace::new();
+        for (i, ev) in [
+            TraceEvent::Submitted {
+                job: JobId(1),
+                at: t(0),
+            },
+            TraceEvent::Pinned {
+                job: JobId(1),
+                node: 2,
+                at: t(1),
+            },
+            TraceEvent::Dispatched {
+                job: JobId(1),
+                node: 2,
+                device: 1,
+                at: t(2),
+            },
+            TraceEvent::OffloadStarted {
+                job: JobId(1),
+                threads: 120,
+                at: t(3),
+            },
+            TraceEvent::OffloadQueued {
+                job: JobId(3),
+                at: t(4),
+            },
+            TraceEvent::OffloadFinished {
+                job: JobId(1),
+                at: t(5),
+            },
+            TraceEvent::Completed {
+                job: JobId(1),
+                at: t(6),
+            },
+            TraceEvent::Killed {
+                job: JobId(3),
+                reason: KillReason::Container,
+                at: t(7),
+            },
+            TraceEvent::Killed {
+                job: JobId(4),
+                reason: KillReason::Oom,
+                at: t(8),
+            },
+            TraceEvent::Requeued {
+                job: JobId(5),
+                attempt: 2,
+                at: t(9),
+            },
+            TraceEvent::FallbackStarted {
+                job: JobId(5),
+                node: 1,
+                at: t(10),
+            },
+            TraceEvent::HeldMaxRetries {
+                job: JobId(5),
+                at: t(11),
+            },
+            TraceEvent::DeviceReset {
+                node: 1,
+                device: 0,
+                at: t(12),
+            },
+            TraceEvent::DeviceRecovered {
+                node: 1,
+                device: 0,
+                at: t(13),
+            },
+            TraceEvent::NodeDown { node: 2, at: t(14) },
+            TraceEvent::NodeUp { node: 2, at: t(15) },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            tr.record(ev);
+            // Each variant above must appear exactly once per index.
+            assert_eq!(tr.len(), i + 1);
+        }
+        let json = tr.to_json();
+        // Wire compatibility: kill reasons stay lowercase strings.
+        assert!(json.contains(r#""reason":"container""#), "{json}");
+        assert!(json.contains(r#""reason":"oom""#), "{json}");
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(tr, back);
+        // And the pre-enum wire format still parses.
+        let legacy = r#"{"events":[{"Killed":{"job":9,"reason":"oom","at":42}}]}"#;
+        let parsed = Trace::from_json(legacy).unwrap();
+        assert_eq!(
+            parsed.events[0],
+            TraceEvent::Killed {
+                job: JobId(9),
+                reason: KillReason::Oom,
+                at: SimTime::from_ticks(42),
+            }
+        );
     }
 }

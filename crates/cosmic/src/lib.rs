@@ -22,8 +22,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod keyed;
 pub mod middleware;
 
+pub use keyed::KeyedCosmicDevice;
 pub use middleware::{
-    Admission, ContainerVerdict, CosmicConfig, CosmicDevice, OffloadGrant, OffloadPolicy,
+    Admission, ContainerVerdict, CosmicConfig, CosmicDevice, JobSlot, OffloadGrant, OffloadPolicy,
 };

@@ -1,10 +1,28 @@
 //! The per-device middleware state machine.
+//!
+//! ## Storage layout (the substrate fast path)
+//!
+//! Registered-job and active-offload state live in one generation-stamped
+//! slab ([`phishare_sim::Slab`]): each registered job occupies a dense slot
+//! holding its declared envelope and its (optional) active offload. A
+//! [`JobSlot`] handle is resolved once at [`CosmicDevice::register_job_slot`];
+//! admission, completion and container checks are then array-indexed. A
+//! small `JobId → JobSlot` index is maintained only at register/unregister
+//! for id-keyed convenience calls, and aggregate sums (active threads,
+//! declared memory/threads) are kept incrementally — integer-exact mirrors
+//! of what the keyed oracle ([`crate::keyed::KeyedCosmicDevice`])
+//! recomputes per call.
+//!
+//! The grant paths come in two forms: `Vec`-returning (seed-compatible)
+//! and `*_into` variants that append into a caller-recycled buffer, so the
+//! runtime's offload hot loop completes/admits without allocating.
 
 use phishare_phi::{Affinity, CoreAllocator, CoreSet, PhiConfig};
-use phishare_sim::{SimDuration, SimTime, Summary};
+use phishare_sim::{SimDuration, SimTime, Slab, Slot, Summary};
 use phishare_workload::JobId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
 
 /// How queued offloads are admitted when capacity frees up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -74,10 +92,13 @@ pub enum ContainerVerdict {
     },
 }
 
+/// One registered job's slab entry: envelope plus optional active offload.
 #[derive(Debug, Clone)]
-struct Registered {
+struct JobEntry {
+    id: JobId,
     declared_mem_mb: u64,
     declared_threads: u32,
+    active: Option<ActiveOffload>,
 }
 
 #[derive(Debug, Clone)]
@@ -94,16 +115,40 @@ struct Waiting {
     enqueued: SimTime,
 }
 
-/// COSMIC's state for one coprocessor.
+/// Handle to a registered job, resolved once at
+/// [`CosmicDevice::register_job_slot`] and valid until the job unregisters
+/// or the device resets. Generation-stamped: a handle that outlives its
+/// registration goes stale rather than aliasing the slot's next tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobSlot(Slot);
+
+impl fmt::Display for JobSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// COSMIC's state for one coprocessor (slab-backed fast substrate).
+///
+/// Every id-keyed method has a `_slot` twin taking a [`JobSlot`]; hot loops
+/// resolve the handle once at registration and skip the map lookup
+/// thereafter.
 #[derive(Debug)]
 pub struct CosmicDevice {
     cfg: CosmicConfig,
     hw_threads: u32,
     threads_per_core: u32,
     allocator: CoreAllocator,
-    registered: BTreeMap<JobId, Registered>,
-    active: BTreeMap<JobId, ActiveOffload>,
+    /// Dense per-job state; the only per-job storage.
+    jobs: Slab<JobEntry>,
+    /// `JobId → slot`, touched only at register/unregister/reset.
+    index: BTreeMap<JobId, JobSlot>,
     waiting: VecDeque<Waiting>,
+    // Incrementally-maintained aggregates (integer-exact mirrors of the
+    // keyed substrate's per-call recomputations).
+    active_threads_total: u32,
+    declared_mb_total: u64,
+    declared_threads_total: u32,
     /// Time each admitted offload spent waiting in the queue, seconds.
     pub queue_wait: Summary,
     /// Offloads that had to wait at least one admission round.
@@ -118,9 +163,12 @@ impl CosmicDevice {
             hw_threads: phi.hw_threads(),
             threads_per_core: phi.threads_per_core,
             allocator: CoreAllocator::new(phi.cores),
-            registered: BTreeMap::new(),
-            active: BTreeMap::new(),
+            jobs: Slab::with_capacity(8),
+            index: BTreeMap::new(),
             waiting: VecDeque::new(),
+            active_threads_total: 0,
+            declared_mb_total: 0,
+            declared_threads_total: 0,
             queue_wait: Summary::new(),
             queued_total: 0,
         }
@@ -132,39 +180,92 @@ impl CosmicDevice {
     /// Panics if the job is already registered — the cluster scheduler must
     /// not double-place a job.
     pub fn register_job(&mut self, job: JobId, declared_mem_mb: u64, declared_threads: u32) {
-        let prior = self.registered.insert(
-            job,
-            Registered {
-                declared_mem_mb,
-                declared_threads,
-            },
-        );
-        assert!(prior.is_none(), "job {job} registered twice");
+        let _ = self.register_job_slot(job, declared_mem_mb, declared_threads);
+    }
+
+    /// [`CosmicDevice::register_job`], returning the job's slot handle for
+    /// later array-indexed access.
+    ///
+    /// # Panics
+    /// Panics if the job is already registered.
+    pub fn register_job_slot(
+        &mut self,
+        job: JobId,
+        declared_mem_mb: u64,
+        declared_threads: u32,
+    ) -> JobSlot {
+        assert!(!self.index.contains_key(&job), "job {job} registered twice");
+        let slot = JobSlot(self.jobs.insert(JobEntry {
+            id: job,
+            declared_mem_mb,
+            declared_threads,
+            active: None,
+        }));
+        self.index.insert(job, slot);
+        self.declared_mb_total += declared_mem_mb;
+        self.declared_threads_total += declared_threads;
+        slot
+    }
+
+    /// The slot handle for a registered job, or `None` when not registered.
+    pub fn slot_of(&self, job: JobId) -> Option<JobSlot> {
+        self.index.get(&job).copied()
+    }
+
+    /// True when `slot` still names a live registration.
+    pub fn slot_is_live(&self, slot: JobSlot) -> bool {
+        self.jobs.contains(slot.0)
     }
 
     /// Remove a job (completed or killed): drops any queued offload and
     /// frees its cores if one was active. Returns offload grants that the
-    /// departure unblocked.
+    /// departure unblocked (allocates; hot loops should use
+    /// [`CosmicDevice::unregister_job_into`]).
     pub fn unregister_job(&mut self, now: SimTime, job: JobId) -> Vec<OffloadGrant> {
+        let mut grants = Vec::new();
+        self.unregister_job_into(now, job, &mut grants);
+        grants
+    }
+
+    /// Allocation-free form of [`CosmicDevice::unregister_job`]: unblocked
+    /// grants are appended to `grants` (which is not cleared first).
+    pub fn unregister_job_into(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        grants: &mut Vec<OffloadGrant>,
+    ) {
         self.waiting.retain(|w| w.job != job);
-        if let Some(active) = self.active.remove(&job) {
-            self.allocator.release(active.cores);
+        if let Some(slot) = self.index.remove(&job) {
+            let entry = self.jobs.remove(slot.0);
+            self.declared_mb_total -= entry.declared_mem_mb;
+            self.declared_threads_total -= entry.declared_threads;
+            if let Some(active) = entry.active {
+                self.active_threads_total -= active.threads;
+                self.allocator.release(active.cores);
+            }
         }
-        self.registered.remove(&job);
-        self.admit_waiters(now)
+        self.admit_waiters(now, grants);
     }
 
     /// The card under this middleware instance reset (MPSS crash): every
     /// registration, active offload, and queued request is flushed and all
     /// pinned cores are released. Queue-wait statistics and the admission
     /// counter survive — they describe the run, not the card state. Jobs
-    /// that want back in must re-register after recovery.
+    /// that want back in must re-register after recovery; handles from
+    /// before the reset are all stale.
     pub fn reset(&mut self) {
-        for (_, active) in std::mem::take(&mut self.active) {
-            self.allocator.release(active.cores);
+        for (_, entry) in self.jobs.iter_mut() {
+            if let Some(active) = entry.active.take() {
+                self.allocator.release(active.cores);
+            }
         }
+        self.jobs.clear();
+        self.index.clear();
         self.waiting.clear();
-        self.registered.clear();
+        self.active_threads_total = 0;
+        self.declared_mb_total = 0;
+        self.declared_threads_total = 0;
     }
 
     /// A registered job wants to start an offload.
@@ -181,18 +282,35 @@ impl CosmicDevice {
         threads: u32,
         work: SimDuration,
     ) -> Admission {
+        let slot = *self
+            .index
+            .get(&job)
+            .unwrap_or_else(|| panic!("offload request from unregistered job {job}"));
+        self.request_offload_slot(now, slot, threads, work)
+    }
+
+    /// [`CosmicDevice::request_offload`] through a slot handle.
+    ///
+    /// # Panics
+    /// Panics when the handle is stale or the job already has an active
+    /// offload.
+    pub fn request_offload_slot(
+        &mut self,
+        now: SimTime,
+        slot: JobSlot,
+        threads: u32,
+        work: SimDuration,
+    ) -> Admission {
         let threads = threads.min(self.hw_threads);
+        let entry = self.entry(slot);
+        let job = entry.id;
         assert!(
-            self.registered.contains_key(&job),
-            "offload request from unregistered job {job}"
-        );
-        assert!(
-            !self.active.contains_key(&job),
+            entry.active.is_none(),
             "job {job} already has an active offload"
         );
         // Strict FIFO: nobody overtakes an existing queue.
         if self.waiting.is_empty() {
-            if let Some(grant) = self.try_start(now, job, threads, work, now) {
+            if let Some(grant) = self.try_start(now, slot, threads, work, now) {
                 return Admission::Started(grant);
             }
         }
@@ -207,14 +325,50 @@ impl CosmicDevice {
     }
 
     /// An active offload finished; free its cores and admit whatever now
-    /// fits from the queue.
+    /// fits from the queue (allocates; hot loops should use
+    /// [`CosmicDevice::complete_offload_into`]).
     pub fn complete_offload(&mut self, now: SimTime, job: JobId) -> Vec<OffloadGrant> {
-        let active = self
-            .active
-            .remove(&job)
+        let mut grants = Vec::new();
+        self.complete_offload_into(now, job, &mut grants);
+        grants
+    }
+
+    /// Allocation-free form of [`CosmicDevice::complete_offload`]: unblocked
+    /// grants are appended to `grants` (which is not cleared first).
+    pub fn complete_offload_into(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        grants: &mut Vec<OffloadGrant>,
+    ) {
+        let slot = *self
+            .index
+            .get(&job)
             .expect("complete_offload for a job with no active offload");
+        self.complete_offload_slot_into(now, slot, grants);
+    }
+
+    /// [`CosmicDevice::complete_offload_into`] through a slot handle.
+    ///
+    /// # Panics
+    /// Panics when the handle is stale or the job has no active offload.
+    pub fn complete_offload_slot_into(
+        &mut self,
+        now: SimTime,
+        slot: JobSlot,
+        grants: &mut Vec<OffloadGrant>,
+    ) {
+        let entry = self
+            .jobs
+            .get_mut(slot.0)
+            .unwrap_or_else(|| panic!("complete_offload through stale handle {slot}"));
+        let active = entry
+            .active
+            .take()
+            .expect("complete_offload for a job with no active offload");
+        self.active_threads_total -= active.threads;
         self.allocator.release(active.cores);
-        self.admit_waiters(now)
+        self.admit_waiters(now, grants);
     }
 
     /// Container check on a memory commit.
@@ -223,14 +377,29 @@ impl CosmicDevice {
             return ContainerVerdict::Allowed;
         }
         let declared = self
-            .registered
+            .index
             .get(&job)
-            .map(|r| r.declared_mem_mb)
+            .map(|slot| self.entry(*slot).declared_mem_mb)
             .unwrap_or(0);
-        if committed_mb > declared {
+        self.verdict(committed_mb, declared)
+    }
+
+    /// [`CosmicDevice::on_commit`] through a slot handle.
+    ///
+    /// # Panics
+    /// Panics when the handle is stale.
+    pub fn on_commit_slot(&self, slot: JobSlot, committed_mb: u64) -> ContainerVerdict {
+        if !self.cfg.enforce_containers {
+            return ContainerVerdict::Allowed;
+        }
+        self.verdict(committed_mb, self.entry(slot).declared_mem_mb)
+    }
+
+    fn verdict(&self, committed_mb: u64, declared_mb: u64) -> ContainerVerdict {
+        if committed_mb > declared_mb {
             ContainerVerdict::KillExceededLimit {
                 committed_mb,
-                declared_mb: declared,
+                declared_mb,
             }
         } else {
             ContainerVerdict::Allowed
@@ -239,7 +408,7 @@ impl CosmicDevice {
 
     /// Thread sum of currently active offloads.
     pub fn active_threads(&self) -> u32 {
-        self.active.values().map(|a| a.threads).sum()
+        self.active_threads_total
     }
 
     /// Number of offloads waiting for admission.
@@ -250,35 +419,45 @@ impl CosmicDevice {
     /// Declared memory sum over registered jobs, MB (what the knapsack
     /// budgeted on this device).
     pub fn registered_declared_mb(&self) -> u64 {
-        self.registered.values().map(|r| r.declared_mem_mb).sum()
+        self.declared_mb_total
     }
 
     /// Declared thread sum over registered jobs — what the strict
     /// resident-thread budget (paper §IV-C, "all concurrent jobs") charges
     /// against.
     pub fn registered_declared_threads(&self) -> u32 {
-        self.registered.values().map(|r| r.declared_threads).sum()
+        self.declared_threads_total
     }
 
     /// Number of jobs registered on the device.
     pub fn registered_jobs(&self) -> usize {
-        self.registered.len()
+        self.jobs.len()
+    }
+
+    /// The live entry at `slot`, panicking on a stale handle.
+    fn entry(&self, slot: JobSlot) -> &JobEntry {
+        self.jobs
+            .get(slot.0)
+            .unwrap_or_else(|| panic!("middleware access through stale handle {slot}"))
     }
 
     fn try_start(
         &mut self,
         now: SimTime,
-        job: JobId,
+        slot: JobSlot,
         threads: u32,
         work: SimDuration,
         enqueued: SimTime,
     ) -> Option<OffloadGrant> {
-        if self.active_threads() + threads > self.hw_threads {
+        if self.active_threads_total + threads > self.hw_threads {
             return None;
         }
         let cores_needed = threads.div_ceil(self.threads_per_core);
         let cores = self.allocator.allocate(cores_needed)?;
-        self.active.insert(job, ActiveOffload { threads, cores });
+        let entry = self.jobs.get_mut(slot.0).expect("admitting a live job");
+        let job = entry.id;
+        entry.active = Some(ActiveOffload { threads, cores });
+        self.active_threads_total += threads;
         self.queue_wait.record(now.since(enqueued).as_secs_f64());
         Some(OffloadGrant {
             job,
@@ -288,12 +467,12 @@ impl CosmicDevice {
         })
     }
 
-    fn admit_waiters(&mut self, now: SimTime) -> Vec<OffloadGrant> {
-        let mut granted = Vec::new();
+    fn admit_waiters(&mut self, now: SimTime, granted: &mut Vec<OffloadGrant>) {
         match self.cfg.policy {
             OffloadPolicy::Fifo => {
                 while let Some(head) = self.waiting.front().cloned() {
-                    match self.try_start(now, head.job, head.threads, head.work, head.enqueued) {
+                    let slot = self.index[&head.job];
+                    match self.try_start(now, slot, head.threads, head.work, head.enqueued) {
                         Some(grant) => {
                             self.waiting.pop_front();
                             granted.push(grant);
@@ -306,7 +485,8 @@ impl CosmicDevice {
                 let mut i = 0;
                 while i < self.waiting.len() {
                     let w = self.waiting[i].clone();
-                    match self.try_start(now, w.job, w.threads, w.work, w.enqueued) {
+                    let slot = self.index[&w.job];
+                    match self.try_start(now, slot, w.threads, w.work, w.enqueued) {
                         Some(grant) => {
                             self.waiting.remove(i);
                             granted.push(grant);
@@ -316,7 +496,6 @@ impl CosmicDevice {
                 }
             }
         }
-        granted
     }
 }
 
@@ -363,7 +542,7 @@ mod tests {
     #[test]
     fn reset_flushes_registrations_and_frees_cores() {
         let mut c = cosmic(OffloadPolicy::Fifo);
-        c.register_job(JobId(1), 1000, 240);
+        let s1 = c.register_job_slot(JobId(1), 1000, 240);
         c.register_job(JobId(2), 1000, 240);
         c.register_job(JobId(3), 1000, 120);
         assert!(matches!(
@@ -378,6 +557,7 @@ mod tests {
         assert_eq!(c.registered_jobs(), 0);
         assert_eq!(c.active_threads(), 0);
         assert_eq!(c.queue_len(), 0);
+        assert!(!c.slot_is_live(s1), "pre-reset handles are stale");
         // All cores came back: a re-registered full-width offload starts
         // immediately, and stale jobs must re-register (register_job would
         // panic on a survivor).
@@ -587,5 +767,53 @@ mod tests {
         c.unregister_job(t(0), JobId(1));
         assert_eq!(c.registered_declared_mb(), 2000);
         assert_eq!(c.registered_declared_threads(), 180);
+    }
+
+    #[test]
+    fn slot_api_matches_id_api() {
+        let mut c = cosmic(OffloadPolicy::Fifo);
+        let s1 = c.register_job_slot(JobId(1), 1000, 240);
+        let s2 = c.register_job_slot(JobId(2), 1000, 240);
+        assert_eq!(c.slot_of(JobId(1)), Some(s1));
+        assert!(c.slot_is_live(s1));
+        assert!(matches!(
+            c.request_offload_slot(t(0), s1, 240, w(10)),
+            Admission::Started(_)
+        ));
+        assert_eq!(
+            c.request_offload_slot(t(0), s2, 240, w(10)),
+            Admission::Queued
+        );
+        assert_eq!(c.on_commit_slot(s1, 900), ContainerVerdict::Allowed);
+        assert_eq!(
+            c.on_commit_slot(s1, 1100),
+            ContainerVerdict::KillExceededLimit {
+                committed_mb: 1100,
+                declared_mb: 1000
+            }
+        );
+        // Completing through the slot hands job 2's grant into a recycled
+        // buffer without clearing it.
+        let mut grants = Vec::new();
+        c.complete_offload_slot_into(t(10), s1, &mut grants);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].job, JobId(2));
+        // Unregistering invalidates the handle.
+        let mut more = Vec::new();
+        c.unregister_job_into(t(11), JobId(1), &mut more);
+        assert!(more.is_empty());
+        assert!(!c.slot_is_live(s1));
+        assert_eq!(c.slot_of(JobId(1)), None);
+        assert_eq!(c.registered_jobs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale handle")]
+    fn stale_slot_panics_on_completion() {
+        let mut c = cosmic(OffloadPolicy::Fifo);
+        let s = c.register_job_slot(JobId(1), 100, 60);
+        c.unregister_job(t(0), JobId(1));
+        let mut grants = Vec::new();
+        c.complete_offload_slot_into(t(1), s, &mut grants);
     }
 }

@@ -3,7 +3,7 @@
 //! than the hardware's thread or core capacity, and (under FIFO) never
 //! starves the queue head.
 
-use phishare_cosmic::{Admission, CosmicConfig, CosmicDevice, OffloadPolicy};
+use phishare_cosmic::{Admission, CosmicConfig, CosmicDevice, KeyedCosmicDevice, OffloadPolicy};
 use phishare_phi::PhiConfig;
 use phishare_sim::{SimDuration, SimTime};
 use phishare_workload::JobId;
@@ -160,5 +160,112 @@ proptest! {
         }
         prop_assert_eq!(granted, issued, "some offload starved");
         prop_assert_eq!(cosmic.queue_len(), 0);
+    }
+
+    /// Differential oracle: the slab-backed fast middleware and the
+    /// map-backed keyed middleware, driven through the identical operation
+    /// sequence, must agree bit-for-bit on every admission decision, every
+    /// unblocked grant (content *and* order — grant order decides which job
+    /// starts first on the device), all aggregate accounting and the
+    /// queue-wait statistics.
+    #[test]
+    fn fast_and_keyed_middleware_are_bit_identical(
+        ops in prop::collection::vec(arb_op(), 1..100),
+        backfill in any::<bool>(),
+    ) {
+        let phi = PhiConfig::default();
+        let cfg = CosmicConfig {
+            enforce_containers: true,
+            policy: if backfill { OffloadPolicy::Backfill } else { OffloadPolicy::Fifo },
+        };
+        let mut fast = CosmicDevice::new(cfg, &phi);
+        let mut keyed = KeyedCosmicDevice::new(cfg, &phi);
+        for j in 0..8u64 {
+            fast.register_job(JobId(j), 500 + j, 240);
+            keyed.register_job(JobId(j), 500 + j, 240);
+        }
+        let mut registered: BTreeSet<u64> = (0..8).collect();
+        let mut active: BTreeSet<u64> = BTreeSet::new();
+        let mut requested: BTreeSet<u64> = BTreeSet::new();
+        let mut now = SimTime::ZERO;
+
+        for op in ops {
+            now += SimDuration::from_secs(1);
+            match op {
+                Op::Request { job, cores, work_secs } => {
+                    if !registered.contains(&job) || requested.contains(&job) {
+                        continue;
+                    }
+                    requested.insert(job);
+                    let w = SimDuration::from_secs(work_secs);
+                    let f = fast.request_offload(now, JobId(job), cores * 4, w);
+                    let k = keyed.request_offload(now, JobId(job), cores * 4, w);
+                    prop_assert_eq!(&f, &k);
+                    if matches!(f, Admission::Started(_)) {
+                        active.insert(job);
+                    }
+                }
+                Op::CompleteOne => {
+                    if let Some(&job) = active.iter().next() {
+                        active.remove(&job);
+                        requested.remove(&job);
+                        let fg = fast.complete_offload(now, JobId(job));
+                        let kg = keyed.complete_offload(now, JobId(job));
+                        prop_assert_eq!(&fg, &kg);
+                        for grant in fg {
+                            active.insert(grant.job.raw());
+                        }
+                    }
+                }
+                Op::Unregister { job } => {
+                    if registered.remove(&job) {
+                        let fg = fast.unregister_job(now, JobId(job));
+                        let kg = keyed.unregister_job(now, JobId(job));
+                        prop_assert_eq!(&fg, &kg);
+                        for grant in fg {
+                            active.insert(grant.job.raw());
+                        }
+                        active.remove(&job);
+                        requested.remove(&job);
+                    }
+                }
+            }
+            // --- every observable agrees, bit-for-bit ---
+            prop_assert_eq!(fast.active_threads(), keyed.active_threads());
+            prop_assert_eq!(fast.queue_len(), keyed.queue_len());
+            prop_assert_eq!(fast.registered_jobs(), keyed.registered_jobs());
+            prop_assert_eq!(fast.registered_declared_mb(), keyed.registered_declared_mb());
+            prop_assert_eq!(
+                fast.registered_declared_threads(),
+                keyed.registered_declared_threads()
+            );
+            prop_assert_eq!(fast.queued_total, keyed.queued_total);
+            prop_assert_eq!(fast.queue_wait.count(), keyed.queue_wait.count());
+            if fast.queue_wait.count() > 0 {
+                prop_assert_eq!(
+                    fast.queue_wait.mean().to_bits(),
+                    keyed.queue_wait.mean().to_bits()
+                );
+                prop_assert_eq!(
+                    fast.queue_wait.max().to_bits(),
+                    keyed.queue_wait.max().to_bits()
+                );
+            }
+            // Container verdicts agree for registered and departed jobs.
+            for j in 0..8u64 {
+                prop_assert_eq!(
+                    fast.on_commit(JobId(j), 505),
+                    keyed.on_commit(JobId(j), 505)
+                );
+            }
+        }
+
+        // A reset leaves both substrates equally empty with stats intact.
+        fast.reset();
+        keyed.reset();
+        prop_assert_eq!(fast.registered_jobs(), keyed.registered_jobs());
+        prop_assert_eq!(fast.active_threads(), 0);
+        prop_assert_eq!(keyed.active_threads(), 0);
+        prop_assert_eq!(fast.queued_total, keyed.queued_total);
     }
 }

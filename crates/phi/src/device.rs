@@ -1,11 +1,30 @@
 //! The device model: resident processes, active offloads, rate-rescaled
 //! execution, oversubscription effects and utilization accounting.
+//!
+//! ## Storage layout (the substrate fast path)
+//!
+//! Resident-process and active-offload state live in one generation-stamped
+//! slab ([`phishare_sim::Slab`]): each resident occupies a dense slot
+//! holding its envelope, its committed memory and its (optional) active
+//! offload. A [`ProcSlot`] handle is resolved once at attach time; every
+//! hot-path operation — admission, rate updates, completion scans — is then
+//! an array index instead of a `BTreeMap` walk. A small `ProcId → ProcSlot`
+//! index is maintained *only* at attach/detach so the device still answers
+//! id-keyed queries (and so OOM victim selection sees residents in
+//! ascending-id order, exactly like the keyed oracle).
+//!
+//! Aggregate signals the keyed substrate recomputed by iteration
+//! (committed/declared totals, thread sums, busy-core estimate) are kept
+//! incrementally; they are integer-valued, so the incremental values are
+//! *identical* — not merely close — to the recomputed ones, which is what
+//! lets the differential proptests demand bit-equal results against
+//! [`KeyedPhiDevice`](crate::keyed::KeyedPhiDevice).
 
 use crate::alloc::CoreSet;
 use crate::config::PhiConfig;
 use crate::perf::PerfModel;
-use crate::proc::{ProcId, Resident};
-use phishare_sim::{Counter, DetRng, SimDuration, SimTime, TimeWeighted};
+use crate::proc::ProcId;
+use phishare_sim::{Counter, DetRng, SimDuration, SimTime, Slab, Slot, TimeWeighted};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -74,6 +93,31 @@ struct ActiveOffload {
     affinity: Affinity,
 }
 
+/// One resident process's slab entry: envelope, commit, optional offload.
+#[derive(Debug, Clone)]
+struct ProcEntry {
+    id: ProcId,
+    declared_mem_mb: u64,
+    declared_threads: u32,
+    committed_mem_mb: u64,
+    active: Option<ActiveOffload>,
+}
+
+/// Handle to a resident process, resolved once at [`PhiDevice::attach_slot`]
+/// and valid until the process detaches, is OOM-killed or the device resets.
+///
+/// Generation-stamped: a handle that outlives its process goes stale rather
+/// than aliasing the slot's next tenant — reads return `None`/`false`,
+/// destructive operations panic (see [`phishare_sim::Slab`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcSlot(Slot);
+
+impl fmt::Display for ProcSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc-{}", self.0)
+    }
+}
+
 /// Time-integrated utilization of one device over an interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceUtilization {
@@ -87,7 +131,7 @@ pub struct DeviceUtilization {
     pub busy_fraction: f64,
 }
 
-/// A simulated Xeon Phi card.
+/// A simulated Xeon Phi card (slab-backed fast substrate).
 ///
 /// The device is a passive state machine: the owning event loop calls
 /// [`PhiDevice::start_offload`] / [`PhiDevice::finish_offload`] etc. and uses
@@ -95,15 +139,37 @@ pub struct DeviceUtilization {
 /// completion events. Any mutation that changes execution rates bumps the
 /// generation; events carrying a stale generation must be ignored by the
 /// caller.
+///
+/// Every id-keyed method has a `_slot` twin taking a [`ProcSlot`]; hot
+/// loops resolve the handle once at registration and skip the map lookup
+/// thereafter. The id-keyed forms remain for tests, examples and the
+/// one-shot call sites where the lookup is not on the critical path.
 #[derive(Debug)]
 pub struct PhiDevice {
     cfg: PhiConfig,
     perf: PerfModel,
-    procs: BTreeMap<ProcId, Resident>,
-    active: BTreeMap<ProcId, ActiveOffload>,
+    /// Dense per-resident state; the only per-process storage.
+    procs: Slab<ProcEntry>,
+    /// `ProcId → slot`, touched only at attach/detach/OOM/reset. Keeps
+    /// ascending-id iteration (OOM victim order, `resident_ids_iter`) and
+    /// id-keyed convenience lookups.
+    index: BTreeMap<ProcId, ProcSlot>,
     created: SimTime,
     last_update: SimTime,
     generation: u64,
+    // Incrementally-maintained aggregates (integer-exact mirrors of the
+    // keyed substrate's per-call recomputations).
+    committed_total: u64,
+    declared_total: u64,
+    declared_threads_total: u32,
+    active_threads_total: u32,
+    n_active: usize,
+    /// Union of all pinned active offloads' core sets. Pinned sets are
+    /// pairwise disjoint (enforced at start), so removal can subtract a
+    /// member's exact mask.
+    pinned_union: CoreSet,
+    /// Core estimate contributed by unmanaged active offloads.
+    unmanaged_cores: u32,
     busy_threads: TimeWeighted,
     busy_cores: TimeWeighted,
     committed: TimeWeighted,
@@ -115,7 +181,7 @@ pub struct PhiDevice {
 }
 
 /// Tolerance (in nominal ticks) below which remaining work counts as done.
-const WORK_EPSILON: f64 = 1e-6;
+pub(crate) const WORK_EPSILON: f64 = 1e-6;
 
 impl PhiDevice {
     /// Create a device at simulation time `start`.
@@ -124,11 +190,18 @@ impl PhiDevice {
         PhiDevice {
             cfg,
             perf,
-            procs: BTreeMap::new(),
-            active: BTreeMap::new(),
+            procs: Slab::with_capacity(8),
+            index: BTreeMap::new(),
             created: start,
             last_update: start,
             generation: 0,
+            committed_total: 0,
+            declared_total: 0,
+            declared_threads_total: 0,
+            active_threads_total: 0,
+            n_active: 0,
+            pinned_union: CoreSet::EMPTY,
+            unmanaged_cores: 0,
             busy_threads: TimeWeighted::new(start),
             busy_cores: TimeWeighted::new(start),
             committed: TimeWeighted::new(start),
@@ -165,33 +238,69 @@ impl PhiDevice {
         initial_commit_mb: u64,
         rng: &mut DetRng,
     ) -> Result<CommitOutcome, DeviceError> {
-        if self.procs.contains_key(&proc) {
+        self.attach_slot(
+            now,
+            proc,
+            declared_mem_mb,
+            declared_threads,
+            initial_commit_mb,
+            rng,
+        )
+        .map(|(_, outcome)| outcome)
+    }
+
+    /// [`PhiDevice::attach`], additionally returning the resident's slot
+    /// handle for later array-indexed access.
+    ///
+    /// When the returned outcome lists the *attached process itself* among
+    /// the OOM victims, the handle is already stale and must be discarded.
+    pub fn attach_slot(
+        &mut self,
+        now: SimTime,
+        proc: ProcId,
+        declared_mem_mb: u64,
+        declared_threads: u32,
+        initial_commit_mb: u64,
+        rng: &mut DetRng,
+    ) -> Result<(ProcSlot, CommitOutcome), DeviceError> {
+        if self.index.contains_key(&proc) {
             return Err(DeviceError::AlreadyResident(proc));
         }
-        self.procs.insert(
-            proc,
-            Resident {
-                declared_mem_mb,
-                declared_threads,
-                committed_mem_mb: 0,
-            },
-        );
-        let outcome = self.commit_memory(now, proc, initial_commit_mb, rng);
+        let slot = ProcSlot(self.procs.insert(ProcEntry {
+            id: proc,
+            declared_mem_mb,
+            declared_threads,
+            committed_mem_mb: 0,
+            active: None,
+        }));
+        self.index.insert(proc, slot);
+        self.declared_total += declared_mem_mb;
+        self.declared_threads_total += declared_threads;
+        let outcome = self.commit_memory_slot(now, slot, initial_commit_mb, rng);
         // Residency changed either way (attach, possibly minus OOM
         // victims): rates must be refreshed even when the commit fit.
         self.reschedule(now);
-        outcome
+        Ok((slot, outcome))
     }
 
     /// Detach a process, freeing its memory and aborting any active offload.
     pub fn detach(&mut self, now: SimTime, proc: ProcId) -> Result<(), DeviceError> {
-        if !self.procs.contains_key(&proc) {
+        if !self.index.contains_key(&proc) {
             return Err(DeviceError::NotResident(proc));
         }
-        self.active.remove(&proc);
-        self.procs.remove(&proc);
+        self.remove_entry(proc);
         self.reschedule(now);
         Ok(())
+    }
+
+    /// [`PhiDevice::detach`] through a slot handle.
+    ///
+    /// # Panics
+    /// Panics when the handle is stale.
+    pub fn detach_slot(&mut self, now: SimTime, slot: ProcSlot) {
+        let proc = self.entry(slot).id;
+        self.remove_entry(proc);
+        self.reschedule(now);
     }
 
     /// Set a process's committed memory to `total_mb`. Shrinking is allowed.
@@ -205,25 +314,47 @@ impl PhiDevice {
         total_mb: u64,
         rng: &mut DetRng,
     ) -> Result<CommitOutcome, DeviceError> {
+        let slot = *self
+            .index
+            .get(&proc)
+            .ok_or(DeviceError::NotResident(proc))?;
+        Ok(self.commit_memory_slot(now, slot, total_mb, rng))
+    }
+
+    /// [`PhiDevice::commit_memory`] through a slot handle. The committing
+    /// process may itself be chosen as an OOM victim, in which case `slot`
+    /// is stale on return.
+    ///
+    /// # Panics
+    /// Panics when the handle is stale on entry.
+    pub fn commit_memory_slot(
+        &mut self,
+        now: SimTime,
+        slot: ProcSlot,
+        total_mb: u64,
+        rng: &mut DetRng,
+    ) -> CommitOutcome {
         {
-            let r = self
+            let committed_total = &mut self.committed_total;
+            let entry = self
                 .procs
-                .get_mut(&proc)
-                .ok_or(DeviceError::NotResident(proc))?;
-            r.committed_mem_mb = total_mb;
+                .get_mut(slot.0)
+                .unwrap_or_else(|| panic!("commit_memory through stale handle {slot}"));
+            *committed_total = *committed_total - entry.committed_mem_mb + total_mb;
+            entry.committed_mem_mb = total_mb;
         }
         let mut killed = Vec::new();
-        while self.committed_total_mb() > self.cfg.usable_mem_mb() {
-            let n = self.procs.len();
+        while self.committed_total > self.cfg.usable_mem_mb() {
+            let n = self.index.len();
             debug_assert!(n > 0);
-            // Uniform victim without materializing the id list (draws the
-            // same index stream `choose` over a collected Vec would).
-            let victim = self
-                .resident_ids_iter()
+            // Uniform victim over residents in ascending-id order — the
+            // exact index stream the keyed oracle draws.
+            let victim = *self
+                .index
+                .keys()
                 .nth(rng.index(n))
                 .expect("resident set is non-empty");
-            self.active.remove(&victim);
-            self.procs.remove(&victim);
+            self.remove_entry(victim);
             self.oom_kills.incr();
             killed.push(victim);
         }
@@ -239,11 +370,47 @@ impl PhiDevice {
             // generation.)
             self.advance_to(now);
             self.record_utilization(now);
-            Ok(CommitOutcome::Fits)
+            CommitOutcome::Fits
         } else {
             self.reschedule(now);
-            Ok(CommitOutcome::OomKilled(killed))
+            CommitOutcome::OomKilled(killed)
         }
+    }
+
+    /// Remove `proc` from the slab, the id index and every aggregate.
+    /// Does *not* reschedule; callers decide when rates refresh.
+    fn remove_entry(&mut self, proc: ProcId) {
+        let slot = self.index.remove(&proc).expect("proc is indexed");
+        let entry = self.procs.remove(slot.0);
+        self.declared_total -= entry.declared_mem_mb;
+        self.declared_threads_total -= entry.declared_threads;
+        self.committed_total -= entry.committed_mem_mb;
+        if let Some(off) = entry.active {
+            self.retire_active(&off);
+        }
+    }
+
+    /// Deduct one active offload from the incremental aggregates.
+    fn retire_active(&mut self, off: &ActiveOffload) {
+        self.n_active -= 1;
+        self.active_threads_total -= off.threads;
+        match off.affinity {
+            // Pinned sets are pairwise disjoint, so clearing this member's
+            // bits removes exactly its contribution to the union.
+            Affinity::Pinned(set) => {
+                self.pinned_union = CoreSet::from_mask(self.pinned_union.mask() & !set.mask());
+            }
+            Affinity::Unmanaged => {
+                self.unmanaged_cores -= self.cfg.cores_for_threads(off.threads);
+            }
+        }
+    }
+
+    /// The live entry at `slot`, panicking on a stale handle.
+    fn entry(&self, slot: ProcSlot) -> &ProcEntry {
+        self.procs
+            .get(slot.0)
+            .unwrap_or_else(|| panic!("device access through stale handle {slot}"))
     }
 
     // ------------------------------------------------------------------
@@ -260,31 +427,52 @@ impl PhiDevice {
         work: SimDuration,
         affinity: Affinity,
     ) -> Result<(), DeviceError> {
-        if !self.procs.contains_key(&proc) {
-            return Err(DeviceError::NotResident(proc));
-        }
-        if self.active.contains_key(&proc) {
+        let slot = *self
+            .index
+            .get(&proc)
+            .ok_or(DeviceError::NotResident(proc))?;
+        self.start_offload_slot(now, slot, threads, work, affinity)
+    }
+
+    /// [`PhiDevice::start_offload`] through a slot handle.
+    ///
+    /// # Panics
+    /// Panics when the handle is stale.
+    pub fn start_offload_slot(
+        &mut self,
+        now: SimTime,
+        slot: ProcSlot,
+        threads: u32,
+        work: SimDuration,
+        affinity: Affinity,
+    ) -> Result<(), DeviceError> {
+        let entry = self.entry(slot);
+        let proc = entry.id;
+        if entry.active.is_some() {
             return Err(DeviceError::OffloadInProgress(proc));
         }
         if let Affinity::Pinned(set) = affinity {
-            for (other, off) in &self.active {
-                if let Affinity::Pinned(existing) = off.affinity {
-                    if !set.is_disjoint(existing) {
-                        let _ = other;
-                        return Err(DeviceError::CoreOverlap(proc));
-                    }
-                }
+            // Active pinned sets are pairwise disjoint, so overlapping any
+            // of them is overlapping their union: one mask test replaces
+            // the keyed substrate's scan over every active offload.
+            if !set.is_disjoint(self.pinned_union) {
+                return Err(DeviceError::CoreOverlap(proc));
             }
+            self.pinned_union = self.pinned_union.union(set);
+        } else {
+            self.unmanaged_cores += self.cfg.cores_for_threads(threads);
         }
-        self.active.insert(
-            proc,
-            ActiveOffload {
-                threads,
-                remaining: work.ticks() as f64,
-                rate: 1.0,
-                affinity,
-            },
-        );
+        self.n_active += 1;
+        self.active_threads_total += threads;
+        self.procs
+            .get_mut(slot.0)
+            .expect("entry verified live above")
+            .active = Some(ActiveOffload {
+            threads,
+            remaining: work.ticks() as f64,
+            rate: 1.0,
+            affinity,
+        });
         self.reschedule(now);
         Ok(())
     }
@@ -297,17 +485,40 @@ impl PhiDevice {
     /// event the generation guard should have dropped.
     pub fn finish_offload(&mut self, now: SimTime, proc: ProcId) -> Result<(), DeviceError> {
         self.advance_to(now);
-        let off = self
-            .active
-            .get(&proc)
-            .ok_or(DeviceError::NoActiveOffload(proc))?;
+        let Some(&slot) = self.index.get(&proc) else {
+            return Err(DeviceError::NoActiveOffload(proc));
+        };
+        self.finish_after_advance(now, slot)
+    }
+
+    /// [`PhiDevice::finish_offload`] through a slot handle.
+    ///
+    /// # Panics
+    /// Panics when the handle is stale; debug-panics on premature finish.
+    pub fn finish_offload_slot(&mut self, now: SimTime, slot: ProcSlot) -> Result<(), DeviceError> {
+        self.advance_to(now);
+        self.finish_after_advance(now, slot)
+    }
+
+    fn finish_after_advance(&mut self, now: SimTime, slot: ProcSlot) -> Result<(), DeviceError> {
+        let entry = self.entry(slot);
+        let Some(off) = &entry.active else {
+            return Err(DeviceError::NoActiveOffload(entry.id));
+        };
         debug_assert!(
             off.remaining <= off.rate + WORK_EPSILON,
             "finish_offload fired with {:.3} nominal ticks left (rate {:.4}): stale event?",
             off.remaining,
             off.rate
         );
-        self.active.remove(&proc);
+        let off = self
+            .procs
+            .get_mut(slot.0)
+            .expect("entry verified live above")
+            .active
+            .take()
+            .expect("offload verified active above");
+        self.retire_active(&off);
         self.offloads_completed.incr();
         self.reschedule(now);
         Ok(())
@@ -315,9 +526,28 @@ impl PhiDevice {
 
     /// Abort an active offload (job killed or preempted mid-offload).
     pub fn abort_offload(&mut self, now: SimTime, proc: ProcId) -> Result<(), DeviceError> {
-        if self.active.remove(&proc).is_none() {
+        let Some(&slot) = self.index.get(&proc) else {
             return Err(DeviceError::NoActiveOffload(proc));
-        }
+        };
+        self.abort_offload_slot(now, slot)
+    }
+
+    /// [`PhiDevice::abort_offload`] through a slot handle.
+    ///
+    /// # Panics
+    /// Panics when the handle is stale.
+    pub fn abort_offload_slot(&mut self, now: SimTime, slot: ProcSlot) -> Result<(), DeviceError> {
+        let id = self.entry(slot).id;
+        let Some(off) = self
+            .procs
+            .get_mut(slot.0)
+            .expect("entry verified live above")
+            .active
+            .take()
+        else {
+            return Err(DeviceError::NoActiveOffload(id));
+        };
+        self.retire_active(&off);
         self.reschedule(now);
         Ok(())
     }
@@ -328,27 +558,49 @@ impl PhiDevice {
     /// the card is the same card after the reboot — and the generation
     /// bumps so every outstanding completion prediction goes stale.
     pub fn reset(&mut self, now: SimTime) {
-        self.active.clear();
         self.procs.clear();
+        self.index.clear();
+        self.committed_total = 0;
+        self.declared_total = 0;
+        self.declared_threads_total = 0;
+        self.active_threads_total = 0;
+        self.n_active = 0;
+        self.pinned_union = CoreSet::EMPTY;
+        self.unmanaged_cores = 0;
         self.reschedule(now);
     }
 
     /// Predicted completion instants for all active offloads under current
-    /// rates, paired with the device generation the prediction is valid for.
+    /// rates, in ascending [`ProcId`] order.
     ///
-    /// Allocates one `Vec` per call; event loops on the fast path should
-    /// use [`PhiDevice::next_completion`] instead and re-query after every
-    /// completion. Retained as the naive per-offload scheduling API (the
-    /// differential oracle's cost model) and for inspection in tests and
-    /// examples.
+    /// Allocates one `Vec` per call; hot loops should use
+    /// [`PhiDevice::completions_iter`] / [`PhiDevice::for_each_completion`]
+    /// (same order, no allocation) or [`PhiDevice::next_completion`].
     pub fn completions(&self) -> Vec<(ProcId, SimTime)> {
-        self.active
-            .iter()
-            .map(|(proc, off)| {
+        self.completions_iter().collect()
+    }
+
+    /// Allocation-free form of [`PhiDevice::completions`]: predicted
+    /// completion instants in ascending [`ProcId`] order — the order
+    /// per-offload completion events must be scheduled in to preserve
+    /// same-tick tie-breaking.
+    pub fn completions_iter(&self) -> impl Iterator<Item = (ProcId, SimTime)> + '_ {
+        self.index.values().filter_map(|slot| {
+            let entry = self.entry(*slot);
+            entry.active.as_ref().map(|off| {
                 let dt = (off.remaining / off.rate).ceil().max(0.0) as u64;
-                (*proc, self.last_update + SimDuration::from_ticks(dt))
+                (entry.id, self.last_update + SimDuration::from_ticks(dt))
             })
-            .collect()
+        })
+    }
+
+    /// Visit every predicted completion in ascending [`ProcId`] order
+    /// without allocating (closure form of
+    /// [`PhiDevice::completions_iter`], convenient for trait objects).
+    pub fn for_each_completion(&self, mut f: impl FnMut(ProcId, SimTime)) {
+        for (proc, at) in self.completions_iter() {
+            f(proc, at);
+        }
     }
 
     /// The earliest predicted completion under current rates, without
@@ -362,12 +614,20 @@ impl PhiDevice {
     /// bumps the generation invalidates the prediction and the caller must
     /// re-query.
     pub fn next_completion(&self) -> Option<(ProcId, SimTime)> {
+        // Scans the dense slab (cache-friendly); min by (instant, id) is
+        // iteration-order independent, so slot order here and ascending-id
+        // order in the keyed oracle pick the same winner.
         let mut best: Option<(ProcId, SimTime)> = None;
-        for (proc, off) in &self.active {
-            let dt = (off.remaining / off.rate).ceil().max(0.0) as u64;
-            let at = self.last_update + SimDuration::from_ticks(dt);
-            if best.map(|(_, b)| at < b).unwrap_or(true) {
-                best = Some((*proc, at));
+        for (_, entry) in self.procs.iter() {
+            if let Some(off) = &entry.active {
+                let dt = (off.remaining / off.rate).ceil().max(0.0) as u64;
+                let at = self.last_update + SimDuration::from_ticks(dt);
+                if best
+                    .map(|(bp, bt)| (at, entry.id) < (bt, bp))
+                    .unwrap_or(true)
+                {
+                    best = Some((entry.id, at));
+                }
             }
         }
         best
@@ -381,9 +641,9 @@ impl PhiDevice {
     /// bumping the generation.
     fn reschedule(&mut self, now: SimTime) {
         self.advance_to(now);
-        let n_active = self.active.len();
+        let n_active = self.n_active;
         let n_resident = self.procs.len();
-        let active_threads = self.active_threads();
+        let active_threads = self.active_threads_total;
         let hw = self.cfg.hw_threads();
         if n_active > 0 {
             // All active offloads share one of exactly two rates — compute
@@ -391,11 +651,13 @@ impl PhiDevice {
             let (rate_pinned, rate_unmanaged) =
                 self.perf
                     .offload_rates(n_active, n_resident, active_threads, hw);
-            for off in self.active.values_mut() {
-                off.rate = match off.affinity {
-                    Affinity::Pinned(_) => rate_pinned,
-                    Affinity::Unmanaged => rate_unmanaged,
-                };
+            for (_, entry) in self.procs.iter_mut() {
+                if let Some(off) = &mut entry.active {
+                    off.rate = match off.affinity {
+                        Affinity::Pinned(_) => rate_pinned,
+                        Affinity::Unmanaged => rate_unmanaged,
+                    };
+                }
             }
         }
         self.generation += 1;
@@ -406,8 +668,10 @@ impl PhiDevice {
     fn advance_to(&mut self, now: SimTime) {
         let dt = now.since(self.last_update).ticks() as f64;
         if dt > 0.0 {
-            for off in self.active.values_mut() {
-                off.remaining = (off.remaining - off.rate * dt).max(0.0);
+            for (_, entry) in self.procs.iter_mut() {
+                if let Some(off) = &mut entry.active {
+                    off.remaining = (off.remaining - off.rate * dt).max(0.0);
+                }
             }
             self.last_update = now;
         }
@@ -417,7 +681,7 @@ impl PhiDevice {
         // Each signal is piecewise constant, so re-setting an unchanged
         // value only restates the current segment — skip those updates.
         let hw = self.cfg.hw_threads();
-        let threads = self.active_threads().min(hw) as f64;
+        let threads = self.active_threads_total.min(hw) as f64;
         if threads != self.busy_threads.value() {
             self.busy_threads.set(now, threads);
         }
@@ -425,11 +689,11 @@ impl PhiDevice {
         if cores != self.busy_cores.value() {
             self.busy_cores.set(now, cores);
         }
-        let committed = self.committed_total_mb() as f64;
+        let committed = self.committed_total as f64;
         if committed != self.committed.value() {
             self.committed.set(now, committed);
         }
-        let busy = if self.active.is_empty() { 0.0 } else { 1.0 };
+        let busy = if self.n_active == 0 { 0.0 } else { 1.0 };
         if busy != self.busy_any.value() {
             self.busy_any.set(now, busy);
         }
@@ -437,19 +701,9 @@ impl PhiDevice {
 
     /// Estimated number of busy cores: pinned offloads occupy exactly their
     /// core sets; unmanaged offloads spread over `ceil(threads/4)` cores.
-    /// Capped at the core count.
+    /// Capped at the core count. O(1) from the incremental aggregates.
     fn busy_core_estimate(&self) -> u32 {
-        let mut pinned_union = CoreSet::EMPTY;
-        let mut unmanaged_cores = 0u32;
-        for off in self.active.values() {
-            match off.affinity {
-                Affinity::Pinned(set) => pinned_union = pinned_union.union(set),
-                Affinity::Unmanaged => {
-                    unmanaged_cores += self.cfg.cores_for_threads(off.threads);
-                }
-            }
-        }
-        (pinned_union.count() + unmanaged_cores).min(self.cfg.cores)
+        (self.pinned_union.count() + self.unmanaged_cores).min(self.cfg.cores)
     }
 
     // ------------------------------------------------------------------
@@ -463,17 +717,30 @@ impl PhiDevice {
 
     /// True when `proc` is resident.
     pub fn is_resident(&self, proc: ProcId) -> bool {
-        self.procs.contains_key(&proc)
+        self.index.contains_key(&proc)
+    }
+
+    /// The slot handle for a resident process, or `None` when not resident.
+    pub fn slot_of(&self, proc: ProcId) -> Option<ProcSlot> {
+        self.index.get(&proc).copied()
+    }
+
+    /// True when `slot` still names a live resident (its process has not
+    /// detached, been OOM-killed or been swept by a reset).
+    pub fn slot_is_live(&self, slot: ProcSlot) -> bool {
+        self.procs.contains(slot.0)
     }
 
     /// True when `proc` has an active offload.
     pub fn has_active_offload(&self, proc: ProcId) -> bool {
-        self.active.contains_key(&proc)
+        self.index
+            .get(&proc)
+            .is_some_and(|slot| self.entry(*slot).active.is_some())
     }
 
     /// Resident process ids in ascending order, without allocating.
     pub fn resident_ids_iter(&self) -> impl Iterator<Item = ProcId> + '_ {
-        self.procs.keys().copied()
+        self.index.keys().copied()
     }
 
     /// Resident process ids in ascending order. Hot loops should prefer
@@ -485,35 +752,33 @@ impl PhiDevice {
     /// Sum of declared memory over resident processes (MB) — what schedulers
     /// budget against.
     pub fn declared_total_mb(&self) -> u64 {
-        self.procs.values().map(|r| r.declared_mem_mb).sum()
+        self.declared_total
     }
 
     /// Declared memory still unbudgeted (MB), i.e. usable minus declared.
     pub fn free_declared_mb(&self) -> u64 {
-        self.cfg
-            .usable_mem_mb()
-            .saturating_sub(self.declared_total_mb())
+        self.cfg.usable_mem_mb().saturating_sub(self.declared_total)
     }
 
     /// Sum of committed memory over resident processes (MB) — the physical
     /// constraint.
     pub fn committed_total_mb(&self) -> u64 {
-        self.procs.values().map(|r| r.committed_mem_mb).sum()
+        self.committed_total
     }
 
     /// Sum of declared threads over resident processes.
     pub fn declared_threads(&self) -> u32 {
-        self.procs.values().map(|r| r.declared_threads).sum()
+        self.declared_threads_total
     }
 
     /// Thread sum over *active* offloads.
     pub fn active_threads(&self) -> u32 {
-        self.active.values().map(|o| o.threads).sum()
+        self.active_threads_total
     }
 
     /// Number of active offloads.
     pub fn active_offloads(&self) -> usize {
-        self.active.len()
+        self.n_active
     }
 
     /// Energy consumed by the card from creation through `end`, in joules:
@@ -839,6 +1104,30 @@ mod tests {
     }
 
     #[test]
+    fn completions_iter_matches_vec_variant() {
+        let mut d = dev();
+        let mut r = rng();
+        for (p, secs) in [(4u64, 30), (1, 10), (3, 20)] {
+            d.attach(t(0), ProcId(p), 500, 60, 100, &mut r).unwrap();
+            d.start_offload(
+                t(0),
+                ProcId(p),
+                60,
+                SimDuration::from_secs(secs),
+                Affinity::Unmanaged,
+            )
+            .unwrap();
+        }
+        let from_iter: Vec<_> = d.completions_iter().collect();
+        assert_eq!(from_iter, d.completions());
+        let procs: Vec<ProcId> = from_iter.iter().map(|&(p, _)| p).collect();
+        assert_eq!(procs, vec![ProcId(1), ProcId(3), ProcId(4)]);
+        let mut visited = Vec::new();
+        d.for_each_completion(|p, at| visited.push((p, at)));
+        assert_eq!(visited, from_iter);
+    }
+
+    #[test]
     fn oom_killer_terminates_random_victims_until_fit() {
         let mut d = dev();
         let mut r = rng();
@@ -882,6 +1171,96 @@ mod tests {
             assert!(!d.has_active_offload(*v));
         }
         assert!(d.committed_total_mb() <= 7680);
+    }
+
+    #[test]
+    fn oom_victim_slot_goes_stale() {
+        let mut d = dev();
+        let mut r = rng();
+        let (s1, _) = d
+            .attach_slot(t(0), ProcId(1), 7000, 60, 7000, &mut r)
+            .unwrap();
+        let (s2, out) = d
+            .attach_slot(t(0), ProcId(2), 7000, 60, 7000, &mut r)
+            .unwrap();
+        let CommitOutcome::OomKilled(victims) = out else {
+            panic!("expected an OOM kill");
+        };
+        assert_eq!(victims.len(), 1);
+        let (dead, live) = if victims[0] == ProcId(1) {
+            (s1, s2)
+        } else {
+            (s2, s1)
+        };
+        assert!(!d.slot_is_live(dead));
+        assert!(d.slot_is_live(live));
+        assert_eq!(d.slot_of(victims[0]), None);
+        // The surviving slot still drives the full offload lifecycle.
+        d.start_offload_slot(
+            t(1),
+            live,
+            60,
+            SimDuration::from_secs(5),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
+        d.finish_offload_slot(t(6), live).unwrap();
+        d.detach_slot(t(6), live);
+        assert_eq!(d.resident_count(), 0);
+        assert_eq!(d.offloads_completed.get(), 1);
+    }
+
+    #[test]
+    fn slot_api_matches_id_api() {
+        let mut d = dev();
+        let mut r = rng();
+        let (slot, out) = d
+            .attach_slot(t(0), ProcId(7), 1000, 120, 400, &mut r)
+            .unwrap();
+        assert_eq!(out, CommitOutcome::Fits);
+        assert_eq!(d.slot_of(ProcId(7)), Some(slot));
+        assert!(d.slot_is_live(slot));
+        assert_eq!(
+            d.commit_memory_slot(t(1), slot, 900, &mut r),
+            CommitOutcome::Fits
+        );
+        assert_eq!(d.committed_total_mb(), 900);
+        d.start_offload_slot(
+            t(1),
+            slot,
+            120,
+            SimDuration::from_secs(10),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
+        assert_eq!(
+            d.start_offload_slot(
+                t(1),
+                slot,
+                120,
+                SimDuration::from_secs(10),
+                Affinity::Unmanaged
+            ),
+            Err(DeviceError::OffloadInProgress(ProcId(7)))
+        );
+        d.abort_offload_slot(t(2), slot).unwrap();
+        assert_eq!(
+            d.abort_offload_slot(t(2), slot),
+            Err(DeviceError::NoActiveOffload(ProcId(7)))
+        );
+        d.detach_slot(t(3), slot);
+        assert!(!d.slot_is_live(slot));
+        assert_eq!(d.slot_of(ProcId(7)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale handle")]
+    fn detached_slot_panics_on_destructive_use() {
+        let mut d = dev();
+        let mut r = rng();
+        let (slot, _) = d.attach_slot(t(0), ProcId(1), 100, 60, 0, &mut r).unwrap();
+        d.detach_slot(t(1), slot);
+        d.detach_slot(t(2), slot);
     }
 
     #[test]
@@ -965,7 +1344,9 @@ mod tests {
     fn reset_tears_down_everything_but_keeps_history() {
         let mut d = dev();
         let mut r = rng();
-        d.attach(t(0), ProcId(1), 1000, 120, 400, &mut r).unwrap();
+        let (s1, _) = d
+            .attach_slot(t(0), ProcId(1), 1000, 120, 400, &mut r)
+            .unwrap();
         d.attach(t(0), ProcId(2), 500, 60, 200, &mut r).unwrap();
         d.start_offload(
             t(0),
@@ -993,6 +1374,8 @@ mod tests {
         assert_eq!(d.declared_total_mb(), 0);
         assert_eq!(d.active_offloads(), 0);
         assert!(d.next_completion().is_none());
+        // Slot handles from before the reset are all stale.
+        assert!(!d.slot_is_live(s1));
         // Predictions from before the reset are invalidated.
         assert!(d.generation() > gen);
         // History survives the reboot: the completed-offload counter keeps
@@ -1059,5 +1442,53 @@ mod tests {
         let c1 = d.completions();
         let c2 = d.completions();
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn pinned_accounting_survives_slot_reuse() {
+        let mut d = dev();
+        let mut r = rng();
+        let a = CoreSet::contiguous(0, 30);
+        let b = CoreSet::contiguous(30, 30);
+        d.attach(t(0), ProcId(1), 100, 120, 0, &mut r).unwrap();
+        d.attach(t(0), ProcId(2), 100, 120, 0, &mut r).unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            120,
+            SimDuration::from_secs(5),
+            Affinity::Pinned(a),
+        )
+        .unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(2),
+            120,
+            SimDuration::from_secs(5),
+            Affinity::Pinned(b),
+        )
+        .unwrap();
+        // Detach P1 (slot freed, pinned set released) and reuse the slot.
+        d.detach(t(1), ProcId(1)).unwrap();
+        d.attach(t(1), ProcId(3), 100, 120, 0, &mut r).unwrap();
+        // P1's cores are free again; P2's are still held.
+        d.start_offload(
+            t(1),
+            ProcId(3),
+            120,
+            SimDuration::from_secs(5),
+            Affinity::Pinned(a),
+        )
+        .unwrap();
+        assert_eq!(
+            d.start_offload(
+                t(1),
+                ProcId(3),
+                120,
+                SimDuration::from_secs(5),
+                Affinity::Pinned(b)
+            ),
+            Err(DeviceError::OffloadInProgress(ProcId(3)))
+        );
     }
 }

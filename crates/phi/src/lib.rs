@@ -30,11 +30,13 @@
 pub mod alloc;
 pub mod config;
 pub mod device;
+pub mod keyed;
 pub mod perf;
 pub mod proc;
 
 pub use alloc::{CoreAllocator, CoreSet};
 pub use config::PhiConfig;
-pub use device::{Affinity, CommitOutcome, DeviceUtilization, PhiDevice};
+pub use device::{Affinity, CommitOutcome, DeviceUtilization, PhiDevice, ProcSlot};
+pub use keyed::KeyedPhiDevice;
 pub use perf::PerfModel;
 pub use proc::ProcId;

@@ -1,7 +1,9 @@
 //! Property tests for the device model: arbitrary operation sequences must
 //! preserve the physical invariants.
 
-use phishare_phi::{Affinity, CommitOutcome, PerfModel, PhiConfig, PhiDevice, ProcId};
+use phishare_phi::{
+    Affinity, CommitOutcome, CoreSet, KeyedPhiDevice, PerfModel, PhiConfig, PhiDevice, ProcId,
+};
 use phishare_sim::{DetRng, SimDuration, SimTime};
 use proptest::prelude::*;
 
@@ -240,5 +242,106 @@ proptest! {
         }
         device.finish_offload(SimTime::from_secs(work_secs), ProcId(1)).unwrap();
         prop_assert_eq!(device.offloads_completed.get(), 1);
+    }
+
+    /// Differential oracle: the slab-backed fast device and the map-backed
+    /// keyed device, driven through the identical operation sequence with
+    /// identically-seeded RNGs, must agree *bit-for-bit* on every
+    /// observable after every step — outcomes (including errors and OOM
+    /// victim lists), completion predictions, resident sets, aggregate
+    /// accounting, utilization integrals and energy. Pinned affinities are
+    /// included so the incremental pinned-union bookkeeping is exercised
+    /// across slot reuse.
+    #[test]
+    fn fast_and_keyed_devices_are_bit_identical(
+        ops in prop::collection::vec(arb_op(), 1..80),
+        pin_mask in prop::collection::vec(any::<bool>(), 80),
+        seed in 0u64..1000,
+    ) {
+        let cfg = PhiConfig::default();
+        let mut fast = PhiDevice::new(cfg, PerfModel::default(), SimTime::ZERO);
+        let mut keyed = KeyedPhiDevice::new(cfg, PerfModel::default(), SimTime::ZERO);
+        let mut rng_f = DetRng::from_seed(seed);
+        let mut rng_k = DetRng::from_seed(seed);
+        let mut now = SimTime::ZERO;
+
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Attach { proc, declared_mb, threads, commit_mb } => {
+                    let f = fast.attach(now, ProcId(proc), declared_mb, threads, commit_mb, &mut rng_f);
+                    let k = keyed.attach(now, ProcId(proc), declared_mb, threads, commit_mb, &mut rng_k);
+                    prop_assert_eq!(f, k);
+                }
+                Op::Commit { proc, total_mb } => {
+                    let f = fast.commit_memory(now, ProcId(proc), total_mb, &mut rng_f);
+                    let k = keyed.commit_memory(now, ProcId(proc), total_mb, &mut rng_k);
+                    prop_assert_eq!(f, k);
+                }
+                Op::StartOffload { proc, threads, work_secs } => {
+                    // Every sixth proc id gets a pinned set disjoint per id,
+                    // gated by the mask, so pinned and unmanaged paths mix.
+                    let affinity = if pin_mask[step % pin_mask.len()] {
+                        Affinity::Pinned(CoreSet::contiguous((proc * 10) as u32, 10))
+                    } else {
+                        Affinity::Unmanaged
+                    };
+                    let f = fast.start_offload(now, ProcId(proc), threads, SimDuration::from_secs(work_secs), affinity);
+                    let k = keyed.start_offload(now, ProcId(proc), threads, SimDuration::from_secs(work_secs), affinity);
+                    prop_assert_eq!(f, k);
+                }
+                Op::FinishEarliest => {
+                    let f_next = fast.next_completion();
+                    prop_assert_eq!(f_next, keyed.next_completion());
+                    if let Some((proc, at)) = f_next {
+                        now = at.max(now);
+                        prop_assert_eq!(fast.finish_offload(now, proc), keyed.finish_offload(now, proc));
+                    }
+                }
+                Op::AbortOffload { proc } => {
+                    prop_assert_eq!(
+                        fast.abort_offload(now, ProcId(proc)),
+                        keyed.abort_offload(now, ProcId(proc))
+                    );
+                }
+                Op::Detach { proc } => {
+                    prop_assert_eq!(
+                        fast.detach(now, ProcId(proc)),
+                        keyed.detach(now, ProcId(proc))
+                    );
+                }
+                Op::Advance { secs } => {
+                    now += SimDuration::from_secs(secs);
+                }
+            }
+
+            // --- every observable agrees, bit-for-bit ---
+            prop_assert_eq!(fast.resident_count(), keyed.resident_count());
+            prop_assert_eq!(fast.active_offloads(), keyed.active_offloads());
+            prop_assert_eq!(fast.committed_total_mb(), keyed.committed_total_mb());
+            prop_assert_eq!(fast.declared_total_mb(), keyed.declared_total_mb());
+            prop_assert_eq!(fast.free_declared_mb(), keyed.free_declared_mb());
+            prop_assert_eq!(fast.declared_threads(), keyed.declared_threads());
+            prop_assert_eq!(fast.active_threads(), keyed.active_threads());
+            prop_assert_eq!(fast.oom_kills.get(), keyed.oom_kills.get());
+            prop_assert_eq!(fast.offloads_completed.get(), keyed.offloads_completed.get());
+            let fast_ids: Vec<ProcId> = fast.resident_ids_iter().collect();
+            let keyed_ids: Vec<ProcId> = keyed.resident_ids_iter().collect();
+            prop_assert_eq!(fast_ids, keyed_ids);
+            prop_assert_eq!(fast.completions(), keyed.completions());
+            prop_assert_eq!(fast.next_completion(), keyed.next_completion());
+            let probe = now + SimDuration::from_secs(1);
+            prop_assert_eq!(fast.utilization(probe), keyed.utilization(probe));
+            prop_assert_eq!(
+                fast.energy_joules(probe).to_bits(),
+                keyed.energy_joules(probe).to_bits()
+            );
+        }
+
+        // A full reset leaves both substrates equally empty.
+        fast.reset(now);
+        keyed.reset(now);
+        prop_assert_eq!(fast.resident_count(), keyed.resident_count());
+        prop_assert_eq!(fast.committed_total_mb(), 0);
+        prop_assert_eq!(keyed.committed_total_mb(), 0);
     }
 }

@@ -13,6 +13,8 @@
 //! * [`stats`] — time-weighted integrators used for utilization accounting
 //!   (the paper's §III core-utilization measurements), counters and simple
 //!   distribution summaries;
+//! * [`slab`] — generation-stamped dense slot storage ([`Slab`]) backing
+//!   the substrate fast path's per-process and per-job state;
 //! * [`rng`] — seeded, splittable deterministic random number generation,
 //!   including a Box–Muller normal sampler so we do not need `rand_distr`.
 //!
@@ -27,11 +29,13 @@
 pub mod engine;
 pub mod queue;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod time;
 
 pub use engine::Sim;
 pub use queue::EventQueue;
 pub use rng::DetRng;
+pub use slab::{Slab, Slot};
 pub use stats::{Counter, Histogram, Summary, TimeWeighted};
 pub use time::{SimDuration, SimTime};

@@ -156,6 +156,17 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Reset the queue to its freshly-constructed state — empty, sequence
+    /// numbering restarted, stale counter zeroed — while keeping the heap's
+    /// allocation. This is the cross-run recycling hook: a simulation built
+    /// on a reset queue behaves bit-identically to one built on
+    /// [`EventQueue::new`], but pays no growth reallocations.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.stale_drained = 0;
+    }
 }
 
 #[cfg(test)]

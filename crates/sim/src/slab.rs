@@ -1,0 +1,304 @@
+//! Generation-stamped slab storage.
+//!
+//! The substrate fast path keeps per-process and per-job state in dense
+//! slots instead of keyed maps: a [`Slot`] handle is resolved once at
+//! registration and every later hot-path access is a bounds-checked array
+//! index. Freed slots are recycled through a free list; each slot carries a
+//! generation stamp that is bumped on removal, so a stale handle held
+//! across a free/reuse cycle can never resurrect — `get` returns `None`
+//! and `remove` panics instead of silently touching the new tenant.
+
+use std::fmt;
+
+/// A handle into a [`Slab`]: a dense index plus the generation stamp the
+/// slot had when the value was inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Slot {
+    index: u32,
+    stamp: u32,
+}
+
+impl Slot {
+    /// The dense index (exposed for debug output only; it is meaningless
+    /// without the stamp).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}@{}", self.index, self.stamp)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    /// Bumped every time the slot's tenant is evicted; a handle whose stamp
+    /// does not match is stale.
+    stamp: u32,
+    value: Option<T>,
+}
+
+/// A dense, generation-stamped arena of `T`.
+///
+/// ```
+/// use phishare_sim::Slab;
+///
+/// let mut slab = Slab::new();
+/// let a = slab.insert("a");
+/// let b = slab.insert("b");
+/// assert_eq!(slab.get(a), Some(&"a"));
+/// assert_eq!(slab.remove(a), "a");
+/// // The freed slot is recycled, but the stale handle stays dead.
+/// let c = slab.insert("c");
+/// assert_eq!(c.index(), a.index());
+/// assert_eq!(slab.get(a), None);
+/// assert_eq!(slab.get(c), Some(&"c"));
+/// assert_eq!(slab.get(b), Some(&"b"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    /// Freed indices, reused LIFO (the hottest slot stays cache-warm).
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Create an empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Create an empty slab with room for `cap` values before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            entries: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            live: 0,
+        }
+    }
+
+    /// Number of live values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no values are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Store `value`, reusing a freed slot when one exists.
+    pub fn insert(&mut self, value: T) -> Slot {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let entry = &mut self.entries[index as usize];
+            debug_assert!(entry.value.is_none(), "free list pointed at a live slot");
+            entry.value = Some(value);
+            Slot {
+                index,
+                stamp: entry.stamp,
+            }
+        } else {
+            let index = u32::try_from(self.entries.len()).expect("slab index fits u32");
+            self.entries.push(Entry {
+                stamp: 0,
+                value: Some(value),
+            });
+            Slot { index, stamp: 0 }
+        }
+    }
+
+    /// The value at `slot`, or `None` when the handle is stale (the tenant
+    /// was removed, whether or not the slot was reused since).
+    #[inline]
+    pub fn get(&self, slot: Slot) -> Option<&T> {
+        match self.entries.get(slot.index as usize) {
+            Some(e) if e.stamp == slot.stamp => e.value.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value at `slot`; `None` when stale.
+    #[inline]
+    pub fn get_mut(&mut self, slot: Slot) -> Option<&mut T> {
+        match self.entries.get_mut(slot.index as usize) {
+            Some(e) if e.stamp == slot.stamp => e.value.as_mut(),
+            _ => None,
+        }
+    }
+
+    /// True when `slot` still names a live value.
+    #[inline]
+    pub fn contains(&self, slot: Slot) -> bool {
+        self.get(slot).is_some()
+    }
+
+    /// Remove and return the value at `slot`, bumping the slot's stamp so
+    /// every outstanding handle to it goes stale.
+    ///
+    /// # Panics
+    /// Panics when the handle is stale — using a dead handle for a
+    /// destructive operation is always a caller bug.
+    pub fn remove(&mut self, slot: Slot) -> T {
+        let entry = self
+            .entries
+            .get_mut(slot.index as usize)
+            .filter(|e| e.stamp == slot.stamp)
+            .unwrap_or_else(|| panic!("slab: removing through stale handle {slot}"));
+        let value = entry
+            .value
+            .take()
+            .unwrap_or_else(|| panic!("slab: removing through stale handle {slot}"));
+        entry.stamp = entry.stamp.wrapping_add(1);
+        self.free.push(slot.index);
+        self.live -= 1;
+        value
+    }
+
+    /// Drop every value, invalidating all outstanding handles, while
+    /// keeping the allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        for (index, entry) in self.entries.iter_mut().enumerate() {
+            if entry.value.take().is_some() {
+                entry.stamp = entry.stamp.wrapping_add(1);
+                self.free.push(index as u32);
+            }
+        }
+        self.live = 0;
+    }
+
+    /// Iterate the live values in slot-index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Slot, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            e.value.as_ref().map(|v| {
+                (
+                    Slot {
+                        index: i as u32,
+                        stamp: e.stamp,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Iterate the live values mutably in slot-index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Slot, &mut T)> {
+        self.entries.iter_mut().enumerate().filter_map(|(i, e)| {
+            let stamp = e.stamp;
+            e.value.as_mut().map(move |v| {
+                (
+                    Slot {
+                        index: i as u32,
+                        stamp,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut slab = Slab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&10));
+        *slab.get_mut(b).unwrap() += 1;
+        assert_eq!(slab.remove(b), 21);
+        assert_eq!(slab.len(), 1);
+        assert!(!slab.contains(b));
+        assert!(slab.contains(a));
+    }
+
+    #[test]
+    fn stale_handle_never_resurrects() {
+        let mut slab = Slab::new();
+        let a = slab.insert("old");
+        slab.remove(a);
+        let b = slab.insert("new");
+        assert_eq!(b.index(), a.index(), "freed slot is recycled");
+        assert_ne!(a, b);
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.get_mut(a), None);
+        assert!(!slab.contains(a));
+        assert_eq!(slab.get(b), Some(&"new"));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale handle")]
+    fn removing_through_stale_handle_panics() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        slab.insert(2); // reuses the slot under a fresh stamp
+        slab.remove(a);
+    }
+
+    #[test]
+    fn clear_invalidates_everything_and_reuses_capacity() {
+        let mut slab = Slab::with_capacity(4);
+        let handles: Vec<_> = (0..4).map(|i| slab.insert(i)).collect();
+        slab.clear();
+        assert!(slab.is_empty());
+        for h in &handles {
+            assert_eq!(slab.get(*h), None);
+        }
+        let fresh = slab.insert(99);
+        assert!(fresh.index() < 4, "cleared slots are recycled");
+        assert_eq!(slab.get(fresh), Some(&99));
+    }
+
+    #[test]
+    fn iteration_is_slot_index_order() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let _b = slab.insert("b");
+        let _c = slab.insert("c");
+        slab.remove(a);
+        let order: Vec<&str> = slab.iter().map(|(_, v)| *v).collect();
+        assert_eq!(order, vec!["b", "c"]);
+        // iter_mut hands out valid handles alongside the values.
+        let handles: Vec<Slot> = slab.iter_mut().map(|(s, _)| s).collect();
+        for h in handles {
+            assert!(slab.contains(h));
+        }
+    }
+
+    #[test]
+    fn free_list_is_lifo() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        slab.remove(a);
+        slab.remove(b);
+        let c = slab.insert(3);
+        assert_eq!(
+            c.index(),
+            b.index(),
+            "most recently freed slot reused first"
+        );
+    }
+}
