@@ -124,22 +124,28 @@ fn gate() -> NegotiationBench {
     let negotiator = Negotiator::default();
     let base = build_pool(NODES, SLOTS_PER_NODE, JOBS);
 
-    // Sanity first: both paths must agree before timing means anything.
+    // Sanity first: all paths must agree before timing means anything.
     let (mut q_fast, mut c_fast) = base.clone();
     let (mut q_naive, mut c_naive) = base.clone();
-    let fast = negotiator.negotiate_with_stats(&mut q_fast, &mut c_fast);
+    let (mut q_delta, mut c_delta) = base.clone();
+    let fast = negotiator.negotiate_full_with_stats(&mut q_fast, &mut c_fast);
     let naive = negotiator.negotiate_naive_with_stats(&mut q_naive, &mut c_naive);
+    let delta = negotiator.negotiate_delta_with_stats(&mut q_delta, &mut c_delta);
     assert_eq!(fast, naive, "fast and naive paths diverged");
+    assert_eq!(delta, naive, "delta and naive paths diverged");
     assert_eq!(c_fast, c_naive, "collector states diverged");
+    assert_eq!(c_delta, c_naive, "collector states diverged");
     let (matches, stats) = fast;
 
+    // This gate pins the *full-rematch* fast path against the naive cost
+    // model (PERF-3); the delta path has its own XL gate (PERF-7).
     let naive_runs = 3;
     let fast_runs = 15;
     let naive_ms = time_cycle(naive_runs, &base, |q, c| {
         black_box(negotiator.negotiate_naive_with_stats(q, c));
     });
     let fast_ms = time_cycle(fast_runs, &base, |q, c| {
-        black_box(negotiator.negotiate_with_stats(q, c));
+        black_box(negotiator.negotiate_full_with_stats(q, c));
     });
 
     NegotiationBench {

@@ -176,4 +176,46 @@ mod tests {
         let d = experiments_dir();
         assert!(d.ends_with("experiments"));
     }
+
+    /// Committed bench results must clear their own floors. Every perf gate
+    /// writes a `BENCH_*.json` copy at the repo root with `speedup` and
+    /// `speedup_floor` fields; a stale file whose numbers no longer clear
+    /// the floor fails here without re-running the (slow) gate itself.
+    #[test]
+    fn committed_bench_results_clear_their_floors() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let mut checked = 0;
+        for entry in std::fs::read_dir(root).expect("repo root is readable") {
+            let path = entry.expect("dir entry").path();
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {name}: {e}"));
+            let json: serde_json::Value = serde_json::from_str(&text)
+                .unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"));
+            let (Some(speedup), Some(floor)) = (
+                json.get("speedup").and_then(serde_json::Value::as_f64),
+                json.get("speedup_floor")
+                    .and_then(serde_json::Value::as_f64),
+            ) else {
+                continue;
+            };
+            assert!(
+                speedup >= floor,
+                "{name} is stale: committed speedup {speedup:.2}x \
+                 is below its own floor {floor:.2}x — re-run the gate"
+            );
+            checked += 1;
+        }
+        // Don't let a rename silently turn this lint into a no-op.
+        assert!(
+            checked >= 1,
+            "no gated BENCH_*.json files found at repo root"
+        );
+    }
 }

@@ -34,15 +34,38 @@ pub struct ClassAd {
     exprs: BTreeMap<String, CachedExpr>,
 }
 
+/// Canonical (lower-cased) lookup into a keys-are-lowercase map without
+/// allocating when the caller's name is already lower-case — the common case
+/// on the negotiation hot path, where compiled guards and the collector's
+/// attribute handles store canonical names.
+fn canonical_get<'a, V>(map: &'a BTreeMap<String, V>, name: &str) -> Option<&'a V> {
+    if name.bytes().any(|b| b.is_ascii_uppercase()) {
+        map.get(&name.to_ascii_lowercase())
+    } else {
+        map.get(name)
+    }
+}
+
 impl ClassAd {
     /// Create an empty ad.
     pub fn new() -> Self {
         ClassAd::default()
     }
 
-    /// Insert (or replace) an attribute value.
+    /// Insert (or replace) an attribute value. Replacing through an
+    /// already-lower-case name (the hot-path handles) reuses the stored key
+    /// instead of allocating a new one.
     pub fn insert(&mut self, name: &str, value: impl Into<Value>) {
-        self.attrs.insert(name.to_ascii_lowercase(), value.into());
+        let value = value.into();
+        if !name.bytes().any(|b| b.is_ascii_uppercase()) {
+            if let Some(slot) = self.attrs.get_mut(name) {
+                *slot = value;
+                return;
+            }
+            self.attrs.insert(name.to_string(), value);
+        } else {
+            self.attrs.insert(name.to_ascii_lowercase(), value);
+        }
     }
 
     /// Insert (or replace) an expression attribute such as `Requirements`.
@@ -62,21 +85,17 @@ impl ClassAd {
 
     /// Look up a value attribute (case-insensitive).
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.attrs.get(&name.to_ascii_lowercase())
+        canonical_get(&self.attrs, name)
     }
 
     /// Look up an expression attribute's source text.
     pub fn get_expr(&self, name: &str) -> Option<&str> {
-        self.exprs
-            .get(&name.to_ascii_lowercase())
-            .map(|e| e.src.as_str())
+        canonical_get(&self.exprs, name).map(|e| e.src.as_str())
     }
 
     /// Look up an expression attribute's parsed AST (no re-parse).
     pub fn parsed_expr(&self, name: &str) -> Option<&Expr> {
-        self.exprs
-            .get(&name.to_ascii_lowercase())
-            .map(|e| &e.parsed)
+        canonical_get(&self.exprs, name).map(|e| &e.parsed)
     }
 
     /// Remove an attribute (value or expression). Returns true if present.
@@ -204,6 +223,21 @@ mod tests {
         ad.insert("PHIMEMORY", 200u64);
         assert_eq!(ad.len(), 1);
         assert_eq!(ad.get("PhiMemory"), Some(&Value::Int(200)));
+    }
+
+    #[test]
+    fn lower_case_names_hit_the_no_alloc_path_with_identical_semantics() {
+        let mut ad = ClassAd::new();
+        ad.insert("phimemory", 100u64); // lower-case insert
+        ad.insert("PhiMemory", 200u64); // mixed-case replace, same attribute
+        assert_eq!(ad.len(), 1);
+        assert_eq!(ad.get("phimemory"), Some(&Value::Int(200)));
+        ad.insert("phimemory", 300u64); // lower-case replace reuses the key
+        assert_eq!(ad.len(), 1);
+        assert_eq!(ad.get("PHIMEMORY"), Some(&Value::Int(300)));
+        ad.insert_expr("Rank", "TARGET.PhiMemory").unwrap();
+        assert!(ad.parsed_expr("rank").is_some());
+        assert_eq!(ad.get_expr("rank"), ad.get_expr("RANK"));
     }
 
     #[test]

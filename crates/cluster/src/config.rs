@@ -1,6 +1,7 @@
 //! Cluster configuration.
 
 use crate::fault::{FaultConfig, RecoveryConfig};
+use phishare_condor::MatchPath;
 use phishare_core::{ClusterPolicy, KnapsackConfig};
 use phishare_cosmic::CosmicConfig;
 use phishare_phi::{PerfModel, PhiConfig};
@@ -32,6 +33,10 @@ pub struct ClusterConfig {
     pub policy: ClusterPolicy,
     /// Gap between periodic Condor negotiation cycles.
     pub negotiation_interval: SimDuration,
+    /// Which negotiation implementation cycles run. `Delta` (the default)
+    /// does incremental delta-driven matchmaking; `Full` re-matches every
+    /// pending job each cycle. Both are proptested bit-identical.
+    pub negotiation: MatchPath,
     /// Latency of an *update-triggered* negotiation: when qedited job
     /// requirements reach the collector (e.g. after a completion-driven
     /// repack), Condor starts an extra cycle after this delay (§IV-D1:
@@ -69,6 +74,7 @@ impl Default for ClusterConfig {
             cosmic: CosmicConfig::default(),
             policy: ClusterPolicy::Mcck,
             negotiation_interval: SimDuration::from_secs(10),
+            negotiation: MatchPath::default(),
             negotiation_trigger_delay: SimDuration::from_secs(2),
             dispatch_delay: SimDuration::from_secs(1),
             knapsack: KnapsackConfig::default(),

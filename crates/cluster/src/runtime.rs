@@ -677,7 +677,7 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             plan,
             queue: JobQueue::new(),
             collector,
-            negotiator: Negotiator::new(cfg.negotiation_interval),
+            negotiator: Negotiator::new(cfg.negotiation_interval).with_path(cfg.negotiation),
             startds,
             devices,
             cosmic,

@@ -33,6 +33,36 @@ pub const REQUEST_EXCLUSIVE_PHI: &str = "RequestExclusivePhi";
 /// Job ad: the job's cluster-wide id.
 pub const JOB_ID: &str = "ClusterId";
 
+/// Lower-cased (canonical) attribute handles for hot-path lookups.
+///
+/// `ClassAd` stores attribute names lower-cased; looking one up through a
+/// mixed-case name allocates a lowered copy of the key on every call. The
+/// negotiation inner loop resolves its well-known attributes through these
+/// handles instead, which hit the map's no-alloc fast path. A unit test
+/// pins each handle to the lowercase of its display-cased sibling.
+pub mod lc {
+    /// [`super::NAME`], canonical.
+    pub const NAME: &str = "name";
+    /// [`super::MACHINE`], canonical.
+    pub const MACHINE: &str = "machine";
+    /// [`super::PHI_DEVICES`], canonical.
+    pub const PHI_DEVICES: &str = "phidevices";
+    /// [`super::PHI_FREE_MEMORY`], canonical.
+    pub const PHI_FREE_MEMORY: &str = "phifreememory";
+    /// [`super::PHI_DEVICES_FREE`], canonical.
+    pub const PHI_DEVICES_FREE: &str = "phidevicesfree";
+    /// [`super::PHI_CARD_MEMORY`], canonical.
+    pub const PHI_CARD_MEMORY: &str = "phicardmemory";
+    /// [`super::REQUEST_PHI_MEMORY`], canonical.
+    pub const REQUEST_PHI_MEMORY: &str = "requestphimemory";
+    /// [`super::REQUEST_EXCLUSIVE_PHI`], canonical.
+    pub const REQUEST_EXCLUSIVE_PHI: &str = "requestexclusivephi";
+    /// [`phishare_classad::ad::RANK`], canonical.
+    pub const RANK: &str = "rank";
+    /// [`phishare_classad::ad::REQUIREMENTS`], canonical.
+    pub const REQUIREMENTS: &str = "requirements";
+}
+
 /// Build a machine ad for one slot.
 ///
 /// `phi_free_memory_mb` is the node-level declared-free Phi memory; the
@@ -114,6 +144,24 @@ mod tests {
             thread_req: 60,
             actual_peak_mem_mb: 900,
             profile: JobProfile::new(vec![Segment::offload(60, SimDuration::from_secs(1))]),
+        }
+    }
+
+    #[test]
+    fn lc_handles_are_the_lowercase_of_their_siblings() {
+        for (lc, display) in [
+            (lc::NAME, NAME),
+            (lc::MACHINE, MACHINE),
+            (lc::PHI_DEVICES, PHI_DEVICES),
+            (lc::PHI_FREE_MEMORY, PHI_FREE_MEMORY),
+            (lc::PHI_DEVICES_FREE, PHI_DEVICES_FREE),
+            (lc::PHI_CARD_MEMORY, PHI_CARD_MEMORY),
+            (lc::REQUEST_PHI_MEMORY, REQUEST_PHI_MEMORY),
+            (lc::REQUEST_EXCLUSIVE_PHI, REQUEST_EXCLUSIVE_PHI),
+            (lc::RANK, phishare_classad::ad::RANK),
+            (lc::REQUIREMENTS, REQUIREMENTS),
+        ] {
+            assert_eq!(lc, display.to_ascii_lowercase(), "handle for {display}");
         }
     }
 

@@ -1,22 +1,55 @@
 //! The collector: the central manager's view of every slot.
 //!
 //! Besides the authoritative `SlotId → SlotStatus` map, the collector
-//! maintains three secondary indexes that the negotiator's fast path uses
-//! to pre-screen candidates without walking every slot ad:
+//! maintains secondary indexes that the negotiator's fast path uses to
+//! pre-screen candidates without walking every slot ad:
 //!
 //! * **name index** — advertised `Name` (lower-cased) → slot, for jobs
 //!   pinned to a single slot;
 //! * **machine index** — advertised `Machine` (lower-cased) → slots on that
 //!   node, for jobs pinned to a node;
-//! * **free-memory index** — unclaimed slots ordered by advertised
-//!   `PhiFreeMemory`, so a job's compiled memory guard becomes a range
-//!   query instead of a scan.
+//! * **guard indexes** — one ordered index per *registered attribute*
+//!   (see [`Collector::ensure_attr_index`]): unclaimed slots ordered by the
+//!   attribute's advertised numeric value, so any compiled
+//!   `TARGET.attr >= c` guard becomes a range query instead of a scan.
+//!   `PhiFreeMemory` and `PhiDevicesFree` are pre-registered; the
+//!   negotiator registers further attributes on demand from the guards it
+//!   sees, up to a fixed cap.
 //!
 //! Indexes are over-approximate by design: a candidate pulled from an index
 //! is always re-checked against the full match predicate, so the indexes
 //! only need to never *miss* a true match. They are kept coherent by every
 //! mutation (`advertise`, `claim`, `release`, `set_int_attr`) — same-cycle
 //! resource decrements are visible to the next range query immediately.
+//!
+//! # Dirty tracking
+//!
+//! The collector also stamps every *match-relevant* mutation with a
+//! monotone sequence number ([`Collector::seq`]) and remembers, per slot,
+//! the latest stamp ([`Collector::dirty_since`]). This is what the
+//! negotiator's delta path builds on: a job certified unmatched against the
+//! pool at sequence `s` can only have gained a match through a slot dirtied
+//! *after* `s`, because the match predicate depends on nothing but the job
+//! ad, the slot ad, and the claim flag. Two deliberate asymmetries keep the
+//! set small and exact:
+//!
+//! * **claims do not mark dirty** — turning `claimed` on only ever removes
+//!   a candidate (the negotiator filters claimed slots before the
+//!   predicate), so it cannot turn an unmatched job matchable;
+//! * **removals clear their entries** — [`Collector::invalidate_node`]
+//!   deletes the slots' dirty stamps outright, since a vanished slot cannot
+//!   create a match either.
+//!
+//! Everything else — ad refreshes, in-cycle decrements, releases,
+//! re-advertisements — marks the slot dirty, *including* decrements: the
+//! predicate is arbitrary (a requirement may test `TARGET.attr < c` or hide
+//! inverted logic in a residual expression), so no monotonicity is assumed.
+//!
+//! Equality ([`PartialEq`]) deliberately compares only the authoritative
+//! state — each slot's ad and claim flag. Which guard indexes happen to be
+//! registered and how often the pool was mutated are operational details
+//! that differ between equivalent collectors (e.g. the delta and full
+//! negotiation paths), not observable matchmaking state.
 
 use crate::attrs;
 use phishare_classad::{ClassAd, Value};
@@ -50,17 +83,28 @@ impl fmt::Display for SlotId {
     }
 }
 
+/// Most guard indexes a collector will register. The negotiator registers
+/// attributes lazily from job guards; a hostile mix of requirements must
+/// not grow an index per distinct attribute name, so registration beyond
+/// the cap is refused and those guards fall back to the unclaimed scan.
+pub const MAX_ATTR_INDEXES: usize = 12;
+
+/// Position of the pre-registered `PhiFreeMemory` guard index.
+const FREE_MEM_IDX: usize = 0;
+
 /// Frequently-consulted facts extracted from a slot ad once per
 /// advertisement, so the matchmaking inner loop never does attribute map
 /// lookups (each of which lower-cases the key) for them.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct SlotMeta {
     /// Advertised `Name`, lower-cased; `None` when absent or non-string.
     name_lc: Option<String>,
     /// Advertised `Machine`, lower-cased; `None` when absent or non-string.
     machine_lc: Option<String>,
-    /// Advertised `PhiFreeMemory` as f64; `None` when absent/non-numeric.
-    free_phi_mem: Option<f64>,
+    /// The slot's numeric value for each registered guard attribute,
+    /// parallel to the collector's registration order; `None` when absent
+    /// or non-numeric.
+    indexed_vals: Vec<Option<f64>>,
     /// Whether the slot ad carries a machine-side `Requirements` expression
     /// (most machine ads do not, letting the negotiator skip that half of
     /// the two-sided match entirely).
@@ -68,19 +112,16 @@ pub struct SlotMeta {
 }
 
 impl SlotMeta {
-    fn from_ad(ad: &ClassAd) -> Self {
+    fn from_ad(ad: &ClassAd, indexed_attrs: &[String]) -> Self {
         let str_attr = |name: &str| match ad.get(name) {
             Some(Value::Str(s)) => Some(s.to_ascii_lowercase()),
             _ => None,
         };
         SlotMeta {
-            name_lc: str_attr(attrs::NAME),
-            machine_lc: str_attr(attrs::MACHINE),
-            free_phi_mem: ad
-                .get(attrs::PHI_FREE_MEMORY)
-                .and_then(Value::as_f64)
-                .filter(|m| !m.is_nan()),
-            has_requirements: ad.get_expr(phishare_classad::ad::REQUIREMENTS).is_some(),
+            name_lc: str_attr(attrs::lc::NAME),
+            machine_lc: str_attr(attrs::lc::MACHINE),
+            indexed_vals: indexed_attrs.iter().map(|a| numeric_attr(ad, a)).collect(),
+            has_requirements: ad.get_expr(attrs::lc::REQUIREMENTS).is_some(),
         }
     }
 
@@ -91,12 +132,16 @@ impl SlotMeta {
 
     /// The slot's advertised free Phi memory, if numeric.
     pub fn free_phi_mem(&self) -> Option<f64> {
-        self.free_phi_mem
+        self.indexed_vals.get(FREE_MEM_IDX).copied().flatten()
     }
 }
 
+fn numeric_attr(ad: &ClassAd, attr: &str) -> Option<f64> {
+    ad.get(attr).and_then(Value::as_f64).filter(|v| !v.is_nan())
+}
+
 /// A slot's entry in the collector.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SlotStatus {
     /// The slot's current ClassAd.
     pub ad: ClassAd,
@@ -112,7 +157,17 @@ impl SlotStatus {
     }
 }
 
-/// Order-preserving encoding of a non-NaN f64 into u64, so memory bounds
+/// Equality is the authoritative state only: the ad and the claim flag.
+/// The cached meta derives from the ad *plus* whichever guard attributes
+/// the owning collector has registered, so two observably identical slots
+/// may carry different-length `indexed_vals`.
+impl PartialEq for SlotStatus {
+    fn eq(&self, other: &Self) -> bool {
+        self.ad == other.ad && self.claimed == other.claimed
+    }
+}
+
+/// Order-preserving encoding of a non-NaN f64 into u64, so numeric bounds
 /// can key a `BTreeSet`.
 fn ord_f64(x: f64) -> u64 {
     let bits = x.to_bits();
@@ -124,22 +179,128 @@ fn ord_f64(x: f64) -> u64 {
 }
 
 /// The collector: slot name → latest advertisement, plus matchmaking
-/// indexes (see module docs).
-#[derive(Debug, Default, Clone, PartialEq)]
+/// indexes and dirty tracking (see module docs).
+#[derive(Debug, Clone)]
 pub struct Collector {
     slots: BTreeMap<SlotId, SlotStatus>,
     /// Advertised `Name` (lower-cased) → slot.
     by_name: BTreeMap<String, SlotId>,
     /// Advertised `Machine` (lower-cased) → slots, in SlotId order.
     by_machine: BTreeMap<String, Vec<SlotId>>,
-    /// Unclaimed slots keyed by advertised free Phi memory (ord-encoded).
-    by_free_mem: BTreeSet<(u64, SlotId)>,
+    /// Registered guard-index attributes, lower-cased; position is the
+    /// index id used by [`Collector::indexed_range_at_least`].
+    indexed_attrs: Vec<String>,
+    /// One ordered index per registered attribute: unclaimed slots keyed by
+    /// the attribute's advertised numeric value (ord-encoded).
+    by_attr: Vec<BTreeSet<(u64, SlotId)>>,
+    /// Monotone mutation sequence; bumped by every match-relevant change.
+    seq: u64,
+    /// Per-slot latest dirty stamp.
+    stamp: BTreeMap<SlotId, u64>,
+    /// stamp → slot, deduplicated: each slot appears once, at its latest
+    /// stamp, so `|dirty| <= |slots|` and no garbage collection is needed.
+    dirty: BTreeMap<u64, SlotId>,
+}
+
+/// Equality is the authoritative state only — per-slot ads and claims.
+/// See the module docs for why registered indexes and sequence counters
+/// are excluded.
+impl PartialEq for Collector {
+    fn eq(&self, other: &Self) -> bool {
+        self.slots == other.slots
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
 }
 
 impl Collector {
-    /// Create an empty collector.
+    /// Create an empty collector with the two standard Phi guard indexes
+    /// pre-registered.
     pub fn new() -> Self {
-        Collector::default()
+        let mut c = Collector {
+            slots: BTreeMap::new(),
+            by_name: BTreeMap::new(),
+            by_machine: BTreeMap::new(),
+            indexed_attrs: Vec::new(),
+            by_attr: Vec::new(),
+            seq: 0,
+            stamp: BTreeMap::new(),
+            dirty: BTreeMap::new(),
+        };
+        let fm = c.ensure_attr_index(attrs::lc::PHI_FREE_MEMORY);
+        debug_assert_eq!(fm, Some(FREE_MEM_IDX));
+        c.ensure_attr_index(attrs::lc::PHI_DEVICES_FREE);
+        c
+    }
+
+    /// Stamp `slot` as changed at a fresh sequence number.
+    fn mark_dirty(&mut self, slot: SlotId) {
+        self.seq += 1;
+        if let Some(old) = self.stamp.insert(slot, self.seq) {
+            self.dirty.remove(&old);
+        }
+        self.dirty.insert(self.seq, slot);
+    }
+
+    /// The current mutation sequence number. A later call never returns a
+    /// smaller value; every match-relevant mutation strictly increases it.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Slots dirtied strictly after `seq`, in stamp order. Together with
+    /// the claim-flag check this is exactly the candidate set a job
+    /// certified unmatched at `seq` needs to re-examine (module docs).
+    pub fn dirty_since(&self, seq: u64) -> impl Iterator<Item = SlotId> + '_ {
+        self.dirty
+            .range((Bound::Excluded(seq), Bound::Unbounded))
+            .map(|(_, slot)| *slot)
+    }
+
+    /// Whether `slot` was dirtied strictly after `seq`.
+    pub fn dirtied_after(&self, slot: SlotId, seq: u64) -> bool {
+        self.stamp.get(&slot).is_some_and(|&s| s > seq)
+    }
+
+    /// The guard-index position of `attr`, if registered.
+    pub fn attr_index(&self, attr: &str) -> Option<usize> {
+        self.indexed_attrs
+            .iter()
+            .position(|a| attr.eq_ignore_ascii_case(a))
+    }
+
+    /// Register a guard index over `attr` (idempotent), returning its
+    /// position — or `None` when the [`MAX_ATTR_INDEXES`] cap is reached.
+    /// Registration walks every slot once; steady state is a lookup.
+    ///
+    /// An attribute no slot advertises yields an *empty* index, which is
+    /// still exact as a pre-screen: a numeric guard rejects every slot
+    /// missing the attribute, so the guard's true matches are empty too.
+    pub fn ensure_attr_index(&mut self, attr: &str) -> Option<usize> {
+        if let Some(idx) = self.attr_index(attr) {
+            return Some(idx);
+        }
+        if self.indexed_attrs.len() >= MAX_ATTR_INDEXES {
+            return None;
+        }
+        let canon = attr.to_ascii_lowercase();
+        let mut index = BTreeSet::new();
+        for (id, status) in self.slots.iter_mut() {
+            let val = numeric_attr(&status.ad, &canon);
+            status.meta.indexed_vals.push(val);
+            if !status.claimed {
+                if let Some(v) = val {
+                    index.insert((ord_f64(v), *id));
+                }
+            }
+        }
+        self.indexed_attrs.push(canon);
+        self.by_attr.push(index);
+        Some(self.indexed_attrs.len() - 1)
     }
 
     fn unindex(&mut self, slot: SlotId, status: &SlotStatus) {
@@ -154,8 +315,10 @@ impl Collector {
                 }
             }
         }
-        if let Some(mem) = status.meta.free_phi_mem {
-            self.by_free_mem.remove(&(ord_f64(mem), slot));
+        for (i, val) in status.meta.indexed_vals.iter().enumerate() {
+            if let Some(v) = val {
+                self.by_attr[i].remove(&(ord_f64(*v), slot));
+            }
         }
     }
 
@@ -171,14 +334,17 @@ impl Collector {
             }
         }
         if !status.claimed {
-            if let Some(mem) = status.meta.free_phi_mem {
-                self.by_free_mem.insert((ord_f64(mem), slot));
+            for (i, val) in status.meta.indexed_vals.iter().enumerate() {
+                if let Some(v) = val {
+                    self.by_attr[i].insert((ord_f64(*v), slot));
+                }
             }
         }
     }
 
     /// Insert or refresh a slot's advertisement. Claim state is preserved on
-    /// refresh and all indexes are rebuilt for the slot.
+    /// refresh, all indexes are rebuilt for the slot, and the slot is marked
+    /// dirty.
     pub fn advertise(&mut self, slot: SlotId, ad: ClassAd) {
         let claimed = match self.slots.remove(&slot) {
             Some(old) => {
@@ -188,12 +354,13 @@ impl Collector {
             None => false,
         };
         let status = SlotStatus {
-            meta: SlotMeta::from_ad(&ad),
+            meta: SlotMeta::from_ad(&ad, &self.indexed_attrs),
             ad,
             claimed,
         };
         self.index(slot, &status);
         self.slots.insert(slot, status);
+        self.mark_dirty(slot);
     }
 
     /// Look up a slot.
@@ -202,69 +369,68 @@ impl Collector {
     }
 
     /// Overwrite one integer attribute of a slot's ad (the negotiator's
-    /// in-cycle resource decrements), keeping the cached meta and the
-    /// free-memory index coherent.
+    /// in-cycle resource decrements), keeping the cached meta and every
+    /// guard index coherent and marking the slot dirty. Writes that change
+    /// nothing are skipped entirely — the slot stays clean.
     pub fn set_int_attr(&mut self, slot: SlotId, attr: &str, value: i64) {
         let Some(status) = self.slots.get_mut(&slot) else {
             return;
         };
+        if status.ad.get(attr) == Some(&Value::Int(value)) {
+            return;
+        }
         status.ad.insert(attr, value);
-        if attr.eq_ignore_ascii_case(attrs::PHI_FREE_MEMORY) {
-            let old = status.meta.free_phi_mem;
-            status.meta.free_phi_mem = Some(value as f64);
-            if !status.claimed {
-                if let Some(mem) = old {
-                    self.by_free_mem.remove(&(ord_f64(mem), slot));
+        for (i, name) in self.indexed_attrs.iter().enumerate() {
+            if attr.eq_ignore_ascii_case(name) {
+                let old = status.meta.indexed_vals[i];
+                let new = value as f64;
+                status.meta.indexed_vals[i] = Some(new);
+                if !status.claimed {
+                    if let Some(v) = old {
+                        self.by_attr[i].remove(&(ord_f64(v), slot));
+                    }
+                    self.by_attr[i].insert((ord_f64(new), slot));
                 }
-                self.by_free_mem.insert((ord_f64(value as f64), slot));
             }
         }
+        self.mark_dirty(slot);
     }
 
     /// Refresh the node-level Phi availability attributes of an existing
-    /// slot ad in place (`PhiFreeMemory`, `PhiDevicesFree`), keeping the
-    /// cached meta and the free-memory index coherent. Equivalent to
+    /// slot ad in place (`PhiFreeMemory`, `PhiDevicesFree`). Equivalent to
     /// re-advertising the same machine ad with new availability numbers,
     /// but skips rebuilding the ad's fixed attributes — and skips the
-    /// write entirely for values that already match. Returns `false` when
-    /// the slot has never been advertised (the caller must publish a full
-    /// ad first).
+    /// write (and the dirty mark) entirely for values that already match.
+    /// Returns `false` when the slot has never been advertised (the caller
+    /// must publish a full ad first).
     pub fn refresh_phi_availability(
         &mut self,
         slot: SlotId,
         free_mem_mb: u64,
         devices_free: u32,
     ) -> bool {
-        let Some(status) = self.slots.get_mut(&slot) else {
+        if !self.slots.contains_key(&slot) {
             return false;
-        };
-        let free = free_mem_mb as f64;
-        if status.meta.free_phi_mem != Some(free) {
-            status.ad.insert(attrs::PHI_FREE_MEMORY, free_mem_mb);
-            let old = status.meta.free_phi_mem;
-            status.meta.free_phi_mem = Some(free);
-            if !status.claimed {
-                if let Some(mem) = old {
-                    self.by_free_mem.remove(&(ord_f64(mem), slot));
-                }
-                self.by_free_mem.insert((ord_f64(free), slot));
-            }
         }
-        if status.ad.get(attrs::PHI_DEVICES_FREE) != Some(&Value::Int(devices_free as i64)) {
-            status
-                .ad
-                .insert(attrs::PHI_DEVICES_FREE, devices_free as i64);
-        }
+        self.set_int_attr(slot, attrs::lc::PHI_FREE_MEMORY, free_mem_mb as i64);
+        self.set_int_attr(slot, attrs::lc::PHI_DEVICES_FREE, devices_free as i64);
         true
     }
 
     /// Mark a slot claimed. Returns false if it was already claimed.
+    ///
+    /// Claiming removes the slot from every guard index but does *not*
+    /// mark it dirty: a claim can only remove a candidate, never create a
+    /// match (module docs), and keeping claims out of the dirty set is what
+    /// makes the delta path's per-cycle candidate sets small.
     pub fn claim(&mut self, slot: SlotId) -> bool {
         match self.slots.get_mut(&slot) {
             Some(s) if !s.claimed => {
                 s.claimed = true;
-                if let Some(mem) = s.meta.free_phi_mem {
-                    self.by_free_mem.remove(&(ord_f64(mem), slot));
+                for (i, val) in s.meta.indexed_vals.iter().enumerate() {
+                    if let Some(v) = val {
+                        self.by_attr[i].remove(&(ord_f64(*v), slot));
+                    }
                 }
                 true
             }
@@ -272,16 +438,22 @@ impl Collector {
         }
     }
 
-    /// Release a slot's claim.
+    /// Release a slot's claim, re-inserting it into the guard indexes and
+    /// marking it dirty (an unclaimed slot is new matching capacity).
     pub fn release(&mut self, slot: SlotId) {
-        if let Some(s) = self.slots.get_mut(&slot) {
-            if s.claimed {
-                s.claimed = false;
-                if let Some(mem) = s.meta.free_phi_mem {
-                    self.by_free_mem.insert((ord_f64(mem), slot));
-                }
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        if !s.claimed {
+            return;
+        }
+        s.claimed = false;
+        for (i, val) in s.meta.indexed_vals.iter().enumerate() {
+            if let Some(v) = val {
+                self.by_attr[i].insert((ord_f64(*v), slot));
             }
         }
+        self.mark_dirty(slot);
     }
 
     /// All slots in deterministic (node, slot) order.
@@ -316,31 +488,45 @@ impl Collector {
             .unwrap_or(&[])
     }
 
-    /// Unclaimed slots whose advertised `PhiFreeMemory` is numeric and
-    /// `>= bound`, in ascending free-memory order. Slots without a numeric
-    /// `PhiFreeMemory` are absent — exactly the slots a numeric memory
-    /// guard would reject anyway.
-    pub fn unclaimed_with_free_mem_at_least(
+    /// Unclaimed slots whose registered attribute `idx` is numeric and
+    /// `>= bound`, in ascending value order. Slots without a numeric value
+    /// for the attribute are absent — exactly the slots a numeric guard
+    /// would reject anyway.
+    pub fn indexed_range_at_least(
         &self,
+        idx: usize,
         bound: f64,
     ) -> impl Iterator<Item = SlotId> + '_ {
         let start = Bound::Included((ord_f64(bound), SlotId::MIN));
-        self.by_free_mem
+        self.by_attr[idx]
             .range((start, Bound::Unbounded))
             .map(|(_, slot)| *slot)
     }
 
+    /// [`Collector::indexed_range_at_least`] over the pre-registered
+    /// `PhiFreeMemory` index.
+    pub fn unclaimed_with_free_mem_at_least(
+        &self,
+        bound: f64,
+    ) -> impl Iterator<Item = SlotId> + '_ {
+        self.indexed_range_at_least(FREE_MEM_IDX, bound)
+    }
+
     /// Invalidate every ClassAd `node` has ever advertised (`condor_off`
     /// semantics / ad expiry after a missed update deadline): the slots —
-    /// claimed or not — vanish from the collector and all its indexes, so a
-    /// dead startd stops matching immediately. Returns how many slots were
-    /// dropped. A later [`Startd::advertise`](crate::Startd) re-registers
-    /// the node from scratch.
+    /// claimed or not — vanish from the collector, all its indexes, and the
+    /// dirty set (a removed slot cannot create a match), so a dead startd
+    /// stops matching immediately. Returns how many slots were dropped. A
+    /// later [`Startd::advertise`](crate::Startd) re-registers the node
+    /// from scratch.
     pub fn invalidate_node(&mut self, node: u32) -> usize {
         let ids = self.node_slots(node);
         for slot in &ids {
             if let Some(status) = self.slots.remove(slot) {
                 self.unindex(*slot, &status);
+            }
+            if let Some(stamp) = self.stamp.remove(slot) {
+                self.dirty.remove(&stamp);
             }
         }
         ids.len()
@@ -523,8 +709,8 @@ mod tests {
                 .collect::<Vec<_>>(),
             vec![slot(1, 1)]
         );
-        // Non-memory attributes leave the index untouched.
-        c.set_int_attr(slot(1, 1), attrs::PHI_DEVICES_FREE, 0);
+        // Attributes without a registered index leave it untouched.
+        c.set_int_attr(slot(1, 1), "SomeOtherAttr", 1);
         assert_eq!(c.unclaimed_with_free_mem_at_least(4000.0).count(), 1);
     }
 
@@ -544,5 +730,129 @@ mod tests {
                 .collect::<Vec<_>>(),
             vec![slot(1, 1)]
         );
+    }
+
+    #[test]
+    fn generic_guard_indexes_register_and_answer_range_queries() {
+        let mut c = Collector::new();
+        for (i, gpus) in [(1, 0i64), (2, 2), (3, 4)] {
+            let mut ad = slot_ad(slot(i, 1), 1000);
+            ad.insert("GpuCount", gpus);
+            c.advertise(slot(i, 1), ad);
+        }
+        // Registration after the fact walks existing slots.
+        let idx = c.ensure_attr_index("GpuCount").unwrap();
+        assert_eq!(c.attr_index("gpucount"), Some(idx));
+        // Idempotent.
+        assert_eq!(c.ensure_attr_index("GPUCOUNT"), Some(idx));
+        let at_least =
+            |c: &Collector, b: f64| -> Vec<SlotId> { c.indexed_range_at_least(idx, b).collect() };
+        assert_eq!(at_least(&c, 1.0), vec![slot(2, 1), slot(3, 1)]);
+
+        // Claims, releases, decrements, and re-advertisements all maintain
+        // the registered index.
+        c.claim(slot(3, 1));
+        assert_eq!(at_least(&c, 1.0), vec![slot(2, 1)]);
+        c.release(slot(3, 1));
+        c.set_int_attr(slot(3, 1), "gpucount", 1);
+        assert_eq!(at_least(&c, 2.0), vec![slot(2, 1)]);
+        c.advertise(slot(2, 1), slot_ad(slot(2, 1), 1000)); // drops GpuCount
+        assert_eq!(at_least(&c, 0.0), vec![slot(1, 1), slot(3, 1)]);
+    }
+
+    #[test]
+    fn absent_attribute_yields_an_empty_index() {
+        let mut c = Collector::new();
+        c.advertise(slot(1, 1), slot_ad(slot(1, 1), 1000));
+        let idx = c.ensure_attr_index("NoSuchAttribute").unwrap();
+        assert_eq!(c.indexed_range_at_least(idx, f64::MIN).count(), 0);
+    }
+
+    #[test]
+    fn index_registration_is_capped() {
+        let mut c = Collector::new();
+        let mut registered = 2; // the two pre-registered Phi indexes
+        for i in 0.. {
+            match c.ensure_attr_index(&format!("attr{i}")) {
+                Some(_) => registered += 1,
+                None => break,
+            }
+        }
+        assert_eq!(registered, MAX_ATTR_INDEXES);
+        // Refused attributes stay unregistered; known ones still resolve.
+        assert_eq!(c.attr_index("attr999"), None);
+        assert_eq!(c.attr_index(attrs::PHI_FREE_MEMORY), Some(0));
+    }
+
+    #[test]
+    fn equality_ignores_index_registration_and_mutation_counters() {
+        let mut a = Collector::new();
+        let mut b = Collector::new();
+        a.advertise(slot(1, 1), slot_ad(slot(1, 1), 1000));
+        // b reaches the same observable state along a noisier path.
+        b.advertise(slot(1, 1), slot_ad(slot(1, 1), 512));
+        b.ensure_attr_index("SomethingElse").unwrap();
+        b.set_int_attr(slot(1, 1), attrs::PHI_FREE_MEMORY, 1000);
+        assert_eq!(a, b);
+        b.claim(slot(1, 1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dirty_stamps_track_match_relevant_mutations_only() {
+        let mut c = Collector::new();
+        let s0 = c.seq();
+        c.advertise(slot(1, 1), slot_ad(slot(1, 1), 7680));
+        c.advertise(slot(1, 2), slot_ad(slot(1, 2), 7680));
+        assert_eq!(c.dirty_since(s0).count(), 2);
+
+        // Claims are not dirtying (they only remove candidates)...
+        let s1 = c.seq();
+        assert!(c.claim(slot(1, 1)));
+        assert_eq!(c.dirty_since(s1).count(), 0);
+        assert!(!c.dirtied_after(slot(1, 1), s1));
+        // ...but releases are.
+        c.release(slot(1, 1));
+        assert_eq!(c.dirty_since(s1).collect::<Vec<_>>(), vec![slot(1, 1)]);
+
+        // In-place decrements dirty the slot; no-op writes do not.
+        let s2 = c.seq();
+        c.set_int_attr(slot(1, 2), attrs::PHI_FREE_MEMORY, 4000);
+        c.set_int_attr(slot(1, 2), attrs::PHI_FREE_MEMORY, 4000);
+        c.refresh_phi_availability(slot(1, 1), 7680, 1); // mem unchanged, devices new
+        assert_eq!(
+            c.dirty_since(s2).collect::<Vec<_>>(),
+            vec![slot(1, 2), slot(1, 1)]
+        );
+
+        // Each slot appears once, at its latest stamp.
+        c.set_int_attr(slot(1, 2), attrs::PHI_FREE_MEMORY, 3000);
+        assert_eq!(c.dirty_since(s0).count(), 2);
+        assert_eq!(c.dirty_since(s2).last(), Some(slot(1, 2)));
+
+        // Invalidation clears the node's dirty entries outright.
+        c.invalidate_node(1);
+        assert_eq!(c.dirty_since(s0).count(), 0);
+    }
+
+    #[test]
+    fn refresh_equals_full_readvertise_under_generic_indexes() {
+        let mut c = Collector::new();
+        assert!(!c.refresh_phi_availability(slot(1, 1), 100, 1));
+        c.advertise(
+            slot(1, 1),
+            crate::attrs::machine_ad("slot1@node1", "node1", 1, 8192, 7680, 1),
+        );
+        assert!(c.refresh_phi_availability(slot(1, 1), 512, 0));
+        let mut full = Collector::new();
+        full.advertise(
+            slot(1, 1),
+            crate::attrs::machine_ad("slot1@node1", "node1", 1, 8192, 512, 0),
+        );
+        assert_eq!(c, full);
+        // The PhiDevicesFree index reflects the refresh too.
+        let idx = c.attr_index(attrs::PHI_DEVICES_FREE).unwrap();
+        assert_eq!(c.indexed_range_at_least(idx, 1.0).count(), 0);
+        assert_eq!(c.indexed_range_at_least(idx, 0.0).count(), 1);
     }
 }

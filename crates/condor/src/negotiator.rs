@@ -9,30 +9,84 @@
 //! source of the integration overhead the paper observes on the high-skew
 //! distribution (§V-B).
 //!
-//! # Fast path
+//! # Match paths
 //!
-//! [`Negotiator::negotiate_with_stats`] runs the *compiled* match path:
-//! each pending job's [`CompiledReq`] (cached on the queue, rebuilt on
-//! qedit) picks the narrowest collector index that covers its guards —
-//! name pin → single slot, machine pin → that node's slots, numeric
-//! `PhiFreeMemory` guard → free-memory range query — and only the
-//! pre-screened candidates are re-checked against the full predicate.
-//! The pre-screen is a superset of the true matches and the winner rule
-//! (max rank, ties to the lowest slot id) is order-independent, so the
-//! fast path provably selects the same match as a full scan.
+//! Three implementations produce bit-identical matches, stats, and
+//! collector/queue effects; they differ only in how much work they avoid:
 //!
-//! [`Negotiator::negotiate_naive_with_stats`] retains the original
-//! implementation — a full scan that re-parses `Requirements`/`Rank` for
-//! every (job, slot) pair — as the differential-testing baseline and the
-//! "before" side of the negotiation benchmark.
+//! * **Delta** ([`MatchPath::Delta`], the default) — incremental
+//!   matchmaking. Jobs the previous cycle certified unmatched are only
+//!   re-screened against slots *dirtied since* that certificate
+//!   ([`Collector::dirty_since`]); per-cycle work tracks the mutation
+//!   churn, not the (jobs × slots) cross product.
+//! * **Full** ([`MatchPath::Full`]) — the compiled full-rematch fast path:
+//!   every pending job re-screens the whole pool through the narrowest
+//!   collector index its guards allow. Retained as the delta path's
+//!   differential oracle.
+//! * **Naive** ([`Negotiator::negotiate_naive_with_stats`]) — the original
+//!   implementation, a full scan that re-parses `Requirements`/`Rank` for
+//!   every (job, slot) pair. The benchmark baseline.
+//!
+//! # Why the delta path is exact
+//!
+//! The match predicate for a (job, slot) pair is a pure function of the job
+//! ad, the slot ad, and the slot's claim flag — nothing else. Suppose a
+//! cycle evaluated job J against the *entire* pool at collector sequence
+//! `s` and found no admitting slot. At any later sequence, a slot can admit
+//! J only if its ad changed after `s` — an unchanged unclaimed slot
+//! re-evaluates to the same "reject", and claiming only removes candidates.
+//! The collector stamps every ad mutation (including in-cycle resource
+//! decrements — the predicate is not assumed monotone, a requirement may
+//! want *less* of something) and slot release, so `dirty_since(s)` is a
+//! superset of J's possible admitters. Screening just that set against the
+//! full predicate is therefore exact, and when it finds nothing the cycle
+//! re-certifies J at the current sequence ([`JobQueue::note_unmatched`]).
+//!
+//! Jobs without a standing certificate (fresh arrivals, qedited jobs,
+//! hold/release round trips) are screened against the whole pool, exactly
+//! like the full path.
+//!
+//! The cycle runs in three phases:
+//!
+//! 1. **index registration** (`&mut Collector`): every pending job's
+//!    `>=`-shaped guards register their attribute with the collector's
+//!    guard indexes (idempotent, capped), so phases 2–3 are pure reads plus
+//!    the serial commit. This also resolves the well-known attributes once
+//!    per cycle instead of per (job, slot) evaluation.
+//! 2. **screen** (read-only): each pending job computes its best slot
+//!    against the pre-cycle snapshot — certificate holders over their dirty
+//!    set, the rest over the indexed pool. Jobs are independent here, so
+//!    the screen shards across scoped threads (see below).
+//! 3. **commit** (serial): jobs claim in FIFO order. A job whose screened
+//!    winner is still valid (not claimed, not dirtied since the snapshot)
+//!    only re-ranks slots dirtied *during* the cycle by earlier commits and
+//!    takes the better of the two — the winner rule is a total order, so
+//!    this combination equals a full re-evaluation. If the screened winner
+//!    was invalidated (claimed or re-advertised mid-cycle), the job falls
+//!    back to a full indexed rescan; if the screen found nothing, only the
+//!    in-cycle dirty set can admit the job.
+//!
+//! # Sharding determinism
+//!
+//! Phase 2 is embarrassingly parallel: workers share `&JobQueue` and
+//! `&Collector` (no interior mutability anywhere below them), each owns a
+//! contiguous chunk of the pending list, and results merge back by job
+//! index. Screening is a pure function of (job, snapshot), so the shard
+//! count — [`Negotiator::with_shards`] or the `PHISHARE_NEGOTIATOR_SHARDS`
+//! env override — cannot change any result, only wall-clock time. All
+//! claims and resource decrements happen in the serial phase 3, which
+//! remains the sole author of collector mutations; match order is FIFO by
+//! construction.
 
 use crate::attrs;
 use crate::collector::{Collector, SlotId};
-use crate::queue::JobQueue;
-use phishare_classad::ad::{RANK, REQUIREMENTS};
+use crate::queue::{JobQueue, QueuedJob};
+use phishare_classad::ad::REQUIREMENTS;
+use phishare_classad::compiled::GuardOp;
 use phishare_classad::{eval, parse, ClassAd, CompiledReq, Value};
 use phishare_sim::SimDuration;
 use phishare_workload::JobId;
+use serde::{Deserialize, Serialize};
 
 /// Summary of one negotiation cycle (what the negotiator logs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,18 +108,60 @@ pub struct Match {
     pub slot: SlotId,
 }
 
+/// Which negotiation implementation [`Negotiator::negotiate_with_stats`]
+/// dispatches to. All paths produce identical results (module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MatchPath {
+    /// Incremental delta-driven matchmaking (the default).
+    #[default]
+    Delta,
+    /// Full rematch of every pending job each cycle, through the compiled
+    /// guard indexes. The delta path's differential oracle.
+    Full,
+}
+
+impl std::str::FromStr for MatchPath {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "delta" => Ok(MatchPath::Delta),
+            "full" => Ok(MatchPath::Full),
+            other => Err(format!("unknown negotiation path '{other}' (delta|full)")),
+        }
+    }
+}
+
+/// Pending-job count below which the phase-2 screen stays serial — thread
+/// spawn overhead dwarfs the work saved on small queues.
+const PAR_SCREEN_MIN: usize = 32;
+
+/// Cap on the default shard count (explicit overrides may exceed it).
+const MAX_DEFAULT_SHARDS: usize = 8;
+
+/// How many candidates the guard-index selectivity probe inspects per
+/// index before choosing the narrowest (see [`pick_guard_index`]).
+const SELECTIVITY_PROBE: usize = 33;
+
 /// The matchmaking component of the central manager.
 #[derive(Debug, Clone, Copy)]
 pub struct Negotiator {
     /// Gap between negotiation cycles (HTCondor's `NEGOTIATOR_INTERVAL`,
     /// 60 s by default; the paper's overhead analysis hinges on this).
     pub interval: SimDuration,
+    /// Which implementation [`Negotiator::negotiate_with_stats`] runs.
+    pub path: MatchPath,
+    /// Phase-2 shard count; `None` resolves via
+    /// `PHISHARE_NEGOTIATOR_SHARDS` or the machine's parallelism.
+    shards: Option<usize>,
 }
 
 impl Default for Negotiator {
     fn default() -> Self {
         Negotiator {
             interval: SimDuration::from_secs(60),
+            path: MatchPath::default(),
+            shards: None,
         }
     }
 }
@@ -73,7 +169,28 @@ impl Default for Negotiator {
 impl Negotiator {
     /// Create a negotiator with the given cycle interval.
     pub fn new(interval: SimDuration) -> Self {
-        Negotiator { interval }
+        Negotiator {
+            interval,
+            ..Negotiator::default()
+        }
+    }
+
+    /// Select the negotiation implementation.
+    pub fn with_path(self, path: MatchPath) -> Self {
+        Negotiator { path, ..self }
+    }
+
+    /// Pin the phase-2 shard count (1 = serial screen). Results are
+    /// shard-count independent; only wall-clock time changes.
+    pub fn with_shards(self, shards: usize) -> Self {
+        Negotiator {
+            shards: Some(shards.max(1)),
+            ..self
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.unwrap_or_else(default_shards)
     }
 
     /// Run one negotiation cycle: examine pending jobs in FIFO order, match
@@ -84,49 +201,83 @@ impl Negotiator {
         self.negotiate_with_stats(queue, collector).0
     }
 
-    /// [`Negotiator::negotiate`] plus the cycle's accounting. This is the
-    /// compiled fast path (see module docs); it clones no ads and reuses
-    /// one candidate buffer across all jobs of the cycle.
+    /// [`Negotiator::negotiate`] plus the cycle's accounting, via the
+    /// configured [`MatchPath`].
     pub fn negotiate_with_stats(
         &self,
         queue: &mut JobQueue,
         collector: &mut Collector,
     ) -> (Vec<Match>, CycleStats) {
-        let mut stats = CycleStats::default();
-        let mut matches = Vec::new();
-        let mut candidates: Vec<SlotId> = Vec::new();
-        for job_id in queue.pending() {
-            stats.considered += 1;
-            // Scan under an immutable borrow; copy out the commit
-            // parameters so the mutations below need no clone of the ad.
-            let decision = {
-                let job = queue.get(job_id).expect("pending job exists");
-                best_slot(&job.ad, job.compiled(), collector, &mut candidates).map(|slot| {
-                    (
-                        slot,
-                        int_attr(&job.ad, attrs::REQUEST_PHI_MEMORY).unwrap_or(0),
-                        matches!(
-                            job.ad.get(attrs::REQUEST_EXCLUSIVE_PHI),
-                            Some(Value::Bool(true))
-                        ),
-                    )
-                })
-            };
-
-            if let Some((slot, mem, exclusive)) = decision {
-                let claimed = collector.claim(slot);
-                debug_assert!(claimed, "unclaimed slot failed to claim");
-                queue
-                    .set_matched(job_id, slot)
-                    .expect("pending job transitions to matched");
-                commit_phi_resources(collector, slot.node, mem, exclusive);
-                matches.push(Match { job: job_id, slot });
-                stats.matched += 1;
-            } else {
-                stats.unmatched += 1;
-            }
+        match self.path {
+            MatchPath::Delta => self.negotiate_delta_with_stats(queue, collector),
+            MatchPath::Full => self.negotiate_full_with_stats(queue, collector),
         }
-        (matches, stats)
+    }
+
+    /// The compiled full-rematch fast path (see module docs); it clones no
+    /// ads and reuses one candidate buffer across all jobs of the cycle.
+    pub fn negotiate_full_with_stats(
+        &self,
+        queue: &mut JobQueue,
+        collector: &mut Collector,
+    ) -> (Vec<Match>, CycleStats) {
+        register_guard_indexes(queue, &queue.pending(), collector);
+        let mut scratch: Vec<SlotId> = Vec::new();
+        run_cycle(queue, collector, |job, collector, _| {
+            best_slot(&job.ad, job.compiled(), collector, &mut scratch).map(|(_, slot)| slot)
+        })
+    }
+
+    /// The incremental delta path (see module docs for the three phases
+    /// and the exactness argument).
+    pub fn negotiate_delta_with_stats(
+        &self,
+        queue: &mut JobQueue,
+        collector: &mut Collector,
+    ) -> (Vec<Match>, CycleStats) {
+        let pending = queue.pending();
+        // Phase 1: register guard indexes while we still hold `&mut`.
+        register_guard_indexes(queue, &pending, collector);
+        let s0 = collector.seq();
+        // Phase 2: read-only screen against the pre-cycle snapshot.
+        let screens = screen_pending(queue, &pending, collector, self.shard_count());
+        // Phase 3: serial FIFO commit.
+        let mut scratch: Vec<SlotId> = Vec::new();
+        run_cycle(queue, collector, |job, collector, idx| {
+            let choice = match screens[idx] {
+                // Screened unmatched against the snapshot: only slots
+                // dirtied by this cycle's earlier commits can admit.
+                None => best_among(
+                    &job.ad,
+                    job.compiled(),
+                    collector,
+                    collector.dirty_since(s0),
+                ),
+                Some((rank0, winner)) => {
+                    let valid = collector.get(winner).is_some_and(|s| !s.claimed)
+                        && !collector.dirtied_after(winner, s0);
+                    if valid {
+                        // The snapshot winner still stands; only in-cycle
+                        // dirty slots could beat it. Winner rule: higher
+                        // rank, ties to the lowest slot id.
+                        match best_among(
+                            &job.ad,
+                            job.compiled(),
+                            collector,
+                            collector.dirty_since(s0),
+                        ) {
+                            Some((r, s)) if r > rank0 || (r == rank0 && s < winner) => Some((r, s)),
+                            _ => Some((rank0, winner)),
+                        }
+                    } else {
+                        // Winner claimed or re-advertised mid-cycle; the
+                        // snapshot's runner-up is unknown, so rescan.
+                        best_slot(&job.ad, job.compiled(), collector, &mut scratch)
+                    }
+                }
+            };
+            choice.map(|(_, slot)| slot)
+        })
     }
 
     /// The pre-optimization negotiation cycle, kept verbatim as the
@@ -139,18 +290,12 @@ impl Negotiator {
         queue: &mut JobQueue,
         collector: &mut Collector,
     ) -> (Vec<Match>, CycleStats) {
-        let mut stats = CycleStats::default();
-        let mut matches = Vec::new();
-        for job_id in queue.pending() {
-            stats.considered += 1;
-            let job_ad = queue.get(job_id).expect("pending job exists").ad.clone();
-
-            // Collect matching unclaimed slots with their rank.
+        run_cycle(queue, collector, |job, collector, _| {
             let mut best: Option<(f64, SlotId)> = None;
             for slot in collector.unclaimed() {
                 let status = collector.get(slot).expect("listed slot exists");
-                if naive_matches(&job_ad, &status.ad) {
-                    let rank = naive_rank(&job_ad, &status.ad);
+                if naive_matches(&job.ad, &status.ad) {
+                    let rank = naive_rank(&job.ad, &status.ad);
                     let better = match best {
                         None => true,
                         // Higher rank wins; ties go to the lowest slot id so
@@ -162,61 +307,217 @@ impl Negotiator {
                     }
                 }
             }
-
-            if let Some((_, slot)) = best {
-                let claimed = collector.claim(slot);
-                debug_assert!(claimed, "unclaimed slot failed to claim");
-                queue
-                    .set_matched(job_id, slot)
-                    .expect("pending job transitions to matched");
-                let mem = int_attr(&job_ad, attrs::REQUEST_PHI_MEMORY).unwrap_or(0);
-                let exclusive = matches!(
-                    job_ad.get(attrs::REQUEST_EXCLUSIVE_PHI),
-                    Some(Value::Bool(true))
-                );
-                commit_phi_resources(collector, slot.node, mem, exclusive);
-                matches.push(Match { job: job_id, slot });
-                stats.matched += 1;
-            } else {
-                stats.unmatched += 1;
-            }
-        }
-        (matches, stats)
+            best.map(|(_, slot)| slot)
+        })
     }
 }
 
-/// Find the best slot for one job using the compiled requirement and the
-/// collector's indexes. `candidates` is caller-owned scratch, reused across
-/// jobs to avoid per-job allocation.
+/// The shared cycle driver: FIFO over pending jobs, delegating *selection*
+/// to the match path and owning the commit — claim, state transition,
+/// same-cycle resource decrement — plus the unmatched certificate. Every
+/// path funnels through here, so commit semantics cannot drift.
+fn run_cycle(
+    queue: &mut JobQueue,
+    collector: &mut Collector,
+    mut select: impl FnMut(&QueuedJob, &Collector, usize) -> Option<SlotId>,
+) -> (Vec<Match>, CycleStats) {
+    let mut stats = CycleStats::default();
+    let mut matches = Vec::new();
+    for (idx, job_id) in queue.pending().into_iter().enumerate() {
+        stats.considered += 1;
+        // Select under an immutable borrow; copy out the commit parameters
+        // so the mutations below need no clone of the ad.
+        let decision = {
+            let job = queue.get(job_id).expect("pending job exists");
+            select(job, collector, idx).map(|slot| {
+                (
+                    slot,
+                    int_attr(&job.ad, attrs::lc::REQUEST_PHI_MEMORY).unwrap_or(0),
+                    matches!(
+                        job.ad.get(attrs::lc::REQUEST_EXCLUSIVE_PHI),
+                        Some(Value::Bool(true))
+                    ),
+                )
+            })
+        };
+        match decision {
+            Some((slot, mem, exclusive)) => {
+                let claimed = collector.claim(slot);
+                debug_assert!(claimed, "selected slot failed to claim");
+                queue
+                    .set_matched(job_id, slot)
+                    .expect("pending job transitions to matched");
+                commit_phi_resources(collector, slot.node, mem, exclusive);
+                matches.push(Match { job: job_id, slot });
+                stats.matched += 1;
+            }
+            None => {
+                stats.unmatched += 1;
+                // The path just established that no slot in the current
+                // pool admits this job — a whole-pool certificate the next
+                // delta cycle builds on.
+                queue.note_unmatched(job_id, collector.seq());
+            }
+        }
+    }
+    (matches, stats)
+}
+
+/// Ensure a guard index exists for every `>=`/`>`-shaped guard attribute of
+/// the pending jobs. Idempotent and capped (the collector refuses past
+/// [`crate::collector::MAX_ATTR_INDEXES`]; those guards fall back to the
+/// unclaimed scan); steady state is a handful of string compares per job.
+fn register_guard_indexes(queue: &JobQueue, pending: &[JobId], collector: &mut Collector) {
+    for &id in pending {
+        let req = queue.get(id).expect("pending job exists").compiled();
+        for g in req.guards() {
+            if matches!(g.op, GuardOp::Ge | GuardOp::Gt) {
+                collector.ensure_attr_index(&g.attr);
+            }
+        }
+    }
+}
+
+/// Phase-2 screen of every pending job against the current (frozen)
+/// collector snapshot, sharded across scoped threads when the queue is
+/// long enough. Returns one entry per pending job, merged by index —
+/// bit-identical to the serial screen (module docs).
+fn screen_pending(
+    queue: &JobQueue,
+    pending: &[JobId],
+    collector: &Collector,
+    shards: usize,
+) -> Vec<Option<(f64, SlotId)>> {
+    let screen_chunk = |ids: &[JobId]| -> Vec<Option<(f64, SlotId)>> {
+        let mut scratch: Vec<SlotId> = Vec::new();
+        ids.iter()
+            .map(|&id| {
+                let job = queue.get(id).expect("pending job exists");
+                screen_job(job, collector, &mut scratch)
+            })
+            .collect()
+    };
+
+    if shards <= 1 || pending.len() < PAR_SCREEN_MIN {
+        return screen_chunk(pending);
+    }
+    let chunk = pending.len().div_ceil(shards);
+    let mut screens = Vec::with_capacity(pending.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pending
+            .chunks(chunk)
+            .map(|ids| scope.spawn(move || screen_chunk(ids)))
+            .collect();
+        for handle in handles {
+            screens.extend(handle.join().expect("screen shard panicked"));
+        }
+    });
+    screens
+}
+
+/// One job's screen: certificate holders re-rank only the slots dirtied
+/// since their certificate; everyone else scans the pool through the
+/// narrowest index.
+fn screen_job(
+    job: &QueuedJob,
+    collector: &Collector,
+    scratch: &mut Vec<SlotId>,
+) -> Option<(f64, SlotId)> {
+    match job.eval_seq() {
+        Some(seq) => best_among(
+            &job.ad,
+            job.compiled(),
+            collector,
+            collector.dirty_since(seq),
+        ),
+        None => best_slot(&job.ad, job.compiled(), collector, scratch),
+    }
+}
+
+/// Find the best slot for one job over the whole pool, using the compiled
+/// requirement to pick the narrowest collector index. `scratch` is
+/// caller-owned, reused across jobs to avoid per-job allocation.
 fn best_slot(
     job_ad: &ClassAd,
     req: &CompiledReq,
     collector: &Collector,
-    candidates: &mut Vec<SlotId>,
-) -> Option<SlotId> {
+    scratch: &mut Vec<SlotId>,
+) -> Option<(f64, SlotId)> {
     if req.is_never() {
         return None;
     }
 
     // Pre-screen: pick the narrowest index the compiled guards allow. Each
     // source yields a superset of the job's true matches among unclaimed
-    // slots (claimed slots are filtered below), so the full re-check keeps
-    // the result exact.
-    candidates.clear();
-    if let Some(name) = req.pin(attrs::NAME) {
-        candidates.extend(collector.slot_by_name(name));
-    } else if let Some(machine) = req.pin(attrs::MACHINE) {
-        candidates.extend_from_slice(collector.slots_on_machine(machine));
-    } else if let Some(bound) = req.lower_bound(attrs::PHI_FREE_MEMORY) {
-        candidates.extend(collector.unclaimed_with_free_mem_at_least(bound));
+    // slots (claimed slots are filtered in `best_among`), so the full
+    // re-check keeps the result exact.
+    scratch.clear();
+    if let Some(name) = req.pin(attrs::lc::NAME) {
+        scratch.extend(collector.slot_by_name(name));
+    } else if let Some(machine) = req.pin(attrs::lc::MACHINE) {
+        scratch.extend_from_slice(collector.slots_on_machine(machine));
+    } else if let Some((idx, bound)) = pick_guard_index(req, collector) {
+        scratch.extend(collector.indexed_range_at_least(idx, bound));
     } else {
-        candidates.extend(collector.unclaimed_iter());
+        scratch.extend(collector.unclaimed_iter());
     }
+    best_among(job_ad, req, collector, scratch.iter().copied())
+}
 
-    let rank_expr = job_ad.parsed_expr(RANK);
+/// The narrowest registered guard index covering one of the requirement's
+/// `>=`/`>` guards, with its bound, or `None` when no guard has an index.
+///
+/// Selectivity is estimated by walking at most [`SELECTIVITY_PROBE`]
+/// candidates of each index's range — enough to tell "a handful" from
+/// "basically everything" without paying O(pool) per job. Ties keep the
+/// first guard in requirement order; an empty range short-circuits (the
+/// guard alone proves no slot matches). Deterministic: depends only on
+/// the requirement and the snapshot.
+fn pick_guard_index(req: &CompiledReq, collector: &Collector) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, (usize, f64))> = None;
+    let mut seen: Vec<&str> = Vec::new();
+    for g in req.guards() {
+        if !matches!(g.op, GuardOp::Ge | GuardOp::Gt) || seen.contains(&g.attr.as_str()) {
+            continue;
+        }
+        seen.push(&g.attr);
+        let Some(idx) = collector.attr_index(&g.attr) else {
+            continue;
+        };
+        // The strongest bound over all of this attribute's guards.
+        let bound = req.lower_bound(&g.attr).unwrap_or(g.bound);
+        let probe = collector
+            .indexed_range_at_least(idx, bound)
+            .take(SELECTIVITY_PROBE)
+            .count();
+        if probe == 0 {
+            return Some((idx, bound));
+        }
+        if best.is_none_or(|(count, _)| probe < count) {
+            best = Some((probe, (idx, bound)));
+        }
+    }
+    best.map(|(_, found)| found)
+}
+
+/// Rank `candidates` against the full two-sided match predicate and return
+/// the winner: highest rank, ties to the lowest slot id. The rule is a
+/// total order over admitted slots, so the result is independent of the
+/// candidate enumeration order — any superset of the true admitters yields
+/// the same winner.
+fn best_among(
+    job_ad: &ClassAd,
+    req: &CompiledReq,
+    collector: &Collector,
+    candidates: impl IntoIterator<Item = SlotId>,
+) -> Option<(f64, SlotId)> {
+    if req.is_never() {
+        return None;
+    }
+    let rank_expr = job_ad.parsed_expr(attrs::lc::RANK);
     let mut best: Option<(f64, SlotId)> = None;
-    for &slot in candidates.iter() {
-        let status = collector.get(slot).expect("indexed slot exists");
+    for slot in candidates {
+        let status = collector.get(slot).expect("candidate slot exists");
         if status.claimed || !req.matches_target(job_ad, &status.ad) {
             continue;
         }
@@ -232,37 +533,50 @@ fn best_slot(
         };
         let better = match best {
             None => true,
-            // Same winner rule as the naive scan: higher rank wins, ties go
-            // to the lowest slot id. Order-independent, so the candidate
-            // enumeration order cannot change the result.
             Some((r, s)) => rank > r || (rank == r && slot < s),
         };
         if better {
             best = Some((rank, slot));
         }
     }
-    best.map(|(_, slot)| slot)
+    best
+}
+
+/// Resolve the phase-2 shard count: the `PHISHARE_NEGOTIATOR_SHARDS` env
+/// override when set to a positive integer, else the machine's available
+/// parallelism capped at [`MAX_DEFAULT_SHARDS`].
+fn default_shards() -> usize {
+    if let Ok(raw) = std::env::var("PHISHARE_NEGOTIATOR_SHARDS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(MAX_DEFAULT_SHARDS))
+        .unwrap_or(1)
 }
 
 /// Decrement the node-level Phi attributes on every slot ad of `node` to
 /// reflect a new placement for the remainder of this cycle. Routed through
-/// [`Collector::set_int_attr`] so the free-memory index stays coherent —
-/// a later job in the *same cycle* sees the reduced capacity in its range
-/// query.
+/// [`Collector::set_int_attr`] so the guard indexes stay coherent — a
+/// later job in the *same cycle* sees the reduced capacity in its range
+/// query — and the slots are stamped dirty for the delta path.
 fn commit_phi_resources(collector: &mut Collector, node: u32, mem: i64, exclusive: bool) {
     for slot in collector.node_slots(node) {
         let status = collector.get(slot).expect("listed slot exists");
-        let free = int_attr(&status.ad, attrs::PHI_FREE_MEMORY);
+        let free = int_attr(&status.ad, attrs::lc::PHI_FREE_MEMORY);
         let devs = if exclusive {
-            int_attr(&status.ad, attrs::PHI_DEVICES_FREE)
+            int_attr(&status.ad, attrs::lc::PHI_DEVICES_FREE)
         } else {
             None
         };
         if let Some(free) = free {
-            collector.set_int_attr(slot, attrs::PHI_FREE_MEMORY, (free - mem).max(0));
+            collector.set_int_attr(slot, attrs::lc::PHI_FREE_MEMORY, (free - mem).max(0));
         }
         if let Some(devs) = devs {
-            collector.set_int_attr(slot, attrs::PHI_DEVICES_FREE, (devs - 1).max(0));
+            collector.set_int_attr(slot, attrs::lc::PHI_DEVICES_FREE, (devs - 1).max(0));
         }
     }
 }
@@ -295,7 +609,7 @@ fn naive_matches(job: &ClassAd, machine: &ClassAd) -> bool {
 }
 
 fn naive_rank(job: &ClassAd, machine: &ClassAd) -> f64 {
-    match job.get_expr(RANK) {
+    match job.get_expr(attrs::lc::RANK) {
         None => 0.0,
         Some(src) => {
             let expr = parse(src).expect("stored expression parses");
@@ -482,7 +796,32 @@ mod tests {
     }
 
     #[test]
-    fn fast_and_naive_paths_agree_on_a_mixed_cycle() {
+    fn unmatched_jobs_gain_certificates_the_next_cycle_honors() {
+        let mut q = JobQueue::new();
+        for i in 0..2 {
+            q.submit(JobId(i), sharing_job_ad(&spec(i, 3000, 60)), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut c = cluster(1, 1);
+        let n = Negotiator::default();
+        assert_eq!(n.negotiate(&mut q, &mut c).len(), 1);
+        // Job 1 is certified unmatched at the post-cycle sequence.
+        let seq = q.get(JobId(1)).unwrap().eval_seq().unwrap();
+        assert_eq!(seq, c.seq());
+        // A no-churn cycle re-screens only the (empty) dirty set and keeps
+        // the certificate standing.
+        assert!(n.negotiate(&mut q, &mut c).is_empty());
+        assert_eq!(q.get(JobId(1)).unwrap().eval_seq(), Some(seq));
+        // A release dirties the slot; the next delta cycle sees it.
+        c.release(SlotId { node: 1, slot: 1 });
+        c.refresh_phi_availability(SlotId { node: 1, slot: 1 }, 7680, 1);
+        let third = n.negotiate(&mut q, &mut c);
+        assert_eq!(third.len(), 1);
+        assert_eq!(third[0].job, JobId(1));
+    }
+
+    #[test]
+    fn all_paths_agree_on_a_mixed_cycle() {
         let build = || {
             let mut q = JobQueue::new();
             q.submit(JobId(0), sharing_job_ad(&spec(0, 3000, 60)), SimTime::ZERO)
@@ -505,12 +844,123 @@ mod tests {
             .unwrap();
             (q, cluster(3, 2))
         };
-        let (mut q_fast, mut c_fast) = build();
+        let (mut q_delta, mut c_delta) = build();
+        let (mut q_full, mut c_full) = build();
         let (mut q_naive, mut c_naive) = build();
-        let fast = Negotiator::default().negotiate_with_stats(&mut q_fast, &mut c_fast);
-        let naive = Negotiator::default().negotiate_naive_with_stats(&mut q_naive, &mut c_naive);
-        assert_eq!(fast, naive);
-        assert_eq!(c_fast, c_naive);
-        assert_eq!(q_fast.pending(), q_naive.pending());
+        let n = Negotiator::default();
+        let delta = n.negotiate_delta_with_stats(&mut q_delta, &mut c_delta);
+        let full = n.negotiate_full_with_stats(&mut q_full, &mut c_full);
+        let naive = n.negotiate_naive_with_stats(&mut q_naive, &mut c_naive);
+        assert_eq!(delta, full);
+        assert_eq!(full, naive);
+        assert_eq!(c_delta, c_full);
+        assert_eq!(c_full, c_naive);
+        assert_eq!(q_delta.pending(), q_naive.pending());
+    }
+
+    #[test]
+    fn delta_tracks_full_across_churny_cycles() {
+        let n = Negotiator::default();
+        let mut q_delta = JobQueue::new();
+        let mut q_full = JobQueue::new();
+        for (i, mem) in [(0u64, 3000u64), (1, 3000), (2, 3000), (3, 9000)] {
+            q_delta
+                .submit(JobId(i), sharing_job_ad(&spec(i, mem, 60)), SimTime::ZERO)
+                .unwrap();
+            q_full
+                .submit(JobId(i), sharing_job_ad(&spec(i, mem, 60)), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut c_delta = cluster(2, 2);
+        let mut c_full = cluster(2, 2);
+        for round in 0..6 {
+            // Churn between cycles, applied identically to both twins:
+            // releases, refreshes, node loss and rejoin.
+            for c in [&mut c_delta, &mut c_full] {
+                match round {
+                    1 => {
+                        for slot in c.node_slots(1) {
+                            c.release(slot);
+                            c.refresh_phi_availability(slot, 7680, 1);
+                        }
+                    }
+                    2 => {
+                        c.invalidate_node(2);
+                    }
+                    3 => {
+                        Startd::new(2, 2, 1, 8192).advertise(c, 7680, 1);
+                    }
+                    4 => {
+                        for slot in c.node_slots(2) {
+                            c.refresh_phi_availability(slot, 9001, 1);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if round == 4 {
+                // A qedit drops the certificate on both sides.
+                for q in [&mut q_delta, &mut q_full] {
+                    q.qedit_value(JobId(3), attrs::REQUEST_PHI_MEMORY, 8500u64)
+                        .unwrap();
+                }
+            }
+            let delta = n.negotiate_delta_with_stats(&mut q_delta, &mut c_delta);
+            let full = n.negotiate_full_with_stats(&mut q_full, &mut c_full);
+            assert_eq!(delta, full, "round {round}");
+            assert_eq!(c_delta, c_full, "round {round}");
+            assert_eq!(q_delta.pending(), q_full.pending(), "round {round}");
+        }
+        // The churn actually exercised the interesting rounds: the widened
+        // node-2 capacity admitted the qedited big job.
+        assert!(q_delta.pending().is_empty());
+    }
+
+    #[test]
+    fn sharded_and_serial_screens_are_bit_identical() {
+        let build = || {
+            let mut q = JobQueue::new();
+            for i in 0..64 {
+                let ad = if i % 3 == 0 {
+                    exclusive_job_ad(&spec(i, 1000, 240))
+                } else {
+                    sharing_job_ad(&spec(i, 500 + (i % 7) * 900, 60))
+                };
+                q.submit(JobId(i), ad, SimTime::ZERO).unwrap();
+            }
+            (q, cluster(6, 3))
+        };
+        let (mut q_serial, mut c_serial) = build();
+        let (mut q_sharded, mut c_sharded) = build();
+        let serial = Negotiator::default()
+            .with_shards(1)
+            .negotiate_delta_with_stats(&mut q_serial, &mut c_serial);
+        let sharded = Negotiator::default()
+            .with_shards(5)
+            .negotiate_delta_with_stats(&mut q_sharded, &mut c_sharded);
+        assert_eq!(serial, sharded);
+        assert_eq!(c_serial, c_sharded);
+        assert_eq!(q_serial.pending(), q_sharded.pending());
+    }
+
+    #[test]
+    fn shard_env_override_is_honored() {
+        // Serialized in one test: set, observe, clear, observe.
+        std::env::set_var("PHISHARE_NEGOTIATOR_SHARDS", "5");
+        assert_eq!(default_shards(), 5);
+        std::env::set_var("PHISHARE_NEGOTIATOR_SHARDS", "not-a-number");
+        let fallback = default_shards();
+        assert!(fallback >= 1);
+        std::env::remove_var("PHISHARE_NEGOTIATOR_SHARDS");
+        assert!(default_shards() >= 1);
+        assert_eq!(default_shards(), fallback);
+    }
+
+    #[test]
+    fn match_path_parses_from_cli_spelling() {
+        assert_eq!("delta".parse::<MatchPath>().unwrap(), MatchPath::Delta);
+        assert_eq!("Full".parse::<MatchPath>().unwrap(), MatchPath::Full);
+        assert!("eager".parse::<MatchPath>().is_err());
+        assert_eq!(MatchPath::default(), MatchPath::Delta);
     }
 }

@@ -59,12 +59,28 @@ pub struct QueuedJob {
     /// or requeued job goes to the back of the line, it does not retake its
     /// original submission slot.
     pos: usize,
+    /// Delta-negotiation cache: the collector sequence number at which a
+    /// negotiation cycle last evaluated this job against the *whole* pool
+    /// and found no match ([`JobQueue::note_unmatched`]). `None` means the
+    /// job has no such certificate and must be screened against every slot.
+    /// Cleared whenever the certificate could be invalidated: any qedit
+    /// (the job ad — and hence its compiled requirements — changed) and
+    /// every entry into `Idle` (conservative; a fresh arrival in the pool
+    /// has never been evaluated at all).
+    eval_seq: Option<u64>,
 }
 
 impl QueuedJob {
     /// The job's compiled `Requirements`.
     pub fn compiled(&self) -> &CompiledReq {
         &self.compiled
+    }
+
+    /// The collector sequence at which this job was last certified
+    /// unmatched, if that certificate is still standing (see the field
+    /// docs — this is what the negotiator's delta path keys on).
+    pub fn eval_seq(&self) -> Option<u64> {
+        self.eval_seq
     }
 }
 
@@ -168,6 +184,7 @@ impl JobQueue {
                 submitted: now,
                 compiled,
                 pos,
+                eval_seq: None,
             },
         );
         self.fifo.push(id);
@@ -226,6 +243,7 @@ impl JobQueue {
             .insert_expr(attr, expr)
             .map_err(QueueError::BadExpression)?;
         job.compiled = CompiledReq::compile(&job.ad);
+        job.eval_seq = None;
         Ok(())
     }
 
@@ -239,7 +257,18 @@ impl JobQueue {
         let job = self.jobs.get_mut(&id).ok_or(QueueError::Unknown(id))?;
         job.ad.insert(attr, value);
         job.compiled = CompiledReq::compile(&job.ad);
+        job.eval_seq = None;
         Ok(())
+    }
+
+    /// Record that a negotiation cycle evaluated `id` against the whole
+    /// pool at collector sequence `seq` and found no admitting slot. The
+    /// delta path then only re-screens the job against slots dirtied after
+    /// `seq`. No-op for unknown jobs.
+    pub fn note_unmatched(&mut self, id: JobId, seq: u64) {
+        if let Some(job) = self.jobs.get_mut(&id) {
+            job.eval_seq = Some(seq);
+        }
     }
 
     /// Look up a job.
@@ -336,6 +365,13 @@ impl JobQueue {
                 let job = self.jobs.get_mut(&id).expect("looked up above");
                 job.state = next;
                 job.pos = pos;
+                // Re-entering the idle pool drops any unmatched
+                // certificate: the job may have spent cycles invisible to
+                // matchmaking, so its last full evaluation says nothing
+                // about the pool it now faces.
+                if next == JobState::Idle {
+                    job.eval_seq = None;
+                }
                 match prev {
                     JobState::Idle => {
                         self.idle.remove(&(old_pos, id));
@@ -576,6 +612,34 @@ mod tests {
         let mut q = queue_with(1);
         q.hold(JobId(0)).unwrap();
         assert!(q.set_matched(JobId(0), slot(1, 1)).is_err());
+    }
+
+    #[test]
+    fn unmatched_certificates_follow_the_delta_invalidation_rules() {
+        let mut q = queue_with(2);
+        assert_eq!(q.get(JobId(0)).unwrap().eval_seq(), None);
+        q.note_unmatched(JobId(0), 17);
+        q.note_unmatched(JobId(1), 17);
+        assert_eq!(q.get(JobId(0)).unwrap().eval_seq(), Some(17));
+        // Unknown jobs are ignored.
+        q.note_unmatched(JobId(9), 17);
+
+        // Any qedit — expression or value — drops the certificate.
+        q.qedit_expr(JobId(0), "Requirements", "TARGET.PhiDevices >= 1")
+            .unwrap();
+        assert_eq!(q.get(JobId(0)).unwrap().eval_seq(), None);
+        q.note_unmatched(JobId(0), 18);
+        q.qedit_value(JobId(0), "RequestPhiMemory", 512u64).unwrap();
+        assert_eq!(q.get(JobId(0)).unwrap().eval_seq(), None);
+
+        // Every entry into Idle drops it too (hold + release round trip)...
+        q.hold(JobId(1)).unwrap();
+        q.release(JobId(1)).unwrap();
+        assert_eq!(q.get(JobId(1)).unwrap().eval_seq(), None);
+        // ...while a job that simply stays idle keeps its certificate.
+        q.note_unmatched(JobId(1), 19);
+        q.hold(JobId(0)).unwrap();
+        assert_eq!(q.get(JobId(1)).unwrap().eval_seq(), Some(19));
     }
 
     #[test]

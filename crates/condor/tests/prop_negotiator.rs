@@ -1,9 +1,11 @@
-//! Differential property tests for the matchmaking fast path.
+//! Differential property tests for the matchmaking paths.
 //!
-//! The negotiator has two implementations: the compiled/indexed fast path
-//! (`negotiate_with_stats`) and the retained naive reference that re-parses
-//! and re-evaluates every (job, slot) pair (`negotiate_naive_with_stats`).
-//! These tests drive both over randomized clusters and job mixes and require
+//! The negotiator has three implementations: the incremental delta path
+//! (`negotiate_delta_with_stats`, the default), the compiled/indexed
+//! full-rematch fast path (`negotiate_full_with_stats`), and the retained
+//! naive reference that re-parses and re-evaluates every (job, slot) pair
+//! (`negotiate_naive_with_stats`). These tests drive all of them over
+//! randomized clusters, job mixes, and churn sequences and require
 //! *identical* results: same matches in the same order, same cycle stats,
 //! same final collector state (including the in-cycle resource decrements
 //! and every index), and same queue state.
@@ -168,67 +170,209 @@ fn build(nodes: &[NodeDesc], jobs: &[(JobKind, bool)], claims: &[bool]) -> (JobQ
     (queue, collector)
 }
 
+/// One churn action applied identically to both twins between cycles.
+/// Indices are taken modulo the live population at application time, so
+/// every generated op is applicable and both twins see the same effect.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    /// Release the i-th currently-claimed slot.
+    Release(usize),
+    /// Claim the i-th currently-unclaimed slot out from under the queue
+    /// (an external schedd winning the slot).
+    Claim(usize),
+    /// Refresh a slot's Phi availability in place.
+    Refresh { slot: usize, mem: i64, devs: i64 },
+    /// Node churn: every ad the node ever advertised is invalidated.
+    InvalidateNode(u32),
+    /// Node (re)join: advertise two fresh slots on the node.
+    Advertise { node: u32, mem: i64 },
+    /// Rewrite a job's requested memory (folds into its compiled guards).
+    QeditMem { job: usize, mem: i64 },
+    /// An open-arrival submission mid-stream.
+    Submit(JobKind),
+}
+
+fn arb_churn() -> impl Strategy<Value = ChurnOp> {
+    let mem = prop_oneof![Just(0i64), Just(512), Just(3000), Just(7680)];
+    prop_oneof![
+        (0usize..16).prop_map(ChurnOp::Release),
+        (0usize..16).prop_map(ChurnOp::Claim),
+        (0usize..16, mem.clone(), 0i64..=2).prop_map(|(slot, mem, devs)| ChurnOp::Refresh {
+            slot,
+            mem,
+            devs
+        }),
+        (1u32..=4).prop_map(ChurnOp::InvalidateNode),
+        (1u32..=4, mem.clone()).prop_map(|(node, mem)| ChurnOp::Advertise { node, mem }),
+        (0usize..12, mem).prop_map(|(job, mem)| ChurnOp::QeditMem { job, mem }),
+        arb_job_kind().prop_map(ChurnOp::Submit),
+    ]
+}
+
+/// Apply one churn op to one (queue, collector) twin. `next_id` is the
+/// twin's open-arrival id counter (kept in lockstep across twins).
+fn apply_churn(op: &ChurnOp, queue: &mut JobQueue, collector: &mut Collector, next_id: &mut u64) {
+    match op {
+        ChurnOp::Release(i) => {
+            let claimed: Vec<SlotId> = collector
+                .slots()
+                .filter(|(_, s)| s.claimed)
+                .map(|(id, _)| *id)
+                .collect();
+            if !claimed.is_empty() {
+                collector.release(claimed[i % claimed.len()]);
+            }
+        }
+        ChurnOp::Claim(i) => {
+            let unclaimed = collector.unclaimed();
+            if !unclaimed.is_empty() {
+                collector.claim(unclaimed[i % unclaimed.len()]);
+            }
+        }
+        ChurnOp::Refresh { slot, mem, devs } => {
+            let slots: Vec<SlotId> = collector.slots().map(|(id, _)| *id).collect();
+            if !slots.is_empty() {
+                collector.refresh_phi_availability(
+                    slots[slot % slots.len()],
+                    *mem as u64,
+                    *devs as u32,
+                );
+            }
+        }
+        ChurnOp::InvalidateNode(node) => {
+            collector.invalidate_node(*node);
+        }
+        ChurnOp::Advertise { node, mem } => {
+            for s in 1..=2u32 {
+                let id = SlotId {
+                    node: *node,
+                    slot: s,
+                };
+                let ad =
+                    attrs::machine_ad(&id.name(), &format!("node{node}"), 1, 8192, *mem as u64, 1);
+                collector.advertise(id, ad);
+            }
+        }
+        ChurnOp::QeditMem { job, mem } => {
+            let ids = queue.pending();
+            if !ids.is_empty() {
+                queue
+                    .qedit_value(ids[job % ids.len()], attrs::REQUEST_PHI_MEMORY, *mem)
+                    .unwrap();
+            }
+        }
+        ChurnOp::Submit(kind) => {
+            queue
+                .submit(JobId(*next_id), job_ad(kind, false), SimTime::ZERO)
+                .unwrap();
+            *next_id += 1;
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// The fast path is result-identical to the naive evaluator: matches
-    /// (content *and* order), cycle stats, final collector state (ads,
-    /// claims, indexes — `Collector: PartialEq` covers all of it), and the
-    /// queue's pending set.
+    /// Delta and full paths are result-identical to the naive evaluator:
+    /// matches (content *and* order), cycle stats, final collector state
+    /// (ads and claims — `Collector: PartialEq` covers the authoritative
+    /// state), and the queue's pending set.
     #[test]
-    fn fast_path_matches_naive_evaluator(
+    fn all_paths_match_naive_evaluator(
         nodes in prop::collection::vec(arb_node(), 1..=5),
         jobs in prop::collection::vec((arb_job_kind(), any::<bool>()), 1..=10),
         claims in prop::collection::vec(any::<bool>(), 0..=15),
     ) {
-        let (mut q_fast, mut c_fast) = build(&nodes, &jobs, &claims);
+        let (mut q_delta, mut c_delta) = build(&nodes, &jobs, &claims);
+        let (mut q_full, mut c_full) = build(&nodes, &jobs, &claims);
         let (mut q_naive, mut c_naive) = build(&nodes, &jobs, &claims);
-        prop_assert_eq!(&c_fast, &c_naive, "builders must start equal");
+        prop_assert_eq!(&c_delta, &c_naive, "builders must start equal");
 
         let negotiator = Negotiator::default();
-        let (fast_matches, fast_stats) =
-            negotiator.negotiate_with_stats(&mut q_fast, &mut c_fast);
-        let (naive_matches, naive_stats) =
-            negotiator.negotiate_naive_with_stats(&mut q_naive, &mut c_naive);
+        let delta = negotiator.negotiate_delta_with_stats(&mut q_delta, &mut c_delta);
+        let full = negotiator.negotiate_full_with_stats(&mut q_full, &mut c_full);
+        let naive = negotiator.negotiate_naive_with_stats(&mut q_naive, &mut c_naive);
 
-        prop_assert_eq!(&fast_matches, &naive_matches);
-        prop_assert_eq!(fast_stats, naive_stats);
-        prop_assert_eq!(&c_fast, &c_naive, "collector states diverged");
-        prop_assert_eq!(q_fast.pending(), q_naive.pending());
-        prop_assert_eq!(q_fast.active_counts(), q_naive.active_counts());
+        prop_assert_eq!(&delta, &full, "delta diverged from full oracle");
+        prop_assert_eq!(&full, &naive, "full diverged from naive reference");
+        prop_assert_eq!(&c_delta, &c_full, "collector states diverged");
+        prop_assert_eq!(&c_full, &c_naive, "collector states diverged");
+        prop_assert_eq!(q_delta.pending(), q_naive.pending());
+        prop_assert_eq!(q_full.pending(), q_naive.pending());
+        prop_assert_eq!(q_delta.active_counts(), q_naive.active_counts());
     }
 
     /// Two consecutive cycles stay identical too — the second cycle starts
-    /// from the first one's decremented ads and mutated indexes, which is
-    /// where stale-index bugs would surface.
+    /// from the first one's decremented ads, mutated indexes, and (for the
+    /// delta path) unmatched certificates, which is where stale-index and
+    /// stale-certificate bugs would surface.
     #[test]
-    fn fast_path_matches_naive_over_two_cycles(
+    fn all_paths_match_naive_over_two_cycles(
         nodes in prop::collection::vec(arb_node(), 1..=4),
         jobs in prop::collection::vec((arb_job_kind(), any::<bool>()), 1..=8),
     ) {
-        let (mut q_fast, mut c_fast) = build(&nodes, &jobs, &[]);
+        let (mut q_delta, mut c_delta) = build(&nodes, &jobs, &[]);
+        let (mut q_full, mut c_full) = build(&nodes, &jobs, &[]);
         let (mut q_naive, mut c_naive) = build(&nodes, &jobs, &[]);
         let negotiator = Negotiator::default();
 
-        let first_fast = negotiator.negotiate_with_stats(&mut q_fast, &mut c_fast);
+        let first_delta = negotiator.negotiate_delta_with_stats(&mut q_delta, &mut c_delta);
+        let first_full = negotiator.negotiate_full_with_stats(&mut q_full, &mut c_full);
         let first_naive = negotiator.negotiate_naive_with_stats(&mut q_naive, &mut c_naive);
-        prop_assert_eq!(first_fast, first_naive);
+        prop_assert_eq!(&first_delta, &first_full);
+        prop_assert_eq!(&first_full, &first_naive);
 
-        // Release the first cycle's claims on both sides, as dispatch would.
-        let claimed: Vec<SlotId> = c_fast
+        // Release the first cycle's claims on all sides, as dispatch would.
+        let claimed: Vec<SlotId> = c_naive
             .slots()
             .filter(|(_, s)| s.claimed)
             .map(|(id, _)| *id)
             .collect();
         for slot in claimed {
-            c_fast.release(slot);
+            c_delta.release(slot);
+            c_full.release(slot);
             c_naive.release(slot);
         }
 
-        let second_fast = negotiator.negotiate_with_stats(&mut q_fast, &mut c_fast);
+        let second_delta = negotiator.negotiate_delta_with_stats(&mut q_delta, &mut c_delta);
+        let second_full = negotiator.negotiate_full_with_stats(&mut q_full, &mut c_full);
         let second_naive = negotiator.negotiate_naive_with_stats(&mut q_naive, &mut c_naive);
-        prop_assert_eq!(second_fast, second_naive);
-        prop_assert_eq!(&c_fast, &c_naive);
+        prop_assert_eq!(&second_delta, &second_full);
+        prop_assert_eq!(&second_full, &second_naive);
+        prop_assert_eq!(&c_delta, &c_full);
+        prop_assert_eq!(&c_full, &c_naive);
+    }
+
+    /// The core delta-exactness property: across an arbitrary multi-cycle
+    /// history of churn — claims and releases out from under the queue, ad
+    /// refreshes, node loss and rejoin, qedits, open-arrival submissions —
+    /// the delta path stays bit-identical to the full-rematch oracle in
+    /// every cycle.
+    #[test]
+    fn delta_matches_full_oracle_across_random_churn(
+        nodes in prop::collection::vec(arb_node(), 1..=4),
+        jobs in prop::collection::vec((arb_job_kind(), any::<bool>()), 0..=8),
+        rounds in prop::collection::vec(prop::collection::vec(arb_churn(), 0..=5), 1..=5),
+    ) {
+        let (mut q_delta, mut c_delta) = build(&nodes, &jobs, &[]);
+        let (mut q_full, mut c_full) = build(&nodes, &jobs, &[]);
+        let negotiator = Negotiator::default();
+        let mut next_delta = jobs.len() as u64;
+        let mut next_full = jobs.len() as u64;
+
+        for (r, ops) in rounds.iter().enumerate() {
+            for op in ops {
+                apply_churn(op, &mut q_delta, &mut c_delta, &mut next_delta);
+                apply_churn(op, &mut q_full, &mut c_full, &mut next_full);
+            }
+            prop_assert_eq!(&c_delta, &c_full, "churn diverged before round {}", r);
+
+            let delta = negotiator.negotiate_delta_with_stats(&mut q_delta, &mut c_delta);
+            let full = negotiator.negotiate_full_with_stats(&mut q_full, &mut c_full);
+            prop_assert_eq!(&delta, &full, "round {} matches diverged", r);
+            prop_assert_eq!(&c_delta, &c_full, "round {} collectors diverged", r);
+            prop_assert_eq!(q_delta.pending(), q_full.pending(), "round {} pending diverged", r);
+        }
     }
 }
 
@@ -275,4 +419,77 @@ fn same_cycle_decrement_is_visible_in_free_mem_index() {
     );
     let remaining: Vec<SlotId> = collector.unclaimed_with_free_mem_at_least(2680.0).collect();
     assert_eq!(remaining, vec![SlotId { node: 1, slot: 2 }]);
+}
+
+/// Generalization of the regression above to an *arbitrary* guard-indexed
+/// attribute: the negotiation cycle registers an index for whatever numeric
+/// guard the jobs carry (here a made-up `TapeDrives`), and mid-cycle
+/// mutations — a claim taking the only qualifying slot, then an in-place
+/// decrement — must be visible to later range scans in the same way
+/// `PhiFreeMemory` decrements are. Delta and full paths must agree on all
+/// of it.
+#[test]
+fn same_cycle_coherence_holds_for_arbitrary_guard_indexed_attrs() {
+    let build = || {
+        let mut collector = Collector::new();
+        for (s, drives) in [(1u32, 3i64), (2, 1)] {
+            let id = SlotId { node: 1, slot: s };
+            let mut ad = attrs::machine_ad(&id.name(), "node1", 1, 8192, 7680, 1);
+            ad.insert("TapeDrives", drives);
+            collector.advertise(id, ad);
+        }
+        let mut queue = JobQueue::new();
+        for i in 0..3u64 {
+            let mut ad = phishare_classad::ClassAd::new();
+            // Jobs 0 and 1 both need the 2-drive slot; only slot 1
+            // qualifies, so job 0's claim must block job 1 *within the
+            // cycle*. Job 2's weaker guard still fits slot 2.
+            let bound = if i < 2 { 2 } else { 1 };
+            ad.insert_expr(REQUIREMENTS, &format!("TARGET.TapeDrives >= {bound}"))
+                .unwrap();
+            queue.submit(JobId(i), ad, SimTime::ZERO).unwrap();
+        }
+        (queue, collector)
+    };
+
+    for path in [
+        phishare_condor::MatchPath::Delta,
+        phishare_condor::MatchPath::Full,
+    ] {
+        let (mut queue, mut collector) = build();
+        let negotiator = Negotiator::default().with_path(path);
+        let (matches, stats) = negotiator.negotiate_with_stats(&mut queue, &mut collector);
+        assert_eq!(
+            matches.iter().map(|m| (m.job, m.slot)).collect::<Vec<_>>(),
+            vec![
+                (JobId(0), SlotId { node: 1, slot: 1 }),
+                (JobId(2), SlotId { node: 1, slot: 2 }),
+            ],
+            "{path:?}"
+        );
+        assert_eq!(stats.unmatched, 1, "{path:?}");
+        assert_eq!(queue.pending(), vec![JobId(1)], "{path:?}");
+
+        // The cycle registered the index; it answers range queries with
+        // the claims applied, and in-place edits keep it coherent.
+        let idx = collector
+            .attr_index("tapedrives")
+            .expect("registered by the cycle");
+        assert_eq!(collector.indexed_range_at_least(idx, 2.0).count(), 0);
+        collector.release(SlotId { node: 1, slot: 1 });
+        collector.set_int_attr(SlotId { node: 1, slot: 1 }, "TapeDrives", 2);
+        assert_eq!(
+            collector
+                .indexed_range_at_least(idx, 2.0)
+                .collect::<Vec<_>>(),
+            vec![SlotId { node: 1, slot: 1 }]
+        );
+        // And the freed slot satisfies the remaining job next cycle.
+        let (matches, _) = negotiator.negotiate_with_stats(&mut queue, &mut collector);
+        assert_eq!(
+            matches.iter().map(|m| m.job).collect::<Vec<_>>(),
+            vec![JobId(1)],
+            "{path:?}"
+        );
+    }
 }

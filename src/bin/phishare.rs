@@ -13,6 +13,7 @@
 
 use phishare::cluster::report::{pct, secs, table};
 use phishare::cluster::{footprint_search, ClusterConfig, Experiment};
+use phishare::condor::MatchPath;
 use phishare::core::ClusterPolicy;
 use phishare::workload::{
     workload_from_csv, workload_to_csv, ResourceDist, SyntheticParams, Workload, WorkloadBuilder,
@@ -27,6 +28,7 @@ phishare — coprocessor sharing-aware cluster scheduling simulator
 USAGE:
   phishare run        --policy <mc|mcc|mcck|oracle> [--jobs N] [--nodes N]
                       [--dist <table1|uniform|normal|low|high>] [--seed N]
+                      [--negotiation <delta|full>]
                       [--from FILE.csv] [--json] [--gantt]
   phishare compare    [--jobs N] [--nodes N] [--dist ...] [--seed N] [--oracle]
   phishare footprint  [--jobs N] [--max-nodes N] [--dist ...] [--seed N]
@@ -131,9 +133,10 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         .parse()?;
     let nodes: u32 = flags.get("nodes", 8)?;
     let workload = build_workload(flags, "jobs", 400)?;
-    let config = ClusterConfig::paper_cluster(policy)
+    let mut config = ClusterConfig::paper_cluster(policy)
         .with_nodes(nodes)
         .with_seed(flags.get("seed", 7)?);
+    config.negotiation = flags.get("negotiation", MatchPath::default())?;
 
     if flags.has("gantt") {
         let (result, trace) = Experiment::run_traced(&config, &workload)?;

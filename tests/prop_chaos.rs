@@ -94,3 +94,45 @@ proptest! {
         prop_assert!(violations.is_empty(), "audit violations: {:?}", violations);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Delta-driven negotiation is observationally identical to the
+    /// full-rematch oracle at the whole-experiment level, *including under
+    /// fault injection*: device resets and node churn exercise the delta
+    /// path's invalidation edges (collector invalidate on churn, requeue +
+    /// re-release of victim jobs), and the end-to-end results — every
+    /// metric except wall-clock planning time — must still agree exactly.
+    #[test]
+    fn delta_negotiation_is_oracle_identical_under_faults(
+        policy in arb_policy(),
+        nodes in 2u32..=4,
+        jobs in 6usize..=16,
+        seed in 0u64..10_000,
+        faults in prop::collection::vec(arb_fault(4), 0..6),
+    ) {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(jobs)
+            .seed(seed)
+            .build();
+        let mut cfg = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+        cfg.knapsack.window = 64;
+
+        let mut events: Vec<FaultEvent> = faults
+            .into_iter()
+            .filter(|f| f.node <= nodes)
+            .collect();
+        events.sort_by_key(|f| (f.at, f.node, f.device, f.kind as u8));
+        let plan = FaultPlan { events };
+
+        cfg.negotiation = phishare::condor::MatchPath::Delta;
+        let (delta, _) = Experiment::run_with_faults_traced(&cfg, &wl, &plan)
+            .expect("delta run must drain cleanly");
+        cfg.negotiation = phishare::condor::MatchPath::Full;
+        let (full, _) = Experiment::run_with_faults_traced(&cfg, &wl, &plan)
+            .expect("full run must drain cleanly");
+
+        prop_assert_eq!(delta, full, "delta and full experiments diverged");
+    }
+}
