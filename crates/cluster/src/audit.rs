@@ -85,8 +85,10 @@ pub fn audit(
     }
 
     // --- the COSMIC safety property ---
-    let hw = config.phi.hw_threads();
+    // Heterogeneous pools give nodes different cards, so the thread bound
+    // is per node, not cluster-wide.
     for node in trace.nodes() {
+        let hw = config.spec_for_node(node).phi.hw_threads();
         let peak = trace.max_concurrent_threads(node);
         if peak > hw {
             complain(format!(

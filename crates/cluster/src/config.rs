@@ -4,9 +4,102 @@ use crate::fault::{FaultConfig, RecoveryConfig};
 use phishare_condor::MatchPath;
 use phishare_core::{ClusterPolicy, KnapsackConfig};
 use phishare_cosmic::CosmicConfig;
-use phishare_phi::{PerfModel, PhiConfig};
+use phishare_phi::{PerfModel, PhiConfig, SharingCurve};
 use phishare_sim::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::str::FromStr;
+
+/// Everything a device substrate needs to materialize one card: hardware
+/// shape, the per-offload performance model (Phi substrates) and the
+/// fair-sharing degradation curve (shared-throughput substrates).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Hardware shape (cores, threads, memory, power).
+    pub phi: PhiConfig,
+    /// Per-offload rate model used by the Phi device substrates.
+    pub perf: PerfModel,
+    /// Degradation curve used by the shared-throughput substrates.
+    pub curve: SharingCurve,
+}
+
+impl DeviceSpec {
+    /// Validate the spec.
+    pub fn validate(&self) -> Result<(), String> {
+        self.phi.validate()?;
+        self.curve.validate()
+    }
+}
+
+/// A named accelerator SKU the pool can instantiate per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceSku {
+    /// The paper's evaluation card (60 cores, 8 GB).
+    Phi5110p,
+    /// Top-end Phi generation (61 cores, 16 GB).
+    Phi7120p,
+    /// Budget Phi generation (57 cores, 6 GB).
+    Phi3120a,
+    /// GPU-shaped accelerator: 2048 hardware threads (no effective thread
+    /// cap), 24 GB, kernel-saturation degradation curve.
+    GpuLike,
+}
+
+impl DeviceSku {
+    /// The full device spec for this SKU under the given perf model.
+    pub fn spec(&self, perf: PerfModel) -> DeviceSpec {
+        match self {
+            DeviceSku::Phi5110p => DeviceSpec {
+                phi: PhiConfig::phi_5110p(),
+                perf,
+                curve: SharingCurve::phi(),
+            },
+            DeviceSku::Phi7120p => DeviceSpec {
+                phi: PhiConfig::phi_7120p(),
+                perf,
+                curve: SharingCurve::phi(),
+            },
+            DeviceSku::Phi3120a => DeviceSpec {
+                phi: PhiConfig::phi_3120a(),
+                perf,
+                curve: SharingCurve::phi(),
+            },
+            DeviceSku::GpuLike => DeviceSpec {
+                phi: PhiConfig::gpu_like(),
+                perf,
+                curve: SharingCurve::gpu_like(),
+            },
+        }
+    }
+}
+
+/// Which cards the cluster's nodes carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DevicePool {
+    /// Every node carries the card described by `ClusterConfig::{phi,
+    /// perf, curve}` — the paper's homogeneous testbed.
+    #[default]
+    Uniform,
+    /// Even-numbered nodes carry this SKU instead; odd-numbered nodes keep
+    /// the uniform card. The smallest heterogeneous pool that still
+    /// exercises every per-node capacity path.
+    Alternate(DeviceSku),
+}
+
+impl FromStr for DevicePool {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "uniform" => Ok(DevicePool::Uniform),
+            "gpu-mix" => Ok(DevicePool::Alternate(DeviceSku::GpuLike)),
+            "phi-mix" => Ok(DevicePool::Alternate(DeviceSku::Phi3120a)),
+            "phi7120-mix" => Ok(DevicePool::Alternate(DeviceSku::Phi7120p)),
+            other => Err(format!(
+                "unknown device pool '{other}' (expected uniform, gpu-mix, phi-mix or phi7120-mix)"
+            )),
+        }
+    }
+}
 
 /// Full description of one simulated cluster and its software stack.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -23,10 +116,17 @@ pub struct ClusterConfig {
     /// paper's §V-A assumption; lowering it makes jobs' host phases fair-
     /// share the cores, the caveat measured by `abl_host_contention`.
     pub host_cores_per_node: u32,
-    /// Device hardware shape.
+    /// Device hardware shape (the uniform card; see `pool`).
     pub phi: PhiConfig,
     /// Device performance model.
     pub perf: PerfModel,
+    /// Fair-sharing degradation curve for the shared-throughput
+    /// substrates (ignored by the per-offload Phi substrates).
+    pub curve: SharingCurve,
+    /// Which cards the nodes carry: `Uniform` reproduces the paper's
+    /// homogeneous testbed, `Alternate(sku)` puts that SKU on
+    /// even-numbered nodes.
+    pub pool: DevicePool,
     /// Node middleware configuration (used by MCC / MCCK).
     pub cosmic: CosmicConfig,
     /// Which software stack runs the cluster.
@@ -71,6 +171,8 @@ impl Default for ClusterConfig {
             host_cores_per_node: 16,
             phi: PhiConfig::default(),
             perf: PerfModel::default(),
+            curve: SharingCurve::default(),
+            pool: DevicePool::default(),
             cosmic: CosmicConfig::default(),
             policy: ClusterPolicy::Mcck,
             negotiation_interval: SimDuration::from_secs(10),
@@ -113,6 +215,42 @@ impl ClusterConfig {
         self.nodes * self.devices_per_node
     }
 
+    /// The device spec node `node` carries (nodes are numbered from 1).
+    ///
+    /// `Uniform` pools return the config's own `phi`/`perf`/`curve` for
+    /// every node; `Alternate(sku)` pools swap that SKU in on
+    /// even-numbered nodes, so any multi-node cluster mixes generations.
+    pub fn spec_for_node(&self, node: u32) -> DeviceSpec {
+        match self.pool {
+            DevicePool::Uniform => DeviceSpec {
+                phi: self.phi,
+                perf: self.perf,
+                curve: self.curve,
+            },
+            DevicePool::Alternate(sku) => {
+                if node.is_multiple_of(2) {
+                    sku.spec(self.perf)
+                } else {
+                    DeviceSpec {
+                        phi: self.phi,
+                        perf: self.perf,
+                        curve: self.curve,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The largest per-device usable memory any node offers — the up-front
+    /// admission bound: a job is only hopeless when *no* card in the pool
+    /// could ever hold it.
+    pub fn max_usable_mem_mb(&self) -> u64 {
+        (1..=self.nodes)
+            .map(|node| self.spec_for_node(node).phi.usable_mem_mb())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes == 0 {
@@ -131,6 +269,10 @@ impl ClusterConfig {
             return Err("initial_commit_fraction must be in [0, 1]".into());
         }
         self.phi.validate()?;
+        self.curve.validate()?;
+        if let DevicePool::Alternate(sku) = self.pool {
+            sku.spec(self.perf).validate()?;
+        }
         self.faults.validate()?;
         self.recovery.validate()?;
         if self.negotiation_interval.is_zero() {
@@ -162,6 +304,49 @@ mod tests {
         assert_eq!(c.policy, ClusterPolicy::Mc);
         assert_eq!(c.nodes, 5);
         assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn uniform_pool_gives_every_node_the_config_card() {
+        let c = ClusterConfig::default();
+        for node in 1..=c.nodes {
+            let spec = c.spec_for_node(node);
+            assert_eq!(spec.phi, c.phi);
+            assert_eq!(spec.curve, c.curve);
+        }
+        assert_eq!(c.max_usable_mem_mb(), c.phi.usable_mem_mb());
+    }
+
+    #[test]
+    fn alternate_pool_swaps_even_nodes() {
+        let c = ClusterConfig {
+            pool: DevicePool::Alternate(DeviceSku::GpuLike),
+            ..ClusterConfig::default()
+        };
+        c.validate().unwrap();
+        assert_eq!(c.spec_for_node(1).phi, c.phi);
+        assert_eq!(c.spec_for_node(2).phi, PhiConfig::gpu_like());
+        assert_eq!(c.spec_for_node(2).curve, SharingCurve::gpu_like());
+        assert_eq!(c.spec_for_node(3).phi, c.phi);
+        // The GPU card's 24 GB dominates the admission bound.
+        assert_eq!(c.max_usable_mem_mb(), PhiConfig::gpu_like().usable_mem_mb());
+    }
+
+    #[test]
+    fn device_pool_parses_from_cli_names() {
+        assert_eq!(
+            "uniform".parse::<DevicePool>().unwrap(),
+            DevicePool::Uniform
+        );
+        assert_eq!(
+            "gpu-mix".parse::<DevicePool>().unwrap(),
+            DevicePool::Alternate(DeviceSku::GpuLike)
+        );
+        assert_eq!(
+            "phi-mix".parse::<DevicePool>().unwrap(),
+            DevicePool::Alternate(DeviceSku::Phi3120a)
+        );
+        assert!("warp-drive".parse::<DevicePool>().is_err());
     }
 
     #[test]

@@ -56,11 +56,11 @@ pub mod sweep;
 pub mod trace;
 
 pub use audit::audit;
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, DevicePool, DeviceSku, DeviceSpec};
 pub use fault::{FallbackPolicy, FaultConfig, FaultEvent, FaultKind, FaultPlan, RecoveryConfig};
 pub use footprint::{footprint_search, FootprintResult, FootprintSearcher};
 pub use metrics::ExperimentResult;
 pub use runtime::{Experiment, ExperimentScratch, SubstrateMode};
 pub use substrate::{CosmicSubstrate, DeviceSubstrate};
-pub use sweep::{run_sweep, run_sweep_auto, run_sweep_keyed, SweepJob};
+pub use sweep::{run_sweep, run_sweep_auto, run_sweep_keyed, run_sweep_substrate_auto, SweepJob};
 pub use trace::{KillReason, Trace, TraceEvent};

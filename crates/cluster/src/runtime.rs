@@ -56,7 +56,10 @@ use phishare_core::{
     Pin, RandomScheduler,
 };
 use phishare_cosmic::{Admission, ContainerVerdict, CosmicDevice, KeyedCosmicDevice, OffloadGrant};
-use phishare_phi::{Affinity, CommitOutcome, KeyedPhiDevice, PhiDevice, ProcId};
+use phishare_phi::{
+    Affinity, CommitOutcome, KeyedPhiDevice, NaiveSharedDevice, PhiDevice, ProcId,
+    SharedThroughputDevice,
+};
 use phishare_sim::{DetRng, EventQueue, Sim, SimTime, Summary};
 use phishare_workload::{JobId, Segment, Workload};
 use std::collections::{BTreeMap, BTreeSet};
@@ -107,9 +110,12 @@ enum EventMode {
 
 /// Which per-device state store backs a run (see [`crate::substrate`]).
 ///
-/// Both substrates must produce bit-identical [`ExperimentResult`]s and
-/// traces; the keyed oracle exists to prove that and to serve as the cost
-/// floor for the `perf_e2e` bench gate.
+/// `Fast`/`Keyed` must produce bit-identical [`ExperimentResult`]s and
+/// traces, as must `Shared`/`SharedNaive`; each oracle exists to prove
+/// that and to serve as the cost floor for its bench gate (`perf_e2e`,
+/// `perf_throughput`). The per-offload pair and the shared-throughput
+/// pair model *different physics* (two-rate affinity model vs one
+/// fair-shared curve rate), so results are only comparable within a pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubstrateMode {
     /// Generation-stamped slab storage with handle-indexed hot paths
@@ -117,6 +123,29 @@ pub enum SubstrateMode {
     Fast,
     /// The seed's `BTreeMap`-keyed storage (differential oracle).
     Keyed,
+    /// Fair-shared throughput devices on the heap-scheduled O(log n)
+    /// engine, with the node pool's degradation curves (production for
+    /// heterogeneous SKU runs).
+    Shared,
+    /// Fair-shared throughput devices on the naive recompute-all engine
+    /// (differential oracle and `perf_throughput` cost floor).
+    SharedNaive,
+}
+
+impl std::str::FromStr for SubstrateMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fast" => Ok(SubstrateMode::Fast),
+            "keyed" => Ok(SubstrateMode::Keyed),
+            "shared" => Ok(SubstrateMode::Shared),
+            "shared-naive" => Ok(SubstrateMode::SharedNaive),
+            other => Err(format!(
+                "unknown substrate '{other}' (expected fast, keyed, shared or shared-naive)"
+            )),
+        }
+    }
 }
 
 /// Per-worker recycled buffers for back-to-back experiments.
@@ -340,6 +369,22 @@ impl Experiment {
                 EventMode::NextCompletion,
                 None,
             ),
+            SubstrateMode::Shared => Self::run_inner::<SharedThroughputDevice, CosmicDevice>(
+                config,
+                workload,
+                &plan,
+                false,
+                EventMode::NextCompletion,
+                None,
+            ),
+            SubstrateMode::SharedNaive => Self::run_inner::<NaiveSharedDevice, CosmicDevice>(
+                config,
+                workload,
+                &plan,
+                false,
+                EventMode::NextCompletion,
+                None,
+            ),
         }
         .map(|(r, _)| r)
     }
@@ -362,6 +407,22 @@ impl Experiment {
                 None,
             ),
             SubstrateMode::Keyed => Self::run_inner::<KeyedPhiDevice, KeyedCosmicDevice>(
+                config,
+                workload,
+                plan,
+                true,
+                EventMode::NextCompletion,
+                None,
+            ),
+            SubstrateMode::Shared => Self::run_inner::<SharedThroughputDevice, CosmicDevice>(
+                config,
+                workload,
+                plan,
+                true,
+                EventMode::NextCompletion,
+                None,
+            ),
+            SubstrateMode::SharedNaive => Self::run_inner::<NaiveSharedDevice, CosmicDevice>(
                 config,
                 workload,
                 plan,
@@ -409,7 +470,10 @@ impl Experiment {
         workload
             .validate()
             .map_err(|(id, e)| format!("invalid job {id}: {e}"))?;
-        let usable = config.phi.usable_mem_mb();
+        // With a heterogeneous pool, a job is only hopeless when even the
+        // *largest* card couldn't hold it (for Uniform pools this is the
+        // same per-device bound as before).
+        let usable = config.max_usable_mem_mb();
         // Under a knapsack-family scheduler, a job whose declared threads
         // exceed the per-device thread budget can never be packed — reject
         // it up front instead of letting it starve in the queue forever.
@@ -641,23 +705,24 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
         let mut cosmic = BTreeMap::new();
         let mut hosts = BTreeMap::new();
         for node in 1..=cfg.nodes {
+            let spec = cfg.spec_for_node(node);
             hosts.insert(node, HostCpu::new(cfg.host_cores_per_node, SimTime::ZERO));
             let startd = Startd::new(
                 node,
                 cfg.slots_per_node,
                 cfg.devices_per_node,
-                cfg.phi.memory_mb,
+                spec.phi.memory_mb,
             );
             startd.advertise(
                 &mut collector,
-                cfg.phi.usable_mem_mb() * cfg.devices_per_node as u64,
+                spec.phi.usable_mem_mb() * cfg.devices_per_node as u64,
                 cfg.devices_per_node,
             );
             startds.push(startd);
             for dev in 0..cfg.devices_per_node {
-                devices.insert((node, dev), D::create(cfg.phi, cfg.perf, SimTime::ZERO));
+                devices.insert((node, dev), D::create(&spec, SimTime::ZERO));
                 if cfg.policy.uses_cosmic() {
-                    cosmic.insert((node, dev), C::create(cfg.cosmic, &cfg.phi));
+                    cosmic.insert((node, dev), C::create(cfg.cosmic, &spec.phi));
                 }
             }
         }
@@ -2219,6 +2284,67 @@ mod tests {
                 fast_trace.events, keyed_trace.events,
                 "{policy}: fault traces diverged"
             );
+        }
+    }
+
+    #[test]
+    fn shared_substrate_matches_naive_shared_oracle() {
+        let wl = small_workload(40, 31);
+        for policy in [ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+            let cfg = fast_config(policy);
+            let shared = Experiment::run_with_substrate(&cfg, &wl, SubstrateMode::Shared).unwrap();
+            let naive =
+                Experiment::run_with_substrate(&cfg, &wl, SubstrateMode::SharedNaive).unwrap();
+            assert_eq!(shared, naive, "{policy}: shared engines diverged");
+            assert!(shared.completed > 0, "{policy}: nothing ran end-to-end");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_pools_run_end_to_end_on_shared_substrates() {
+        let wl = small_workload(30, 35);
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                kind: FaultKind::DeviceReset,
+                node: 2,
+                device: 0,
+                at: SimTime::from_secs(5),
+                downtime: SimDuration::from_secs(20),
+            }],
+        };
+        for pool in [
+            crate::config::DevicePool::Alternate(crate::config::DeviceSku::GpuLike),
+            crate::config::DevicePool::Alternate(crate::config::DeviceSku::Phi3120a),
+        ] {
+            for policy in [ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+                let mut cfg = fast_config(policy);
+                cfg.pool = pool;
+                let (shared, shared_trace) = Experiment::run_with_substrate_faults_traced(
+                    &cfg,
+                    &wl,
+                    &plan,
+                    SubstrateMode::Shared,
+                )
+                .unwrap();
+                let (naive, naive_trace) = Experiment::run_with_substrate_faults_traced(
+                    &cfg,
+                    &wl,
+                    &plan,
+                    SubstrateMode::SharedNaive,
+                )
+                .unwrap();
+                assert_eq!(shared, naive, "{policy}/{pool:?}: shared engines diverged");
+                assert_eq!(
+                    shared_trace.events, naive_trace.events,
+                    "{policy}/{pool:?}: traces diverged"
+                );
+                assert!(
+                    shared.completed > 0,
+                    "{policy}/{pool:?}: nothing ran end-to-end"
+                );
+                let violations = crate::audit(&cfg, &wl, &shared, &shared_trace);
+                assert!(violations.is_empty(), "{policy}/{pool:?}: {violations:?}");
+            }
         }
     }
 

@@ -32,13 +32,14 @@
 //! process, and the fast substrate's stale-stamp panics are exactly that
 //! guarantee made loud.
 
+use crate::config::DeviceSpec;
 use phishare_cosmic::{
     Admission, ContainerVerdict, CosmicConfig, CosmicDevice, JobSlot, KeyedCosmicDevice,
     OffloadGrant,
 };
 use phishare_phi::{
-    Affinity, CommitOutcome, DeviceUtilization, KeyedPhiDevice, PerfModel, PhiConfig, PhiDevice,
-    ProcId, ProcSlot,
+    Affinity, CommitOutcome, DeviceUtilization, KeyedPhiDevice, PhiConfig, PhiDevice, ProcId,
+    ProcSlot,
 };
 use phishare_sim::{DetRng, SimDuration, SimTime};
 use phishare_workload::JobId;
@@ -54,8 +55,10 @@ pub trait DeviceSubstrate {
     /// Per-resident handle resolved once at attach time.
     type Handle: Copy + std::fmt::Debug;
 
-    /// Fresh device state for one card.
-    fn create(cfg: PhiConfig, perf: PerfModel, start: SimTime) -> Self;
+    /// Fresh device state for one card, built from the node's spec: the
+    /// Phi substrates read `spec.phi` + `spec.perf`, the shared-throughput
+    /// substrates read `spec.phi` + `spec.curve`.
+    fn create(spec: &DeviceSpec, start: SimTime) -> Self;
 
     /// Monotone counter bumped whenever execution rates may have changed.
     fn generation(&self) -> u64;
@@ -135,8 +138,8 @@ pub trait DeviceSubstrate {
 impl DeviceSubstrate for PhiDevice {
     type Handle = ProcSlot;
 
-    fn create(cfg: PhiConfig, perf: PerfModel, start: SimTime) -> Self {
-        PhiDevice::new(cfg, perf, start)
+    fn create(spec: &DeviceSpec, start: SimTime) -> Self {
+        PhiDevice::new(spec.phi, spec.perf, start)
     }
 
     fn generation(&self) -> u64 {
@@ -240,8 +243,8 @@ impl DeviceSubstrate for KeyedPhiDevice {
     /// pays the map lookup the fast substrate resolved away.
     type Handle = ProcId;
 
-    fn create(cfg: PhiConfig, perf: PerfModel, start: SimTime) -> Self {
-        KeyedPhiDevice::new(cfg, perf, start)
+    fn create(spec: &DeviceSpec, start: SimTime) -> Self {
+        KeyedPhiDevice::new(spec.phi, spec.perf, start)
     }
 
     fn generation(&self) -> u64 {
@@ -342,6 +345,120 @@ impl DeviceSubstrate for KeyedPhiDevice {
 
     fn utilization(&self, end: SimTime) -> DeviceUtilization {
         KeyedPhiDevice::utilization(self, end)
+    }
+}
+
+/// Both shared-throughput devices ([`phishare_phi::SharedThroughputDevice`]
+/// heap-fast, [`phishare_phi::NaiveSharedDevice`] recompute-all oracle)
+/// drive one generic impl:
+/// every line of substrate glue is shared, so a behavioral divergence
+/// between the two modes can only come from the engine itself — the
+/// property the `perf_throughput` gate re-asserts before timing.
+impl<E: phishare_throughput::SharingEngine> DeviceSubstrate for phishare_phi::SharedDevice<E> {
+    /// Shared devices are keyed by id; the engine's position index makes
+    /// the lookup O(log n) rather than a scan.
+    type Handle = ProcId;
+
+    fn create(spec: &DeviceSpec, start: SimTime) -> Self {
+        phishare_phi::SharedDevice::new(spec.phi, spec.curve, start)
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation()
+    }
+
+    fn attach(
+        &mut self,
+        now: SimTime,
+        proc: ProcId,
+        declared_mem_mb: u64,
+        declared_threads: u32,
+        initial_commit_mb: u64,
+        rng: &mut DetRng,
+    ) -> (Self::Handle, CommitOutcome) {
+        let outcome = phishare_phi::SharedDevice::attach(
+            self,
+            now,
+            proc,
+            declared_mem_mb,
+            declared_threads,
+            initial_commit_mb,
+            rng,
+        )
+        .expect("proc ids are unique per job");
+        (proc, outcome)
+    }
+
+    fn detach(&mut self, now: SimTime, handle: Self::Handle) {
+        phishare_phi::SharedDevice::detach(self, now, handle).expect("departing job was attached");
+    }
+
+    fn commit(
+        &mut self,
+        now: SimTime,
+        handle: Self::Handle,
+        total_mb: u64,
+        rng: &mut DetRng,
+    ) -> CommitOutcome {
+        phishare_phi::SharedDevice::commit_memory(self, now, handle, total_mb, rng)
+            .expect("running job is attached")
+    }
+
+    fn start_offload(
+        &mut self,
+        now: SimTime,
+        handle: Self::Handle,
+        threads: u32,
+        work: SimDuration,
+        affinity: Affinity,
+    ) {
+        phishare_phi::SharedDevice::start_offload(self, now, handle, threads, work, affinity)
+            .expect("offload starts on an idle resident");
+    }
+
+    fn finish_offload(&mut self, now: SimTime, handle: Self::Handle) {
+        phishare_phi::SharedDevice::finish_offload(self, now, handle)
+            .expect("generation-valid completion");
+    }
+
+    fn reset(&mut self, now: SimTime) {
+        phishare_phi::SharedDevice::reset(self, now);
+    }
+
+    fn for_each_completion(&self, f: impl FnMut(ProcId, SimTime)) {
+        phishare_phi::SharedDevice::for_each_completion(self, f);
+    }
+
+    fn next_completion(&self) -> Option<(ProcId, SimTime)> {
+        phishare_phi::SharedDevice::next_completion(self)
+    }
+
+    fn resident_count(&self) -> usize {
+        phishare_phi::SharedDevice::resident_count(self)
+    }
+
+    fn free_declared_mb(&self) -> u64 {
+        phishare_phi::SharedDevice::free_declared_mb(self)
+    }
+
+    fn committed_total_mb(&self) -> u64 {
+        phishare_phi::SharedDevice::committed_total_mb(self)
+    }
+
+    fn declared_threads(&self) -> u32 {
+        phishare_phi::SharedDevice::declared_threads(self)
+    }
+
+    fn oom_kill_count(&self) -> u64 {
+        self.oom_kills.get()
+    }
+
+    fn energy_joules(&self, end: SimTime) -> f64 {
+        phishare_phi::SharedDevice::energy_joules(self, end)
+    }
+
+    fn utilization(&self, end: SimTime) -> DeviceUtilization {
+        phishare_phi::SharedDevice::utilization(self, end)
     }
 }
 

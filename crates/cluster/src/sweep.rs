@@ -51,6 +51,16 @@ pub fn run_sweep_keyed(
     sweep_inner(jobs, threads, SubstrateMode::Keyed)
 }
 
+/// [`run_sweep`] on an explicitly chosen substrate, sized to the machine
+/// like [`run_sweep_auto`]. The heterogeneous-SKU experiments run their
+/// grids on [`SubstrateMode::Shared`] through this.
+pub fn run_sweep_substrate_auto(
+    jobs: Vec<SweepJob>,
+    substrate: SubstrateMode,
+) -> Vec<(String, Result<ExperimentResult, String>)> {
+    sweep_inner(jobs, default_threads(), substrate)
+}
+
 fn sweep_inner(
     jobs: Vec<SweepJob>,
     threads: usize,
@@ -83,7 +93,9 @@ fn sweep_inner(
                         SubstrateMode::Fast => {
                             Experiment::run_with_scratch(&job.config, &job.workload, &mut scratch)
                         }
-                        SubstrateMode::Keyed => {
+                        SubstrateMode::Keyed
+                        | SubstrateMode::Shared
+                        | SubstrateMode::SharedNaive => {
                             Experiment::run_with_substrate(&job.config, &job.workload, substrate)
                         }
                     };

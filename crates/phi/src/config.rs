@@ -71,6 +71,22 @@ impl PhiConfig {
         }
     }
 
+    /// A GPU-like accelerator shape: 64 SM-like cores × 32 resident warps
+    /// (2048 hardware threads — effectively no thread cap at Phi-scale
+    /// offload sizes), 24 GB device memory, passively cooled datacenter
+    /// power envelope. Pairs with `SharingCurve::gpu_like()`, whose
+    /// degradation ignores the thread sum entirely.
+    pub fn gpu_like() -> Self {
+        PhiConfig {
+            cores: 64,
+            threads_per_core: 32,
+            memory_mb: 24 * 1024,
+            os_reserved_mb: 512,
+            idle_watts: 60.0,
+            max_watts: 350.0,
+        }
+    }
+
     /// Total hardware threads (`cores × threads_per_core`; 240 by default).
     #[inline]
     pub const fn hw_threads(&self) -> u32 {
@@ -145,6 +161,10 @@ mod tests {
         }
         assert_eq!(PhiConfig::phi_7120p().hw_threads(), 244);
         assert_eq!(PhiConfig::phi_7120p().usable_mem_mb(), 16 * 1024 - 512);
+        let gpu = PhiConfig::gpu_like();
+        gpu.validate().unwrap();
+        assert_eq!(gpu.hw_threads(), 2048);
+        assert_eq!(gpu.usable_mem_mb(), 24 * 1024 - 512);
     }
 
     #[test]

@@ -645,21 +645,19 @@ impl PhiDevice {
         let n_resident = self.procs.len();
         let active_threads = self.active_threads_total;
         let hw = self.cfg.hw_threads();
-        if n_active > 0 {
-            // All active offloads share one of exactly two rates — compute
-            // both once instead of once per offload.
-            let (rate_pinned, rate_unmanaged) =
-                self.perf
-                    .offload_rates(n_active, n_resident, active_threads, hw);
-            for (_, entry) in self.procs.iter_mut() {
-                if let Some(off) = &mut entry.active {
-                    off.rate = match off.affinity {
-                        Affinity::Pinned(_) => rate_pinned,
-                        Affinity::Unmanaged => rate_unmanaged,
-                    };
-                }
-            }
-        }
+        let perf = self.perf;
+        perf.reshare_rates(
+            n_active,
+            n_resident,
+            active_threads,
+            hw,
+            self.procs.iter_mut().filter_map(|(_, entry)| {
+                entry
+                    .active
+                    .as_mut()
+                    .map(|off| (matches!(off.affinity, Affinity::Pinned(_)), &mut off.rate))
+            }),
+        );
         self.generation += 1;
         self.record_utilization(now);
     }

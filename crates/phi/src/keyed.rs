@@ -273,17 +273,16 @@ impl KeyedPhiDevice {
         let n_resident = self.procs.len();
         let active_threads = self.active_threads();
         let hw = self.cfg.hw_threads();
-        if n_active > 0 {
-            let (rate_pinned, rate_unmanaged) =
-                self.perf
-                    .offload_rates(n_active, n_resident, active_threads, hw);
-            for off in self.active.values_mut() {
-                off.rate = match off.affinity {
-                    Affinity::Pinned(_) => rate_pinned,
-                    Affinity::Unmanaged => rate_unmanaged,
-                };
-            }
-        }
+        let perf = self.perf;
+        perf.reshare_rates(
+            n_active,
+            n_resident,
+            active_threads,
+            hw,
+            self.active
+                .values_mut()
+                .map(|off| (matches!(off.affinity, Affinity::Pinned(_)), &mut off.rate)),
+        );
         self.generation += 1;
         self.record_utilization(now);
     }

@@ -33,10 +33,13 @@ pub mod device;
 pub mod keyed;
 pub mod perf;
 pub mod proc;
+pub mod sharing;
 
 pub use alloc::{CoreAllocator, CoreSet};
 pub use config::PhiConfig;
 pub use device::{Affinity, CommitOutcome, DeviceUtilization, PhiDevice, ProcSlot};
 pub use keyed::KeyedPhiDevice;
 pub use perf::PerfModel;
+pub use phishare_throughput::SharingCurve;
 pub use proc::ProcId;
+pub use sharing::{NaiveSharedDevice, SharedDevice, SharedThroughputDevice};

@@ -119,6 +119,31 @@ impl PerfModel {
         let unmanaged = (1.0 / (oversub * conflict * sharing)).max(self.min_rate);
         (pinned, unmanaged)
     }
+
+    /// Rewrite every active offload's rate from device-wide aggregates —
+    /// the shared reschedule body of both device implementations.
+    ///
+    /// `offloads` yields `(is_pinned, rate_slot)` per active offload; a
+    /// no-op when `n_active == 0` (idle devices keep stale rates, exactly
+    /// as the previous per-device copies did). This is the single entry
+    /// point any degradation-function plumbing must go through.
+    pub fn reshare_rates<'a>(
+        &self,
+        n_active: usize,
+        n_resident: usize,
+        active_threads: u32,
+        hw_threads: u32,
+        offloads: impl Iterator<Item = (bool, &'a mut f64)>,
+    ) {
+        if n_active == 0 {
+            return;
+        }
+        let (rate_pinned, rate_unmanaged) =
+            self.offload_rates(n_active, n_resident, active_threads, hw_threads);
+        for (pinned, rate) in offloads {
+            *rate = if pinned { rate_pinned } else { rate_unmanaged };
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,736 @@
+//! The shared-throughput device: fair sharing under a pluggable
+//! degradation curve, generic over the completion-tracking engine.
+//!
+//! [`SharedDevice`] mirrors [`PhiDevice`](crate::device::PhiDevice)'s
+//! resident/offload lifecycle — declared envelopes, memory commits with
+//! the ascending-id uniform OOM killer, pinned-core disjointness,
+//! time-weighted utilization and the energy model — but replaces the
+//! per-offload rate vector with one *shared* rate from a
+//! [`SharingCurve`]: every active offload runs at the same speed, so a
+//! membership change re-warps the whole population at once instead of
+//! rewriting per-offload state.
+//!
+//! The device is generic over [`SharingEngine`], which is the whole point:
+//! [`SharedThroughputDevice`] (heap-scheduled, O(log n) churn) and
+//! [`NaiveSharedDevice`] (recompute-all oracle) share every line of device
+//! logic, so any observable divergence between them is the engine's fault
+//! — exactly what the differential proptests and the `perf_throughput`
+//! bench gate rely on.
+
+use crate::alloc::CoreSet;
+use crate::config::PhiConfig;
+use crate::device::{Affinity, CommitOutcome, DeviceError, DeviceUtilization, WORK_EPSILON};
+use crate::proc::ProcId;
+use phishare_sim::{Counter, DetRng, SimDuration, SimTime, TimeWeighted};
+use phishare_throughput::{HeapEngine, NaiveEngine, SharingCurve, SharingEngine};
+use std::collections::BTreeMap;
+
+/// The production shared-throughput device: heap-scheduled engine,
+/// O(log n) join/leave/next-completion.
+pub type SharedThroughputDevice = SharedDevice<HeapEngine>;
+
+/// The differential oracle: same device logic over the naive
+/// recompute-all-residents engine.
+pub type NaiveSharedDevice = SharedDevice<NaiveEngine>;
+
+/// Non-work metadata of one active offload (the engine owns the work).
+#[derive(Debug, Clone, Copy)]
+struct ActiveMeta {
+    threads: u32,
+    affinity: Affinity,
+}
+
+/// One resident process.
+#[derive(Debug, Clone)]
+struct SharedEntry {
+    declared_mem_mb: u64,
+    declared_threads: u32,
+    committed_mem_mb: u64,
+    active: Option<ActiveMeta>,
+}
+
+/// A fair-shared accelerator card (Phi-curve or GPU-like), driven by the
+/// same passive event-loop protocol as `PhiDevice`: mutations that can
+/// change the shared rate bump the generation, and completion predictions
+/// are valid only for the generation they were read under.
+#[derive(Debug)]
+pub struct SharedDevice<E: SharingEngine> {
+    cfg: PhiConfig,
+    curve: SharingCurve,
+    engine: E,
+    procs: BTreeMap<ProcId, SharedEntry>,
+    created: SimTime,
+    last_update: SimTime,
+    generation: u64,
+    committed_total: u64,
+    declared_total: u64,
+    declared_threads_total: u32,
+    active_threads_total: u32,
+    n_active: usize,
+    pinned_union: CoreSet,
+    unmanaged_cores: u32,
+    busy_threads: TimeWeighted,
+    busy_cores: TimeWeighted,
+    committed: TimeWeighted,
+    busy_any: TimeWeighted,
+    /// Processes killed by the OOM killer over the device's lifetime.
+    pub oom_kills: Counter,
+    /// Offloads that ran to completion.
+    pub offloads_completed: Counter,
+}
+
+impl<E: SharingEngine> SharedDevice<E> {
+    /// Create a device at simulation time `start`.
+    pub fn new(cfg: PhiConfig, curve: SharingCurve, start: SimTime) -> Self {
+        cfg.validate().expect("invalid device configuration");
+        curve.validate().expect("invalid sharing curve");
+        SharedDevice {
+            cfg,
+            curve,
+            engine: E::new(),
+            procs: BTreeMap::new(),
+            created: start,
+            last_update: start,
+            generation: 0,
+            committed_total: 0,
+            declared_total: 0,
+            declared_threads_total: 0,
+            active_threads_total: 0,
+            n_active: 0,
+            pinned_union: CoreSet::EMPTY,
+            unmanaged_cores: 0,
+            busy_threads: TimeWeighted::new(start),
+            busy_cores: TimeWeighted::new(start),
+            committed: TimeWeighted::new(start),
+            busy_any: TimeWeighted::new(start),
+            oom_kills: Counter::new(),
+            offloads_completed: Counter::new(),
+        }
+    }
+
+    /// The device's static configuration.
+    pub fn config(&self) -> &PhiConfig {
+        &self.cfg
+    }
+
+    /// The degradation curve this card shares under.
+    pub fn curve(&self) -> SharingCurve {
+        self.curve
+    }
+
+    /// Monotone counter bumped whenever the shared rate may have changed.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    // ------------------------------------------------------------------
+    // Process lifecycle
+    // ------------------------------------------------------------------
+
+    /// Attach a COI process with its declared envelope and an initial
+    /// memory commit (which may already trigger the OOM killer).
+    pub fn attach(
+        &mut self,
+        now: SimTime,
+        proc: ProcId,
+        declared_mem_mb: u64,
+        declared_threads: u32,
+        initial_commit_mb: u64,
+        rng: &mut DetRng,
+    ) -> Result<CommitOutcome, DeviceError> {
+        if self.procs.contains_key(&proc) {
+            return Err(DeviceError::AlreadyResident(proc));
+        }
+        self.advance_to(now);
+        self.procs.insert(
+            proc,
+            SharedEntry {
+                declared_mem_mb,
+                declared_threads,
+                committed_mem_mb: 0,
+                active: None,
+            },
+        );
+        self.declared_total += declared_mem_mb;
+        self.declared_threads_total += declared_threads;
+        let outcome = self.commit_memory(now, proc, initial_commit_mb, rng)?;
+        // Residency changed either way (attach, possibly minus OOM
+        // victims): the shared rate must refresh even when the commit fit.
+        self.reschedule(now);
+        Ok(outcome)
+    }
+
+    /// Detach a process, freeing its memory and aborting any active
+    /// offload.
+    pub fn detach(&mut self, now: SimTime, proc: ProcId) -> Result<(), DeviceError> {
+        if !self.procs.contains_key(&proc) {
+            return Err(DeviceError::NotResident(proc));
+        }
+        self.advance_to(now);
+        self.remove_entry(proc);
+        self.reschedule(now);
+        Ok(())
+    }
+
+    /// Set a process's committed memory to `total_mb`. Growing past
+    /// physical memory triggers the OOM killer, which terminates uniformly
+    /// random resident processes (ascending-id draw, exactly like
+    /// `PhiDevice`) until the commit fits.
+    pub fn commit_memory(
+        &mut self,
+        now: SimTime,
+        proc: ProcId,
+        total_mb: u64,
+        rng: &mut DetRng,
+    ) -> Result<CommitOutcome, DeviceError> {
+        let entry = self
+            .procs
+            .get_mut(&proc)
+            .ok_or(DeviceError::NotResident(proc))?;
+        self.committed_total = self.committed_total - entry.committed_mem_mb + total_mb;
+        entry.committed_mem_mb = total_mb;
+        self.advance_to(now);
+        let mut killed = Vec::new();
+        while self.committed_total > self.cfg.usable_mem_mb() {
+            let n = self.procs.len();
+            debug_assert!(n > 0);
+            let victim = *self
+                .procs
+                .keys()
+                .nth(rng.index(n))
+                .expect("resident set is non-empty");
+            self.remove_entry(victim);
+            self.oom_kills.incr();
+            killed.push(victim);
+        }
+        if killed.is_empty() {
+            // Membership did not change, so the shared rate (and every
+            // outstanding completion prediction) stays valid: no
+            // generation bump, only the committed-memory signal moved.
+            self.record_utilization(now);
+            Ok(CommitOutcome::Fits)
+        } else {
+            self.reschedule(now);
+            Ok(CommitOutcome::OomKilled(killed))
+        }
+    }
+
+    /// Remove `proc` from the resident set, the engine and every
+    /// aggregate. Does *not* reschedule; callers decide when the shared
+    /// rate refreshes. Requires the engine already advanced to "now".
+    fn remove_entry(&mut self, proc: ProcId) {
+        let entry = self.procs.remove(&proc).expect("proc is resident");
+        self.declared_total -= entry.declared_mem_mb;
+        self.declared_threads_total -= entry.declared_threads;
+        self.committed_total -= entry.committed_mem_mb;
+        if let Some(meta) = entry.active {
+            self.engine.leave(proc.0);
+            self.retire_active(meta);
+        }
+    }
+
+    /// Deduct one active offload's metadata from the aggregates.
+    fn retire_active(&mut self, meta: ActiveMeta) {
+        self.n_active -= 1;
+        self.active_threads_total -= meta.threads;
+        match meta.affinity {
+            Affinity::Pinned(set) => {
+                self.pinned_union = CoreSet::from_mask(self.pinned_union.mask() & !set.mask());
+            }
+            Affinity::Unmanaged => {
+                self.unmanaged_cores -= self.cfg.cores_for_threads(meta.threads);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Offload lifecycle
+    // ------------------------------------------------------------------
+
+    /// Begin executing an offload of `work` nominal duration using
+    /// `threads` hardware threads for process `proc`.
+    pub fn start_offload(
+        &mut self,
+        now: SimTime,
+        proc: ProcId,
+        threads: u32,
+        work: SimDuration,
+        affinity: Affinity,
+    ) -> Result<(), DeviceError> {
+        let Some(entry) = self.procs.get(&proc) else {
+            return Err(DeviceError::NotResident(proc));
+        };
+        if entry.active.is_some() {
+            return Err(DeviceError::OffloadInProgress(proc));
+        }
+        if let Affinity::Pinned(set) = affinity {
+            if !set.is_disjoint(self.pinned_union) {
+                return Err(DeviceError::CoreOverlap(proc));
+            }
+            self.pinned_union = self.pinned_union.union(set);
+        } else {
+            self.unmanaged_cores += self.cfg.cores_for_threads(threads);
+        }
+        self.advance_to(now);
+        self.n_active += 1;
+        self.active_threads_total += threads;
+        self.engine.join(proc.0, work.ticks() as f64);
+        self.procs
+            .get_mut(&proc)
+            .expect("entry verified resident above")
+            .active = Some(ActiveMeta { threads, affinity });
+        self.reschedule(now);
+        Ok(())
+    }
+
+    /// Complete an offload whose completion event just fired.
+    ///
+    /// # Panics
+    /// Debug-panics if the offload still has more than one tick of work
+    /// left — a stale event the generation guard should have dropped.
+    pub fn finish_offload(&mut self, now: SimTime, proc: ProcId) -> Result<(), DeviceError> {
+        self.advance_to(now);
+        let Some(entry) = self.procs.get_mut(&proc) else {
+            return Err(DeviceError::NoActiveOffload(proc));
+        };
+        let Some(meta) = entry.active.take() else {
+            return Err(DeviceError::NoActiveOffload(proc));
+        };
+        let remaining = self.engine.leave(proc.0);
+        debug_assert!(
+            remaining <= self.engine.rate() + WORK_EPSILON,
+            "finish_offload fired with {:.3} nominal ticks left (rate {:.4}): stale event?",
+            remaining,
+            self.engine.rate()
+        );
+        self.retire_active(meta);
+        self.offloads_completed.incr();
+        self.reschedule(now);
+        Ok(())
+    }
+
+    /// Abort an active offload (job killed or preempted mid-offload).
+    pub fn abort_offload(&mut self, now: SimTime, proc: ProcId) -> Result<(), DeviceError> {
+        let Some(entry) = self.procs.get_mut(&proc) else {
+            return Err(DeviceError::NoActiveOffload(proc));
+        };
+        let Some(meta) = entry.active.take() else {
+            return Err(DeviceError::NoActiveOffload(proc));
+        };
+        self.advance_to(now);
+        self.engine.leave(proc.0);
+        self.retire_active(meta);
+        self.reschedule(now);
+        Ok(())
+    }
+
+    /// MPSS crash/restart: every resident is torn down and every active
+    /// offload aborted, releasing all committed memory. Integrators and
+    /// lifetime counters survive; the generation bumps so outstanding
+    /// predictions go stale. The engine keeps its virtual-time warp — the
+    /// warp is a coordinate system, not device state.
+    pub fn reset(&mut self, now: SimTime) {
+        self.advance_to(now);
+        self.procs.clear();
+        self.engine.clear();
+        self.committed_total = 0;
+        self.declared_total = 0;
+        self.declared_threads_total = 0;
+        self.active_threads_total = 0;
+        self.n_active = 0;
+        self.pinned_union = CoreSet::EMPTY;
+        self.unmanaged_cores = 0;
+        self.reschedule(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Completion predictions
+    // ------------------------------------------------------------------
+
+    /// Predicted completion instants for all active offloads under the
+    /// current shared rate, in ascending [`ProcId`] order.
+    pub fn completions(&self) -> Vec<(ProcId, SimTime)> {
+        let mut v = Vec::new();
+        self.for_each_completion(|proc, at| v.push((proc, at)));
+        v
+    }
+
+    /// Visit every predicted completion in ascending [`ProcId`] order
+    /// without allocating.
+    pub fn for_each_completion(&self, mut f: impl FnMut(ProcId, SimTime)) {
+        let base = self.last_update;
+        self.engine
+            .for_each_completion(|id, ticks| f(ProcId(id), base + SimDuration::from_ticks(ticks)));
+    }
+
+    /// The earliest predicted completion, ties to the lowest [`ProcId`];
+    /// `None` when the device is idle. Valid for the current generation.
+    pub fn next_completion(&self) -> Option<(ProcId, SimTime)> {
+        self.engine.next_completion().map(|(id, ticks)| {
+            (
+                ProcId(id),
+                self.last_update + SimDuration::from_ticks(ticks),
+            )
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Execution integration
+    // ------------------------------------------------------------------
+
+    /// Refresh the shared rate from the degradation curve and bump the
+    /// generation. Callers must have advanced to `now` first.
+    fn reschedule(&mut self, now: SimTime) {
+        debug_assert_eq!(self.last_update, now);
+        if self.n_active > 0 {
+            let rate = self.curve.per_activity_rate(
+                self.n_active,
+                self.procs.len(),
+                self.active_threads_total,
+                self.cfg.hw_threads(),
+            );
+            self.engine.set_rate(rate);
+        }
+        self.generation += 1;
+        self.record_utilization(now);
+    }
+
+    /// Integrate execution progress at the current shared rate from
+    /// `last_update` to `now` — one O(1) virtual-clock update regardless
+    /// of how many offloads are active.
+    fn advance_to(&mut self, now: SimTime) {
+        let dt = now.since(self.last_update).ticks() as f64;
+        if dt > 0.0 {
+            self.engine.advance(dt);
+            self.last_update = now;
+        }
+    }
+
+    fn record_utilization(&mut self, now: SimTime) {
+        let hw = self.cfg.hw_threads();
+        let threads = self.active_threads_total.min(hw) as f64;
+        if threads != self.busy_threads.value() {
+            self.busy_threads.set(now, threads);
+        }
+        let cores = self.busy_core_estimate() as f64;
+        if cores != self.busy_cores.value() {
+            self.busy_cores.set(now, cores);
+        }
+        let committed = self.committed_total as f64;
+        if committed != self.committed.value() {
+            self.committed.set(now, committed);
+        }
+        let busy = if self.n_active == 0 { 0.0 } else { 1.0 };
+        if busy != self.busy_any.value() {
+            self.busy_any.set(now, busy);
+        }
+    }
+
+    /// Estimated busy cores: pinned offloads occupy exactly their sets,
+    /// unmanaged offloads spread over `ceil(threads/threads_per_core)`.
+    fn busy_core_estimate(&self) -> u32 {
+        (self.pinned_union.count() + self.unmanaged_cores).min(self.cfg.cores)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Number of resident COI processes.
+    pub fn resident_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when `proc` is resident.
+    pub fn is_resident(&self, proc: ProcId) -> bool {
+        self.procs.contains_key(&proc)
+    }
+
+    /// True when `proc` has an active offload.
+    pub fn has_active_offload(&self, proc: ProcId) -> bool {
+        self.procs
+            .get(&proc)
+            .is_some_and(|entry| entry.active.is_some())
+    }
+
+    /// Sum of declared memory over residents (MB).
+    pub fn declared_total_mb(&self) -> u64 {
+        self.declared_total
+    }
+
+    /// Declared memory still unbudgeted (MB).
+    pub fn free_declared_mb(&self) -> u64 {
+        self.cfg.usable_mem_mb().saturating_sub(self.declared_total)
+    }
+
+    /// Sum of committed memory over residents (MB).
+    pub fn committed_total_mb(&self) -> u64 {
+        self.committed_total
+    }
+
+    /// Sum of declared threads over residents.
+    pub fn declared_threads(&self) -> u32 {
+        self.declared_threads_total
+    }
+
+    /// Thread sum over active offloads.
+    pub fn active_threads(&self) -> u32 {
+        self.active_threads_total
+    }
+
+    /// Number of active offloads.
+    pub fn active_offloads(&self) -> usize {
+        self.n_active
+    }
+
+    /// Energy consumed from creation through `end`, joules (same model as
+    /// `PhiDevice`: idle draw plus busy-core fraction toward max draw).
+    pub fn energy_joules(&self, end: SimTime) -> f64 {
+        let elapsed = end.since(self.created).as_secs_f64();
+        let busy_core_seconds = self.busy_cores.integral(end);
+        self.cfg.idle_watts * elapsed
+            + (self.cfg.max_watts - self.cfg.idle_watts) * busy_core_seconds / self.cfg.cores as f64
+    }
+
+    /// Time-integrated utilization from device creation through `end`.
+    pub fn utilization(&self, end: SimTime) -> DeviceUtilization {
+        let hw = self.cfg.hw_threads() as f64;
+        let cores = self.cfg.cores as f64;
+        let mem = self.cfg.usable_mem_mb() as f64;
+        DeviceUtilization {
+            thread_util: self.busy_threads.time_average(end) / hw,
+            core_util: self.busy_cores.time_average(end) / cores,
+            mem_util: self.committed.time_average(end) / mem,
+            busy_fraction: self.busy_any.time_average(end),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (SharedThroughputDevice, NaiveSharedDevice) {
+        (
+            SharedDevice::new(PhiConfig::default(), SharingCurve::phi(), SimTime::ZERO),
+            SharedDevice::new(PhiConfig::default(), SharingCurve::phi(), SimTime::ZERO),
+        )
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn assert_devices_identical(h: &SharedThroughputDevice, n: &NaiveSharedDevice, end: SimTime) {
+        assert_eq!(h.generation(), n.generation());
+        assert_eq!(h.resident_count(), n.resident_count());
+        assert_eq!(h.active_offloads(), n.active_offloads());
+        assert_eq!(h.committed_total_mb(), n.committed_total_mb());
+        assert_eq!(h.next_completion(), n.next_completion());
+        assert_eq!(h.completions(), n.completions());
+        assert_eq!(
+            h.energy_joules(end).to_bits(),
+            n.energy_joules(end).to_bits()
+        );
+        let hu = h.utilization(end);
+        let nu = n.utilization(end);
+        assert_eq!(hu.thread_util.to_bits(), nu.thread_util.to_bits());
+        assert_eq!(hu.core_util.to_bits(), nu.core_util.to_bits());
+        assert_eq!(hu.mem_util.to_bits(), nu.mem_util.to_bits());
+        assert_eq!(hu.busy_fraction.to_bits(), nu.busy_fraction.to_bits());
+    }
+
+    #[test]
+    fn solo_offload_completes_at_nominal_time() {
+        let (mut h, mut n) = pair();
+        let mut r1 = DetRng::from_seed(1);
+        let mut r2 = DetRng::from_seed(1);
+        h.attach(t(0), ProcId(1), 1000, 240, 500, &mut r1).unwrap();
+        n.attach(t(0), ProcId(1), 1000, 240, 500, &mut r2).unwrap();
+        h.start_offload(
+            t(0),
+            ProcId(1),
+            240,
+            SimDuration::from_secs(10),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
+        n.start_offload(
+            t(0),
+            ProcId(1),
+            240,
+            SimDuration::from_secs(10),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
+        assert_eq!(h.next_completion(), Some((ProcId(1), t(10))));
+        assert_devices_identical(&h, &n, t(10));
+        h.finish_offload(t(10), ProcId(1)).unwrap();
+        n.finish_offload(t(10), ProcId(1)).unwrap();
+        assert_eq!(h.active_offloads(), 0);
+        assert_eq!(h.offloads_completed.get(), 1);
+        assert_devices_identical(&h, &n, t(10));
+    }
+
+    #[test]
+    fn oversubscribed_offloads_share_one_degraded_rate() {
+        let mut d: SharedThroughputDevice =
+            SharedDevice::new(PhiConfig::default(), SharingCurve::phi(), SimTime::ZERO);
+        let mut r = DetRng::from_seed(1);
+        for p in 1..=2 {
+            d.attach(t(0), ProcId(p), 1000, 240, 100, &mut r).unwrap();
+            d.start_offload(
+                t(0),
+                ProcId(p),
+                240,
+                SimDuration::from_secs(10),
+                Affinity::Unmanaged,
+            )
+            .unwrap();
+        }
+        // 480 threads on 240 hw threads → load 2 → rate 1/8: 10 s of
+        // nominal work finishes at 80 s, both offloads alike.
+        let comps = d.completions();
+        assert_eq!(comps, vec![(ProcId(1), t(80)), (ProcId(2), t(80))]);
+        assert_eq!(d.next_completion(), Some((ProcId(1), t(80))));
+    }
+
+    #[test]
+    fn gpu_like_device_ignores_thread_oversubscription() {
+        let mut d: SharedThroughputDevice = SharedDevice::new(
+            PhiConfig::gpu_like(),
+            SharingCurve::gpu_like(),
+            SimTime::ZERO,
+        );
+        let mut r = DetRng::from_seed(1);
+        // Two kernels whose thread sum would crush a Phi run at full rate
+        // on the GPU-like card (32-kernel saturation point).
+        for p in 1..=2 {
+            d.attach(t(0), ProcId(p), 1000, 2000, 100, &mut r).unwrap();
+            d.start_offload(
+                t(0),
+                ProcId(p),
+                2000,
+                SimDuration::from_secs(10),
+                Affinity::Unmanaged,
+            )
+            .unwrap();
+        }
+        assert_eq!(d.next_completion(), Some((ProcId(1), t(10))));
+    }
+
+    #[test]
+    fn oom_killer_draws_ascending_id_victims_identically() {
+        let (mut h, mut n) = pair();
+        let mut r1 = DetRng::from_seed(42);
+        let mut r2 = DetRng::from_seed(42);
+        let usable = PhiConfig::default().usable_mem_mb();
+        for p in 1..=4 {
+            h.attach(t(0), ProcId(p), 100, 60, usable / 4, &mut r1)
+                .unwrap();
+            n.attach(t(0), ProcId(p), 100, 60, usable / 4, &mut r2)
+                .unwrap();
+        }
+        // Push proc 4 over the edge; both devices must kill the same
+        // victims in the same order.
+        let oh = h.commit_memory(t(1), ProcId(4), usable, &mut r1).unwrap();
+        let on = n.commit_memory(t(1), ProcId(4), usable, &mut r2).unwrap();
+        assert_eq!(oh, on);
+        assert!(matches!(oh, CommitOutcome::OomKilled(ref v) if !v.is_empty()));
+        assert_eq!(h.oom_kills.get(), n.oom_kills.get());
+        assert_devices_identical(&h, &n, t(1));
+    }
+
+    #[test]
+    fn reset_aborts_everything_but_keeps_counters() {
+        let (mut h, mut n) = pair();
+        let mut r1 = DetRng::from_seed(3);
+        let mut r2 = DetRng::from_seed(3);
+        for p in 1..=3 {
+            h.attach(t(0), ProcId(p), 500, 120, 200, &mut r1).unwrap();
+            n.attach(t(0), ProcId(p), 500, 120, 200, &mut r2).unwrap();
+            h.start_offload(
+                t(0),
+                ProcId(p),
+                120,
+                SimDuration::from_secs(30),
+                Affinity::Unmanaged,
+            )
+            .unwrap();
+            n.start_offload(
+                t(0),
+                ProcId(p),
+                120,
+                SimDuration::from_secs(30),
+                Affinity::Unmanaged,
+            )
+            .unwrap();
+        }
+        h.reset(t(5));
+        n.reset(t(5));
+        assert_eq!(h.resident_count(), 0);
+        assert_eq!(h.next_completion(), None);
+        assert_devices_identical(&h, &n, t(5));
+        // The card is usable again after the crash, and the virtual-time
+        // warp carried across the reset does not skew new predictions.
+        h.attach(t(6), ProcId(9), 500, 120, 100, &mut r1).unwrap();
+        n.attach(t(6), ProcId(9), 500, 120, 100, &mut r2).unwrap();
+        h.start_offload(
+            t(6),
+            ProcId(9),
+            120,
+            SimDuration::from_secs(7),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
+        n.start_offload(
+            t(6),
+            ProcId(9),
+            120,
+            SimDuration::from_secs(7),
+            Affinity::Unmanaged,
+        )
+        .unwrap();
+        assert_eq!(h.next_completion(), Some((ProcId(9), t(13))));
+        assert_devices_identical(&h, &n, t(13));
+    }
+
+    #[test]
+    fn pinned_overlap_rejected_and_disjoint_sets_coexist() {
+        let mut d: SharedThroughputDevice =
+            SharedDevice::new(PhiConfig::default(), SharingCurve::phi(), SimTime::ZERO);
+        let mut r = DetRng::from_seed(1);
+        let a = CoreSet::contiguous(0, 10);
+        let b = CoreSet::contiguous(5, 10);
+        let c = CoreSet::contiguous(10, 10);
+        d.attach(t(0), ProcId(1), 100, 40, 0, &mut r).unwrap();
+        d.attach(t(0), ProcId(2), 100, 40, 0, &mut r).unwrap();
+        d.start_offload(
+            t(0),
+            ProcId(1),
+            40,
+            SimDuration::from_secs(5),
+            Affinity::Pinned(a),
+        )
+        .unwrap();
+        assert_eq!(
+            d.start_offload(
+                t(0),
+                ProcId(2),
+                40,
+                SimDuration::from_secs(5),
+                Affinity::Pinned(b)
+            ),
+            Err(DeviceError::CoreOverlap(ProcId(2)))
+        );
+        d.start_offload(
+            t(0),
+            ProcId(2),
+            40,
+            SimDuration::from_secs(5),
+            Affinity::Pinned(c),
+        )
+        .unwrap();
+        assert_eq!(d.active_offloads(), 2);
+    }
+}

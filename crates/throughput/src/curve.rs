@@ -1,0 +1,227 @@
+//! Degradation curves: total-throughput models for shared accelerators.
+//!
+//! A curve maps device-wide aggregates (active offloads, resident
+//! processes, active thread sum, hardware threads) to the rate each
+//! active offload runs at under fair sharing. The curve is the *only*
+//! SKU-specific part of the shared-throughput device model: a Phi-style
+//! card degrades through thread oversubscription and resident bandwidth
+//! contention, a GPU-style card has no hardware-thread cap and degrades
+//! only once concurrent kernels exceed its SM saturation point.
+
+use serde::{Deserialize, Serialize};
+
+/// How a shared device's per-activity rate degrades with load.
+///
+/// All activities on a shared-throughput device run at one common rate
+/// (fair sharing); affinity is an admission concern, not a rate concern.
+/// Every variant floors its rate at `min_rate` so pathological loads can
+/// never stall the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SharingCurve {
+    /// Xeon-Phi-shaped degradation: superlinear slowdown once the active
+    /// thread sum oversubscribes the hardware threads (`load^κ`, §II-C),
+    /// plus quadratic bandwidth contention from resident processes beyond
+    /// a knee (PCIe/DMA, ring interconnect, COI daemons).
+    Phi {
+        /// Exponent κ of the oversubscription slowdown `load^κ` (load > 1).
+        oversub_exponent: f64,
+        /// Quadratic per-excess-resident bandwidth penalty.
+        resident_penalty: f64,
+        /// Resident count up to which sharing is contention-free.
+        resident_knee: u32,
+        /// Floor on the per-activity rate.
+        min_rate: f64,
+    },
+    /// GPU-shaped degradation: **no hardware-thread cap** — the thread sum
+    /// never oversubscribes. Throughput is flat until the number of
+    /// concurrently active kernels exceeds the SM saturation point, then
+    /// degrades as `(n_active / saturation)^tail`.
+    GpuLike {
+        /// Concurrent kernels the SMs absorb at full rate.
+        saturation: u32,
+        /// Exponent of the past-saturation slowdown.
+        tail_exponent: f64,
+        /// Floor on the per-activity rate.
+        min_rate: f64,
+    },
+}
+
+impl Default for SharingCurve {
+    fn default() -> Self {
+        SharingCurve::phi()
+    }
+}
+
+impl SharingCurve {
+    /// The Phi curve with the workspace's calibrated defaults (κ = 3 for
+    /// the ~800 % oversubscription cost, knee of 4 residents).
+    pub fn phi() -> Self {
+        SharingCurve::Phi {
+            oversub_exponent: 3.0,
+            resident_penalty: 0.007,
+            resident_knee: 4,
+            min_rate: 1e-3,
+        }
+    }
+
+    /// A GPU-like curve: 32 concurrent kernels at full rate, linear decay
+    /// beyond.
+    pub fn gpu_like() -> Self {
+        SharingCurve::GpuLike {
+            saturation: 32,
+            tail_exponent: 1.0,
+            min_rate: 1e-3,
+        }
+    }
+
+    /// The rate every active offload runs at under this curve.
+    ///
+    /// * `n_active` — offloads currently executing (≥ 1);
+    /// * `n_resident` — processes resident on the device;
+    /// * `active_threads` — the active offloads' thread sum;
+    /// * `hw_threads` — the device's hardware-thread count.
+    pub fn per_activity_rate(
+        &self,
+        n_active: usize,
+        n_resident: usize,
+        active_threads: u32,
+        hw_threads: u32,
+    ) -> f64 {
+        debug_assert!(n_active >= 1);
+        match *self {
+            SharingCurve::Phi {
+                oversub_exponent,
+                resident_penalty,
+                resident_knee,
+                min_rate,
+            } => {
+                debug_assert!(hw_threads > 0);
+                let load = active_threads as f64 / hw_threads as f64;
+                let oversub = if load <= 1.0 {
+                    1.0
+                } else {
+                    load.powf(oversub_exponent)
+                };
+                let excess = n_resident.saturating_sub(resident_knee as usize) as f64;
+                let sharing = 1.0 + resident_penalty * excess * excess;
+                (1.0 / (oversub * sharing)).max(min_rate)
+            }
+            SharingCurve::GpuLike {
+                saturation,
+                tail_exponent,
+                min_rate,
+            } => {
+                let crowd = n_active as f64 / saturation.max(1) as f64;
+                let slowdown = if crowd <= 1.0 {
+                    1.0
+                } else {
+                    crowd.powf(tail_exponent)
+                };
+                (1.0 / slowdown).max(min_rate)
+            }
+        }
+    }
+
+    /// Validate curve parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            SharingCurve::Phi {
+                oversub_exponent,
+                resident_penalty,
+                min_rate,
+                ..
+            } => {
+                if !(oversub_exponent.is_finite() && oversub_exponent >= 0.0) {
+                    return Err("Phi curve needs a finite non-negative exponent".into());
+                }
+                if !(resident_penalty.is_finite() && resident_penalty >= 0.0) {
+                    return Err("Phi curve needs a finite non-negative resident penalty".into());
+                }
+                if !(min_rate.is_finite() && min_rate > 0.0) {
+                    return Err("Phi curve needs a positive min_rate".into());
+                }
+            }
+            SharingCurve::GpuLike {
+                saturation,
+                tail_exponent,
+                min_rate,
+            } => {
+                if saturation == 0 {
+                    return Err("GpuLike curve needs a positive saturation".into());
+                }
+                if !(tail_exponent.is_finite() && tail_exponent >= 0.0) {
+                    return Err("GpuLike curve needs a finite non-negative tail exponent".into());
+                }
+                if !(min_rate.is_finite() && min_rate > 0.0) {
+                    return Err("GpuLike curve needs a positive min_rate".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_curve_matches_oversubscription_calibration() {
+        let c = SharingCurve::phi();
+        // At or under hardware capacity, below the knee: full rate.
+        assert_eq!(c.per_activity_rate(1, 1, 240, 240), 1.0);
+        assert_eq!(c.per_activity_rate(4, 4, 240, 240), 1.0);
+        // 2× thread load → ~8× slowdown (κ = 3).
+        assert!((c.per_activity_rate(2, 2, 480, 240) - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_curve_penalizes_residents_past_knee() {
+        let c = SharingCurve::phi();
+        let expected = 1.0 / (1.0 + 0.007 * 16.0);
+        assert!((c.per_activity_rate(1, 8, 120, 240) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_curve_ignores_thread_load() {
+        let c = SharingCurve::gpu_like();
+        // Thread sums far past any Phi budget stay at full rate.
+        assert_eq!(c.per_activity_rate(8, 8, 50_000, 240), 1.0);
+        // Degradation starts only past kernel saturation.
+        assert_eq!(c.per_activity_rate(32, 32, 0, 240), 1.0);
+        assert!((c.per_activity_rate(64, 64, 0, 240) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_never_drop_below_floor() {
+        for c in [SharingCurve::phi(), SharingCurve::gpu_like()] {
+            let r = c.per_activity_rate(10_000, 10_000, 10_000_000, 240);
+            assert!(r >= 1e-3);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_curves() {
+        let bad = SharingCurve::Phi {
+            oversub_exponent: f64::NAN,
+            resident_penalty: 0.0,
+            resident_knee: 0,
+            min_rate: 1e-3,
+        };
+        assert!(bad.validate().is_err());
+        let bad = SharingCurve::GpuLike {
+            saturation: 0,
+            tail_exponent: 1.0,
+            min_rate: 1e-3,
+        };
+        assert!(bad.validate().is_err());
+        let bad = SharingCurve::GpuLike {
+            saturation: 8,
+            tail_exponent: 1.0,
+            min_rate: 0.0,
+        };
+        assert!(bad.validate().is_err());
+        assert!(SharingCurve::phi().validate().is_ok());
+        assert!(SharingCurve::gpu_like().validate().is_ok());
+    }
+}

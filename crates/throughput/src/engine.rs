@@ -1,0 +1,532 @@
+//! The sharing engines: virtual-time activity sets with heap-scheduled
+//! (fast) and recompute-all (oracle) completion tracking.
+//!
+//! Both engines share one representation — a global virtual clock `v`, a
+//! common `rate`, and a fixed virtual finish mark `fin = v_join + work`
+//! per activity — and one tick formula ([`ticks_until`]). They differ
+//! *only* in bookkeeping:
+//!
+//! * [`HeapEngine`] keeps activities in an indexed binary min-heap keyed
+//!   by `(fin, id)`. `advance` is O(1) (the time warp), `join`/`leave`
+//!   are O(log n), `next_completion` reads the root and resolves
+//!   same-tick ties with a pruned DFS over the (downward-closed) tie
+//!   region.
+//! * [`NaiveEngine`] rematerializes every activity's predicted completion
+//!   tick on **every mutation** — join, leave, rate change and advance
+//!   all pay O(n), exactly the recompute-all-residents cost the fast
+//!   algorithm removes. Do not optimize it: its cost model *is* the
+//!   `perf_throughput` gate's floor.
+//!
+//! The identical-expression discipline makes the two engines
+//! bit-identical, which the crate's differential proptests assert over
+//! randomized churn.
+
+use std::collections::BTreeMap;
+
+/// Ticks until an activity with virtual finish mark `fin` completes, when
+/// the virtual clock reads `v` and advances at `rate` per wall tick.
+///
+/// This is the **single** completion formula both engines evaluate; the
+/// `max(0.0)` clamp keeps remaining work non-negative even after the
+/// clock overshoots a finish mark (completion events fire on whole-tick
+/// boundaries, so a small overshoot is normal).
+#[inline]
+pub fn ticks_until(fin: f64, v: f64, rate: f64) -> u64 {
+    ((fin - v).max(0.0) / rate).ceil().max(0.0) as u64
+}
+
+/// A fair-shared activity set under a common, externally-set rate.
+///
+/// The owner (a shared device model) is responsible for ordering:
+/// `advance` to the current instant *before* any `set_rate`, `join` or
+/// `leave`, mirroring the device models' advance-then-reschedule
+/// discipline. Activity ids must be unique while joined.
+pub trait SharingEngine: std::fmt::Debug {
+    /// Fresh, empty engine at virtual time zero with unit rate.
+    fn new() -> Self;
+
+    /// Advance the virtual clock by `dt` wall ticks at the current rate.
+    fn advance(&mut self, dt: f64);
+
+    /// Replace the shared per-activity rate (the degradation curve's
+    /// output). Callers must have advanced to the current instant first.
+    fn set_rate(&mut self, rate: f64);
+
+    /// The current shared per-activity rate.
+    fn rate(&self) -> f64;
+
+    /// Add an activity with `work` nominal ticks of remaining work.
+    ///
+    /// # Panics
+    /// Panics if `id` is already joined.
+    fn join(&mut self, id: u64, work: f64);
+
+    /// Remove an activity, returning its remaining work (≥ 0).
+    ///
+    /// # Panics
+    /// Panics if `id` is not joined.
+    fn leave(&mut self, id: u64) -> f64;
+
+    /// Remaining work of a joined activity (≥ 0), `None` otherwise.
+    fn remaining(&self, id: u64) -> Option<f64>;
+
+    /// Whether `id` is currently joined.
+    fn contains(&self, id: u64) -> bool;
+
+    /// Number of joined activities.
+    fn len(&self) -> usize;
+
+    /// True when no activity is joined.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every activity (device reset). The virtual clock and rate are
+    /// left untouched — the warp continues for future tenants.
+    fn clear(&mut self);
+
+    /// The earliest predicted completion as `(id, ticks-from-now)`; ties
+    /// on the tick go to the smallest id. `None` when empty.
+    fn next_completion(&self) -> Option<(u64, u64)>;
+
+    /// Visit every activity's predicted completion in ascending-id order.
+    fn for_each_completion(&self, f: impl FnMut(u64, u64));
+}
+
+// ---------------------------------------------------------------------
+// Naive oracle
+// ---------------------------------------------------------------------
+
+/// The recompute-all-residents oracle.
+///
+/// Every mutation rebuilds the full prediction table — the O(n) cost a
+/// per-resident rate rewrite pays in a conventional sharing model. Kept
+/// deliberately naive as the differential oracle and the
+/// `perf_throughput` gate's cost floor (see module docs).
+#[derive(Debug)]
+pub struct NaiveEngine {
+    v: f64,
+    rate: f64,
+    /// Activity id → virtual finish mark, ascending id.
+    fins: BTreeMap<u64, f64>,
+    /// Materialized predictions `(id, ticks)`, ascending id — rebuilt in
+    /// full on every mutation.
+    predicted: Vec<(u64, u64)>,
+}
+
+impl NaiveEngine {
+    /// Rebuild the whole prediction table (the honest O(n) reshare).
+    fn rematerialize(&mut self) {
+        self.predicted.clear();
+        for (&id, &fin) in &self.fins {
+            self.predicted
+                .push((id, ticks_until(fin, self.v, self.rate)));
+        }
+    }
+}
+
+impl SharingEngine for NaiveEngine {
+    fn new() -> Self {
+        NaiveEngine {
+            v: 0.0,
+            rate: 1.0,
+            fins: BTreeMap::new(),
+            predicted: Vec::new(),
+        }
+    }
+
+    fn advance(&mut self, dt: f64) {
+        self.v += self.rate * dt;
+        self.rematerialize();
+    }
+
+    fn set_rate(&mut self, rate: f64) {
+        self.rate = rate;
+        self.rematerialize();
+    }
+
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn join(&mut self, id: u64, work: f64) {
+        let fin = self.v + work;
+        assert!(
+            self.fins.insert(id, fin).is_none(),
+            "activity {id} joined twice"
+        );
+        self.rematerialize();
+    }
+
+    fn leave(&mut self, id: u64) -> f64 {
+        let fin = self.fins.remove(&id).expect("leaving activity is joined");
+        self.rematerialize();
+        (fin - self.v).max(0.0)
+    }
+
+    fn remaining(&self, id: u64) -> Option<f64> {
+        self.fins.get(&id).map(|fin| (fin - self.v).max(0.0))
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        self.fins.contains_key(&id)
+    }
+
+    fn len(&self) -> usize {
+        self.fins.len()
+    }
+
+    fn clear(&mut self) {
+        self.fins.clear();
+        self.predicted.clear();
+    }
+
+    fn next_completion(&self) -> Option<(u64, u64)> {
+        // Linear min-scan over the materialized table; ascending-id
+        // iteration makes "ties to the smallest id" a strict `<`.
+        let mut best: Option<(u64, u64)> = None;
+        for &(id, ticks) in &self.predicted {
+            if best.map(|(_, bt)| ticks < bt).unwrap_or(true) {
+                best = Some((id, ticks));
+            }
+        }
+        best
+    }
+
+    fn for_each_completion(&self, mut f: impl FnMut(u64, u64)) {
+        for &(id, ticks) in &self.predicted {
+            f(id, ticks);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heap-scheduled fast engine
+// ---------------------------------------------------------------------
+
+/// One heap slot: an activity's fixed finish mark and id.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    fin: f64,
+    id: u64,
+}
+
+impl Entry {
+    /// Strict heap order by `(fin, id)`. Total: ids are unique and fins
+    /// are finite.
+    #[inline]
+    fn before(&self, other: &Entry) -> bool {
+        self.fin < other.fin || (self.fin == other.fin && self.id < other.id)
+    }
+}
+
+/// The heap-scheduled fast engine.
+///
+/// An indexed binary min-heap over `(fin, id)` plus an id → slot position
+/// map. Rescaling on membership change is the global time warp (`v`,
+/// `rate`) — no per-activity state is ever rewritten after join.
+#[derive(Debug)]
+pub struct HeapEngine {
+    v: f64,
+    rate: f64,
+    heap: Vec<Entry>,
+    /// id → current heap index; also serves ascending-id iteration for
+    /// [`SharingEngine::for_each_completion`].
+    pos: BTreeMap<u64, usize>,
+}
+
+impl HeapEngine {
+    /// Move the entry at `i` toward the root while it precedes its parent.
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].before(&self.heap[parent]) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Move the entry at `i` toward the leaves while a child precedes it.
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let mut smallest = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < self.heap.len() && self.heap[child].before(&self.heap[smallest]) {
+                    smallest = child;
+                }
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    /// Swap two heap slots, keeping the position index coherent.
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos.insert(self.heap[a].id, a);
+        self.pos.insert(self.heap[b].id, b);
+    }
+
+    /// Min-id within the same-tick tie region containing the root.
+    ///
+    /// `ticks_until` is monotone in `fin`, so the set of entries whose
+    /// tick equals the root's is downward-closed toward the root: a DFS
+    /// can prune every subtree whose head already ticks later. O(ties).
+    fn tie_min_id(&self, i: usize, tick: u64, best: &mut u64) {
+        let e = &self.heap[i];
+        if ticks_until(e.fin, self.v, self.rate) > tick {
+            return;
+        }
+        if e.id < *best {
+            *best = e.id;
+        }
+        let left = 2 * i + 1;
+        if left < self.heap.len() {
+            self.tie_min_id(left, tick, best);
+        }
+        let right = 2 * i + 2;
+        if right < self.heap.len() {
+            self.tie_min_id(right, tick, best);
+        }
+    }
+}
+
+impl SharingEngine for HeapEngine {
+    fn new() -> Self {
+        HeapEngine {
+            v: 0.0,
+            rate: 1.0,
+            heap: Vec::new(),
+            pos: BTreeMap::new(),
+        }
+    }
+
+    fn advance(&mut self, dt: f64) {
+        // The whole population progresses in one update: the time warp.
+        self.v += self.rate * dt;
+    }
+
+    fn set_rate(&mut self, rate: f64) {
+        // Heap order is by `fin`, which a rate change does not touch.
+        self.rate = rate;
+    }
+
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn join(&mut self, id: u64, work: f64) {
+        let fin = self.v + work;
+        let i = self.heap.len();
+        self.heap.push(Entry { fin, id });
+        assert!(
+            self.pos.insert(id, i).is_none(),
+            "activity {id} joined twice"
+        );
+        self.sift_up(i);
+    }
+
+    fn leave(&mut self, id: u64) -> f64 {
+        let i = self.pos.remove(&id).expect("leaving activity is joined");
+        let fin = self.heap[i].fin;
+        let last = self.heap.len() - 1;
+        if i != last {
+            self.heap.swap(i, last);
+            self.pos.insert(self.heap[i].id, i);
+        }
+        self.heap.pop();
+        if i < self.heap.len() {
+            // The transplanted entry may violate either direction.
+            self.sift_down(i);
+            self.sift_up(i);
+        }
+        (fin - self.v).max(0.0)
+    }
+
+    fn remaining(&self, id: u64) -> Option<f64> {
+        self.pos
+            .get(&id)
+            .map(|&i| (self.heap[i].fin - self.v).max(0.0))
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        self.pos.contains_key(&id)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn clear(&mut self) {
+        self.heap.clear();
+        self.pos.clear();
+    }
+
+    fn next_completion(&self) -> Option<(u64, u64)> {
+        let root = self.heap.first()?;
+        let tick = ticks_until(root.fin, self.v, self.rate);
+        // Distinct fins can round to the same tick; resolve the tie to
+        // the smallest id so both engines (and both event-scheduling
+        // schemes upstream) pick the same winner.
+        let mut best = root.id;
+        self.tie_min_id(0, tick, &mut best);
+        Some((best, tick))
+    }
+
+    fn for_each_completion(&self, mut f: impl FnMut(u64, u64)) {
+        for (&id, &i) in &self.pos {
+            f(id, ticks_until(self.heap[i].fin, self.v, self.rate));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both() -> (HeapEngine, NaiveEngine) {
+        (HeapEngine::new(), NaiveEngine::new())
+    }
+
+    /// Assert the two engines agree bit-for-bit on every observable.
+    fn assert_identical(h: &HeapEngine, n: &NaiveEngine, ids: &[u64]) {
+        assert_eq!(h.len(), n.len());
+        assert_eq!(h.next_completion(), n.next_completion());
+        let mut hv = Vec::new();
+        let mut nv = Vec::new();
+        h.for_each_completion(|id, t| hv.push((id, t)));
+        n.for_each_completion(|id, t| nv.push((id, t)));
+        assert_eq!(hv, nv);
+        for &id in ids {
+            match (h.remaining(id), n.remaining(id)) {
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn solo_activity_completes_at_nominal_ticks() {
+        let (mut h, mut n) = both();
+        h.join(7, 1000.0);
+        n.join(7, 1000.0);
+        assert_eq!(h.next_completion(), Some((7, 1000)));
+        assert_eq!(n.next_completion(), Some((7, 1000)));
+        h.advance(1000.0);
+        n.advance(1000.0);
+        assert_eq!(h.leave(7).to_bits(), 0.0f64.to_bits());
+        assert_eq!(n.leave(7).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn rate_change_warps_everyone_at_once() {
+        let (mut h, mut n) = both();
+        for id in 0..4u64 {
+            h.join(id, 100.0 * (id + 1) as f64);
+            n.join(id, 100.0 * (id + 1) as f64);
+        }
+        h.advance(50.0);
+        n.advance(50.0);
+        h.set_rate(0.5);
+        n.set_rate(0.5);
+        // Activity 0: 50 nominal ticks left at rate ½ → 100 wall ticks.
+        assert_eq!(h.next_completion(), Some((0, 100)));
+        assert_identical(&h, &n, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_resolve_to_smallest_id() {
+        let (mut h, mut n) = both();
+        // Joined in descending id order so heap structure can't cheat.
+        for id in (0..8u64).rev() {
+            h.join(id, 100.0);
+            n.join(id, 100.0);
+        }
+        assert_eq!(h.next_completion(), Some((0, 100)));
+        assert_eq!(n.next_completion(), Some((0, 100)));
+        // Distinct fins rounding to the same tick still tie on the tick.
+        let (mut h2, mut n2) = both();
+        h2.set_rate(1.0);
+        n2.set_rate(1.0);
+        h2.join(5, 99.2);
+        n2.join(5, 99.2);
+        h2.join(2, 99.7);
+        n2.join(2, 99.7);
+        // Both ceil to 100 ticks → id 2 wins.
+        assert_eq!(h2.next_completion(), Some((2, 100)));
+        assert_eq!(n2.next_completion(), Some((2, 100)));
+    }
+
+    #[test]
+    fn leave_from_the_middle_keeps_heap_coherent() {
+        let (mut h, mut n) = both();
+        let works = [500.0, 100.0, 300.0, 200.0, 400.0, 50.0, 250.0];
+        for (id, &w) in works.iter().enumerate() {
+            h.join(id as u64, w);
+            n.join(id as u64, w);
+        }
+        let gone = h.leave(2);
+        assert_eq!(gone.to_bits(), n.leave(2).to_bits());
+        assert_identical(&h, &n, &[0, 1, 3, 4, 5, 6]);
+        h.advance(60.0);
+        n.advance(60.0);
+        assert_eq!(h.next_completion(), n.next_completion());
+        // 5 had 50 ticks of work; it is done (and clamped, not negative).
+        assert_eq!(h.next_completion().unwrap().0, 5);
+        assert_eq!(h.remaining(5), Some(0.0));
+    }
+
+    #[test]
+    fn clear_drops_activities_but_keeps_the_warp() {
+        let (mut h, mut n) = both();
+        h.join(1, 100.0);
+        n.join(1, 100.0);
+        h.advance(40.0);
+        n.advance(40.0);
+        h.clear();
+        n.clear();
+        assert!(h.is_empty() && n.is_empty());
+        assert_eq!(h.next_completion(), None);
+        assert_eq!(n.next_completion(), None);
+        h.join(2, 10.0);
+        n.join(2, 10.0);
+        assert_eq!(h.next_completion(), Some((2, 10)));
+        assert_identical(&h, &n, &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "joined twice")]
+    fn double_join_panics() {
+        let mut h = HeapEngine::new();
+        h.join(1, 10.0);
+        h.join(1, 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is joined")]
+    fn leaving_unknown_activity_panics() {
+        let mut h = HeapEngine::new();
+        h.leave(9);
+    }
+
+    #[test]
+    fn remaining_is_never_negative_after_overshoot() {
+        let (mut h, mut n) = both();
+        h.join(3, 10.4);
+        n.join(3, 10.4);
+        // Completion fires at ceil(10.4) = 11 ticks; the clock overshoots
+        // the finish mark by 0.6 nominal ticks.
+        h.advance(11.0);
+        n.advance(11.0);
+        assert_eq!(h.remaining(3), Some(0.0));
+        assert_eq!(n.remaining(3), Some(0.0));
+        assert_eq!(h.leave(3), 0.0);
+        assert_eq!(n.leave(3), 0.0);
+    }
+}

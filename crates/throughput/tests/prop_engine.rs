@@ -1,0 +1,133 @@
+//! Differential proptests: the heap-scheduled fast engine against the
+//! naive recompute-all oracle under randomized membership churn.
+//!
+//! Because both engines share the `(v, rate, fin)` representation and the
+//! [`phishare_throughput::ticks_until`] formula, every observable —
+//! next-completion `(id, tick)` pairs, the full per-activity prediction
+//! table, remaining work down to the bit pattern — must be *exactly*
+//! equal, not merely close. Any divergence means the heap's bookkeeping
+//! (sift, transplant, tie scan) dropped or duplicated an activity.
+
+use phishare_throughput::{HeapEngine, NaiveEngine, SharingEngine};
+use proptest::prelude::*;
+
+/// One churn step against both engines.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Join a fresh activity with this many nominal ticks of work.
+    Join(f64),
+    /// Leave the k-th live activity (mod population), if any.
+    Leave(usize),
+    /// Replace the shared rate.
+    SetRate(f64),
+    /// Advance the wall clock.
+    Advance(f64),
+    /// Drop everything (device reset).
+    Clear,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1.0f64..50_000.0).prop_map(Op::Join),
+        3 => (0usize..64).prop_map(Op::Leave),
+        2 => (0.01f64..4.0).prop_map(Op::SetRate),
+        3 => (0.0f64..10_000.0).prop_map(Op::Advance),
+        1 => Just(Op::Clear),
+    ]
+}
+
+/// Ids currently joined, ascending — read off the oracle's table.
+fn live_ids(n: &NaiveEngine) -> Vec<u64> {
+    let mut ids = Vec::new();
+    n.for_each_completion(|id, _| ids.push(id));
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Randomized join/leave/rate-change/advance churn: bit-identical
+    /// completion timelines and never-negative remaining work.
+    #[test]
+    fn heap_engine_is_bit_identical_to_naive_oracle(
+        ops in prop::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut heap = HeapEngine::new();
+        let mut naive = NaiveEngine::new();
+        let mut next_id = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Join(work) => {
+                    heap.join(next_id, work);
+                    naive.join(next_id, work);
+                    next_id += 1;
+                }
+                Op::Leave(k) => {
+                    let ids = live_ids(&naive);
+                    if let Some(&id) = ids.get(k % ids.len().max(1)) {
+                        let a = heap.leave(id);
+                        let b = naive.leave(id);
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                        prop_assert!(a >= 0.0);
+                    }
+                }
+                Op::SetRate(r) => {
+                    heap.set_rate(r);
+                    naive.set_rate(r);
+                }
+                Op::Advance(dt) => {
+                    heap.advance(dt);
+                    naive.advance(dt);
+                }
+                Op::Clear => {
+                    heap.clear();
+                    naive.clear();
+                }
+            }
+
+            // Every observable agrees after every step.
+            prop_assert_eq!(heap.len(), naive.len());
+            prop_assert_eq!(heap.next_completion(), naive.next_completion());
+            let mut hv = Vec::new();
+            let mut nv = Vec::new();
+            heap.for_each_completion(|id, t| hv.push((id, t)));
+            naive.for_each_completion(|id, t| nv.push((id, t)));
+            prop_assert_eq!(&hv, &nv);
+            for &(id, _) in &hv {
+                let a = heap.remaining(id).unwrap();
+                let b = naive.remaining(id).unwrap();
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+                prop_assert!(a >= 0.0, "remaining work went negative for {}", id);
+            }
+        }
+    }
+
+    /// Draining by repeatedly advancing to the predicted next completion
+    /// retires activities in the same order on both engines, and the
+    /// retired activity always has zero remaining work.
+    #[test]
+    fn completion_order_matches_under_drain(
+        works in prop::collection::vec(1.0f64..10_000.0, 1..48),
+        rate in 0.05f64..4.0,
+    ) {
+        let mut heap = HeapEngine::new();
+        let mut naive = NaiveEngine::new();
+        heap.set_rate(rate);
+        naive.set_rate(rate);
+        for (id, &w) in works.iter().enumerate() {
+            heap.join(id as u64, w);
+            naive.join(id as u64, w);
+        }
+        while let Some((id, ticks)) = heap.next_completion() {
+            prop_assert_eq!(Some((id, ticks)), naive.next_completion());
+            heap.advance(ticks as f64);
+            naive.advance(ticks as f64);
+            prop_assert_eq!(heap.remaining(id), Some(0.0));
+            let a = heap.leave(id);
+            let b = naive.leave(id);
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert!(naive.is_empty());
+    }
+}

@@ -12,7 +12,7 @@
 //! `phishare_workload::io`).
 
 use phishare::cluster::report::{pct, secs, table};
-use phishare::cluster::{footprint_search, ClusterConfig, Experiment};
+use phishare::cluster::{footprint_search, ClusterConfig, DevicePool, Experiment, SubstrateMode};
 use phishare::condor::MatchPath;
 use phishare::core::ClusterPolicy;
 use phishare::workload::{
@@ -29,6 +29,8 @@ USAGE:
   phishare run        --policy <mc|mcc|mcck|oracle> [--jobs N] [--nodes N]
                       [--dist <table1|uniform|normal|low|high>] [--seed N]
                       [--negotiation <delta|full>]
+                      [--substrate <fast|keyed|shared|shared-naive>]
+                      [--pool <uniform|gpu-mix|phi-mix|phi7120-mix>]
                       [--from FILE.csv] [--json] [--gantt]
   phishare compare    [--jobs N] [--nodes N] [--dist ...] [--seed N] [--oracle]
   phishare footprint  [--jobs N] [--max-nodes N] [--dist ...] [--seed N]
@@ -137,8 +139,13 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         .with_nodes(nodes)
         .with_seed(flags.get("seed", 7)?);
     config.negotiation = flags.get("negotiation", MatchPath::default())?;
+    config.pool = flags.get("pool", DevicePool::Uniform)?;
+    let substrate: SubstrateMode = flags.get("substrate", SubstrateMode::Fast)?;
 
     if flags.has("gantt") {
+        if substrate != SubstrateMode::Fast {
+            return Err("--gantt only supports the default substrate".into());
+        }
         let (result, trace) = Experiment::run_traced(&config, &workload)?;
         println!("{}", table(&RESULT_HEADER, &[result_row(&result)]));
         print!("{}", trace.node_gantt(96));
@@ -153,7 +160,7 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         }
         return Ok(());
     }
-    let result = Experiment::run(&config, &workload)?;
+    let result = Experiment::run_with_substrate(&config, &workload, substrate)?;
     if flags.has("json") {
         println!(
             "{}",

@@ -135,4 +135,54 @@ proptest! {
 
         prop_assert_eq!(delta, full, "delta and full experiments diverged");
     }
+
+    /// The heap-scheduled shared-throughput substrate is bit-identical to
+    /// its naive recompute-all oracle for every fault schedule — device
+    /// resets clear the engines mid-offload, node churn detaches whole
+    /// resident sets — over homogeneous and heterogeneous pools alike.
+    #[test]
+    fn shared_heap_substrate_is_oracle_identical_under_faults(
+        policy in arb_policy(),
+        nodes in 2u32..=4,
+        jobs in 6usize..=16,
+        seed in 0u64..10_000,
+        gpu_mix in any::<bool>(),
+        faults in prop::collection::vec(arb_fault(4), 0..6),
+    ) {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(jobs)
+            .seed(seed)
+            .build();
+        let mut cfg = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
+        cfg.knapsack.window = 64;
+        if gpu_mix {
+            cfg.pool = phishare::cluster::DevicePool::Alternate(
+                phishare::cluster::DeviceSku::GpuLike,
+            );
+        }
+
+        let mut events: Vec<FaultEvent> = faults
+            .into_iter()
+            .filter(|f| f.node <= nodes)
+            .collect();
+        events.sort_by_key(|f| (f.at, f.node, f.device, f.kind as u8));
+        let plan = FaultPlan { events };
+
+        let (heap, heap_trace) = Experiment::run_with_substrate_faults_traced(
+            &cfg, &wl, &plan, phishare::cluster::SubstrateMode::Shared,
+        )
+        .expect("shared run must drain cleanly");
+        let (naive, naive_trace) = Experiment::run_with_substrate_faults_traced(
+            &cfg, &wl, &plan, phishare::cluster::SubstrateMode::SharedNaive,
+        )
+        .expect("naive shared run must drain cleanly");
+
+        prop_assert_eq!(heap, naive, "shared engines diverged under faults");
+        prop_assert_eq!(
+            heap_trace.events, naive_trace.events,
+            "shared traces diverged under faults"
+        );
+        let violations = audit(&cfg, &wl, &heap, &heap_trace);
+        prop_assert!(violations.is_empty(), "audit violations: {:?}", violations);
+    }
 }
