@@ -7,12 +7,16 @@
 //! slowdown — nothing is lost, makespan stretches) and `Requeue` (victims
 //! vacate and retry with exponential backoff — makespan stretches less per
 //! victim, but jobs can exhaust their retry budget and end up held).
+//!
+//! The sweep covers both device pools: the paper's uniform 5110P cluster
+//! and the heterogeneous `gpu-mix` pool, so degradation is measured on
+//! mixed SKUs too.
 
 use phishare_bench::{banner, persist_json, table1_workload};
 use phishare_cluster::fault::FallbackPolicy;
 use phishare_cluster::report::{pct, table};
 use phishare_cluster::sweep::{run_sweep_auto, SweepJob};
-use phishare_cluster::ClusterConfig;
+use phishare_cluster::{ClusterConfig, DevicePool};
 use phishare_core::ClusterPolicy;
 use serde::Serialize;
 
@@ -23,9 +27,12 @@ const MTBFS: [f64; 4] = [0.0, 600.0, 300.0, 150.0];
 /// Plan horizon: long enough to cover every run in the grid.
 const HORIZON_SECS: f64 = 6000.0;
 const POLICIES: [ClusterPolicy; 3] = [ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck];
+/// Device pools under test (parsed names keep labels grep-able).
+const POOLS: [&str; 2] = ["uniform", "gpu-mix"];
 
 #[derive(Serialize)]
 struct Row {
+    pool: String,
     policy: String,
     fallback: String,
     device_mtbf_secs: f64,
@@ -37,8 +44,9 @@ struct Row {
     held_after_retries: usize,
 }
 
-fn cfg(policy: ClusterPolicy, mtbf: f64, fallback: FallbackPolicy) -> ClusterConfig {
+fn cfg(policy: ClusterPolicy, mtbf: f64, fallback: FallbackPolicy, pool: &str) -> ClusterConfig {
     let mut cfg = ClusterConfig::paper_cluster(policy);
+    cfg.pool = pool.parse::<DevicePool>().expect("known pool name");
     cfg.faults.device_mtbf_secs = mtbf;
     cfg.faults.horizon_secs = if mtbf > 0.0 { HORIZON_SECS } else { 0.0 };
     cfg.recovery.fallback = fallback;
@@ -54,14 +62,16 @@ fn main() {
 
     let wl = table1_workload(JOBS, EXPERIMENT_SEED);
     let mut grid = Vec::new();
-    for fallback in [FallbackPolicy::HostOnly, FallbackPolicy::Requeue] {
-        for policy in POLICIES {
-            for mtbf in MTBFS {
-                grid.push(SweepJob {
-                    label: format!("{fallback:?}|{policy}|{mtbf}"),
-                    config: cfg(policy, mtbf, fallback),
-                    workload: wl.clone(),
-                });
+    for pool in POOLS {
+        for fallback in [FallbackPolicy::HostOnly, FallbackPolicy::Requeue] {
+            for policy in POLICIES {
+                for mtbf in MTBFS {
+                    grid.push(SweepJob {
+                        label: format!("{pool}|{fallback:?}|{policy}|{mtbf}"),
+                        config: cfg(policy, mtbf, fallback, pool),
+                        workload: wl.clone(),
+                    });
+                }
             }
         }
     }
@@ -77,10 +87,12 @@ fn main() {
             "{label}: job accounting leaked"
         );
         let mut parts = label.split('|');
+        let pool = parts.next().expect("pool").to_string();
         let fallback = parts.next().expect("fallback").to_string();
         let policy = parts.next().expect("policy").to_string();
         let mtbf: f64 = parts.next().expect("mtbf").parse().expect("mtbf number");
         printable.push(vec![
+            pool.clone(),
             fallback.clone(),
             policy.clone(),
             if mtbf > 0.0 {
@@ -96,6 +108,7 @@ fn main() {
             r.held_after_retries.to_string(),
         ]);
         rows.push(Row {
+            pool,
             policy,
             fallback,
             device_mtbf_secs: mtbf,
@@ -111,6 +124,7 @@ fn main() {
         "{}",
         table(
             &[
+                "Pool",
                 "Fallback",
                 "Policy",
                 "MTBF s",
@@ -131,35 +145,40 @@ fn main() {
     // spilling offloads to otherwise-idle host cores acts as accidental
     // load-balancing and can *shorten* the run — a real finding, reported
     // in EXPERIMENTS.md rather than asserted away.
-    for policy in POLICIES {
-        let find = |fb: &str, mtbf: f64| {
-            rows.iter()
-                .find(|r| {
-                    r.policy == policy.to_string() && r.fallback == fb && r.device_mtbf_secs == mtbf
-                })
-                .expect("grid covers the point")
-        };
-        let clean = find("HostOnly", 0.0);
-        let harsh_host = find("HostOnly", 150.0);
-        let harsh_requeue = find("Requeue", 150.0);
-        assert_eq!(
-            clean.completion_rate, 1.0,
-            "{policy}: fault-free baseline must complete everything"
-        );
-        assert!(
-            harsh_host.device_resets > 0 && harsh_host.fallback_offloads > 0,
-            "{policy}: harsh MTBF never struck a running job"
-        );
-        assert!(
-            harsh_host.completion_rate >= 0.95,
-            "{policy}: HostOnly must keep nearly everything alive"
-        );
-        assert!(
-            harsh_requeue.makespan_secs >= clean.makespan_secs * 0.98,
-            "{policy}: Requeue makespan beat the fault-free run ({} vs {})",
-            harsh_requeue.makespan_secs,
-            clean.makespan_secs
-        );
+    for pool in POOLS {
+        for policy in POLICIES {
+            let find = |fb: &str, mtbf: f64| {
+                rows.iter()
+                    .find(|r| {
+                        r.pool == pool
+                            && r.policy == policy.to_string()
+                            && r.fallback == fb
+                            && r.device_mtbf_secs == mtbf
+                    })
+                    .expect("grid covers the point")
+            };
+            let clean = find("HostOnly", 0.0);
+            let harsh_host = find("HostOnly", 150.0);
+            let harsh_requeue = find("Requeue", 150.0);
+            assert_eq!(
+                clean.completion_rate, 1.0,
+                "{pool}/{policy}: fault-free baseline must complete everything"
+            );
+            assert!(
+                harsh_host.device_resets > 0 && harsh_host.fallback_offloads > 0,
+                "{pool}/{policy}: harsh MTBF never struck a running job"
+            );
+            assert!(
+                harsh_host.completion_rate >= 0.95,
+                "{pool}/{policy}: HostOnly must keep nearly everything alive"
+            );
+            assert!(
+                harsh_requeue.makespan_secs >= clean.makespan_secs * 0.98,
+                "{pool}/{policy}: Requeue makespan beat the fault-free run ({} vs {})",
+                harsh_requeue.makespan_secs,
+                clean.makespan_secs
+            );
+        }
     }
     persist_json("ext_fault_mtbf", &rows);
 }

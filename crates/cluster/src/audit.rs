@@ -249,6 +249,31 @@ pub fn audit(
         }
     }
 
+    // --- perturbation bookkeeping ---
+    // A stale-ads window can only skip refreshes on cycles that actually
+    // ran, and stale-match rejections only happen on stale ads.
+    if result.stale_ad_skips > result.negotiation_cycles {
+        complain(format!(
+            "{} stale-ad skips exceed {} negotiation cycles",
+            result.stale_ad_skips, result.negotiation_cycles
+        ));
+    }
+    if result.stale_match_rejects > 0 && result.stale_ad_skips == 0 {
+        complain(format!(
+            "{} stale-match rejections without any stale-ad window",
+            result.stale_match_rejects
+        ));
+    }
+    if result.perturb_windows == 0 && (result.stale_ad_skips > 0 || result.inflated_offloads > 0) {
+        complain("perturbation effects reported without any open window".to_string());
+    }
+    if !config.perturb.enabled() && result.perturb_windows > 0 {
+        complain(format!(
+            "{} perturbation windows opened with perturbations disabled",
+            result.perturb_windows
+        ));
+    }
+
     // --- metric ranges ---
     for (name, v) in [
         ("thread_utilization", result.thread_utilization),

@@ -1,6 +1,7 @@
 //! Cluster configuration.
 
 use crate::fault::{FaultConfig, RecoveryConfig};
+use crate::perturb::PerturbConfig;
 use phishare_condor::MatchPath;
 use phishare_core::{ClusterPolicy, KnapsackConfig};
 use phishare_cosmic::CosmicConfig;
@@ -157,6 +158,9 @@ pub struct ClusterConfig {
     pub faults: FaultConfig,
     /// What the stack does with jobs hit by an injected failure.
     pub recovery: RecoveryConfig,
+    /// Chaos perturbation stack (all disabled by default: nothing is
+    /// perturbed and every timeline is untouched).
+    pub perturb: PerturbConfig,
     /// Master seed for all stochastic components of the *cluster* (workload
     /// seeds live in the workload itself).
     pub seed: u64,
@@ -183,6 +187,7 @@ impl Default for ClusterConfig {
             initial_commit_fraction: 0.3,
             faults: FaultConfig::default(),
             recovery: RecoveryConfig::default(),
+            perturb: PerturbConfig::default(),
             seed: 0,
         }
     }
@@ -275,6 +280,7 @@ impl ClusterConfig {
         }
         self.faults.validate()?;
         self.recovery.validate()?;
+        self.perturb.validate()?;
         if self.negotiation_interval.is_zero() {
             return Err("negotiation interval must be positive".into());
         }
@@ -365,6 +371,15 @@ mod tests {
             },
             |c: &mut ClusterConfig| c.recovery.retry_base = SimDuration::ZERO,
             |c: &mut ClusterConfig| c.recovery.host_fallback_slowdown = 0.0,
+            |c: &mut ClusterConfig| c.perturb.jitter_max_secs = f64::NAN,
+            |c: &mut ClusterConfig| {
+                c.perturb.derate.mean_gap_secs = 100.0;
+                c.perturb.derate.factor = 2.0;
+            },
+            |c: &mut ClusterConfig| {
+                c.perturb.latency.mean_gap_secs = 100.0;
+                c.perturb.latency.extra_secs = 0.0;
+            },
         ] {
             let mut c = ClusterConfig::default();
             f(&mut c);

@@ -157,6 +157,17 @@ impl FaultPlan {
         }
         Ok(())
     }
+
+    /// Serialize to pretty JSON, the committed-artifact format used by the
+    /// CLI's `--dump-fault-plan` and the chaos proptest's failure dumps.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fault plan serializes")
+    }
+
+    /// Parse a plan back from [`FaultPlan::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("bad fault plan JSON: {e}"))
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -399,6 +410,21 @@ mod tests {
         assert!(mk(1, 5, 10).validate(&c).is_err());
         assert!(mk(1, 0, 0).validate(&c).is_err());
         assert!(mk(2, 0, 10).validate(&c).is_ok());
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let c = faulty_config();
+        let plan = FaultPlan::generate(&c);
+        assert!(!plan.is_empty());
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(
+            FaultPlan::from_json(&FaultPlan::empty().to_json()).unwrap(),
+            FaultPlan::empty()
+        );
+        assert!(FaultPlan::from_json("not json").is_err());
+        assert!(FaultPlan::from_json("{\"events\": [{}]}").is_err());
     }
 
     #[test]

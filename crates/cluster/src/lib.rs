@@ -28,6 +28,8 @@
 //! * [`config`] — cluster shape and software-stack configuration;
 //! * [`fault`] — deterministic fault injection (device resets, node churn)
 //!   and the recovery knobs (retry backoff, host fallback);
+//! * [`perturb`] — deterministic chaos perturbations (thermal derates,
+//!   offload-latency spikes, stale collector ads, negotiation jitter);
 //! * [`runtime`] — the discrete-event world: job lifecycle, negotiation
 //!   cycles, offload execution, failures;
 //! * [`metrics`] — the measurements the paper reports (makespan, core
@@ -49,6 +51,7 @@ pub mod fault;
 pub mod footprint;
 pub mod host;
 pub mod metrics;
+pub mod perturb;
 pub mod report;
 pub mod runtime;
 pub mod substrate;
@@ -60,6 +63,10 @@ pub use config::{ClusterConfig, DevicePool, DeviceSku, DeviceSpec};
 pub use fault::{FallbackPolicy, FaultConfig, FaultEvent, FaultKind, FaultPlan, RecoveryConfig};
 pub use footprint::{footprint_search, FootprintResult, FootprintSearcher};
 pub use metrics::ExperimentResult;
+pub use perturb::{
+    DerateSpec, LatencySpec, PerturbConfig, PerturbEvent, PerturbKind, PerturbPlan, Perturbation,
+    StaleAdsSpec,
+};
 pub use runtime::{Experiment, ExperimentScratch, SubstrateMode};
 pub use substrate::{CosmicSubstrate, DeviceSubstrate};
 pub use sweep::{run_sweep, run_sweep_auto, run_sweep_keyed, run_sweep_substrate_auto, SweepJob};

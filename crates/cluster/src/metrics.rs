@@ -65,6 +65,22 @@ pub struct ExperimentResult {
     pub retries: u64,
     /// Offload segments that ran host-side under the fallback policy.
     pub fallback_offloads: u64,
+    /// Chaos perturbation windows that opened during the run.
+    pub perturb_windows: u64,
+    /// Negotiation cycles that ran on stale collector ads (the refresh
+    /// was skipped because a stale-ads window was open).
+    pub stale_ad_skips: u64,
+    /// Cycle requests whose trigger instant was delayed by injected
+    /// jitter. Counts requests, not executions — a jittered request can
+    /// still be superseded by an earlier one, so this may exceed
+    /// `negotiation_cycles`.
+    pub jittered_cycles: u64,
+    /// Offload segments whose service demand was inflated by a latency
+    /// spike window.
+    pub inflated_offloads: u64,
+    /// Matches gracefully undone because stale ads promised a device the
+    /// node could no longer supply.
+    pub stale_match_rejects: u64,
     /// Jobs held permanently after exhausting their retry budget.
     pub held_after_retries: usize,
     /// Planner solves answered from the solve memo (MCCK fast path; 0 for
@@ -104,6 +120,11 @@ impl PartialEq for ExperimentResult {
             && self.node_churns == other.node_churns
             && self.retries == other.retries
             && self.fallback_offloads == other.fallback_offloads
+            && self.perturb_windows == other.perturb_windows
+            && self.stale_ad_skips == other.stale_ad_skips
+            && self.jittered_cycles == other.jittered_cycles
+            && self.inflated_offloads == other.inflated_offloads
+            && self.stale_match_rejects == other.stale_match_rejects
             && self.held_after_retries == other.held_after_retries
             && self.plan_cache_hits == other.plan_cache_hits
             && self.plan_cache_misses == other.plan_cache_misses
@@ -169,6 +190,11 @@ mod tests {
             node_churns: 0,
             retries: 0,
             fallback_offloads: 0,
+            perturb_windows: 0,
+            stale_ad_skips: 0,
+            jittered_cycles: 0,
+            inflated_offloads: 0,
+            stale_match_rejects: 0,
             held_after_retries: 0,
             plan_cache_hits: 0,
             plan_cache_misses: 0,

@@ -47,6 +47,7 @@ use crate::config::ClusterConfig;
 use crate::fault::{FallbackPolicy, FaultKind, FaultPlan};
 use crate::host::HostCpu;
 use crate::metrics::ExperimentResult;
+use crate::perturb::{PerturbKind, PerturbPlan};
 use crate::substrate::{CosmicSubstrate, DeviceSubstrate};
 use crate::trace::{KillReason, Trace, TraceEvent};
 use phishare_condor::attrs;
@@ -60,7 +61,7 @@ use phishare_phi::{
     Affinity, CommitOutcome, KeyedPhiDevice, NaiveSharedDevice, PhiDevice, ProcId,
     SharedThroughputDevice,
 };
-use phishare_sim::{DetRng, EventQueue, Sim, SimTime, Summary};
+use phishare_sim::{DetRng, EventQueue, Sim, SimDuration, SimTime, Summary};
 use phishare_workload::{JobId, Segment, Workload};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -95,6 +96,10 @@ enum Ev {
     /// The failure injected as `plan[idx]` heals (card back up / node
     /// rejoins).
     Recover(usize),
+    /// Perturbation window `perturbs[idx]` opens.
+    Perturb(usize),
+    /// Perturbation window `perturbs[idx]` closes.
+    PerturbEnd(usize),
     /// A vacated job's backoff expired; it may be scheduled again.
     Release(JobId),
 }
@@ -215,10 +220,12 @@ impl Experiment {
     /// invalid or a job cannot fit on any device.
     pub fn run(config: &ClusterConfig, workload: &Workload) -> Result<ExperimentResult, String> {
         let plan = FaultPlan::generate(config);
+        let perturbs = PerturbPlan::generate(config);
         Self::run_inner::<PhiDevice, CosmicDevice>(
             config,
             workload,
             &plan,
+            &perturbs,
             false,
             EventMode::NextCompletion,
             None,
@@ -233,10 +240,12 @@ impl Experiment {
         workload: &Workload,
     ) -> Result<(ExperimentResult, Trace), String> {
         let plan = FaultPlan::generate(config);
+        let perturbs = PerturbPlan::generate(config);
         Self::run_inner::<PhiDevice, CosmicDevice>(
             config,
             workload,
             &plan,
+            &perturbs,
             true,
             EventMode::NextCompletion,
             None,
@@ -255,10 +264,12 @@ impl Experiment {
         workload: &Workload,
         plan: &FaultPlan,
     ) -> Result<ExperimentResult, String> {
+        let perturbs = PerturbPlan::generate(config);
         Self::run_inner::<PhiDevice, CosmicDevice>(
             config,
             workload,
             plan,
+            &perturbs,
             false,
             EventMode::NextCompletion,
             None,
@@ -272,10 +283,12 @@ impl Experiment {
         workload: &Workload,
         plan: &FaultPlan,
     ) -> Result<(ExperimentResult, Trace), String> {
+        let perturbs = PerturbPlan::generate(config);
         Self::run_inner::<PhiDevice, CosmicDevice>(
             config,
             workload,
             plan,
+            &perturbs,
             true,
             EventMode::NextCompletion,
             None,
@@ -290,10 +303,12 @@ impl Experiment {
         workload: &Workload,
         plan: &FaultPlan,
     ) -> Result<(ExperimentResult, Trace), String> {
+        let perturbs = PerturbPlan::generate(config);
         Self::run_inner::<PhiDevice, CosmicDevice>(
             config,
             workload,
             plan,
+            &perturbs,
             true,
             EventMode::PerOffload,
             None,
@@ -312,10 +327,12 @@ impl Experiment {
         workload: &Workload,
     ) -> Result<ExperimentResult, String> {
         let plan = FaultPlan::generate(config);
+        let perturbs = PerturbPlan::generate(config);
         Self::run_inner::<PhiDevice, CosmicDevice>(
             config,
             workload,
             &plan,
+            &perturbs,
             false,
             EventMode::PerOffload,
             None,
@@ -329,10 +346,12 @@ impl Experiment {
         workload: &Workload,
     ) -> Result<(ExperimentResult, Trace), String> {
         let plan = FaultPlan::generate(config);
+        let perturbs = PerturbPlan::generate(config);
         Self::run_inner::<PhiDevice, CosmicDevice>(
             config,
             workload,
             &plan,
+            &perturbs,
             true,
             EventMode::PerOffload,
             None,
@@ -352,41 +371,9 @@ impl Experiment {
         substrate: SubstrateMode,
     ) -> Result<ExperimentResult, String> {
         let plan = FaultPlan::generate(config);
-        match substrate {
-            SubstrateMode::Fast => Self::run_inner::<PhiDevice, CosmicDevice>(
-                config,
-                workload,
-                &plan,
-                false,
-                EventMode::NextCompletion,
-                None,
-            ),
-            SubstrateMode::Keyed => Self::run_inner::<KeyedPhiDevice, KeyedCosmicDevice>(
-                config,
-                workload,
-                &plan,
-                false,
-                EventMode::NextCompletion,
-                None,
-            ),
-            SubstrateMode::Shared => Self::run_inner::<SharedThroughputDevice, CosmicDevice>(
-                config,
-                workload,
-                &plan,
-                false,
-                EventMode::NextCompletion,
-                None,
-            ),
-            SubstrateMode::SharedNaive => Self::run_inner::<NaiveSharedDevice, CosmicDevice>(
-                config,
-                workload,
-                &plan,
-                false,
-                EventMode::NextCompletion,
-                None,
-            ),
-        }
-        .map(|(r, _)| r)
+        let perturbs = PerturbPlan::generate(config);
+        Self::run_substrate_inner(config, workload, &plan, &perturbs, false, substrate)
+            .map(|(r, _)| r)
     }
 
     /// [`Experiment::run_with_faults_traced`] on an explicitly chosen
@@ -397,12 +384,46 @@ impl Experiment {
         plan: &FaultPlan,
         substrate: SubstrateMode,
     ) -> Result<(ExperimentResult, Trace), String> {
+        let perturbs = PerturbPlan::generate(config);
+        Self::run_substrate_inner(config, workload, plan, &perturbs, true, substrate)
+            .map(|(r, t)| (r, t.expect("tracing was enabled")))
+    }
+
+    /// Chaos entry point: explicit fault *and* perturbation plans on an
+    /// explicitly chosen substrate, with lifecycle tracing.
+    ///
+    /// An empty perturbation plan (with `config.perturb` disabled) is
+    /// guaranteed bit-identical to
+    /// [`Experiment::run_with_substrate_faults_traced`], and the oracle
+    /// pairs (`Fast`/`Keyed`, `Shared`/`SharedNaive`) stay bit-identical
+    /// under every (stack, trace, fault-plan) triple — asserted by
+    /// `tests/prop_chaos.rs`.
+    pub fn run_chaos_traced(
+        config: &ClusterConfig,
+        workload: &Workload,
+        plan: &FaultPlan,
+        perturbs: &PerturbPlan,
+        substrate: SubstrateMode,
+    ) -> Result<(ExperimentResult, Trace), String> {
+        Self::run_substrate_inner(config, workload, plan, perturbs, true, substrate)
+            .map(|(r, t)| (r, t.expect("tracing was enabled")))
+    }
+
+    fn run_substrate_inner(
+        config: &ClusterConfig,
+        workload: &Workload,
+        plan: &FaultPlan,
+        perturbs: &PerturbPlan,
+        traced: bool,
+        substrate: SubstrateMode,
+    ) -> Result<(ExperimentResult, Option<Trace>), String> {
         match substrate {
             SubstrateMode::Fast => Self::run_inner::<PhiDevice, CosmicDevice>(
                 config,
                 workload,
                 plan,
-                true,
+                perturbs,
+                traced,
                 EventMode::NextCompletion,
                 None,
             ),
@@ -410,7 +431,8 @@ impl Experiment {
                 config,
                 workload,
                 plan,
-                true,
+                perturbs,
+                traced,
                 EventMode::NextCompletion,
                 None,
             ),
@@ -418,7 +440,8 @@ impl Experiment {
                 config,
                 workload,
                 plan,
-                true,
+                perturbs,
+                traced,
                 EventMode::NextCompletion,
                 None,
             ),
@@ -426,12 +449,12 @@ impl Experiment {
                 config,
                 workload,
                 plan,
-                true,
+                perturbs,
+                traced,
                 EventMode::NextCompletion,
                 None,
             ),
         }
-        .map(|(r, t)| (r, t.expect("tracing was enabled")))
     }
 
     /// [`Experiment::run`] recycling `scratch`'s buffers across calls.
@@ -446,10 +469,12 @@ impl Experiment {
         scratch: &mut ExperimentScratch,
     ) -> Result<ExperimentResult, String> {
         let plan = FaultPlan::generate(config);
+        let perturbs = PerturbPlan::generate(config);
         Self::run_inner::<PhiDevice, CosmicDevice>(
             config,
             workload,
             &plan,
+            &perturbs,
             false,
             EventMode::NextCompletion,
             Some(scratch),
@@ -457,16 +482,19 @@ impl Experiment {
         .map(|(r, _)| r)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_inner<D: DeviceSubstrate, C: CosmicSubstrate>(
         config: &ClusterConfig,
         workload: &Workload,
         plan: &FaultPlan,
+        perturbs: &PerturbPlan,
         traced: bool,
         mode: EventMode,
         mut scratch: Option<&mut ExperimentScratch>,
     ) -> Result<(ExperimentResult, Option<Trace>), String> {
         config.validate()?;
         plan.validate(config)?;
+        perturbs.validate(config)?;
         workload
             .validate()
             .map_err(|(id, e)| format!("invalid job {id}: {e}"))?;
@@ -505,7 +533,7 @@ impl Experiment {
             }
         }
 
-        let mut world: World<'_, D, C> = World::new(config, workload, plan, mode);
+        let mut world: World<'_, D, C> = World::new(config, workload, plan, perturbs, mode);
         if traced {
             world.trace = Some(Trace::new());
         }
@@ -539,6 +567,11 @@ impl Experiment {
         // ties resolve by insertion order identically in both event modes.
         for (idx, f) in plan.events.iter().enumerate() {
             sim.schedule_at(f.at, Ev::Fault(idx));
+        }
+        // Perturbation windows likewise; the close event is scheduled from
+        // the open handler, mirroring the fault→recover pattern.
+        for (idx, p) in perturbs.events.iter().enumerate() {
+            sim.schedule_at(p.at, Ev::Perturb(idx));
         }
 
         match mode {
@@ -618,6 +651,7 @@ struct World<'a, D: DeviceSubstrate, C: CosmicSubstrate> {
     cfg: &'a ClusterConfig,
     wl: &'a Workload,
     plan: &'a FaultPlan,
+    perturbs: &'a PerturbPlan,
     queue: JobQueue,
     collector: Collector,
     negotiator: Negotiator,
@@ -679,6 +713,16 @@ struct World<'a, D: DeviceSubstrate, C: CosmicSubstrate> {
     /// Jobs whose first dispatch already recorded a queue-wait sample
     /// (re-dispatches after a fault must not re-count).
     wait_recorded: BTreeSet<JobId>,
+    // --- perturbation state ---
+    /// Open derate windows per device, keyed by plan index. The device's
+    /// effective scale is the product folded in ascending index order, so
+    /// overlapping windows compose deterministically.
+    derate_active: BTreeMap<DevKey, BTreeMap<usize, f64>>,
+    /// Open latency-spike windows per device, keyed by plan index; extras
+    /// of overlapping windows add (integer ticks, order-independent).
+    latency_active: BTreeMap<DevKey, BTreeMap<usize, SimDuration>>,
+    /// Nesting depth of open stale-ad windows; ads refresh only at 0.
+    stale_ad_depth: u32,
     // --- statistics ---
     waits: Summary,
     turnarounds: Summary,
@@ -691,6 +735,11 @@ struct World<'a, D: DeviceSubstrate, C: CosmicSubstrate> {
     node_churns: u64,
     retries: u64,
     fallback_offloads: u64,
+    perturb_windows: u64,
+    stale_ad_skips: u64,
+    jittered_cycles: u64,
+    inflated_offloads: u64,
+    stale_match_rejects: u64,
     last_terminal: SimTime,
     /// Wall-clock nanoseconds spent inside `ClusterScheduler::plan` —
     /// planner cost measurement, never simulation state.
@@ -698,7 +747,13 @@ struct World<'a, D: DeviceSubstrate, C: CosmicSubstrate> {
 }
 
 impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
-    fn new(cfg: &'a ClusterConfig, wl: &'a Workload, plan: &'a FaultPlan, mode: EventMode) -> Self {
+    fn new(
+        cfg: &'a ClusterConfig,
+        wl: &'a Workload,
+        plan: &'a FaultPlan,
+        perturbs: &'a PerturbPlan,
+        mode: EventMode,
+    ) -> Self {
         let mut collector = Collector::new();
         let mut startds = Vec::new();
         let mut devices = BTreeMap::new();
@@ -740,6 +795,7 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             cfg,
             wl,
             plan,
+            perturbs,
             queue: JobQueue::new(),
             collector,
             negotiator: Negotiator::new(cfg.negotiation_interval).with_path(cfg.negotiation),
@@ -770,6 +826,9 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             parked: BTreeSet::new(),
             retired: BTreeSet::new(),
             wait_recorded: BTreeSet::new(),
+            derate_active: BTreeMap::new(),
+            latency_active: BTreeMap::new(),
+            stale_ad_depth: 0,
             waits: Summary::new(),
             turnarounds: Summary::new(),
             completed: 0,
@@ -781,6 +840,11 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             node_churns: 0,
             retries: 0,
             fallback_offloads: 0,
+            perturb_windows: 0,
+            stale_ad_skips: 0,
+            jittered_cycles: 0,
+            inflated_offloads: 0,
+            stale_match_rejects: 0,
             last_terminal: SimTime::ZERO,
             plan_nanos: 0,
         }
@@ -808,9 +872,11 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
     fn event_is_live(&self, ev: &Ev) -> bool {
         match *ev {
             Ev::Arrive(_) | Ev::Dispatch(_) => true,
-            // Fault, recovery and backoff events carry their own state and
-            // are handled identically in both modes.
-            Ev::Fault(_) | Ev::Recover(_) | Ev::Release(_) => true,
+            // Fault, recovery, perturbation and backoff events carry their
+            // own state and are handled identically in both modes.
+            Ev::Fault(_) | Ev::Recover(_) | Ev::Perturb(_) | Ev::PerturbEnd(_) | Ev::Release(_) => {
+                true
+            }
             Ev::Cycle(seq) => seq == self.cycle_seq,
             Ev::HostDone {
                 node, generation, ..
@@ -850,6 +916,8 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             } => self.on_offload_complete(sim, job, key, generation),
             Ev::Fault(idx) => self.on_fault(sim, idx),
             Ev::Recover(idx) => self.on_recover(sim, idx),
+            Ev::Perturb(idx) => self.on_perturb(sim, idx),
+            Ev::PerturbEnd(idx) => self.on_perturb_end(sim, idx),
             Ev::Release(job) => self.on_release(sim, job),
         }
     }
@@ -907,8 +975,14 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             }
         }
 
-        // 2. Refresh machine ads from ground truth.
-        self.refresh_ads();
+        // 2. Refresh machine ads from ground truth — unless a stale-ad
+        // window froze the collector (delayed updates): the negotiator then
+        // matches against whatever the ads said when the window opened.
+        if self.stale_ad_depth == 0 {
+            self.refresh_ads();
+        } else {
+            self.stale_ad_skips += 1;
+        }
 
         // 3. Matchmaking.
         let matches = self
@@ -923,9 +997,28 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
                     debug_assert_eq!(key.0, m.slot.node, "pin/match node mismatch");
                     key
                 }
-                None => self
-                    .choose_device(m.slot.node, spec.mem_req_mb)
-                    .expect("exclusive matchmaking guarantees a free device"),
+                None => match self.choose_device(m.slot.node, spec.mem_req_mb) {
+                    Some(key) => key,
+                    None => {
+                        // With fresh ads exclusive matchmaking guarantees a
+                        // free device; under a stale-ad window the claim can
+                        // name a node whose cards are gone or full. Undo the
+                        // match like a schedd whose claim activation failed:
+                        // release the slot, put the job back in the idle
+                        // queue, let a later cycle retry.
+                        debug_assert!(
+                            self.stale_ad_depth > 0,
+                            "matchmaking over-promised on fresh ads"
+                        );
+                        self.collector.release(m.slot);
+                        self.queue
+                            .requeue(m.job)
+                            .expect("matched job can be vacated");
+                        self.queue.release(m.job).expect("vacated job is held");
+                        self.stale_match_rejects += 1;
+                        continue;
+                    }
+                },
             };
             self.matched_dev.insert(m.job, key);
             *self.inflight_declared.entry(key).or_insert(0) += spec.mem_req_mb;
@@ -1142,7 +1235,17 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
                 self.sync_completions(sim, key); // commit may have killed others
 
                 let threads = *threads;
-                let work = *work;
+                let mut work = *work;
+                // Latency spike: offloads *started* inside an open window
+                // carry the window's extra nominal work. Applied at request
+                // time (before COSMIC admission), so a queued offload keeps
+                // the inflation it was admitted with — deterministic across
+                // event modes and substrates.
+                let extra = self.latency_extra(key);
+                if !extra.is_zero() {
+                    work += extra;
+                    self.inflated_offloads += 1;
+                }
                 if let Some(cslot) = cslot {
                     let cos = self.cosmic.get_mut(&key).expect("handle implies cosmic");
                     match cos.request_offload(now, cslot, threads, work) {
@@ -1568,6 +1671,87 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
         self.request_cycle(sim, sim.now() + self.cfg.negotiation_trigger_delay);
     }
 
+    // ------------------------------------------------------------------
+    // Chaos perturbations
+    // ------------------------------------------------------------------
+
+    /// A perturbation window opens: record it and schedule its close.
+    ///
+    /// Unlike faults, perturbation windows are never absorbed by node
+    /// churn — a derate on a down node is harmless (the device has no
+    /// active offloads) and keeping the open/close pairing unconditional
+    /// keeps the bookkeeping trivially balanced.
+    fn on_perturb(&mut self, sim: &mut Sim<Ev>, idx: usize) {
+        let p = self.perturbs.events[idx];
+        self.perturb_windows += 1;
+        match p.kind {
+            PerturbKind::DeviceDerate { factor } => {
+                let key = (p.node, p.device);
+                self.derate_active
+                    .entry(key)
+                    .or_default()
+                    .insert(idx, factor);
+                self.apply_derate(sim, key);
+            }
+            PerturbKind::OffloadLatency { extra } => {
+                self.latency_active
+                    .entry((p.node, p.device))
+                    .or_default()
+                    .insert(idx, extra);
+            }
+            PerturbKind::StaleAds => self.stale_ad_depth += 1,
+        }
+        sim.schedule_after(p.duration, Ev::PerturbEnd(idx));
+    }
+
+    /// A perturbation window closes: undo exactly what `on_perturb` did.
+    fn on_perturb_end(&mut self, sim: &mut Sim<Ev>, idx: usize) {
+        let p = self.perturbs.events[idx];
+        match p.kind {
+            PerturbKind::DeviceDerate { .. } => {
+                let key = (p.node, p.device);
+                if let Some(m) = self.derate_active.get_mut(&key) {
+                    m.remove(&idx);
+                }
+                self.apply_derate(sim, key);
+            }
+            PerturbKind::OffloadLatency { .. } => {
+                if let Some(m) = self.latency_active.get_mut(&(p.node, p.device)) {
+                    m.remove(&idx);
+                }
+            }
+            PerturbKind::StaleAds => self.stale_ad_depth -= 1,
+        }
+    }
+
+    /// Recompute the composite derate for one card and push it into the
+    /// substrate.
+    ///
+    /// Overlapping windows multiply. The product folds over plan indices
+    /// in ascending order (`BTreeMap` iteration), so every event mode and
+    /// substrate performs the same IEEE operations in the same order.
+    fn apply_derate(&mut self, sim: &mut Sim<Ev>, key: DevKey) {
+        let scale = self
+            .derate_active
+            .get(&key)
+            .filter(|m| !m.is_empty())
+            .map(|m| m.values().product())
+            .unwrap_or(1.0);
+        self.devices
+            .get_mut(&key)
+            .expect("perturbed device exists")
+            .set_rate_scale(sim.now(), scale);
+        self.sync_completions(sim, key);
+    }
+
+    /// Sum of the offload-latency extras currently open on `key`.
+    fn latency_extra(&self, key: DevKey) -> SimDuration {
+        self.latency_active
+            .get(&key)
+            .map(|m| m.values().fold(SimDuration::ZERO, |acc, &d| acc + d))
+            .unwrap_or(SimDuration::ZERO)
+    }
+
     /// Reset one card and flush its COSMIC state.
     fn flush_device(&mut self, sim: &mut Sim<Ev>, key: DevKey) {
         let now = sim.now();
@@ -1808,6 +1992,12 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
 
     /// Schedule a negotiation cycle at `at` unless one is already due
     /// earlier.
+    ///
+    /// Under cycle jitter the scheduled instant slips late by
+    /// `uniform(0, jitter_max_secs)`. The offset is a pure function of
+    /// `(seed, cycle_seq)` via an indexed substream — not of how many
+    /// times this method ran — so event modes and substrates that issue
+    /// the same cycle sequence draw the same offsets.
     fn request_cycle(&mut self, sim: &mut Sim<Ev>, at: SimTime) {
         if let Some(due) = self.next_cycle {
             if due <= at {
@@ -1815,6 +2005,15 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             }
         }
         self.cycle_seq += 1;
+        let at = if self.cfg.perturb.jitter_enabled() {
+            let mut rng =
+                DetRng::substream_indexed(self.cfg.seed, "perturb-jitter", self.cycle_seq);
+            let offset = rng.uniform_range(0.0, self.cfg.perturb.jitter_max_secs);
+            self.jittered_cycles += 1;
+            at + SimDuration::from_secs_f64(offset)
+        } else {
+            at
+        };
         self.next_cycle = Some(at);
         sim.schedule_at(at, Ev::Cycle(self.cycle_seq));
     }
@@ -1905,6 +2104,11 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             node_churns: self.node_churns,
             retries: self.retries,
             fallback_offloads: self.fallback_offloads,
+            perturb_windows: self.perturb_windows,
+            stale_ad_skips: self.stale_ad_skips,
+            jittered_cycles: self.jittered_cycles,
+            inflated_offloads: self.inflated_offloads,
+            stale_match_rejects: self.stale_match_rejects,
             held_after_retries: self.retired.len(),
             plan_cache_hits: plan_stats.cache_hits,
             plan_cache_misses: plan_stats.cache_misses,
@@ -2383,5 +2587,151 @@ mod tests {
         );
         let violations = audit(&cfg, &wl, &r, &trace);
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    // ------------------------------------------------------------------
+    // Chaos perturbations
+    // ------------------------------------------------------------------
+
+    /// A config with the whole perturbation stack switched on.
+    fn chaos_config(policy: ClusterPolicy) -> ClusterConfig {
+        let mut cfg = fast_config(policy);
+        cfg.perturb.derate.mean_gap_secs = 40.0;
+        cfg.perturb.derate.duration_secs = 25.0;
+        cfg.perturb.derate.factor = 0.4;
+        cfg.perturb.latency.mean_gap_secs = 30.0;
+        cfg.perturb.latency.duration_secs = 20.0;
+        cfg.perturb.latency.extra_secs = 1.5;
+        cfg.perturb.stale_ads.mean_gap_secs = 35.0;
+        cfg.perturb.stale_ads.duration_secs = 25.0;
+        cfg.perturb.jitter_max_secs = 2.0;
+        cfg.perturb.horizon_secs = 600.0;
+        cfg
+    }
+
+    #[test]
+    fn empty_perturb_plan_is_bit_identical_to_plain_run() {
+        let wl = small_workload(30, 41);
+        for policy in [ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+            let cfg = fast_config(policy);
+            let plain = Experiment::run(&cfg, &wl).unwrap();
+            let (chaos, _) = Experiment::run_chaos_traced(
+                &cfg,
+                &wl,
+                &FaultPlan::empty(),
+                &PerturbPlan::empty(),
+                SubstrateMode::Fast,
+            )
+            .unwrap();
+            assert_eq!(plain, chaos, "{policy}: empty stack perturbed the run");
+        }
+    }
+
+    #[test]
+    fn perturbed_runs_are_deterministic_and_audit_clean() {
+        let wl = small_workload(30, 42);
+        let cfg = chaos_config(ClusterPolicy::Mcck);
+        let (a, trace) = Experiment::run_traced(&cfg, &wl).unwrap();
+        let (b, _) = Experiment::run_traced(&cfg, &wl).unwrap();
+        assert_eq!(a, b);
+        assert!(a.perturb_windows > 0, "stack never opened a window: {a:?}");
+        assert!(a.jittered_cycles > 0, "jitter never fired: {a:?}");
+        assert_eq!(
+            a.completed + a.container_kills + a.oom_kills + a.held_after_retries,
+            a.jobs
+        );
+        let violations = audit(&cfg, &wl, &a, &trace);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn derate_windows_stretch_the_makespan() {
+        let wl = small_workload(40, 43);
+        let plain_cfg = fast_config(ClusterPolicy::Mcck);
+        let mut cfg = plain_cfg;
+        // A near-continuous heavy derate on every card.
+        cfg.perturb.derate.mean_gap_secs = 10.0;
+        cfg.perturb.derate.duration_secs = 120.0;
+        cfg.perturb.derate.factor = 0.25;
+        cfg.perturb.horizon_secs = 3600.0;
+        let plain = Experiment::run(&plain_cfg, &wl).unwrap();
+        let derated = Experiment::run(&cfg, &wl).unwrap();
+        assert!(derated.perturb_windows > 0, "{derated:?}");
+        assert!(
+            derated.makespan_secs > plain.makespan_secs,
+            "derate {} vs plain {}",
+            derated.makespan_secs,
+            plain.makespan_secs
+        );
+    }
+
+    #[test]
+    fn latency_spikes_inflate_offloads() {
+        let wl = small_workload(30, 44);
+        let mut cfg = fast_config(ClusterPolicy::Mcck);
+        cfg.perturb.latency.mean_gap_secs = 15.0;
+        cfg.perturb.latency.duration_secs = 60.0;
+        cfg.perturb.latency.extra_secs = 3.0;
+        cfg.perturb.horizon_secs = 1800.0;
+        let r = Experiment::run(&cfg, &wl).unwrap();
+        assert!(r.inflated_offloads > 0, "{r:?}");
+        assert!(r.all_completed(), "{r:?}");
+    }
+
+    #[test]
+    fn stale_ads_skip_refreshes_but_jobs_still_complete() {
+        let wl = small_workload(30, 45);
+        let mut cfg = fast_config(ClusterPolicy::Mcck);
+        cfg.perturb.stale_ads.mean_gap_secs = 10.0;
+        cfg.perturb.stale_ads.duration_secs = 40.0;
+        cfg.perturb.horizon_secs = 1800.0;
+        let (r, trace) = Experiment::run_traced(&cfg, &wl).unwrap();
+        assert!(r.stale_ad_skips > 0, "{r:?}");
+        assert!(r.all_completed(), "{r:?}");
+        let violations = audit(&cfg, &wl, &r, &trace);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn perturbed_runs_match_across_event_modes() {
+        let wl = small_workload(25, 46);
+        for policy in [ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+            let cfg = chaos_config(policy);
+            let (fast, fast_trace) = Experiment::run_traced(&cfg, &wl).unwrap();
+            let (naive, naive_trace) = Experiment::run_naive_events_traced(&cfg, &wl).unwrap();
+            assert_eq!(fast, naive, "{policy}: chaos metrics diverged across modes");
+            assert_eq!(
+                fast_trace.events, naive_trace.events,
+                "{policy}: chaos traces diverged across modes"
+            );
+        }
+    }
+
+    #[test]
+    fn perturbed_runs_match_across_substrate_pairs() {
+        let wl = small_workload(25, 47);
+        for policy in [ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+            let cfg = chaos_config(policy);
+            let faults = FaultPlan::generate(&cfg);
+            let perturbs = PerturbPlan::generate(&cfg);
+            let run = |mode| Experiment::run_chaos_traced(&cfg, &wl, &faults, &perturbs, mode);
+            let (fast, fast_trace) = run(SubstrateMode::Fast).unwrap();
+            let (keyed, keyed_trace) = run(SubstrateMode::Keyed).unwrap();
+            assert_eq!(fast, keyed, "{policy}: fast/keyed diverged under chaos");
+            assert_eq!(
+                fast_trace.events, keyed_trace.events,
+                "{policy}: fast/keyed traces diverged under chaos"
+            );
+            let (shared, shared_trace) = run(SubstrateMode::Shared).unwrap();
+            let (naive, naive_trace) = run(SubstrateMode::SharedNaive).unwrap();
+            assert_eq!(
+                shared, naive,
+                "{policy}: shared engines diverged under chaos"
+            );
+            assert_eq!(
+                shared_trace.events, naive_trace.events,
+                "{policy}: shared traces diverged under chaos"
+            );
+        }
     }
 }

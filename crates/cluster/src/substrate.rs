@@ -106,6 +106,11 @@ pub trait DeviceSubstrate {
     /// MPSS crash: drop every resident and all active offloads.
     fn reset(&mut self, now: SimTime);
 
+    /// Thermal derate: multiply every execution rate by `scale` (in
+    /// `(0, 1]`; `1.0` restores nominal) from `now` on, bumping the
+    /// generation. Survives [`DeviceSubstrate::reset`].
+    fn set_rate_scale(&mut self, now: SimTime, scale: f64);
+
     /// Visit every predicted completion in ascending [`ProcId`] order —
     /// the order per-offload events must be scheduled in.
     fn for_each_completion(&self, f: impl FnMut(ProcId, SimTime));
@@ -199,6 +204,10 @@ impl DeviceSubstrate for PhiDevice {
 
     fn reset(&mut self, now: SimTime) {
         PhiDevice::reset(self, now);
+    }
+
+    fn set_rate_scale(&mut self, now: SimTime, scale: f64) {
+        PhiDevice::set_rate_scale(self, now, scale);
     }
 
     fn for_each_completion(&self, f: impl FnMut(ProcId, SimTime)) {
@@ -306,6 +315,10 @@ impl DeviceSubstrate for KeyedPhiDevice {
 
     fn reset(&mut self, now: SimTime) {
         KeyedPhiDevice::reset(self, now);
+    }
+
+    fn set_rate_scale(&mut self, now: SimTime, scale: f64) {
+        KeyedPhiDevice::set_rate_scale(self, now, scale);
     }
 
     fn for_each_completion(&self, mut f: impl FnMut(ProcId, SimTime)) {
@@ -423,6 +436,10 @@ impl<E: phishare_throughput::SharingEngine> DeviceSubstrate for phishare_phi::Sh
 
     fn reset(&mut self, now: SimTime) {
         phishare_phi::SharedDevice::reset(self, now);
+    }
+
+    fn set_rate_scale(&mut self, now: SimTime, scale: f64) {
+        phishare_phi::SharedDevice::set_rate_scale(self, now, scale);
     }
 
     fn for_each_completion(&self, f: impl FnMut(ProcId, SimTime)) {

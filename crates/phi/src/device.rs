@@ -170,6 +170,10 @@ pub struct PhiDevice {
     pinned_union: CoreSet,
     /// Core estimate contributed by unmanaged active offloads.
     unmanaged_cores: u32,
+    /// Environmental rate multiplier (thermal derate), applied to every
+    /// execution rate after the sharing model. `1.0` = nominal. Survives
+    /// [`PhiDevice::reset`]: throttling is ambient, not card state.
+    rate_scale: f64,
     busy_threads: TimeWeighted,
     busy_cores: TimeWeighted,
     committed: TimeWeighted,
@@ -202,6 +206,7 @@ impl PhiDevice {
             n_active: 0,
             pinned_union: CoreSet::EMPTY,
             unmanaged_cores: 0,
+            rate_scale: 1.0,
             busy_threads: TimeWeighted::new(start),
             busy_cores: TimeWeighted::new(start),
             committed: TimeWeighted::new(start),
@@ -220,6 +225,21 @@ impl PhiDevice {
     /// Completion events scheduled under an older generation are stale.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The current environmental rate multiplier (thermal derate).
+    pub fn rate_scale(&self) -> f64 {
+        self.rate_scale
+    }
+
+    /// Thermal derate: integrate progress up to `now`, then multiply every
+    /// execution rate by `scale` (in `(0, 1]`; `1.0` restores nominal)
+    /// from `now` on, bumping the generation so every outstanding
+    /// completion prediction goes stale. Survives [`PhiDevice::reset`].
+    pub fn set_rate_scale(&mut self, now: SimTime, scale: f64) {
+        debug_assert!(scale.is_finite() && scale > 0.0 && scale <= 1.0);
+        self.rate_scale = scale;
+        self.reschedule(now);
     }
 
     // ------------------------------------------------------------------
@@ -658,6 +678,13 @@ impl PhiDevice {
                     .map(|off| (matches!(off.affinity, Affinity::Pinned(_)), &mut off.rate))
             }),
         );
+        if self.rate_scale != 1.0 {
+            for (_, entry) in self.procs.iter_mut() {
+                if let Some(off) = &mut entry.active {
+                    off.rate *= self.rate_scale;
+                }
+            }
+        }
         self.generation += 1;
         self.record_utilization(now);
     }

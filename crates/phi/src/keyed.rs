@@ -44,6 +44,8 @@ pub struct KeyedPhiDevice {
     created: SimTime,
     last_update: SimTime,
     generation: u64,
+    /// Environmental rate multiplier (thermal derate); `1.0` = nominal.
+    rate_scale: f64,
     busy_threads: TimeWeighted,
     busy_cores: TimeWeighted,
     committed: TimeWeighted,
@@ -66,6 +68,7 @@ impl KeyedPhiDevice {
             created: start,
             last_update: start,
             generation: 0,
+            rate_scale: 1.0,
             busy_threads: TimeWeighted::new(start),
             busy_cores: TimeWeighted::new(start),
             committed: TimeWeighted::new(start),
@@ -83,6 +86,15 @@ impl KeyedPhiDevice {
     /// Monotone counter bumped whenever execution rates may have changed.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Thermal derate: multiply every execution rate by `scale` from `now`
+    /// on, bumping the generation. Mirrors `PhiDevice::set_rate_scale`
+    /// (same IEEE operations, so timelines stay bit-identical).
+    pub fn set_rate_scale(&mut self, now: SimTime, scale: f64) {
+        debug_assert!(scale.is_finite() && scale > 0.0 && scale <= 1.0);
+        self.rate_scale = scale;
+        self.reschedule(now);
     }
 
     /// Attach a COI process with its declared envelope and an initial memory
@@ -283,6 +295,11 @@ impl KeyedPhiDevice {
                 .values_mut()
                 .map(|off| (matches!(off.affinity, Affinity::Pinned(_)), &mut off.rate)),
         );
+        if self.rate_scale != 1.0 {
+            for off in self.active.values_mut() {
+                off.rate *= self.rate_scale;
+            }
+        }
         self.generation += 1;
         self.record_utilization(now);
     }

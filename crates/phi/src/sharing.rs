@@ -69,6 +69,9 @@ pub struct SharedDevice<E: SharingEngine> {
     n_active: usize,
     pinned_union: CoreSet,
     unmanaged_cores: u32,
+    /// Environmental rate multiplier (thermal derate), applied to the
+    /// curve's shared rate. `1.0` = nominal. Survives resets.
+    rate_scale: f64,
     busy_threads: TimeWeighted,
     busy_cores: TimeWeighted,
     committed: TimeWeighted,
@@ -99,6 +102,7 @@ impl<E: SharingEngine> SharedDevice<E> {
             n_active: 0,
             pinned_union: CoreSet::EMPTY,
             unmanaged_cores: 0,
+            rate_scale: 1.0,
             busy_threads: TimeWeighted::new(start),
             busy_cores: TimeWeighted::new(start),
             committed: TimeWeighted::new(start),
@@ -121,6 +125,18 @@ impl<E: SharingEngine> SharedDevice<E> {
     /// Monotone counter bumped whenever the shared rate may have changed.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Thermal derate: integrate progress up to `now`, then scale the
+    /// shared rate by `scale` (in `(0, 1]`; `1.0` restores nominal) from
+    /// `now` on, bumping the generation. Survives resets — throttling is
+    /// ambient, not card state. Both engines share this code, so the
+    /// heap/naive pair degrades identically.
+    pub fn set_rate_scale(&mut self, now: SimTime, scale: f64) {
+        debug_assert!(scale.is_finite() && scale > 0.0 && scale <= 1.0);
+        self.advance_to(now);
+        self.rate_scale = scale;
+        self.reschedule(now);
     }
 
     // ------------------------------------------------------------------
@@ -383,12 +399,15 @@ impl<E: SharingEngine> SharedDevice<E> {
     fn reschedule(&mut self, now: SimTime) {
         debug_assert_eq!(self.last_update, now);
         if self.n_active > 0 {
-            let rate = self.curve.per_activity_rate(
+            let mut rate = self.curve.per_activity_rate(
                 self.n_active,
                 self.procs.len(),
                 self.active_threads_total,
                 self.cfg.hw_threads(),
             );
+            if self.rate_scale != 1.0 {
+                rate *= self.rate_scale;
+            }
             self.engine.set_rate(rate);
         }
         self.generation += 1;

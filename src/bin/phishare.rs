@@ -12,12 +12,15 @@
 //! `phishare_workload::io`).
 
 use phishare::cluster::report::{pct, secs, table};
-use phishare::cluster::{footprint_search, ClusterConfig, DevicePool, Experiment, SubstrateMode};
+use phishare::cluster::{
+    footprint_search, ClusterConfig, DevicePool, Experiment, FaultPlan, PerturbConfig, PerturbPlan,
+    SubstrateMode,
+};
 use phishare::condor::MatchPath;
 use phishare::core::ClusterPolicy;
 use phishare::workload::{
-    workload_from_csv, workload_to_csv, ResourceDist, SyntheticParams, Workload, WorkloadBuilder,
-    WorkloadKind,
+    workload_from_csv, workload_to_csv, ArrivalProcess, ResourceDist, SyntheticParams, Workload,
+    WorkloadBuilder, WorkloadKind,
 };
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -31,6 +34,12 @@ USAGE:
                       [--negotiation <delta|full>]
                       [--substrate <fast|keyed|shared|shared-naive>]
                       [--pool <uniform|gpu-mix|phi-mix|phi7120-mix>]
+                      [--arrivals <zero|poisson:GAP|diurnal:GAP:PERIOD:AMP
+                                  |bursty:GAP:SIZE:BGAP|flash:GAP:AT:FRAC>]
+                      [--perturb SPEC]  e.g. derate:600:60:0.5,latency:300:30:2,
+                                        stale-ads:400:45,jitter:3,horizon:3600
+                      [--fault-plan FILE.json] [--dump-fault-plan FILE.json]
+                      [--perturb-plan FILE.json] [--dump-perturb-plan FILE.json]
                       [--from FILE.csv] [--json] [--gantt]
   phishare compare    [--jobs N] [--nodes N] [--dist ...] [--seed N] [--oracle]
   phishare footprint  [--jobs N] [--max-nodes N] [--dist ...] [--seed N]
@@ -93,6 +102,11 @@ fn build_workload(
 ) -> Result<Workload, String> {
     let seed: u64 = flags.get("seed", 7)?;
     if let Some(path) = flags.get_str("from") {
+        if flags.has("arrivals") {
+            return Err(
+                "--arrivals cannot be combined with --from (CSV jobs arrive at zero)".into(),
+            );
+        }
         let csv = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         return workload_from_csv(&csv, seed).map_err(|e| e.to_string());
     }
@@ -105,7 +119,64 @@ fn build_workload(
         "high" => WorkloadKind::Synthetic(ResourceDist::HighSkew, SyntheticParams::default()),
         other => return Err(format!("unknown --dist {other:?}")),
     };
-    Ok(WorkloadBuilder::new(kind).count(count).seed(seed).build())
+    let mut builder = WorkloadBuilder::new(kind).count(count).seed(seed);
+    if let Some(spec) = flags.get_str("arrivals") {
+        let arrivals: ArrivalProcess = spec.parse()?;
+        builder = builder.arrivals(arrivals);
+    }
+    Ok(builder.build())
+}
+
+/// Resolve the chaos plans requested on the command line, if any.
+///
+/// `--fault-plan` / `--perturb-plan` load committed JSON (replaying a
+/// recorded failure); the `--dump-*` variants write the plans the config
+/// would generate so a chaotic run can be committed and replayed later.
+/// Returns `None` when no plan flag is present, keeping the plain code
+/// path untouched.
+fn chaos_plans(
+    flags: &Flags,
+    config: &ClusterConfig,
+) -> Result<Option<(FaultPlan, PerturbPlan)>, String> {
+    let keys = [
+        "fault-plan",
+        "dump-fault-plan",
+        "perturb-plan",
+        "dump-perturb-plan",
+    ];
+    if !keys.iter().any(|k| flags.has(k)) {
+        return Ok(None);
+    }
+    let faults = match flags.get_str("fault-plan") {
+        Some(path) => {
+            let s =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let plan = FaultPlan::from_json(&s)?;
+            plan.validate(config)?;
+            plan
+        }
+        None => FaultPlan::generate(config),
+    };
+    let perturbs = match flags.get_str("perturb-plan") {
+        Some(path) => {
+            let s =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let plan = PerturbPlan::from_json(&s)?;
+            plan.validate(config)?;
+            plan
+        }
+        None => PerturbPlan::generate(config),
+    };
+    if let Some(path) = flags.get_str("dump-fault-plan") {
+        std::fs::write(path, faults.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote fault plan ({} events) to {path}", faults.len());
+    }
+    if let Some(path) = flags.get_str("dump-perturb-plan") {
+        std::fs::write(path, perturbs.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote perturb plan ({} events) to {path}", perturbs.len());
+    }
+    Ok(Some((faults, perturbs)))
 }
 
 fn result_row(r: &phishare::cluster::ExperimentResult) -> Vec<String> {
@@ -140,13 +211,22 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         .with_seed(flags.get("seed", 7)?);
     config.negotiation = flags.get("negotiation", MatchPath::default())?;
     config.pool = flags.get("pool", DevicePool::Uniform)?;
+    if let Some(spec) = flags.get_str("perturb") {
+        config.perturb = PerturbConfig::from_spec(spec)?;
+    }
     let substrate: SubstrateMode = flags.get("substrate", SubstrateMode::Fast)?;
+    let plans = chaos_plans(flags, &config)?;
 
     if flags.has("gantt") {
         if substrate != SubstrateMode::Fast {
             return Err("--gantt only supports the default substrate".into());
         }
-        let (result, trace) = Experiment::run_traced(&config, &workload)?;
+        let (result, trace) = match &plans {
+            Some((faults, perturbs)) => {
+                Experiment::run_chaos_traced(&config, &workload, faults, perturbs, substrate)?
+            }
+            None => Experiment::run_traced(&config, &workload)?,
+        };
         println!("{}", table(&RESULT_HEADER, &[result_row(&result)]));
         print!("{}", trace.node_gantt(96));
         let violations = phishare::cluster::audit(&config, &workload, &result, &trace);
@@ -160,7 +240,12 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         }
         return Ok(());
     }
-    let result = Experiment::run_with_substrate(&config, &workload, substrate)?;
+    let result = match &plans {
+        Some((faults, perturbs)) => {
+            Experiment::run_chaos_traced(&config, &workload, faults, perturbs, substrate)?.0
+        }
+        None => Experiment::run_with_substrate(&config, &workload, substrate)?,
+    };
     if flags.has("json") {
         println!(
             "{}",
