@@ -10,9 +10,11 @@
 //! shorten makespans on thread-skewed distributions while the sharing
 //! policies (MCC vs MCCK) keep their relative order.
 
-use phishare_bench::{banner, persist_json, synthetic_workload, EXPERIMENT_SEED};
+use phishare_bench::{
+    banner, persist_json, run_sweep_sharded_auto, synthetic_workload, EXPERIMENT_SEED,
+};
 use phishare_cluster::report::{pct, secs, table};
-use phishare_cluster::sweep::{run_sweep_substrate_auto, SweepJob};
+use phishare_cluster::sweep::SweepJob;
 use phishare_cluster::{ClusterConfig, DevicePool, DeviceSku, SubstrateMode};
 use phishare_core::ClusterPolicy;
 use phishare_workload::ResourceDist;
@@ -64,7 +66,14 @@ fn main() {
             }
         }
     }
-    let results = run_sweep_substrate_auto(grid, SubstrateMode::Shared);
+    // Sharded across worker processes on the shared-throughput substrate —
+    // the manifest round-trips the substrate spelling, and the merge is
+    // bit-identical to the in-process `run_sweep_substrate_auto`.
+    let results = run_sweep_sharded_auto(
+        grid,
+        SubstrateMode::Shared,
+        env!("CARGO_BIN_EXE_phishare-bench"),
+    );
 
     let rows: Vec<Row> = results
         .iter()

@@ -5,10 +5,13 @@
 //! very small clusters any sharing (even random) wins big; the knapsack's
 //! edge grows with cluster size, where more placement decisions exist.
 
-use phishare_bench::{banner, persist_json, synthetic_workload, EXPERIMENT_SEED, SYNTHETIC_JOBS};
+use phishare_bench::{
+    banner, persist_json, run_sweep_sharded_auto, synthetic_workload, EXPERIMENT_SEED,
+    SYNTHETIC_JOBS,
+};
 use phishare_cluster::report::{secs, table};
-use phishare_cluster::sweep::{run_sweep_auto, SweepJob};
-use phishare_cluster::ClusterConfig;
+use phishare_cluster::sweep::SweepJob;
+use phishare_cluster::{ClusterConfig, SubstrateMode};
 use phishare_core::ClusterPolicy;
 use phishare_workload::ResourceDist;
 use serde::Serialize;
@@ -43,7 +46,14 @@ fn main() {
             }
         }
     }
-    let results = run_sweep_auto(grid);
+    // The figure-scale grid runs on the process-sharded engine (workers
+    // spawned from the phishare-bench worker binary), which is pinned
+    // bit-identical to the in-process `run_sweep`.
+    let results = run_sweep_sharded_auto(
+        grid,
+        SubstrateMode::Fast,
+        env!("CARGO_BIN_EXE_phishare-bench"),
+    );
 
     let rows: Vec<Row> = results
         .iter()

@@ -1,0 +1,29 @@
+//! Worker-mode binary for the process-sharded sweep engine.
+//!
+//! `run_sweep_sharded` spawns this as
+//! `phishare-bench --worker --dir <checkpoint dir> --worker-id <k>`; the
+//! worker claims cells from the manifest through lease files, checkpoints
+//! each finished cell to its fsync'd JSONL log, and exits 0 when the grid
+//! is exhausted. All the actual logic lives in `phishare_cluster::shard` —
+//! this binary only exists so benches and integration tests have a worker
+//! executable (`CARGO_BIN_EXE_phishare-bench`) to hand to `ShardOptions`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("--worker") {
+        eprintln!("phishare-bench is a sweep worker: --worker --dir <dir> --worker-id <k>");
+        return ExitCode::from(2);
+    }
+    match phishare_cluster::worker_main(&args) {
+        Ok(ran) => {
+            eprintln!("phishare-bench worker done: {ran} cell(s) executed");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("phishare-bench worker failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -23,7 +23,10 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use phishare_cluster::{ClusterConfig, Experiment, ExperimentResult};
+use phishare_cluster::{
+    default_workers, run_sweep_sharded, ClusterConfig, Experiment, ExperimentResult, ShardOptions,
+    SubstrateMode, SweepJob, SweepOutcome,
+};
 use phishare_core::ClusterPolicy;
 use phishare_workload::{ResourceDist, SyntheticParams, Workload, WorkloadBuilder, WorkloadKind};
 use serde::Serialize;
@@ -64,6 +67,28 @@ pub fn synthetic_workload(dist: ResourceDist, count: usize, seed: u64) -> Arc<Wo
 pub fn run_cell(policy: ClusterPolicy, nodes: u32, workload: &Workload) -> ExperimentResult {
     let config = ClusterConfig::paper_cluster(policy).with_nodes(nodes);
     Experiment::run(&config, workload).expect("experiment runs")
+}
+
+/// Run a sweep grid through the process-sharded engine, sized to the
+/// machine (`PHISHARE_SWEEP_WORKERS` / [`default_workers`]), with workers
+/// spawned from `worker_exe` — benches pass
+/// `env!("CARGO_BIN_EXE_phishare-bench")`. Bit-identical to
+/// [`phishare_cluster::run_sweep`] on the same grid; panics if the sharded
+/// run fails (a bench has no resume story).
+pub fn run_sweep_sharded_auto(
+    jobs: Vec<SweepJob>,
+    substrate: SubstrateMode,
+    worker_exe: &str,
+) -> Vec<SweepOutcome> {
+    let opts = ShardOptions {
+        workers: default_workers(),
+        worker_exe: PathBuf::from(worker_exe),
+        dir: None,
+        resume: false,
+        keep_dir: false,
+        substrate,
+    };
+    run_sweep_sharded(jobs, &opts).expect("sharded sweep runs")
 }
 
 /// Where experiment JSON lands (`target/experiments/`).

@@ -38,6 +38,9 @@
 //!   search (Tables II and III);
 //! * [`sweep`] — a parallel parameter-sweep harness for the figure-scale
 //!   experiments (many independent simulations across worker threads);
+//! * [`shard`] — the process-sharded sweep engine: manifest + lease-claimed
+//!   worker processes + fsync'd JSONL checkpoints with `--resume`, merged
+//!   bit-identical to [`sweep::run_sweep`];
 //! * [`substrate`] — the state-storage seam: slab-backed fast device/COSMIC
 //!   state vs. the seed's map-backed oracle, kept bit-identical;
 //! * [`report`] — plain-text table formatting for the bench harnesses.
@@ -54,6 +57,7 @@ pub mod metrics;
 pub mod perturb;
 pub mod report;
 pub mod runtime;
+pub mod shard;
 pub mod substrate;
 pub mod sweep;
 pub mod trace;
@@ -68,6 +72,13 @@ pub use perturb::{
     StaleAdsSpec,
 };
 pub use runtime::{Experiment, ExperimentScratch, SubstrateMode};
+pub use shard::{
+    default_workers, run_sweep_sharded, run_worker, worker_main, CellRecord, ManifestCell,
+    ShardManifest, ShardOptions,
+};
 pub use substrate::{CosmicSubstrate, DeviceSubstrate};
-pub use sweep::{run_sweep, run_sweep_auto, run_sweep_keyed, run_sweep_substrate_auto, SweepJob};
+pub use sweep::{
+    default_threads, run_sweep, run_sweep_auto, run_sweep_keyed, run_sweep_substrate_auto,
+    SweepJob, SweepOutcome,
+};
 pub use trace::{KillReason, Trace, TraceEvent};

@@ -153,6 +153,19 @@ impl std::str::FromStr for SubstrateMode {
     }
 }
 
+impl std::fmt::Display for SubstrateMode {
+    /// The CLI spelling; round-trips through [`SubstrateMode::from_str`]
+    /// (the sweep manifests of [`crate::shard`] persist this form).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SubstrateMode::Fast => "fast",
+            SubstrateMode::Keyed => "keyed",
+            SubstrateMode::Shared => "shared",
+            SubstrateMode::SharedNaive => "shared-naive",
+        })
+    }
+}
+
 /// Per-worker recycled buffers for back-to-back experiments.
 ///
 /// A figure-scale sweep runs hundreds of independent simulations per
@@ -372,8 +385,33 @@ impl Experiment {
     ) -> Result<ExperimentResult, String> {
         let plan = FaultPlan::generate(config);
         let perturbs = PerturbPlan::generate(config);
-        Self::run_substrate_inner(config, workload, &plan, &perturbs, false, substrate)
+        Self::run_substrate_inner(config, workload, &plan, &perturbs, false, substrate, None)
             .map(|(r, _)| r)
+    }
+
+    /// [`Experiment::run_with_substrate`] recycling `scratch`'s buffers
+    /// across calls — [`Experiment::run_with_scratch`] generalized to every
+    /// substrate, so sweep workers use one cell body regardless of mode.
+    /// Bit-identical to the scratch-free forms (the sweep tests pin every
+    /// substrate's recycled results against fresh runs).
+    pub fn run_with_substrate_scratch(
+        config: &ClusterConfig,
+        workload: &Workload,
+        substrate: SubstrateMode,
+        scratch: &mut ExperimentScratch,
+    ) -> Result<ExperimentResult, String> {
+        let plan = FaultPlan::generate(config);
+        let perturbs = PerturbPlan::generate(config);
+        Self::run_substrate_inner(
+            config,
+            workload,
+            &plan,
+            &perturbs,
+            false,
+            substrate,
+            Some(scratch),
+        )
+        .map(|(r, _)| r)
     }
 
     /// [`Experiment::run_with_faults_traced`] on an explicitly chosen
@@ -385,7 +423,7 @@ impl Experiment {
         substrate: SubstrateMode,
     ) -> Result<(ExperimentResult, Trace), String> {
         let perturbs = PerturbPlan::generate(config);
-        Self::run_substrate_inner(config, workload, plan, &perturbs, true, substrate)
+        Self::run_substrate_inner(config, workload, plan, &perturbs, true, substrate, None)
             .map(|(r, t)| (r, t.expect("tracing was enabled")))
     }
 
@@ -405,10 +443,11 @@ impl Experiment {
         perturbs: &PerturbPlan,
         substrate: SubstrateMode,
     ) -> Result<(ExperimentResult, Trace), String> {
-        Self::run_substrate_inner(config, workload, plan, perturbs, true, substrate)
+        Self::run_substrate_inner(config, workload, plan, perturbs, true, substrate, None)
             .map(|(r, t)| (r, t.expect("tracing was enabled")))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_substrate_inner(
         config: &ClusterConfig,
         workload: &Workload,
@@ -416,6 +455,7 @@ impl Experiment {
         perturbs: &PerturbPlan,
         traced: bool,
         substrate: SubstrateMode,
+        scratch: Option<&mut ExperimentScratch>,
     ) -> Result<(ExperimentResult, Option<Trace>), String> {
         match substrate {
             SubstrateMode::Fast => Self::run_inner::<PhiDevice, CosmicDevice>(
@@ -425,7 +465,7 @@ impl Experiment {
                 perturbs,
                 traced,
                 EventMode::NextCompletion,
-                None,
+                scratch,
             ),
             SubstrateMode::Keyed => Self::run_inner::<KeyedPhiDevice, KeyedCosmicDevice>(
                 config,
@@ -434,7 +474,7 @@ impl Experiment {
                 perturbs,
                 traced,
                 EventMode::NextCompletion,
-                None,
+                scratch,
             ),
             SubstrateMode::Shared => Self::run_inner::<SharedThroughputDevice, CosmicDevice>(
                 config,
@@ -443,7 +483,7 @@ impl Experiment {
                 perturbs,
                 traced,
                 EventMode::NextCompletion,
-                None,
+                scratch,
             ),
             SubstrateMode::SharedNaive => Self::run_inner::<NaiveSharedDevice, CosmicDevice>(
                 config,
@@ -452,7 +492,7 @@ impl Experiment {
                 perturbs,
                 traced,
                 EventMode::NextCompletion,
-                None,
+                scratch,
             ),
         }
     }

@@ -8,6 +8,11 @@
 //! from the indices — so a sweep's output is as deterministic as a single
 //! run, and no lock is ever contended (each result is touched by exactly
 //! one worker and then the collector).
+//!
+//! For grids too large for one process, [`crate::shard`] fans the same
+//! cells out over worker *processes*; both paths share [`run_cell`] and
+//! the [`OrderedSlots`] merge, so the sharded output stays bit-identical
+//! to the in-process one.
 
 use crate::config::ClusterConfig;
 use crate::metrics::ExperimentResult;
@@ -26,28 +31,79 @@ pub struct SweepJob {
     pub workload: Arc<Workload>,
 }
 
+/// The outcome of one sweep cell, as reported back to the caller.
+pub type SweepOutcome = (String, Result<ExperimentResult, String>);
+
+/// Run one sweep cell on the given substrate, recycling `scratch`.
+///
+/// The single worker body shared by every sweep mode — the in-process
+/// workers of [`run_sweep`]/[`run_sweep_keyed`] and the per-process
+/// workers of [`crate::shard`] all execute cells through here, so every
+/// path gets scratch recycling and every path is bit-identical.
+pub(crate) fn run_cell(
+    job: &SweepJob,
+    substrate: SubstrateMode,
+    scratch: &mut ExperimentScratch,
+) -> Result<ExperimentResult, String> {
+    Experiment::run_with_substrate_scratch(&job.config, &job.workload, substrate, scratch)
+}
+
+/// Submission-order reassembly of indexed sweep outcomes.
+///
+/// Shared by the in-process collector and the sharded merge: inserting the
+/// same index twice or finishing with a hole is a *hard* error in both, so
+/// a completed merge proves every cell ran exactly once.
+pub(crate) struct OrderedSlots {
+    slots: Vec<Option<SweepOutcome>>,
+}
+
+impl OrderedSlots {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            slots: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Place `outcome` at `idx`; errors on an out-of-range or duplicate index.
+    pub(crate) fn insert(&mut self, idx: usize, outcome: SweepOutcome) -> Result<(), String> {
+        let n = self.slots.len();
+        let slot = self
+            .slots
+            .get_mut(idx)
+            .ok_or_else(|| format!("sweep cell index {idx} out of range for {n} cells"))?;
+        if slot.is_some() {
+            return Err(format!("sweep cell {idx} ran twice"));
+        }
+        *slot = Some(outcome);
+        Ok(())
+    }
+
+    /// Consume the slots; errors if any cell never reported a result.
+    pub(crate) fn finish(self) -> Result<Vec<SweepOutcome>, String> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .map(|(idx, slot)| slot.ok_or_else(|| format!("sweep cell {idx} never ran")))
+            .collect()
+    }
+}
+
 /// Run every job in the grid, using up to `threads` worker threads.
 /// Results come back in the same order as `jobs`.
 ///
 /// Each worker owns one [`ExperimentScratch`] and recycles its event heap
 /// and grant buffers across the cells it processes — steady-state cells
 /// allocate O(1), and recycling is asserted bit-identical to fresh runs.
-pub fn run_sweep(
-    jobs: Vec<SweepJob>,
-    threads: usize,
-) -> Vec<(String, Result<ExperimentResult, String>)> {
+pub fn run_sweep(jobs: Vec<SweepJob>, threads: usize) -> Vec<SweepOutcome> {
     sweep_inner(jobs, threads, SubstrateMode::Fast)
 }
 
 /// [`run_sweep`] on the seed's keyed substrate ([`SubstrateMode::Keyed`]),
-/// without scratch recycling.
+/// with the same per-worker scratch recycling as the fast path.
 ///
 /// The differential oracle and the timing floor for the `perf_e2e` bench
 /// gate: its results must be bit-identical to [`run_sweep`]'s.
-pub fn run_sweep_keyed(
-    jobs: Vec<SweepJob>,
-    threads: usize,
-) -> Vec<(String, Result<ExperimentResult, String>)> {
+pub fn run_sweep_keyed(jobs: Vec<SweepJob>, threads: usize) -> Vec<SweepOutcome> {
     sweep_inner(jobs, threads, SubstrateMode::Keyed)
 }
 
@@ -57,15 +113,11 @@ pub fn run_sweep_keyed(
 pub fn run_sweep_substrate_auto(
     jobs: Vec<SweepJob>,
     substrate: SubstrateMode,
-) -> Vec<(String, Result<ExperimentResult, String>)> {
+) -> Vec<SweepOutcome> {
     sweep_inner(jobs, default_threads(), substrate)
 }
 
-fn sweep_inner(
-    jobs: Vec<SweepJob>,
-    threads: usize,
-    substrate: SubstrateMode,
-) -> Vec<(String, Result<ExperimentResult, String>)> {
+fn sweep_inner(jobs: Vec<SweepJob>, threads: usize, substrate: SubstrateMode) -> Vec<SweepOutcome> {
     assert!(threads >= 1, "need at least one worker");
     let n = jobs.len();
     if n == 0 {
@@ -89,16 +141,7 @@ fn sweep_inner(
             scope.spawn(move || {
                 let mut scratch = ExperimentScratch::new();
                 while let Ok((idx, job)) = rx.recv() {
-                    let outcome = match substrate {
-                        SubstrateMode::Fast => {
-                            Experiment::run_with_scratch(&job.config, &job.workload, &mut scratch)
-                        }
-                        SubstrateMode::Keyed
-                        | SubstrateMode::Shared
-                        | SubstrateMode::SharedNaive => {
-                            Experiment::run_with_substrate(&job.config, &job.workload, substrate)
-                        }
-                    };
+                    let outcome = run_cell(&job, substrate, &mut scratch);
                     res_tx
                         .send((idx, job.label, outcome))
                         .expect("open channel");
@@ -110,22 +153,21 @@ fn sweep_inner(
 
     // All workers have exited the scope; the indexed results reassemble
     // submission order regardless of which worker finished when.
-    let mut slots: Vec<Option<(String, Result<ExperimentResult, String>)>> =
-        (0..n).map(|_| None).collect();
+    let mut slots = OrderedSlots::new(n);
     for (idx, label, outcome) in res_rx.iter() {
-        debug_assert!(slots[idx].is_none(), "sweep cell {idx} ran twice");
-        slots[idx] = Some((label, outcome));
+        slots
+            .insert(idx, (label, outcome))
+            .expect("in-process sweep delivered a duplicate cell");
     }
     slots
-        .into_iter()
-        .map(|slot| slot.expect("every sweep cell ran"))
-        .collect()
+        .finish()
+        .expect("every sweep cell reports exactly once")
 }
 
 /// [`run_sweep`] sized to the machine: worker count from
 /// [`std::thread::available_parallelism`] via [`default_threads`]. The
 /// bench harness entry point — benches should not hand-pick thread counts.
-pub fn run_sweep_auto(jobs: Vec<SweepJob>) -> Vec<(String, Result<ExperimentResult, String>)> {
+pub fn run_sweep_auto(jobs: Vec<SweepJob>) -> Vec<SweepOutcome> {
     run_sweep(jobs, default_threads())
 }
 
@@ -133,16 +175,40 @@ pub fn run_sweep_auto(jobs: Vec<SweepJob>) -> Vec<(String, Result<ExperimentResu
 /// when set to a positive integer, otherwise physical parallelism minus
 /// one, at least one.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("PHISHARE_SWEEP_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
+    let raw = std::env::var("PHISHARE_SWEEP_THREADS").ok();
+    threads_override(raw.as_deref()).unwrap_or_else(auto_threads)
+}
+
+/// Parse a thread-count override (the value of `PHISHARE_SWEEP_THREADS`).
+/// Returns `None` for absent, non-numeric, or non-positive values — the
+/// caller falls back to machine sizing. Injectable so the parse rules are
+/// testable without mutating process-global environment state.
+pub fn threads_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+fn auto_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get().saturating_sub(1).max(1))
         .unwrap_or(1)
+}
+
+#[cfg(test)]
+pub(crate) mod env_lock {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Process-wide lock for tests that mutate environment variables.
+    /// `std::env::set_var` is not thread-safe against concurrent readers,
+    /// so every env-mutating test in this crate holds this for its whole
+    /// body; all other tests go through injectable parameters instead.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn lock() -> MutexGuard<'static, ()> {
+        ENV_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
 }
 
 #[cfg(test)]
@@ -219,19 +285,47 @@ mod tests {
     }
 
     #[test]
+    fn threads_override_parses_without_env() {
+        // The parse rules, exercised through the injectable parameter —
+        // no process-global environment mutation required.
+        assert_eq!(threads_override(Some("3")), Some(3));
+        assert_eq!(threads_override(Some("  8 ")), Some(8));
+        assert_eq!(threads_override(Some("0")), None, "0 falls back to auto");
+        assert_eq!(threads_override(Some("not-a-number")), None);
+        assert_eq!(threads_override(Some("-2")), None);
+        assert_eq!(threads_override(None), None);
+    }
+
+    #[test]
     fn sweep_threads_env_override_is_honored() {
-        // Serialized within this test; no other test reads the variable.
+        // The one test that really mutates the variable, serialized behind
+        // the crate-wide env lock so no concurrent test observes the write.
+        let _guard = env_lock::lock();
         std::env::set_var("PHISHARE_SWEEP_THREADS", "3");
         assert_eq!(default_threads(), 3);
-        std::env::set_var("PHISHARE_SWEEP_THREADS", "0");
-        let fallback = std::thread::available_parallelism()
-            .map(|n| n.get().saturating_sub(1).max(1))
-            .unwrap_or(1);
-        assert_eq!(default_threads(), fallback, "0 falls back to auto");
-        std::env::set_var("PHISHARE_SWEEP_THREADS", "not-a-number");
-        assert_eq!(default_threads(), fallback);
         std::env::remove_var("PHISHARE_SWEEP_THREADS");
-        assert_eq!(default_threads(), fallback);
+        assert_eq!(default_threads(), auto_threads());
+    }
+
+    #[test]
+    fn ordered_slots_rejects_duplicates_and_holes() {
+        let ok = |label: &str| (label.to_string(), Err::<ExperimentResult, _>("x".into()));
+        let mut slots = OrderedSlots::new(2);
+        slots.insert(1, ok("b")).unwrap();
+        assert!(slots.insert(1, ok("b2")).unwrap_err().contains("twice"));
+        assert!(slots
+            .insert(5, ok("z"))
+            .unwrap_err()
+            .contains("out of range"));
+        // Hole at index 0 is a hard error on finish.
+        assert!(slots.finish().unwrap_err().contains("never ran"));
+
+        let mut slots = OrderedSlots::new(2);
+        slots.insert(1, ok("b")).unwrap();
+        slots.insert(0, ok("a")).unwrap();
+        let merged = slots.finish().unwrap();
+        assert_eq!(merged[0].0, "a");
+        assert_eq!(merged[1].0, "b");
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! phishare compare    --jobs 400 --nodes 8 [--dist table1] [--oracle]
 //! phishare footprint  --jobs 400 --max-nodes 8 [--dist table1] [--tolerance 0.02]
 //! phishare workload   --count 100 [--dist table1] [--format csv|json] [--out FILE]
+//! phishare sweep      --policies mcc,mcck --sizes 2,4,8 [--workers N] [--dir D] [--resume]
+//! phishare --worker   --dir D --worker-id K        (spawned by sharded sweeps)
 //! ```
 //!
 //! Every command accepts `--seed N` (default 7). Workloads can also be
@@ -13,8 +15,8 @@
 
 use phishare::cluster::report::{pct, secs, table};
 use phishare::cluster::{
-    footprint_search, ClusterConfig, DevicePool, Experiment, FaultPlan, PerturbConfig, PerturbPlan,
-    SubstrateMode,
+    footprint_search, CellRecord, ClusterConfig, DevicePool, Experiment, FaultPlan, PerturbConfig,
+    PerturbPlan, ShardOptions, SubstrateMode, SweepJob,
 };
 use phishare::condor::MatchPath;
 use phishare::core::ClusterPolicy;
@@ -46,6 +48,16 @@ USAGE:
                       [--tolerance F]
   phishare workload   [--count N] [--dist ...] [--seed N]
                       [--format <csv|json>] [--out FILE]
+  phishare sweep      [--policies mc,mcc,mcck] [--sizes 2,4,8] [--jobs N]
+                      [--dist ...] [--seed N] [--substrate ...] [--pool ...]
+                      [--workers N] [--dir DIR] [--resume] [--json]
+                      Runs the (policy × size) grid. --workers 0 (default)
+                      stays in-process; --workers N shards the grid across
+                      N worker processes with fsync'd checkpoints in --dir,
+                      resumable after a crash with --resume.
+  phishare --worker   --dir DIR --worker-id K
+                      Worker mode (spawned by sharded sweeps): claim and run
+                      cells from DIR's manifest, checkpoint, exit.
   phishare help
 ";
 
@@ -61,7 +73,7 @@ impl Flags {
             let key = arg
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected a --flag, got {arg:?}"))?;
-            let takes_value = !matches!(key, "json" | "gantt" | "oracle");
+            let takes_value = !matches!(key, "json" | "gantt" | "oracle" | "resume");
             if takes_value {
                 let value = args
                     .get(i + 1)
@@ -331,6 +343,96 @@ fn cmd_footprint(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sweep(flags: &Flags) -> Result<(), String> {
+    let policies: Vec<ClusterPolicy> = flags
+        .get_str("policies")
+        .unwrap_or("mc,mcc,mcck")
+        .split(',')
+        .map(|p| p.trim().parse())
+        .collect::<Result<_, _>>()?;
+    let sizes: Vec<u32> = flags
+        .get_str("sizes")
+        .unwrap_or("2,4,8")
+        .split(',')
+        .map(|n| {
+            n.trim()
+                .parse()
+                .map_err(|e| format!("bad --sizes entry {n:?}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let seed: u64 = flags.get("seed", 7)?;
+    let substrate: SubstrateMode = flags.get("substrate", SubstrateMode::Fast)?;
+    let pool: DevicePool = flags.get("pool", DevicePool::Uniform)?;
+    let workload = std::sync::Arc::new(build_workload(flags, "jobs", 200)?);
+
+    let mut grid = Vec::new();
+    for &policy in &policies {
+        for &nodes in &sizes {
+            let mut config = ClusterConfig::paper_cluster(policy)
+                .with_nodes(nodes)
+                .with_seed(seed);
+            config.pool = pool;
+            grid.push(SweepJob {
+                label: format!("{policy}/{nodes}"),
+                config,
+                workload: std::sync::Arc::clone(&workload),
+            });
+        }
+    }
+
+    let workers: usize = flags.get("workers", 0)?;
+    let results = if workers == 0 {
+        // In-process thread sweep (the sharded path is bit-identical).
+        phishare::cluster::sweep::run_sweep_substrate_auto(grid, substrate)
+    } else {
+        let opts = ShardOptions {
+            workers,
+            worker_exe: std::env::current_exe()
+                .map_err(|e| format!("cannot locate phishare for worker spawn: {e}"))?,
+            dir: flags.get_str("dir").map(std::path::PathBuf::from),
+            resume: flags.has("resume"),
+            keep_dir: false,
+            substrate,
+        };
+        phishare::cluster::run_sweep_sharded(grid, &opts)?
+    };
+
+    if flags.has("json") {
+        // One CellRecord per cell — the same schema the checkpoint logs
+        // use, so downstream tooling parses both.
+        let records: Vec<CellRecord> = results
+            .iter()
+            .enumerate()
+            .map(|(index, (label, outcome))| CellRecord {
+                index,
+                label: label.clone(),
+                ok: outcome.as_ref().ok().cloned(),
+                err: outcome.as_ref().err().cloned(),
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&records).expect("records serialize")
+        );
+        return Ok(());
+    }
+    let mut rows = Vec::new();
+    for (label, outcome) in &results {
+        match outcome {
+            Ok(r) => {
+                let mut row = vec![label.clone()];
+                row.extend(result_row(r).into_iter().skip(1));
+                rows.push(row);
+            }
+            Err(e) => rows.push(vec![label.clone(), format!("error: {e}")]),
+        }
+    }
+    let mut header = RESULT_HEADER.to_vec();
+    header[0] = "Cell";
+    println!("{}", table(&header, &rows));
+    Ok(())
+}
+
 fn cmd_workload(flags: &Flags) -> Result<(), String> {
     let workload = build_workload(flags, "count", 100)?;
     let rendered = match flags.get_str("format").unwrap_or("csv") {
@@ -354,11 +456,27 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // Worker mode bypasses the command grammar: sharded sweeps spawn
+    // `phishare --worker --dir <d> --worker-id <k>` (same convention as
+    // the phishare-bench worker binary).
+    if command == "--worker" {
+        return match phishare::cluster::worker_main(&args) {
+            Ok(ran) => {
+                eprintln!("phishare worker done: {ran} cell(s) executed");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let outcome = Flags::parse(rest).and_then(|flags| match command.as_str() {
         "run" => cmd_run(&flags),
         "compare" => cmd_compare(&flags),
         "footprint" => cmd_footprint(&flags),
         "workload" => cmd_workload(&flags),
+        "sweep" => cmd_sweep(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

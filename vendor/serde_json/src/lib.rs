@@ -311,16 +311,24 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input came from &str, so
-                    // boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
-                    if (c as u32) < 0x20 {
-                        return Err(self.error("unescaped control character in string"));
+                    // Consume the whole run of plain bytes up to the next
+                    // quote or backslash in one slice. Control characters
+                    // must be escaped per RFC 8259; everything else copies
+                    // verbatim (multi-byte UTF-8 included — the input came
+                    // from a &str, so the run sits on scalar boundaries).
+                    let start = self.pos;
+                    while let Some(&c) = self.bytes.get(self.pos) {
+                        if c == b'"' || c == b'\\' {
+                            break;
+                        }
+                        if c < 0x20 {
+                            return Err(self.error("unescaped control character in string"));
+                        }
+                        self.pos += 1;
                     }
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    s.push_str(run);
                 }
             }
         }
@@ -422,6 +430,29 @@ mod tests {
         assert!(from_str::<Value>("1 2").is_err());
         assert!(from_str::<Value>("nul").is_err());
         assert!(from_str::<Value>("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // Regression: parse_string used to re-validate the entire remaining
+        // document for every character, making large manifests quadratic.
+        // 2 MB of string data must parse near-instantly; the wall-clock
+        // bound is generous enough to never flake, but the old code took
+        // tens of seconds here.
+        let payload = "x".repeat(4096);
+        let doc = format!(
+            "[{}]",
+            std::iter::repeat_with(|| format!("\"ab\\n{payload}é\""))
+                .take(512)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let start = std::time::Instant::now();
+        let v: Value = from_str(&doc).unwrap();
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
+        let expected = format!("ab\n{payload}é");
+        assert_eq!(v[0], expected.as_str());
+        assert_eq!(v[511], v[0]);
     }
 
     #[test]
