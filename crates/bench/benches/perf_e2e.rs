@@ -24,7 +24,7 @@
 //! fast/keyed bit-identity lives in `cluster/tests/prop_runtime_diff.rs`).
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use phishare_bench::{banner, persist_json, EXPERIMENT_SEED, SYNTHETIC_JOBS};
+use phishare_bench::{banner, persist_json, GateKnobs, EXPERIMENT_SEED, SYNTHETIC_JOBS};
 use phishare_cluster::{
     run_sweep, run_sweep_keyed, ClusterConfig, Experiment, SubstrateMode, SweepJob,
 };
@@ -150,6 +150,13 @@ struct E2eBench {
     /// Heap allocation calls per profiled offload over one fast sweep —
     /// `null` unless built with `--features alloc-count`.
     allocs_per_offload: Option<f64>,
+    /// Negotiation cycles skipped as quiescent across one fast sweep,
+    /// summed over all cells (the runtime-layer work avoidance this gate
+    /// now benefits from).
+    cycles_skipped_total: u64,
+    /// Negotiation cycles across one fast sweep, all cells.
+    negotiation_cycles_total: u64,
+    knobs: GateKnobs,
 }
 
 #[cfg(feature = "alloc-count")]
@@ -190,6 +197,14 @@ fn gate() -> E2eBench {
         .iter()
         .map(|(_, r)| r.as_ref().map(|r| r.completed).unwrap_or(0))
         .sum();
+    let cycles_skipped_total: u64 = fast
+        .iter()
+        .map(|(_, r)| r.as_ref().map(|r| r.cycles_skipped).unwrap_or(0))
+        .sum();
+    let negotiation_cycles_total: u64 = fast
+        .iter()
+        .map(|(_, r)| r.as_ref().map(|r| r.negotiation_cycles).unwrap_or(0))
+        .sum();
 
     let keyed_runs = 2;
     let fast_runs = 3;
@@ -221,6 +236,14 @@ fn gate() -> E2eBench {
         completed_total,
         total_offloads,
         allocs_per_offload,
+        cycles_skipped_total,
+        negotiation_cycles_total,
+        knobs: GateKnobs {
+            partitions: phishare_condor::collector::default_partitions(),
+            threads,
+            skip_quiescent: gate_config(ClusterPolicy::Mcck).skip_quiescent,
+            match_path: "delta".into(),
+        },
     }
 }
 
@@ -272,6 +295,10 @@ fn main() {
     if let Some(a) = result.allocs_per_offload {
         println!("allocations per profiled offload: {a:.2}");
     }
+    println!(
+        "quiescence: {} of {} negotiation cycles skipped across one fast sweep",
+        result.cycles_skipped_total, result.negotiation_cycles_total
+    );
     persist_json("BENCH_e2e", &result);
     // Also drop a copy at the repo root; the acceptance numbers are
     // committed alongside the code they measure.

@@ -14,7 +14,7 @@
 //! acceptance floor, making this a regression gate, not just a report.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use phishare_bench::persist_json;
+use phishare_bench::{persist_json, GateKnobs};
 use phishare_classad::ad::REQUIREMENTS;
 use phishare_classad::ClassAd;
 use phishare_condor::{attrs, Collector, JobQueue, Negotiator, SlotId};
@@ -118,6 +118,7 @@ struct NegotiationBench {
     speedup_floor: f64,
     matched: usize,
     considered: usize,
+    knobs: GateKnobs,
 }
 
 fn gate() -> NegotiationBench {
@@ -160,6 +161,14 @@ fn gate() -> NegotiationBench {
         speedup_floor: SPEEDUP_FLOOR,
         matched: matches.len(),
         considered: stats.considered,
+        // The measured side is the serial full-rematch fast path; no
+        // partitioning, sharding, or quiescence is in play.
+        knobs: GateKnobs {
+            partitions: 1,
+            threads: 1,
+            skip_quiescent: false,
+            match_path: "full".into(),
+        },
     }
 }
 

@@ -21,7 +21,7 @@
 //! Emits `BENCH_negotiation_xl.json` (under `target/experiments/` and at
 //! the repo root) and **fails** below the 5× acceptance floor.
 
-use phishare_bench::persist_json;
+use phishare_bench::{persist_json, GateKnobs};
 use phishare_classad::ad::REQUIREMENTS;
 use phishare_classad::{ClassAd, Value};
 use phishare_condor::{attrs, Collector, JobQueue, MatchPath, Negotiator, SlotId};
@@ -208,6 +208,7 @@ struct XlBench {
     speedup: f64,
     speedup_floor: f64,
     matched: usize,
+    knobs: GateKnobs,
 }
 
 fn gate() -> XlBench {
@@ -251,6 +252,16 @@ fn gate() -> XlBench {
         speedup: full.negotiate_ms / delta.negotiate_ms,
         speedup_floor: SPEEDUP_FLOOR,
         matched: delta.matched,
+        // The measured side is the PR 6 job-sharded delta screen: one
+        // collector partition, shard fan-out from the environment. The
+        // streaming churn keeps every cycle non-quiescent, but the
+        // detector is on (as it is in production).
+        knobs: GateKnobs {
+            partitions: delta.collector.partitions(),
+            threads: delta.negotiator.shard_count(),
+            skip_quiescent: true,
+            match_path: "delta".into(),
+        },
     }
 }
 

@@ -17,7 +17,7 @@
 //! floor, making this a regression gate, not just a report.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use phishare_bench::persist_json;
+use phishare_bench::{persist_json, GateKnobs};
 use phishare_core::{
     ClusterScheduler, DeviceView, KnapsackConfig, KnapsackScheduler, PendingJob, Pin, PlanStats,
     PlannerMode,
@@ -156,6 +156,7 @@ struct PlanningBench {
     pins_issued: usize,
     plan_cache_hits: u64,
     plan_cache_misses: u64,
+    knobs: GateKnobs,
 }
 
 fn gate() -> PlanningBench {
@@ -194,6 +195,7 @@ fn gate() -> PlanningBench {
         pins_issued,
         plan_cache_hits: fast.stats.cache_hits,
         plan_cache_misses: fast.stats.cache_misses,
+        knobs: GateKnobs::non_negotiation(1),
     }
 }
 

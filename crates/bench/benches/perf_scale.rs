@@ -28,7 +28,7 @@
 //! `target/sweep-shards/` so a failed gate leaves them for CI artifact
 //! upload; they are removed when the gate passes.
 
-use phishare_bench::{banner, experiments_dir, persist_json, EXPERIMENT_SEED};
+use phishare_bench::{banner, experiments_dir, persist_json, GateKnobs, EXPERIMENT_SEED};
 use phishare_cluster::{run_sweep, ClusterConfig, ShardOptions, SubstrateMode, SweepJob};
 use phishare_core::ClusterPolicy;
 use phishare_workload::{WorkloadBuilder, WorkloadKind};
@@ -108,6 +108,7 @@ struct ScaleBench {
     /// named `speedup` so the committed-floor lint covers this gate.
     speedup: f64,
     speedup_floor: f64,
+    knobs: GateKnobs,
 }
 
 fn gate() -> ScaleBench {
@@ -166,6 +167,7 @@ fn gate() -> ScaleBench {
         rows,
         speedup,
         speedup_floor: EFFICIENCY_FLOOR,
+        knobs: GateKnobs::non_negotiation(*WORKER_COUNTS.iter().max().expect("non-empty")),
     }
 }
 

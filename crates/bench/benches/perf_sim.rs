@@ -23,7 +23,7 @@
 //! `cluster/tests/prop_runtime_diff.rs`).
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use phishare_bench::{banner, persist_json, EXPERIMENT_SEED};
+use phishare_bench::{banner, persist_json, GateKnobs, EXPERIMENT_SEED};
 use phishare_cluster::{ClusterConfig, Experiment};
 use phishare_core::ClusterPolicy;
 use phishare_sim::SimDuration;
@@ -103,6 +103,7 @@ struct SimBench {
     completed: usize,
     makespan_secs: f64,
     live_events: u64,
+    knobs: GateKnobs,
 }
 
 fn gate() -> SimBench {
@@ -137,6 +138,7 @@ fn gate() -> SimBench {
         completed: fast.completed,
         makespan_secs: fast.makespan_secs,
         live_events: fast.events_processed,
+        knobs: GateKnobs::non_negotiation(1),
     }
 }
 

@@ -24,7 +24,7 @@
 //! a report.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use phishare_bench::{banner, persist_json, EXPERIMENT_SEED};
+use phishare_bench::{banner, persist_json, GateKnobs, EXPERIMENT_SEED};
 use phishare_throughput::{HeapEngine, NaiveEngine, SharingCurve, SharingEngine};
 use serde::Serialize;
 use std::hint::black_box;
@@ -155,6 +155,7 @@ struct ThroughputBench {
     speedup_floor: f64,
     /// Live activities still resident at the end of the script.
     final_population: usize,
+    knobs: GateKnobs,
 }
 
 /// Replay the script through both engines in lockstep, comparing every
@@ -235,6 +236,7 @@ fn gate() -> ThroughputBench {
         speedup: naive_ms / heap_ms,
         speedup_floor: SPEEDUP_FLOOR,
         final_population,
+        knobs: GateKnobs::non_negotiation(1),
     }
 }
 

@@ -13,7 +13,10 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) != Some("--worker") {
-        eprintln!("phishare-bench is a sweep worker: --worker --dir <dir> --worker-id <k>");
+        eprintln!(
+            "phishare-bench is a sweep worker: \
+             --worker --dir <dir> --worker-id <k> [--partitions <p>]"
+        );
         return ExitCode::from(2);
     }
     match phishare_cluster::worker_main(&args) {

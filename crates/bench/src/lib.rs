@@ -131,6 +131,38 @@ pub fn banner(id: &str, paper_ref: &str, expectation: &str) {
     println!();
 }
 
+/// The configuration knobs a perf gate's *measured* side ran with,
+/// committed alongside its timing numbers in `BENCH_*.json`. A speedup is
+/// only meaningful relative to the configuration that produced it —
+/// partition counts, thread fan-out, and quiescence skipping all move the
+/// needle — so the floor lint requires this block on every gated JSON.
+#[derive(Serialize, Clone, Debug)]
+pub struct GateKnobs {
+    /// Collector partitions on the measured path (1 = unpartitioned).
+    pub partitions: usize,
+    /// Worker/screen threads the measured harness used (1 = serial).
+    pub threads: usize,
+    /// Whether quiescent-cycle skipping was enabled on the measured path.
+    pub skip_quiescent: bool,
+    /// Matchmaking path of the measured side: "delta", "full", or "n/a"
+    /// for gates that never negotiate.
+    pub match_path: String,
+}
+
+impl GateKnobs {
+    /// Knobs for a gate that does not exercise the negotiator at all
+    /// (substrate, planner, and simulator gates): only the thread fan-out
+    /// is meaningful.
+    pub fn non_negotiation(threads: usize) -> GateKnobs {
+        GateKnobs {
+            partitions: 1,
+            threads,
+            skip_quiescent: false,
+            match_path: "n/a".into(),
+        }
+    }
+}
+
 /// Opt-in heap-allocation counting (feature `alloc-count`).
 ///
 /// Registers a [`std::alloc::System`]-backed `#[global_allocator]` that
@@ -234,6 +266,13 @@ mod tests {
                 speedup >= floor,
                 "{name} is stale: committed speedup {speedup:.2}x \
                  is below its own floor {floor:.2}x — re-run the gate"
+            );
+            // Gated results must also record what they ran with: floors
+            // are only comparable against a known knob configuration.
+            assert!(
+                matches!(json.get("knobs"), Some(serde_json::Value::Object(_))),
+                "{name} has no `knobs` block — gates must record the \
+                 partition/thread/quiescence configuration they measured"
             );
             checked += 1;
         }

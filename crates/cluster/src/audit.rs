@@ -274,6 +274,22 @@ pub fn audit(
         ));
     }
 
+    // --- quiescence bookkeeping ---
+    // Skipped cycles are a subset of negotiation cycles (the skip path
+    // still counts the cycle), and skipping can only happen when enabled.
+    if result.cycles_skipped > result.negotiation_cycles {
+        complain(format!(
+            "{} skipped cycles exceed {} negotiation cycles",
+            result.cycles_skipped, result.negotiation_cycles
+        ));
+    }
+    if !config.skip_quiescent && result.cycles_skipped > 0 {
+        complain(format!(
+            "{} cycles skipped with quiescence detection disabled",
+            result.cycles_skipped
+        ));
+    }
+
     // --- metric ranges ---
     for (name, v) in [
         ("thread_utilization", result.thread_utilization),
@@ -350,6 +366,34 @@ mod tests {
         );
         assert!(
             violations.iter().any(|v| v.contains("completions")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn audit_detects_quiescence_corruption() {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(10)
+            .seed(64)
+            .build();
+        let mut cfg = ClusterConfig::paper_cluster(ClusterPolicy::Mc).with_nodes(2);
+        let (mut result, trace) = Experiment::run_traced(&cfg, &wl).unwrap();
+        result.cycles_skipped = result.negotiation_cycles + 1;
+        let violations = audit(&cfg, &wl, &result, &trace);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("skipped cycles exceed")),
+            "{violations:?}"
+        );
+        // A skip reported while the fast path was off is also a lie.
+        cfg.skip_quiescent = false;
+        result.cycles_skipped = 1;
+        let violations = audit(&cfg, &wl, &result, &trace);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("quiescence detection disabled")),
             "{violations:?}"
         );
     }

@@ -161,6 +161,16 @@ pub struct ClusterConfig {
     /// Chaos perturbation stack (all disabled by default: nothing is
     /// perturbed and every timeline is untouched).
     pub perturb: PerturbConfig,
+    /// Collector partition count for partition-parallel matchmaking.
+    /// `0` (the default) resolves at `World` construction time — the
+    /// `PHISHARE_COLLECTOR_PARTITIONS` env override when set, else 1.
+    /// Results are partition-count-invariant; only wall-clock changes.
+    pub partitions: usize,
+    /// Whether the runtime may skip provably quiescent negotiation cycles
+    /// (on by default). Skipped cycles are counted in
+    /// `ExperimentResult::cycles_skipped`; every other result field is
+    /// bit-identical either way.
+    pub skip_quiescent: bool,
     /// Master seed for all stochastic components of the *cluster* (workload
     /// seeds live in the workload itself).
     pub seed: u64,
@@ -188,6 +198,8 @@ impl Default for ClusterConfig {
             faults: FaultConfig::default(),
             recovery: RecoveryConfig::default(),
             perturb: PerturbConfig::default(),
+            partitions: 0,
+            skip_quiescent: true,
             seed: 0,
         }
     }
@@ -284,6 +296,12 @@ impl ClusterConfig {
         if self.negotiation_interval.is_zero() {
             return Err("negotiation interval must be positive".into());
         }
+        if self.partitions > phishare_condor::collector::MAX_PARTITIONS {
+            return Err(format!(
+                "partitions must be <= {} (0 = resolve from env)",
+                phishare_condor::collector::MAX_PARTITIONS
+            ));
+        }
         Ok(())
     }
 }
@@ -364,6 +382,7 @@ mod tests {
             |c: &mut ClusterConfig| c.host_cores_per_node = 0,
             |c: &mut ClusterConfig| c.initial_commit_fraction = 1.5,
             |c: &mut ClusterConfig| c.negotiation_interval = SimDuration::ZERO,
+            |c: &mut ClusterConfig| c.partitions = 1000,
             |c: &mut ClusterConfig| c.faults.device_mtbf_secs = f64::NAN,
             |c: &mut ClusterConfig| {
                 c.faults.node_mtbf_secs = 100.0;

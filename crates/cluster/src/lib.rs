@@ -73,8 +73,8 @@ pub use perturb::{
 };
 pub use runtime::{Experiment, ExperimentScratch, SubstrateMode};
 pub use shard::{
-    default_workers, run_sweep_sharded, run_worker, worker_main, CellRecord, ManifestCell,
-    ShardManifest, ShardOptions,
+    default_workers, run_sweep_sharded, run_worker, run_worker_with, worker_main, CellRecord,
+    ManifestCell, ShardManifest, ShardOptions,
 };
 pub use substrate::{CosmicSubstrate, DeviceSubstrate};
 pub use sweep::{

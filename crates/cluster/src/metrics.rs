@@ -8,9 +8,11 @@ use serde::{Deserialize, Serialize};
 /// tables and figures.
 ///
 /// Equality is implemented manually: [`ExperimentResult::plan_ms`] is
-/// wall-clock measurement, not simulation output, so it is excluded —
-/// bit-identity assertions across event modes and planner modes compare
-/// everything else.
+/// wall-clock measurement, not simulation output, and
+/// [`ExperimentResult::cycles_skipped`] only records how much work the
+/// quiescence fast path avoided, so both are excluded — bit-identity
+/// assertions across event modes, planner modes, partition counts, and
+/// quiescence settings compare everything else.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentResult {
     /// Which stack ran.
@@ -47,6 +49,13 @@ pub struct ExperimentResult {
     pub mean_offload_queue_secs: f64,
     /// Negotiation cycles that ran.
     pub negotiation_cycles: u64,
+    /// Negotiation cycles skipped by quiescence detection: the runtime
+    /// proved the cycle a no-op (no world mutation since the last cycle,
+    /// every idle certificate standing) and bumped only this counter.
+    /// Included in `negotiation_cycles`. Excluded from equality — skipping
+    /// is a wall-clock optimization whose on/off state must not make two
+    /// otherwise-identical runs compare unequal.
+    pub cycles_skipped: u64,
     /// Placement pins issued by the cluster scheduler (0 for MC).
     pub pins_issued: u64,
     /// Total coprocessor energy over the run, kWh (idle + dynamic draw of
@@ -95,7 +104,9 @@ pub struct ExperimentResult {
 
 impl PartialEq for ExperimentResult {
     fn eq(&self, other: &Self) -> bool {
-        // Every field except `plan_ms` (nondeterministic wall-clock).
+        // Every field except `plan_ms` (nondeterministic wall-clock) and
+        // `cycles_skipped` (work-avoidance accounting; differs between
+        // skip-on and skip-off twins whose results are otherwise equal).
         self.policy == other.policy
             && self.nodes == other.nodes
             && self.workload == other.workload
@@ -183,6 +194,7 @@ mod tests {
             mean_turnaround_secs: 2.0,
             mean_offload_queue_secs: 0.0,
             negotiation_cycles: 3,
+            cycles_skipped: 0,
             pins_issued: 0,
             energy_kwh: 1.0,
             events_processed: 100,
@@ -208,6 +220,8 @@ mod tests {
         let mut b = result(1.0);
         b.plan_ms = 123.456;
         assert_eq!(a, b, "plan_ms is measurement, not simulation output");
+        b.cycles_skipped = 2;
+        assert_eq!(a, b, "cycles_skipped is work-avoidance accounting");
         b.plan_cache_hits = 1;
         assert_ne!(a, b, "cache counters are deterministic and must compare");
     }

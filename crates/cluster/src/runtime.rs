@@ -763,6 +763,14 @@ struct World<'a, D: DeviceSubstrate, C: CosmicSubstrate> {
     latency_active: BTreeMap<DevKey, BTreeMap<usize, SimDuration>>,
     /// Nesting depth of open stale-ad windows; ads refresh only at 0.
     stale_ad_depth: u32,
+    /// Whether any non-cycle event ran since the last *executed* cycle —
+    /// arrivals, dispatches, completions, faults, perturbations all set
+    /// it, as does an executed cycle that pinned, matched, or rejected
+    /// anything. While false, device ground truth and the queue are
+    /// exactly as the last cycle left them, so `refresh_ads` and the
+    /// scheduler plan would both be no-ops — one leg of the quiescence
+    /// predicate ([`World::cycle_is_quiescent`]).
+    world_dirty: bool,
     // --- statistics ---
     waits: Summary,
     turnarounds: Summary,
@@ -770,6 +778,7 @@ struct World<'a, D: DeviceSubstrate, C: CosmicSubstrate> {
     container_kills: usize,
     oom_kills: usize,
     negotiation_cycles: u64,
+    cycles_skipped: u64,
     pins_issued: u64,
     device_resets: u64,
     node_churns: u64,
@@ -794,7 +803,12 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
         perturbs: &'a PerturbPlan,
         mode: EventMode,
     ) -> Self {
-        let mut collector = Collector::new();
+        let parts = if cfg.partitions > 0 {
+            cfg.partitions
+        } else {
+            phishare_condor::collector::default_partitions()
+        };
+        let mut collector = Collector::with_partitions(parts);
         let mut startds = Vec::new();
         let mut devices = BTreeMap::new();
         let mut cosmic = BTreeMap::new();
@@ -838,7 +852,9 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             perturbs,
             queue: JobQueue::new(),
             collector,
-            negotiator: Negotiator::new(cfg.negotiation_interval).with_path(cfg.negotiation),
+            negotiator: Negotiator::new(cfg.negotiation_interval)
+                .with_path(cfg.negotiation)
+                .with_quiescence(cfg.skip_quiescent),
             startds,
             devices,
             cosmic,
@@ -869,12 +885,14 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             derate_active: BTreeMap::new(),
             latency_active: BTreeMap::new(),
             stale_ad_depth: 0,
+            world_dirty: true,
             waits: Summary::new(),
             turnarounds: Summary::new(),
             completed: 0,
             container_kills: 0,
             oom_kills: 0,
             negotiation_cycles: 0,
+            cycles_skipped: 0,
             pins_issued: 0,
             device_resets: 0,
             node_churns: 0,
@@ -940,6 +958,11 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             return; // stale delivery (per-offload mode only)
         }
         self.live_events += 1;
+        // Any non-cycle event can move device ground truth, the queue, or
+        // the perturbation state — conservatively defeat quiescence.
+        if !matches!(ev, Ev::Cycle(_)) {
+            self.world_dirty = true;
+        }
         match ev {
             Ev::Arrive(idx) => self.on_arrive(sim, idx),
             Ev::Cycle(seq) => self.on_cycle(sim, seq),
@@ -995,6 +1018,26 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
         self.negotiation_cycles += 1;
         let now = sim.now();
 
+        // 0. Quiescence: when the cycle is provably a no-op — no event
+        // since the last executed cycle, no stale-ad window, nothing for
+        // the scheduler to plan, every idle certificate covering the
+        // collector's newest watermark — skip all of it: the plan call,
+        // the ad refresh, and the negotiation would each leave every piece
+        // of state bit-identical. Only the skip counter records it; the
+        // heartbeat re-arms exactly as the executed path would.
+        if self.cfg.skip_quiescent && self.cycle_is_quiescent() {
+            self.cycles_skipped += 1;
+            #[cfg(debug_assertions)]
+            self.audit_quiescent_skip();
+            if !self.drained() {
+                self.request_cycle(sim, now + self.cfg.negotiation_interval);
+            }
+            return;
+        }
+        // This cycle executes against current ground truth; from here on
+        // only new events (or this cycle's own actions) can re-dirty it.
+        self.world_dirty = false;
+
         // 1. External scheduler packs pending jobs and pins them.
         if self.scheduler.is_some() {
             let pending_jobs = self.pending_views();
@@ -1004,6 +1047,7 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             let pins = scheduler.plan(&pending_jobs, &device_views);
             self.plan_nanos += plan_start.elapsed().as_nanos() as u64;
             for Pin { job, node, device } in pins {
+                self.world_dirty = true;
                 let node_name = format!("node{node}");
                 self.queue
                     .qedit_expr(job, "Requirements", &attrs::pin_to_node(&node_name))
@@ -1029,6 +1073,7 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             .negotiator
             .negotiate(&mut self.queue, &mut self.collector);
         for m in matches {
+            self.world_dirty = true;
             let spec = &self.wl.jobs[self.job_index[&m.job]];
             // Pinned jobs go to the device their packing round reserved;
             // unpinned (MC) jobs pick a free device now.
@@ -2058,6 +2103,47 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
         sim.schedule_at(at, Ev::Cycle(self.cycle_seq));
     }
 
+    /// Whether the imminent cycle is provably a no-op. Exact, O(1):
+    ///
+    /// * `!world_dirty` — no event since the last executed cycle, so
+    ///   device ground truth is unchanged and `refresh_ads` would rewrite
+    ///   every ad to its current value (a clean no-op write);
+    /// * no open stale-ad window — an executed cycle under one must still
+    ///   advance `stale_ad_skips`, so it cannot be skipped;
+    /// * nothing for the external scheduler to plan — every held job is
+    ///   parked or retired, and `plan(&[], …)` is pure for every
+    ///   scheduler (no RNG draws, no cache-counter movement);
+    /// * every idle job's unmatched certificate covers the collector's
+    ///   newest watermark — the negotiator-level quiescence predicate
+    ///   ([`Negotiator::cycle_is_quiescent`]): each job would re-screen an
+    ///   empty dirty set, match nothing, and re-certify at an unchanged
+    ///   sequence.
+    fn cycle_is_quiescent(&self) -> bool {
+        !self.world_dirty
+            && self.stale_ad_depth == 0
+            && (self.scheduler.is_none()
+                || self.queue.held_count() == self.parked.len() + self.retired.len())
+            && Negotiator::cycle_is_quiescent(&self.queue, &self.collector)
+    }
+
+    /// Debug-build proof obligation for a skipped cycle: replay full-oracle
+    /// matchmaking on clones and assert it would have matched nothing. The
+    /// proptests run debug builds, so every skip in every generated
+    /// scenario re-proves itself against [`MatchPath::Full`].
+    #[cfg(debug_assertions)]
+    fn audit_quiescent_skip(&self) {
+        let mut queue = self.queue.clone();
+        let mut collector = self.collector.clone();
+        let (matches, _) = self
+            .negotiator
+            .negotiate_full_with_stats(&mut queue, &mut collector);
+        debug_assert!(
+            matches.is_empty(),
+            "quiescence skipped a cycle the full oracle would have matched {} job(s) in",
+            matches.len()
+        );
+    }
+
     /// True when no job will ever need another negotiation cycle.
     ///
     /// Retired jobs (held after exhausting retries) count as terminal;
@@ -2137,6 +2223,7 @@ impl<'a, D: DeviceSubstrate, C: CosmicSubstrate> World<'a, D, C> {
             mean_turnaround_secs: self.turnarounds.mean(),
             mean_offload_queue_secs: queue_waits.mean(),
             negotiation_cycles: self.negotiation_cycles,
+            cycles_skipped: self.cycles_skipped,
             pins_issued: self.pins_issued,
             energy_kwh: energy_joules / 3.6e6,
             events_processed: self.live_events,
@@ -2219,6 +2306,59 @@ mod tests {
         let a = Experiment::run(&cfg, &wl).unwrap();
         let b = Experiment::run(&cfg, &wl).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quiescence_skipping_is_bit_identical_and_actually_skips() {
+        // Long single-offload jobs: while they run, whole heartbeat
+        // windows pass with no event at all — exactly the cycles
+        // quiescence is meant to skip. (Table1Mix jobs switch segments so
+        // often that nearly every window sees an event.)
+        let mut wl = small_workload(12, 21);
+        for job in &mut wl.jobs {
+            job.mem_req_mb = 3000;
+            job.actual_peak_mem_mb = 3000;
+            job.thread_req = 60;
+            job.profile = phishare_workload::JobProfile::new(vec![Segment::offload(
+                60,
+                SimDuration::from_secs(50),
+            )]);
+        }
+        for policy in [ClusterPolicy::Mc, ClusterPolicy::Mcc, ClusterPolicy::Mcck] {
+            let mut on = fast_config(policy);
+            on.negotiation_interval = SimDuration::from_secs(2);
+            let mut off = on;
+            off.skip_quiescent = false;
+            let (r_on, t_on) = Experiment::run_traced(&on, &wl).unwrap();
+            let (r_off, t_off) = Experiment::run_traced(&off, &wl).unwrap();
+            // `PartialEq` excludes `cycles_skipped`; everything else —
+            // every counter, every utilization, the makespan — matches.
+            assert_eq!(r_on, r_off, "{policy}: results diverged");
+            assert_eq!(t_on.events, t_off.events, "{policy}: traces diverged");
+            assert_eq!(r_off.cycles_skipped, 0, "{policy}: off means off");
+            assert!(
+                r_on.cycles_skipped > 0,
+                "{policy}: long offloads leave quiet heartbeats to skip \
+                 ({} cycles, 0 skipped)",
+                r_on.negotiation_cycles
+            );
+            assert!(r_on.cycles_skipped < r_on.negotiation_cycles);
+        }
+    }
+
+    #[test]
+    fn partitioned_runs_are_bit_identical() {
+        let wl = small_workload(40, 22);
+        for policy in [ClusterPolicy::Mc, ClusterPolicy::Mcck] {
+            let base = fast_config(policy);
+            let r1 = Experiment::run(&base, &wl).unwrap();
+            for parts in [2, 5] {
+                let mut cfg = base;
+                cfg.partitions = parts;
+                let rp = Experiment::run(&cfg, &wl).unwrap();
+                assert_eq!(r1, rp, "{policy}: partitions={parts} diverged");
+            }
+        }
     }
 
     #[test]

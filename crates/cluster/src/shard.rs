@@ -395,6 +395,18 @@ fn scan_all_logs(dir: &Path) -> Result<Vec<CellRecord>, String> {
 ///
 /// This is the body behind `--worker --dir <dir> --worker-id <k>`.
 pub fn run_worker(dir: &Path, worker_id: usize) -> Result<usize, String> {
+    run_worker_with(dir, worker_id, None)
+}
+
+/// [`run_worker`] with an optional collector-partition override applied to
+/// every cell this worker executes (the `--partitions` worker flag).
+/// Results are partition-count-invariant, so two workers on the same grid
+/// may use different values without corrupting the merge.
+pub fn run_worker_with(
+    dir: &Path,
+    worker_id: usize,
+    partitions: Option<usize>,
+) -> Result<usize, String> {
     let header = load_header(dir)?;
     let substrate = SubstrateMode::from_str(&header.substrate)?;
 
@@ -444,9 +456,13 @@ pub fn run_worker(dir: &Path, worker_id: usize) -> Result<usize, String> {
                 wl
             }
         };
+        let mut config = cell.config;
+        if let Some(p) = partitions {
+            config.partitions = p;
+        }
         let job = SweepJob {
             label: cell.label.clone(),
-            config: cell.config,
+            config,
             workload,
         };
         let outcome = run_cell(&job, substrate, &mut scratch);
@@ -468,12 +484,18 @@ pub fn run_worker(dir: &Path, worker_id: usize) -> Result<usize, String> {
 }
 
 /// Parse the worker-mode command line shared by every binary that can be
-/// spawned as a sweep worker: `--worker --dir <dir> --worker-id <k>`
+/// spawned as a sweep worker:
+/// `--worker --dir <dir> --worker-id <k> [--partitions <p>]`
 /// (the leading `--worker` may or may not still be in `args`). Returns the
-/// checkpoint dir and worker id.
-pub fn parse_worker_args(args: &[String]) -> Result<(PathBuf, usize), String> {
+/// checkpoint dir, the worker id, and the optional collector-partition
+/// override. `--partitions` is safe to vary per invocation because match
+/// results are partition-count-invariant: it changes how fast cells run,
+/// never what they report. When absent, each cell's own config decides
+/// (and a config of 0 defers to `PHISHARE_COLLECTOR_PARTITIONS`).
+pub fn parse_worker_args(args: &[String]) -> Result<(PathBuf, usize, Option<usize>), String> {
     let mut dir: Option<PathBuf> = None;
     let mut worker_id: Option<usize> = None;
+    let mut partitions: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -490,12 +512,26 @@ pub fn parse_worker_args(args: &[String]) -> Result<(PathBuf, usize), String> {
                         .map_err(|_| format!("bad --worker-id '{value}'"))?,
                 );
             }
+            "--partitions" => {
+                let value = iter.next().ok_or("--partitions needs a value")?;
+                let p = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --partitions '{value}'"))?;
+                if p == 0 || p > phishare_condor::collector::MAX_PARTITIONS {
+                    return Err(format!(
+                        "--partitions must be 1..={}, got {p}",
+                        phishare_condor::collector::MAX_PARTITIONS
+                    ));
+                }
+                partitions = Some(p);
+            }
             other => return Err(format!("unknown worker-mode flag '{other}'")),
         }
     }
     Ok((
         dir.ok_or("worker mode needs --dir <checkpoint dir>")?,
         worker_id.ok_or("worker mode needs --worker-id <n>")?,
+        partitions,
     ))
 }
 
@@ -503,8 +539,8 @@ pub fn parse_worker_args(args: &[String]) -> Result<(PathBuf, usize), String> {
 /// sweep, and report the executed-cell count on success. Binaries call
 /// this when their first argument is `--worker`.
 pub fn worker_main(args: &[String]) -> Result<usize, String> {
-    let (dir, worker_id) = parse_worker_args(args)?;
-    run_worker(&dir, worker_id)
+    let (dir, worker_id, partitions) = parse_worker_args(args)?;
+    run_worker_with(&dir, worker_id, partitions)
 }
 
 /// Merge every worker log in `dir` back into submission order. Labels are
@@ -756,6 +792,39 @@ mod tests {
         let expected = crate::sweep::run_sweep(grid(), 1);
         assert_eq!(merged, expected, "sharded merge diverged from run_sweep");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partitioned_worker_merge_matches_unpartitioned_sweep() {
+        let dir = temp_dir("parts");
+        let manifest = build_manifest(&grid(), SubstrateMode::Fast);
+        write_manifest(&dir, &manifest).unwrap();
+        // Override every cell to 4 collector partitions: the merge must
+        // still equal the serial, single-partition in-process sweep.
+        assert_eq!(run_worker_with(&dir, 0, Some(4)).unwrap(), 4);
+        let merged = merge_results(&dir).unwrap();
+        assert_eq!(
+            merged,
+            crate::sweep::run_sweep(grid(), 1),
+            "--partitions changed sweep results"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn worker_args_parse_the_partitions_flag() {
+        let args = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        let (dir, id, parts) =
+            parse_worker_args(&args("--worker --dir /tmp/x --worker-id 3 --partitions 8")).unwrap();
+        assert_eq!(dir, PathBuf::from("/tmp/x"));
+        assert_eq!(id, 3);
+        assert_eq!(parts, Some(8));
+        let (_, _, parts) = parse_worker_args(&args("--dir /tmp/x --worker-id 0")).unwrap();
+        assert_eq!(parts, None);
+        for bad in ["--partitions 0", "--partitions 17", "--partitions lots"] {
+            let line = format!("--dir /tmp/x --worker-id 0 {bad}");
+            assert!(parse_worker_args(&args(&line)).is_err(), "{bad} accepted");
+        }
     }
 
     #[test]

@@ -195,23 +195,6 @@ fn auto_threads() -> usize {
 }
 
 #[cfg(test)]
-pub(crate) mod env_lock {
-    use std::sync::{Mutex, MutexGuard};
-
-    /// Process-wide lock for tests that mutate environment variables.
-    /// `std::env::set_var` is not thread-safe against concurrent readers,
-    /// so every env-mutating test in this crate holds this for its whole
-    /// body; all other tests go through injectable parameters instead.
-    static ENV_LOCK: Mutex<()> = Mutex::new(());
-
-    pub(crate) fn lock() -> MutexGuard<'static, ()> {
-        ENV_LOCK
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
-}
-
-#[cfg(test)]
 mod tests {
     use super::*;
     use phishare_core::ClusterPolicy;
@@ -300,7 +283,7 @@ mod tests {
     fn sweep_threads_env_override_is_honored() {
         // The one test that really mutates the variable, serialized behind
         // the crate-wide env lock so no concurrent test observes the write.
-        let _guard = env_lock::lock();
+        let _guard = phishare_test_util::env_lock();
         std::env::set_var("PHISHARE_SWEEP_THREADS", "3");
         assert_eq!(default_threads(), 3);
         std::env::remove_var("PHISHARE_SWEEP_THREADS");

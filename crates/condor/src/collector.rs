@@ -22,6 +22,20 @@
 //! mutation (`advertise`, `claim`, `release`, `set_int_attr`) — same-cycle
 //! resource decrements are visible to the next range query immediately.
 //!
+//! # Partitions
+//!
+//! Slot state is split across `P` partitions, assigned deterministically by
+//! node id (`node % P`). Each partition owns its *own* slot map, guard
+//! indexes, dirty set, and watermark, so the negotiator's delta cycles can
+//! register, screen, and pre-commit per partition in parallel — partitions
+//! never share mutable state. The global name and machine indexes stay
+//! unpartitioned (they answer point queries, not scans), as does the
+//! monotone sequence counter, which keeps dirty stamps totally ordered
+//! *across* partitions. Every public accessor merges partitions back into
+//! the exact enumeration order a single-map collector would produce, so
+//! observable behaviour — including [`PartialEq`] — is partition-count
+//! invariant. `P = 1` (the default) is the unpartitioned layout.
+//!
 //! # Dirty tracking
 //!
 //! The collector also stamps every *match-relevant* mutation with a
@@ -38,24 +52,33 @@
 //!   predicate), so it cannot turn an unmatched job matchable;
 //! * **removals clear their entries** — [`Collector::invalidate_node`]
 //!   deletes the slots' dirty stamps outright, since a vanished slot cannot
-//!   create a match either.
+//!   create a match either (the partition watermark still advances, so
+//!   post-fault cycles are never quiescence-skipped).
 //!
 //! Everything else — ad refreshes, in-cycle decrements, releases,
 //! re-advertisements — marks the slot dirty, *including* decrements: the
 //! predicate is arbitrary (a requirement may test `TARGET.attr < c` or hide
 //! inverted logic in a residual expression), so no monotonicity is assumed.
 //!
+//! Each partition additionally tracks a **watermark**: the sequence number
+//! of its latest dirtying mutation (including invalidations). A cycle is
+//! provably match-free when every idle job holds an unmatched certificate
+//! at least as new as [`Collector::max_watermark`] — the O(1) quiescence
+//! check the negotiator and runtime build on.
+//!
 //! Equality ([`PartialEq`]) deliberately compares only the authoritative
-//! state — each slot's ad and claim flag. Which guard indexes happen to be
-//! registered and how often the pool was mutated are operational details
-//! that differ between equivalent collectors (e.g. the delta and full
-//! negotiation paths), not observable matchmaking state.
+//! state — each slot's ad and claim flag, in slot order. Which guard
+//! indexes happen to be registered, how often the pool was mutated, and how
+//! many partitions hold the slots are operational details that differ
+//! between equivalent collectors (e.g. the delta and full negotiation
+//! paths), not observable matchmaking state.
 
 use crate::attrs;
 use phishare_classad::{ClassAd, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::iter::Peekable;
 use std::ops::Bound;
 
 /// Identifies one execution slot: `slot<slot>@node<node>`.
@@ -89,8 +112,58 @@ impl fmt::Display for SlotId {
 /// the cap is refused and those guards fall back to the unclaimed scan.
 pub const MAX_ATTR_INDEXES: usize = 12;
 
+/// Most partitions a collector will split into. Partitions beyond the host's
+/// core count only add merge overhead, and a small fixed cap keeps the merge
+/// iterators' per-item cost bounded.
+pub const MAX_PARTITIONS: usize = 16;
+
 /// Position of the pre-registered `PhiFreeMemory` guard index.
-const FREE_MEM_IDX: usize = 0;
+const FREE_MEM_IDX: usize = Collector::FREE_MEM_INDEX;
+
+/// Parse a `PHISHARE_COLLECTOR_PARTITIONS`-style override. Non-numeric or
+/// zero values are ignored; values above [`MAX_PARTITIONS`] are clamped.
+pub fn partitions_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .map(|n| n.min(MAX_PARTITIONS))
+}
+
+/// Partition count used when the configuration does not pin one: the
+/// `PHISHARE_COLLECTOR_PARTITIONS` environment override, else 1 (the
+/// unpartitioned layout).
+pub fn default_partitions() -> usize {
+    partitions_override(
+        std::env::var("PHISHARE_COLLECTOR_PARTITIONS")
+            .ok()
+            .as_deref(),
+    )
+    .unwrap_or(1)
+}
+
+/// Parse a `PHISHARE_PARTITION_THREADS`-style override for the number of
+/// worker threads partition-parallel phases may use.
+pub(crate) fn partition_threads_override(raw: Option<&str>, parts: usize) -> usize {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(parts)
+}
+
+/// Worker threads partition-parallel phases should use: one per partition,
+/// capped at the host's parallelism (overridable via
+/// `PHISHARE_PARTITION_THREADS`, mostly so tests can force the threaded
+/// path on single-core machines). A result of 1 means "stay serial".
+/// Public so benches can record the fan-out they actually measured.
+pub fn partition_threads(parts: usize) -> usize {
+    partition_threads_override(
+        std::env::var("PHISHARE_PARTITION_THREADS").ok().as_deref(),
+        parts,
+    )
+}
 
 /// Frequently-consulted facts extracted from a slot ad once per
 /// advertisement, so the matchmaking inner loop never does attribute map
@@ -133,6 +206,13 @@ impl SlotMeta {
     /// The slot's advertised free Phi memory, if numeric.
     pub fn free_phi_mem(&self) -> Option<f64> {
         self.indexed_vals.get(FREE_MEM_IDX).copied().flatten()
+    }
+
+    /// The slot's numeric value for registered guard attribute `idx`, if
+    /// present and numeric. Exact for guard pre-screens: a numeric guard
+    /// rejects every slot whose attribute is absent or non-numeric.
+    pub fn indexed_val(&self, idx: usize) -> Option<f64> {
+        self.indexed_vals.get(idx).copied().flatten()
     }
 }
 
@@ -178,36 +258,128 @@ fn ord_f64(x: f64) -> u64 {
     }
 }
 
-/// The collector: slot name → latest advertisement, plus matchmaking
-/// indexes and dirty tracking (see module docs).
-#[derive(Debug, Clone)]
-pub struct Collector {
+/// K-way ordered merge over per-partition iterators, keyed by `key`. The
+/// single-partition case bypasses the merge entirely so `P = 1` pays
+/// nothing over the unpartitioned layout; the multi-partition case scans
+/// the (≤ [`MAX_PARTITIONS`]) heads per item, which beats a heap at these
+/// widths.
+enum Merged<I: Iterator, F> {
+    One(I),
+    Many(Vec<Peekable<I>>, F),
+}
+
+impl<I, K, F> Iterator for Merged<I, F>
+where
+    I: Iterator,
+    K: Ord,
+    F: Fn(&I::Item) -> K,
+{
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        match self {
+            Merged::One(it) => it.next(),
+            Merged::Many(heads, key) => {
+                let mut best: Option<(K, usize)> = None;
+                for (i, head) in heads.iter_mut().enumerate() {
+                    if let Some(item) = head.peek() {
+                        let k = key(item);
+                        if best.as_ref().is_none_or(|(bk, _)| k < *bk) {
+                            best = Some((k, i));
+                        }
+                    }
+                }
+                best.map(|(_, i)| heads[i].next().expect("peeked head is non-empty"))
+            }
+        }
+    }
+}
+
+/// One shard of the collector's slot state. Partitions are fully disjoint —
+/// a slot lives in exactly one (by node id), and every mutable field here is
+/// touched only through its owning partition — which is what lets delta
+/// cycles work partitions in parallel without synchronization.
+#[derive(Debug, Clone, Default)]
+struct Partition {
     slots: BTreeMap<SlotId, SlotStatus>,
-    /// Advertised `Name` (lower-cased) → slot.
-    by_name: BTreeMap<String, SlotId>,
-    /// Advertised `Machine` (lower-cased) → slots, in SlotId order.
-    by_machine: BTreeMap<String, Vec<SlotId>>,
-    /// Registered guard-index attributes, lower-cased; position is the
-    /// index id used by [`Collector::indexed_range_at_least`].
-    indexed_attrs: Vec<String>,
     /// One ordered index per registered attribute: unclaimed slots keyed by
-    /// the attribute's advertised numeric value (ord-encoded).
+    /// the attribute's advertised numeric value (ord-encoded). Parallel to
+    /// the collector-wide `indexed_attrs` registration order.
     by_attr: Vec<BTreeSet<(u64, SlotId)>>,
-    /// Monotone mutation sequence; bumped by every match-relevant change.
-    seq: u64,
     /// Per-slot latest dirty stamp.
     stamp: BTreeMap<SlotId, u64>,
     /// stamp → slot, deduplicated: each slot appears once, at its latest
     /// stamp, so `|dirty| <= |slots|` and no garbage collection is needed.
     dirty: BTreeMap<u64, SlotId>,
+    /// Sequence number of this partition's latest dirtying mutation
+    /// (including node invalidations, which leave no dirty entry). Zero
+    /// until something dirties the partition.
+    watermark: u64,
 }
 
-/// Equality is the authoritative state only — per-slot ads and claims.
-/// See the module docs for why registered indexes and sequence counters
-/// are excluded.
+impl Partition {
+    fn unindex_attrs(&mut self, slot: SlotId, status: &SlotStatus) {
+        for (i, val) in status.meta.indexed_vals.iter().enumerate() {
+            if let Some(v) = val {
+                self.by_attr[i].remove(&(ord_f64(*v), slot));
+            }
+        }
+    }
+
+    fn index_attrs(&mut self, slot: SlotId, status: &SlotStatus) {
+        if !status.claimed {
+            for (i, val) in status.meta.indexed_vals.iter().enumerate() {
+                if let Some(v) = val {
+                    self.by_attr[i].insert((ord_f64(*v), slot));
+                }
+            }
+        }
+    }
+
+    /// Extend this partition with the index for a newly registered
+    /// attribute: every slot's meta gains the attribute's value, and the
+    /// unclaimed numeric ones enter the new ordered index.
+    fn register_attr(&mut self, canon: &str) {
+        let mut index = BTreeSet::new();
+        for (id, status) in self.slots.iter_mut() {
+            let val = numeric_attr(&status.ad, canon);
+            status.meta.indexed_vals.push(val);
+            if !status.claimed {
+                if let Some(v) = val {
+                    index.insert((ord_f64(v), *id));
+                }
+            }
+        }
+        self.by_attr.push(index);
+    }
+}
+
+/// The collector: slot name → latest advertisement, plus matchmaking
+/// indexes, dirty tracking and partitions (see module docs).
+#[derive(Debug, Clone)]
+pub struct Collector {
+    /// Disjoint slot shards; a slot with node `n` lives in
+    /// `parts[n % parts.len()]`. Never empty.
+    parts: Vec<Partition>,
+    /// Advertised `Name` (lower-cased) → slot.
+    by_name: BTreeMap<String, SlotId>,
+    /// Advertised `Machine` (lower-cased) → slots, in SlotId order.
+    by_machine: BTreeMap<String, Vec<SlotId>>,
+    /// Registered guard-index attributes, lower-cased; position is the
+    /// index id used by [`Collector::indexed_range_at_least`]. Shared by
+    /// all partitions, so index ids mean the same thing everywhere.
+    indexed_attrs: Vec<String>,
+    /// Monotone mutation sequence; bumped by every match-relevant change.
+    /// Global across partitions, so dirty stamps are totally ordered.
+    seq: u64,
+}
+
+/// Equality is the authoritative state only — per-slot ads and claims, in
+/// slot order. See the module docs for why registered indexes, sequence
+/// counters and partition counts are excluded.
 impl PartialEq for Collector {
     fn eq(&self, other: &Self) -> bool {
-        self.slots == other.slots
+        self.len() == other.len() && self.slots().eq(other.slots())
     }
 }
 
@@ -218,32 +390,57 @@ impl Default for Collector {
 }
 
 impl Collector {
-    /// Create an empty collector with the two standard Phi guard indexes
-    /// pre-registered.
+    /// Position of the pre-registered `PhiFreeMemory` guard index.
+    pub const FREE_MEM_INDEX: usize = 0;
+    /// Position of the pre-registered `PhiDevicesFree` guard index.
+    pub const DEVICES_FREE_INDEX: usize = 1;
+
+    /// Create an empty unpartitioned collector (`P = 1`) with the two
+    /// standard Phi guard indexes pre-registered.
     pub fn new() -> Self {
+        Collector::with_partitions(1)
+    }
+
+    /// Create an empty collector with `parts` partitions (clamped to
+    /// `1..=`[`MAX_PARTITIONS`]) and the two standard Phi guard indexes
+    /// pre-registered.
+    pub fn with_partitions(parts: usize) -> Self {
+        let parts = parts.clamp(1, MAX_PARTITIONS);
         let mut c = Collector {
-            slots: BTreeMap::new(),
+            parts: vec![Partition::default(); parts],
             by_name: BTreeMap::new(),
             by_machine: BTreeMap::new(),
             indexed_attrs: Vec::new(),
-            by_attr: Vec::new(),
             seq: 0,
-            stamp: BTreeMap::new(),
-            dirty: BTreeMap::new(),
         };
         let fm = c.ensure_attr_index(attrs::lc::PHI_FREE_MEMORY);
-        debug_assert_eq!(fm, Some(FREE_MEM_IDX));
-        c.ensure_attr_index(attrs::lc::PHI_DEVICES_FREE);
+        debug_assert_eq!(fm, Some(Self::FREE_MEM_INDEX));
+        let df = c.ensure_attr_index(attrs::lc::PHI_DEVICES_FREE);
+        debug_assert_eq!(df, Some(Self::DEVICES_FREE_INDEX));
         c
+    }
+
+    /// How many partitions the slot state is split across.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The partition that owns slots of `node`.
+    pub fn part_of(&self, node: u32) -> usize {
+        node as usize % self.parts.len()
     }
 
     /// Stamp `slot` as changed at a fresh sequence number.
     fn mark_dirty(&mut self, slot: SlotId) {
         self.seq += 1;
-        if let Some(old) = self.stamp.insert(slot, self.seq) {
-            self.dirty.remove(&old);
+        let seq = self.seq;
+        let pi = self.part_of(slot.node);
+        let part = &mut self.parts[pi];
+        if let Some(old) = part.stamp.insert(slot, seq) {
+            part.dirty.remove(&old);
         }
-        self.dirty.insert(self.seq, slot);
+        part.dirty.insert(seq, slot);
+        part.watermark = seq;
     }
 
     /// The current mutation sequence number. A later call never returns a
@@ -252,18 +449,69 @@ impl Collector {
         self.seq
     }
 
-    /// Slots dirtied strictly after `seq`, in stamp order. Together with
-    /// the claim-flag check this is exactly the candidate set a job
-    /// certified unmatched at `seq` needs to re-examine (module docs).
+    /// The newest watermark across all partitions: the sequence number of
+    /// the latest dirtying mutation anywhere in the pool. A job certified
+    /// unmatched at sequence `s >= max_watermark()` provably still has no
+    /// match — the O(1) quiescence predicate.
+    pub fn max_watermark(&self) -> u64 {
+        self.parts.iter().map(|p| p.watermark).max().unwrap_or(0)
+    }
+
+    /// Slots dirtied strictly after `seq`, in stamp order, across all
+    /// partitions. Together with the claim-flag check this is exactly the
+    /// candidate set a job certified unmatched at `seq` needs to re-examine
+    /// (module docs).
     pub fn dirty_since(&self, seq: u64) -> impl Iterator<Item = SlotId> + '_ {
-        self.dirty
+        let mut ranges = self
+            .parts
+            .iter()
+            .map(|p| {
+                p.dirty
+                    .range((Bound::Excluded(seq), Bound::Unbounded))
+                    .map(|(s, slot)| (*s, *slot))
+            })
+            .collect::<Vec<_>>();
+        let merged = if ranges.len() == 1 {
+            Merged::One(ranges.pop().expect("one range"))
+        } else {
+            Merged::Many(
+                ranges.into_iter().map(Iterator::peekable).collect(),
+                |item: &(u64, SlotId)| item.0,
+            )
+        };
+        merged.map(|(_, slot)| slot)
+    }
+
+    /// [`Collector::dirty_since`] restricted to partition `pi` — the
+    /// partition-parallel screen's shard of a certified job's candidates.
+    pub fn partition_dirty_since(&self, pi: usize, seq: u64) -> impl Iterator<Item = SlotId> + '_ {
+        self.parts[pi]
+            .dirty
             .range((Bound::Excluded(seq), Bound::Unbounded))
             .map(|(_, slot)| *slot)
     }
 
+    /// [`Collector::partition_dirty_since`] with stamps. The partitioned
+    /// screen hoists this into one per-cycle cache per partition and slices
+    /// it per job by certificate with a binary search, instead of
+    /// re-walking the dirty map once per (job, partition) pair.
+    pub fn partition_dirty_entries_since(
+        &self,
+        pi: usize,
+        seq: u64,
+    ) -> impl Iterator<Item = (u64, SlotId)> + '_ {
+        self.parts[pi]
+            .dirty
+            .range((Bound::Excluded(seq), Bound::Unbounded))
+            .map(|(s, slot)| (*s, *slot))
+    }
+
     /// Whether `slot` was dirtied strictly after `seq`.
     pub fn dirtied_after(&self, slot: SlotId, seq: u64) -> bool {
-        self.stamp.get(&slot).is_some_and(|&s| s > seq)
+        self.parts[slot.node as usize % self.parts.len()]
+            .stamp
+            .get(&slot)
+            .is_some_and(|&s| s > seq)
     }
 
     /// The guard-index position of `attr`, if registered.
@@ -275,7 +523,8 @@ impl Collector {
 
     /// Register a guard index over `attr` (idempotent), returning its
     /// position — or `None` when the [`MAX_ATTR_INDEXES`] cap is reached.
-    /// Registration walks every slot once; steady state is a lookup.
+    /// Registration walks every slot once (partitions in parallel when the
+    /// host has the cores for it); steady state is a lookup.
     ///
     /// An attribute no slot advertises yields an *empty* index, which is
     /// still exact as a pre-screen: a numeric guard rejects every slot
@@ -288,18 +537,19 @@ impl Collector {
             return None;
         }
         let canon = attr.to_ascii_lowercase();
-        let mut index = BTreeSet::new();
-        for (id, status) in self.slots.iter_mut() {
-            let val = numeric_attr(&status.ad, &canon);
-            status.meta.indexed_vals.push(val);
-            if !status.claimed {
-                if let Some(v) = val {
-                    index.insert((ord_f64(v), *id));
+        if self.parts.len() > 1 && partition_threads(self.parts.len()) > 1 {
+            std::thread::scope(|scope| {
+                for part in self.parts.iter_mut() {
+                    let canon = canon.as_str();
+                    scope.spawn(move || part.register_attr(canon));
                 }
+            });
+        } else {
+            for part in self.parts.iter_mut() {
+                part.register_attr(&canon);
             }
         }
         self.indexed_attrs.push(canon);
-        self.by_attr.push(index);
         Some(self.indexed_attrs.len() - 1)
     }
 
@@ -315,11 +565,8 @@ impl Collector {
                 }
             }
         }
-        for (i, val) in status.meta.indexed_vals.iter().enumerate() {
-            if let Some(v) = val {
-                self.by_attr[i].remove(&(ord_f64(*v), slot));
-            }
-        }
+        let pi = self.part_of(slot.node);
+        self.parts[pi].unindex_attrs(slot, status);
     }
 
     fn index(&mut self, slot: SlotId, status: &SlotStatus) {
@@ -333,20 +580,16 @@ impl Collector {
                 ids.insert(pos, slot);
             }
         }
-        if !status.claimed {
-            for (i, val) in status.meta.indexed_vals.iter().enumerate() {
-                if let Some(v) = val {
-                    self.by_attr[i].insert((ord_f64(*v), slot));
-                }
-            }
-        }
+        let pi = self.part_of(slot.node);
+        self.parts[pi].index_attrs(slot, status);
     }
 
     /// Insert or refresh a slot's advertisement. Claim state is preserved on
     /// refresh, all indexes are rebuilt for the slot, and the slot is marked
     /// dirty.
     pub fn advertise(&mut self, slot: SlotId, ad: ClassAd) {
-        let claimed = match self.slots.remove(&slot) {
+        let pi = self.part_of(slot.node);
+        let claimed = match self.parts[pi].slots.remove(&slot) {
             Some(old) => {
                 self.unindex(slot, &old);
                 old.claimed
@@ -359,13 +602,15 @@ impl Collector {
             claimed,
         };
         self.index(slot, &status);
-        self.slots.insert(slot, status);
+        self.parts[pi].slots.insert(slot, status);
         self.mark_dirty(slot);
     }
 
     /// Look up a slot.
     pub fn get(&self, slot: SlotId) -> Option<&SlotStatus> {
-        self.slots.get(&slot)
+        self.parts[slot.node as usize % self.parts.len()]
+            .slots
+            .get(&slot)
     }
 
     /// Overwrite one integer attribute of a slot's ad (the negotiator's
@@ -373,24 +618,42 @@ impl Collector {
     /// guard index coherent and marking the slot dirty. Writes that change
     /// nothing are skipped entirely — the slot stays clean.
     pub fn set_int_attr(&mut self, slot: SlotId, attr: &str, value: i64) {
-        let Some(status) = self.slots.get_mut(&slot) else {
+        let idx = self.attr_index(attr);
+        self.set_int_attr_inner(slot, attr, idx, value);
+    }
+
+    /// [`Collector::set_int_attr`] for an attribute whose guard-index
+    /// position is already known (e.g. [`Collector::FREE_MEM_INDEX`]) —
+    /// the commit path's hoisted handle, skipping the per-write scan of
+    /// the registered-attribute table.
+    pub fn set_int_attr_at(&mut self, slot: SlotId, idx: usize, attr: &str, value: i64) {
+        debug_assert_eq!(
+            self.attr_index(attr),
+            Some(idx),
+            "hoisted attr handle out of date"
+        );
+        self.set_int_attr_inner(slot, attr, Some(idx), value);
+    }
+
+    fn set_int_attr_inner(&mut self, slot: SlotId, attr: &str, idx: Option<usize>, value: i64) {
+        let pi = self.part_of(slot.node);
+        let part = &mut self.parts[pi];
+        let Some(status) = part.slots.get_mut(&slot) else {
             return;
         };
         if status.ad.get(attr) == Some(&Value::Int(value)) {
             return;
         }
         status.ad.insert(attr, value);
-        for (i, name) in self.indexed_attrs.iter().enumerate() {
-            if attr.eq_ignore_ascii_case(name) {
-                let old = status.meta.indexed_vals[i];
-                let new = value as f64;
-                status.meta.indexed_vals[i] = Some(new);
-                if !status.claimed {
-                    if let Some(v) = old {
-                        self.by_attr[i].remove(&(ord_f64(v), slot));
-                    }
-                    self.by_attr[i].insert((ord_f64(new), slot));
+        if let Some(i) = idx {
+            let old = status.meta.indexed_vals[i];
+            let new = value as f64;
+            status.meta.indexed_vals[i] = Some(new);
+            if !status.claimed {
+                if let Some(v) = old {
+                    part.by_attr[i].remove(&(ord_f64(v), slot));
                 }
+                part.by_attr[i].insert((ord_f64(new), slot));
             }
         }
         self.mark_dirty(slot);
@@ -409,11 +672,21 @@ impl Collector {
         free_mem_mb: u64,
         devices_free: u32,
     ) -> bool {
-        if !self.slots.contains_key(&slot) {
+        if self.get(slot).is_none() {
             return false;
         }
-        self.set_int_attr(slot, attrs::lc::PHI_FREE_MEMORY, free_mem_mb as i64);
-        self.set_int_attr(slot, attrs::lc::PHI_DEVICES_FREE, devices_free as i64);
+        self.set_int_attr_at(
+            slot,
+            Self::FREE_MEM_INDEX,
+            attrs::lc::PHI_FREE_MEMORY,
+            free_mem_mb as i64,
+        );
+        self.set_int_attr_at(
+            slot,
+            Self::DEVICES_FREE_INDEX,
+            attrs::lc::PHI_DEVICES_FREE,
+            devices_free as i64,
+        );
         true
     }
 
@@ -424,12 +697,14 @@ impl Collector {
     /// match (module docs), and keeping claims out of the dirty set is what
     /// makes the delta path's per-cycle candidate sets small.
     pub fn claim(&mut self, slot: SlotId) -> bool {
-        match self.slots.get_mut(&slot) {
+        let pi = self.part_of(slot.node);
+        let part = &mut self.parts[pi];
+        match part.slots.get_mut(&slot) {
             Some(s) if !s.claimed => {
                 s.claimed = true;
                 for (i, val) in s.meta.indexed_vals.iter().enumerate() {
                     if let Some(v) = val {
-                        self.by_attr[i].remove(&(ord_f64(*v), slot));
+                        part.by_attr[i].remove(&(ord_f64(*v), slot));
                     }
                 }
                 true
@@ -441,7 +716,9 @@ impl Collector {
     /// Release a slot's claim, re-inserting it into the guard indexes and
     /// marking it dirty (an unclaimed slot is new matching capacity).
     pub fn release(&mut self, slot: SlotId) {
-        let Some(s) = self.slots.get_mut(&slot) else {
+        let pi = self.part_of(slot.node);
+        let part = &mut self.parts[pi];
+        let Some(s) = part.slots.get_mut(&slot) else {
             return;
         };
         if !s.claimed {
@@ -450,15 +727,28 @@ impl Collector {
         s.claimed = false;
         for (i, val) in s.meta.indexed_vals.iter().enumerate() {
             if let Some(v) = val {
-                self.by_attr[i].insert((ord_f64(*v), slot));
+                part.by_attr[i].insert((ord_f64(*v), slot));
             }
         }
         self.mark_dirty(slot);
     }
 
-    /// All slots in deterministic (node, slot) order.
+    /// All slots in deterministic (node, slot) order, merged across
+    /// partitions.
     pub fn slots(&self) -> impl Iterator<Item = (&SlotId, &SlotStatus)> {
-        self.slots.iter()
+        let mut iters = self
+            .parts
+            .iter()
+            .map(|p| p.slots.iter())
+            .collect::<Vec<_>>();
+        if iters.len() == 1 {
+            Merged::One(iters.pop().expect("one partition"))
+        } else {
+            Merged::Many(
+                iters.into_iter().map(Iterator::peekable).collect(),
+                |item: &(&SlotId, &SlotStatus)| *item.0,
+            )
+        }
     }
 
     /// Unclaimed slots in deterministic order.
@@ -468,7 +758,14 @@ impl Collector {
 
     /// [`Collector::unclaimed`] without the allocation.
     pub fn unclaimed_iter(&self) -> impl Iterator<Item = SlotId> + '_ {
-        self.slots
+        self.slots().filter(|(_, s)| !s.claimed).map(|(id, _)| *id)
+    }
+
+    /// Unclaimed slots owned by partition `pi`, in slot order — the
+    /// partition-parallel screen's shard of a full scan.
+    pub fn partition_unclaimed_iter(&self, pi: usize) -> impl Iterator<Item = SlotId> + '_ {
+        self.parts[pi]
+            .slots
             .iter()
             .filter(|(_, s)| !s.claimed)
             .map(|(id, _)| *id)
@@ -489,16 +786,40 @@ impl Collector {
     }
 
     /// Unclaimed slots whose registered attribute `idx` is numeric and
-    /// `>= bound`, in ascending value order. Slots without a numeric value
-    /// for the attribute are absent — exactly the slots a numeric guard
-    /// would reject anyway.
+    /// `>= bound`, in ascending value order, merged across partitions.
+    /// Slots without a numeric value for the attribute are absent — exactly
+    /// the slots a numeric guard would reject anyway.
     pub fn indexed_range_at_least(
         &self,
         idx: usize,
         bound: f64,
     ) -> impl Iterator<Item = SlotId> + '_ {
         let start = Bound::Included((ord_f64(bound), SlotId::MIN));
-        self.by_attr[idx]
+        let mut ranges = self
+            .parts
+            .iter()
+            .map(|p| p.by_attr[idx].range((start, Bound::Unbounded)).copied())
+            .collect::<Vec<_>>();
+        let merged = if ranges.len() == 1 {
+            Merged::One(ranges.pop().expect("one range"))
+        } else {
+            Merged::Many(
+                ranges.into_iter().map(Iterator::peekable).collect(),
+                |item: &(u64, SlotId)| *item,
+            )
+        };
+        merged.map(|(_, slot)| slot)
+    }
+
+    /// [`Collector::indexed_range_at_least`] restricted to partition `pi`.
+    pub fn partition_indexed_range_at_least(
+        &self,
+        pi: usize,
+        idx: usize,
+        bound: f64,
+    ) -> impl Iterator<Item = SlotId> + '_ {
+        let start = Bound::Included((ord_f64(bound), SlotId::MIN));
+        self.parts[pi].by_attr[idx]
             .range((start, Bound::Unbounded))
             .map(|(_, slot)| *slot)
     }
@@ -516,25 +837,34 @@ impl Collector {
     /// semantics / ad expiry after a missed update deadline): the slots —
     /// claimed or not — vanish from the collector, all its indexes, and the
     /// dirty set (a removed slot cannot create a match), so a dead startd
-    /// stops matching immediately. Returns how many slots were dropped. A
-    /// later [`Startd::advertise`](crate::Startd) re-registers the node
-    /// from scratch.
+    /// stops matching immediately. The owning partition's watermark still
+    /// advances — conservatively, so a cycle right after a fault is never
+    /// quiescence-skipped. Returns how many slots were dropped. A later
+    /// [`Startd::advertise`](crate::Startd) re-registers the node from
+    /// scratch.
     pub fn invalidate_node(&mut self, node: u32) -> usize {
         let ids = self.node_slots(node);
+        let pi = self.part_of(node);
         for slot in &ids {
-            if let Some(status) = self.slots.remove(slot) {
+            if let Some(status) = self.parts[pi].slots.remove(slot) {
                 self.unindex(*slot, &status);
             }
-            if let Some(stamp) = self.stamp.remove(slot) {
-                self.dirty.remove(&stamp);
+            let part = &mut self.parts[pi];
+            if let Some(stamp) = part.stamp.remove(slot) {
+                part.dirty.remove(&stamp);
             }
+        }
+        if !ids.is_empty() {
+            self.seq += 1;
+            self.parts[pi].watermark = self.seq;
         }
         ids.len()
     }
 
     /// Slots belonging to `node`.
     pub fn node_slots(&self, node: u32) -> Vec<SlotId> {
-        self.slots
+        self.parts[self.part_of(node)]
+            .slots
             .range(SlotId { node, slot: 0 }..)
             .take_while(|(id, _)| id.node == node)
             .map(|(id, _)| *id)
@@ -543,12 +873,12 @@ impl Collector {
 
     /// Number of registered slots.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.parts.iter().map(|p| p.slots.len()).sum()
     }
 
     /// True when no slots are registered.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.parts.iter().all(|p| p.slots.is_empty())
     }
 }
 
@@ -854,5 +1184,182 @@ mod tests {
         let idx = c.attr_index(attrs::PHI_DEVICES_FREE).unwrap();
         assert_eq!(c.indexed_range_at_least(idx, 1.0).count(), 0);
         assert_eq!(c.indexed_range_at_least(idx, 0.0).count(), 1);
+    }
+
+    // --- partition-specific behaviour ---
+
+    /// A pool spread over several nodes so every partition of a P-way
+    /// collector owns some slots.
+    fn spread_pool(c: &mut Collector) {
+        for n in 1..=7 {
+            for s in 1..=2 {
+                c.advertise(slot(n, s), slot_ad(slot(n, s), (n * 1000 + s) as i64));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_count_is_clamped_and_reported() {
+        assert_eq!(Collector::new().partitions(), 1);
+        assert_eq!(Collector::with_partitions(0).partitions(), 1);
+        assert_eq!(Collector::with_partitions(3).partitions(), 3);
+        assert_eq!(Collector::with_partitions(999).partitions(), MAX_PARTITIONS);
+    }
+
+    #[test]
+    fn partitioned_enumeration_matches_unpartitioned() {
+        let mut one = Collector::new();
+        let mut many = Collector::with_partitions(3);
+        spread_pool(&mut one);
+        spread_pool(&mut many);
+        // Same slot enumeration, unclaimed scan, and range-query order.
+        assert_eq!(one, many);
+        assert_eq!(one.unclaimed(), many.unclaimed());
+        assert_eq!(
+            one.unclaimed_with_free_mem_at_least(3000.0)
+                .collect::<Vec<_>>(),
+            many.unclaimed_with_free_mem_at_least(3000.0)
+                .collect::<Vec<_>>(),
+        );
+        // Claims and point lookups route to the right partition.
+        assert!(many.claim(slot(5, 1)));
+        assert!(many.get(slot(5, 1)).unwrap().claimed);
+        one.claim(slot(5, 1));
+        assert_eq!(one, many);
+        assert_eq!(one.node_slots(5), many.node_slots(5));
+        assert_eq!(one.len(), many.len());
+    }
+
+    #[test]
+    fn partitioned_dirty_order_is_global_stamp_order() {
+        let mut c = Collector::with_partitions(4);
+        spread_pool(&mut c);
+        let s0 = c.seq();
+        // Dirty slots across partitions in an interleaved order; the merged
+        // view must replay exactly that order.
+        let touched = [slot(3, 1), slot(1, 2), slot(6, 1), slot(2, 2), slot(3, 2)];
+        for (i, id) in touched.iter().enumerate() {
+            c.set_int_attr(*id, attrs::PHI_FREE_MEMORY, 100 + i as i64);
+        }
+        assert_eq!(c.dirty_since(s0).collect::<Vec<_>>(), touched);
+        // Per-partition views shard the same set disjointly.
+        let mut sharded: Vec<SlotId> = (0..c.partitions())
+            .flat_map(|pi| c.partition_dirty_since(pi, s0).collect::<Vec<_>>())
+            .collect();
+        sharded.sort();
+        let mut all: Vec<SlotId> = c.dirty_since(s0).collect();
+        all.sort();
+        assert_eq!(sharded, all);
+    }
+
+    #[test]
+    fn watermarks_advance_on_dirt_and_invalidation_only() {
+        let mut c = Collector::with_partitions(2);
+        assert_eq!(c.max_watermark(), 0);
+        c.advertise(slot(1, 1), slot_ad(slot(1, 1), 4096));
+        assert_eq!(c.max_watermark(), c.seq());
+        // Claims are not dirtying, so the watermark holds still...
+        let w = c.max_watermark();
+        assert!(c.claim(slot(1, 1)));
+        assert_eq!(c.max_watermark(), w);
+        // ...while releases and decrements advance it.
+        c.release(slot(1, 1));
+        assert!(c.max_watermark() > w);
+        // Invalidation leaves no dirty entry but still advances the
+        // watermark: post-fault cycles must never look quiescent.
+        let w = c.max_watermark();
+        assert_eq!(c.invalidate_node(1), 1);
+        assert_eq!(c.dirty_since(0).count(), 0);
+        assert!(c.max_watermark() > w);
+        // Invalidating an empty node is a true no-op.
+        let w = c.max_watermark();
+        assert_eq!(c.invalidate_node(1), 0);
+        assert_eq!(c.max_watermark(), w);
+    }
+
+    #[test]
+    fn partition_range_queries_shard_the_global_range() {
+        let mut c = Collector::with_partitions(3);
+        spread_pool(&mut c);
+        let mut sharded: Vec<SlotId> = (0..c.partitions())
+            .flat_map(|pi| {
+                c.partition_indexed_range_at_least(pi, FREE_MEM_IDX, 3000.0)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        sharded.sort();
+        let mut all: Vec<SlotId> = c.unclaimed_with_free_mem_at_least(3000.0).collect();
+        all.sort();
+        assert_eq!(sharded, all);
+        // Unclaimed scans shard likewise.
+        let sharded: usize = (0..c.partitions())
+            .map(|pi| c.partition_unclaimed_iter(pi).count())
+            .sum();
+        assert_eq!(sharded, c.unclaimed_iter().count());
+    }
+
+    #[test]
+    fn indexed_attr_writes_match_the_scanning_path() {
+        let mut a = Collector::new();
+        let mut b = Collector::new();
+        for c in [&mut a, &mut b] {
+            c.advertise(slot(1, 1), slot_ad(slot(1, 1), 7680));
+        }
+        a.set_int_attr(slot(1, 1), attrs::lc::PHI_FREE_MEMORY, 1234);
+        b.set_int_attr_at(
+            slot(1, 1),
+            Collector::FREE_MEM_INDEX,
+            attrs::lc::PHI_FREE_MEMORY,
+            1234,
+        );
+        assert_eq!(a, b);
+        assert_eq!(
+            a.unclaimed_with_free_mem_at_least(1234.0)
+                .collect::<Vec<_>>(),
+            b.unclaimed_with_free_mem_at_least(1234.0)
+                .collect::<Vec<_>>(),
+        );
+        // The indexed write is still a no-op (and stays clean) for
+        // unchanged values.
+        let s = b.seq();
+        b.set_int_attr_at(
+            slot(1, 1),
+            Collector::FREE_MEM_INDEX,
+            attrs::lc::PHI_FREE_MEMORY,
+            1234,
+        );
+        assert_eq!(b.seq(), s);
+    }
+
+    #[test]
+    fn partitions_override_parses_and_clamps() {
+        assert_eq!(partitions_override(None), None);
+        assert_eq!(partitions_override(Some("")), None);
+        assert_eq!(partitions_override(Some("0")), None);
+        assert_eq!(partitions_override(Some("nope")), None);
+        assert_eq!(partitions_override(Some("4")), Some(4));
+        assert_eq!(partitions_override(Some(" 8 ")), Some(8));
+        assert_eq!(partitions_override(Some("999")), Some(MAX_PARTITIONS));
+    }
+
+    #[test]
+    fn partition_threads_override_caps_at_partitions() {
+        assert_eq!(partition_threads_override(Some("4"), 8), 4);
+        assert_eq!(partition_threads_override(Some("16"), 8), 8);
+        // Zero and garbage fall back to host parallelism, still capped.
+        let fallback = partition_threads_override(Some("0"), 8);
+        assert!((1..=8).contains(&fallback));
+        assert!(partition_threads_override(None, 2) <= 2);
+    }
+
+    #[test]
+    fn partitions_env_override_is_honored() {
+        // The one test that really reads the variable, through the shared
+        // test-util env helper (set + restore under the process lock).
+        use phishare_test_util::with_env_var;
+        let var = "PHISHARE_COLLECTOR_PARTITIONS";
+        assert_eq!(with_env_var(var, "6", default_partitions), 6);
+        assert_eq!(with_env_var(var, "999", default_partitions), MAX_PARTITIONS);
+        assert_eq!(with_env_var(var, "junk", default_partitions), 1);
     }
 }

@@ -24,23 +24,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-#[cfg(test)]
-pub(crate) mod env_lock {
-    use std::sync::{Mutex, MutexGuard};
-
-    /// Process-wide lock for tests that mutate environment variables.
-    /// `std::env::set_var` is not thread-safe against concurrent readers,
-    /// so every env-mutating test in this crate holds this for its whole
-    /// body; all other tests go through injectable parameters instead.
-    static ENV_LOCK: Mutex<()> = Mutex::new(());
-
-    pub(crate) fn lock() -> MutexGuard<'static, ()> {
-        ENV_LOCK
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
-}
-
 pub mod attrs;
 pub mod collector;
 pub mod negotiator;

@@ -77,6 +77,37 @@
 //! claims and resource decrements happen in the serial phase 3, which
 //! remains the sole author of collector mutations; match order is FIFO by
 //! construction.
+//!
+//! # Partitioned screen
+//!
+//! When the collector is partitioned ([`Collector::with_partitions`]), the
+//! delta path swaps the job-sharded screen for a *partition-parallel* one:
+//! each pending job first compiles a [`ScreenPlan`] — pin resolution,
+//! guard-index selection, and the selectivity probe hoisted out of the
+//! per-partition loop — and then every partition screens all jobs against
+//! only its own slots (its dirty shard, its slice of the guard index, its
+//! unclaimed slots). Certificate dirt is cached per partition as one
+//! stamp-sorted vector and sliced per job by binary search. The
+//! per-partition winners merge serially by the winner rule (highest rank,
+//! ties to the lowest slot id) — a total order, so merging the partition
+//! maxima equals evaluating the union, and the result is bit-identical to
+//! the unpartitioned screen for any partition count. Partitions screen on
+//! scoped threads when the machine has them (`PHISHARE_PARTITION_THREADS`
+//! caps the fan-out); phase 3 stays serial either way.
+//!
+//! # Quiescent cycles
+//!
+//! A delta cycle whose every idle job holds a certificate at least as new
+//! as the pool's newest dirtying mutation ([`Collector::max_watermark`])
+//! is provably a no-op: each job would re-screen an empty dirty set,
+//! re-certify at an unchanged sequence, and match nothing. With
+//! [`Negotiator::with_quiescence`] enabled (the default) the delta path
+//! detects this in O(1) — [`JobQueue::idle_cert_floor`] against the
+//! watermark — and returns the cycle's exact stats without touching the
+//! queue, the collector, or the pending list. The fast path fires only
+//! when the executed cycle would have been state-identical, so results
+//! remain bit-for-bit equal to [`MatchPath::Full`]; the `Full` path never
+//! short-circuits and stays the differential oracle.
 
 use crate::attrs;
 use crate::collector::{Collector, SlotId};
@@ -154,6 +185,9 @@ pub struct Negotiator {
     /// Phase-2 shard count; `None` resolves via
     /// `PHISHARE_NEGOTIATOR_SHARDS` or the machine's parallelism.
     shards: Option<usize>,
+    /// Whether the delta path may skip provably no-op cycles (module
+    /// docs). Unobservable in results; off only to measure the skip.
+    quiescence: bool,
 }
 
 impl Default for Negotiator {
@@ -162,6 +196,7 @@ impl Default for Negotiator {
             interval: SimDuration::from_secs(60),
             path: MatchPath::default(),
             shards: None,
+            quiescence: true,
         }
     }
 }
@@ -189,7 +224,26 @@ impl Negotiator {
         }
     }
 
-    fn shard_count(&self) -> usize {
+    /// Enable or disable the quiescent-cycle fast path (delta path only;
+    /// on by default). Results are identical either way — disabling it
+    /// exists so benchmarks can time the executed cycle.
+    pub fn with_quiescence(self, quiescence: bool) -> Self {
+        Negotiator { quiescence, ..self }
+    }
+
+    /// Whether a delta cycle right now would provably be a no-op: every
+    /// idle job certified unmatched at or after the pool's newest dirtying
+    /// mutation. O(1); exact (module docs).
+    pub fn cycle_is_quiescent(queue: &JobQueue, collector: &Collector) -> bool {
+        queue
+            .idle_cert_floor()
+            .is_some_and(|floor| collector.max_watermark() <= floor)
+    }
+
+    /// Job shards the P = 1 delta screen fans out over (the configured
+    /// override, else [`default_shards`]). Benches record this in their
+    /// committed knob blocks.
+    pub fn shard_count(&self) -> usize {
         self.shards.unwrap_or_else(default_shards)
     }
 
@@ -235,12 +289,34 @@ impl Negotiator {
         queue: &mut JobQueue,
         collector: &mut Collector,
     ) -> (Vec<Match>, CycleStats) {
+        // Quiescence fast path, checked before the pending list is even
+        // materialized: when every idle certificate covers the newest
+        // watermark, the executed cycle would re-screen empty dirty sets,
+        // match nothing, and re-stamp each certificate at its unchanged
+        // sequence — a pure no-op whose stats we can emit directly.
+        if self.quiescence && Self::cycle_is_quiescent(queue, collector) {
+            let idle = queue.idle_count();
+            return (
+                Vec::new(),
+                CycleStats {
+                    considered: idle,
+                    matched: 0,
+                    unmatched: idle,
+                },
+            );
+        }
         let pending = queue.pending();
         // Phase 1: register guard indexes while we still hold `&mut`.
         register_guard_indexes(queue, &pending, collector);
         let s0 = collector.seq();
-        // Phase 2: read-only screen against the pre-cycle snapshot.
-        let screens = screen_pending(queue, &pending, collector, self.shard_count());
+        // Phase 2: read-only screen against the pre-cycle snapshot —
+        // partition-parallel when the collector is partitioned, job-sharded
+        // otherwise (the P=1 path is byte-for-byte the pre-partition one).
+        let screens = if collector.partitions() > 1 {
+            screen_pending_partitioned(queue, &pending, collector)
+        } else {
+            screen_pending(queue, &pending, collector, self.shard_count())
+        };
         // Phase 3: serial FIFO commit.
         let mut scratch: Vec<SlotId> = Vec::new();
         run_cycle(queue, collector, |job, collector, idx| {
@@ -415,22 +491,272 @@ fn screen_pending(
     screens
 }
 
+/// One job's per-cycle screening recipe, compiled once and reused by every
+/// partition: pin resolution, guard-index selection, and the selectivity
+/// probe are hoisted here instead of re-running per (job, partition).
+#[derive(Debug, Clone)]
+enum ScreenPlan {
+    /// Certificate holder: re-rank only slots dirtied after this sequence.
+    Dirty(u64),
+    /// No candidates anywhere: an impossible requirement, or a certificate
+    /// no dirtying mutation has outrun.
+    Never,
+    /// Screened once globally at plan-compilation time: a stale
+    /// certificate holder whose own prefilter is provably narrow (see
+    /// [`stale_narrow_plan`]) gains nothing from partition fan-out, so its
+    /// winner is computed up front and every partition skips it.
+    Resolved(Option<(f64, SlotId)>),
+    /// Pinned to a slot name (resolved once; `None` = no such slot).
+    Name(Option<SlotId>),
+    /// Pinned to a machine; its slots, resolved once.
+    Machine(Box<[SlotId]>),
+    /// Narrowest admitting guard index and bound, probed once.
+    Guard(usize, f64),
+    /// No narrowing applies: unclaimed scan.
+    Scan,
+}
+
+/// Compile one certificate-less job's [`ScreenPlan`], mirroring
+/// [`best_slot`]'s pre-screen order exactly.
+fn plan_job(req: &CompiledReq, collector: &Collector) -> ScreenPlan {
+    if req.is_never() {
+        ScreenPlan::Never
+    } else if let Some(name) = req.pin(attrs::lc::NAME) {
+        ScreenPlan::Name(collector.slot_by_name(name))
+    } else if let Some(machine) = req.pin(attrs::lc::MACHINE) {
+        ScreenPlan::Machine(collector.slots_on_machine(machine).into())
+    } else if let Some((idx, bound)) = pick_guard_index(req, collector) {
+        ScreenPlan::Guard(idx, bound)
+    } else {
+        ScreenPlan::Scan
+    }
+}
+
+/// Phase-2 screen over a partitioned collector: every partition screens
+/// all pending jobs against only its own slots, then the per-partition
+/// winners merge serially by the winner rule. Bit-identical to
+/// [`screen_pending`] for any partition count (module docs): each plan's
+/// per-partition candidate sets union to exactly the serial candidate set,
+/// and the winner rule is a total order, so the merge of partition maxima
+/// is the global maximum.
+fn screen_pending_partitioned(
+    queue: &JobQueue,
+    pending: &[JobId],
+    collector: &Collector,
+) -> Vec<Option<(f64, SlotId)>> {
+    let plans: Vec<ScreenPlan> = pending
+        .iter()
+        .map(|&id| {
+            let job = queue.get(id).expect("pending job exists");
+            match job.eval_seq() {
+                // A certificate no dirt has outrun still covers the pool.
+                Some(seq) if collector.max_watermark() <= seq => ScreenPlan::Never,
+                // Prefer the job's own narrow prefilter over the dirty walk
+                // when it is provably smaller — and since it is at most a
+                // handful of slots, screen it right here against the global
+                // indexes instead of fanning it out to every partition.
+                Some(seq) => match stale_narrow_plan(job.compiled(), collector) {
+                    Some(plan) => ScreenPlan::Resolved(screen_narrow(job, collector, &plan)),
+                    None => ScreenPlan::Dirty(seq),
+                },
+                None => plan_job(job.compiled(), collector),
+            }
+        })
+        .collect();
+    // The oldest certificate bounds the per-partition dirty cache.
+    let oldest_cert = plans
+        .iter()
+        .filter_map(|p| match p {
+            ScreenPlan::Dirty(seq) => Some(*seq),
+            _ => None,
+        })
+        .min();
+
+    let screen_partition = |pi: usize| -> Vec<Option<(f64, SlotId)>> {
+        // Per-cycle dirty cache: this partition's dirt since the oldest
+        // certificate, stamp-sorted; each job slices it by binary search.
+        let dirt: Vec<(u64, SlotId)> = match oldest_cert {
+            Some(seq) => collector.partition_dirty_entries_since(pi, seq).collect(),
+            None => Vec::new(),
+        };
+        pending
+            .iter()
+            .zip(&plans)
+            .map(|(&id, plan)| {
+                let job = queue.get(id).expect("pending job exists");
+                match plan {
+                    ScreenPlan::Dirty(seq) => {
+                        let start = dirt.partition_point(|&(stamp, _)| stamp <= *seq);
+                        best_among(
+                            &job.ad,
+                            job.compiled(),
+                            collector,
+                            dirt[start..].iter().map(|&(_, slot)| slot),
+                        )
+                    }
+                    ScreenPlan::Never => None,
+                    // Already screened globally at compilation; the merge
+                    // seeds these directly.
+                    ScreenPlan::Resolved(_) => None,
+                    ScreenPlan::Name(slot) => best_among(
+                        &job.ad,
+                        job.compiled(),
+                        collector,
+                        slot.filter(|s| collector.part_of(s.node) == pi),
+                    ),
+                    ScreenPlan::Machine(slots) => best_among(
+                        &job.ad,
+                        job.compiled(),
+                        collector,
+                        slots
+                            .iter()
+                            .copied()
+                            .filter(|s| collector.part_of(s.node) == pi),
+                    ),
+                    ScreenPlan::Guard(idx, bound) => best_among(
+                        &job.ad,
+                        job.compiled(),
+                        collector,
+                        collector.partition_indexed_range_at_least(pi, *idx, *bound),
+                    ),
+                    ScreenPlan::Scan => best_among(
+                        &job.ad,
+                        job.compiled(),
+                        collector,
+                        collector.partition_unclaimed_iter(pi),
+                    ),
+                }
+            })
+            .collect()
+    };
+
+    let parts = collector.partitions();
+    let threads = crate::collector::partition_threads(parts);
+    let mut per_part: Vec<Vec<Option<(f64, SlotId)>>> = Vec::with_capacity(parts);
+    if threads > 1 && !pending.is_empty() {
+        let screen_partition = &screen_partition;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..parts)
+                .map(|pi| scope.spawn(move || screen_partition(pi)))
+                .collect();
+            for handle in handles {
+                per_part.push(handle.join().expect("partition screen panicked"));
+            }
+        });
+    } else {
+        per_part.extend((0..parts).map(screen_partition));
+    }
+
+    // Serial pre-commit merge: winner rule across partitions, per job;
+    // compilation-resolved screens seed their slots directly.
+    let mut screens: Vec<Option<(f64, SlotId)>> = plans
+        .iter()
+        .map(|plan| match plan {
+            ScreenPlan::Resolved(r) => *r,
+            _ => None,
+        })
+        .collect();
+    for part in per_part {
+        for (best, merged) in part.into_iter().zip(screens.iter_mut()) {
+            *merged = match (*merged, best) {
+                (None, b) => b,
+                (a, None) => a,
+                (Some((ra, sa)), Some((rb, sb))) => {
+                    if rb > ra || (rb == ra && sb < sa) {
+                        Some((rb, sb))
+                    } else {
+                        Some((ra, sa))
+                    }
+                }
+            };
+        }
+    }
+    screens
+}
+
 /// One job's screen: certificate holders re-rank only the slots dirtied
-/// since their certificate; everyone else scans the pool through the
-/// narrowest index.
+/// since their certificate — or their own narrowing prefilter when that is
+/// provably smaller (see [`stale_narrow_plan`]); everyone else scans the
+/// pool through the narrowest index.
 fn screen_job(
     job: &QueuedJob,
     collector: &Collector,
     scratch: &mut Vec<SlotId>,
 ) -> Option<(f64, SlotId)> {
     match job.eval_seq() {
-        Some(seq) => best_among(
+        Some(seq) => {
+            if collector.max_watermark() <= seq {
+                // Nothing has been dirtied since the certificate; it still
+                // covers the whole pool.
+                return None;
+            }
+            match stale_narrow_plan(job.compiled(), collector) {
+                Some(plan) => screen_narrow(job, collector, &plan),
+                None => best_among(
+                    &job.ad,
+                    job.compiled(),
+                    collector,
+                    collector.dirty_since(seq),
+                ),
+            }
+        }
+        None => best_slot(&job.ad, job.compiled(), collector, scratch),
+    }
+}
+
+/// Execute one of [`stale_narrow_plan`]'s plans against the *global*
+/// collector indexes — at most a handful of candidates by construction.
+fn screen_narrow(
+    job: &QueuedJob,
+    collector: &Collector,
+    plan: &ScreenPlan,
+) -> Option<(f64, SlotId)> {
+    match plan {
+        ScreenPlan::Never => None,
+        ScreenPlan::Name(slot) => best_among(&job.ad, job.compiled(), collector, *slot),
+        ScreenPlan::Machine(slots) => {
+            best_among(&job.ad, job.compiled(), collector, slots.iter().copied())
+        }
+        ScreenPlan::Guard(idx, bound) => best_among(
             &job.ad,
             job.compiled(),
             collector,
-            collector.dirty_since(seq),
+            collector.indexed_range_at_least(*idx, *bound),
         ),
-        None => best_slot(&job.ad, job.compiled(), collector, scratch),
+        ScreenPlan::Dirty(_) | ScreenPlan::Scan | ScreenPlan::Resolved(_) => {
+            unreachable!("stale_narrow_plan only produces narrow plans")
+        }
+    }
+}
+
+/// A stale certificate holder's candidates are contained in *both* the
+/// dirt since its certificate and its own pre-screen superset (pin, guard
+/// range) — the certificate rules out every slot unchanged since `seq`,
+/// the prefilter rules out every slot the requirement cannot admit, and
+/// [`best_among`] is enumeration-independent over any superset of the true
+/// admitters. This returns the job's narrowing plan when it is *provably*
+/// no wider than the selectivity probe (a pin, an impossible requirement,
+/// or a guard range of fewer than [`SELECTIVITY_PROBE`] slots), so
+/// re-certifying e.g. a 50 GB memory request against a pool whose index
+/// tops out at 8 GB costs O(log pool) instead of one evaluation per dirty
+/// slot. `None` means the plan is unbounded — walk the dirt instead.
+fn stale_narrow_plan(req: &CompiledReq, collector: &Collector) -> Option<ScreenPlan> {
+    if req.is_never() {
+        Some(ScreenPlan::Never)
+    } else if let Some(name) = req.pin(attrs::lc::NAME) {
+        Some(ScreenPlan::Name(collector.slot_by_name(name)))
+    } else if let Some(machine) = req.pin(attrs::lc::MACHINE) {
+        Some(ScreenPlan::Machine(
+            collector.slots_on_machine(machine).into(),
+        ))
+    } else {
+        let (idx, bound) = pick_guard_index(req, collector)?;
+        let narrow = collector
+            .indexed_range_at_least(idx, bound)
+            .take(SELECTIVITY_PROBE)
+            .count()
+            < SELECTIVITY_PROBE;
+        narrow.then_some(ScreenPlan::Guard(idx, bound))
     }
 }
 
@@ -565,9 +891,12 @@ fn shards_override(raw: Option<&str>) -> Option<usize> {
 
 /// Decrement the node-level Phi attributes on every slot ad of `node` to
 /// reflect a new placement for the remainder of this cycle. Routed through
-/// [`Collector::set_int_attr`] so the guard indexes stay coherent — a
+/// [`Collector::set_int_attr_at`] so the guard indexes stay coherent — a
 /// later job in the *same cycle* sees the reduced capacity in its range
-/// query — and the slots are stamped dirty for the delta path.
+/// query — and the slots are stamped dirty for the delta path. The two
+/// well-known attributes live at fixed pre-registered index positions
+/// ([`Collector::FREE_MEM_INDEX`], [`Collector::DEVICES_FREE_INDEX`]), so
+/// the commit pays no per-write attribute-name resolution.
 fn commit_phi_resources(collector: &mut Collector, node: u32, mem: i64, exclusive: bool) {
     for slot in collector.node_slots(node) {
         let status = collector.get(slot).expect("listed slot exists");
@@ -578,10 +907,20 @@ fn commit_phi_resources(collector: &mut Collector, node: u32, mem: i64, exclusiv
             None
         };
         if let Some(free) = free {
-            collector.set_int_attr(slot, attrs::lc::PHI_FREE_MEMORY, (free - mem).max(0));
+            collector.set_int_attr_at(
+                slot,
+                Collector::FREE_MEM_INDEX,
+                attrs::lc::PHI_FREE_MEMORY,
+                (free - mem).max(0),
+            );
         }
         if let Some(devs) = devs {
-            collector.set_int_attr(slot, attrs::lc::PHI_DEVICES_FREE, (devs - 1).max(0));
+            collector.set_int_attr_at(
+                slot,
+                Collector::DEVICES_FREE_INDEX,
+                attrs::lc::PHI_DEVICES_FREE,
+                (devs - 1).max(0),
+            );
         }
     }
 }
@@ -645,7 +984,11 @@ mod tests {
     }
 
     fn cluster(nodes: u32, slots: u32) -> Collector {
-        let mut c = Collector::new();
+        cluster_partitioned(nodes, slots, 1)
+    }
+
+    fn cluster_partitioned(nodes: u32, slots: u32, parts: usize) -> Collector {
+        let mut c = Collector::with_partitions(parts);
         for n in 1..=nodes {
             Startd::new(n, slots, 1, 8192).advertise(&mut c, 7680, 1);
         }
@@ -963,11 +1306,162 @@ mod tests {
     fn shard_env_override_is_honored() {
         // The one test that really mutates the variable, serialized behind
         // the crate-wide env lock so no concurrent test observes the write.
-        let _guard = crate::env_lock::lock();
+        let _guard = phishare_test_util::env_lock();
         std::env::set_var("PHISHARE_NEGOTIATOR_SHARDS", "5");
         assert_eq!(default_shards(), 5);
         std::env::remove_var("PHISHARE_NEGOTIATOR_SHARDS");
         assert!(default_shards() >= 1);
+    }
+
+    /// Everything observable from a churny run: per-cycle (matches,
+    /// stats), the final collector, and the final pending set.
+    type ChurnyRun = (Vec<(Vec<Match>, CycleStats)>, Collector, Vec<JobId>);
+
+    /// Build the same mixed workload (pins, exclusives, never-matchers,
+    /// certificate holders) against a `parts`-partitioned pool and run it
+    /// through several churny cycles, returning everything observable.
+    fn churny_run(parts: usize) -> ChurnyRun {
+        let mut q = JobQueue::new();
+        for i in 0..12 {
+            let ad = match i % 4 {
+                0 => exclusive_job_ad(&spec(i, 1000, 240)),
+                1 => sharing_job_ad(&spec(i, 9000, 60)), // never fits
+                _ => sharing_job_ad(&spec(i, 2000 + (i % 3) * 1500, 60)),
+            };
+            q.submit(JobId(i), ad, SimTime::ZERO).unwrap();
+        }
+        q.qedit_expr(JobId(6), "Requirements", &attrs::pin_to_node("node3"))
+            .unwrap();
+        q.qedit_expr(
+            JobId(10),
+            "Requirements",
+            &attrs::pin_requirements("slot1@node5"),
+        )
+        .unwrap();
+        let mut c = cluster_partitioned(6, 2, parts);
+        let n = Negotiator::default();
+        let mut cycles = Vec::new();
+        for round in 0..5 {
+            match round {
+                1 => {
+                    for slot in c.node_slots(2) {
+                        c.release(slot);
+                        c.refresh_phi_availability(slot, 7680, 1);
+                    }
+                }
+                2 => {
+                    c.invalidate_node(4);
+                }
+                3 => {
+                    Startd::new(4, 2, 1, 8192).advertise(&mut c, 7680, 1);
+                    q.qedit_value(JobId(1), attrs::REQUEST_PHI_MEMORY, 500u64)
+                        .unwrap();
+                }
+                _ => {}
+            }
+            cycles.push(n.negotiate_delta_with_stats(&mut q, &mut c));
+        }
+        (cycles, c, q.pending())
+    }
+
+    #[test]
+    fn partition_count_cannot_change_results() {
+        let baseline = churny_run(1);
+        for parts in [2, 3, 8] {
+            let run = churny_run(parts);
+            assert_eq!(run.0, baseline.0, "partitions={parts}");
+            assert_eq!(run.1, baseline.1, "partitions={parts}");
+            assert_eq!(run.2, baseline.2, "partitions={parts}");
+        }
+    }
+
+    #[test]
+    fn partitioned_screen_on_forced_threads_matches_serial() {
+        // Force the threaded partition fan-out even on a single-core
+        // machine; serialized behind the crate env lock.
+        let _guard = phishare_test_util::env_lock();
+        std::env::set_var("PHISHARE_PARTITION_THREADS", "4");
+        let threaded = churny_run(4);
+        std::env::remove_var("PHISHARE_PARTITION_THREADS");
+        let serial = churny_run(4);
+        assert_eq!(threaded.0, serial.0);
+        assert_eq!(threaded.1, serial.1);
+        assert_eq!(threaded.2, serial.2);
+    }
+
+    #[test]
+    fn quiescent_cycles_short_circuit_to_identical_results() {
+        let build = || {
+            let mut q = JobQueue::new();
+            for i in 0..4 {
+                q.submit(JobId(i), sharing_job_ad(&spec(i, 3000, 60)), SimTime::ZERO)
+                    .unwrap();
+            }
+            (q, cluster(1, 2))
+        };
+        let (mut q_fast, mut c_fast) = build();
+        let (mut q_slow, mut c_slow) = build();
+        let fast = Negotiator::default(); // quiescence on by default
+        let slow = Negotiator::default().with_quiescence(false);
+
+        // Cycle 1 matches two jobs and certifies the rest — not quiescent.
+        assert!(!Negotiator::cycle_is_quiescent(&q_fast, &c_fast));
+        let first_fast = fast.negotiate_delta_with_stats(&mut q_fast, &mut c_fast);
+        let first_slow = slow.negotiate_delta_with_stats(&mut q_slow, &mut c_slow);
+        assert_eq!(first_fast, first_slow);
+        assert_eq!(first_fast.0.len(), 2);
+
+        // No churn since: provably quiescent, and the skipped cycle is
+        // bit-identical to the executed one — stats, certificates, pool.
+        assert!(Negotiator::cycle_is_quiescent(&q_fast, &c_fast));
+        let second_fast = fast.negotiate_delta_with_stats(&mut q_fast, &mut c_fast);
+        let second_slow = slow.negotiate_delta_with_stats(&mut q_slow, &mut c_slow);
+        assert_eq!(second_fast, second_slow);
+        assert_eq!(second_fast.1.considered, 2);
+        assert_eq!(second_fast.1.unmatched, 2);
+        assert_eq!(c_fast, c_slow);
+        for i in [2u64, 3] {
+            assert_eq!(
+                q_fast.get(JobId(i)).unwrap().eval_seq(),
+                q_slow.get(JobId(i)).unwrap().eval_seq(),
+            );
+        }
+
+        // A release dirties the pool: no longer quiescent, and both twins
+        // pick up the freed slot in lockstep.
+        for (q, c) in [(&mut q_fast, &mut c_fast), (&mut q_slow, &mut c_slow)] {
+            let slot = first_fast.0[0].slot;
+            c.release(slot);
+            c.refresh_phi_availability(slot, 7680, 1);
+            assert!(!Negotiator::cycle_is_quiescent(q, c));
+        }
+        let third_fast = fast.negotiate_delta_with_stats(&mut q_fast, &mut c_fast);
+        let third_slow = slow.negotiate_delta_with_stats(&mut q_slow, &mut c_slow);
+        assert_eq!(third_fast, third_slow);
+        assert_eq!(third_fast.0.len(), 1);
+        assert_eq!(c_fast, c_slow);
+    }
+
+    #[test]
+    fn fresh_arrivals_defeat_quiescence() {
+        let mut q = JobQueue::new();
+        let mut c = cluster(1, 1);
+        // Empty idle queue is trivially quiescent.
+        assert!(Negotiator::cycle_is_quiescent(&q, &c));
+        q.submit(JobId(0), sharing_job_ad(&spec(0, 9000, 60)), SimTime::ZERO)
+            .unwrap();
+        // An uncertified arrival must force an executed cycle.
+        assert!(!Negotiator::cycle_is_quiescent(&q, &c));
+        let n = Negotiator::default();
+        let (matches, stats) = n.negotiate_delta_with_stats(&mut q, &mut c);
+        assert!(matches.is_empty());
+        assert_eq!(stats.considered, 1);
+        // Now certified against a still pool: quiescent until churn.
+        assert!(Negotiator::cycle_is_quiescent(&q, &c));
+        // A qedit drops the certificate and defeats quiescence again.
+        q.qedit_value(JobId(0), attrs::REQUEST_PHI_MEMORY, 100u64)
+            .unwrap();
+        assert!(!Negotiator::cycle_is_quiescent(&q, &c));
     }
 
     #[test]

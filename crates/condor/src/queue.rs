@@ -108,6 +108,15 @@ pub struct JobQueue {
     /// Held jobs as `(queue position, id)` — what external schedulers plan
     /// over.
     held: BTreeSet<(usize, JobId)>,
+    /// Standing unmatched certificates of *idle* jobs, as
+    /// `(certified sequence, id)` — the quiescence check reads the minimum
+    /// in O(log n). Maintained alongside `eval_seq` by every path that
+    /// grants, renews or invalidates a certificate.
+    certs: BTreeSet<(u64, JobId)>,
+    /// Idle jobs with no standing certificate. Together with `certs` this
+    /// partitions the idle pool: `idle.len() == idle_uncertified +
+    /// certs.len()` always.
+    idle_uncertified: usize,
     /// Next queue position to hand out (see the struct docs).
     next_pos: usize,
 }
@@ -191,6 +200,7 @@ impl JobQueue {
         match state {
             JobState::Idle => {
                 self.idle.insert((pos, id));
+                self.idle_uncertified += 1;
             }
             JobState::Held => {
                 self.held.insert((pos, id));
@@ -243,7 +253,7 @@ impl JobQueue {
             .insert_expr(attr, expr)
             .map_err(QueueError::BadExpression)?;
         job.compiled = CompiledReq::compile(&job.ad);
-        job.eval_seq = None;
+        self.drop_certificate(id);
         Ok(())
     }
 
@@ -257,8 +267,20 @@ impl JobQueue {
         let job = self.jobs.get_mut(&id).ok_or(QueueError::Unknown(id))?;
         job.ad.insert(attr, value);
         job.compiled = CompiledReq::compile(&job.ad);
-        job.eval_seq = None;
+        self.drop_certificate(id);
         Ok(())
+    }
+
+    /// Invalidate `id`'s unmatched certificate (after a qedit), keeping the
+    /// certificate index in step when the job is idle.
+    fn drop_certificate(&mut self, id: JobId) {
+        let job = self.jobs.get_mut(&id).expect("caller looked the job up");
+        if let Some(old) = job.eval_seq.take() {
+            if job.state.is_idle() {
+                self.certs.remove(&(old, id));
+                self.idle_uncertified += 1;
+            }
+        }
     }
 
     /// Record that a negotiation cycle evaluated `id` against the whole
@@ -267,8 +289,43 @@ impl JobQueue {
     /// `seq`. No-op for unknown jobs.
     pub fn note_unmatched(&mut self, id: JobId, seq: u64) {
         if let Some(job) = self.jobs.get_mut(&id) {
-            job.eval_seq = Some(seq);
+            let old = job.eval_seq.replace(seq);
+            if job.state.is_idle() {
+                match old {
+                    Some(s) => {
+                        self.certs.remove(&(s, id));
+                    }
+                    None => self.idle_uncertified -= 1,
+                }
+                self.certs.insert((seq, id));
+            }
         }
+    }
+
+    /// The oldest standing unmatched certificate across the idle pool, or
+    /// `None` when any idle job lacks one (and must be screened against the
+    /// whole pool). An empty idle pool reports `u64::MAX`: with nothing
+    /// pending, no mutation can create a match. O(log n).
+    ///
+    /// This is the queue half of the quiescence predicate: when every idle
+    /// job is certified unmatched at or after the collector's newest
+    /// watermark, a negotiation cycle provably matches nothing.
+    pub fn idle_cert_floor(&self) -> Option<u64> {
+        debug_assert_eq!(self.idle.len(), self.idle_uncertified + self.certs.len());
+        if self.idle_uncertified > 0 {
+            return None;
+        }
+        Some(self.certs.first().map_or(u64::MAX, |&(s, _)| s))
+    }
+
+    /// Number of idle jobs — [`JobQueue::pending`] without the allocation.
+    pub fn idle_count(&self) -> usize {
+        self.idle.len()
+    }
+
+    /// Number of held jobs — [`JobQueue::held`] without the allocation.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
     }
 
     /// Look up a job.
@@ -363,6 +420,7 @@ impl JobQueue {
                     _ => old_pos,
                 };
                 let job = self.jobs.get_mut(&id).expect("looked up above");
+                let old_cert = job.eval_seq;
                 job.state = next;
                 job.pos = pos;
                 // Re-entering the idle pool drops any unmatched
@@ -375,6 +433,12 @@ impl JobQueue {
                 match prev {
                     JobState::Idle => {
                         self.idle.remove(&(old_pos, id));
+                        match old_cert {
+                            Some(s) => {
+                                self.certs.remove(&(s, id));
+                            }
+                            None => self.idle_uncertified -= 1,
+                        }
                     }
                     JobState::Held => {
                         self.held.remove(&(old_pos, id));
@@ -384,6 +448,7 @@ impl JobQueue {
                 match next {
                     JobState::Idle => {
                         self.idle.insert((pos, id));
+                        self.idle_uncertified += 1;
                     }
                     JobState::Held => {
                         self.held.insert((pos, id));
@@ -640,6 +705,47 @@ mod tests {
         q.note_unmatched(JobId(1), 19);
         q.hold(JobId(0)).unwrap();
         assert_eq!(q.get(JobId(1)).unwrap().eval_seq(), Some(19));
+    }
+
+    #[test]
+    fn idle_cert_floor_tracks_the_oldest_certificate() {
+        let mut q = JobQueue::new();
+        // Empty idle pool: trivially quiescent.
+        assert_eq!(q.idle_cert_floor(), Some(u64::MAX));
+        q.submit(JobId(0), ClassAd::new(), SimTime::ZERO).unwrap();
+        q.submit(JobId(1), ClassAd::new(), SimTime::ZERO).unwrap();
+        assert_eq!(q.idle_count(), 2);
+        // Fresh arrivals are uncertified: no floor.
+        assert_eq!(q.idle_cert_floor(), None);
+        q.note_unmatched(JobId(0), 10);
+        assert_eq!(q.idle_cert_floor(), None); // JobId(1) still uncertified
+        q.note_unmatched(JobId(1), 12);
+        assert_eq!(q.idle_cert_floor(), Some(10));
+        // Renewal moves the floor.
+        q.note_unmatched(JobId(0), 15);
+        assert_eq!(q.idle_cert_floor(), Some(12));
+
+        // Qedits invalidate the certificate and the floor with it.
+        q.qedit_value(JobId(1), "RequestPhiMemory", 512u64).unwrap();
+        assert_eq!(q.idle_cert_floor(), None);
+        q.note_unmatched(JobId(1), 16);
+        assert_eq!(q.idle_cert_floor(), Some(15));
+
+        // Leaving the idle pool removes the job from the floor entirely;
+        // re-entering makes it uncertified again.
+        q.hold(JobId(0)).unwrap();
+        assert_eq!(q.idle_cert_floor(), Some(16));
+        q.release(JobId(0)).unwrap();
+        assert_eq!(q.idle_cert_floor(), None);
+        q.note_unmatched(JobId(0), 20);
+        assert_eq!(q.idle_cert_floor(), Some(16));
+
+        // Matching consumes the idle entry; held jobs don't count.
+        q.set_matched(JobId(1), slot(1, 1)).unwrap();
+        assert_eq!(q.idle_cert_floor(), Some(20));
+        q.set_matched(JobId(0), slot(1, 2)).unwrap();
+        assert_eq!(q.idle_cert_floor(), Some(u64::MAX));
+        assert_eq!(q.held_count(), 0);
     }
 
     #[test]

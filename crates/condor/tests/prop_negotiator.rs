@@ -135,7 +135,17 @@ fn job_ad(kind: &JobKind, ranked: bool) -> phishare_classad::ClassAd {
 /// Build the identical (queue, collector) pair twice from the generated
 /// scenario, so the fast and naive paths start from equal states.
 fn build(nodes: &[NodeDesc], jobs: &[(JobKind, bool)], claims: &[bool]) -> (JobQueue, Collector) {
-    let mut collector = Collector::new();
+    build_parts(nodes, jobs, claims, 1)
+}
+
+/// [`build`] with an explicit collector partition count.
+fn build_parts(
+    nodes: &[NodeDesc],
+    jobs: &[(JobKind, bool)],
+    claims: &[bool],
+    parts: usize,
+) -> (JobQueue, Collector) {
+    let mut collector = Collector::with_partitions(parts);
     let mut all_slots = Vec::new();
     for (n, node) in nodes.iter().enumerate() {
         let node_idx = n as u32 + 1;
@@ -372,6 +382,54 @@ proptest! {
             prop_assert_eq!(&delta, &full, "round {} matches diverged", r);
             prop_assert_eq!(&c_delta, &c_full, "round {} collectors diverged", r);
             prop_assert_eq!(q_delta.pending(), q_full.pending(), "round {} pending diverged", r);
+        }
+    }
+
+    /// Partition-count invariance: the partitioned delta screen produces
+    /// bit-identical matches, cycle stats, queue state, and collector state
+    /// for every partition count across arbitrary churn histories. P = 1 is
+    /// the PR 6 job-sharded screen (the bench baseline); 2, 3, and 8
+    /// exercise uneven node→partition maps, cross-partition winner merges,
+    /// and per-partition dirty watermarks. `Collector: PartialEq` is itself
+    /// partition-layout-blind, so the final-state comparisons are exact.
+    #[test]
+    fn partition_count_is_invisible_across_random_churn(
+        nodes in prop::collection::vec(arb_node(), 1..=4),
+        jobs in prop::collection::vec((arb_job_kind(), any::<bool>()), 0..=8),
+        rounds in prop::collection::vec(prop::collection::vec(arb_churn(), 0..=5), 1..=4),
+    ) {
+        const PARTS: [usize; 4] = [1, 2, 3, 8];
+        let negotiator = Negotiator::default();
+        let mut twins: Vec<(JobQueue, Collector, u64)> = PARTS
+            .iter()
+            .map(|&p| {
+                let (q, c) = build_parts(&nodes, &jobs, &[], p);
+                (q, c, jobs.len() as u64)
+            })
+            .collect();
+
+        for (r, ops) in rounds.iter().enumerate() {
+            let mut outcomes = Vec::new();
+            for (queue, collector, next_id) in twins.iter_mut() {
+                for op in ops {
+                    apply_churn(op, queue, collector, next_id);
+                }
+                outcomes.push(negotiator.negotiate_delta_with_stats(queue, collector));
+            }
+            for (i, outcome) in outcomes.iter().enumerate().skip(1) {
+                prop_assert_eq!(
+                    &outcomes[0], outcome,
+                    "round {}: P={} matches diverged from P=1", r, PARTS[i]
+                );
+                prop_assert_eq!(
+                    &twins[0].1, &twins[i].1,
+                    "round {}: P={} collector diverged from P=1", r, PARTS[i]
+                );
+                prop_assert_eq!(
+                    twins[0].0.pending(), twins[i].0.pending(),
+                    "round {}: P={} pending diverged from P=1", r, PARTS[i]
+                );
+            }
         }
     }
 }

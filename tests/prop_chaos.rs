@@ -231,6 +231,75 @@ proptest! {
         prop_assert_eq!(delta, full, "delta and full experiments diverged");
     }
 
+    /// Quiescence skipping is a pure wall-clock optimization: for every
+    /// fault plan × perturbation stack × arrival family, a skip-enabled
+    /// run is bit-identical to a never-skipping run — same metrics, same
+    /// trace. Stale-ads windows are the sharp edge: a cycle running on
+    /// stale ads must *not* report quiescent (it has bookkeeping to do),
+    /// and because `stale_ad_skips` participates in result equality, any
+    /// skipped-but-not-quiescent cycle would open daylight here. Debug
+    /// builds additionally re-run every skipped cycle through the full
+    /// oracle inside the runtime and assert it matches nothing.
+    #[test]
+    fn quiescence_skipping_is_invisible_under_chaos(
+        policy in arb_policy(),
+        nodes in 2u32..=4,
+        jobs in 6usize..=16,
+        seed in 0u64..10_000,
+        perturb in arb_perturb(),
+        arrivals in arb_arrivals(),
+        faults in prop::collection::vec(arb_fault(4), 0..5),
+    ) {
+        let wl = WorkloadBuilder::new(WorkloadKind::Table1Mix)
+            .count(jobs)
+            .seed(seed)
+            .arrivals(arrivals)
+            .build();
+        let mut cfg = ClusterConfig::paper_cluster(policy)
+            .with_nodes(nodes)
+            .with_seed(seed);
+        cfg.knapsack.window = 64;
+        cfg.perturb = perturb;
+
+        let mut events: Vec<FaultEvent> = faults
+            .into_iter()
+            .filter(|f| f.node <= nodes)
+            .collect();
+        events.sort_by_key(|f| (f.at, f.node, f.device, f.kind as u8));
+        let fault_plan = FaultPlan { events };
+        let perturb_plan = PerturbPlan::generate(&cfg);
+
+        cfg.skip_quiescent = true;
+        let (skip, skip_trace) = Experiment::run_chaos_traced(
+            &cfg, &wl, &fault_plan, &perturb_plan, phishare::cluster::SubstrateMode::Fast,
+        )
+        .expect("skip-on chaos run must drain cleanly");
+        cfg.skip_quiescent = false;
+        let (full, full_trace) = Experiment::run_chaos_traced(
+            &cfg, &wl, &fault_plan, &perturb_plan, phishare::cluster::SubstrateMode::Fast,
+        )
+        .expect("skip-off chaos run must drain cleanly");
+
+        if skip != full || skip_trace.events != full_trace.events {
+            dump_artifact("quiescence_bit_identity", &cfg, &fault_plan, &perturb_plan);
+        }
+        prop_assert_eq!(&skip, &full, "quiescence skipping changed the results");
+        prop_assert_eq!(
+            &skip_trace.events, &full_trace.events,
+            "quiescence skipping changed the trace"
+        );
+        // Equality above already compares stale_ad_skips; spell the
+        // stale-ads leg out so a regression names itself.
+        prop_assert_eq!(
+            skip.stale_ad_skips, full.stale_ad_skips,
+            "a stale-ads cycle was skipped as quiescent"
+        );
+        prop_assert_eq!(full.cycles_skipped, 0, "skip-off run still skipped");
+        cfg.skip_quiescent = true;
+        let violations = audit(&cfg, &wl, &skip, &skip_trace);
+        prop_assert!(violations.is_empty(), "audit violations: {:?}", violations);
+    }
+
     /// The heap-scheduled shared-throughput substrate is bit-identical to
     /// its naive recompute-all oracle for every fault schedule — device
     /// resets clear the engines mid-offload, node churn detaches whole
